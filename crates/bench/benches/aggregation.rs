@@ -1,0 +1,68 @@
+//! Aggregation throughput (DESIGN.md `bench_aggregate`): evaluating the
+//! paper's Q1-shaped query in the consistent mode vs mapped
+//! structure-version modes.
+//!
+//! Expected shape: tcm is cheapest (no mapping-route resolution); mapped
+//! modes pay per distinct coordinate needing routes, then converge to
+//! the same group-by cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvolap_core::aggregate::{evaluate, AggregateQuery};
+use mvolap_core::TemporalMode;
+use mvolap_workload::{generate, WorkloadConfig};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::small(21)
+        .with_departments(30)
+        .with_periods(5)
+        .with_facts_per_department(8);
+    cfg.split_prob = 0.20;
+    cfg.reclassify_prob = 0.10;
+    cfg.create_prob = 0.0;
+    cfg.delete_prob = 0.0;
+    let w = generate(&cfg).expect("workload generates");
+    let svs = w.tmd.structure_versions();
+    let n = w.tmd.facts().len() as u64;
+
+    let mut group = c.benchmark_group("aggregate/modes");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n));
+    let modes: Vec<(String, TemporalMode)> = std::iter::once(("tcm".to_owned(), TemporalMode::Consistent))
+        .chain(
+            svs.iter()
+                .map(|sv| (sv.id.to_string(), TemporalMode::Version(sv.id))),
+        )
+        .collect();
+    for (label, mode) in modes {
+        let q = AggregateQuery::by_year(w.dim, "Division", mode);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
+            b.iter(|| evaluate(&w.tmd, &svs, q).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fact_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate/fact_scaling");
+    group.sample_size(10);
+    for facts in [4usize, 16, 64] {
+        let mut cfg = WorkloadConfig::small(22)
+            .with_departments(25)
+            .with_periods(4)
+            .with_facts_per_department(facts);
+        cfg.create_prob = 0.0;
+        cfg.delete_prob = 0.0;
+        let w = generate(&cfg).expect("workload generates");
+        let svs = w.tmd.structure_versions();
+        let n = w.tmd.facts().len();
+        let q = AggregateQuery::by_year(w.dim, "Department", TemporalMode::Consistent);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| evaluate(&w.tmd, &svs, q).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_fact_scaling);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Cube costs (DESIGN.md `bench_cube`): materialising the aggregate
+//! lattice, and the navigation operators against the precomputed cube.
+//!
+//! Expected shape: lattice build is (levels+1) × time-levels evaluations;
+//! navigation (roll-up + read) is orders of magnitude cheaper than
+//! re-aggregation because it only consults precomputed nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvolap_core::TemporalMode;
+use mvolap_cube::{Cube, CubeSpec, CubeView};
+use mvolap_workload::{generate, GeneratedWorkload, WorkloadConfig};
+
+fn workload(departments: usize) -> GeneratedWorkload {
+    let mut cfg = WorkloadConfig::small(66)
+        .with_departments(departments)
+        .with_periods(4)
+        .with_facts_per_department(6);
+    cfg.create_prob = 0.0;
+    cfg.delete_prob = 0.0;
+    generate(&cfg).expect("workload generates")
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube/build");
+    group.sample_size(10);
+    for departments in [20usize, 80] {
+        let w = workload(departments);
+        let svs = w.tmd.structure_versions();
+        group.bench_with_input(BenchmarkId::from_parameter(departments), &w, |b, w| {
+            b.iter(|| {
+                Cube::build(&w.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent))
+                    .expect("cube builds")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: building every node from facts vs deriving coarser nodes
+/// from finer precomputed ones (sound in version modes with
+/// decomposable aggregates).
+fn bench_build_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube/build_strategy");
+    group.sample_size(10);
+    for departments in [20usize, 80] {
+        let w = workload(departments);
+        let svs = w.tmd.structure_versions();
+        let mode = TemporalMode::Version(svs.last().expect("versions").id);
+        group.bench_with_input(
+            BenchmarkId::new("from_facts", departments),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    Cube::build(&w.tmd, &svs, CubeSpec::for_mode(mode.clone()))
+                        .expect("cube builds")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", departments),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let cube = Cube::build_incremental(
+                        &w.tmd,
+                        &svs,
+                        CubeSpec::for_mode(mode.clone()),
+                    )
+                    .expect("cube builds");
+                    assert!(cube.stats().derived > 0, "derivation path must engage");
+                    cube
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_navigation(c: &mut Criterion) {
+    let w = workload(40);
+    let svs = w.tmd.structure_versions();
+    let cube = Cube::build(&w.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent))
+        .expect("cube builds");
+
+    c.bench_function("cube/rollup_and_read", |b| {
+        b.iter(|| {
+            let mut view = CubeView::open(&cube);
+            view.roll_up(w.dim).expect("dimension exists");
+            view.rows()
+        })
+    });
+
+    c.bench_function("cube/slice_and_render", |b| {
+        b.iter(|| {
+            let mut view = CubeView::open(&cube);
+            view.slice(w.dim, "Dept0").expect("dimension exists");
+            view.render()
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_build_incremental, bench_navigation);
+criterion_main!(benches);

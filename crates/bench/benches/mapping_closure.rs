@@ -1,0 +1,77 @@
+//! Mapping-closure resolution cost (DESIGN.md `bench_mapping_closure`):
+//! composing routes across chains of transitions of growing length, and
+//! across split fan-outs of growing width.
+//!
+//! Expected shape: linear in chain length; linear in fan-out width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvolap_core::{
+    MappingGraph, MappingRelationship, MeasureMapping, MemberVersionId, RouteDirection,
+};
+
+/// A chain v0 -> v1 -> … -> vn of transform-style equivalences.
+fn chain(n: usize) -> (MappingGraph, MemberVersionId, MemberVersionId) {
+    let mut g = MappingGraph::new();
+    for i in 0..n {
+        g.add(MappingRelationship::uniform(
+            MemberVersionId(i as u32),
+            MemberVersionId(i as u32 + 1),
+            MeasureMapping::approx_scale(0.99),
+            MeasureMapping::EXACT_IDENTITY,
+            1,
+        ))
+        .expect("chain edge");
+    }
+    (g, MemberVersionId(0), MemberVersionId(n as u32))
+}
+
+/// One member split into `width` parts.
+fn fanout(width: usize) -> (MappingGraph, MemberVersionId) {
+    let mut g = MappingGraph::new();
+    let source = MemberVersionId(0);
+    let share = 1.0 / width as f64;
+    for i in 0..width {
+        g.add(MappingRelationship::uniform(
+            source,
+            MemberVersionId(i as u32 + 1),
+            MeasureMapping::approx_scale(share),
+            MeasureMapping::EXACT_IDENTITY,
+            1,
+        ))
+        .expect("fanout edge");
+    }
+    (g, source)
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_closure/chain");
+    for n in [1usize, 4, 16, 64] {
+        let (g, source, target) = chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let routes = g.resolve(source, 1, RouteDirection::Forward, |id| id == target);
+                assert_eq!(routes.len(), 1);
+                routes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_closure/fanout");
+    for width in [2usize, 8, 32, 128] {
+        let (g, source) = fanout(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &g, |b, g| {
+            b.iter(|| {
+                let routes = g.resolve(source, 1, RouteDirection::Forward, |id| id.0 > 0);
+                assert_eq!(routes.len(), width);
+                routes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_fanout);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Structure-version inference cost (DESIGN.md
+//! `bench_structure_versions`): partitioning history as the number of
+//! evolution events grows.
+//!
+//! Expected shape: near-linear in the number of validity intervals
+//! (members + relationships), with the boundary sort dominating.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvolap_core::infer_structure_versions;
+use mvolap_workload::{generate, WorkloadConfig};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structure_versions/infer");
+    group.sample_size(20);
+    for (departments, periods) in [(10usize, 3u32), (30, 6), (60, 10)] {
+        let mut cfg = WorkloadConfig::small(31)
+            .with_departments(departments)
+            .with_periods(periods)
+            .with_facts_per_department(1);
+        cfg.split_prob = 0.25;
+        cfg.merge_prob = 0.10;
+        cfg.reclassify_prob = 0.15;
+        let w = generate(&cfg).expect("workload generates");
+        let dims = w.tmd.dimensions();
+        let elements: usize = dims
+            .iter()
+            .map(|d| d.versions().len() + d.relationships().len())
+            .sum();
+        group.throughput(Throughput::Elements(elements as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(elements),
+            &dims,
+            |b, dims| b.iter(|| infer_structure_versions(dims)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates every table and figure of the paper from the engine.
+//!
+//! ```text
+//! paper_tables              # print all artifacts
+//! paper_tables table4       # print one (table1..table12, truth-table,
+//!                           # structure-versions, figure2, quality)
+//! paper_tables --list       # list artifact ids
+//! ```
+
+use mvolap_bench::paper::all_artifacts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let artifacts = all_artifacts();
+
+    if args.iter().any(|a| a == "--list") {
+        for a in &artifacts {
+            println!("{:<20} {}", a.id, a.title);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if args.is_empty() {
+        artifacts.iter().collect()
+    } else {
+        let picked: Vec<_> = artifacts
+            .iter()
+            .filter(|a| args.iter().any(|q| q == a.id))
+            .collect();
+        if picked.is_empty() {
+            eprintln!(
+                "unknown artifact(s) {:?}; try --list for available ids",
+                args
+            );
+            std::process::exit(1);
+        }
+        picked
+    };
+
+    for a in selected {
+        println!("=== {} ===", a.title);
+        println!("{}", a.body);
+    }
+}

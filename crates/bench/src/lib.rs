@@ -1,0 +1,4 @@
+//! Benchmark support: paper-artifact reproduction and shared workload
+//! helpers for the Criterion benches.
+
+pub mod paper;

@@ -1,0 +1,314 @@
+//! Confidence factors (paper Definition 6).
+//!
+//! A confidence factor "describes the reliability of data and allows to
+//! distinguish source from mapped data". The paper's prototype uses the
+//! qualitative range `CF = {sd, em, am, uk}` with a truth-table aggregate
+//! `⊗cf`; quantitative confidence factors with a user-defined combiner are
+//! also allowed. Both are supported here.
+
+/// Qualitative confidence factor.
+///
+/// Ordered by reliability: `Unknown < Approx < Exact < Source`, so the
+/// paper's truth table (Example 5) is exactly the *meet* (minimum) of the
+/// operands — combining data can never increase reliability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Confidence {
+    /// `uk`: the mapping relationship is unknown.
+    Unknown,
+    /// `am`: approximated mapped data.
+    Approx,
+    /// `em`: exact mapped data.
+    Exact,
+    /// `sd`: source (temporally consistent) data.
+    Source,
+}
+
+impl Confidence {
+    /// The paper's truth-table aggregate `⊗cf` (Example 5).
+    ///
+    /// ```
+    /// use mvolap_core::Confidence::*;
+    /// assert_eq!(Source.combine(Exact), Exact);
+    /// assert_eq!(Exact.combine(Approx), Approx);
+    /// assert_eq!(Approx.combine(Unknown), Unknown);
+    /// assert_eq!(Source.combine(Source), Source);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn combine(self, other: Confidence) -> Confidence {
+        self.min(other)
+    }
+
+    /// Folds `⊗cf` over an iterator; an empty input is `Source`
+    /// (the identity of the meet: nothing has been mapped).
+    pub fn combine_all(iter: impl IntoIterator<Item = Confidence>) -> Confidence {
+        iter.into_iter().fold(Confidence::Source, Confidence::combine)
+    }
+
+    /// The paper's short code (`sd`, `em`, `am`, `uk`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Confidence::Source => "sd",
+            Confidence::Exact => "em",
+            Confidence::Approx => "am",
+            Confidence::Unknown => "uk",
+        }
+    }
+
+    /// The prototype's physical coding (§5.2): source 3, exact 2,
+    /// approximated 1, unknown 4.
+    pub fn physical_code(self) -> i64 {
+        match self {
+            Confidence::Source => 3,
+            Confidence::Exact => 2,
+            Confidence::Approx => 1,
+            Confidence::Unknown => 4,
+        }
+    }
+
+    /// Decodes the prototype's physical coding.
+    pub fn from_physical_code(code: i64) -> Option<Confidence> {
+        match code {
+            3 => Some(Confidence::Source),
+            2 => Some(Confidence::Exact),
+            1 => Some(Confidence::Approx),
+            4 => Some(Confidence::Unknown),
+            _ => None,
+        }
+    }
+
+    /// The prototype's navigation-help cell colour (§5.2): "white for
+    /// source data, green for exact mapping, yellow for approximated
+    /// mapping and red for impossible cross-point".
+    pub fn colour(self) -> CellColour {
+        match self {
+            Confidence::Source => CellColour::White,
+            Confidence::Exact => CellColour::Green,
+            Confidence::Approx => CellColour::Yellow,
+            Confidence::Unknown => CellColour::Red,
+        }
+    }
+
+    /// All four factors, most reliable first.
+    pub const ALL: [Confidence; 4] = [
+        Confidence::Source,
+        Confidence::Exact,
+        Confidence::Approx,
+        Confidence::Unknown,
+    ];
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Cell background colour used to surface confidence in result grids
+/// (§5.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellColour {
+    /// Source data.
+    White,
+    /// Exact mapping.
+    Green,
+    /// Approximated mapping.
+    Yellow,
+    /// Impossible cross-point / unknown mapping.
+    Red,
+}
+
+impl std::fmt::Display for CellColour {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CellColour::White => "white",
+            CellColour::Green => "green",
+            CellColour::Yellow => "yellow",
+            CellColour::Red => "red",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A user-definable confidence algebra (Definition 6 allows quantitative
+/// factors combined "by a function").
+///
+/// The qualitative [`Confidence`] implements this with the truth-table
+/// meet; [`QuantitativeConfidence`] multiplies reliabilities.
+pub trait ConfidenceAlgebra: Copy {
+    /// The aggregate `⊗cf`.
+    fn combine(self, other: Self) -> Self;
+    /// Identity of `⊗cf` (the confidence of untouched source data).
+    fn source() -> Self;
+}
+
+impl ConfidenceAlgebra for Confidence {
+    fn combine(self, other: Self) -> Self {
+        Confidence::combine(self, other)
+    }
+    fn source() -> Self {
+        Confidence::Source
+    }
+}
+
+/// A quantitative confidence in `[0, 1]` (1 = source data), combined by
+/// multiplication — a standard probabilistic reliability model.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct QuantitativeConfidence(pub f64);
+
+impl QuantitativeConfidence {
+    /// Clamps into `[0, 1]`.
+    pub fn new(v: f64) -> Self {
+        QuantitativeConfidence(v.clamp(0.0, 1.0))
+    }
+}
+
+impl ConfidenceAlgebra for QuantitativeConfidence {
+    fn combine(self, other: Self) -> Self {
+        QuantitativeConfidence(self.0 * other.0)
+    }
+    fn source() -> Self {
+        QuantitativeConfidence(1.0)
+    }
+}
+
+/// User weighting of confidence factors for the global quality factor `Q`
+/// (§5.2): each factor gets a weight in `0..=10`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfidenceWeights {
+    /// Weight of source data.
+    pub source: u8,
+    /// Weight of exactly mapped data.
+    pub exact: u8,
+    /// Weight of approximately mapped data.
+    pub approx: u8,
+    /// Weight of unknown mappings.
+    pub unknown: u8,
+}
+
+impl ConfidenceWeights {
+    /// A reasonable default: source 10, exact 8, approx 5, unknown 0.
+    pub const DEFAULT: ConfidenceWeights = ConfidenceWeights {
+        source: 10,
+        exact: 8,
+        approx: 5,
+        unknown: 0,
+    };
+
+    /// Builds weights, clamping each into `0..=10` as the paper specifies
+    /// ("a weight ranging between 0 (weakest) and 10 (best)").
+    pub fn new(source: u8, exact: u8, approx: u8, unknown: u8) -> Self {
+        ConfidenceWeights {
+            source: source.min(10),
+            exact: exact.min(10),
+            approx: approx.min(10),
+            unknown: unknown.min(10),
+        }
+    }
+
+    /// The weight `pds(cf)` of one factor.
+    pub fn weight(&self, cf: Confidence) -> u8 {
+        match cf {
+            Confidence::Source => self.source,
+            Confidence::Exact => self.exact,
+            Confidence::Approx => self.approx,
+            Confidence::Unknown => self.unknown,
+        }
+    }
+}
+
+impl Default for ConfidenceWeights {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Confidence::*;
+
+    #[test]
+    fn truth_table_matches_paper_example_5() {
+        // Paper Example 5, row by row.
+        let expected = [
+            (Source, Source, Source),
+            (Source, Exact, Exact),
+            (Source, Approx, Approx),
+            (Source, Unknown, Unknown),
+            (Exact, Source, Exact),
+            (Exact, Exact, Exact),
+            (Exact, Approx, Approx),
+            (Exact, Unknown, Unknown),
+            (Approx, Source, Approx),
+            (Approx, Exact, Approx),
+            (Approx, Approx, Approx),
+            (Approx, Unknown, Unknown),
+            (Unknown, Source, Unknown),
+            (Unknown, Exact, Unknown),
+            (Unknown, Approx, Unknown),
+            (Unknown, Unknown, Unknown),
+        ];
+        for (a, b, want) in expected {
+            assert_eq!(a.combine(b), want, "{a} ⊗ {b}");
+        }
+    }
+
+    #[test]
+    fn combine_is_commutative_associative_idempotent() {
+        for a in Confidence::ALL {
+            assert_eq!(a.combine(a), a);
+            for b in Confidence::ALL {
+                assert_eq!(a.combine(b), b.combine(a));
+                for c in Confidence::ALL {
+                    assert_eq!(a.combine(b).combine(c), a.combine(b.combine(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_all_identity_is_source() {
+        assert_eq!(Confidence::combine_all([]), Source);
+        assert_eq!(Confidence::combine_all([Exact, Approx, Source]), Approx);
+    }
+
+    #[test]
+    fn physical_codes_roundtrip() {
+        for cf in Confidence::ALL {
+            assert_eq!(Confidence::from_physical_code(cf.physical_code()), Some(cf));
+        }
+        assert_eq!(Confidence::from_physical_code(0), None);
+        // The paper's exact coding.
+        assert_eq!(Source.physical_code(), 3);
+        assert_eq!(Exact.physical_code(), 2);
+        assert_eq!(Approx.physical_code(), 1);
+        assert_eq!(Unknown.physical_code(), 4);
+    }
+
+    #[test]
+    fn colours_match_prototype() {
+        assert_eq!(Source.colour(), CellColour::White);
+        assert_eq!(Exact.colour(), CellColour::Green);
+        assert_eq!(Approx.colour(), CellColour::Yellow);
+        assert_eq!(Unknown.colour(), CellColour::Red);
+    }
+
+    #[test]
+    fn quantitative_confidence_multiplies() {
+        let a = QuantitativeConfidence::new(0.8);
+        let b = QuantitativeConfidence::new(0.5);
+        assert!((a.combine(b).0 - 0.4).abs() < 1e-12);
+        assert_eq!(QuantitativeConfidence::source().0, 1.0);
+        assert_eq!(QuantitativeConfidence::new(1.5).0, 1.0);
+    }
+
+    #[test]
+    fn weights_clamp_and_lookup() {
+        let w = ConfidenceWeights::new(12, 8, 5, 0);
+        assert_eq!(w.weight(Source), 10);
+        assert_eq!(w.weight(Exact), 8);
+        assert_eq!(w.weight(Approx), 5);
+        assert_eq!(w.weight(Unknown), 0);
+    }
+}

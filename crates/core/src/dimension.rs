@@ -1,0 +1,809 @@
+//! Temporal dimensions (paper Definitions 2 and 3).
+//!
+//! A temporal dimension is a directed graph whose nodes are member
+//! versions and whose arcs are temporal relationships (roll-up links with
+//! valid time). At any instant `t`, the restriction `D(t)` to elements
+//! valid at `t` must be a DAG — enforced incrementally when relationships
+//! are added.
+
+use std::collections::BTreeMap;
+
+use mvolap_temporal::{Granularity, Instant, Interval};
+
+use crate::error::{CoreError, Result};
+use crate::ids::MemberVersionId;
+use crate::member::{MemberVersion, MemberVersionSpec};
+
+/// A *Temporal Relationship* `<Id_from, Id_to, ti, tf>`: an explicit
+/// hierarchical link stating that `child` rolls up into `parent` during
+/// `validity` (paper Definition 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalRelationship {
+    /// The child member version (`Id_from`).
+    pub child: MemberVersionId,
+    /// The parent member version (`Id_to`).
+    pub parent: MemberVersionId,
+    /// Valid time, necessarily included in the intersection of the two
+    /// member versions' valid times.
+    pub validity: Interval,
+}
+
+/// A *Temporal Dimension* `<Did, Dname, D, G>` (paper Definition 3):
+/// a set of member versions plus temporal relationships.
+#[derive(Debug, Clone)]
+pub struct TemporalDimension {
+    name: String,
+    versions: Vec<MemberVersion>,
+    rels: Vec<TemporalRelationship>,
+    /// Per member version: indexes into `rels` where it is the child.
+    up_edges: Vec<Vec<usize>>,
+    /// Per member version: indexes into `rels` where it is the parent.
+    down_edges: Vec<Vec<usize>>,
+}
+
+impl TemporalDimension {
+    /// Creates an empty dimension.
+    pub fn new(name: impl Into<String>) -> Self {
+        TemporalDimension {
+            name: name.into(),
+            versions: Vec::new(),
+            rels: Vec::new(),
+            up_edges: Vec::new(),
+            down_edges: Vec::new(),
+        }
+    }
+
+    /// The dimension name (`Dname`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a member version and returns its allocated id.
+    pub fn add_version(&mut self, spec: MemberVersionSpec, validity: Interval) -> MemberVersionId {
+        let id = MemberVersionId(self.versions.len() as u32);
+        self.versions.push(MemberVersion {
+            id,
+            name: spec.name,
+            attributes: spec.attributes,
+            level: spec.level,
+            validity,
+        });
+        self.up_edges.push(Vec::new());
+        self.down_edges.push(Vec::new());
+        id
+    }
+
+    /// Looks up a member version by id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownMemberVersion`] when the id is out of range.
+    pub fn version(&self, id: MemberVersionId) -> Result<&MemberVersion> {
+        self.versions
+            .get(id.index())
+            .ok_or_else(|| CoreError::UnknownMemberVersion {
+                dimension: self.name.clone(),
+                id,
+            })
+    }
+
+    /// All member versions, in id order.
+    pub fn versions(&self) -> &[MemberVersion] {
+        &self.versions
+    }
+
+    /// All versions carrying the given member name, in id order.
+    pub fn versions_named(&self, name: &str) -> Vec<&MemberVersion> {
+        self.versions.iter().filter(|v| v.name == name).collect()
+    }
+
+    /// The single version named `name` valid at `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownMemberName`] when no version of that name is
+    /// valid at `t`.
+    pub fn version_named_at(&self, name: &str, t: Instant) -> Result<&MemberVersion> {
+        self.versions
+            .iter()
+            .find(|v| v.name == name && v.validity.contains(t))
+            .ok_or_else(|| CoreError::UnknownMemberName {
+                dimension: self.name.clone(),
+                name: name.to_owned(),
+            })
+    }
+
+    /// All temporal relationships.
+    pub fn relationships(&self) -> &[TemporalRelationship] {
+        &self.rels
+    }
+
+    /// Whether member version `id` is valid at `t`.
+    pub fn is_valid_at(&self, id: MemberVersionId, t: Instant) -> bool {
+        self.versions
+            .get(id.index())
+            .map(|v| v.validity.contains(t))
+            .unwrap_or(false)
+    }
+
+    /// Adds a temporal relationship `child → parent` over `validity`.
+    ///
+    /// Validates (per Definitions 2 and 3) that:
+    /// * both endpoints exist and differ;
+    /// * `validity` is included in the intersection of the endpoints'
+    ///   valid times;
+    /// * no overlapping duplicate edge exists;
+    /// * `D(t)` stays acyclic at every instant of `validity`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreError`] variants for each violated rule.
+    pub fn add_relationship(
+        &mut self,
+        child: MemberVersionId,
+        parent: MemberVersionId,
+        validity: Interval,
+    ) -> Result<()> {
+        if child == parent {
+            return Err(CoreError::SelfRelationship(child));
+        }
+        let child_v = self.version(child)?.validity;
+        let parent_v = self.version(parent)?.validity;
+        let allowed = child_v.intersect(parent_v);
+        if allowed.map(|a| a.contains_interval(validity)) != Some(true) {
+            return Err(CoreError::RelationshipOutsideMemberValidity {
+                child,
+                parent,
+                validity,
+            });
+        }
+        for &ri in &self.up_edges[child.index()] {
+            let r = &self.rels[ri];
+            if r.parent == parent && r.validity.overlaps(validity) {
+                return Err(CoreError::DuplicateRelationship { child, parent });
+            }
+        }
+        // DAG check: a cycle appears iff `child` is already reachable
+        // upward from `parent` at some instant of `validity`. Validity of
+        // edges only changes at their boundaries, so testing the critical
+        // instants inside `validity` suffices.
+        for t in self.critical_instants_within(validity) {
+            if self.reaches_upward(parent, child, t) {
+                return Err(CoreError::CycleDetected { child, parent, at: t });
+            }
+        }
+        let idx = self.rels.len();
+        self.rels.push(TemporalRelationship {
+            child,
+            parent,
+            validity,
+        });
+        self.up_edges[child.index()].push(idx);
+        self.down_edges[parent.index()].push(idx);
+        Ok(())
+    }
+
+    /// The instants within `window` at which edge validity can change:
+    /// the window start plus every edge boundary falling inside it.
+    fn critical_instants_within(&self, window: Interval) -> Vec<Instant> {
+        let mut points = vec![window.start()];
+        for r in &self.rels {
+            for p in [r.validity.start(), r.validity.end().succ()] {
+                if window.contains(p) {
+                    points.push(p);
+                }
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+
+    /// Whether `to` is reachable from `from` following parent edges valid
+    /// at `t`.
+    fn reaches_upward(&self, from: MemberVersionId, to: MemberVersionId, t: Instant) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.versions.len()];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[n.index()], true) {
+                continue;
+            }
+            for &ri in &self.up_edges[n.index()] {
+                let r = &self.rels[ri];
+                if r.validity.contains(t) {
+                    stack.push(r.parent);
+                }
+            }
+        }
+        false
+    }
+
+    /// Parents of `id` at instant `t`.
+    pub fn parents_at(&self, id: MemberVersionId, t: Instant) -> Vec<MemberVersionId> {
+        match self.up_edges.get(id.index()) {
+            Some(edges) => edges
+                .iter()
+                .filter(|&&ri| self.rels[ri].validity.contains(t))
+                .map(|&ri| self.rels[ri].parent)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Children of `id` at instant `t`.
+    pub fn children_at(&self, id: MemberVersionId, t: Instant) -> Vec<MemberVersionId> {
+        match self.down_edges.get(id.index()) {
+            Some(edges) => edges
+                .iter()
+                .filter(|&&ri| self.rels[ri].validity.contains(t))
+                .map(|&ri| self.rels[ri].child)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether `id` is a leaf at instant `t` (valid and childless).
+    pub fn is_leaf_at(&self, id: MemberVersionId, t: Instant) -> bool {
+        self.is_valid_at(id, t) && self.children_at(id, t).is_empty()
+    }
+
+    /// The *Leaf Member Versions*: versions with no children at **at
+    /// least one** instant of their validity (paper, after Definition 3).
+    pub fn leaf_versions(&self) -> Vec<MemberVersionId> {
+        self.versions
+            .iter()
+            .filter(|v| self.is_ever_leaf(v.id))
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Whether `id` has no children at some instant of its validity.
+    pub fn is_ever_leaf(&self, id: MemberVersionId) -> bool {
+        let Some(v) = self.versions.get(id.index()) else {
+            return false;
+        };
+        let child_edges: Vec<Interval> = self.down_edges[id.index()]
+            .iter()
+            .filter_map(|&ri| self.rels[ri].validity.intersect(v.validity))
+            .collect();
+        if child_edges.is_empty() {
+            return true;
+        }
+        // Leaf at some instant iff the child edges fail to cover the whole
+        // validity. Probe the critical instants of the validity window.
+        let mut points = vec![v.validity.start(), v.validity.end()];
+        for e in &child_edges {
+            points.push(e.start().pred());
+            points.push(e.end().succ());
+        }
+        points
+            .into_iter()
+            .filter(|&p| v.validity.contains(p))
+            .any(|p| !child_edges.iter().any(|e| e.contains(p)))
+    }
+
+    /// Transitive ancestors of `id` at instant `t` (excluding `id`).
+    pub fn ancestors_at(&self, id: MemberVersionId, t: Instant) -> Vec<MemberVersionId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.versions.len()];
+        let mut stack = self.parents_at(id, t);
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.index()], true) {
+                continue;
+            }
+            out.push(n);
+            stack.extend(self.parents_at(n, t));
+        }
+        out
+    }
+
+    /// Truncates the validity of a member version *and all relationships
+    /// involving it* so they end at `at.pred()` — the semantics of the
+    /// `Exclude` evolution operator (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidExclusion`] when `at` is not after the
+    /// version's validity start.
+    pub fn exclude(&mut self, id: MemberVersionId, at: Instant) -> Result<()> {
+        let v = self.version(id)?;
+        let new_end = at.pred();
+        if new_end < v.validity.start() {
+            return Err(CoreError::InvalidExclusion { id, at });
+        }
+        let validity = v.validity;
+        self.versions[id.index()].validity =
+            validity.truncate_end(new_end).map_err(CoreError::from)?;
+        // Close (or drop) every relationship touching this version.
+        // Removal swaps edges around, so scan by index rather than
+        // snapshotting the adjacency lists.
+        let mut i = 0;
+        while i < self.rels.len() {
+            let r = &self.rels[i];
+            if r.child != id && r.parent != id {
+                i += 1;
+                continue;
+            }
+            let rv = r.validity;
+            if rv.start() > new_end {
+                // The edge lies entirely after the cut: drop it. The
+                // swapped-in edge now occupies `i`; do not advance.
+                self.remove_relationship(i);
+            } else {
+                if rv.end() > new_end {
+                    self.rels[i].validity =
+                        rv.truncate_end(new_end).map_err(CoreError::from)?;
+                }
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a relationship by index (swap-remove), fixing the
+    /// adjacency lists — including the case where the removed edge and
+    /// the swapped-in last edge share an endpoint.
+    fn remove_relationship(&mut self, idx: usize) {
+        let last = self.rels.len() - 1;
+        let removed = self.rels[idx].clone();
+        // Drop the adjacency references to the removed edge first (they
+        // hold the value `idx`).
+        self.up_edges[removed.child.index()].retain(|&ri| ri != idx);
+        self.down_edges[removed.parent.index()].retain(|&ri| ri != idx);
+        self.rels.swap(idx, last);
+        self.rels.pop();
+        if idx != last {
+            // The edge formerly at `last` now lives at `idx`; rewrite its
+            // references (distinct from the removed ones even when the
+            // two edges share endpoint lists, since `last != idx`).
+            let moved = self.rels[idx].clone();
+            for ri in self.up_edges[moved.child.index()].iter_mut() {
+                if *ri == last {
+                    *ri = idx;
+                }
+            }
+            for ri in self.down_edges[moved.parent.index()].iter_mut() {
+                if *ri == last {
+                    *ri = idx;
+                }
+            }
+        }
+    }
+
+    /// Changes the parents of `id` on and after `ti` (the `Reclassify`
+    /// operator, §3.2): relationships to `old_parents` are closed at
+    /// `ti − 1`, relationships to `new_parents` open at `ti` (until `tf`
+    /// or `Now`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint, validity and DAG violations.
+    pub fn reclassify(
+        &mut self,
+        id: MemberVersionId,
+        ti: Instant,
+        tf: Option<Instant>,
+        old_parents: &[MemberVersionId],
+        new_parents: &[MemberVersionId],
+    ) -> Result<()> {
+        self.version(id)?;
+        for &p in old_parents {
+            self.version(p)?;
+        }
+        // Scan by index: removal swap-relocates edges.
+        let mut i = 0;
+        while i < self.rels.len() {
+            let r = &self.rels[i];
+            let affected =
+                r.child == id && old_parents.contains(&r.parent) && r.validity.end() >= ti;
+            if !affected {
+                i += 1;
+                continue;
+            }
+            let rv = r.validity;
+            if rv.start() >= ti {
+                self.remove_relationship(i); // swapped-in edge now at `i`
+            } else {
+                self.rels[i].validity =
+                    rv.truncate_end(ti.pred()).map_err(CoreError::from)?;
+                i += 1;
+            }
+        }
+        let end = tf.unwrap_or(Instant::FOREVER);
+        for &p in new_parents {
+            self.add_relationship(id, p, Interval::new(ti, end).map_err(CoreError::from)?)?;
+        }
+        Ok(())
+    }
+
+    /// The restriction `D(t)`: a snapshot of the dimension at instant `t`.
+    pub fn snapshot(&self, t: Instant) -> DimensionSnapshot<'_> {
+        let members: Vec<MemberVersionId> = self
+            .versions
+            .iter()
+            .filter(|v| v.validity.contains(t))
+            .map(|v| v.id)
+            .collect();
+        DimensionSnapshot {
+            dimension: self,
+            at: t,
+            members,
+        }
+    }
+
+    /// Renders the dimension as a GraphViz DOT digraph, in the style of
+    /// paper Figure 2: nodes carry name and validity, edges carry their
+    /// validity.
+    pub fn to_dot(&self, granularity: Granularity) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n", self.name));
+        out.push_str("  rankdir=BT;\n  node [shape=box];\n");
+        for v in &self.versions {
+            out.push_str(&format!(
+                "  mv{} [label=\"{}\\n[{} ; {}]\"];\n",
+                v.id.0,
+                v.name,
+                v.validity.start().display(granularity),
+                v.validity.end().display(granularity)
+            ));
+        }
+        for r in &self.rels {
+            out.push_str(&format!(
+                "  mv{} -> mv{} [label=\"[{} ; {}]\"];\n",
+                r.child.0,
+                r.parent.0,
+                r.validity.start().display(granularity),
+                r.validity.end().display(granularity)
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Every validity interval in the dimension (member versions first,
+    /// then relationships) — the raw input of structure-version inference.
+    pub fn validity_intervals(&self) -> Vec<Interval> {
+        let mut out: Vec<Interval> = self.versions.iter().map(|v| v.validity).collect();
+        out.extend(self.rels.iter().map(|r| r.validity));
+        out
+    }
+}
+
+/// The DAG `D(t)` — the restriction of a dimension to one instant.
+#[derive(Debug, Clone)]
+pub struct DimensionSnapshot<'a> {
+    dimension: &'a TemporalDimension,
+    at: Instant,
+    members: Vec<MemberVersionId>,
+}
+
+impl<'a> DimensionSnapshot<'a> {
+    /// The snapshot instant.
+    pub fn at(&self) -> Instant {
+        self.at
+    }
+
+    /// Member versions valid at the snapshot instant, in id order.
+    pub fn members(&self) -> &[MemberVersionId] {
+        &self.members
+    }
+
+    /// Members with no valid parents: the top of the hierarchy.
+    pub fn roots(&self) -> Vec<MemberVersionId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&id| self.dimension.parents_at(id, self.at).is_empty())
+            .collect()
+    }
+
+    /// Members with no valid children: the bottom of the hierarchy.
+    pub fn leaves(&self) -> Vec<MemberVersionId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&id| self.dimension.children_at(id, self.at).is_empty())
+            .collect()
+    }
+
+    /// Depth of every valid member: roots have depth 0; any other node is
+    /// one more than its deepest parent (longest path from a root). This
+    /// is the "same depth in the DAG of D(t)" notion of Definition 4.
+    pub fn depths(&self) -> BTreeMap<MemberVersionId, usize> {
+        // Kahn-style longest-path computation over the valid sub-DAG.
+        let mut indegree: BTreeMap<MemberVersionId, usize> = BTreeMap::new();
+        for &id in &self.members {
+            indegree.insert(id, self.dimension.parents_at(id, self.at).len());
+        }
+        let mut depth: BTreeMap<MemberVersionId, usize> = BTreeMap::new();
+        let mut queue: Vec<MemberVersionId> = indegree
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        for &r in &queue {
+            depth.insert(r, 0);
+        }
+        while let Some(n) = queue.pop() {
+            let d = depth[&n];
+            for c in self.dimension.children_at(n, self.at) {
+                let e = depth.entry(c).or_insert(0);
+                *e = (*e).max(d + 1);
+                let remaining = indegree.get_mut(&c).expect("valid child");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org() -> (TemporalDimension, Vec<MemberVersionId>) {
+        // The paper's Org dimension after the 2003 split of Dpt.Jones.
+        let mut d = TemporalDimension::new("Org");
+        let sales = d.add_version(
+            MemberVersionSpec::named("Sales").at_level("Division"),
+            Interval::since(Instant::ym(2001, 1)),
+        );
+        let jones = d.add_version(
+            MemberVersionSpec::named("Dpt.Jones").at_level("Department"),
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+        );
+        let bill = d.add_version(
+            MemberVersionSpec::named("Dpt.Bill").at_level("Department"),
+            Interval::since(Instant::ym(2003, 1)),
+        );
+        let paul = d.add_version(
+            MemberVersionSpec::named("Dpt.Paul").at_level("Department"),
+            Interval::since(Instant::ym(2003, 1)),
+        );
+        d.add_relationship(jones, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)))
+            .unwrap();
+        d.add_relationship(bill, sales, Interval::since(Instant::ym(2003, 1)))
+            .unwrap();
+        d.add_relationship(paul, sales, Interval::since(Instant::ym(2003, 1)))
+            .unwrap();
+        (d, vec![sales, jones, bill, paul])
+    }
+
+    #[test]
+    fn parents_and_children_respect_time() {
+        let (d, ids) = org();
+        let (sales, jones, bill, _paul) = (ids[0], ids[1], ids[2], ids[3]);
+        assert_eq!(d.parents_at(jones, Instant::ym(2001, 6)), vec![sales]);
+        assert!(d.parents_at(jones, Instant::ym(2003, 1)).is_empty());
+        let kids_2001 = d.children_at(sales, Instant::ym(2001, 6));
+        assert_eq!(kids_2001, vec![jones]);
+        let kids_2003 = d.children_at(sales, Instant::ym(2003, 6));
+        assert_eq!(kids_2003.len(), 2);
+        assert!(kids_2003.contains(&bill));
+    }
+
+    #[test]
+    fn relationship_validity_must_be_within_member_intersection() {
+        let (mut d, ids) = org();
+        let (sales, jones) = (ids[0], ids[1]);
+        // Jones ends 12/2002; an edge into 2003 is invalid.
+        let err = d
+            .add_relationship(jones, sales, Interval::since(Instant::ym(2001, 1)))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::RelationshipOutsideMemberValidity { .. }));
+    }
+
+    #[test]
+    fn duplicate_overlapping_edge_rejected() {
+        let (mut d, ids) = org();
+        let (sales, bill) = (ids[0], ids[2]);
+        let err = d
+            .add_relationship(bill, sales, Interval::since(Instant::ym(2004, 1)))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateRelationship { .. }));
+    }
+
+    #[test]
+    fn self_relationship_rejected() {
+        let (mut d, ids) = org();
+        assert!(matches!(
+            d.add_relationship(ids[0], ids[0], Interval::ALL_TIME),
+            Err(CoreError::SelfRelationship(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_detected_at_any_instant() {
+        let mut d = TemporalDimension::new("C");
+        let all = Interval::since(Instant::ym(2001, 1));
+        let a = d.add_version(MemberVersionSpec::named("A"), all);
+        let b = d.add_version(MemberVersionSpec::named("B"), all);
+        let c = d.add_version(MemberVersionSpec::named("C"), all);
+        d.add_relationship(a, b, all).unwrap();
+        d.add_relationship(b, c, all).unwrap();
+        let err = d.add_relationship(c, a, all).unwrap_err();
+        assert!(matches!(err, CoreError::CycleDetected { .. }));
+        // A cycle confined to a sub-interval is also caught.
+        let late = Interval::since(Instant::ym(2005, 1));
+        let err = d.add_relationship(c, a, late).unwrap_err();
+        assert!(matches!(err, CoreError::CycleDetected { .. }));
+    }
+
+    #[test]
+    fn time_disjoint_edges_do_not_form_cycles() {
+        // a->b in 2001, b->a in 2002: never simultaneous, so allowed.
+        let mut d = TemporalDimension::new("C");
+        let all = Interval::since(Instant::ym(2001, 1));
+        let a = d.add_version(MemberVersionSpec::named("A"), all);
+        let b = d.add_version(MemberVersionSpec::named("B"), all);
+        d.add_relationship(a, b, Interval::years(2001, 2001)).unwrap();
+        d.add_relationship(b, a, Interval::years(2002, 2002)).unwrap();
+    }
+
+    #[test]
+    fn leaf_versions_follow_paper_definition() {
+        let (d, ids) = org();
+        let leaves = d.leaf_versions();
+        // Departments are always leaves; Sales always has children
+        // (Jones through 12/2002, Bill/Paul from 01/2003) => not a leaf.
+        assert!(leaves.contains(&ids[1]));
+        assert!(leaves.contains(&ids[2]));
+        assert!(leaves.contains(&ids[3]));
+        assert!(!leaves.contains(&ids[0]));
+    }
+
+    #[test]
+    fn parent_with_child_gap_is_sometimes_leaf() {
+        let mut d = TemporalDimension::new("G");
+        let p = d.add_version(MemberVersionSpec::named("P"), Interval::years(2001, 2003));
+        let c = d.add_version(MemberVersionSpec::named("C"), Interval::years(2001, 2001));
+        d.add_relationship(c, p, Interval::years(2001, 2001)).unwrap();
+        // P has no children during 2002-2003, so it is a leaf version.
+        assert!(d.is_ever_leaf(p));
+        assert!(d.is_leaf_at(p, Instant::ym(2002, 6)));
+        assert!(!d.is_leaf_at(p, Instant::ym(2001, 6)));
+    }
+
+    #[test]
+    fn snapshot_roots_leaves_depths() {
+        let (d, ids) = org();
+        let snap = d.snapshot(Instant::ym(2003, 6));
+        assert_eq!(snap.roots(), vec![ids[0]]);
+        let leaves = snap.leaves();
+        assert_eq!(leaves.len(), 2);
+        let depths = snap.depths();
+        assert_eq!(depths[&ids[0]], 0);
+        assert_eq!(depths[&ids[2]], 1);
+        // Jones is not valid in 2003.
+        assert!(!depths.contains_key(&ids[1]));
+    }
+
+    #[test]
+    fn exclude_truncates_member_and_edges() {
+        let (mut d, ids) = org();
+        let bill = ids[2];
+        d.exclude(bill, Instant::ym(2005, 1)).unwrap();
+        assert_eq!(d.version(bill).unwrap().validity.end(), Instant::ym(2004, 12));
+        assert!(d.parents_at(bill, Instant::ym(2004, 6)).len() == 1);
+        assert!(d.parents_at(bill, Instant::ym(2005, 1)).is_empty());
+        // Excluding before the start is invalid.
+        assert!(matches!(
+            d.exclude(bill, Instant::ym(2003, 1)),
+            Err(CoreError::InvalidExclusion { .. })
+        ));
+    }
+
+    #[test]
+    fn exclude_drops_edges_entirely_after_cut() {
+        let mut d = TemporalDimension::new("E");
+        let p = d.add_version(MemberVersionSpec::named("P"), Interval::years(2001, 2005));
+        let c = d.add_version(MemberVersionSpec::named("C"), Interval::years(2001, 2005));
+        d.add_relationship(c, p, Interval::years(2004, 2005)).unwrap();
+        d.exclude(c, Instant::ym(2003, 1)).unwrap();
+        assert!(d.relationships().is_empty());
+    }
+
+    #[test]
+    fn exclude_with_shared_endpoint_edges_keeps_adjacency_consistent() {
+        // Regression: swap-removing an edge whose swapped-in replacement
+        // shares an endpoint must not corrupt the adjacency lists.
+        let mut d = TemporalDimension::new("R");
+        let p = d.add_version(MemberVersionSpec::named("P"), Interval::years(2001, 2010));
+        let a = d.add_version(MemberVersionSpec::named("A"), Interval::years(2005, 2010));
+        let b = d.add_version(MemberVersionSpec::named("B"), Interval::years(2001, 2010));
+        // Two future edges out of the same child `b` plus one from `a`,
+        // so removals hit overlapping adjacency lists.
+        let q = d.add_version(MemberVersionSpec::named("Q"), Interval::years(2001, 2010));
+        d.add_relationship(a, p, Interval::years(2005, 2010)).unwrap();
+        d.add_relationship(b, p, Interval::years(2006, 2010)).unwrap();
+        d.add_relationship(b, q, Interval::years(2007, 2010)).unwrap();
+        // Exclude P at 2004: both edges into P vanish (they start later),
+        // b->q must survive untouched.
+        d.exclude(p, Instant::ym(2004, 1)).unwrap();
+        assert_eq!(d.relationships().len(), 1);
+        assert_eq!(d.parents_at(b, Instant::ym(2008, 1)), vec![q]);
+        assert!(d.parents_at(a, Instant::ym(2008, 1)).is_empty());
+        // Depth computation still terminates and is consistent.
+        let depths = d.snapshot(Instant::ym(2008, 1)).depths();
+        assert_eq!(depths[&b], 1);
+        assert_eq!(depths[&q], 0);
+    }
+
+    #[test]
+    fn reclassify_moves_member_between_parents() {
+        // The paper's first motivating evolution: Smith's department moves
+        // from Sales to R&D in 2002.
+        let mut d = TemporalDimension::new("Org");
+        let since01 = Interval::since(Instant::ym(2001, 1));
+        let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), since01);
+        let rnd = d.add_version(MemberVersionSpec::named("R&D").at_level("Division"), since01);
+        let smith =
+            d.add_version(MemberVersionSpec::named("Dpt.Smith").at_level("Department"), since01);
+        d.add_relationship(smith, sales, since01).unwrap();
+        d.reclassify(smith, Instant::ym(2002, 1), None, &[sales], &[rnd])
+            .unwrap();
+        assert_eq!(d.parents_at(smith, Instant::ym(2001, 6)), vec![sales]);
+        assert_eq!(d.parents_at(smith, Instant::ym(2002, 6)), vec![rnd]);
+        // The old edge closed exactly at 12/2001.
+        let old_edge = d
+            .relationships()
+            .iter()
+            .find(|r| r.parent == sales)
+            .unwrap();
+        assert_eq!(old_edge.validity.end(), Instant::ym(2001, 12));
+    }
+
+    #[test]
+    fn reclassify_removes_future_only_edges() {
+        let mut d = TemporalDimension::new("Org");
+        let all = Interval::since(Instant::ym(2001, 1));
+        let p1 = d.add_version(MemberVersionSpec::named("P1"), all);
+        let p2 = d.add_version(MemberVersionSpec::named("P2"), all);
+        let m = d.add_version(MemberVersionSpec::named("M"), all);
+        d.add_relationship(m, p1, Interval::since(Instant::ym(2004, 1))).unwrap();
+        // Reclassifying at 2002 removes the 2004 edge entirely.
+        d.reclassify(m, Instant::ym(2002, 1), None, &[p1], &[p2]).unwrap();
+        assert!(d.parents_at(m, Instant::ym(2004, 6)) == vec![p2]);
+    }
+
+    #[test]
+    fn dot_rendering_mentions_nodes_and_edges() {
+        let (d, _) = org();
+        let dot = d.to_dot(Granularity::Month);
+        assert!(dot.contains("digraph \"Org\""));
+        assert!(dot.contains("Dpt.Jones"));
+        assert!(dot.contains("[01/2001 ; 12/2002]"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn multiple_hierarchies_supported() {
+        // A department reporting to two divisions at once (multi-parent),
+        // which the paper's graph model explicitly allows.
+        let mut d = TemporalDimension::new("M");
+        let all = Interval::since(Instant::ym(2001, 1));
+        let a = d.add_version(MemberVersionSpec::named("DivA"), all);
+        let b = d.add_version(MemberVersionSpec::named("DivB"), all);
+        let m = d.add_version(MemberVersionSpec::named("Dept"), all);
+        d.add_relationship(m, a, all).unwrap();
+        d.add_relationship(m, b, all).unwrap();
+        assert_eq!(d.parents_at(m, Instant::ym(2001, 1)).len(), 2);
+    }
+
+    #[test]
+    fn version_named_at_picks_the_valid_version() {
+        let mut d = TemporalDimension::new("N");
+        let v1 = d.add_version(MemberVersionSpec::named("X"), Interval::years(2001, 2001));
+        let v2 = d.add_version(MemberVersionSpec::named("X"), Interval::years(2002, 2002));
+        assert_eq!(d.version_named_at("X", Instant::ym(2001, 5)).unwrap().id, v1);
+        assert_eq!(d.version_named_at("X", Instant::ym(2002, 5)).unwrap().id, v2);
+        assert!(d.version_named_at("X", Instant::ym(2003, 1)).is_err());
+        assert_eq!(d.versions_named("X").len(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Core model errors.
+
+use mvolap_temporal::{Instant, Interval, TemporalError};
+
+use crate::ids::{DimensionId, MeasureId, MemberVersionId};
+
+/// Errors raised by the temporal multidimensional model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying temporal algebra error.
+    Temporal(TemporalError),
+    /// A member version id did not resolve.
+    UnknownMemberVersion {
+        /// Dimension searched.
+        dimension: String,
+        /// The unresolved id.
+        id: MemberVersionId,
+    },
+    /// A member-version name did not resolve.
+    UnknownMemberName {
+        /// Dimension searched.
+        dimension: String,
+        /// The unresolved name.
+        name: String,
+    },
+    /// A dimension id did not resolve.
+    UnknownDimension(DimensionId),
+    /// A dimension name did not resolve.
+    UnknownDimensionName(String),
+    /// A measure id did not resolve.
+    UnknownMeasure(MeasureId),
+    /// A measure name did not resolve.
+    UnknownMeasureName(String),
+    /// A relationship's valid time is not included in the intersection of
+    /// the valid times of both member versions (paper Definition 2).
+    RelationshipOutsideMemberValidity {
+        /// Child member version.
+        child: MemberVersionId,
+        /// Parent member version.
+        parent: MemberVersionId,
+        /// The offending relationship validity.
+        validity: Interval,
+    },
+    /// Adding the relationship would create a cycle at some instant,
+    /// violating the DAG requirement of Definition 3.
+    CycleDetected {
+        /// Child member version.
+        child: MemberVersionId,
+        /// Parent member version.
+        parent: MemberVersionId,
+        /// An instant at which the cycle would exist.
+        at: Instant,
+    },
+    /// A relationship would duplicate an existing overlapping edge.
+    DuplicateRelationship {
+        /// Child member version.
+        child: MemberVersionId,
+        /// Parent member version.
+        parent: MemberVersionId,
+    },
+    /// A self-loop relationship was requested.
+    SelfRelationship(MemberVersionId),
+    /// A fact row's coordinate arity does not match the schema.
+    CoordinateArityMismatch {
+        /// Dimensions in the schema.
+        expected: usize,
+        /// Coordinates supplied.
+        actual: usize,
+    },
+    /// A fact row's measure arity does not match the schema.
+    MeasureArityMismatch {
+        /// Measures in the schema.
+        expected: usize,
+        /// Values supplied.
+        actual: usize,
+    },
+    /// A fact coordinate is not valid at the fact's time.
+    CoordinateNotValid {
+        /// Dimension of the offending coordinate.
+        dimension: String,
+        /// The coordinate.
+        id: MemberVersionId,
+        /// The fact time.
+        at: Instant,
+    },
+    /// A fact coordinate is not a leaf member version.
+    CoordinateNotLeaf {
+        /// Dimension of the offending coordinate.
+        dimension: String,
+        /// The coordinate.
+        id: MemberVersionId,
+    },
+    /// A mapping relationship's measure arity does not match the schema.
+    MappingArityMismatch {
+        /// Measures in the schema.
+        expected: usize,
+        /// Mapping pairs supplied.
+        actual: usize,
+    },
+    /// A mapping relationship endpoint is not a leaf member version
+    /// (Definition 7: mappings are only relevant for leaves).
+    MappingEndpointNotLeaf(MemberVersionId),
+    /// A mapping between identical endpoints was requested.
+    MappingSelfLoop(MemberVersionId),
+    /// A structure version id did not resolve.
+    UnknownStructureVersion(usize),
+    /// No structure version covers the given instant.
+    NoStructureVersionAt(Instant),
+    /// A member version is immutable in the requested way (e.g. excluding
+    /// before its start).
+    InvalidExclusion {
+        /// The member version.
+        id: MemberVersionId,
+        /// The requested exclusion instant.
+        at: Instant,
+    },
+    /// An evolution operation's preconditions failed.
+    InvalidEvolution(String),
+    /// Level lookup failed.
+    UnknownLevel {
+        /// Dimension searched.
+        dimension: String,
+        /// Requested level.
+        level: String,
+    },
+    /// Storage-layer failure during logical export.
+    Storage(String),
+}
+
+impl From<TemporalError> for CoreError {
+    fn from(e: TemporalError) -> Self {
+        CoreError::Temporal(e)
+    }
+}
+
+impl From<mvolap_storage::StorageError> for CoreError {
+    fn from(e: mvolap_storage::StorageError) -> Self {
+        CoreError::Storage(e.to_string())
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use CoreError::*;
+        match self {
+            Temporal(e) => write!(f, "temporal error: {e}"),
+            UnknownMemberVersion { dimension, id } => {
+                write!(f, "unknown member version {id:?} in dimension `{dimension}`")
+            }
+            UnknownMemberName { dimension, name } => {
+                write!(f, "unknown member `{name}` in dimension `{dimension}`")
+            }
+            UnknownDimension(id) => write!(f, "unknown dimension {id:?}"),
+            UnknownDimensionName(name) => write!(f, "unknown dimension `{name}`"),
+            UnknownMeasure(id) => write!(f, "unknown measure {id:?}"),
+            UnknownMeasureName(name) => write!(f, "unknown measure `{name}`"),
+            RelationshipOutsideMemberValidity { child, parent, validity } => write!(
+                f,
+                "relationship {child:?}->{parent:?} validity {validity} exceeds the intersection of member validities"
+            ),
+            CycleDetected { child, parent, at } => write!(
+                f,
+                "relationship {child:?}->{parent:?} would create a cycle at {at}"
+            ),
+            DuplicateRelationship { child, parent } => {
+                write!(f, "overlapping duplicate relationship {child:?}->{parent:?}")
+            }
+            SelfRelationship(id) => write!(f, "self relationship on {id:?}"),
+            CoordinateArityMismatch { expected, actual } => {
+                write!(f, "fact has {actual} coordinates, schema has {expected} dimensions")
+            }
+            MeasureArityMismatch { expected, actual } => {
+                write!(f, "fact has {actual} measures, schema has {expected}")
+            }
+            CoordinateNotValid { dimension, id, at } => {
+                write!(f, "coordinate {id:?} of `{dimension}` is not valid at {at}")
+            }
+            CoordinateNotLeaf { dimension, id } => {
+                write!(f, "coordinate {id:?} of `{dimension}` is not a leaf member version")
+            }
+            MappingArityMismatch { expected, actual } => {
+                write!(f, "mapping has {actual} measure functions, schema has {expected} measures")
+            }
+            MappingEndpointNotLeaf(id) => {
+                write!(f, "mapping endpoint {id:?} is not a leaf member version")
+            }
+            MappingSelfLoop(id) => write!(f, "mapping from {id:?} to itself"),
+            UnknownStructureVersion(i) => write!(f, "unknown structure version VS{i}"),
+            NoStructureVersionAt(t) => write!(f, "no structure version covers {t}"),
+            InvalidExclusion { id, at } => {
+                write!(f, "cannot exclude {id:?} at {at}: before its validity start")
+            }
+            InvalidEvolution(msg) => write!(f, "invalid evolution operation: {msg}"),
+            UnknownLevel { dimension, level } => {
+                write!(f, "unknown level `{level}` in dimension `{dimension}`")
+            }
+            Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,63 @@
+//! Typed identifiers.
+//!
+//! Small `u32` newtypes keep fact coordinates compact (a fact row is a
+//! handful of `u32`s plus a time and measures) and make it impossible to
+//! confuse a dimension id with a member-version id at compile time.
+
+/// Identifier of a member version, unique within its dimension
+/// (`MVid` in paper Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemberVersionId(pub u32);
+
+/// Identifier of a temporal dimension within a schema
+/// (`Did` in paper Definition 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimensionId(pub u32);
+
+/// Identifier of a measure within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MeasureId(pub u16);
+
+/// Identifier of an inferred structure version (`VSid` in Definition 9).
+///
+/// Structure versions are numbered chronologically from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StructureVersionId(pub u32);
+
+impl MemberVersionId {
+    /// Index form for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DimensionId {
+    /// Index form for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MeasureId {
+    /// Index form for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StructureVersionId {
+    /// Index form for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StructureVersionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VS{}", self.0)
+    }
+}

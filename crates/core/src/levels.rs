@@ -1,0 +1,291 @@
+//! Levels in a dimension (paper Definition 4).
+//!
+//! Levels are *derived* from the instances, never declared up front:
+//! either as equivalence classes of the explicit `Level` field (when every
+//! valid member version carries one), or as depth classes in the DAG
+//! `D(t)`. This is the paper's "bottom-up" schema approach (§2.3), which
+//! is what lets one model handle non-onto, non-covering and multiple
+//! hierarchies, and lets schema evolution reduce to instance evolution.
+
+use mvolap_temporal::Instant;
+
+use crate::dimension::TemporalDimension;
+use crate::error::{CoreError, Result};
+use crate::ids::MemberVersionId;
+
+/// One level of a dimension at a given instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Level {
+    /// Level name: the explicit `Level` field value, or `"L<depth>"` for
+    /// depth-derived levels.
+    pub name: String,
+    /// Member versions in this level, in id order.
+    pub members: Vec<MemberVersionId>,
+}
+
+/// How the levels of a dimension were derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelDerivation {
+    /// Every valid member version carries an explicit level tag.
+    Explicit,
+    /// At least one version lacks a tag; levels are DAG depths.
+    Depth,
+}
+
+/// Computes the levels of `dimension` at instant `t`.
+///
+/// Returns the derivation used plus the levels ordered top-down (smaller
+/// depth / closer to the roots first). For explicit levels, the order is
+/// the minimum DAG depth of each class, which reconstructs the
+/// hierarchical order without any declared schema.
+pub fn levels_at(dimension: &TemporalDimension, t: Instant) -> (LevelDerivation, Vec<Level>) {
+    let snap = dimension.snapshot(t);
+    let depths = snap.depths();
+    let explicit = snap.members().iter().all(|&id| {
+        dimension
+            .version(id)
+            .map(|v| v.level.is_some())
+            .unwrap_or(false)
+    }) && !snap.members().is_empty();
+
+    if explicit {
+        // Group by the level tag, ordered by minimum depth of the class.
+        let mut classes: Vec<(String, Vec<MemberVersionId>, usize)> = Vec::new();
+        for &id in snap.members() {
+            let tag = dimension
+                .version(id)
+                .expect("snapshot member exists")
+                .level
+                .clone()
+                .expect("explicit derivation checked");
+            let d = depths.get(&id).copied().unwrap_or(0);
+            match classes.iter_mut().find(|(name, ..)| *name == tag) {
+                Some((_, members, min_d)) => {
+                    members.push(id);
+                    *min_d = (*min_d).min(d);
+                }
+                None => classes.push((tag, vec![id], d)),
+            }
+        }
+        classes.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        (
+            LevelDerivation::Explicit,
+            classes
+                .into_iter()
+                .map(|(name, members, _)| Level { name, members })
+                .collect(),
+        )
+    } else {
+        let max_depth = depths.values().copied().max().unwrap_or(0);
+        let mut levels: Vec<Level> = (0..=max_depth)
+            .map(|d| Level {
+                name: format!("L{d}"),
+                members: Vec::new(),
+            })
+            .collect();
+        for (&id, &d) in &depths {
+            levels[d].members.push(id);
+        }
+        levels.retain(|l| !l.members.is_empty());
+        if snap.members().is_empty() {
+            levels.clear();
+        }
+        (LevelDerivation::Depth, levels)
+    }
+}
+
+/// All level names a dimension exhibits over its whole history, ordered
+/// top-down by first appearance. Probes the structure at every validity
+/// boundary, so levels that exist only during part of history are
+/// included.
+pub fn all_level_names(dimension: &TemporalDimension) -> Vec<String> {
+    let mut points: Vec<Instant> = dimension
+        .validity_intervals()
+        .into_iter()
+        .map(|iv| iv.start())
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut names: Vec<String> = Vec::new();
+    for t in points {
+        let (_, levels) = levels_at(dimension, t);
+        for l in levels {
+            if !names.contains(&l.name) {
+                names.push(l.name);
+            }
+        }
+    }
+    names
+}
+
+/// The level name of one member version at `t`.
+pub fn level_of(dimension: &TemporalDimension, id: MemberVersionId, t: Instant) -> Option<String> {
+    let (_, levels) = levels_at(dimension, t);
+    levels
+        .into_iter()
+        .find(|l| l.members.contains(&id))
+        .map(|l| l.name)
+}
+
+/// The ancestors of `leaf` that belong to level `level` at instant `t`.
+///
+/// With multiple hierarchies a leaf may have several ancestors at one
+/// level; with non-covering hierarchies it may have none. A leaf asked
+/// about its own level maps to itself.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownLevel`] when the level does not exist at `t`.
+pub fn ancestors_at_level(
+    dimension: &TemporalDimension,
+    leaf: MemberVersionId,
+    level: &str,
+    t: Instant,
+) -> Result<Vec<MemberVersionId>> {
+    let (_, levels) = levels_at(dimension, t);
+    let target = levels
+        .iter()
+        .find(|l| l.name == level)
+        .ok_or_else(|| CoreError::UnknownLevel {
+            dimension: dimension.name().to_owned(),
+            level: level.to_owned(),
+        })?;
+    if target.members.contains(&leaf) {
+        return Ok(vec![leaf]);
+    }
+    let mut out: Vec<MemberVersionId> = dimension
+        .ancestors_at(leaf, t)
+        .into_iter()
+        .filter(|a| target.members.contains(a))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::MemberVersionSpec;
+    use mvolap_temporal::Interval;
+
+    fn tagged_org() -> TemporalDimension {
+        let mut d = TemporalDimension::new("Org");
+        let all = Interval::since(Instant::ym(2001, 1));
+        let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), all);
+        let rnd = d.add_version(MemberVersionSpec::named("R&D").at_level("Division"), all);
+        let jones =
+            d.add_version(MemberVersionSpec::named("Dpt.Jones").at_level("Department"), all);
+        let brian =
+            d.add_version(MemberVersionSpec::named("Dpt.Brian").at_level("Department"), all);
+        d.add_relationship(jones, sales, all).unwrap();
+        d.add_relationship(brian, rnd, all).unwrap();
+        d
+    }
+
+    #[test]
+    fn explicit_levels_match_example_4() {
+        let d = tagged_org();
+        let (derivation, levels) = levels_at(&d, Instant::ym(2001, 6));
+        assert_eq!(derivation, LevelDerivation::Explicit);
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].name, "Division");
+        assert_eq!(levels[0].members.len(), 2);
+        assert_eq!(levels[1].name, "Department");
+        assert_eq!(levels[1].members.len(), 2);
+    }
+
+    #[test]
+    fn depth_levels_when_tags_missing() {
+        let mut d = TemporalDimension::new("Untagged");
+        let all = Interval::since(Instant::ym(2001, 1));
+        let top = d.add_version(MemberVersionSpec::named("Top"), all);
+        let mid = d.add_version(MemberVersionSpec::named("Mid"), all);
+        let bot = d.add_version(MemberVersionSpec::named("Bot"), all);
+        d.add_relationship(mid, top, all).unwrap();
+        d.add_relationship(bot, mid, all).unwrap();
+        let (derivation, levels) = levels_at(&d, Instant::ym(2001, 6));
+        assert_eq!(derivation, LevelDerivation::Depth);
+        let names: Vec<&str> = levels.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["L0", "L1", "L2"]);
+        assert_eq!(levels[0].members, vec![top]);
+        assert_eq!(levels[2].members, vec![bot]);
+    }
+
+    #[test]
+    fn levels_evolve_over_time() {
+        // A level disappears when all its members are excluded — the
+        // paper's point that schema evolution reduces to instance
+        // evolution.
+        let mut d = TemporalDimension::new("Org");
+        let early = Interval::years(2001, 2001);
+        let all = Interval::since(Instant::ym(2001, 1));
+        let div = d.add_version(MemberVersionSpec::named("Div").at_level("Division"), all);
+        let dept = d.add_version(MemberVersionSpec::named("Dept").at_level("Department"), early);
+        d.add_relationship(dept, div, early).unwrap();
+        let (_, in_2001) = levels_at(&d, Instant::ym(2001, 6));
+        assert_eq!(in_2001.len(), 2);
+        let (_, in_2002) = levels_at(&d, Instant::ym(2002, 6));
+        assert_eq!(in_2002.len(), 1);
+        assert_eq!(in_2002[0].name, "Division");
+    }
+
+    #[test]
+    fn level_of_member() {
+        let d = tagged_org();
+        let jones = d.version_named_at("Dpt.Jones", Instant::ym(2001, 6)).unwrap().id;
+        assert_eq!(
+            level_of(&d, jones, Instant::ym(2001, 6)).as_deref(),
+            Some("Department")
+        );
+    }
+
+    #[test]
+    fn ancestors_at_level_rolls_up() {
+        let d = tagged_org();
+        let t = Instant::ym(2001, 6);
+        let jones = d.version_named_at("Dpt.Jones", t).unwrap().id;
+        let sales = d.version_named_at("Sales", t).unwrap().id;
+        assert_eq!(ancestors_at_level(&d, jones, "Division", t).unwrap(), vec![sales]);
+        // Leaf at its own level maps to itself.
+        assert_eq!(ancestors_at_level(&d, jones, "Department", t).unwrap(), vec![jones]);
+        assert!(ancestors_at_level(&d, jones, "Galaxy", t).is_err());
+    }
+
+    #[test]
+    fn non_covering_hierarchy_yields_empty_ancestors() {
+        // A department directly under no division at t: non-covering.
+        let mut d = TemporalDimension::new("Org");
+        let all = Interval::since(Instant::ym(2001, 1));
+        d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), all);
+        let orphan =
+            d.add_version(MemberVersionSpec::named("Dpt.Lone").at_level("Department"), all);
+        let t = Instant::ym(2001, 6);
+        assert_eq!(
+            ancestors_at_level(&d, orphan, "Division", t).unwrap(),
+            Vec::<MemberVersionId>::new()
+        );
+    }
+
+    #[test]
+    fn all_level_names_covers_history() {
+        // A Team level that only exists in 2001 is still reported.
+        let mut d = TemporalDimension::new("Org");
+        let all = Interval::since(Instant::ym(2001, 1));
+        let early = Interval::years(2001, 2001);
+        let div = d.add_version(MemberVersionSpec::named("Div").at_level("Division"), all);
+        let dept = d.add_version(MemberVersionSpec::named("Dept").at_level("Department"), all);
+        let team = d.add_version(MemberVersionSpec::named("Team1").at_level("Team"), early);
+        d.add_relationship(dept, div, all).unwrap();
+        d.add_relationship(team, dept, early).unwrap();
+        assert_eq!(all_level_names(&d), vec!["Division", "Department", "Team"]);
+    }
+
+    #[test]
+    fn empty_dimension_has_no_levels() {
+        let d = TemporalDimension::new("Empty");
+        let (derivation, levels) = levels_at(&d, Instant::ym(2001, 1));
+        assert_eq!(derivation, LevelDerivation::Depth);
+        assert!(levels.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! # mvolap-core
+//!
+//! The temporal multidimensional model of *Body, Miquel, Bédard &
+//! Tchounikine, "Handling Evolutions in Multidimensional Structures",
+//! IEEE ICDE 2003* — a multiversion OLAP model in which dimension
+//! instances carry valid time, structure versions are inferred rather
+//! than declared, and mapping relationships keep data comparable across
+//! merges, splits and reclassifications.
+//!
+//! ## Model walk-through (paper definitions → modules)
+//!
+//! | Definition | Concept | Module |
+//! |---|---|---|
+//! | 1 | Member Version | [`member`] |
+//! | 2–3 | Temporal Relationship / Dimension | [`dimension`] |
+//! | 4 | Levels | [`levels`] |
+//! | 5 | Temporally Consistent Fact Table | [`fact`] |
+//! | 6 | Confidence Factor + `⊗cf` | [`confidence`] |
+//! | 7 | Mapping Relationship | [`mapping`] |
+//! | 8 | Temporal Multidimensional Schema | [`schema`] |
+//! | 9 | Structure Version | [`structure_version`] |
+//! | 10 | Temporal Mode of Presentation | [`tmp`] |
+//! | 11 | MultiVersion Fact Table | [`multiversion`] |
+//! | 12 | Data Aggregation | [`aggregate`] |
+//! | §3.2 | Evolution operators | [`evolution`] |
+//! | §4–5 | Logical adaptation / relational export | [`logical`] |
+//! | §5.2 | Metadata | [`metadata`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mvolap_core::case_study::case_study;
+//! use mvolap_core::aggregate::{evaluate, AggregateQuery};
+//! use mvolap_core::tmp::TemporalMode;
+//! use mvolap_temporal::Interval;
+//!
+//! // The paper's running example: an institution whose Organization
+//! // dimension evolves across 2001-2003.
+//! let cs = case_study();
+//! let svs = cs.tmd.structure_versions();
+//! assert_eq!(svs.len(), 3);
+//!
+//! // Q1: total amount by year and division, temporally consistent.
+//! let q1 = AggregateQuery::by_year(cs.org, "Division", TemporalMode::Consistent)
+//!     .in_range(Interval::years(2001, 2002));
+//! let result = evaluate(&cs.tmd, &svs, &q1).unwrap();
+//! assert_eq!(result.rows.len(), 4);
+//! assert_eq!(result.rows[0].keys[0], "Sales");
+//! assert_eq!(result.rows[0].cells[0].value, Some(150.0));
+//! ```
+
+pub mod aggregate;
+pub mod case_study;
+pub mod confidence;
+pub mod dimension;
+pub mod error;
+pub mod evolution;
+pub mod fact;
+pub mod ids;
+pub mod levels;
+pub mod logical;
+pub mod mapping;
+pub mod member;
+pub mod metadata;
+pub mod multiversion;
+pub mod persist;
+pub mod schema;
+pub mod structure_version;
+pub mod tmp;
+
+pub use aggregate::{evaluate, AggregateQuery, ResultRow, ResultSet, TimeLevel};
+pub use confidence::{CellColour, Confidence, ConfidenceAlgebra, ConfidenceWeights};
+pub use dimension::{DimensionSnapshot, TemporalDimension, TemporalRelationship};
+pub use error::{CoreError, Result};
+pub use fact::{Aggregator, FactTable, MeasureDef};
+pub use ids::{DimensionId, MeasureId, MemberVersionId, StructureVersionId};
+pub use mapping::{MappingFunction, MappingGraph, MappingRelationship, MeasureMapping, RouteDirection};
+pub use member::{MemberVersion, MemberVersionSpec};
+pub use multiversion::{DeltaMvft, MultiVersionFactTable, MvCell, MvRow, PresentedFacts};
+pub use schema::Tmd;
+pub use structure_version::{infer_structure_versions, structure_version_at, StructureVersion};
+pub use tmp::{all_modes, TemporalMode};

@@ -1,0 +1,580 @@
+//! Mapping relationships (paper Definition 7) and their closure.
+//!
+//! A mapping relationship `<Id_from, Id_to, F, F⁻¹>` keeps the link
+//! between two member versions across a transition: `F` tells how each
+//! measure maps from the old version onto the new one, `F⁻¹` the reverse,
+//! each function tagged with a confidence factor. The prototype (§5.2)
+//! restricts functions to linear `x ↦ k·x`, which is what the
+//! [`MappingFunction::Scale`] variant models; identity, affine and
+//! unknown functions round out the algebra.
+//!
+//! [`MappingGraph`] computes the *closure*: given a member version that is
+//! not valid in a target structure version, it composes mapping edges
+//! (forward or backward) until it reaches versions that are valid there.
+//! Composition multiplies linear factors and `⊗cf`-combines confidences.
+
+use std::collections::HashMap;
+
+use crate::confidence::Confidence;
+use crate::error::{CoreError, Result};
+use crate::ids::MemberVersionId;
+
+/// A measure-mapping function `fm : dom(mk) → dom(mk)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MappingFunction {
+    /// `x ↦ x` — data carries over unchanged.
+    Identity,
+    /// `x ↦ k·x` — the prototype's linear functions (§5.2): a percentage
+    /// or weighting of the measure.
+    Scale(f64),
+    /// `x ↦ a·x + b` — affine extension.
+    Affine {
+        /// Multiplicative factor.
+        a: f64,
+        /// Additive offset.
+        b: f64,
+    },
+    /// The mapping is unknown (`(-, uk)` in paper Table 11): values
+    /// cannot be computed.
+    Unknown,
+}
+
+impl MappingFunction {
+    /// Applies the function; `Unknown` yields `None`.
+    #[inline]
+    pub fn apply(self, x: f64) -> Option<f64> {
+        match self {
+            MappingFunction::Identity => Some(x),
+            MappingFunction::Scale(k) => Some(k * x),
+            MappingFunction::Affine { a, b } => Some(a * x + b),
+            MappingFunction::Unknown => None,
+        }
+    }
+
+    /// Function composition `then ∘ self` (apply `self` first).
+    /// `Unknown` absorbs.
+    #[must_use]
+    pub fn compose(self, then: MappingFunction) -> MappingFunction {
+        use MappingFunction::*;
+        match (self, then) {
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Identity, g) => g,
+            (f, Identity) => f,
+            (Scale(k1), Scale(k2)) => Scale(k1 * k2),
+            (Scale(k), Affine { a, b }) => Affine { a: a * k, b },
+            (Affine { a, b }, Scale(k)) => Affine { a: k * a, b: k * b },
+            (Affine { a: a1, b: b1 }, Affine { a: a2, b: b2 }) => Affine {
+                a: a2 * a1,
+                b: a2 * b1 + b2,
+            },
+        }
+    }
+
+    /// The linear factor `k`, when the function is linear (identity or
+    /// scale). Used by the Table 12 metadata export.
+    pub fn linear_factor(self) -> Option<f64> {
+        match self {
+            MappingFunction::Identity => Some(1.0),
+            MappingFunction::Scale(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MappingFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingFunction::Identity => f.write_str("x->x"),
+            MappingFunction::Scale(k) => write!(f, "x->{k}*x"),
+            MappingFunction::Affine { a, b } => write!(f, "x->{a}*x+{b}"),
+            MappingFunction::Unknown => f.write_str("-"),
+        }
+    }
+}
+
+/// One `<fm, cf>` pair of Definition 7: a mapping function plus its
+/// confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureMapping {
+    /// The mapping function.
+    pub func: MappingFunction,
+    /// The confidence of data produced by this function.
+    pub confidence: Confidence,
+}
+
+impl MeasureMapping {
+    /// An exact identity mapping (`(x→x, em)`).
+    pub const EXACT_IDENTITY: MeasureMapping = MeasureMapping {
+        func: MappingFunction::Identity,
+        confidence: Confidence::Exact,
+    };
+
+    /// A source-data identity mapping (`(x→x, sd)`), used by the §4.2
+    /// reclassify-as-transform adaptation.
+    pub const SOURCE_IDENTITY: MeasureMapping = MeasureMapping {
+        func: MappingFunction::Identity,
+        confidence: Confidence::Source,
+    };
+
+    /// An unknown mapping (`(-, uk)`).
+    pub const UNKNOWN: MeasureMapping = MeasureMapping {
+        func: MappingFunction::Unknown,
+        confidence: Confidence::Unknown,
+    };
+
+    /// An approximate linear mapping (`(x→k·x, am)`).
+    pub fn approx_scale(k: f64) -> MeasureMapping {
+        MeasureMapping {
+            func: MappingFunction::Scale(k),
+            confidence: Confidence::Approx,
+        }
+    }
+
+    /// Composition: functions compose, confidences combine with `⊗cf`.
+    #[must_use]
+    pub fn compose(self, then: MeasureMapping) -> MeasureMapping {
+        MeasureMapping {
+            func: self.func.compose(then.func),
+            confidence: self.confidence.combine(then.confidence),
+        }
+    }
+}
+
+/// A *Mapping Relationship* `<Id_from, Id_to, F, F⁻¹>` (Definition 7)
+/// between two leaf member versions of one dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingRelationship {
+    /// The member version before the change (`Id_from`).
+    pub from: MemberVersionId,
+    /// The member version after the change (`Id_to`).
+    pub to: MemberVersionId,
+    /// Per measure: how old data maps onto the new version (`F`).
+    pub forward: Vec<MeasureMapping>,
+    /// Per measure: how new data maps back onto the old version (`F⁻¹`).
+    pub backward: Vec<MeasureMapping>,
+}
+
+impl MappingRelationship {
+    /// Builds a relationship with uniform per-measure mappings (the
+    /// common single-measure case and Table 11's patterns).
+    pub fn uniform(
+        from: MemberVersionId,
+        to: MemberVersionId,
+        forward: MeasureMapping,
+        backward: MeasureMapping,
+        measures: usize,
+    ) -> Self {
+        MappingRelationship {
+            from,
+            to,
+            forward: vec![forward; measures],
+            backward: vec![backward; measures],
+        }
+    }
+
+    /// The equivalence relationship used by transformations: both
+    /// directions exact identity.
+    pub fn equivalence(from: MemberVersionId, to: MemberVersionId, measures: usize) -> Self {
+        Self::uniform(
+            from,
+            to,
+            MeasureMapping::EXACT_IDENTITY,
+            MeasureMapping::EXACT_IDENTITY,
+            measures,
+        )
+    }
+}
+
+/// Chronological direction of a mapping route.
+///
+/// Mapping relationships point from the member version *before* a
+/// transition to the one *after* it, so routes into a **later**
+/// structure traverse forward edges and routes into an **earlier**
+/// structure traverse backward edges. Mixing directions within one route
+/// would double-count: a fact already fully attributed backward through
+/// a merge must not additionally leak forward into a later successor and
+/// back. Structure versions refine every validity interval, so a member
+/// version invalid in a target structure version lies strictly before or
+/// after it and the direction is always well-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteDirection {
+    /// Follow only forward (`F`) edges: old data into a newer structure.
+    Forward,
+    /// Follow only backward (`F⁻¹`) edges: new data into an older
+    /// structure.
+    Backward,
+    /// Follow both — only sound when targets cannot be reached through
+    /// time-zig-zag paths (e.g. sibling lookups in tests/tools).
+    Any,
+}
+
+impl RouteDirection {
+    fn allows(self, is_forward: bool) -> bool {
+        match self {
+            RouteDirection::Forward => is_forward,
+            RouteDirection::Backward => !is_forward,
+            RouteDirection::Any => true,
+        }
+    }
+}
+
+/// One resolved route from a source member version into a target
+/// structure version: the reachable valid target plus the composed
+/// per-measure mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingRoute {
+    /// The valid target member version.
+    pub target: MemberVersionId,
+    /// Composed per-measure mappings along the route.
+    pub per_measure: Vec<MeasureMapping>,
+    /// Number of mapping edges traversed.
+    pub hops: usize,
+}
+
+/// The mapping closure of one dimension.
+///
+/// Holds all mapping relationships as a bidirectional graph: a forward
+/// edge `from → to` applies `F` (old data presented in a newer
+/// structure), a backward edge `to → from` applies `F⁻¹`.
+#[derive(Debug, Clone, Default)]
+pub struct MappingGraph {
+    relationships: Vec<MappingRelationship>,
+    /// Adjacency: member version → (relationship index, is_forward).
+    adjacency: HashMap<MemberVersionId, Vec<(usize, bool)>>,
+}
+
+impl MappingGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        MappingGraph::default()
+    }
+
+    /// Adds one mapping relationship (the `Associate` operator's core).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MappingSelfLoop`] when `from == to`.
+    pub fn add(&mut self, rel: MappingRelationship) -> Result<()> {
+        if rel.from == rel.to {
+            return Err(CoreError::MappingSelfLoop(rel.from));
+        }
+        let idx = self.relationships.len();
+        self.adjacency.entry(rel.from).or_default().push((idx, true));
+        self.adjacency.entry(rel.to).or_default().push((idx, false));
+        self.relationships.push(rel);
+        Ok(())
+    }
+
+    /// All relationships, in insertion order.
+    pub fn relationships(&self) -> &[MappingRelationship] {
+        &self.relationships
+    }
+
+    /// Relationships incident to `id` (as source or target).
+    pub fn incident(&self, id: MemberVersionId) -> Vec<&MappingRelationship> {
+        self.adjacency
+            .get(&id)
+            .map(|edges| edges.iter().map(|&(i, _)| &self.relationships[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Resolves every route from `source` to member versions for which
+    /// `is_valid_target` holds, composing mapping functions along the
+    /// way and traversing only edges `direction` allows.
+    ///
+    /// Search over mapping edges; expansion stops at valid targets
+    /// (the nearest representation wins — no route tunnels *through* a
+    /// valid target). Diamond routes to the same target are all
+    /// returned; callers sum their contributions, which distributes
+    /// measure mass correctly for split/merge chains.
+    ///
+    /// If `source` itself is valid, a single zero-hop source-identity
+    /// route is returned.
+    pub fn resolve(
+        &self,
+        source: MemberVersionId,
+        measures: usize,
+        direction: RouteDirection,
+        is_valid_target: impl Fn(MemberVersionId) -> bool,
+    ) -> Vec<MappingRoute> {
+        if is_valid_target(source) {
+            return vec![MappingRoute {
+                target: source,
+                per_measure: vec![MeasureMapping::SOURCE_IDENTITY; measures],
+                hops: 0,
+            }];
+        }
+        let mut routes = Vec::new();
+        // Frontier of (node, composed mapping so far, hops). Paths do not
+        // revisit nodes (`path` tracks the chain) so split/merge diamonds
+        // terminate.
+        let mut frontier: Vec<(MemberVersionId, Vec<MeasureMapping>, Vec<MemberVersionId>)> =
+            vec![(source, vec![MeasureMapping::SOURCE_IDENTITY; measures], vec![source])];
+        while let Some((node, acc, path)) = frontier.pop() {
+            let Some(edges) = self.adjacency.get(&node) else {
+                continue;
+            };
+            for &(ri, is_forward) in edges {
+                if !direction.allows(is_forward) {
+                    continue;
+                }
+                let rel = &self.relationships[ri];
+                let next = if is_forward { rel.to } else { rel.from };
+                if path.contains(&next) {
+                    continue;
+                }
+                let step = if is_forward { &rel.forward } else { &rel.backward };
+                let composed: Vec<MeasureMapping> = acc
+                    .iter()
+                    .zip(step)
+                    .map(|(a, s)| a.compose(*s))
+                    .collect();
+                if is_valid_target(next) {
+                    routes.push(MappingRoute {
+                        target: next,
+                        per_measure: composed,
+                        hops: path.len(),
+                    });
+                } else {
+                    let mut new_path = path.clone();
+                    new_path.push(next);
+                    frontier.push((next, composed, new_path));
+                }
+            }
+        }
+        routes.sort_by_key(|r| (r.target, r.hops));
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MappingFunction::*;
+
+    #[test]
+    fn apply_all_variants() {
+        assert_eq!(Identity.apply(5.0), Some(5.0));
+        assert_eq!(Scale(0.4).apply(100.0), Some(40.0));
+        assert_eq!(Affine { a: 2.0, b: 1.0 }.apply(3.0), Some(7.0));
+        assert_eq!(Unknown.apply(3.0), None);
+    }
+
+    #[test]
+    fn compose_algebra() {
+        assert_eq!(Scale(0.5).compose(Scale(0.4)), Scale(0.2));
+        assert_eq!(Identity.compose(Scale(2.0)), Scale(2.0));
+        assert_eq!(Scale(2.0).compose(Identity), Scale(2.0));
+        assert_eq!(Unknown.compose(Scale(2.0)), Unknown);
+        assert_eq!(Scale(2.0).compose(Unknown), Unknown);
+        // Affine composition: x -> 2x+1 then x -> 3x+4 is x -> 6x+7.
+        assert_eq!(
+            Affine { a: 2.0, b: 1.0 }.compose(Affine { a: 3.0, b: 4.0 }),
+            Affine { a: 6.0, b: 7.0 }
+        );
+        // Scale then affine keeps the offset outside the scale.
+        assert_eq!(
+            Scale(2.0).compose(Affine { a: 3.0, b: 4.0 }),
+            Affine { a: 6.0, b: 4.0 }
+        );
+    }
+
+    #[test]
+    fn compose_agrees_with_sequential_application() {
+        let fns = [Identity, Scale(0.4), Affine { a: 2.0, b: -1.0 }, Scale(3.0)];
+        for f in fns {
+            for g in fns {
+                let composed = f.compose(g);
+                for x in [-2.0, 0.0, 1.5, 100.0] {
+                    let seq = f.apply(x).and_then(|y| g.apply(y));
+                    match (composed.apply(x), seq) {
+                        (Some(a), Some(b)) => {
+                            assert!((a - b).abs() < 1e-9, "{f} then {g} at {x}: {a} vs {b}")
+                        }
+                        (a, b) => assert_eq!(a, b, "{f} then {g} at {x}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measure_mapping_composition_combines_confidence() {
+        let a = MeasureMapping::approx_scale(0.4);
+        let b = MeasureMapping::EXACT_IDENTITY;
+        let c = a.compose(b);
+        assert_eq!(c.func, Scale(0.4));
+        assert_eq!(c.confidence, Confidence::Approx);
+    }
+
+    #[test]
+    fn linear_factor() {
+        assert_eq!(Scale(0.6).linear_factor(), Some(0.6));
+        assert_eq!(Identity.linear_factor(), Some(1.0));
+        assert_eq!(Unknown.linear_factor(), None);
+        assert_eq!(Affine { a: 1.0, b: 2.0 }.linear_factor(), None);
+    }
+
+    fn split_graph() -> (MappingGraph, MemberVersionId, MemberVersionId, MemberVersionId) {
+        // Paper Example 6: Jones split into Bill (40%) and Paul (60%).
+        let jones = MemberVersionId(0);
+        let bill = MemberVersionId(1);
+        let paul = MemberVersionId(2);
+        let mut g = MappingGraph::new();
+        g.add(MappingRelationship::uniform(
+            jones,
+            bill,
+            MeasureMapping::approx_scale(0.4),
+            MeasureMapping::EXACT_IDENTITY,
+            1,
+        ))
+        .unwrap();
+        g.add(MappingRelationship::uniform(
+            jones,
+            paul,
+            MeasureMapping::approx_scale(0.6),
+            MeasureMapping::EXACT_IDENTITY,
+            1,
+        ))
+        .unwrap();
+        (g, jones, bill, paul)
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = MappingGraph::new();
+        assert!(matches!(
+            g.add(MappingRelationship::equivalence(MemberVersionId(1), MemberVersionId(1), 1)),
+            Err(CoreError::MappingSelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_forward_split() {
+        // Map Jones's 2002 data into the 2003 structure: two approximate
+        // routes (paper Table 10).
+        let (g, jones, bill, paul) = split_graph();
+        let valid = [bill, paul];
+        let routes = g.resolve(jones, 1, RouteDirection::Forward, |id| valid.contains(&id));
+        assert_eq!(routes.len(), 2);
+        let to_bill = routes.iter().find(|r| r.target == bill).unwrap();
+        assert_eq!(to_bill.per_measure[0].func, Scale(0.4));
+        assert_eq!(to_bill.per_measure[0].confidence, Confidence::Approx);
+        let to_paul = routes.iter().find(|r| r.target == paul).unwrap();
+        assert_eq!(to_paul.per_measure[0].func, Scale(0.6));
+    }
+
+    #[test]
+    fn resolve_backward_merge() {
+        // Map Bill's 2003 data onto the 2002 structure: exact identity to
+        // Jones (paper Table 9).
+        let (g, jones, bill, _paul) = split_graph();
+        let routes = g.resolve(bill, 1, RouteDirection::Backward, |id| id == jones);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].target, jones);
+        assert_eq!(routes[0].per_measure[0].func, Identity);
+        assert_eq!(routes[0].per_measure[0].confidence, Confidence::Exact);
+    }
+
+    #[test]
+    fn resolve_valid_source_is_source_identity() {
+        let (g, jones, ..) = split_graph();
+        let routes = g.resolve(jones, 1, RouteDirection::Any, |id| id == jones);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].hops, 0);
+        assert_eq!(routes[0].per_measure[0].confidence, Confidence::Source);
+    }
+
+    #[test]
+    fn resolve_unreachable_is_empty() {
+        let (g, _, bill, paul) = split_graph();
+        // Bill cannot reach Paul without passing through Jones, which is
+        // not a valid target here -> route Bill->Jones->Paul composes.
+        let routes = g.resolve(bill, 1, RouteDirection::Any, |id| id == paul);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].hops, 2);
+        // Identity (backward to Jones) then 0.6 scale (forward to Paul).
+        assert_eq!(routes[0].per_measure[0].func, Scale(0.6));
+        assert_eq!(routes[0].per_measure[0].confidence, Confidence::Approx);
+        // Truly disconnected: nothing.
+        let lone = MemberVersionId(99);
+        assert!(g.resolve(lone, 1, RouteDirection::Any, |id| id == paul).is_empty());
+    }
+
+    #[test]
+    fn resolve_multi_hop_chain_composes_factors() {
+        // A -> B (x0.5, am), B -> C (x0.4, em): mapping A into {C} should
+        // compose to x0.2 with confidence am.
+        let a = MemberVersionId(0);
+        let b = MemberVersionId(1);
+        let c = MemberVersionId(2);
+        let mut g = MappingGraph::new();
+        g.add(MappingRelationship::uniform(
+            a,
+            b,
+            MeasureMapping::approx_scale(0.5),
+            MeasureMapping::UNKNOWN,
+            1,
+        ))
+        .unwrap();
+        g.add(MappingRelationship::uniform(
+            b,
+            c,
+            MeasureMapping {
+                func: Scale(0.4),
+                confidence: Confidence::Exact,
+            },
+            MeasureMapping::UNKNOWN,
+            1,
+        ))
+        .unwrap();
+        let routes = g.resolve(a, 1, RouteDirection::Forward, |id| id == c);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].per_measure[0].func, Scale(0.2));
+        assert_eq!(routes[0].per_measure[0].confidence, Confidence::Approx);
+        assert_eq!(routes[0].hops, 2);
+    }
+
+    #[test]
+    fn resolve_does_not_tunnel_through_valid_targets() {
+        // A -> B -> C with both B and C valid: the route stops at B.
+        let a = MemberVersionId(0);
+        let b = MemberVersionId(1);
+        let c = MemberVersionId(2);
+        let mut g = MappingGraph::new();
+        g.add(MappingRelationship::equivalence(a, b, 1)).unwrap();
+        g.add(MappingRelationship::equivalence(b, c, 1)).unwrap();
+        let valid = [b, c];
+        let routes = g.resolve(a, 1, RouteDirection::Forward, |id| valid.contains(&id));
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].target, b);
+    }
+
+    #[test]
+    fn unknown_mapping_propagates() {
+        let a = MemberVersionId(0);
+        let b = MemberVersionId(1);
+        let mut g = MappingGraph::new();
+        g.add(MappingRelationship::uniform(
+            a,
+            b,
+            MeasureMapping::EXACT_IDENTITY,
+            MeasureMapping::UNKNOWN,
+            1,
+        ))
+        .unwrap();
+        // Backward route exists but its value is uncomputable.
+        let routes = g.resolve(b, 1, RouteDirection::Backward, |id| id == a);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].per_measure[0].func, Unknown);
+        assert_eq!(routes[0].per_measure[0].confidence, Confidence::Unknown);
+    }
+
+    #[test]
+    fn incident_lists_relationships() {
+        let (g, jones, bill, _) = split_graph();
+        assert_eq!(g.incident(jones).len(), 2);
+        assert_eq!(g.incident(bill).len(), 1);
+        assert!(g.incident(MemberVersionId(42)).is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Member versions (paper Definition 1).
+
+use std::collections::BTreeMap;
+
+use mvolap_temporal::Interval;
+
+use crate::ids::MemberVersionId;
+
+/// A *Member Version*: "a state of a member, unchanged and coherent over a
+/// given time slice" — the tuple `<MVid, Name, [A], [Level], ti, tf>`.
+///
+/// The same member (e.g. the department led by Jones) may have several
+/// versions, and — unlike Kimball's Type Two SCD — versions of one member
+/// may have *overlapping* valid times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberVersion {
+    /// Unique identifier within the owning dimension (`MVid`).
+    pub id: MemberVersionId,
+    /// The name of the associated member.
+    pub name: String,
+    /// Optional user-defined attributes (`[A]`).
+    pub attributes: BTreeMap<String, String>,
+    /// Optional explicit level tag (`[Level]`); when present on every
+    /// version of a dimension, levels are equivalence classes of this
+    /// field (Definition 4), otherwise they derive from DAG depth.
+    pub level: Option<String>,
+    /// Valid time `[ti, tf]`.
+    pub validity: Interval,
+}
+
+impl MemberVersion {
+    /// Renders the paper's tuple notation, e.g.
+    /// `<3, 'Dpt.Jones', Department, 01/2001, 12/2002>`.
+    pub fn tuple_notation(&self) -> String {
+        let level = self.level.as_deref().unwrap_or("-");
+        format!(
+            "<{}, '{}', {}, {}, {}>",
+            self.id.0,
+            self.name,
+            level,
+            self.validity.start(),
+            self.validity.end()
+        )
+    }
+}
+
+/// A builder-style specification for creating a member version inside a
+/// dimension (ids are allocated by the dimension).
+#[derive(Debug, Clone, Default)]
+pub struct MemberVersionSpec {
+    /// Member name.
+    pub name: String,
+    /// User attributes.
+    pub attributes: BTreeMap<String, String>,
+    /// Optional explicit level tag.
+    pub level: Option<String>,
+}
+
+impl MemberVersionSpec {
+    /// A spec with just a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        MemberVersionSpec {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the explicit level tag.
+    #[must_use]
+    pub fn at_level(mut self, level: impl Into<String>) -> Self {
+        self.level = Some(level.into());
+        self
+    }
+
+    /// Adds one user attribute.
+    #[must_use]
+    pub fn with_attribute(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.insert(key.into(), value.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvolap_temporal::Instant;
+
+    #[test]
+    fn tuple_notation_matches_paper_style() {
+        let mv = MemberVersion {
+            id: MemberVersionId(3),
+            name: "Dpt.Jones".into(),
+            attributes: BTreeMap::new(),
+            level: Some("Department".into()),
+            validity: Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+        };
+        assert_eq!(
+            mv.tuple_notation(),
+            "<3, 'Dpt.Jones', Department, 01/2001, 12/2002>"
+        );
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = MemberVersionSpec::named("Dpt.Smith")
+            .at_level("Department")
+            .with_attribute("leader", "Smith");
+        assert_eq!(spec.name, "Dpt.Smith");
+        assert_eq!(spec.level.as_deref(), Some("Department"));
+        assert_eq!(spec.attributes.get("leader").map(String::as_str), Some("Smith"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Metadata management (paper §5.2).
+//!
+//! The prototype keeps two categories of metadata: metadata on member
+//! *versions* (validity, name, hierarchy position — stored with the
+//! dimension tables) and metadata on member *evolutions* (the mapping
+//! relations and a textual trace of transformations). This module holds
+//! the evolution side: an append-only [`EvolutionLog`] and human-readable
+//! history descriptions.
+
+use mvolap_temporal::Instant;
+
+use crate::ids::{DimensionId, MemberVersionId};
+
+/// One recorded evolution event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionEntry {
+    /// The dimension affected.
+    pub dimension: DimensionId,
+    /// The member versions affected.
+    pub subjects: Vec<MemberVersionId>,
+    /// When the evolution takes effect (model time, not wall-clock).
+    pub at: Instant,
+    /// The operator applied (`insert`, `exclude`, `associate`,
+    /// `reclassify`, or a high-level name like `split`).
+    pub operator: &'static str,
+    /// Human-readable description, e.g.
+    /// `"Dpt.Jones split into Dpt.Bill, Dpt.Paul"`.
+    pub description: String,
+}
+
+/// Append-only log of evolution events — the §5.2 "information related to
+/// the evolution of the members of a dimension", from which "the user can
+/// obtain a short textual description of the transformations that have
+/// affected a member".
+#[derive(Debug, Clone, Default)]
+pub struct EvolutionLog {
+    entries: Vec<EvolutionEntry>,
+}
+
+impl EvolutionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EvolutionLog::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, entry: EvolutionEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All events in application order.
+    pub fn entries(&self) -> &[EvolutionEntry] {
+        &self.entries
+    }
+
+    /// Events touching a given member version, oldest first.
+    pub fn history_of(
+        &self,
+        dimension: DimensionId,
+        id: MemberVersionId,
+    ) -> Vec<&EvolutionEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.dimension == dimension && e.subjects.contains(&id))
+            .collect()
+    }
+
+    /// A textual, line-per-event description of a member version's
+    /// history — the §5.2 user-facing trace.
+    pub fn describe(&self, dimension: DimensionId, id: MemberVersionId) -> String {
+        let events = self.history_of(dimension, id);
+        if events.is_empty() {
+            return "no recorded evolution".to_owned();
+        }
+        events
+            .iter()
+            .map(|e| format!("{}: [{}] {}", e.at, e.operator, e.description))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(op: &'static str, subject: u32, month: u32) -> EvolutionEntry {
+        EvolutionEntry {
+            dimension: DimensionId(0),
+            subjects: vec![MemberVersionId(subject)],
+            at: Instant::ym(2003, month),
+            operator: op,
+            description: format!("{op} on mv{subject}"),
+        }
+    }
+
+    #[test]
+    fn record_and_filter_history() {
+        let mut log = EvolutionLog::new();
+        log.record(entry("insert", 1, 1));
+        log.record(entry("exclude", 2, 2));
+        log.record(entry("reclassify", 1, 3));
+        assert_eq!(log.entries().len(), 3);
+        let h = log.history_of(DimensionId(0), MemberVersionId(1));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].operator, "insert");
+        assert_eq!(h[1].operator, "reclassify");
+        assert!(log.history_of(DimensionId(1), MemberVersionId(1)).is_empty());
+    }
+
+    #[test]
+    fn describe_renders_lines() {
+        let mut log = EvolutionLog::new();
+        log.record(entry("insert", 1, 1));
+        log.record(entry("exclude", 1, 2));
+        let d = log.describe(DimensionId(0), MemberVersionId(1));
+        assert_eq!(d.lines().count(), 2);
+        assert!(d.contains("[insert]"));
+        assert!(d.contains("01/2003"));
+        assert_eq!(
+            log.describe(DimensionId(0), MemberVersionId(9)),
+            "no recorded evolution"
+        );
+    }
+}

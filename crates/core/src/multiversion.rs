@@ -1,0 +1,645 @@
+//! The MultiVersion Fact Table (paper Definition 11).
+//!
+//! `f' : D1 × … × Dn × T × TMP → dom(m1) × … × dom(mm) × CF^m` — the fact
+//! table extended with a temporal-mode axis and per-measure confidence
+//! factors. It is *inferred*, never authored: "it can be automatically
+//! calculated from the temporal dimensions, Mapping Relationships and the
+//! Temporally Consistent Fact Table".
+//!
+//! For the temporally consistent mode every fact is source data. For a
+//! structure-version mode `VMi`, a fact whose coordinates are valid in
+//! `Vi` stays source data; otherwise each invalid coordinate is routed
+//! through the mapping closure to the member versions valid in `Vi`,
+//! scaling values and downgrading confidence along the way. Facts with no
+//! route at all are counted as unmapped (the "impossible cross-points" a
+//! red cell flags in the prototype).
+//!
+//! Two materialisations exist: the full [`MultiVersionFactTable`]
+//! (duplicating values in every version — the redundancy §5.1 concedes)
+//! and the [`DeltaMvft`] extension that stores only mapped rows per
+//! version and reconstructs the rest from the consistent fact table.
+
+use std::collections::HashMap;
+
+use mvolap_temporal::Instant;
+
+use crate::confidence::Confidence;
+use crate::error::{CoreError, Result};
+use crate::fact::MeasureAccumulator;
+use crate::ids::{DimensionId, MemberVersionId};
+use crate::mapping::MappingRoute;
+use crate::schema::Tmd;
+use crate::structure_version::StructureVersion;
+use crate::tmp::TemporalMode;
+
+/// One cell value of the multiversion fact table: a possibly-unknown
+/// value plus its confidence factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvCell {
+    /// The mapped value; `None` when an unknown mapping contributed.
+    pub value: Option<f64>,
+    /// The combined confidence factor.
+    pub confidence: Confidence,
+}
+
+impl MvCell {
+    /// A source-data cell.
+    pub fn source(value: f64) -> Self {
+        MvCell {
+            value: Some(value),
+            confidence: Confidence::Source,
+        }
+    }
+}
+
+/// One row of the multiversion fact table, within one temporal mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvRow {
+    /// One leaf member version per dimension.
+    pub coords: Vec<MemberVersionId>,
+    /// The fact time.
+    pub time: Instant,
+    /// One cell per measure.
+    pub cells: Vec<MvCell>,
+}
+
+/// The facts of a schema presented under one temporal mode.
+#[derive(Debug, Clone)]
+pub struct PresentedFacts {
+    /// The mode these rows are presented in.
+    pub mode: TemporalMode,
+    /// The presented rows, one per distinct `(coords, time)` cell,
+    /// in first-contribution order.
+    pub rows: Vec<MvRow>,
+    /// Source fact rows that could not be presented in this mode (no
+    /// mapping route for some coordinate).
+    pub unmapped_rows: usize,
+}
+
+/// Accumulates contributions to one cell: values fold through the
+/// measure's `⊕m`, confidences through `⊗cf`, and an unknown-mapping
+/// contribution poisons the value (the `uk` row of the truth table).
+struct CellAcc {
+    acc: MeasureAccumulator,
+    confidence: Confidence,
+    unknown: bool,
+}
+
+impl CellAcc {
+    fn new(aggregator: crate::fact::Aggregator) -> Self {
+        CellAcc {
+            acc: MeasureAccumulator::new(aggregator),
+            confidence: Confidence::Source,
+            unknown: false,
+        }
+    }
+
+    fn update(&mut self, value: Option<f64>, confidence: Confidence) {
+        self.confidence = self.confidence.combine(confidence);
+        match value {
+            Some(v) => self.acc.update(v),
+            None => self.unknown = true,
+        }
+    }
+
+    fn finish(&self) -> MvCell {
+        MvCell {
+            value: if self.unknown { None } else { self.acc.finish() },
+            confidence: self.confidence,
+        }
+    }
+}
+
+/// Presents the schema's facts under `mode`, resolving mappings against
+/// the supplied structure versions (obtain them once via
+/// [`Tmd::structure_versions`] and reuse across modes).
+///
+/// # Errors
+///
+/// [`CoreError::UnknownStructureVersion`] when the mode references a
+/// version id outside `structure_versions`.
+pub fn present(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    mode: &TemporalMode,
+) -> Result<PresentedFacts> {
+    let n_dims = tmd.dimensions().len();
+    let n_measures = tmd.measures().len();
+    let facts = tmd.facts();
+
+    // Pre-resolve the target structure version per dimension (None =>
+    // temporally consistent presentation for that dimension).
+    let mut per_dim_sv: Vec<Option<&StructureVersion>> = Vec::with_capacity(n_dims);
+    for d in 0..n_dims {
+        match mode.version_for(DimensionId(d as u32)) {
+            None => per_dim_sv.push(None),
+            Some(svid) => {
+                let sv = structure_versions
+                    .get(svid.index())
+                    .filter(|sv| sv.id == svid)
+                    .ok_or(CoreError::UnknownStructureVersion(svid.index()))?;
+                per_dim_sv.push(Some(sv));
+            }
+        }
+    }
+
+    // Route cache: (dimension, source member version) resolves identically
+    // for every fact row, and fact tables repeat coordinates heavily.
+    let mut route_cache: HashMap<(usize, MemberVersionId), Vec<MappingRoute>> = HashMap::new();
+
+    let mut index: HashMap<(Vec<MemberVersionId>, Instant), usize> = HashMap::new();
+    let mut keys: Vec<(Vec<MemberVersionId>, Instant)> = Vec::new();
+    let mut cells: Vec<Vec<CellAcc>> = Vec::new();
+    let mut unmapped = 0usize;
+
+    let new_cell_row = |tmd: &Tmd| -> Vec<CellAcc> {
+        tmd.measures()
+            .iter()
+            .map(|m| CellAcc::new(m.aggregator))
+            .collect()
+    };
+
+    'rows: for row in 0..facts.len() {
+        let t = facts.time(row);
+        // Resolve per-dimension routes for this fact. The index drives
+        // three parallel structures (fact coordinates, per-dim targets,
+        // the routes vector), so a range loop is the clearest form.
+        let mut routes: Vec<Vec<MappingRoute>> = Vec::with_capacity(n_dims);
+        #[allow(clippy::needless_range_loop)]
+        for d in 0..n_dims {
+            let c = facts.coord(row, d);
+            match per_dim_sv[d] {
+                None => {
+                    // Temporally consistent: facts were validated at
+                    // insert time to be valid at their own time.
+                    routes.push(vec![MappingRoute {
+                        target: c,
+                        per_measure: vec![
+                            crate::mapping::MeasureMapping::SOURCE_IDENTITY;
+                            n_measures
+                        ],
+                        hops: 0,
+                    }]);
+                }
+                Some(sv) => {
+                    let dim_id = DimensionId(d as u32);
+                    let rs = route_cache.entry((d, c)).or_insert_with(|| {
+                        // Routes must move monotonically through time
+                        // toward the target structure version: forward
+                        // edges for data older than it, backward edges
+                        // for newer data (see `RouteDirection`).
+                        let validity = tmd
+                            .dimension(dim_id)
+                            .and_then(|dim| dim.version(c))
+                            .expect("fact coordinates are validated on insert")
+                            .validity;
+                        let direction = if validity.end() < sv.interval.start() {
+                            crate::mapping::RouteDirection::Forward
+                        } else if sv.interval.end() < validity.start() {
+                            crate::mapping::RouteDirection::Backward
+                        } else {
+                            // Valid coordinates short-circuit in
+                            // `resolve`; partial overlap cannot occur
+                            // because structure versions refine every
+                            // validity interval.
+                            crate::mapping::RouteDirection::Any
+                        };
+                        tmd.mapping_graph(dim_id)
+                            .expect("dimension exists")
+                            .resolve(c, n_measures, direction, |id| sv.contains(dim_id, id))
+                    });
+                    if rs.is_empty() {
+                        unmapped += 1;
+                        continue 'rows;
+                    }
+                    routes.push(rs.clone());
+                }
+            }
+        }
+
+        // Cartesian product of per-dimension routes (splits fan out).
+        let mut combo = vec![0usize; n_dims];
+        loop {
+            let coords: Vec<MemberVersionId> =
+                (0..n_dims).map(|d| routes[d][combo[d]].target).collect();
+            let key = (coords, t);
+            let idx = *index.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                cells.push(new_cell_row(tmd));
+                keys.len() - 1
+            });
+            for (m, cell) in cells[idx].iter_mut().enumerate() {
+                // Compose this measure's mapping across dimensions and
+                // apply it to the source value.
+                let mut mapping = crate::mapping::MeasureMapping::SOURCE_IDENTITY;
+                for (d, r) in routes.iter().enumerate() {
+                    mapping = mapping.compose(r[combo[d]].per_measure[m]);
+                }
+                let value = mapping.func.apply(facts.value(row, m));
+                cell.update(value, mapping.confidence);
+            }
+            // Advance the mixed-radix counter.
+            let mut d = 0;
+            loop {
+                if d == n_dims {
+                    break;
+                }
+                combo[d] += 1;
+                if combo[d] < routes[d].len() {
+                    break;
+                }
+                combo[d] = 0;
+                d += 1;
+            }
+            if d == n_dims {
+                break;
+            }
+        }
+    }
+
+    let rows = keys
+        .into_iter()
+        .zip(&cells)
+        .map(|((coords, time), accs)| MvRow {
+            coords,
+            time,
+            cells: accs.iter().map(CellAcc::finish).collect(),
+        })
+        .collect();
+    Ok(PresentedFacts {
+        mode: mode.clone(),
+        rows,
+        unmapped_rows: unmapped,
+    })
+}
+
+/// The fully materialised MultiVersion Fact Table: every temporal mode's
+/// presentation, as the prototype stored it ("we have to duplicate the
+/// values in all versions", §5.1).
+#[derive(Debug, Clone)]
+pub struct MultiVersionFactTable {
+    presentations: Vec<PresentedFacts>,
+}
+
+impl MultiVersionFactTable {
+    /// Infers the full table: `tcm` plus one presentation per structure
+    /// version (Definition 11).
+    ///
+    /// # Errors
+    ///
+    /// Propagates presentation errors.
+    pub fn infer(tmd: &Tmd) -> Result<Self> {
+        let svs = tmd.structure_versions();
+        let modes = crate::tmp::all_modes(&svs);
+        let mut presentations = Vec::with_capacity(modes.len());
+        for mode in &modes {
+            presentations.push(present(tmd, &svs, mode)?);
+        }
+        Ok(MultiVersionFactTable { presentations })
+    }
+
+    /// All per-mode presentations, `tcm` first.
+    pub fn presentations(&self) -> &[PresentedFacts] {
+        &self.presentations
+    }
+
+    /// The presentation for one mode.
+    pub fn for_mode(&self, mode: &TemporalMode) -> Option<&PresentedFacts> {
+        self.presentations.iter().find(|p| &p.mode == mode)
+    }
+
+    /// The function `f'` itself: the cells at `(coords, t, mode)`.
+    pub fn lookup(
+        &self,
+        coords: &[MemberVersionId],
+        t: Instant,
+        mode: &TemporalMode,
+    ) -> Option<&[MvCell]> {
+        self.for_mode(mode)?
+            .rows
+            .iter()
+            .find(|r| r.coords == coords && r.time == t)
+            .map(|r| r.cells.as_slice())
+    }
+
+    /// Total materialised rows across all modes (the §5.1 redundancy).
+    pub fn total_rows(&self) -> usize {
+        self.presentations.iter().map(|p| p.rows.len()).sum()
+    }
+}
+
+/// Differences-only materialisation (extension; the paper notes "we could
+/// only store differences between versions instead of replicating all
+/// values").
+///
+/// Stores, per structure-version mode, only the rows that *differ* from
+/// the consistent presentation (i.e. rows with at least one mapped
+/// contribution); source-valid rows are reconstructed from the consistent
+/// fact table on demand.
+#[derive(Debug, Clone)]
+pub struct DeltaMvft {
+    modes: Vec<TemporalMode>,
+    /// Per version mode: the mapped (non-source) rows.
+    deltas: Vec<Vec<MvRow>>,
+    /// Per version mode: how many source rows were unmappable.
+    unmapped: Vec<usize>,
+}
+
+impl DeltaMvft {
+    /// Builds the delta representation for every structure-version mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates presentation errors.
+    pub fn infer(tmd: &Tmd) -> Result<Self> {
+        let svs = tmd.structure_versions();
+        let mut modes = Vec::with_capacity(svs.len());
+        let mut deltas = Vec::with_capacity(svs.len());
+        let mut unmapped = Vec::with_capacity(svs.len());
+        for sv in &svs {
+            let mode = TemporalMode::Version(sv.id);
+            let p = present(tmd, &svs, &mode)?;
+            let mapped: Vec<MvRow> = p
+                .rows
+                .into_iter()
+                .filter(|r| r.cells.iter().any(|c| c.confidence != Confidence::Source))
+                .collect();
+            modes.push(mode);
+            deltas.push(mapped);
+            unmapped.push(p.unmapped_rows);
+        }
+        Ok(DeltaMvft {
+            modes,
+            deltas,
+            unmapped,
+        })
+    }
+
+    /// Rows actually stored (across all version modes).
+    pub fn stored_rows(&self) -> usize {
+        self.deltas.iter().map(Vec::len).sum()
+    }
+
+    /// Reconstructs the full presentation of one version mode by merging
+    /// the stored delta with the source-valid rows of the consistent fact
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownStructureVersion`] for a mode not captured at
+    /// build time.
+    pub fn reconstruct(&self, tmd: &Tmd, mode: &TemporalMode) -> Result<PresentedFacts> {
+        let idx = self
+            .modes
+            .iter()
+            .position(|m| m == mode)
+            .ok_or(CoreError::UnknownStructureVersion(usize::MAX))?;
+        let svs = tmd.structure_versions();
+        let TemporalMode::Version(svid) = mode else {
+            return Err(CoreError::UnknownStructureVersion(usize::MAX));
+        };
+        let sv = svs
+            .get(svid.index())
+            .ok_or(CoreError::UnknownStructureVersion(svid.index()))?;
+
+        // Source-valid rows: facts whose every coordinate is valid in the
+        // version. Accumulate duplicates exactly as `present` does.
+        let facts = tmd.facts();
+        let n_dims = tmd.dimensions().len();
+        let mut index: HashMap<(Vec<MemberVersionId>, Instant), usize> = HashMap::new();
+        let mut keys: Vec<(Vec<MemberVersionId>, Instant)> = Vec::new();
+        let mut cells: Vec<Vec<CellAcc>> = Vec::new();
+        for row in 0..facts.len() {
+            let coords = facts.row_coords(row);
+            let all_valid = (0..n_dims)
+                .all(|d| sv.contains(DimensionId(d as u32), coords[d]));
+            if !all_valid {
+                continue;
+            }
+            let key = (coords, facts.time(row));
+            let idx = *index.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                cells.push(
+                    tmd.measures()
+                        .iter()
+                        .map(|m| CellAcc::new(m.aggregator))
+                        .collect(),
+                );
+                keys.len() - 1
+            });
+            for (m, cell) in cells[idx].iter_mut().enumerate() {
+                cell.update(Some(facts.value(row, m)), Confidence::Source);
+            }
+        }
+        let mut rows: Vec<MvRow> = keys
+            .into_iter()
+            .zip(&cells)
+            .map(|((coords, time), accs)| MvRow {
+                coords,
+                time,
+                cells: accs.iter().map(CellAcc::finish).collect(),
+            })
+            .collect();
+
+        // Merge in the stored deltas; a delta row may target the same cell
+        // as a source row (a mapped contribution landing on live data).
+        for delta in &self.deltas[idx] {
+            match rows
+                .iter_mut()
+                .find(|r| r.coords == delta.coords && r.time == delta.time)
+            {
+                Some(existing) => {
+                    for ((cell, d), measure) in existing
+                        .cells
+                        .iter_mut()
+                        .zip(&delta.cells)
+                        .zip(tmd.measures())
+                    {
+                        // The stored delta already folded the mapped
+                        // contributions; merge the two partial cells with
+                        // the measure's second-stage (combining) form.
+                        cell.value = match (cell.value, d.value) {
+                            (Some(a), Some(b)) => {
+                                let mut acc =
+                                    MeasureAccumulator::new(measure.aggregator.combining());
+                                acc.update(a);
+                                acc.update(b);
+                                acc.finish()
+                            }
+                            _ => None,
+                        };
+                        cell.confidence = cell.confidence.combine(d.confidence);
+                    }
+                }
+                None => rows.push(delta.clone()),
+            }
+        }
+        Ok(PresentedFacts {
+            mode: mode.clone(),
+            rows,
+            unmapped_rows: self.unmapped[idx],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::{case_study, CaseStudy};
+    use crate::ids::StructureVersionId;
+
+    fn by_name<'a>(
+        cs: &CaseStudy,
+        p: &'a PresentedFacts,
+        name: &str,
+        year: i32,
+    ) -> Option<&'a MvRow> {
+        let dim = cs.tmd.dimension(cs.org).unwrap();
+        p.rows.iter().find(|r| {
+            dim.version(r.coords[0]).unwrap().name == name && r.time.year() == year
+        })
+    }
+
+    #[test]
+    fn consistent_mode_is_source_everywhere() {
+        // Definition 11's inclusion: f' restricted to tcm = f × {sd}^m.
+        let cs = case_study();
+        let svs = cs.tmd.structure_versions();
+        let p = present(&cs.tmd, &svs, &TemporalMode::Consistent).unwrap();
+        assert_eq!(p.rows.len(), cs.tmd.facts().len());
+        for r in &p.rows {
+            for c in &r.cells {
+                assert_eq!(c.confidence, Confidence::Source);
+                assert!(c.value.is_some());
+            }
+        }
+        assert_eq!(p.unmapped_rows, 0);
+    }
+
+    #[test]
+    fn mode_v2002_merges_bill_and_paul_into_jones() {
+        // Paper Table 9: in the 2002 structure, the 2003 facts of Bill
+        // (150) and Paul (50) present as Jones 200 with exact confidence.
+        let cs = case_study();
+        let svs = cs.tmd.structure_versions();
+        let p = present(&cs.tmd, &svs, &TemporalMode::Version(StructureVersionId(1))).unwrap();
+        let jones_2003 = by_name(&cs, &p, "Dpt.Jones", 2003).unwrap();
+        assert_eq!(jones_2003.cells[0].value, Some(200.0));
+        assert_eq!(jones_2003.cells[0].confidence, Confidence::Exact);
+        // Smith and Brian 2003 facts are source data (valid in V2002).
+        let smith_2003 = by_name(&cs, &p, "Dpt.Smith", 2003).unwrap();
+        assert_eq!(smith_2003.cells[0].value, Some(110.0));
+        assert_eq!(smith_2003.cells[0].confidence, Confidence::Source);
+        assert_eq!(p.unmapped_rows, 0);
+    }
+
+    #[test]
+    fn mode_v2003_splits_jones_into_bill_and_paul() {
+        // Paper Table 10: Jones's 100 of 2002 presents as Bill 40 and
+        // Paul 60, approximate.
+        let cs = case_study();
+        let svs = cs.tmd.structure_versions();
+        let p = present(&cs.tmd, &svs, &TemporalMode::Version(StructureVersionId(2))).unwrap();
+        let bill_2002 = by_name(&cs, &p, "Dpt.Bill", 2002).unwrap();
+        assert_eq!(bill_2002.cells[0].value, Some(40.0));
+        assert_eq!(bill_2002.cells[0].confidence, Confidence::Approx);
+        let paul_2002 = by_name(&cs, &p, "Dpt.Paul", 2002).unwrap();
+        assert_eq!(paul_2002.cells[0].value, Some(60.0));
+        // Jones's 2001 fact also splits 40/60.
+        let bill_2001 = by_name(&cs, &p, "Dpt.Bill", 2001).unwrap();
+        assert_eq!(bill_2001.cells[0].value, Some(40.0));
+    }
+
+    #[test]
+    fn full_mvft_has_all_modes() {
+        let cs = case_study();
+        let mv = MultiVersionFactTable::infer(&cs.tmd).unwrap();
+        // tcm + three structure versions.
+        assert_eq!(mv.presentations().len(), 4);
+        assert!(mv.for_mode(&TemporalMode::Consistent).is_some());
+        assert!(mv.total_rows() > cs.tmd.facts().len());
+    }
+
+    #[test]
+    fn lookup_is_definition_11s_function() {
+        let cs = case_study();
+        let mv = MultiVersionFactTable::infer(&cs.tmd).unwrap();
+        let dim = cs.tmd.dimension(cs.org).unwrap();
+        let jones = dim.version_named_at("Dpt.Jones", Instant::ym(2002, 6)).unwrap().id;
+        let t = Instant::ym(2003, 6);
+        let cells = mv
+            .lookup(&[jones], t, &TemporalMode::Version(StructureVersionId(1)))
+            .unwrap();
+        assert_eq!(cells[0].value, Some(200.0));
+        // Jones does not exist in mode VS2.
+        assert!(mv
+            .lookup(&[jones], t, &TemporalMode::Version(StructureVersionId(2)))
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_version_id_is_error() {
+        let cs = case_study();
+        let svs = cs.tmd.structure_versions();
+        let err =
+            present(&cs.tmd, &svs, &TemporalMode::Version(StructureVersionId(99))).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownStructureVersion(99)));
+    }
+
+    #[test]
+    fn delta_reconstruction_matches_full_materialisation() {
+        let cs = case_study();
+        let full = MultiVersionFactTable::infer(&cs.tmd).unwrap();
+        let delta = DeltaMvft::infer(&cs.tmd).unwrap();
+        for sv in cs.tmd.structure_versions() {
+            let mode = TemporalMode::Version(sv.id);
+            let full_p = full.for_mode(&mode).unwrap();
+            let rec = delta.reconstruct(&cs.tmd, &mode).unwrap();
+            assert_eq!(rec.rows.len(), full_p.rows.len(), "mode {mode}");
+            for row in &full_p.rows {
+                let r = rec
+                    .rows
+                    .iter()
+                    .find(|r| r.coords == row.coords && r.time == row.time)
+                    .unwrap_or_else(|| panic!("row missing in reconstruction of {mode}"));
+                for (a, b) in row.cells.iter().zip(&r.cells) {
+                    assert_eq!(a.confidence, b.confidence);
+                    match (a.value, b.value) {
+                        (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                        (None, None) => {}
+                        _ => panic!("value mismatch in {mode}"),
+                    }
+                }
+            }
+            assert_eq!(rec.unmapped_rows, full_p.unmapped_rows);
+        }
+    }
+
+    #[test]
+    fn delta_stores_fewer_rows_than_full() {
+        let cs = case_study();
+        let full = MultiVersionFactTable::infer(&cs.tmd).unwrap();
+        let delta = DeltaMvft::infer(&cs.tmd).unwrap();
+        // Full duplicates everything; delta only the mapped rows.
+        let full_version_rows = full.total_rows()
+            - full.for_mode(&TemporalMode::Consistent).unwrap().rows.len();
+        assert!(delta.stored_rows() < full_version_rows);
+    }
+
+    #[test]
+    fn mixed_mode_presents_only_chosen_dimensions() {
+        // §6 extension: choosing a version for the Org dimension while
+        // leaving (hypothetical) others consistent. With one dimension,
+        // Mixed([(org, v)]) must equal Version(v).
+        let cs = case_study();
+        let svs = cs.tmd.structure_versions();
+        let v = StructureVersionId(1);
+        let mixed = TemporalMode::Mixed(vec![(cs.org, v)]);
+        let a = present(&cs.tmd, &svs, &mixed).unwrap();
+        let b = present(&cs.tmd, &svs, &TemporalMode::Version(v)).unwrap();
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x, y);
+        }
+    }
+}

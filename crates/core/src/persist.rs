@@ -1,0 +1,660 @@
+//! On-disk persistence of a whole temporal multidimensional schema.
+//!
+//! A line-oriented, dependency-free text format capturing everything the
+//! Temporal Data Warehouse holds (§5.1): dimensions with member versions
+//! and temporal relationships, measures, mapping relationships, the
+//! consistent fact table, and the evolution log. Loading *replays* the
+//! schema through the validated construction API, so a tampered file
+//! cannot produce an inconsistent schema (cycles, dangling edges,
+//! non-leaf facts are all re-checked).
+//!
+//! ```text
+//! mvolap-tmd v1
+//! schema <name> month
+//! measure <name> sum
+//! dimension <name>
+//! version <dim> <id> <start> <end> <level|-> <name> [<k>=<v>]…
+//! edge <dim> <child> <parent> <start> <end>
+//! mapping <dim> <from> <to> <fwd>… | <bwd>…
+//! fact <tick> <coord>… | <value>…
+//! logent <dim> <tick> <operator> <subjects,…> <description>
+//! ```
+//!
+//! Fields are space-separated; names escape backslash, whitespace and
+//! `=` (`\\`, `\s`, `\t`, `\n`, `\e`). Instants encode as raw ticks with
+//! `now`/`dawn` for the sentinels. Mapping functions encode as `id`,
+//! `s<k>`, `a<a>:<b>`, `u`, each suffixed `@sd|em|am|uk`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use mvolap_temporal::{Granularity, Instant, Interval};
+
+use crate::confidence::Confidence;
+use crate::dimension::TemporalDimension;
+use crate::fact::{Aggregator, MeasureDef};
+use crate::ids::{DimensionId, MemberVersionId};
+use crate::mapping::{MappingFunction, MappingRelationship, MeasureMapping};
+use crate::member::MemberVersionSpec;
+use crate::metadata::EvolutionEntry;
+use crate::schema::Tmd;
+
+/// Errors raised while reading the persisted format.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not in the expected format.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Replaying the schema hit a model violation.
+    Core(crate::CoreError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format { line, message } => {
+                write!(f, "format error at line {line}: {message}")
+            }
+            PersistError::Core(e) => write!(f, "schema replay error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<crate::CoreError> for PersistError {
+    fn from(e: crate::CoreError) -> Self {
+        PersistError::Core(e)
+    }
+}
+
+fn bad(line: usize, message: impl Into<String>) -> PersistError {
+    PersistError::Format {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Escapes a name for a space-separated field.
+fn field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '=' => out.push_str("\\e"),
+            c => out.push(c),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("\\0");
+    }
+    out
+}
+
+fn unfield(s: &str, line: usize) -> Result<String, PersistError> {
+    if s == "\\0" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('e') => out.push('='),
+            other => return Err(bad(line, format!("bad field escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn instant_enc(t: Instant) -> String {
+    if t.is_forever() {
+        "now".to_owned()
+    } else if t.is_dawn() {
+        "dawn".to_owned()
+    } else {
+        t.tick().to_string()
+    }
+}
+
+fn instant_dec(s: &str, line: usize) -> Result<Instant, PersistError> {
+    match s {
+        "now" => Ok(Instant::FOREVER),
+        "dawn" => Ok(Instant::DAWN),
+        _ => s
+            .parse::<i64>()
+            .map(Instant::at)
+            .map_err(|_| bad(line, format!("bad instant `{s}`"))),
+    }
+}
+
+fn func_enc(m: &MeasureMapping) -> String {
+    let f = match m.func {
+        MappingFunction::Identity => "id".to_owned(),
+        MappingFunction::Scale(k) => format!("s{k}"),
+        MappingFunction::Affine { a, b } => format!("a{a}:{b}"),
+        MappingFunction::Unknown => "u".to_owned(),
+    };
+    format!("{f}@{}", m.confidence.code())
+}
+
+fn func_dec(s: &str, line: usize) -> Result<MeasureMapping, PersistError> {
+    let (f, cf) = s
+        .rsplit_once('@')
+        .ok_or_else(|| bad(line, format!("bad mapping `{s}` (missing @cf)")))?;
+    let confidence = match cf {
+        "sd" => Confidence::Source,
+        "em" => Confidence::Exact,
+        "am" => Confidence::Approx,
+        "uk" => Confidence::Unknown,
+        _ => return Err(bad(line, format!("bad confidence `{cf}`"))),
+    };
+    let func = if f == "id" {
+        MappingFunction::Identity
+    } else if f == "u" {
+        MappingFunction::Unknown
+    } else if let Some(k) = f.strip_prefix('s') {
+        MappingFunction::Scale(
+            k.parse().map_err(|_| bad(line, format!("bad scale `{k}`")))?,
+        )
+    } else if let Some(ab) = f.strip_prefix('a') {
+        let (a, b) = ab
+            .split_once(':')
+            .ok_or_else(|| bad(line, format!("bad affine `{ab}`")))?;
+        MappingFunction::Affine {
+            a: a.parse().map_err(|_| bad(line, format!("bad affine a `{a}`")))?,
+            b: b.parse().map_err(|_| bad(line, format!("bad affine b `{b}`")))?,
+        }
+    } else {
+        return Err(bad(line, format!("bad mapping function `{f}`")));
+    };
+    Ok(MeasureMapping { func, confidence })
+}
+
+/// Serialises a schema into the text format.
+pub fn write_tmd(tmd: &Tmd, out: &mut impl Write) -> Result<(), PersistError> {
+    let mut buf = String::new();
+    buf.push_str("mvolap-tmd v1\n");
+    let gran = match tmd.granularity() {
+        Granularity::Tick => "tick",
+        Granularity::Month => "month",
+        Granularity::Year => "year",
+    };
+    let _ = writeln!(buf, "schema {} {gran}", field(tmd.name()));
+    for m in tmd.measures() {
+        let _ = writeln!(buf, "measure {} {}", field(&m.name), m.aggregator.name());
+    }
+    for (di, d) in tmd.dimensions().iter().enumerate() {
+        let _ = writeln!(buf, "dimension {}", field(d.name()));
+        for v in d.versions() {
+            let _ = write!(
+                buf,
+                "version {di} {} {} {} {} {}",
+                v.id.0,
+                instant_enc(v.validity.start()),
+                instant_enc(v.validity.end()),
+                v.level.as_deref().map(field).unwrap_or_else(|| "-".to_owned()),
+                field(&v.name)
+            );
+            for (k, val) in &v.attributes {
+                let _ = write!(buf, " {}={}", field(k), field(val));
+            }
+            buf.push('\n');
+        }
+        for r in d.relationships() {
+            let _ = writeln!(
+                buf,
+                "edge {di} {} {} {} {}",
+                r.child.0,
+                r.parent.0,
+                instant_enc(r.validity.start()),
+                instant_enc(r.validity.end())
+            );
+        }
+        let graph = tmd.mapping_graph(DimensionId(di as u32)).expect("dimension exists");
+        for rel in graph.relationships() {
+            let fwd: Vec<String> = rel.forward.iter().map(func_enc).collect();
+            let bwd: Vec<String> = rel.backward.iter().map(func_enc).collect();
+            let _ = writeln!(
+                buf,
+                "mapping {di} {} {} {} | {}",
+                rel.from.0,
+                rel.to.0,
+                fwd.join(" "),
+                bwd.join(" ")
+            );
+        }
+    }
+    let facts = tmd.facts();
+    for row in 0..facts.len() {
+        let coords: Vec<String> = facts.row_coords(row).iter().map(|c| c.0.to_string()).collect();
+        let values: Vec<String> = facts.row_values(row).iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(
+            buf,
+            "fact {} {} | {}",
+            instant_enc(facts.time(row)),
+            coords.join(" "),
+            values.join(" ")
+        );
+    }
+    for e in tmd.evolution_log().entries() {
+        let subjects: Vec<String> = e.subjects.iter().map(|s| s.0.to_string()).collect();
+        let _ = writeln!(
+            buf,
+            "logent {} {} {} {} {}",
+            e.dimension.0,
+            instant_enc(e.at),
+            e.operator,
+            subjects.join(","),
+            field(&e.description)
+        );
+    }
+    out.write_all(buf.as_bytes())?;
+    Ok(())
+}
+
+/// Deserialises a schema, replaying it through the validated API.
+pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| bad(1, "empty file"))?
+        .1
+        .map_err(PersistError::from)?;
+    if header != "mvolap-tmd v1" {
+        return Err(bad(1, format!("bad header `{header}`")));
+    }
+
+    let mut tmd: Option<Tmd> = None;
+    // Facts and edges replay after all versions exist; buffer them.
+    struct PendingEdge {
+        dim: DimensionId,
+        child: MemberVersionId,
+        parent: MemberVersionId,
+        validity: Interval,
+        line: usize,
+    }
+    let mut edges: Vec<PendingEdge> = Vec::new();
+    let mut mappings: Vec<(DimensionId, MappingRelationship)> = Vec::new();
+    let mut facts: Vec<(Instant, Vec<MemberVersionId>, Vec<f64>)> = Vec::new();
+    let mut log: Vec<EvolutionEntry> = Vec::new();
+
+    let static_op = |s: &str| -> &'static str {
+        match s {
+            "insert" => "insert",
+            "exclude" => "exclude",
+            "associate" => "associate",
+            "reclassify" => "reclassify",
+            _ => "evolution",
+        }
+    };
+
+    for (idx, line) in lines {
+        let n = idx + 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let (tag, rest) = line.split_once(' ').unwrap_or((line.as_str(), ""));
+        let parts: Vec<&str> = rest.split(' ').collect();
+        match tag {
+            "schema" => {
+                if parts.len() != 2 {
+                    return Err(bad(n, "schema needs <name> <granularity>"));
+                }
+                let gran = match parts[1] {
+                    "tick" => Granularity::Tick,
+                    "month" => Granularity::Month,
+                    "year" => Granularity::Year,
+                    g => return Err(bad(n, format!("bad granularity `{g}`"))),
+                };
+                tmd = Some(Tmd::new(unfield(parts[0], n)?, gran));
+            }
+            "measure" => {
+                let t = tmd.as_mut().ok_or_else(|| bad(n, "measure before schema"))?;
+                if parts.len() != 2 {
+                    return Err(bad(n, "measure needs <name> <aggregator>"));
+                }
+                let aggregator = Aggregator::parse(parts[1])
+                    .ok_or_else(|| bad(n, format!("bad aggregator `{}`", parts[1])))?;
+                t.add_measure(MeasureDef {
+                    name: unfield(parts[0], n)?,
+                    aggregator,
+                })?;
+            }
+            "dimension" => {
+                let t = tmd.as_mut().ok_or_else(|| bad(n, "dimension before schema"))?;
+                if parts.len() != 1 {
+                    return Err(bad(n, "dimension needs <name>"));
+                }
+                t.add_dimension(TemporalDimension::new(unfield(parts[0], n)?))?;
+            }
+            "version" => {
+                let t = tmd.as_mut().ok_or_else(|| bad(n, "version before schema"))?;
+                if parts.len() < 6 {
+                    return Err(bad(n, "version needs 6+ fields"));
+                }
+                let dim = DimensionId(
+                    parts[0].parse().map_err(|_| bad(n, "bad dimension index"))?,
+                );
+                let id: u32 = parts[1].parse().map_err(|_| bad(n, "bad version id"))?;
+                let start = instant_dec(parts[2], n)?;
+                let end = instant_dec(parts[3], n)?;
+                let level = if parts[4] == "-" {
+                    None
+                } else {
+                    Some(unfield(parts[4], n)?)
+                };
+                let name = unfield(parts[5], n)?;
+                let mut attributes = BTreeMap::new();
+                for kv in &parts[6..] {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| bad(n, format!("bad attribute `{kv}`")))?;
+                    attributes.insert(unfield(k, n)?, unfield(v, n)?);
+                }
+                let validity = Interval::new(start, end)
+                    .map_err(|e| bad(n, format!("bad validity: {e}")))?;
+                let assigned = t.add_version(
+                    dim,
+                    MemberVersionSpec {
+                        name,
+                        attributes,
+                        level,
+                    },
+                    validity,
+                )?;
+                if assigned.0 != id {
+                    return Err(bad(
+                        n,
+                        format!("version ids must be dense and ordered: expected {id}, got {}", assigned.0),
+                    ));
+                }
+            }
+            "edge" => {
+                if parts.len() != 5 {
+                    return Err(bad(n, "edge needs 5 fields"));
+                }
+                let start = instant_dec(parts[3], n)?;
+                let end = instant_dec(parts[4], n)?;
+                edges.push(PendingEdge {
+                    dim: DimensionId(parts[0].parse().map_err(|_| bad(n, "bad dimension"))?),
+                    child: MemberVersionId(
+                        parts[1].parse().map_err(|_| bad(n, "bad child id"))?,
+                    ),
+                    parent: MemberVersionId(
+                        parts[2].parse().map_err(|_| bad(n, "bad parent id"))?,
+                    ),
+                    validity: Interval::new(start, end)
+                        .map_err(|e| bad(n, format!("bad validity: {e}")))?,
+                    line: n,
+                });
+            }
+            "mapping" => {
+                let pipe = parts
+                    .iter()
+                    .position(|p| *p == "|")
+                    .ok_or_else(|| bad(n, "mapping needs a `|` separator"))?;
+                if pipe < 3 {
+                    return Err(bad(n, "mapping needs <dim> <from> <to> fwd… | bwd…"));
+                }
+                let dim = DimensionId(parts[0].parse().map_err(|_| bad(n, "bad dimension"))?);
+                let from =
+                    MemberVersionId(parts[1].parse().map_err(|_| bad(n, "bad from id"))?);
+                let to = MemberVersionId(parts[2].parse().map_err(|_| bad(n, "bad to id"))?);
+                let forward = parts[3..pipe]
+                    .iter()
+                    .map(|p| func_dec(p, n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let backward = parts[pipe + 1..]
+                    .iter()
+                    .map(|p| func_dec(p, n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                mappings.push((
+                    dim,
+                    MappingRelationship {
+                        from,
+                        to,
+                        forward,
+                        backward,
+                    },
+                ));
+            }
+            "fact" => {
+                let pipe = parts
+                    .iter()
+                    .position(|p| *p == "|")
+                    .ok_or_else(|| bad(n, "fact needs a `|` separator"))?;
+                let t = instant_dec(parts[0], n)?;
+                let coords = parts[1..pipe]
+                    .iter()
+                    .map(|p| {
+                        p.parse::<u32>()
+                            .map(MemberVersionId)
+                            .map_err(|_| bad(n, format!("bad coordinate `{p}`")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let values = parts[pipe + 1..]
+                    .iter()
+                    .map(|p| {
+                        p.parse::<f64>()
+                            .map_err(|_| bad(n, format!("bad value `{p}`")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                facts.push((t, coords, values));
+            }
+            "logent" => {
+                if parts.len() < 5 {
+                    return Err(bad(n, "logent needs 5 fields"));
+                }
+                let subjects = parts[3]
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse::<u32>()
+                            .map(MemberVersionId)
+                            .map_err(|_| bad(n, format!("bad subject `{s}`")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                log.push(EvolutionEntry {
+                    dimension: DimensionId(
+                        parts[0].parse().map_err(|_| bad(n, "bad dimension"))?,
+                    ),
+                    at: instant_dec(parts[1], n)?,
+                    operator: static_op(parts[2]),
+                    subjects,
+                    description: unfield(&parts[4..].join(" "), n)?,
+                });
+            }
+            other => return Err(bad(n, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let mut tmd = tmd.ok_or_else(|| bad(1, "missing `schema` directive"))?;
+    for e in edges {
+        tmd.add_relationship(e.dim, e.child, e.parent, e.validity)
+            .map_err(|err| bad(e.line, format!("edge replay failed: {err}")))?;
+    }
+    for (dim, rel) in mappings {
+        tmd.add_mapping(dim, rel)?;
+    }
+    for (t, coords, values) in facts {
+        tmd.add_fact(&coords, t, &values)?;
+    }
+    for e in log {
+        tmd.record_evolution(e);
+    }
+    Ok(tmd)
+}
+
+/// Saves a schema to a file.
+pub fn save_tmd(tmd: &Tmd, path: &std::path::Path) -> Result<(), PersistError> {
+    let mut f = std::fs::File::create(path)?;
+    write_tmd(tmd, &mut f)
+}
+
+/// Loads a schema from a file.
+pub fn load_tmd(path: &std::path::Path) -> Result<Tmd, PersistError> {
+    let mut f = std::fs::File::open(path)?;
+    read_tmd(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::{case_study, case_study_two_measures};
+    use crate::evolution;
+
+    fn roundtrip(tmd: &Tmd) -> Tmd {
+        let mut buf = Vec::new();
+        write_tmd(tmd, &mut buf).expect("write");
+        read_tmd(&mut buf.as_slice()).expect("read")
+    }
+
+    #[test]
+    fn case_study_roundtrips() {
+        let cs = case_study();
+        let back = roundtrip(&cs.tmd);
+        assert_eq!(back.name(), cs.tmd.name());
+        assert_eq!(back.dimensions().len(), 1);
+        assert_eq!(back.measures().len(), 1);
+        assert_eq!(back.facts().len(), 10);
+        assert_eq!(
+            back.mapping_graph(cs.org).unwrap().relationships(),
+            cs.tmd.mapping_graph(cs.org).unwrap().relationships()
+        );
+        // Structure versions re-infer identically.
+        assert_eq!(back.structure_versions(), cs.tmd.structure_versions());
+        // Dimension content matches.
+        let (a, b) = (cs.tmd.dimension(cs.org).unwrap(), back.dimension(cs.org).unwrap());
+        assert_eq!(a.versions(), b.versions());
+        assert_eq!(a.relationships().len(), b.relationships().len());
+    }
+
+    #[test]
+    fn queries_agree_after_roundtrip() {
+        let cs = case_study_two_measures();
+        let back = roundtrip(&cs.tmd);
+        let q = crate::AggregateQuery::by_year(
+            cs.org,
+            "Department",
+            crate::TemporalMode::Version(crate::StructureVersionId(2)),
+        );
+        let svs_a = cs.tmd.structure_versions();
+        let svs_b = back.structure_versions();
+        let ra = crate::evaluate(&cs.tmd, &svs_a, &q).expect("evaluates");
+        let rb = crate::evaluate(&back, &svs_b, &q).expect("evaluates");
+        assert_eq!(ra.rows, rb.rows);
+    }
+
+    #[test]
+    fn evolution_log_roundtrips() {
+        let mut cs = case_study();
+        evolution::delete(&mut cs.tmd, cs.org, cs.brian, Instant::ym(2005, 1)).expect("delete");
+        let back = roundtrip(&cs.tmd);
+        let entries = back.evolution_log().entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].operator, "exclude");
+        assert!(entries[0].description.contains("Dpt.Brian"));
+    }
+
+    #[test]
+    fn hostile_names_roundtrip() {
+        let mut tmd = Tmd::new("name with spaces\nand=weird\\chars", Granularity::Month);
+        let dim = tmd.add_dimension(TemporalDimension::new("dim name")).unwrap();
+        tmd.add_measure(MeasureDef::summed("m one")).unwrap();
+        let all = Interval::since(Instant::ym(2001, 1));
+        tmd.add_version(
+            dim,
+            MemberVersionSpec::named("member = tricky \\N")
+                .at_level("level one")
+                .with_attribute("key=","va l"),
+            all,
+        )
+        .unwrap();
+        let back = roundtrip(&tmd);
+        assert_eq!(back.name(), tmd.name());
+        let v = &back.dimension(dim).unwrap().versions()[0];
+        assert_eq!(v.name, "member = tricky \\N");
+        assert_eq!(v.level.as_deref(), Some("level one"));
+        assert_eq!(v.attributes.get("key=").map(String::as_str), Some("va l"));
+    }
+
+    #[test]
+    fn replay_validates_tampered_files() {
+        // A cycle smuggled into the file is rejected on load.
+        let text = "mvolap-tmd v1\n\
+                    schema t month\n\
+                    dimension D\n\
+                    version 0 0 0 now - A\n\
+                    version 0 1 0 now - B\n\
+                    edge 0 0 1 0 now\n\
+                    edge 0 1 0 0 now\n";
+        let err = read_tmd(&mut text.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format { line: 7, .. }), "{err}");
+        // A fact on a non-leaf is rejected too.
+        let text = "mvolap-tmd v1\n\
+                    schema t month\n\
+                    measure m sum\n\
+                    dimension D\n\
+                    version 0 0 0 now - A\n\
+                    version 0 1 0 now - B\n\
+                    edge 0 1 0 0 now\n\
+                    fact 5 0 | 1.0\n";
+        assert!(matches!(
+            read_tmd(&mut text.as_bytes()),
+            Err(PersistError::Core(crate::CoreError::CoordinateNotLeaf { .. }))
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_report_positions() {
+        for (text, line) in [
+            ("garbage", 1usize),
+            ("mvolap-tmd v1\nmeasure m sum\n", 2),
+            ("mvolap-tmd v1\nschema t month\nversion 0 0 0 now -\n", 3),
+            ("mvolap-tmd v1\nschema t lightyear\n", 2),
+        ] {
+            match read_tmd(&mut text.as_bytes()) {
+                Err(PersistError::Format { line: l, .. }) => assert_eq!(l, line, "{text}"),
+                other => panic!("expected format error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cs = case_study();
+        let path = std::env::temp_dir().join(format!("mvolap_tmd_{}.tmd", std::process::id()));
+        save_tmd(&cs.tmd, &path).expect("save");
+        let back = load_tmd(&path).expect("load");
+        assert_eq!(back.facts().len(), cs.tmd.facts().len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,270 @@
+//! Structure versions (paper Definition 9).
+//!
+//! A *Structure Version* is "a valid and unchanged structure over its
+//! given valid time". Structure versions are never declared: they are
+//! inferred as the boundary partition of the valid times of every member
+//! version and temporal relationship of every dimension, so the set of
+//! valid elements is constant inside each version.
+
+use mvolap_temporal::{partition_timeline, Instant, Interval};
+
+use crate::dimension::TemporalDimension;
+use crate::error::{CoreError, Result};
+use crate::ids::{DimensionId, MemberVersionId, StructureVersionId};
+
+/// One inferred structure version `<VSid, {D1,VSid … Dn,VSid}, ti, tf>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureVersion {
+    /// Chronological identifier (`VS0` is the oldest).
+    pub id: StructureVersionId,
+    /// The valid time of this structure version.
+    pub interval: Interval,
+    /// Per dimension: the member versions valid throughout the interval,
+    /// sorted by id (the restriction `Di,VSid`).
+    pub members: Vec<Vec<MemberVersionId>>,
+    /// Per dimension: the roll-up edges `(child, parent)` valid
+    /// throughout the interval, sorted — the relationship half of the
+    /// restriction `Di,VSid` (a reclassification changes edges without
+    /// touching members, and still separates structure versions).
+    pub edges: Vec<Vec<(MemberVersionId, MemberVersionId)>>,
+}
+
+impl StructureVersion {
+    /// Whether member version `id` of dimension `dim` is valid in this
+    /// structure version.
+    pub fn contains(&self, dim: DimensionId, id: MemberVersionId) -> bool {
+        self.members
+            .get(dim.index())
+            .map(|m| m.binary_search(&id).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// A label like `VS0 [01/2001 ; 12/2001]`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.id, self.interval)
+    }
+}
+
+/// Infers the structure versions of a set of dimensions.
+///
+/// Collects every validity interval (member versions and relationships of
+/// every dimension), partitions the timeline at their boundaries, and
+/// materialises per-dimension member sets for each segment. Adjacent
+/// segments always differ in at least one element's validity by
+/// construction of the partition, matching the paper's claim that
+/// structure versions "partition history".
+pub fn infer_structure_versions(dimensions: &[TemporalDimension]) -> Vec<StructureVersion> {
+    let mut intervals: Vec<Interval> = Vec::new();
+    for d in dimensions {
+        intervals.extend(d.validity_intervals());
+    }
+    let segments = partition_timeline(&intervals);
+    segments
+        .into_iter()
+        .enumerate()
+        .map(|(i, seg)| {
+            let members = dimensions
+                .iter()
+                .map(|d| {
+                    d.versions()
+                        .iter()
+                        .filter(|v| v.validity.contains_interval(seg.interval))
+                        .map(|v| v.id)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let edges = dimensions
+                .iter()
+                .map(|d| {
+                    let mut e: Vec<(MemberVersionId, MemberVersionId)> = d
+                        .relationships()
+                        .iter()
+                        .filter(|r| r.validity.contains_interval(seg.interval))
+                        .map(|r| (r.child, r.parent))
+                        .collect();
+                    e.sort_unstable();
+                    e
+                })
+                .collect();
+            StructureVersion {
+                id: StructureVersionId(i as u32),
+                interval: seg.interval,
+                members,
+                edges,
+            }
+        })
+        .collect()
+}
+
+/// Finds the structure version covering instant `t`.
+///
+/// # Errors
+///
+/// [`CoreError::NoStructureVersionAt`] when `t` falls outside every
+/// version (before the first element's validity).
+pub fn structure_version_at(
+    versions: &[StructureVersion],
+    t: Instant,
+) -> Result<&StructureVersion> {
+    versions
+        .iter()
+        .find(|v| v.interval.contains(t))
+        .ok_or(CoreError::NoStructureVersionAt(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::MemberVersionSpec;
+
+    /// The paper's case-study Org dimension, complete with Smith's 2002
+    /// reclassification and the 2003 Jones split.
+    fn case_org() -> TemporalDimension {
+        let mut d = TemporalDimension::new("Org");
+        let since01 = Interval::since(Instant::ym(2001, 1));
+        let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), since01);
+        let rnd = d.add_version(MemberVersionSpec::named("R&D").at_level("Division"), since01);
+        let jones = d.add_version(
+            MemberVersionSpec::named("Dpt.Jones").at_level("Department"),
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+        );
+        let smith =
+            d.add_version(MemberVersionSpec::named("Dpt.Smith").at_level("Department"), since01);
+        let brian =
+            d.add_version(MemberVersionSpec::named("Dpt.Brian").at_level("Department"), since01);
+        let bill = d.add_version(
+            MemberVersionSpec::named("Dpt.Bill").at_level("Department"),
+            Interval::since(Instant::ym(2003, 1)),
+        );
+        let paul = d.add_version(
+            MemberVersionSpec::named("Dpt.Paul").at_level("Department"),
+            Interval::since(Instant::ym(2003, 1)),
+        );
+        d.add_relationship(jones, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)))
+            .unwrap();
+        d.add_relationship(smith, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2001, 12)))
+            .unwrap();
+        d.add_relationship(smith, rnd, Interval::since(Instant::ym(2002, 1)))
+            .unwrap();
+        d.add_relationship(brian, rnd, since01).unwrap();
+        d.add_relationship(bill, sales, Interval::since(Instant::ym(2003, 1)))
+            .unwrap();
+        d.add_relationship(paul, sales, Interval::since(Instant::ym(2003, 1)))
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn case_study_yields_three_structure_versions() {
+        // 2001 (Smith in Sales), 2002 (Smith in R&D, Jones still alive),
+        // 2003-Now (Jones split into Bill and Paul).
+        let d = case_org();
+        let svs = infer_structure_versions(std::slice::from_ref(&d));
+        assert_eq!(svs.len(), 3);
+        assert_eq!(svs[0].interval, Interval::years(2001, 2001));
+        assert_eq!(svs[1].interval, Interval::years(2002, 2002));
+        assert_eq!(svs[2].interval, Interval::since(Instant::ym(2003, 1)));
+        assert_eq!(svs[0].id, StructureVersionId(0));
+        assert_eq!(svs[2].id, StructureVersionId(2));
+    }
+
+    #[test]
+    fn membership_per_version() {
+        let d = case_org();
+        let jones = d.version_named_at("Dpt.Jones", Instant::ym(2001, 6)).unwrap().id;
+        let bill = d.version_named_at("Dpt.Bill", Instant::ym(2003, 6)).unwrap().id;
+        let svs = infer_structure_versions(std::slice::from_ref(&d));
+        let dim = DimensionId(0);
+        assert!(svs[0].contains(dim, jones));
+        assert!(svs[1].contains(dim, jones));
+        assert!(!svs[2].contains(dim, jones));
+        assert!(!svs[0].contains(dim, bill));
+        assert!(svs[2].contains(dim, bill));
+        // Out-of-range dimension is simply not contained.
+        assert!(!svs[0].contains(DimensionId(7), jones));
+    }
+
+    #[test]
+    fn lookup_by_instant() {
+        let d = case_org();
+        let svs = infer_structure_versions(std::slice::from_ref(&d));
+        assert_eq!(
+            structure_version_at(&svs, Instant::ym(2002, 7)).unwrap().id,
+            StructureVersionId(1)
+        );
+        assert_eq!(
+            structure_version_at(&svs, Instant::ym(2030, 1)).unwrap().id,
+            StructureVersionId(2)
+        );
+        assert!(matches!(
+            structure_version_at(&svs, Instant::ym(1999, 1)),
+            Err(CoreError::NoStructureVersionAt(_))
+        ));
+    }
+
+    #[test]
+    fn example_7_split_only_gives_two_versions() {
+        // Paper Example 7 scopes to the Jones split alone: exactly two
+        // structure versions.
+        let mut d = TemporalDimension::new("Org");
+        let sales =
+            d.add_version(MemberVersionSpec::named("Sales"), Interval::since(Instant::ym(2001, 1)));
+        let jones = d.add_version(
+            MemberVersionSpec::named("Dpt.Jones"),
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+        );
+        let bill = d.add_version(
+            MemberVersionSpec::named("Dpt.Bill"),
+            Interval::since(Instant::ym(2003, 1)),
+        );
+        let paul = d.add_version(
+            MemberVersionSpec::named("Dpt.Paul"),
+            Interval::since(Instant::ym(2003, 1)),
+        );
+        d.add_relationship(jones, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)))
+            .unwrap();
+        d.add_relationship(bill, sales, Interval::since(Instant::ym(2003, 1)))
+            .unwrap();
+        d.add_relationship(paul, sales, Interval::since(Instant::ym(2003, 1)))
+            .unwrap();
+        let svs = infer_structure_versions(std::slice::from_ref(&d));
+        assert_eq!(svs.len(), 2);
+        assert_eq!(
+            svs[0].interval,
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12))
+        );
+        assert_eq!(svs[1].interval, Interval::since(Instant::ym(2003, 1)));
+    }
+
+    #[test]
+    fn multiple_dimensions_interleave_boundaries() {
+        let mut d1 = TemporalDimension::new("A");
+        d1.add_version(MemberVersionSpec::named("a"), Interval::years(2001, 2002));
+        let mut d2 = TemporalDimension::new("B");
+        d2.add_version(MemberVersionSpec::named("b1"), Interval::years(2001, 2001));
+        d2.add_version(MemberVersionSpec::named("b2"), Interval::years(2002, 2003));
+        let svs = infer_structure_versions(&[d1, d2]);
+        assert_eq!(svs.len(), 3);
+        assert_eq!(svs[0].interval, Interval::years(2001, 2001));
+        assert_eq!(svs[1].interval, Interval::years(2002, 2002));
+        assert_eq!(svs[2].interval, Interval::years(2003, 2003));
+        // Dimension A has no members in 2003.
+        assert!(svs[2].members[0].is_empty());
+        assert_eq!(svs[2].members[1].len(), 1);
+    }
+
+    #[test]
+    fn empty_schema_has_no_structure_versions() {
+        assert!(infer_structure_versions(&[]).is_empty());
+        let d = TemporalDimension::new("Empty");
+        assert!(infer_structure_versions(std::slice::from_ref(&d)).is_empty());
+    }
+
+    #[test]
+    fn labels_render() {
+        let d = case_org();
+        let svs = infer_structure_versions(std::slice::from_ref(&d));
+        assert_eq!(svs[0].label(), "VS0 [01/2001 ; 12/2001]");
+        assert_eq!(svs[2].label(), "VS2 [01/2003 ; Now]");
+    }
+}

@@ -1,0 +1,125 @@
+//! Temporal modes of presentation (paper Definition 10).
+//!
+//! `TMP = {tcm, VM1, …, VMN}`: a query result is presented either in the
+//! *temporally consistent mode* (every fact attached to the structure
+//! valid at its own time) or mapped into one of the inferred structure
+//! versions. The paper's §6 notes, as an improvement, composing a
+//! structure version per dimension — implemented here as
+//! [`TemporalMode::Mixed`].
+
+use crate::ids::{DimensionId, StructureVersionId};
+use crate::structure_version::StructureVersion;
+
+/// One temporal mode of presentation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TemporalMode {
+    /// `tcm`: the temporally consistent mode — source data in the
+    /// structure valid at each fact's own time.
+    Consistent,
+    /// `VMi`: all data mapped into structure version `i`.
+    Version(StructureVersionId),
+    /// Extension (paper §6 future work): each dimension presented in its
+    /// own chosen structure version.
+    Mixed(Vec<(DimensionId, StructureVersionId)>),
+}
+
+impl TemporalMode {
+    /// The structure version a given dimension is presented in, if any.
+    pub fn version_for(&self, dim: DimensionId) -> Option<StructureVersionId> {
+        match self {
+            TemporalMode::Consistent => None,
+            TemporalMode::Version(v) => Some(*v),
+            TemporalMode::Mixed(pairs) => {
+                pairs.iter().find(|(d, _)| *d == dim).map(|(_, v)| *v)
+            }
+        }
+    }
+
+    /// A short label (`tcm`, `VS1`, `mixed(...)`).
+    pub fn label(&self) -> String {
+        match self {
+            TemporalMode::Consistent => "tcm".to_owned(),
+            TemporalMode::Version(v) => v.to_string(),
+            TemporalMode::Mixed(pairs) => {
+                let parts: Vec<String> = pairs
+                    .iter()
+                    .map(|(d, v)| format!("D{}={}", d.0, v))
+                    .collect();
+                format!("mixed({})", parts.join(","))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TemporalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Enumerates the full TMP set for a schema's structure versions:
+/// `tcm` first, then one `VMi` per version in chronological order
+/// (Definition 10).
+pub fn all_modes(structure_versions: &[StructureVersion]) -> Vec<TemporalMode> {
+    let mut out = Vec::with_capacity(structure_versions.len() + 1);
+    out.push(TemporalMode::Consistent);
+    out.extend(structure_versions.iter().map(|v| TemporalMode::Version(v.id)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvolap_temporal::{Instant, Interval};
+
+    fn svs() -> Vec<StructureVersion> {
+        vec![
+            StructureVersion {
+                id: StructureVersionId(0),
+                interval: Interval::years(2001, 2002),
+                members: vec![vec![]],
+                edges: vec![vec![]],
+            },
+            StructureVersion {
+                id: StructureVersionId(1),
+                interval: Interval::since(Instant::ym(2003, 1)),
+                members: vec![vec![]],
+                edges: vec![vec![]],
+            },
+        ]
+    }
+
+    #[test]
+    fn all_modes_is_tcm_plus_versions() {
+        let modes = all_modes(&svs());
+        assert_eq!(modes.len(), 3);
+        assert_eq!(modes[0], TemporalMode::Consistent);
+        assert_eq!(modes[1], TemporalMode::Version(StructureVersionId(0)));
+        assert_eq!(modes[2], TemporalMode::Version(StructureVersionId(1)));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TemporalMode::Consistent.label(), "tcm");
+        assert_eq!(TemporalMode::Version(StructureVersionId(2)).label(), "VS2");
+        let mixed = TemporalMode::Mixed(vec![
+            (DimensionId(0), StructureVersionId(1)),
+            (DimensionId(1), StructureVersionId(0)),
+        ]);
+        assert_eq!(mixed.label(), "mixed(D0=VS1,D1=VS0)");
+    }
+
+    #[test]
+    fn version_for_dispatch() {
+        let dim0 = DimensionId(0);
+        let dim1 = DimensionId(1);
+        assert_eq!(TemporalMode::Consistent.version_for(dim0), None);
+        assert_eq!(
+            TemporalMode::Version(StructureVersionId(1)).version_for(dim0),
+            Some(StructureVersionId(1))
+        );
+        let mixed = TemporalMode::Mixed(vec![(dim0, StructureVersionId(1))]);
+        assert_eq!(mixed.version_for(dim0), Some(StructureVersionId(1)));
+        assert_eq!(mixed.version_for(dim1), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests on the core model's data structures:
+//! dimension graph invariants, mapping-function algebra, confidence
+//! lattice laws, and structure-version inference on random dimensions.
+
+use mvolap_core::{
+    infer_structure_versions, Confidence, MappingFunction, MemberVersionSpec, TemporalDimension,
+};
+use mvolap_temporal::{Instant, Interval};
+use proptest::prelude::*;
+
+fn confidence_strategy() -> impl Strategy<Value = Confidence> {
+    prop::sample::select(Confidence::ALL.to_vec())
+}
+
+fn function_strategy() -> impl Strategy<Value = MappingFunction> {
+    prop_oneof![
+        Just(MappingFunction::Identity),
+        Just(MappingFunction::Unknown),
+        (-3.0f64..3.0).prop_map(MappingFunction::Scale),
+        ((-3.0f64..3.0), (-10.0f64..10.0))
+            .prop_map(|(a, b)| MappingFunction::Affine { a, b }),
+    ]
+}
+
+/// A random small dimension: members with random validities, and a
+/// random forest of valid roll-up edges (built through the validated
+/// API, so construction itself re-checks the invariants).
+fn dimension_strategy() -> impl Strategy<Value = TemporalDimension> {
+    let member = (0i64..40, 1i64..40, prop::bool::ANY);
+    prop::collection::vec(member, 1..12).prop_map(|specs| {
+        let mut d = TemporalDimension::new("D");
+        let mut ids = Vec::new();
+        for (i, (start, len, open)) in specs.iter().enumerate() {
+            let s = Instant::at(*start);
+            let validity = if *open {
+                Interval::since(s)
+            } else {
+                Interval::of(s, Instant::at(start + len))
+            };
+            ids.push(d.add_version(MemberVersionSpec::named(format!("m{i}")), validity));
+        }
+        // Wire a forest: each member may point at an earlier-id member
+        // (guaranteeing acyclicity) over the intersection of validities.
+        for (i, &child) in ids.iter().enumerate().skip(1) {
+            let parent = ids[i / 2];
+            let cv = d.version(child).expect("exists").validity;
+            let pv = d.version(parent).expect("exists").validity;
+            if let Some(edge) = cv.intersect(pv) {
+                d.add_relationship(child, parent, edge).expect("acyclic by construction");
+            }
+        }
+        d
+    })
+}
+
+proptest! {
+    /// ⊗cf is a commutative, associative, idempotent meet with identity
+    /// `sd` and absorbing element `uk` — a bounded semilattice.
+    #[test]
+    fn confidence_is_a_meet_semilattice(
+        a in confidence_strategy(),
+        b in confidence_strategy(),
+        c in confidence_strategy(),
+    ) {
+        prop_assert_eq!(a.combine(b), b.combine(a));
+        prop_assert_eq!(a.combine(b).combine(c), a.combine(b.combine(c)));
+        prop_assert_eq!(a.combine(a), a);
+        prop_assert_eq!(a.combine(Confidence::Source), a);
+        prop_assert_eq!(a.combine(Confidence::Unknown), Confidence::Unknown);
+        // Combining never increases reliability.
+        prop_assert!(a.combine(b) <= a);
+    }
+
+    /// Function composition agrees with sequential application and is
+    /// associative; identity is a two-sided unit and unknown absorbs.
+    #[test]
+    fn mapping_function_algebra(
+        f in function_strategy(),
+        g in function_strategy(),
+        h in function_strategy(),
+        x in -50.0f64..50.0,
+    ) {
+        let composed = f.compose(g).apply(x);
+        let sequential = f.apply(x).and_then(|y| g.apply(y));
+        match (composed, sequential) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * b.abs().max(1.0)),
+            (a, b) => prop_assert_eq!(a, b),
+        }
+        // Associativity (on application results).
+        let left = f.compose(g).compose(h).apply(x);
+        let right = f.compose(g.compose(h)).apply(x);
+        match (left, right) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * b.abs().max(1.0)),
+            (a, b) => prop_assert_eq!(a, b),
+        }
+        prop_assert_eq!(
+            MappingFunction::Identity.compose(f).apply(x),
+            f.apply(x)
+        );
+        prop_assert_eq!(
+            f.compose(MappingFunction::Identity).apply(x),
+            f.apply(x)
+        );
+        prop_assert_eq!(f.compose(MappingFunction::Unknown).apply(x), None);
+    }
+
+    /// Every snapshot of a random dimension is a DAG with sane depths:
+    /// parents are strictly shallower than the deepest child path.
+    #[test]
+    fn snapshots_are_dags_with_consistent_depths(
+        d in dimension_strategy(),
+        probe in 0i64..80,
+    ) {
+        let t = Instant::at(probe);
+        let snap = d.snapshot(t);
+        let depths = snap.depths();
+        // Every valid member got a depth (acyclicity: Kahn visits all).
+        prop_assert_eq!(depths.len(), snap.members().len());
+        for &m in snap.members() {
+            for p in d.parents_at(m, t) {
+                prop_assert!(depths[&p] < depths[&m]);
+            }
+        }
+        // Roots have depth zero, leaves have no children.
+        for r in snap.roots() {
+            prop_assert_eq!(depths[&r], 0);
+        }
+        for l in snap.leaves() {
+            prop_assert!(d.children_at(l, t).is_empty());
+        }
+    }
+
+    /// Structure versions cover exactly the instants at which at least
+    /// one element is valid, and membership matches point queries.
+    #[test]
+    fn structure_versions_agree_with_point_queries(
+        d in dimension_strategy(),
+        probe in -5i64..85,
+    ) {
+        let svs = infer_structure_versions(std::slice::from_ref(&d));
+        let t = Instant::at(probe);
+        let covered = svs.iter().find(|sv| sv.interval.contains(t));
+        let any_valid = d.versions().iter().any(|v| v.validity.contains(t));
+        prop_assert_eq!(covered.is_some(), any_valid);
+        if let Some(sv) = covered {
+            for v in d.versions() {
+                prop_assert_eq!(
+                    sv.contains(mvolap_core::DimensionId(0), v.id),
+                    v.validity.contains(t),
+                    "member {} at {}", v.name, t
+                );
+            }
+        }
+    }
+
+    /// Excluding a member keeps the dimension internally consistent:
+    /// no relationship outlives either endpoint.
+    #[test]
+    fn exclusion_preserves_relationship_invariant(
+        d in dimension_strategy(),
+        victim_seed in 0usize..12,
+        cut in 5i64..60,
+    ) {
+        let mut d = d;
+        let victim = d.versions()[victim_seed % d.versions().len()].id;
+        let at = Instant::at(cut);
+        // Exclusion may legitimately fail (cut before start); when it
+        // succeeds, validate the Definition 2 inclusion for every edge.
+        if d.exclude(victim, at).is_ok() {
+            for r in d.relationships() {
+                let cv = d.version(r.child).expect("exists").validity;
+                let pv = d.version(r.parent).expect("exists").validity;
+                let both = cv.intersect(pv);
+                prop_assert!(
+                    both.map(|b| b.contains_interval(r.validity)) == Some(true),
+                    "edge {:?} outlives an endpoint", r
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # mvolap-cube
+//!
+//! The OLAP-server tier of the §5.1 architecture: the cube "calculates
+//! and optimizes the hypercube … query results are pre-calculated in the
+//! form of aggregates", and the front end navigates it with roll-up,
+//! drill-down, slice, dice and rotate while confidence colours and the
+//! global quality factor guide the user (§5.2).
+//!
+//! * [`Cube`] — materialises the aggregate lattice (every combination of
+//!   per-dimension level and time level) for one temporal mode;
+//! * [`CubeView`] — a navigable viewpoint over a cube with the classic
+//!   OLAP operators;
+//! * [`quality`] — the §5.2 global quality factor and best-mode choice.
+
+pub mod lattice;
+pub mod quality;
+pub mod view;
+
+pub use lattice::{BuildStats, Cube, CubeSpec, LatticeNode};
+pub use quality::{best_mode, mode_qualities, ModeQuality};
+pub use view::CubeView;

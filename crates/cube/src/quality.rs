@@ -1,0 +1,126 @@
+//! The global quality factor `Q` (paper §5.2).
+//!
+//! Once a request is built, each temporal mode scores
+//! `Q = (Σᵢⱼ pds(fb(i,j))) / (Ni·Nj·10)` with user-weighted confidence
+//! factors, and "the user can choose his best version among all temporal
+//! modes of presentation, according to its own criteria of quality".
+
+use mvolap_core::aggregate::{evaluate, AggregateQuery};
+use mvolap_core::error::Result;
+use mvolap_core::structure_version::StructureVersion;
+use mvolap_core::tmp::{all_modes, TemporalMode};
+use mvolap_core::{ConfidenceWeights, Tmd};
+
+/// The quality score of one temporal mode for a given query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeQuality {
+    /// The scored mode.
+    pub mode: TemporalMode,
+    /// The §5.2 global quality factor in `[0, 1]`.
+    pub quality: f64,
+    /// Result rows the mode produced.
+    pub rows: usize,
+    /// Source facts unrepresentable in the mode.
+    pub unmapped_rows: usize,
+}
+
+/// Evaluates `query` under **every** temporal mode (tcm plus each
+/// structure version), scoring each with the user's weights. The query's
+/// own `mode` field is ignored — it is re-run per mode.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn mode_qualities(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    query: &AggregateQuery,
+    weights: &ConfidenceWeights,
+) -> Result<Vec<ModeQuality>> {
+    let mut out = Vec::new();
+    for mode in all_modes(structure_versions) {
+        let mut q = query.clone();
+        q.mode = mode.clone();
+        let rs = evaluate(tmd, structure_versions, &q)?;
+        out.push(ModeQuality {
+            mode,
+            quality: rs.quality(weights),
+            rows: rs.rows.len(),
+            unmapped_rows: rs.unmapped_rows,
+        });
+    }
+    Ok(out)
+}
+
+/// The mode with the highest quality factor (ties resolve to the
+/// earliest mode in TMP order, i.e. tcm first).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn best_mode(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    query: &AggregateQuery,
+    weights: &ConfidenceWeights,
+) -> Result<ModeQuality> {
+    let qualities = mode_qualities(tmd, structure_versions, query, weights)?;
+    Ok(qualities
+        .into_iter()
+        .reduce(|best, cur| if cur.quality > best.quality { cur } else { best })
+        .expect("all_modes always yields at least tcm"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvolap_core::case_study::case_study;
+    use mvolap_temporal::Interval;
+
+    fn q2() -> (Tmd, mvolap_core::DimensionId, AggregateQuery) {
+        let cs = case_study();
+        let q = AggregateQuery::by_year(cs.org, "Department", TemporalMode::Consistent)
+            .in_range(Interval::years(2002, 2003));
+        (cs.tmd, cs.org, q)
+    }
+
+    #[test]
+    fn tcm_scores_perfect_quality() {
+        let (tmd, _, q) = q2();
+        let svs = tmd.structure_versions();
+        let scores = mode_qualities(&tmd, &svs, &q, &ConfidenceWeights::DEFAULT).unwrap();
+        assert_eq!(scores.len(), 4); // tcm + 3 versions
+        assert_eq!(scores[0].mode, TemporalMode::Consistent);
+        assert!((scores[0].quality - 1.0).abs() < 1e-12);
+        // Mapped modes lose quality.
+        assert!(scores[3].quality < 1.0);
+    }
+
+    #[test]
+    fn best_mode_is_tcm_with_default_weights() {
+        let (tmd, _, q) = q2();
+        let svs = tmd.structure_versions();
+        let best = best_mode(&tmd, &svs, &q, &ConfidenceWeights::DEFAULT).unwrap();
+        assert_eq!(best.mode, TemporalMode::Consistent);
+    }
+
+    #[test]
+    fn weights_change_the_ranking_between_mapped_modes() {
+        let (tmd, _, q) = q2();
+        let svs = tmd.structure_versions();
+        // A user who trusts exact mappings as much as source data: the
+        // 2002 mode (exact merge of Bill+Paul into Jones) ties tcm and
+        // beats the 2003 mode (approximate split).
+        let w = ConfidenceWeights::new(10, 10, 0, 0);
+        let scores = mode_qualities(&tmd, &svs, &q, &w).unwrap();
+        let by_mode = |label: &str| {
+            scores
+                .iter()
+                .find(|s| s.mode.label() == label)
+                .map(|s| s.quality)
+                .unwrap()
+        };
+        assert!((by_mode("VS1") - 1.0).abs() < 1e-12);
+        assert!(by_mode("VS1") > by_mode("VS2"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Interactive navigation over a materialised cube.
+//!
+//! [`CubeView`] is the front-end tier's viewpoint: the classic OLAP
+//! operators (roll-up, drill-down, slice, dice, rotate) move it around
+//! the precomputed lattice, and rendering tags every cell with its
+//! confidence colour (§5.2's white/green/yellow/red guidance).
+
+use mvolap_core::aggregate::{ResultRow, TimeLevel};
+use mvolap_core::error::{CoreError, Result};
+use mvolap_core::{ConfidenceWeights, DimensionId};
+
+use crate::lattice::Cube;
+
+/// A navigable viewpoint over a [`Cube`].
+#[derive(Debug, Clone)]
+pub struct CubeView<'a> {
+    cube: &'a Cube,
+    /// Current level per dimension (`None` = rolled up to All).
+    levels: Vec<Option<String>>,
+    /// Current time grouping.
+    time_level: TimeLevel,
+    /// Dice filters: per dimension, the allowed member names (empty =
+    /// no filter). Index 0 filters the time axis.
+    filters: Vec<Vec<String>>,
+    /// Column order for rendering: indices into [time, dim0, dim1, …].
+    pivot: Vec<usize>,
+}
+
+impl<'a> CubeView<'a> {
+    /// Opens a view at the finest materialised granularity: the deepest
+    /// level of every dimension, by year.
+    pub fn open(cube: &'a Cube) -> Self {
+        let levels: Vec<Option<String>> = cube
+            .dimension_names()
+            .iter()
+            .enumerate()
+            .map(|(d, _)| {
+                cube.levels_of(DimensionId(d as u32))
+                    .ok()
+                    .and_then(|ls| ls.last().cloned())
+            })
+            .collect();
+        let n = levels.len();
+        CubeView {
+            cube,
+            levels,
+            time_level: TimeLevel::Year,
+            filters: vec![Vec::new(); n + 1],
+            pivot: (0..=n).collect(),
+        }
+    }
+
+    /// The current level per dimension.
+    pub fn levels(&self) -> &[Option<String>] {
+        &self.levels
+    }
+
+    /// The current time level.
+    pub fn time_level(&self) -> TimeLevel {
+        self.time_level
+    }
+
+    /// **Roll-up**: moves one dimension one level towards All.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDimension`] for a bad id. Rolling up from All
+    /// is a no-op.
+    pub fn roll_up(&mut self, dim: DimensionId) -> Result<()> {
+        let all = self.cube.levels_of(dim)?;
+        let cur = self
+            .levels
+            .get_mut(dim.index())
+            .ok_or(CoreError::UnknownDimension(dim))?;
+        *cur = match cur.as_deref() {
+            None => None,
+            Some(level) => {
+                let pos = all.iter().position(|l| l == level);
+                match pos {
+                    Some(0) | None => None,
+                    Some(p) => Some(all[p - 1].clone()),
+                }
+            }
+        };
+        Ok(())
+    }
+
+    /// **Drill-down**: moves one dimension one level away from All.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDimension`] for a bad id. Drilling below the
+    /// deepest level is a no-op.
+    pub fn drill_down(&mut self, dim: DimensionId) -> Result<()> {
+        let all = self.cube.levels_of(dim)?;
+        let cur = self
+            .levels
+            .get_mut(dim.index())
+            .ok_or(CoreError::UnknownDimension(dim))?;
+        *cur = match cur.as_deref() {
+            None => all.first().cloned(),
+            Some(level) => {
+                let pos = all.iter().position(|l| l == level);
+                match pos {
+                    Some(p) if p + 1 < all.len() => Some(all[p + 1].clone()),
+                    _ => cur.clone(),
+                }
+            }
+        };
+        Ok(())
+    }
+
+    /// Rolls the time axis up to a single all-time group.
+    pub fn roll_up_time(&mut self) {
+        self.time_level = TimeLevel::All;
+    }
+
+    /// Drills the time axis down to years.
+    pub fn drill_down_time(&mut self) {
+        self.time_level = TimeLevel::Year;
+    }
+
+    /// **Slice**: fixes one dimension to a single member name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDimension`] for a bad id.
+    pub fn slice(&mut self, dim: DimensionId, member: impl Into<String>) -> Result<()> {
+        self.dice(dim, vec![member.into()])
+    }
+
+    /// **Dice**: restricts one dimension to a set of member names
+    /// (empty clears the filter).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDimension`] for a bad id.
+    pub fn dice(&mut self, dim: DimensionId, members: Vec<String>) -> Result<()> {
+        let slot = self
+            .filters
+            .get_mut(dim.index() + 1)
+            .ok_or(CoreError::UnknownDimension(dim))?;
+        *slot = members;
+        Ok(())
+    }
+
+    /// Restricts the time axis to a set of rendered time keys
+    /// (e.g. `"2002"`).
+    pub fn dice_time(&mut self, times: Vec<String>) {
+        self.filters[0] = times;
+    }
+
+    /// **Rotate / pivot**: reorders the rendered axes. `order` indexes
+    /// into `[time, dim0, dim1, …]` and must be a permutation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidEvolution`] when `order` is not a permutation
+    /// of the axes.
+    pub fn rotate(&mut self, order: Vec<usize>) -> Result<()> {
+        let n = self.filters.len();
+        let mut seen = vec![false; n];
+        if order.len() != n || order.iter().any(|&i| i >= n || std::mem::replace(&mut seen[i], true)) {
+            return Err(CoreError::InvalidEvolution(format!(
+                "rotate order must be a permutation of 0..{n}"
+            )));
+        }
+        self.pivot = order;
+        Ok(())
+    }
+
+    /// The rows visible from the current viewpoint (level choice, time
+    /// level, filters applied). Rows come from the precomputed lattice.
+    pub fn rows(&self) -> Vec<ResultRow> {
+        let Some(node) = self.cube.node(&self.levels, self.time_level) else {
+            return Vec::new();
+        };
+        node.rows
+            .iter()
+            .filter(|r| {
+                if !self.filters[0].is_empty() && !self.filters[0].contains(&r.time) {
+                    return false;
+                }
+                // Key columns correspond to dimensions that currently
+                // have a level selected, in dimension order.
+                let mut key_idx = 0;
+                for (d, level) in self.levels.iter().enumerate() {
+                    if level.is_none() {
+                        continue;
+                    }
+                    let filter = &self.filters[d + 1];
+                    if !filter.is_empty() && !filter.contains(&r.keys[key_idx]) {
+                        return false;
+                    }
+                    key_idx += 1;
+                }
+                true
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// The §5.2 quality factor of the current viewpoint.
+    pub fn quality(&self, weights: &ConfidenceWeights) -> f64 {
+        let rows = self.rows();
+        let nj = self
+            .cube
+            .node(&self.levels, self.time_level)
+            .map(|n| n.measure_headers.len())
+            .unwrap_or(0);
+        if rows.is_empty() || nj == 0 {
+            return 0.0;
+        }
+        let sum: u64 = rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .map(|c| weights.weight(c.confidence) as u64)
+            .sum();
+        sum as f64 / (rows.len() as f64 * nj as f64 * 10.0)
+    }
+
+    /// Renders the viewpoint as a pivot grid — time down the side, the
+    /// first grouped dimension's members across the top — the layout of
+    /// the prototype's result grids, with each cell carrying its
+    /// confidence code. `measure` selects the measure column (0-based);
+    /// blank cells are the "impossible cross-points" the prototype
+    /// coloured red.
+    pub fn render_grid(&self, measure: usize) -> String {
+        mvolap_core::aggregate::render_rows_grid(&self.rows(), measure)
+    }
+
+    /// Renders the viewpoint as text, one line per row in pivot order,
+    /// every cell tagged with its confidence colour — the textual stand-in
+    /// for the prototype's coloured grid.
+    pub fn render(&self) -> String {
+        let rows = self.rows();
+        let mut out = String::new();
+        for r in &rows {
+            // Assemble axis labels: time plus the selected-level keys.
+            let mut labels: Vec<&str> = vec![&r.time];
+            labels.extend(r.keys.iter().map(String::as_str));
+            let ordered: Vec<&str> = self
+                .pivot
+                .iter()
+                .filter_map(|&i| labels.get(i).copied())
+                .collect();
+            out.push_str(&ordered.join(" | "));
+            out.push_str(" :");
+            for c in &r.cells {
+                match c.value {
+                    Some(v) => out.push_str(&format!(" {v} [{}]", c.confidence.colour())),
+                    None => out.push_str(&format!(" ? [{}]", c.confidence.colour())),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::CubeSpec;
+    use mvolap_core::case_study::case_study;
+    use mvolap_core::tmp::TemporalMode;
+    use mvolap_core::StructureVersionId;
+
+    fn cube_for(mode: TemporalMode) -> (Cube, DimensionId) {
+        let cs = case_study();
+        let svs = cs.tmd.structure_versions();
+        (Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(mode)).unwrap(), cs.org)
+    }
+
+    #[test]
+    fn open_starts_at_deepest_level() {
+        let (cube, _) = cube_for(TemporalMode::Consistent);
+        let view = CubeView::open(&cube);
+        assert_eq!(view.levels(), &[Some("Department".to_owned())]);
+        assert_eq!(view.time_level(), TimeLevel::Year);
+        assert_eq!(view.rows().len(), 10); // one per Table 3 fact
+    }
+
+    #[test]
+    fn roll_up_and_drill_down_walk_the_lattice() {
+        let (cube, org) = cube_for(TemporalMode::Consistent);
+        let mut view = CubeView::open(&cube);
+        view.roll_up(org).unwrap();
+        assert_eq!(view.levels(), &[Some("Division".to_owned())]);
+        assert_eq!(view.rows().len(), 6); // 3 years × 2 divisions
+        view.roll_up(org).unwrap();
+        assert_eq!(view.levels(), &[None]);
+        assert_eq!(view.rows().len(), 3); // one per year
+        view.roll_up(org).unwrap(); // no-op at the top
+        assert_eq!(view.levels(), &[None]);
+        view.drill_down(org).unwrap();
+        assert_eq!(view.levels(), &[Some("Division".to_owned())]);
+        view.drill_down(org).unwrap();
+        view.drill_down(org).unwrap(); // no-op at the bottom
+        assert_eq!(view.levels(), &[Some("Department".to_owned())]);
+    }
+
+    #[test]
+    fn time_rollup() {
+        let (cube, org) = cube_for(TemporalMode::Consistent);
+        let mut view = CubeView::open(&cube);
+        view.roll_up(org).unwrap();
+        view.roll_up_time();
+        let rows = view.rows();
+        assert_eq!(rows.len(), 2); // Sales, R&D over all time
+        let sales = rows.iter().find(|r| r.keys[0] == "Sales").unwrap();
+        assert_eq!(sales.cells[0].value, Some(450.0));
+        view.drill_down_time();
+        assert_eq!(view.rows().len(), 6);
+    }
+
+    #[test]
+    fn slice_and_dice() {
+        let (cube, org) = cube_for(TemporalMode::Consistent);
+        let mut view = CubeView::open(&cube);
+        view.roll_up(org).unwrap();
+        view.slice(org, "Sales").unwrap();
+        assert!(view.rows().iter().all(|r| r.keys[0] == "Sales"));
+        assert_eq!(view.rows().len(), 3);
+        view.dice(org, vec![]).unwrap(); // clear
+        view.dice_time(vec!["2002".into(), "2003".into()]);
+        assert_eq!(view.rows().len(), 4);
+    }
+
+    #[test]
+    fn rotate_validates_permutation() {
+        let (cube, _) = cube_for(TemporalMode::Consistent);
+        let mut view = CubeView::open(&cube);
+        view.rotate(vec![1, 0]).unwrap();
+        assert!(view.rotate(vec![0, 0]).is_err());
+        assert!(view.rotate(vec![0]).is_err());
+        let text = view.render();
+        // Department name now leads each line.
+        assert!(text.lines().next().unwrap().starts_with("Dpt."));
+    }
+
+    #[test]
+    fn render_grid_pivots_members_to_columns() {
+        let (cube, _) = cube_for(TemporalMode::Version(StructureVersionId(2)));
+        let view = CubeView::open(&cube);
+        let grid = view.render_grid(0);
+        let lines: Vec<&str> = grid.lines().collect();
+        // Header has the departments of the 2003 structure.
+        assert!(lines[0].contains("Dpt.Bill"));
+        assert!(lines[0].contains("Dpt.Smith"));
+        assert!(!lines[0].contains("Dpt.Jones")); // not valid in VS2
+        // Rows are years; the 2002 Bill cell is the mapped 40 (am).
+        let row_2002 = lines.iter().find(|l| l.starts_with("2002")).unwrap();
+        assert!(row_2002.contains("40 (am)"));
+        let row_2003 = lines.iter().find(|l| l.starts_with("2003")).unwrap();
+        assert!(row_2003.contains("150 (sd)"));
+        // Years 2001-2003: header + 3 rows.
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn render_grid_leaves_impossible_cells_blank() {
+        // In tcm, Jones has no 2003 column entries and Bill none before
+        // 2003: those cross-points render blank.
+        let (cube, _) = cube_for(TemporalMode::Consistent);
+        let view = CubeView::open(&cube);
+        let grid = view.render_grid(0);
+        let header = grid.lines().next().unwrap().to_owned();
+        let jones_col = header.find("Dpt.Jones").unwrap();
+        let row_2003 = grid.lines().find(|l| l.starts_with("2003")).unwrap();
+        // The Jones column in 2003 is whitespace (or the row ends first).
+        let cell = row_2003.get(jones_col..jones_col + 3).unwrap_or("");
+        assert!(cell.trim().is_empty(), "expected blank, got `{cell}`");
+    }
+
+    #[test]
+    fn render_tags_confidence_colours() {
+        let (cube, _) = cube_for(TemporalMode::Version(StructureVersionId(2)));
+        let view = CubeView::open(&cube);
+        let text = view.render();
+        assert!(text.contains("[white]")); // source cells
+        assert!(text.contains("[yellow]")); // approx-mapped split cells
+    }
+
+    #[test]
+    fn view_quality_tracks_filters() {
+        let (cube, _) = cube_for(TemporalMode::Version(StructureVersionId(2)));
+        let mut view = CubeView::open(&cube);
+        let w = ConfidenceWeights::DEFAULT;
+        let q_all = view.quality(&w);
+        assert!(q_all < 1.0);
+        // Slicing to 2003 leaves only source cells.
+        view.dice_time(vec!["2003".into()]);
+        assert!((view.quality(&w) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,404 @@
+//! Kimball's Slowly Changing Dimensions, Types 1–3 (paper §1.2).
+//!
+//! These are the baselines the paper positions itself against:
+//!
+//! * **Type 1** overwrites — it "avoids the real goal", the tracking of
+//!   history: every query sees only the latest structure;
+//! * **Type 2** versions rows — history is kept, but "comparisons across
+//!   the transitions cannot be made, since links between them are not
+//!   kept";
+//! * **Type 3** keeps the previous value in a second column — bounded
+//!   history, no overlap support, attribute changes only.
+//!
+//! Each maintainer ingests the same [`Snapshot`]
+//! stream the multiversion loader consumes, storing its dimension as a
+//! relational [`Table`], so the benchmark suite can compare load cost,
+//! storage and — crucially — answerable queries.
+
+use mvolap_storage::{ColumnDef, DataType, StorageError, Table, TableSchema, Value};
+use mvolap_temporal::Instant;
+
+use crate::snapshot::Snapshot;
+
+/// SCD **Type 1**: one row per member, updated in place.
+#[derive(Debug, Clone)]
+pub struct Scd1Dimension {
+    table: Table,
+}
+
+impl Scd1Dimension {
+    /// An empty Type 1 dimension table.
+    ///
+    /// # Errors
+    ///
+    /// Storage schema failures.
+    pub fn new(name: &str) -> Result<Self, StorageError> {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("member", DataType::Str),
+            ColumnDef::nullable("parent", DataType::Str),
+        ])?;
+        Ok(Scd1Dimension {
+            table: Table::new(format!("{name}_scd1"), schema),
+        })
+    }
+
+    /// Loads a snapshot: existing members are overwritten, new members
+    /// appended, vanished members removed — the destructive update model.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures.
+    pub fn load(&mut self, snapshot: &Snapshot) -> Result<(), StorageError> {
+        // Rebuild wholesale: Type 1 keeps no history, so the snapshot IS
+        // the table.
+        let mut fresh = Table::new(self.table.name().to_owned(), self.table.schema().clone());
+        for row in snapshot.rows.values() {
+            fresh.push_row(vec![
+                row.member.clone().into(),
+                row.parent.clone().map(Value::from).unwrap_or(Value::Null),
+            ])?;
+        }
+        self.table = fresh;
+        Ok(())
+    }
+
+    /// The current parent of a member — the only question Type 1 can
+    /// answer (no history).
+    pub fn parent_of(&self, member: &str) -> Option<String> {
+        self.table
+            .rows()
+            .find(|r| r[0].as_str() == Some(member))
+            .and_then(|r| r[1].as_str().map(str::to_owned))
+    }
+
+    /// The underlying relational table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+}
+
+/// SCD **Type 2**: a new row (new surrogate key) per changed member,
+/// with validity bounds and a current flag.
+#[derive(Debug, Clone)]
+pub struct Scd2Dimension {
+    table: Table,
+    next_key: i64,
+}
+
+impl Scd2Dimension {
+    /// An empty Type 2 dimension table.
+    ///
+    /// # Errors
+    ///
+    /// Storage schema failures.
+    pub fn new(name: &str) -> Result<Self, StorageError> {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("surrogate", DataType::Int),
+            ColumnDef::required("member", DataType::Str),
+            ColumnDef::nullable("parent", DataType::Str),
+            ColumnDef::required("valid_from", DataType::Int),
+            ColumnDef::nullable("valid_to", DataType::Int),
+            ColumnDef::required("current", DataType::Bool),
+        ])?;
+        Ok(Scd2Dimension {
+            table: Table::new(format!("{name}_scd2"), schema),
+            next_key: 1,
+        })
+    }
+
+    /// Loads a snapshot: changed members close their current row and
+    /// open a new one; vanished members close; new members open.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures.
+    pub fn load(&mut self, snapshot: &Snapshot) -> Result<(), StorageError> {
+        let t = snapshot.period.tick();
+        // Collect the current state.
+        let mut current: Vec<(usize, String, Option<String>)> = Vec::new();
+        for (i, row) in self.table.rows().enumerate() {
+            if row[5] == Value::Bool(true) {
+                current.push((
+                    i,
+                    row[1].as_str().expect("member is a string").to_owned(),
+                    row[2].as_str().map(str::to_owned),
+                ));
+            }
+        }
+        // Rebuild the table with closed/kept rows (storage tables are
+        // append-only; SCD2 maintenance rewrites the handful of current
+        // rows).
+        let mut fresh = Table::new(self.table.name().to_owned(), self.table.schema().clone());
+        for (i, row) in self.table.rows().enumerate() {
+            let mut row = row;
+            if row[5] == Value::Bool(true) {
+                let member = row[1].as_str().expect("member is a string");
+                let parent = row[2].as_str().map(str::to_owned);
+                let next = snapshot.rows.get(member);
+                let changed = match next {
+                    None => true,
+                    Some(n) => n.parent != parent,
+                };
+                if changed {
+                    row[4] = Value::Int(t - 1);
+                    row[5] = Value::Bool(false);
+                }
+            }
+            let _ = i;
+            fresh.push_row(row)?;
+        }
+        self.table = fresh;
+        // Open rows for new or changed members.
+        for (member, next) in &snapshot.rows {
+            let was = current.iter().find(|(_, m, _)| m == member);
+            let needs_row = match was {
+                None => true,
+                Some((_, _, parent)) => parent != &next.parent,
+            };
+            if needs_row {
+                let key = self.next_key;
+                self.next_key += 1;
+                self.table.push_row(vec![
+                    key.into(),
+                    member.clone().into(),
+                    next.parent.clone().map(Value::from).unwrap_or(Value::Null),
+                    t.into(),
+                    Value::Null,
+                    true.into(),
+                ])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The parent of a member at instant `t` — Type 2 keeps history, so
+    /// point-in-time lookups work…
+    pub fn parent_at(&self, member: &str, t: Instant) -> Option<String> {
+        let tick = t.tick();
+        self.table
+            .rows()
+            .find(|r| {
+                r[1].as_str() == Some(member)
+                    && r[3].as_int().expect("valid_from") <= tick
+                    && match r[4].as_int() {
+                        Some(to) => tick <= to,
+                        None => true,
+                    }
+            })
+            .and_then(|r| r[2].as_str().map(str::to_owned))
+    }
+
+    /// …but each spell is an unrelated surrogate row: the *link* between
+    /// a member's versions is not modelled, which is exactly the paper's
+    /// critique. This returns the number of disconnected rows a member
+    /// has accumulated.
+    pub fn version_count(&self, member: &str) -> usize {
+        self.table
+            .rows()
+            .filter(|r| r[1].as_str() == Some(member))
+            .count()
+    }
+
+    /// The underlying relational table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+}
+
+/// SCD **Type 3**: one row per member with `parent` and
+/// `previous_parent` columns — exactly one change of history, no
+/// overlaps (the limitation the paper notes).
+#[derive(Debug, Clone)]
+pub struct Scd3Dimension {
+    table: Table,
+}
+
+impl Scd3Dimension {
+    /// An empty Type 3 dimension table.
+    ///
+    /// # Errors
+    ///
+    /// Storage schema failures.
+    pub fn new(name: &str) -> Result<Self, StorageError> {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("member", DataType::Str),
+            ColumnDef::nullable("parent", DataType::Str),
+            ColumnDef::nullable("previous_parent", DataType::Str),
+        ])?;
+        Ok(Scd3Dimension {
+            table: Table::new(format!("{name}_scd3"), schema),
+        })
+    }
+
+    /// Loads a snapshot, shifting the old parent into `previous_parent`
+    /// on change. A second change silently discards the oldest value —
+    /// Type 3's bounded history.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures.
+    pub fn load(&mut self, snapshot: &Snapshot) -> Result<(), StorageError> {
+        let mut fresh = Table::new(self.table.name().to_owned(), self.table.schema().clone());
+        for (member, next) in &snapshot.rows {
+            let old = self
+                .table
+                .rows()
+                .find(|r| r[0].as_str() == Some(member))
+                .map(|r| (r[1].clone(), r[2].clone()));
+            let (parent, previous) = match old {
+                None => (
+                    next.parent.clone().map(Value::from).unwrap_or(Value::Null),
+                    Value::Null,
+                ),
+                Some((old_parent, old_previous)) => {
+                    let new_parent =
+                        next.parent.clone().map(Value::from).unwrap_or(Value::Null);
+                    if new_parent == old_parent {
+                        (old_parent, old_previous)
+                    } else {
+                        (new_parent, old_parent)
+                    }
+                }
+            };
+            fresh.push_row(vec![member.clone().into(), parent, previous])?;
+        }
+        self.table = fresh;
+        Ok(())
+    }
+
+    /// Current and previous parent of a member.
+    pub fn parents_of(&self, member: &str) -> Option<(Option<String>, Option<String>)> {
+        self.table
+            .rows()
+            .find(|r| r[0].as_str() == Some(member))
+            .map(|r| (r[1].as_str().map(str::to_owned), r[2].as_str().map(str::to_owned)))
+    }
+
+    /// The underlying relational table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotRow;
+
+    fn snap(period: Instant, pairs: &[(&str, Option<&str>)]) -> Snapshot {
+        Snapshot::new(
+            period,
+            pairs.iter().map(|(m, p)| SnapshotRow::new(*m, *p)),
+        )
+    }
+
+    fn s2001() -> Snapshot {
+        snap(
+            Instant::ym(2001, 1),
+            &[
+                ("Sales", None),
+                ("R&D", None),
+                ("Dpt.Jones", Some("Sales")),
+                ("Dpt.Smith", Some("Sales")),
+                ("Dpt.Brian", Some("R&D")),
+            ],
+        )
+    }
+
+    fn s2002() -> Snapshot {
+        snap(
+            Instant::ym(2002, 1),
+            &[
+                ("Sales", None),
+                ("R&D", None),
+                ("Dpt.Jones", Some("Sales")),
+                ("Dpt.Smith", Some("R&D")),
+                ("Dpt.Brian", Some("R&D")),
+            ],
+        )
+    }
+
+    #[test]
+    fn scd1_loses_history() {
+        let mut d = Scd1Dimension::new("org").unwrap();
+        d.load(&s2001()).unwrap();
+        assert_eq!(d.parent_of("Dpt.Smith").as_deref(), Some("Sales"));
+        d.load(&s2002()).unwrap();
+        // The 2001 placement is gone forever.
+        assert_eq!(d.parent_of("Dpt.Smith").as_deref(), Some("R&D"));
+        assert_eq!(d.table().len(), 5);
+    }
+
+    #[test]
+    fn scd2_keeps_history_per_point_in_time() {
+        let mut d = Scd2Dimension::new("org").unwrap();
+        d.load(&s2001()).unwrap();
+        d.load(&s2002()).unwrap();
+        assert_eq!(
+            d.parent_at("Dpt.Smith", Instant::ym(2001, 6)).as_deref(),
+            Some("Sales")
+        );
+        assert_eq!(
+            d.parent_at("Dpt.Smith", Instant::ym(2002, 6)).as_deref(),
+            Some("R&D")
+        );
+        // …at the cost of disconnected surrogate rows.
+        assert_eq!(d.version_count("Dpt.Smith"), 2);
+        assert_eq!(d.version_count("Dpt.Brian"), 1);
+    }
+
+    #[test]
+    fn scd2_closes_vanished_members() {
+        let mut d = Scd2Dimension::new("org").unwrap();
+        d.load(&s2001()).unwrap();
+        let mut next = s2002();
+        next.rows.remove("Dpt.Jones");
+        d.load(&next).unwrap();
+        assert_eq!(
+            d.parent_at("Dpt.Jones", Instant::ym(2001, 6)).as_deref(),
+            Some("Sales")
+        );
+        assert_eq!(d.parent_at("Dpt.Jones", Instant::ym(2002, 6)), None);
+    }
+
+    #[test]
+    fn scd3_keeps_exactly_one_previous_value() {
+        let mut d = Scd3Dimension::new("org").unwrap();
+        d.load(&s2001()).unwrap();
+        d.load(&s2002()).unwrap();
+        assert_eq!(
+            d.parents_of("Dpt.Smith").unwrap(),
+            (Some("R&D".into()), Some("Sales".into()))
+        );
+        // A second move erases the oldest placement: bounded history.
+        let s2003 = snap(
+            Instant::ym(2003, 1),
+            &[
+                ("Sales", None),
+                ("R&D", None),
+                ("Support", None),
+                ("Dpt.Jones", Some("Sales")),
+                ("Dpt.Smith", Some("Support")),
+                ("Dpt.Brian", Some("R&D")),
+            ],
+        );
+        d.load(&s2003).unwrap();
+        assert_eq!(
+            d.parents_of("Dpt.Smith").unwrap(),
+            (Some("Support".into()), Some("R&D".into()))
+        );
+    }
+
+    #[test]
+    fn scd3_unchanged_members_keep_previous() {
+        let mut d = Scd3Dimension::new("org").unwrap();
+        d.load(&s2001()).unwrap();
+        d.load(&s2002()).unwrap();
+        d.load(&s2002()).unwrap(); // idempotent reload
+        assert_eq!(
+            d.parents_of("Dpt.Smith").unwrap(),
+            (Some("R&D".into()), Some("Sales".into()))
+        );
+        assert_eq!(d.parents_of("Dpt.Brian").unwrap(), (Some("R&D".into()), None));
+    }
+}

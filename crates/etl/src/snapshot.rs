@@ -1,0 +1,227 @@
+//! Source snapshots and change detection.
+//!
+//! An operational system exports, each period, the current state of an
+//! analysis dimension as a flat table: one row per member with its
+//! parent and attributes. Diffing consecutive snapshots yields the
+//! evolution events that drive the §3.2 operators. Merges and splits are
+//! not inferable from two flat snapshots (a disappeared member plus two
+//! new ones is ambiguous) — they arrive as explicit hints from the
+//! administrator, exactly as the paper assumes knowledge about evolution
+//! operations.
+
+use std::collections::BTreeMap;
+
+use mvolap_temporal::Instant;
+
+/// One member row of a source snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRow {
+    /// Member business key (its name).
+    pub member: String,
+    /// Parent member name, if any.
+    pub parent: Option<String>,
+    /// Level tag (e.g. `Department`).
+    pub level: Option<String>,
+    /// Descriptive attributes.
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl SnapshotRow {
+    /// A row with just a member and parent.
+    pub fn new(member: impl Into<String>, parent: Option<&str>) -> Self {
+        SnapshotRow {
+            member: member.into(),
+            parent: parent.map(str::to_owned),
+            level: None,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the level tag.
+    #[must_use]
+    pub fn at_level(mut self, level: impl Into<String>) -> Self {
+        self.level = Some(level.into());
+        self
+    }
+}
+
+/// A full snapshot of one dimension at one period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The period this snapshot describes.
+    pub period: Instant,
+    /// Member rows, keyed by member name.
+    pub rows: BTreeMap<String, SnapshotRow>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from rows (later duplicates win).
+    pub fn new(period: Instant, rows: impl IntoIterator<Item = SnapshotRow>) -> Self {
+        Snapshot {
+            period,
+            rows: rows.into_iter().map(|r| (r.member.clone(), r)).collect(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A change detected between two consecutive snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangeEvent {
+    /// A member appeared.
+    Created {
+        /// The new member's row.
+        row: SnapshotRow,
+    },
+    /// A member disappeared.
+    Deleted {
+        /// The member name.
+        member: String,
+    },
+    /// A member's parent changed (a reclassification).
+    Reclassified {
+        /// The member name.
+        member: String,
+        /// Previous parent.
+        old_parent: Option<String>,
+        /// New parent.
+        new_parent: Option<String>,
+    },
+    /// A member's attributes changed (a transformation).
+    AttributesChanged {
+        /// The member name.
+        member: String,
+        /// The full new attribute map.
+        attributes: BTreeMap<String, String>,
+    },
+}
+
+/// Diffs two consecutive snapshots into change events, in deterministic
+/// (member-name) order within each phase: deletions first, then **all**
+/// creations, then reclassifications and attribute changes — so a member
+/// reclassified under a division created in the same snapshot loads
+/// cleanly.
+pub fn diff(prev: &Snapshot, next: &Snapshot) -> Vec<ChangeEvent> {
+    let mut events = Vec::new();
+    for member in prev.rows.keys() {
+        if !next.rows.contains_key(member) {
+            events.push(ChangeEvent::Deleted {
+                member: member.clone(),
+            });
+        }
+    }
+    for (member, row) in &next.rows {
+        if !prev.rows.contains_key(member) {
+            events.push(ChangeEvent::Created { row: row.clone() });
+        }
+    }
+    for (member, row) in &next.rows {
+        let Some(old) = prev.rows.get(member) else {
+            continue;
+        };
+        if old.parent != row.parent {
+            events.push(ChangeEvent::Reclassified {
+                member: member.clone(),
+                old_parent: old.parent.clone(),
+                new_parent: row.parent.clone(),
+            });
+        }
+        if old.attributes != row.attributes {
+            events.push(ChangeEvent::AttributesChanged {
+                member: member.clone(),
+                attributes: row.attributes.clone(),
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org_2001() -> Snapshot {
+        Snapshot::new(
+            Instant::ym(2001, 1),
+            [
+                SnapshotRow::new("Sales", None).at_level("Division"),
+                SnapshotRow::new("R&D", None).at_level("Division"),
+                SnapshotRow::new("Dpt.Jones", Some("Sales")).at_level("Department"),
+                SnapshotRow::new("Dpt.Smith", Some("Sales")).at_level("Department"),
+                SnapshotRow::new("Dpt.Brian", Some("R&D")).at_level("Department"),
+            ],
+        )
+    }
+
+    fn org_2002() -> Snapshot {
+        Snapshot::new(
+            Instant::ym(2002, 1),
+            [
+                SnapshotRow::new("Sales", None).at_level("Division"),
+                SnapshotRow::new("R&D", None).at_level("Division"),
+                SnapshotRow::new("Dpt.Jones", Some("Sales")).at_level("Department"),
+                SnapshotRow::new("Dpt.Smith", Some("R&D")).at_level("Department"),
+                SnapshotRow::new("Dpt.Brian", Some("R&D")).at_level("Department"),
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_snapshots_yield_no_events() {
+        assert!(diff(&org_2001(), &org_2001()).is_empty());
+    }
+
+    #[test]
+    fn smith_reclassification_detected() {
+        // The paper's 2001 -> 2002 evolution (Tables 1 -> 2).
+        let events = diff(&org_2001(), &org_2002());
+        assert_eq!(events, vec![ChangeEvent::Reclassified {
+            member: "Dpt.Smith".into(),
+            old_parent: Some("Sales".into()),
+            new_parent: Some("R&D".into()),
+        }]);
+    }
+
+    #[test]
+    fn create_and_delete_detected() {
+        let mut next = org_2001();
+        next.rows.remove("Dpt.Jones");
+        next.rows.insert(
+            "Dpt.New".into(),
+            SnapshotRow::new("Dpt.New", Some("Sales")).at_level("Department"),
+        );
+        let events = diff(&org_2001(), &next);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], ChangeEvent::Deleted { member } if member == "Dpt.Jones"));
+        assert!(
+            matches!(&events[1], ChangeEvent::Created { row } if row.member == "Dpt.New")
+        );
+    }
+
+    #[test]
+    fn attribute_changes_detected() {
+        let mut next = org_2001();
+        next.rows.get_mut("Dpt.Brian").unwrap().attributes.insert(
+            "leader".into(),
+            "Brian Jr".into(),
+        );
+        let events = diff(&org_2001(), &next);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], ChangeEvent::AttributesChanged { member, .. } if member == "Dpt.Brian"));
+    }
+
+    #[test]
+    fn snapshot_len() {
+        assert_eq!(org_2001().len(), 5);
+        assert!(!org_2001().is_empty());
+    }
+}

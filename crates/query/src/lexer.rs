@@ -1,0 +1,247 @@
+//! Tokenisation of the query language.
+
+use crate::error::{QueryError, Result};
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A bare identifier or keyword (`SELECT`, `Org`, `Amount`).
+    Ident(String),
+    /// A single-quoted string literal (`'Dpt.Jones'`); `''` escapes a
+    /// quote, SQL style.
+    Str(String),
+    /// An unsigned integer literal.
+    Number(i64),
+    /// `=`
+    Equals,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `/`
+    Slash,
+    /// `;`
+    Semi,
+}
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub at: usize,
+}
+
+/// Splits a query string into tokens. Identifiers may contain letters,
+/// digits, `_`, `&`, `+`, `-` and `'` after the first letter, so member
+/// and dimension names like `R&D` or `Dpt.O'Brian` survive (the `.`
+/// still separates dimension from level).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, at: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, at: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, at: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semi, at: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, at: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Equals, at: i });
+                i += 1;
+            }
+            '\'' => {
+                // UTF-8 safe: only the ASCII quote byte is inspected;
+                // content is copied as whole slices between quotes.
+                let start = i;
+                i += 1;
+                let mut text = String::new();
+                let mut seg_start = i;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(QueryError::Unexpected {
+                                expected: "closing `'`".into(),
+                                found: "end of input".into(),
+                                at: start,
+                            })
+                        }
+                        Some(b'\'') => {
+                            text.push_str(&input[seg_start..i]);
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                text.push('\'');
+                                i += 2;
+                                seg_start = i;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(text),
+                    at: start,
+                });
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token { kind: TokenKind::DotDot, at: i });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Dot, at: i });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<i64>().map_err(|_| QueryError::BadNumber {
+                    text: text.to_owned(),
+                    at: start,
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Number(value),
+                    at: start,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || matches!(c, '_' | '&' | '+' | '-' | '\'') {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_owned()),
+                    at: start,
+                });
+            }
+            other => {
+                return Err(QueryError::UnexpectedChar { ch: other, at: i });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_query_tokens() {
+        assert_eq!(
+            kinds("SELECT sum(Amount) BY year"),
+            vec![
+                Ident("SELECT".into()),
+                Ident("sum".into()),
+                LParen,
+                Ident("Amount".into()),
+                RParen,
+                Ident("BY".into()),
+                Ident("year".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_dates() {
+        assert_eq!(
+            kinds("FOR 2001..2002 AT 06/2002"),
+            vec![
+                Ident("FOR".into()),
+                Number(2001),
+                DotDot,
+                Number(2002),
+                Ident("AT".into()),
+                Number(6),
+                Slash,
+                Number(2002),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_special_name_chars() {
+        assert_eq!(kinds("R&D Dpt'X a_b-c"), vec![
+            Ident("R&D".into()),
+            Ident("Dpt'X".into()),
+            Ident("a_b-c".into()),
+        ]);
+    }
+
+    #[test]
+    fn dot_separates_dimension_and_level() {
+        assert_eq!(
+            kinds("Org.Division"),
+            vec![Ident("Org".into()), Dot, Ident("Division".into())]
+        );
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = tokenize("SELECT ?").unwrap_err();
+        assert_eq!(err, QueryError::UnexpectedChar { ch: '?', at: 7 });
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            kinds("WHERE x = 'Dpt.Jones'"),
+            vec![
+                Ident("WHERE".into()),
+                Ident("x".into()),
+                Equals,
+                Str("Dpt.Jones".into()),
+            ]
+        );
+        assert_eq!(kinds("'it''s'"), vec![Str("it's".into())]);
+        assert_eq!(kinds("'R&D — lab'"), vec![Str("R&D — lab".into())]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = tokenize("  BY year").unwrap();
+        assert_eq!(toks[0].at, 2);
+        assert_eq!(toks[1].at, 5);
+    }
+}

@@ -1,0 +1,456 @@
+//! Planning and execution: AST → core [`AggregateQuery`] → result.
+
+use mvolap_core::aggregate::{evaluate, AggregateQuery, ResultSet, TimeLevel};
+use mvolap_core::structure_version::{structure_version_at, StructureVersion};
+use mvolap_core::tmp::TemporalMode;
+use mvolap_core::{Aggregator, StructureVersionId, Tmd};
+use mvolap_temporal::{Instant, Interval};
+
+use crate::ast::{GroupKey, ModeSpec, Query};
+use crate::error::{QueryError, Result};
+use crate::parser::parse;
+
+/// Resolves a parsed query against a schema into an executable
+/// [`AggregateQuery`].
+///
+/// # Errors
+///
+/// [`QueryError::Unresolved`] for unknown names,
+/// [`QueryError::AggregatorMismatch`] when the requested aggregate
+/// disagrees with the measure's configured `⊕m`,
+/// [`QueryError::MultipleTimeKeys`] for two time keys.
+pub fn plan(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    query: &Query,
+) -> Result<AggregateQuery> {
+    // SELECT items: resolve measures and validate aggregators.
+    let mut measures = Vec::with_capacity(query.selects.len());
+    for s in &query.selects {
+        let id = tmd
+            .measure_by_name(&s.measure)
+            .map_err(|_| QueryError::Unresolved(format!("measure `{}`", s.measure)))?;
+        let configured = tmd.measures()[id.index()].aggregator;
+        let requested = Aggregator::parse(&s.aggregate)
+            .ok_or_else(|| QueryError::Unresolved(format!("aggregate `{}`", s.aggregate)))?;
+        if requested != configured {
+            return Err(QueryError::AggregatorMismatch {
+                measure: s.measure.clone(),
+                requested: requested.name().to_owned(),
+                configured: configured.name().to_owned(),
+            });
+        }
+        measures.push(id);
+    }
+
+    // BY items: at most one time key; dimension.level pairs resolve
+    // against the schema (level existence is validated at execution,
+    // when the evaluation instant is known).
+    let mut time_level: Option<TimeLevel> = None;
+    let mut group_by = Vec::new();
+    for g in &query.groups {
+        match g {
+            GroupKey::Year => {
+                if time_level.replace(TimeLevel::Year).is_some() {
+                    return Err(QueryError::MultipleTimeKeys);
+                }
+            }
+            GroupKey::Quarter => {
+                if time_level.replace(TimeLevel::Quarter).is_some() {
+                    return Err(QueryError::MultipleTimeKeys);
+                }
+            }
+            GroupKey::Month => {
+                if time_level.replace(TimeLevel::Month).is_some() {
+                    return Err(QueryError::MultipleTimeKeys);
+                }
+            }
+            GroupKey::Instant => {
+                if time_level.replace(TimeLevel::Instant).is_some() {
+                    return Err(QueryError::MultipleTimeKeys);
+                }
+            }
+            GroupKey::DimLevel { dimension, level } => {
+                let dim = tmd
+                    .dimension_by_name(dimension)
+                    .map_err(|_| QueryError::Unresolved(format!("dimension `{dimension}`")))?;
+                group_by.push((dim, level.clone()));
+            }
+        }
+    }
+
+    let mode = match &query.mode {
+        ModeSpec::AllModes { .. } => {
+            return Err(QueryError::Unresolved(
+                "ALL MODES queries compare presentations; execute them with `run_compare`"
+                    .into(),
+            ))
+        }
+        ModeSpec::Tcm => TemporalMode::Consistent,
+        ModeSpec::Version(n) => {
+            let id = StructureVersionId(*n);
+            if structure_versions.get(id.index()).map(|v| v.id) != Some(id) {
+                return Err(QueryError::Unresolved(format!(
+                    "structure version {n} (schema has {})",
+                    structure_versions.len()
+                )));
+            }
+            TemporalMode::Version(id)
+        }
+        ModeSpec::At { month, year } => {
+            let t = Instant::from_ym(*year, *month)
+                .map_err(|e| QueryError::Unresolved(format!("instant: {e}")))?;
+            let sv = structure_version_at(structure_versions, t)
+                .map_err(|_| QueryError::Unresolved(format!("structure version at {t}")))?;
+            TemporalMode::Version(sv.id)
+        }
+    };
+
+    let time_range = match query.range {
+        Some((a, b)) if a <= b => Some(Interval::years(a, b)),
+        Some((a, b)) => {
+            return Err(QueryError::Unresolved(format!(
+                "year range {a}..{b} is reversed"
+            )))
+        }
+        None => None,
+    };
+
+    let mut filters = Vec::with_capacity(query.filters.len());
+    for f in &query.filters {
+        let dim = tmd
+            .dimension_by_name(&f.dimension)
+            .map_err(|_| QueryError::Unresolved(format!("dimension `{}`", f.dimension)))?;
+        filters.push(mvolap_core::aggregate::MemberFilter {
+            dimension: dim,
+            level: f.level.clone(),
+            members: f.members.clone(),
+        });
+    }
+
+    Ok(AggregateQuery {
+        group_by,
+        time_level: time_level.unwrap_or(TimeLevel::All),
+        measures,
+        mode,
+        time_range,
+        filters,
+    })
+}
+
+/// Parses, plans and executes a query string against a schema, reusing
+/// pre-inferred structure versions.
+///
+/// # Errors
+///
+/// Any lexing, parsing, planning or execution failure.
+pub fn run_with_versions(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    input: &str,
+) -> Result<ResultSet> {
+    let ast = parse(input)?;
+    let q = plan(tmd, structure_versions, &ast)?;
+    Ok(evaluate(tmd, structure_versions, &q)?)
+}
+
+/// Parses, plans and executes a query string against a schema.
+///
+/// # Errors
+///
+/// Any lexing, parsing, planning or execution failure.
+pub fn run(tmd: &Tmd, input: &str) -> Result<ResultSet> {
+    let svs = tmd.structure_versions();
+    run_with_versions(tmd, &svs, input)
+}
+
+/// One entry of an `IN ALL MODES` comparison: the mode's result plus its
+/// §5.2 quality factor under the requested (or default) weights.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// The presented result.
+    pub result: ResultSet,
+    /// The global quality factor `Q` of this presentation.
+    pub quality: f64,
+}
+
+/// Executes an `IN ALL MODES` query: the body is evaluated once per
+/// temporal mode (tcm first, then each structure version), each scored
+/// with the quality factor so the user "can choose his best version
+/// among all temporal modes of presentation" (§5.2). Results come back
+/// ordered best-quality first (ties keep TMP order).
+///
+/// Plain `IN MODE …` queries are also accepted and yield a single entry.
+///
+/// # Errors
+///
+/// Any lexing, parsing, planning or execution failure.
+pub fn run_compare(tmd: &Tmd, input: &str) -> Result<Vec<ModeResult>> {
+    use mvolap_core::ConfidenceWeights;
+
+    let svs = tmd.structure_versions();
+    let ast = parse(input)?;
+    let (modes, weights) = match &ast.mode {
+        ModeSpec::AllModes { weights } => {
+            let w = weights
+                .map(|(s, e, a, u)| ConfidenceWeights::new(s, e, a, u))
+                .unwrap_or_default();
+            (mvolap_core::all_modes(&svs), w)
+        }
+        _ => {
+            let planned = plan(tmd, &svs, &ast)?;
+            (vec![planned.mode], ConfidenceWeights::default())
+        }
+    };
+
+    // Plan once with a concrete mode, then swap modes per evaluation.
+    let mut template = {
+        let mut concrete = ast.clone();
+        if matches!(concrete.mode, ModeSpec::AllModes { .. }) {
+            concrete.mode = ModeSpec::Tcm;
+        }
+        plan(tmd, &svs, &concrete)?
+    };
+
+    let mut out = Vec::with_capacity(modes.len());
+    for mode in modes {
+        template.mode = mode;
+        let result = evaluate(tmd, &svs, &template)?;
+        let quality = result.quality(&weights);
+        out.push(ModeResult { result, quality });
+    }
+    out.sort_by(|a, b| b.quality.partial_cmp(&a.quality).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvolap_core::case_study::case_study;
+    use mvolap_core::Confidence;
+
+    #[test]
+    fn q1_tcm_matches_table_4() {
+        let cs = case_study();
+        let rs = run(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Division FOR 2001..2002 IN MODE tcm",
+        )
+        .unwrap();
+        let rows: Vec<(String, String, Option<f64>)> = rs
+            .rows
+            .iter()
+            .map(|r| (r.time.clone(), r.keys[0].clone(), r.cells[0].value))
+            .collect();
+        assert_eq!(rows, vec![
+            ("2001".into(), "Sales".into(), Some(150.0)),
+            ("2001".into(), "R&D".into(), Some(100.0)),
+            ("2002".into(), "Sales".into(), Some(100.0)),
+            ("2002".into(), "R&D".into(), Some(150.0)),
+        ]);
+    }
+
+    #[test]
+    fn q2_in_version_2_matches_table_10() {
+        let cs = case_study();
+        let rs = run(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Department FOR 2002..2003 IN MODE VERSION 2",
+        )
+        .unwrap();
+        let bill_2002 = rs
+            .rows
+            .iter()
+            .find(|r| r.time == "2002" && r.keys[0] == "Dpt.Bill")
+            .unwrap();
+        assert_eq!(bill_2002.cells[0].value, Some(40.0));
+        assert_eq!(bill_2002.cells[0].confidence, Confidence::Approx);
+    }
+
+    #[test]
+    fn at_mode_resolves_to_covering_version() {
+        let cs = case_study();
+        let a = run(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Department FOR 2002..2003 IN MODE AT 06/2002",
+        )
+        .unwrap();
+        let b = run(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Department FOR 2002..2003 IN MODE VERSION 1",
+        )
+        .unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn no_time_key_aggregates_whole_period() {
+        let cs = case_study();
+        let rs = run(&cs.tmd, "SELECT sum(Amount) BY Org.Division IN MODE tcm").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        let sales = rs.rows.iter().find(|r| r.keys[0] == "Sales").unwrap();
+        assert_eq!(sales.cells[0].value, Some(450.0));
+    }
+
+    #[test]
+    fn unresolved_names_error() {
+        let cs = case_study();
+        assert!(matches!(
+            run(&cs.tmd, "SELECT sum(Ghost) BY year IN MODE tcm"),
+            Err(QueryError::Unresolved(_))
+        ));
+        assert!(matches!(
+            run(&cs.tmd, "SELECT sum(Amount) BY Nowhere.Division IN MODE tcm"),
+            Err(QueryError::Unresolved(_))
+        ));
+        assert!(matches!(
+            run(&cs.tmd, "SELECT sum(Amount) BY year IN MODE VERSION 9"),
+            Err(QueryError::Unresolved(_))
+        ));
+        assert!(matches!(
+            run(&cs.tmd, "SELECT sum(Amount) BY year IN MODE AT 06/1999"),
+            Err(QueryError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn aggregator_mismatch_is_rejected() {
+        let cs = case_study();
+        let err = run(&cs.tmd, "SELECT max(Amount) BY year IN MODE tcm").unwrap_err();
+        assert!(matches!(err, QueryError::AggregatorMismatch { .. }));
+    }
+
+    #[test]
+    fn two_time_keys_rejected() {
+        let cs = case_study();
+        let err = run(&cs.tmd, "SELECT sum(Amount) BY year, instant IN MODE tcm").unwrap_err();
+        assert_eq!(err, QueryError::MultipleTimeKeys);
+    }
+
+    #[test]
+    fn all_modes_comparison_ranks_by_quality() {
+        let cs = case_study();
+        let results = run_compare(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Department FOR 2002..2003 IN ALL MODES",
+        )
+        .unwrap();
+        // tcm + three structure versions.
+        assert_eq!(results.len(), 4);
+        // Best first: tcm scores a perfect 1.0.
+        assert_eq!(results[0].result.mode, TemporalMode::Consistent);
+        assert!((results[0].quality - 1.0).abs() < 1e-12);
+        for w in results.windows(2) {
+            assert!(w[0].quality >= w[1].quality);
+        }
+    }
+
+    #[test]
+    fn all_modes_with_custom_weights() {
+        let cs = case_study();
+        // A user who fully trusts exact mappings: the 2002 structure
+        // (exact merge) ties tcm at 1.0.
+        let results = run_compare(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Department FOR 2002..2003 \
+             IN ALL MODES WITH WEIGHTS 10,10,0,0",
+        )
+        .unwrap();
+        let vs1 = results
+            .iter()
+            .find(|r| r.result.mode.label() == "VS1")
+            .unwrap();
+        assert!((vs1.quality - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_modes_rejected_by_plain_run() {
+        let cs = case_study();
+        let err = run(&cs.tmd, "SELECT sum(Amount) BY year IN ALL MODES").unwrap_err();
+        assert!(matches!(err, QueryError::Unresolved(_)));
+    }
+
+    #[test]
+    fn run_compare_accepts_single_mode_queries() {
+        let cs = case_study();
+        let results = run_compare(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Division FOR 2001..2002 IN MODE VERSION 1",
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].result.mode.label(), "VS1");
+    }
+
+    #[test]
+    fn where_clause_filters_members() {
+        let cs = case_study();
+        let rs = run(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Department \
+             WHERE Org.Division = 'Sales' IN MODE tcm",
+        )
+        .unwrap();
+        // Only the departments under Sales at each fact's own time.
+        assert!(rs.rows.iter().all(|r| r.keys[0] != "Dpt.Brian"));
+        // Smith is under Sales in 2001, under R&D afterwards.
+        assert!(rs.rows.iter().any(|r| r.time == "2001" && r.keys[0] == "Dpt.Smith"));
+        assert!(!rs.rows.iter().any(|r| r.time == "2002" && r.keys[0] == "Dpt.Smith"));
+    }
+
+    #[test]
+    fn where_in_list_and_conjunction() {
+        let cs = case_study();
+        let rs = run(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year, Org.Department \
+             WHERE Org.Department IN ('Dpt.Smith', 'Dpt.Brian') \
+             AND Org.Division = 'R&D' \
+             FOR 2001..2003 IN MODE tcm",
+        )
+        .unwrap();
+        // Smith 2001 was in Sales: filtered by the second condition.
+        let keys: Vec<(String, String)> = rs
+            .rows
+            .iter()
+            .map(|r| (r.time.clone(), r.keys[0].clone()))
+            .collect();
+        assert!(keys.contains(&("2002".into(), "Dpt.Smith".into())));
+        assert!(!keys.contains(&("2001".into(), "Dpt.Smith".into())));
+        assert!(keys.contains(&("2001".into(), "Dpt.Brian".into())));
+    }
+
+    #[test]
+    fn quarter_and_month_group_keys() {
+        let cs = case_study();
+        let rs = run(&cs.tmd, "SELECT sum(Amount) BY quarter IN MODE tcm").unwrap();
+        // All case-study facts sit in June: Q2 of each year.
+        assert!(rs.rows.iter().all(|r| r.time.ends_with("-Q2")));
+        assert_eq!(rs.time_header, "Quarter");
+        let rs = run(&cs.tmd, "SELECT sum(Amount) BY month IN MODE tcm").unwrap();
+        assert!(rs.rows.iter().all(|r| r.time.ends_with("-06")));
+    }
+
+    #[test]
+    fn where_unknown_dimension_is_unresolved() {
+        let cs = case_study();
+        assert!(matches!(
+            run(
+                &cs.tmd,
+                "SELECT sum(Amount) BY year WHERE Ghost.Division = 'x' IN MODE tcm"
+            ),
+            Err(QueryError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn reversed_range_rejected() {
+        let cs = case_study();
+        let err = run(
+            &cs.tmd,
+            "SELECT sum(Amount) BY year FOR 2003..2001 IN MODE tcm",
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::Unresolved(_)));
+    }
+}

@@ -1,0 +1,147 @@
+//! The warehouse catalog: a namespace of tables.
+
+use std::collections::BTreeMap;
+
+use crate::{StorageError, Table};
+
+/// A named collection of tables — one "data warehouse".
+///
+/// Uses a `BTreeMap` so iteration order (and thus rendered output) is
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under its own name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::TableExists`] when the name is taken.
+    pub fn create(&mut self, table: Table) -> Result<(), StorageError> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Registers or replaces a table under its own name.
+    pub fn create_or_replace(&mut self, table: Table) {
+        self.tables.insert(table.name().to_owned(), table);
+    }
+
+    /// Fetches a table by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NoSuchTable`] when absent.
+    pub fn get(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Fetches a table mutably by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NoSuchTable`] when absent.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Drops a table, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NoSuchTable`] when absent.
+    pub fn drop(&mut self, name: &str) -> Result<Table, StorageError> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Table names in lexicographic order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total approximate heap bytes across all tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.tables.values().map(Table::heap_bytes).sum()
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType, TableSchema};
+
+    fn mk(name: &str) -> Table {
+        Table::new(
+            name,
+            TableSchema::new(vec![ColumnDef::required("x", DataType::Int)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        c.create(mk("facts")).unwrap();
+        assert!(c.get("facts").is_ok());
+        assert!(matches!(c.create(mk("facts")), Err(StorageError::TableExists(_))));
+        c.create_or_replace(mk("facts"));
+        assert_eq!(c.len(), 1);
+        c.drop("facts").unwrap();
+        assert!(matches!(c.get("facts"), Err(StorageError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut c = Catalog::new();
+        c.create(mk("zeta")).unwrap();
+        c.create(mk("alpha")).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn counters() {
+        let mut c = Catalog::new();
+        let mut t = mk("t");
+        t.push_row(vec![1.into()]).unwrap();
+        t.push_row(vec![2.into()]).unwrap();
+        c.create(t).unwrap();
+        assert_eq!(c.total_rows(), 2);
+        assert!(c.heap_bytes() > 0);
+    }
+}

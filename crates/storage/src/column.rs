@@ -1,0 +1,261 @@
+//! Typed columnar storage.
+//!
+//! Each column stores its values in a dense typed vector plus a validity
+//! mask, the classic columnar layout: type dispatch happens once per
+//! column rather than once per value, and measure scans are cache-friendly.
+
+use crate::{DataType, StorageError, Value};
+
+/// A typed column of values with a validity (non-null) mask.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column: values and validity.
+    Int(Vec<i64>, Vec<bool>),
+    /// Float column: values and validity.
+    Float(Vec<f64>, Vec<bool>),
+    /// String column: values and validity.
+    Str(Vec<String>, Vec<bool>),
+    /// Boolean column: values and validity.
+    Bool(Vec<bool>, Vec<bool>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new(), Vec::new()),
+            DataType::Float => Column::Float(Vec::new(), Vec::new()),
+            DataType::Str => Column::Str(Vec::new(), Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Creates an empty column pre-sized for `capacity` rows.
+    pub fn with_capacity(dtype: DataType, capacity: usize) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::with_capacity(capacity), Vec::with_capacity(capacity)),
+            DataType::Float => {
+                Column::Float(Vec::with_capacity(capacity), Vec::with_capacity(capacity))
+            }
+            DataType::Str => Column::Str(Vec::with_capacity(capacity), Vec::with_capacity(capacity)),
+            DataType::Bool => {
+                Column::Bool(Vec::with_capacity(capacity), Vec::with_capacity(capacity))
+            }
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(..) => DataType::Int,
+            Column::Float(..) => DataType::Float,
+            Column::Str(..) => DataType::Str,
+            Column::Bool(..) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v, _) => v.len(),
+            Column::Float(v, _) => v.len(),
+            Column::Str(v, _) => v.len(),
+            Column::Bool(v, _) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value; `Value::Null` appends an invalid slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::TypeMismatch`] when the value's type differs
+    /// from the column type (no implicit coercion at the storage layer,
+    /// except `Int` widening into a `Float` column).
+    pub fn push(&mut self, value: Value) -> Result<(), StorageError> {
+        let mismatch = |col: &Column, v: &Value| StorageError::TypeMismatch {
+            column: String::new(),
+            expected: col.data_type(),
+            value: v.to_string(),
+        };
+        match (self, value) {
+            (Column::Int(v, m), Value::Int(x)) => {
+                v.push(x);
+                m.push(true);
+            }
+            (Column::Int(v, m), Value::Null) => {
+                v.push(0);
+                m.push(false);
+            }
+            (Column::Float(v, m), Value::Float(x)) => {
+                v.push(x);
+                m.push(true);
+            }
+            (Column::Float(v, m), Value::Int(x)) => {
+                v.push(x as f64);
+                m.push(true);
+            }
+            (Column::Float(v, m), Value::Null) => {
+                v.push(0.0);
+                m.push(false);
+            }
+            (Column::Str(v, m), Value::Str(x)) => {
+                v.push(x);
+                m.push(true);
+            }
+            (Column::Str(v, m), Value::Null) => {
+                v.push(String::new());
+                m.push(false);
+            }
+            (Column::Bool(v, m), Value::Bool(x)) => {
+                v.push(x);
+                m.push(true);
+            }
+            (Column::Bool(v, m), Value::Null) => {
+                v.push(false);
+                m.push(false);
+            }
+            (col, v) => return Err(mismatch(col, &v)),
+        }
+        Ok(())
+    }
+
+    /// Reads the value at `row`; out-of-bounds reads return `None`.
+    pub fn get(&self, row: usize) -> Option<Value> {
+        if row >= self.len() {
+            return None;
+        }
+        Some(match self {
+            Column::Int(v, m) => {
+                if m[row] {
+                    Value::Int(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float(v, m) => {
+                if m[row] {
+                    Value::Float(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Str(v, m) => {
+                if m[row] {
+                    Value::Str(v[row].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Bool(v, m) => {
+                if m[row] {
+                    Value::Bool(v[row])
+                } else {
+                    Value::Null
+                }
+            }
+        })
+    }
+
+    /// Whether the slot at `row` is non-null. Out of bounds counts as null.
+    pub fn is_valid(&self, row: usize) -> bool {
+        let mask = match self {
+            Column::Int(_, m) | Column::Float(_, m) | Column::Str(_, m) | Column::Bool(_, m) => m,
+        };
+        mask.get(row).copied().unwrap_or(false)
+    }
+
+    /// Fast numeric accessor: the float value at `row`, if the column is
+    /// numeric and the slot valid. Avoids `Value` boxing on hot aggregation
+    /// paths.
+    #[inline]
+    pub fn float_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Float(v, m) => (m.get(row) == Some(&true)).then(|| v[row]),
+            Column::Int(v, m) => (m.get(row) == Some(&true)).then(|| v[row] as f64),
+            _ => None,
+        }
+    }
+
+    /// Fast integer accessor, valid slots of `Int` columns only.
+    #[inline]
+    pub fn int_at(&self, row: usize) -> Option<i64> {
+        match self {
+            Column::Int(v, m) => (m.get(row) == Some(&true)).then(|| v[row]),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by the storage-redundancy
+    /// experiment).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int(v, m) => v.capacity() * 8 + m.capacity(),
+            Column::Float(v, m) => v.capacity() * 8 + m.capacity(),
+            Column::Str(v, m) => {
+                v.iter().map(|s| s.capacity() + std::mem::size_of::<String>()).sum::<usize>()
+                    + m.capacity()
+            }
+            Column::Bool(v, m) => v.capacity() + m.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(7)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.get(0), Some(Value::Int(7)));
+        assert_eq!(c.get(1), Some(Value::Null));
+        assert_eq!(c.get(2), None);
+        assert!(c.is_valid(0));
+        assert!(!c.is_valid(1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::new(DataType::Float);
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.get(0), Some(Value::Float(3.0)));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new(DataType::Int);
+        assert!(c.push(Value::from("x")).is_err());
+        let mut c = Column::new(DataType::Str);
+        assert!(c.push(Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn fast_accessors() {
+        let mut c = Column::new(DataType::Float);
+        c.push(Value::Float(1.5)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.float_at(0), Some(1.5));
+        assert_eq!(c.float_at(1), None);
+        assert_eq!(c.float_at(9), None);
+
+        let mut i = Column::new(DataType::Int);
+        i.push(Value::Int(4)).unwrap();
+        assert_eq!(i.int_at(0), Some(4));
+        assert_eq!(i.float_at(0), Some(4.0));
+    }
+
+    #[test]
+    fn heap_bytes_positive_after_push() {
+        let mut c = Column::new(DataType::Str);
+        c.push(Value::from("hello world")).unwrap();
+        assert!(c.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Storage engine errors.
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A referenced column does not exist in the table schema.
+    UnknownColumn {
+        /// Table the lookup ran against.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        /// Column being written or compared.
+        column: String,
+        /// Declared type.
+        expected: crate::DataType,
+        /// Offending value rendered for diagnostics.
+        value: String,
+    },
+    /// A `NULL` was written to a non-nullable column.
+    NullViolation {
+        /// The non-nullable column.
+        column: String,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        actual: usize,
+    },
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Table length.
+        len: usize,
+    },
+    /// A catalog lookup failed.
+    NoSuchTable(String),
+    /// A table with the same name already exists.
+    TableExists(String),
+    /// Duplicate column name in a schema definition.
+    DuplicateColumn(String),
+    /// Join/group-by key columns have incompatible types.
+    IncompatibleKeys {
+        /// Left column description.
+        left: String,
+        /// Right column description.
+        right: String,
+    },
+    /// An aggregate was applied to a column type it does not support.
+    InvalidAggregate {
+        /// The aggregate function name.
+        func: &'static str,
+        /// The column it was applied to.
+        column: String,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                value,
+            } => write!(
+                f,
+                "type mismatch in column `{column}`: expected {expected:?}, got value {value}"
+            ),
+            StorageError::NullViolation { column } => {
+                write!(f, "null written to non-nullable column `{column}`")
+            }
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {actual}")
+            }
+            StorageError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds for table of length {len}")
+            }
+            StorageError::NoSuchTable(name) => write!(f, "no such table `{name}`"),
+            StorageError::TableExists(name) => write!(f, "table `{name}` already exists"),
+            StorageError::DuplicateColumn(name) => {
+                write!(f, "duplicate column `{name}` in schema")
+            }
+            StorageError::IncompatibleKeys { left, right } => {
+                write!(f, "incompatible key columns: {left} vs {right}")
+            }
+            StorageError::InvalidAggregate { func, column } => {
+                write!(f, "aggregate {func} cannot be applied to column `{column}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

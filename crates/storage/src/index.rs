@@ -1,0 +1,102 @@
+//! Secondary hash indexes over table columns.
+
+use std::collections::HashMap;
+
+use crate::{StorageError, Table, Value};
+
+/// A hash index mapping one column's values to row ids.
+///
+/// Indexes are snapshots: they are built from a table and do not track
+/// subsequent mutations (the warehouse workload is load-then-query).
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    column: String,
+    // Keyed by display form of the value, which is unique per distinct
+    // value for the key types used in dimension tables (ints, strings).
+    map: HashMap<String, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Builds an index over `column` of `table`.
+    ///
+    /// NULLs are not indexed (they never match an equality probe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::UnknownColumn`] when the column is absent.
+    pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
+        let col = table.column_by_name(column)?;
+        let mut map: HashMap<String, Vec<usize>> = HashMap::with_capacity(table.len());
+        for r in 0..table.len() {
+            match col.get(r) {
+                Some(Value::Null) | None => continue,
+                Some(v) => map.entry(v.to_string()).or_default().push(r),
+            }
+        }
+        Ok(HashIndex {
+            column: column.to_owned(),
+            map,
+        })
+    }
+
+    /// The indexed column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Row ids whose column equals `value` (empty for misses and NULL).
+    pub fn lookup(&self, value: &Value) -> &[usize] {
+        if value.is_null() {
+            return &[];
+        }
+        self.map.get(&value.to_string()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType, TableSchema};
+
+    fn table() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("id", DataType::Int),
+            ColumnDef::nullable("division", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![1.into(), "Sales".into()]).unwrap();
+        t.push_row(vec![2.into(), "R&D".into()]).unwrap();
+        t.push_row(vec![3.into(), "Sales".into()]).unwrap();
+        t.push_row(vec![4.into(), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn lookup_returns_all_matching_rows() {
+        let t = table();
+        let idx = HashIndex::build(&t, "division").unwrap();
+        assert_eq!(idx.lookup(&Value::from("Sales")), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::from("R&D")), &[1]);
+        assert_eq!(idx.lookup(&Value::from("Ghost")), &[] as &[usize]);
+        assert_eq!(idx.distinct_values(), 2);
+    }
+
+    #[test]
+    fn null_probe_matches_nothing() {
+        let t = table();
+        let idx = HashIndex::build(&t, "division").unwrap();
+        assert!(idx.lookup(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let t = table();
+        assert!(HashIndex::build(&t, "ghost").is_err());
+    }
+}

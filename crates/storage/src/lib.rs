@@ -1,0 +1,47 @@
+//! # mvolap-storage
+//!
+//! A small, self-contained, in-memory columnar relational engine.
+//!
+//! The ICDE 2003 prototype sat on SQL Server 2000: a relational warehouse
+//! server storing dimension tables, fact tables and metadata tables, with
+//! the OLAP layer issuing scans, joins and GROUP-BY aggregations against
+//! them. This crate is that substrate, built from scratch:
+//!
+//! * typed columnar [`Table`]s with a null-validity mask per column;
+//! * a [`Predicate`] algebra for filtered scans;
+//! * relational operators: projection, selection, sort, hash
+//!   [`Table::group_by`], hash [`Table::join`], distinct;
+//! * a named [`Catalog`] of tables — the "warehouse";
+//! * [`HashIndex`] point lookups for dimension keys;
+//! * text rendering used by the paper-table reproduction harness.
+//!
+//! The engine is deliberately single-node and in-memory: the paper's
+//! contribution is the multiversion model on top, not the storage layer,
+//! and an in-memory engine exercises the same code paths (layouts, joins,
+//! aggregation) the prototype exercised on SQL Server.
+
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod index;
+pub mod ops;
+pub mod persist;
+pub mod predicate;
+pub mod render;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use column::Column;
+pub use error::StorageError;
+pub use persist::PersistError;
+pub use index::HashIndex;
+pub use ops::{AggCall, AggFunc, SortKey, SortOrder};
+pub use predicate::Predicate;
+pub use schema::{ColumnDef, TableSchema};
+pub use table::Table;
+pub use value::{DataType, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,579 @@
+//! Relational operators: sort, hash group-by, hash join, distinct.
+
+use std::collections::HashMap;
+
+use crate::{ColumnDef, DataType, StorageError, Table, TableSchema, Value};
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (NULLs first).
+    Asc,
+    /// Descending (NULLs last).
+    Desc,
+}
+
+/// One sort key: a column and a direction.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// Column name.
+    pub column: String,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    /// Ascending sort on `column`.
+    pub fn asc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            order: SortOrder::Asc,
+        }
+    }
+
+    /// Descending sort on `column`.
+    pub fn desc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            order: SortOrder::Desc,
+        }
+    }
+}
+
+/// Aggregate functions supported by [`Table::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of a numeric column.
+    Sum,
+    /// Count of non-null values.
+    Count,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Arithmetic mean of a numeric column.
+    Avg,
+}
+
+impl AggFunc {
+    /// Lower-case SQL-ish name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate call: function, input column, output column name.
+#[derive(Debug, Clone)]
+pub struct AggCall {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input column.
+    pub column: String,
+    /// Name of the output column.
+    pub alias: String,
+}
+
+impl AggCall {
+    /// Builds an aggregate call with a default `func_column` alias.
+    pub fn new(func: AggFunc, column: impl Into<String>) -> Self {
+        let column = column.into();
+        let alias = format!("{}_{}", func.name(), column);
+        AggCall { func, column, alias }
+    }
+
+    /// Overrides the output column name.
+    pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
+        self.alias = alias.into();
+        self
+    }
+}
+
+/// A hashable, equality-comparable wrapper for group-by / join keys.
+///
+/// `f64` keys hash by bit pattern; all NULLs group together (SQL
+/// `GROUP BY` semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Null,
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Key {
+    fn from_value(v: &Value) -> Key {
+        match v {
+            Value::Null => Key::Null,
+            Value::Int(i) => Key::Int(*i),
+            // Normalise -0.0 so it joins with +0.0; also widen ints in
+            // float columns consistently via Column typing upstream.
+            Value::Float(f) => Key::Float((if *f == 0.0 { 0.0f64 } else { *f }).to_bits()),
+            Value::Str(s) => Key::Str(s.clone()),
+            Value::Bool(b) => Key::Bool(*b),
+        }
+    }
+}
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_float() {
+            self.sum += f;
+        }
+        let better_min = self
+            .min
+            .as_ref()
+            .map(|m| v.sql_cmp(m) == std::cmp::Ordering::Less)
+            .unwrap_or(true);
+        if better_min {
+            self.min = Some(v.clone());
+        }
+        let better_max = self
+            .max
+            .as_ref()
+            .map(|m| v.sql_cmp(m) == std::cmp::Ordering::Greater)
+            .unwrap_or(true);
+        if better_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+impl Table {
+    /// Returns a copy of the table sorted by the given keys (stable sort).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::UnknownColumn`] for unresolved key names.
+    pub fn sort_by(&self, keys: &[SortKey]) -> Result<Table, StorageError> {
+        let mut key_idx = Vec::with_capacity(keys.len());
+        for k in keys {
+            let idx = self.schema().index_of(&k.column).ok_or_else(|| {
+                StorageError::UnknownColumn {
+                    table: self.name().to_owned(),
+                    column: k.column.clone(),
+                }
+            })?;
+            key_idx.push((idx, k.order));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            for &(idx, dir) in &key_idx {
+                let va = self.column(idx).get(a).expect("in-bounds");
+                let vb = self.column(idx).get(b).expect("in-bounds");
+                let ord = va.sql_cmp(&vb);
+                let ord = match dir {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut out = Table::with_capacity(self.name().to_owned(), self.schema().clone(), self.len());
+        for r in order {
+            out.push_row(self.row(r)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Hash aggregation: groups on `keys` and evaluates `aggs` per group.
+    ///
+    /// Output schema is the key columns (original types, nullable) followed
+    /// by one column per aggregate (`Float` for sum/avg, `Int` for count,
+    /// input type for min/max). Output groups appear in first-seen order,
+    /// which makes results deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownColumn`] for unresolved names, or
+    /// [`StorageError::InvalidAggregate`] for sum/avg on non-numeric input.
+    pub fn group_by(&self, keys: &[&str], aggs: &[AggCall]) -> Result<Table, StorageError> {
+        let mut key_idx = Vec::with_capacity(keys.len());
+        let mut out_defs = Vec::with_capacity(keys.len() + aggs.len());
+        for &k in keys {
+            let idx = self.schema().index_of(k).ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name().to_owned(),
+                column: k.to_owned(),
+            })?;
+            key_idx.push(idx);
+            let def = &self.schema().columns()[idx];
+            out_defs.push(ColumnDef::nullable(def.name.clone(), def.dtype));
+        }
+        let mut agg_idx = Vec::with_capacity(aggs.len());
+        for call in aggs {
+            let idx = self
+                .schema()
+                .index_of(&call.column)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    table: self.name().to_owned(),
+                    column: call.column.clone(),
+                })?;
+            let in_type = self.schema().columns()[idx].dtype;
+            let numeric = matches!(in_type, DataType::Int | DataType::Float);
+            let out_type = match call.func {
+                AggFunc::Sum | AggFunc::Avg => {
+                    if !numeric {
+                        return Err(StorageError::InvalidAggregate {
+                            func: call.func.name(),
+                            column: call.column.clone(),
+                        });
+                    }
+                    DataType::Float
+                }
+                AggFunc::Count => DataType::Int,
+                AggFunc::Min | AggFunc::Max => in_type,
+            };
+            agg_idx.push(idx);
+            out_defs.push(ColumnDef::nullable(call.alias.clone(), out_type));
+        }
+
+        let mut groups: HashMap<Vec<Key>, usize> = HashMap::new();
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        let mut group_states: Vec<Vec<AggState>> = Vec::new();
+
+        for r in 0..self.len() {
+            let key_vals: Vec<Value> = key_idx
+                .iter()
+                .map(|&i| self.column(i).get(r).expect("in-bounds"))
+                .collect();
+            let key: Vec<Key> = key_vals.iter().map(Key::from_value).collect();
+            let gid = *groups.entry(key).or_insert_with(|| {
+                group_keys.push(key_vals);
+                group_states.push(vec![AggState::new(); aggs.len()]);
+                group_keys.len() - 1
+            });
+            for (ai, &ci) in agg_idx.iter().enumerate() {
+                let v = self.column(ci).get(r).expect("in-bounds");
+                group_states[gid][ai].update(&v);
+            }
+        }
+
+        let schema = TableSchema::new(out_defs)?;
+        let mut out = Table::with_capacity(
+            format!("{}_grouped", self.name()),
+            schema,
+            group_keys.len(),
+        );
+        for (kv, states) in group_keys.into_iter().zip(group_states) {
+            let mut row = kv;
+            for (state, call) in states.iter().zip(aggs) {
+                row.push(state.finish(call.func));
+            }
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Inner hash join on `self.left_key == other.right_key`.
+    ///
+    /// Output schema is all columns of `self` followed by all columns of
+    /// `other`; name collisions on the right side are suffixed with
+    /// `_right`. NULL keys never match (SQL semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownColumn`] for unresolved key names, or
+    /// [`StorageError::IncompatibleKeys`] when the key types cannot compare.
+    pub fn join(
+        &self,
+        other: &Table,
+        left_key: &str,
+        right_key: &str,
+    ) -> Result<Table, StorageError> {
+        let li = self.schema().index_of(left_key).ok_or_else(|| StorageError::UnknownColumn {
+            table: self.name().to_owned(),
+            column: left_key.to_owned(),
+        })?;
+        let ri = other
+            .schema()
+            .index_of(right_key)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: other.name().to_owned(),
+                column: right_key.to_owned(),
+            })?;
+        let lt = self.schema().columns()[li].dtype;
+        let rt = other.schema().columns()[ri].dtype;
+        let numeric =
+            |t: DataType| matches!(t, DataType::Int | DataType::Float);
+        if lt != rt && !(numeric(lt) && numeric(rt)) {
+            return Err(StorageError::IncompatibleKeys {
+                left: format!("{}.{left_key}: {lt}", self.name()),
+                right: format!("{}.{right_key}: {rt}", other.name()),
+            });
+        }
+
+        let mut defs: Vec<ColumnDef> = self.schema().columns().to_vec();
+        for def in other.schema().columns() {
+            let name = if self.schema().index_of(&def.name).is_some() {
+                format!("{}_right", def.name)
+            } else {
+                def.name.clone()
+            };
+            defs.push(ColumnDef::nullable(name, def.dtype));
+        }
+        let schema = TableSchema::new(defs)?;
+
+        // Build side: the smaller table would be classic; keep it simple and
+        // always build on `other`.
+        let mut build: HashMap<Key, Vec<usize>> = HashMap::with_capacity(other.len());
+        for r in 0..other.len() {
+            let v = other.column(ri).get(r).expect("in-bounds");
+            if v.is_null() {
+                continue;
+            }
+            build.entry(Key::from_value(&v)).or_default().push(r);
+        }
+
+        let mut out = Table::new(format!("{}_join_{}", self.name(), other.name()), schema);
+        for l in 0..self.len() {
+            let v = self.column(li).get(l).expect("in-bounds");
+            if v.is_null() {
+                continue;
+            }
+            if let Some(matches) = build.get(&Key::from_value(&v)) {
+                for &r in matches {
+                    let mut row = self.row(l)?;
+                    row.extend(other.row(r)?);
+                    out.push_row(row)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Removes duplicate rows (first occurrence wins, order preserved).
+    pub fn distinct(&self) -> Result<Table, StorageError> {
+        let mut seen: HashMap<Vec<Key>, ()> = HashMap::with_capacity(self.len());
+        let mut out = Table::new(self.name().to_owned(), self.schema().clone());
+        for r in 0..self.len() {
+            let row = self.row(r)?;
+            let key: Vec<Key> = row.iter().map(Key::from_value).collect();
+            if seen.insert(key, ()).is_none() {
+                out.push_row(row)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnDef;
+
+    fn sales() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("year", DataType::Int),
+            ColumnDef::required("division", DataType::Str),
+            ColumnDef::required("amount", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        for (y, d, a) in [
+            (2001, "Sales", 100.0),
+            (2001, "Sales", 50.0),
+            (2001, "R&D", 100.0),
+            (2002, "Sales", 100.0),
+            (2002, "R&D", 100.0),
+            (2002, "R&D", 50.0),
+        ] {
+            t.push_row(vec![y.into(), d.into(), a.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn group_by_reproduces_consistent_time_q1() {
+        // This is exactly paper Table 4 for years 2001-2002.
+        let t = sales();
+        let g = t
+            .group_by(
+                &["year", "division"],
+                &[AggCall::new(AggFunc::Sum, "amount").with_alias("amount")],
+            )
+            .unwrap();
+        assert_eq!(g.len(), 4);
+        let rows: Vec<_> = g.rows().collect();
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(2001), Value::from("Sales"), Value::Float(150.0)]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::Int(2001), Value::from("R&D"), Value::Float(100.0)]
+        );
+        assert_eq!(
+            rows[2],
+            vec![Value::Int(2002), Value::from("Sales"), Value::Float(100.0)]
+        );
+        assert_eq!(
+            rows[3],
+            vec![Value::Int(2002), Value::from("R&D"), Value::Float(150.0)]
+        );
+    }
+
+    #[test]
+    fn aggregates_min_max_avg_count() {
+        let t = sales();
+        let g = t
+            .group_by(
+                &["division"],
+                &[
+                    AggCall::new(AggFunc::Min, "amount"),
+                    AggCall::new(AggFunc::Max, "amount"),
+                    AggCall::new(AggFunc::Avg, "amount"),
+                    AggCall::new(AggFunc::Count, "amount"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(g.len(), 2);
+        let sales_row = g.rows().find(|r| r[0] == Value::from("Sales")).unwrap();
+        assert_eq!(sales_row[1], Value::Float(50.0));
+        assert_eq!(sales_row[2], Value::Float(100.0));
+        assert!(matches!(sales_row[3], Value::Float(a) if (a - 250.0/3.0).abs() < 1e-9));
+        assert_eq!(sales_row[4], Value::Int(3));
+    }
+
+    #[test]
+    fn group_by_empty_table_yields_empty() {
+        let t = Table::new(
+            "e",
+            TableSchema::new(vec![ColumnDef::required("k", DataType::Int)]).unwrap(),
+        );
+        let g = t.group_by(&["k"], &[AggCall::new(AggFunc::Count, "k")]).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn sum_on_string_column_rejected() {
+        let t = sales();
+        assert!(matches!(
+            t.group_by(&["year"], &[AggCall::new(AggFunc::Sum, "division")]),
+            Err(StorageError::InvalidAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn sort_multi_key() {
+        let t = sales();
+        let s = t
+            .sort_by(&[SortKey::asc("division"), SortKey::desc("amount")])
+            .unwrap();
+        let rows: Vec<_> = s.rows().collect();
+        assert_eq!(rows[0][1], Value::from("R&D"));
+        assert_eq!(rows[0][2], Value::Float(100.0));
+        assert_eq!(rows.last().unwrap()[2], Value::Float(50.0));
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let dim_schema = TableSchema::new(vec![
+            ColumnDef::required("division", DataType::Str),
+            ColumnDef::required("manager", DataType::Str),
+        ])
+        .unwrap();
+        let mut dim = Table::new("dim", dim_schema);
+        dim.push_row(vec!["Sales".into(), "Alice".into()]).unwrap();
+        dim.push_row(vec!["R&D".into(), "Bob".into()]).unwrap();
+
+        let j = sales().join(&dim, "division", "division").unwrap();
+        assert_eq!(j.len(), 6);
+        // Right-side collision got suffixed.
+        assert!(j.schema().index_of("division_right").is_some());
+        let first = j.row(0).unwrap();
+        assert_eq!(first[1], Value::from("Sales"));
+        assert_eq!(first[4], Value::from("Alice"));
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let schema = TableSchema::new(vec![ColumnDef::nullable("k", DataType::Int)]).unwrap();
+        let mut a = Table::new("a", schema.clone());
+        a.push_row(vec![Value::Null]).unwrap();
+        a.push_row(vec![1.into()]).unwrap();
+        let mut b = Table::new("b", schema);
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![1.into()]).unwrap();
+        let j = a.join(&b, "k", "k").unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn join_incompatible_key_types_rejected() {
+        let a = sales();
+        let schema = TableSchema::new(vec![ColumnDef::required("division", DataType::Int)]).unwrap();
+        let b = Table::new("b", schema);
+        assert!(matches!(
+            a.join(&b, "division", "division"),
+            Err(StorageError::IncompatibleKeys { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_preserving_order() {
+        let schema = TableSchema::new(vec![ColumnDef::required("v", DataType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        for v in [3, 1, 3, 2, 1] {
+            t.push_row(vec![v.into()]).unwrap();
+        }
+        let d = t.distinct().unwrap();
+        let vals: Vec<_> = d.rows().map(|r| r[0].clone()).collect();
+        assert_eq!(vals, vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn distinct_groups_nulls_together() {
+        let schema = TableSchema::new(vec![ColumnDef::nullable("v", DataType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        assert_eq!(t.distinct().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,407 @@
+//! On-disk persistence for tables and catalogs.
+//!
+//! A deliberately simple, dependency-free, line-oriented text format —
+//! one `.tbl` file per table:
+//!
+//! ```text
+//! mvolap-table v1
+//! name <table name, escaped>
+//! column <name, escaped> <Int|Float|Str|Bool> <required|nullable>
+//! row <cell>\t<cell>…
+//! ```
+//!
+//! Cells are tab-separated; tabs, newlines, carriage returns and
+//! backslashes in strings are escaped (`\t`, `\n`, `\r`, `\\`), NULL is
+//! `\N` (the classic copy-format convention). Floats round-trip via
+//! Rust's shortest-representation `Display`.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Catalog, ColumnDef, DataType, StorageError, Table, TableSchema, Value};
+
+/// Errors raised while reading the persisted format.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not in the expected format.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A decoded row violated the table schema.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format { line, message } => {
+                write!(f, "format error at line {line}: {message}")
+            }
+            PersistError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<StorageError> for PersistError {
+    fn from(e: StorageError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+fn bad(line: usize, message: impl Into<String>) -> PersistError {
+    PersistError::Format {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Escapes a string cell for the tab-separated row format.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+pub fn unescape(s: &str, line: usize) -> Result<String, PersistError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('N') => out.push_str("\\N"), // handled by the caller
+            other => return Err(bad(line, format!("bad escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "\\N".to_owned(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // `Display` for floats is the shortest round-tripping form,
+            // but normalise the specials explicitly.
+            if f.is_nan() {
+                "NaN".to_owned()
+            } else if f.is_infinite() {
+                if *f > 0.0 { "inf".to_owned() } else { "-inf".to_owned() }
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Str(s) => escape(s),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+fn decode_value(cell: &str, dtype: DataType, line: usize) -> Result<Value, PersistError> {
+    if cell == "\\N" {
+        return Ok(Value::Null);
+    }
+    Ok(match dtype {
+        DataType::Int => Value::Int(
+            cell.parse()
+                .map_err(|_| bad(line, format!("bad integer `{cell}`")))?,
+        ),
+        DataType::Float => Value::Float(match cell {
+            "NaN" => f64::NAN,
+            "inf" => f64::INFINITY,
+            "-inf" => f64::NEG_INFINITY,
+            _ => cell
+                .parse()
+                .map_err(|_| bad(line, format!("bad float `{cell}`")))?,
+        }),
+        DataType::Str => Value::Str(unescape(cell, line)?),
+        DataType::Bool => match cell {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => return Err(bad(line, format!("bad bool `{cell}`"))),
+        },
+    })
+}
+
+/// Serialises a table into the text format.
+pub fn write_table(table: &Table, out: &mut impl Write) -> Result<(), PersistError> {
+    let mut buf = String::new();
+    buf.push_str("mvolap-table v1\n");
+    let _ = writeln!(buf, "name {}", escape(table.name()));
+    for c in table.schema().columns() {
+        let _ = writeln!(
+            buf,
+            "column {} {:?} {}",
+            escape(&c.name),
+            c.dtype,
+            if c.nullable { "nullable" } else { "required" }
+        );
+    }
+    for row in table.rows() {
+        buf.push_str("row ");
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                buf.push('\t');
+            }
+            buf.push_str(&encode_value(v));
+        }
+        buf.push('\n');
+    }
+    out.write_all(buf.as_bytes())?;
+    Ok(())
+}
+
+/// Deserialises a table from the text format.
+pub fn read_table(input: &mut impl Read) -> Result<Table, PersistError> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| bad(1, "empty file"))
+        .and_then(|(n, l)| Ok((n, l.map_err(PersistError::from)?)))?;
+    if header != "mvolap-table v1" {
+        return Err(bad(1, format!("bad header `{header}`")));
+    }
+
+    let mut name: Option<String> = None;
+    let mut columns: Vec<ColumnDef> = Vec::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+
+    for (idx, line) in lines {
+        let n = idx + 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let (tag, rest) = line.split_once(' ').unwrap_or((line.as_str(), ""));
+        match tag {
+            "name" => name = Some(unescape(rest, n)?),
+            "column" => {
+                let mut parts = rest.split(' ');
+                let cname = parts.next().ok_or_else(|| bad(n, "missing column name"))?;
+                let dtype = match parts.next() {
+                    Some("Int") => DataType::Int,
+                    Some("Float") => DataType::Float,
+                    Some("Str") => DataType::Str,
+                    Some("Bool") => DataType::Bool,
+                    other => return Err(bad(n, format!("bad column type {other:?}"))),
+                };
+                let nullable = match parts.next() {
+                    Some("nullable") => true,
+                    Some("required") => false,
+                    other => return Err(bad(n, format!("bad nullability {other:?}"))),
+                };
+                columns.push(ColumnDef {
+                    name: unescape(cname, n)?,
+                    dtype,
+                    nullable,
+                });
+            }
+            "row" => {
+                if columns.is_empty() {
+                    return Err(bad(n, "row before any column"));
+                }
+                let cells: Vec<&str> = rest.split('\t').collect();
+                if cells.len() != columns.len() {
+                    return Err(bad(
+                        n,
+                        format!("row has {} cells, schema has {}", cells.len(), columns.len()),
+                    ));
+                }
+                let row = cells
+                    .iter()
+                    .zip(&columns)
+                    .map(|(c, def)| decode_value(c, def.dtype, n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                rows.push(row);
+            }
+            other => return Err(bad(n, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let name = name.ok_or_else(|| bad(1, "missing `name` directive"))?;
+    let schema = TableSchema::new(columns)?;
+    let mut table = Table::with_capacity(name, schema, rows.len());
+    for row in rows {
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Saves every table of a catalog into `dir` (created if absent), one
+/// `<table>.tbl` file per table. File names are percent-style sanitised
+/// so arbitrary table names stay valid paths.
+pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    for table in catalog.tables() {
+        let file = dir.join(format!("{}.tbl", sanitize(table.name())));
+        let mut f = std::fs::File::create(file)?;
+        write_table(table, &mut f)?;
+    }
+    Ok(())
+}
+
+/// Loads every `.tbl` file in `dir` into a catalog.
+pub fn load_catalog(dir: &Path) -> Result<Catalog, PersistError> {
+    let mut catalog = Catalog::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|e| e == "tbl").unwrap_or(false))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let mut f = std::fs::File::open(&path)?;
+        let table = read_table(&mut f)?;
+        catalog.create(table)?;
+    }
+    Ok(catalog)
+}
+
+/// Replaces path-hostile characters in a table name.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("id", DataType::Int),
+            ColumnDef::nullable("label", DataType::Str),
+            ColumnDef::required("x", DataType::Float),
+            ColumnDef::required("flag", DataType::Bool),
+        ])
+        .expect("static schema");
+        let mut t = Table::new("weird name/with:stuff", schema);
+        t.push_row(vec![1.into(), "plain".into(), 1.5.into(), true.into()])
+            .expect("row");
+        t.push_row(vec![
+            2.into(),
+            "tab\tnewline\nback\\slash".into(),
+            (-0.1).into(),
+            false.into(),
+        ])
+        .expect("row");
+        t.push_row(vec![3.into(), Value::Null, 1e300.into(), true.into()])
+            .expect("row");
+        t
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).expect("write");
+        let back = read_table(&mut buf.as_slice()).expect("read");
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(back.len(), t.len());
+        for (a, b) in t.rows().zip(back.rows()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn float_specials_roundtrip() {
+        let schema = TableSchema::new(vec![ColumnDef::required("x", DataType::Float)]).unwrap();
+        let mut t = Table::new("f", schema);
+        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.1 + 0.2, -0.0] {
+            t.push_row(vec![v.into()]).unwrap();
+        }
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let back = read_table(&mut buf.as_slice()).unwrap();
+        for (a, b) in t.rows().zip(back.rows()) {
+            assert_eq!(a[0].as_float().unwrap().to_bits(), b[0].as_float().unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn null_vs_literal_backslash_n() {
+        // A string cell containing the two characters `\N` must not read
+        // back as NULL.
+        let schema = TableSchema::new(vec![ColumnDef::nullable("s", DataType::Str)]).unwrap();
+        let mut t = Table::new("n", schema);
+        t.push_row(vec!["\\N".into()]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let back = read_table(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.row(0).unwrap()[0], Value::from("\\N"));
+        assert_eq!(back.row(1).unwrap()[0], Value::Null);
+    }
+
+    #[test]
+    fn read_rejects_malformed_input() {
+        assert!(read_table(&mut "nonsense".as_bytes()).is_err());
+        assert!(read_table(&mut "mvolap-table v1\nrow 1".as_bytes()).is_err());
+        let bad_arity = "mvolap-table v1\nname t\ncolumn a Int required\nrow 1\t2\n";
+        assert!(matches!(
+            read_table(&mut bad_arity.as_bytes()),
+            Err(PersistError::Format { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn catalog_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("mvolap_persist_{}", std::process::id()));
+        let mut catalog = Catalog::new();
+        catalog.create(sample()).unwrap();
+        let schema = TableSchema::new(vec![ColumnDef::required("v", DataType::Int)]).unwrap();
+        let mut t2 = Table::new("second", schema);
+        t2.push_row(vec![9.into()]).unwrap();
+        catalog.create(t2).unwrap();
+
+        save_catalog(&catalog, &dir).expect("save");
+        let back = load_catalog(&dir).expect("load");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("second").unwrap().len(), 1);
+        assert_eq!(
+            back.get("weird name/with:stuff").unwrap().len(),
+            catalog.get("weird name/with:stuff").unwrap().len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,178 @@
+//! Row predicates for filtered scans.
+
+use crate::{StorageError, Table, Value};
+
+/// A boolean expression over one row of a table.
+///
+/// Column references are by name and resolved against the table schema at
+/// evaluation time; an unknown column is an error, not `false`, so typos
+/// surface instead of silently filtering everything out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the full scan).
+    True,
+    /// Column equals constant (SQL semantics: NULL never equals).
+    Eq(String, Value),
+    /// Column differs from constant (NULL never differs either).
+    Ne(String, Value),
+    /// Column strictly less than constant.
+    Lt(String, Value),
+    /// Column less than or equal to constant.
+    Le(String, Value),
+    /// Column strictly greater than constant.
+    Gt(String, Value),
+    /// Column greater than or equal to constant.
+    Ge(String, Value),
+    /// Column value within inclusive bounds.
+    Between(String, Value, Value),
+    /// Column value is a member of the list.
+    In(String, Vec<Value>),
+    /// Column is NULL.
+    IsNull(String),
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// At least one sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Equality shorthand.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::Eq(column.into(), value.into())
+    }
+
+    /// Evaluates the predicate against row `row` of `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::UnknownColumn`] for unresolved column names.
+    pub fn eval(&self, table: &Table, row: usize) -> Result<bool, StorageError> {
+        use Predicate::*;
+        let fetch = |name: &str| -> Result<Value, StorageError> {
+            let idx = table
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    table: table.name().to_owned(),
+                    column: name.to_owned(),
+                })?;
+            Ok(table.column(idx).get(row).unwrap_or(Value::Null))
+        };
+        Ok(match self {
+            True => true,
+            Eq(c, v) => fetch(c)?.sql_eq(v),
+            Ne(c, v) => {
+                let cell = fetch(c)?;
+                !cell.is_null() && !v.is_null() && !cell.sql_eq(v)
+            }
+            Lt(c, v) => ord_test(&fetch(c)?, v, |o| o == std::cmp::Ordering::Less),
+            Le(c, v) => ord_test(&fetch(c)?, v, |o| o != std::cmp::Ordering::Greater),
+            Gt(c, v) => ord_test(&fetch(c)?, v, |o| o == std::cmp::Ordering::Greater),
+            Ge(c, v) => ord_test(&fetch(c)?, v, |o| o != std::cmp::Ordering::Less),
+            Between(c, lo, hi) => {
+                let cell = fetch(c)?;
+                ord_test(&cell, lo, |o| o != std::cmp::Ordering::Less)
+                    && ord_test(&cell, hi, |o| o != std::cmp::Ordering::Greater)
+            }
+            In(c, list) => {
+                let cell = fetch(c)?;
+                list.iter().any(|v| cell.sql_eq(v))
+            }
+            IsNull(c) => fetch(c)?.is_null(),
+            And(a, b) => a.eval(table, row)? && b.eval(table, row)?,
+            Or(a, b) => a.eval(table, row)? || b.eval(table, row)?,
+            Not(p) => !p.eval(table, row)?,
+        })
+    }
+}
+
+/// SQL three-valued comparison collapsed to boolean: NULL operands fail.
+fn ord_test(cell: &Value, constant: &Value, test: impl Fn(std::cmp::Ordering) -> bool) -> bool {
+    if cell.is_null() || constant.is_null() {
+        return false;
+    }
+    test(cell.sql_cmp(constant))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType, TableSchema};
+
+    fn sample() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("id", DataType::Int),
+            ColumnDef::nullable("name", DataType::Str),
+            ColumnDef::required("amount", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![1.into(), "a".into(), 10.0.into()]).unwrap();
+        t.push_row(vec![2.into(), Value::Null, 20.0.into()]).unwrap();
+        t.push_row(vec![3.into(), "c".into(), 30.0.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn eq_and_null_semantics() {
+        let t = sample();
+        assert!(Predicate::eq("name", "a").eval(&t, 0).unwrap());
+        // NULL equals nothing, differs from nothing.
+        assert!(!Predicate::eq("name", "a").eval(&t, 1).unwrap());
+        assert!(!Predicate::Ne("name".into(), "a".into()).eval(&t, 1).unwrap());
+        assert!(Predicate::IsNull("name".into()).eval(&t, 1).unwrap());
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = sample();
+        assert!(Predicate::Lt("amount".into(), 15.0.into()).eval(&t, 0).unwrap());
+        assert!(Predicate::Ge("amount".into(), 30.0.into()).eval(&t, 2).unwrap());
+        assert!(Predicate::Between("id".into(), 2.into(), 3.into()).eval(&t, 1).unwrap());
+        assert!(!Predicate::Between("id".into(), 2.into(), 3.into()).eval(&t, 0).unwrap());
+        assert!(Predicate::In("id".into(), vec![1.into(), 3.into()]).eval(&t, 2).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = sample();
+        let p = Predicate::eq("name", "a").or(Predicate::eq("name", "c"));
+        assert!(p.eval(&t, 0).unwrap());
+        assert!(!p.eval(&t, 1).unwrap());
+        assert!(p.clone().not().eval(&t, 1).unwrap());
+        let q = p.and(Predicate::Gt("amount".into(), 20.0.into()));
+        assert!(!q.eval(&t, 0).unwrap());
+        assert!(q.eval(&t, 2).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let t = sample();
+        let err = Predicate::eq("nope", 1).eval(&t, 0).unwrap_err();
+        assert!(matches!(err, StorageError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        let t = sample();
+        assert!(Predicate::eq("amount", 10).eval(&t, 0).unwrap());
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text table rendering.
+//!
+//! Used by the paper-table reproduction harness to print results in the
+//! same tabular form the paper uses, and by examples for human-readable
+//! output.
+
+use crate::Table;
+
+/// Renders a table as aligned plain text with a header row.
+///
+/// ```
+/// use mvolap_storage::{ColumnDef, DataType, Table, TableSchema};
+/// use mvolap_storage::render::render_table;
+///
+/// let schema = TableSchema::new(vec![
+///     ColumnDef::required("Division", DataType::Str),
+///     ColumnDef::required("Amount", DataType::Float),
+/// ]).unwrap();
+/// let mut t = Table::new("t", schema);
+/// t.push_row(vec!["Sales".into(), 150.0.into()]).unwrap();
+/// let text = render_table(&t);
+/// assert!(text.contains("Division"));
+/// assert!(text.contains("Sales"));
+/// assert!(text.contains("150"));
+/// ```
+pub fn render_table(table: &Table) -> String {
+    let headers: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(table.len());
+    for row in table.rows() {
+        let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+        for (w, c) in widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        rows.push(cells);
+    }
+
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(c);
+            out.extend(std::iter::repeat_n(' ', w - c.len()));
+        }
+        // Trim trailing padding.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers);
+    let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.extend(std::iter::repeat_n('-', rule_len));
+    out.push('\n');
+    for r in &rows {
+        write_row(&mut out, r);
+    }
+    out
+}
+
+/// Renders a table as comma-separated values (no quoting of commas — the
+/// warehouse's identifiers never contain them; intended for quick export).
+pub fn render_csv(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&table.schema().names().join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType, TableSchema, Value};
+
+    fn sample() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::required("Year", DataType::Int),
+            ColumnDef::required("Division", DataType::Str),
+            ColumnDef::nullable("Amount", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("q1", schema);
+        t.push_row(vec![2001.into(), "Sales".into(), 150.0.into()]).unwrap();
+        t.push_row(vec![2001.into(), "R&D".into(), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn text_render_aligns_columns() {
+        let text = render_table(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[0].starts_with("Year"));
+        assert!(lines[2].contains("Sales"));
+        assert!(lines[3].contains("NULL"));
+    }
+
+    #[test]
+    fn csv_render() {
+        let csv = render_csv(&sample());
+        assert_eq!(
+            csv,
+            "Year,Division,Amount\n2001,Sales,150\n2001,R&D,NULL\n"
+        );
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let schema = TableSchema::new(vec![ColumnDef::required("A", DataType::Int)]).unwrap();
+        let t = Table::new("e", schema);
+        let text = render_table(&t);
+        assert_eq!(text.lines().count(), 2);
+    }
+}

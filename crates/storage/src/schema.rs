@@ -1,0 +1,110 @@
+//! Table schemas.
+
+use crate::{DataType, StorageError};
+
+/// Definition of one column: name, type, nullability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared data type.
+    pub dtype: DataType,
+    /// Whether NULL values are accepted.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column.
+    pub fn required(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of column definitions with unique names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Builds a schema, validating column-name uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::DuplicateColumn`] on a repeated name.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Self, StorageError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StorageError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(TableSchema { columns })
+    }
+
+    /// The column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The named column's definition.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = TableSchema::new(vec![
+            ColumnDef::required("a", DataType::Int),
+            ColumnDef::required("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, StorageError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = TableSchema::new(vec![
+            ColumnDef::required("id", DataType::Int),
+            ColumnDef::nullable("name", DataType::Str),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.column("name").unwrap().nullable);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.names(), vec!["id", "name"]);
+    }
+}

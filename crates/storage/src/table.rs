@@ -1,0 +1,269 @@
+//! Row-validated columnar tables.
+
+use crate::{Column, Predicate, StorageError, TableSchema, Value};
+
+/// A named columnar table with schema-validated appends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: TableSchema,
+    columns: Vec<Column>,
+    len: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
+        let columns = schema.columns().iter().map(|c| Column::new(c.dtype)).collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty table pre-sized for `capacity` rows.
+    pub fn with_capacity(name: impl Into<String>, schema: TableSchema, capacity: usize) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::with_capacity(c.dtype, capacity))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            len: 0,
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the table (catalog moves).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The column at position `idx`. Panics if out of range (schema
+    /// violations are programming errors; name-based access is fallible).
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The named column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::UnknownColumn`] when absent.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, StorageError> {
+        let idx = self.schema.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
+            table: self.name.clone(),
+            column: name.to_owned(),
+        })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Appends a row, validating arity, types and nullability.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ArityMismatch`], [`StorageError::TypeMismatch`] or
+    /// [`StorageError::NullViolation`]. On error the table is unchanged.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), StorageError> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: row.len(),
+            });
+        }
+        // Validate the whole row before mutating any column so a failure
+        // leaves the table consistent.
+        for (val, def) in row.iter().zip(self.schema.columns()) {
+            if val.is_null() {
+                if !def.nullable {
+                    return Err(StorageError::NullViolation {
+                        column: def.name.clone(),
+                    });
+                }
+                continue;
+            }
+            let vt = val.data_type().expect("non-null value has a type");
+            let compatible = vt == def.dtype
+                || (vt == crate::DataType::Int && def.dtype == crate::DataType::Float);
+            if !compatible {
+                return Err(StorageError::TypeMismatch {
+                    column: def.name.clone(),
+                    expected: def.dtype,
+                    value: val.to_string(),
+                });
+            }
+        }
+        for (val, col) in row.into_iter().zip(self.columns.iter_mut()) {
+            col.push(val).expect("row pre-validated");
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Materialises row `row` as a `Vec<Value>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::RowOutOfBounds`] past the end.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>, StorageError> {
+        if row >= self.len {
+            return Err(StorageError::RowOutOfBounds { row, len: self.len });
+        }
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.get(row).expect("row bound checked"))
+            .collect())
+    }
+
+    /// Iterates over all rows, materialising each.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.len).map(move |r| self.row(r).expect("in-bounds"))
+    }
+
+    /// Returns a new table containing the rows satisfying `predicate`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate evaluation errors (e.g. unknown columns).
+    pub fn filter(&self, predicate: &Predicate) -> Result<Table, StorageError> {
+        let mut out = Table::new(self.name.clone(), self.schema.clone());
+        for r in 0..self.len {
+            if predicate.eval(self, r)? {
+                out.push_row(self.row(r)?)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projects the table onto the named columns (in the given order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::UnknownColumn`] for unresolved names.
+    pub fn project(&self, columns: &[&str]) -> Result<Table, StorageError> {
+        let mut defs = Vec::with_capacity(columns.len());
+        let mut idxs = Vec::with_capacity(columns.len());
+        for &name in columns {
+            let idx = self.schema.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })?;
+            idxs.push(idx);
+            defs.push(self.schema.columns()[idx].clone());
+        }
+        let schema = TableSchema::new(defs)?;
+        let mut out = Table::with_capacity(self.name.clone(), schema, self.len);
+        for r in 0..self.len {
+            let row = idxs
+                .iter()
+                .map(|&i| self.columns[i].get(r).expect("in-bounds"))
+                .collect();
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Approximate heap footprint in bytes across all columns.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(Column::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(vec![
+            ColumnDef::required("id", DataType::Int),
+            ColumnDef::nullable("label", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut t = Table::new("t", schema());
+        t.push_row(vec![1.into(), "x".into()]).unwrap();
+        t.push_row(vec![2.into(), Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(0).unwrap(), vec![Value::Int(1), Value::from("x")]);
+        assert_eq!(t.row(1).unwrap()[1], Value::Null);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn arity_and_type_validation() {
+        let mut t = Table::new("t", schema());
+        assert!(matches!(
+            t.push_row(vec![1.into()]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.push_row(vec!["oops".into(), "x".into()]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.push_row(vec![Value::Null, "x".into()]),
+            Err(StorageError::NullViolation { .. })
+        ));
+        // Failed pushes leave the table unchanged.
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.column(0).len(), 0);
+    }
+
+    #[test]
+    fn filter_selects_matching_rows() {
+        let mut t = Table::new("t", schema());
+        for i in 0..10 {
+            t.push_row(vec![i.into(), format!("r{i}").into()]).unwrap();
+        }
+        let f = t.filter(&Predicate::Ge("id".into(), 7.into())).unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.row(0).unwrap()[0], Value::Int(7));
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let mut t = Table::new("t", schema());
+        t.push_row(vec![1.into(), "x".into()]).unwrap();
+        let p = t.project(&["label", "id"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["label", "id"]);
+        assert_eq!(p.row(0).unwrap(), vec![Value::from("x"), Value::Int(1)]);
+        assert!(t.project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float_column_on_push() {
+        let schema = TableSchema::new(vec![ColumnDef::required("m", DataType::Float)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![5.into()]).unwrap();
+        assert_eq!(t.row(0).unwrap(), vec![Value::Float(5.0)]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Discrete time instants.
+//!
+//! An [`Instant`] is an opaque tick on a discrete, totally ordered time
+//! axis. The engine is granularity-agnostic: a tick can mean a month (the
+//! paper's granularity), a day, or anything the application chooses. Helper
+//! constructors for the month granularity are provided because the paper's
+//! case study uses `MM/YYYY` timestamps.
+
+use crate::TemporalError;
+
+/// Granularity tag for rendering instants.
+///
+/// Purely presentational — arithmetic on [`Instant`] is granularity-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// Raw ticks, rendered as integers.
+    #[default]
+    Tick,
+    /// Ticks are months since year 0 (tick = `year * 12 + (month - 1)`).
+    Month,
+    /// Ticks are years.
+    Year,
+}
+
+/// A discrete instant on the time axis.
+///
+/// `Instant` is a transparent newtype over `i64` ticks. Two sentinel values
+/// exist:
+///
+/// * [`Instant::FOREVER`] — the open interval end the paper writes as `Now`;
+/// * [`Instant::DAWN`] — the earliest representable instant.
+///
+/// Regular instants must lie strictly between the sentinels; the month
+/// helpers guarantee this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(i64);
+
+impl Instant {
+    /// The open end of a still-valid interval (`Now` in the paper).
+    pub const FOREVER: Instant = Instant(i64::MAX);
+    /// The earliest representable instant.
+    pub const DAWN: Instant = Instant(i64::MIN);
+
+    /// Creates an instant at the given tick.
+    #[inline]
+    pub const fn at(tick: i64) -> Self {
+        Instant(tick)
+    }
+
+    /// Creates an instant from a calendar year and month (month granularity).
+    ///
+    /// Ticks count months since year 0, so `ym(2001, 1)` is tick `24012`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemporalError::InvalidMonth`] when `month` is outside
+    /// `1..=12`.
+    pub fn from_ym(year: i32, month: u32) -> Result<Self, TemporalError> {
+        if !(1..=12).contains(&month) {
+            return Err(TemporalError::InvalidMonth(month));
+        }
+        Ok(Instant(year as i64 * 12 + (month as i64 - 1)))
+    }
+
+    /// Infallible month constructor for literals; panics on an invalid month.
+    ///
+    /// Intended for tests, examples and constant case-study data where the
+    /// month is a literal. Use [`Instant::from_ym`] for untrusted input.
+    #[inline]
+    pub fn ym(year: i32, month: u32) -> Self {
+        Self::from_ym(year, month).expect("month literal must be in 1..=12")
+    }
+
+    /// January of the given year at month granularity.
+    #[inline]
+    pub fn year_start(year: i32) -> Self {
+        Instant(year as i64 * 12)
+    }
+
+    /// December of the given year at month granularity.
+    #[inline]
+    pub fn year_end(year: i32) -> Self {
+        Instant(year as i64 * 12 + 11)
+    }
+
+    /// The raw tick value.
+    #[inline]
+    pub const fn tick(self) -> i64 {
+        self.0
+    }
+
+    /// Decomposes a month-granularity instant into `(year, month)`.
+    #[inline]
+    pub fn to_ym(self) -> YearMonth {
+        let year = self.0.div_euclid(12);
+        let month = self.0.rem_euclid(12) + 1;
+        YearMonth {
+            year: year as i32,
+            month: month as u32,
+        }
+    }
+
+    /// The calendar year of a month-granularity instant.
+    #[inline]
+    pub fn year(self) -> i32 {
+        self.to_ym().year
+    }
+
+    /// Whether this is the `Now` / open-end sentinel.
+    #[inline]
+    pub const fn is_forever(self) -> bool {
+        self.0 == i64::MAX
+    }
+
+    /// Whether this is the earliest-representable sentinel.
+    #[inline]
+    pub const fn is_dawn(self) -> bool {
+        self.0 == i64::MIN
+    }
+
+    /// The immediately preceding instant, saturating at the sentinels.
+    ///
+    /// Used by the `Exclude` evolution operator, which closes intervals at
+    /// `tf − 1`.
+    #[inline]
+    pub fn pred(self) -> Self {
+        if self.is_forever() || self.is_dawn() {
+            self
+        } else {
+            Instant(self.0 - 1)
+        }
+    }
+
+    /// The immediately following instant, saturating at the sentinels.
+    #[inline]
+    pub fn succ(self) -> Self {
+        if self.is_forever() || self.is_dawn() {
+            self
+        } else {
+            Instant(self.0 + 1)
+        }
+    }
+
+    /// Checked tick addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemporalError::InstantOverflow`] when the result leaves the
+    /// regular tick range or when called on a sentinel.
+    pub fn checked_add(self, delta: i64) -> Result<Self, TemporalError> {
+        if self.is_forever() || self.is_dawn() {
+            return Err(TemporalError::InstantOverflow);
+        }
+        match self.0.checked_add(delta) {
+            Some(t) if t != i64::MAX && t != i64::MIN => Ok(Instant(t)),
+            _ => Err(TemporalError::InstantOverflow),
+        }
+    }
+
+    /// Renders this instant under the given granularity.
+    pub fn display(self, granularity: Granularity) -> String {
+        if self.is_forever() {
+            return "Now".to_owned();
+        }
+        if self.is_dawn() {
+            return "Dawn".to_owned();
+        }
+        match granularity {
+            Granularity::Tick => self.0.to_string(),
+            Granularity::Month => {
+                let ym = self.to_ym();
+                format!("{:02}/{}", ym.month, ym.year)
+            }
+            Granularity::Year => self.year().to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Instant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.display(Granularity::Month))
+    }
+}
+
+/// A decomposed month-granularity instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct YearMonth {
+    /// Calendar year.
+    pub year: i32,
+    /// Calendar month, `1..=12`.
+    pub month: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ym_roundtrip() {
+        let i = Instant::ym(2001, 1);
+        assert_eq!(i.to_ym(), YearMonth { year: 2001, month: 1 });
+        assert_eq!(i.year(), 2001);
+        let j = Instant::ym(2002, 12);
+        assert_eq!(j.to_ym(), YearMonth { year: 2002, month: 12 });
+    }
+
+    #[test]
+    fn ym_rejects_invalid_month() {
+        assert_eq!(Instant::from_ym(2001, 0), Err(TemporalError::InvalidMonth(0)));
+        assert_eq!(Instant::from_ym(2001, 13), Err(TemporalError::InvalidMonth(13)));
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Instant::ym(2001, 12) < Instant::ym(2002, 1));
+        assert!(Instant::ym(2001, 1) < Instant::FOREVER);
+        assert!(Instant::DAWN < Instant::ym(1900, 1));
+    }
+
+    #[test]
+    fn pred_succ_are_inverse_on_regular_instants() {
+        let i = Instant::ym(2003, 6);
+        assert_eq!(i.pred().succ(), i);
+        assert_eq!(i.succ().pred(), i);
+    }
+
+    #[test]
+    fn pred_succ_saturate_on_sentinels() {
+        assert_eq!(Instant::FOREVER.pred(), Instant::FOREVER);
+        assert_eq!(Instant::FOREVER.succ(), Instant::FOREVER);
+        assert_eq!(Instant::DAWN.pred(), Instant::DAWN);
+        assert_eq!(Instant::DAWN.succ(), Instant::DAWN);
+    }
+
+    #[test]
+    fn pred_crosses_year_boundary() {
+        assert_eq!(Instant::ym(2003, 1).pred(), Instant::ym(2002, 12));
+    }
+
+    #[test]
+    fn year_start_end() {
+        assert_eq!(Instant::year_start(2001), Instant::ym(2001, 1));
+        assert_eq!(Instant::year_end(2001), Instant::ym(2001, 12));
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert!(Instant::FOREVER.checked_add(1).is_err());
+        assert!(Instant::at(i64::MAX - 1).checked_add(5).is_err());
+        assert_eq!(
+            Instant::ym(2001, 1).checked_add(12).unwrap(),
+            Instant::ym(2002, 1)
+        );
+    }
+
+    #[test]
+    fn display_granularities() {
+        let i = Instant::ym(2001, 3);
+        assert_eq!(i.display(Granularity::Month), "03/2001");
+        assert_eq!(i.display(Granularity::Year), "2001");
+        assert_eq!(Instant::FOREVER.display(Granularity::Month), "Now");
+        assert_eq!(i.display(Granularity::Tick), (2001 * 12 + 2).to_string());
+    }
+
+    #[test]
+    fn negative_year_euclid_decomposition() {
+        let i = Instant::ym(-1, 11);
+        assert_eq!(i.to_ym(), YearMonth { year: -1, month: 11 });
+    }
+}

@@ -1,0 +1,345 @@
+//! Inclusive validity intervals.
+//!
+//! The paper attaches an inclusive valid time `[ti, tf]` to member versions
+//! (Def. 1), temporal relationships (Def. 2) and structure versions
+//! (Def. 9), where `tf` may be the open end `Now`. [`Interval`] models
+//! exactly that: a non-empty inclusive range of [`Instant`]s whose end may
+//! be [`Instant::FOREVER`].
+
+use crate::{Instant, TemporalError};
+
+/// An inclusive, non-empty validity interval `[start, end]`.
+///
+/// `end == Instant::FOREVER` represents the paper's `Now` (still valid).
+/// The invariant `start <= end` is enforced at construction, so every
+/// `Interval` contains at least one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    start: Instant,
+    end: Instant,
+}
+
+impl Interval {
+    /// The interval spanning the whole representable time axis.
+    pub const ALL_TIME: Interval = Interval {
+        start: Instant::DAWN,
+        end: Instant::FOREVER,
+    };
+
+    /// Creates the interval `[start, end]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemporalError::EmptyInterval`] when `start > end`.
+    pub fn new(start: Instant, end: Instant) -> Result<Self, TemporalError> {
+        if start > end {
+            return Err(TemporalError::EmptyInterval {
+                start: start.tick(),
+                end: end.tick(),
+            });
+        }
+        Ok(Interval { start, end })
+    }
+
+    /// Infallible constructor for literals; panics when `start > end`.
+    ///
+    /// Intended for tests and constant case-study data.
+    #[inline]
+    pub fn of(start: Instant, end: Instant) -> Self {
+        Self::new(start, end).expect("interval literal must satisfy start <= end")
+    }
+
+    /// The still-open interval `[start, Now]`.
+    #[inline]
+    pub fn since(start: Instant) -> Self {
+        Interval {
+            start,
+            end: Instant::FOREVER,
+        }
+    }
+
+    /// The single-instant interval `[t, t]`.
+    #[inline]
+    pub fn at(t: Instant) -> Self {
+        Interval { start: t, end: t }
+    }
+
+    /// Month-granularity convenience: `[ym(y1,m1), ym(y2,m2)]`.
+    #[inline]
+    pub fn ym(y1: i32, m1: u32, y2: i32, m2: u32) -> Self {
+        Self::of(Instant::ym(y1, m1), Instant::ym(y2, m2))
+    }
+
+    /// Whole calendar years `[01/y1, 12/y2]` at month granularity.
+    #[inline]
+    pub fn years(y1: i32, y2: i32) -> Self {
+        Self::of(Instant::year_start(y1), Instant::year_end(y2))
+    }
+
+    /// Inclusive start.
+    #[inline]
+    pub const fn start(self) -> Instant {
+        self.start
+    }
+
+    /// Inclusive end (possibly [`Instant::FOREVER`]).
+    #[inline]
+    pub const fn end(self) -> Instant {
+        self.end
+    }
+
+    /// Whether the interval is still open (`end == Now`).
+    #[inline]
+    pub fn is_current(self) -> bool {
+        self.end.is_forever()
+    }
+
+    /// Whether the instant `t` lies inside the interval.
+    #[inline]
+    pub fn contains(self, t: Instant) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The common sub-interval, if any.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Interval { start, end })
+    }
+
+    /// Whether the two intervals are adjacent or overlapping, i.e. their
+    /// union is itself an interval.
+    pub fn touches(self, other: Interval) -> bool {
+        self.overlaps(other)
+            || self.end.succ() == other.start
+            || other.end.succ() == self.start
+    }
+
+    /// The smallest interval covering both inputs, when they touch.
+    ///
+    /// Returns `None` when a gap separates them (the union would not be an
+    /// interval).
+    pub fn union(self, other: Interval) -> Option<Interval> {
+        self.touches(other).then(|| Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        })
+    }
+
+    /// Truncates the interval so it ends at `new_end` (used by `Exclude`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemporalError::EmptyInterval`] when `new_end < start`.
+    pub fn truncate_end(self, new_end: Instant) -> Result<Interval, TemporalError> {
+        Interval::new(self.start, new_end.min(self.end))
+    }
+
+    /// Number of instants in the interval, or `None` for open / unbounded
+    /// intervals.
+    pub fn len(self) -> Option<u64> {
+        if self.end.is_forever() || self.start.is_dawn() {
+            return None;
+        }
+        Some((self.end.tick() - self.start.tick()) as u64 + 1)
+    }
+
+    /// Always `false`: the non-empty invariant holds by construction.
+    ///
+    /// Present for API symmetry with `len`.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Classifies the relative position of `self` and `other` following
+    /// Allen's interval algebra (collapsed onto discrete inclusive
+    /// intervals).
+    pub fn allen(self, other: Interval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        if self == other {
+            return AllenRelation::Equals;
+        }
+        if self.end < other.start {
+            return if self.end.succ() == other.start {
+                AllenRelation::Meets
+            } else {
+                AllenRelation::Before
+            };
+        }
+        if other.end < self.start {
+            return if other.end.succ() == self.start {
+                AllenRelation::MetBy
+            } else {
+                AllenRelation::After
+            };
+        }
+        // The intervals overlap.
+        match (self.start.cmp(&other.start), self.end.cmp(&other.end)) {
+            (Equal, Less) => AllenRelation::Starts,
+            (Equal, Greater) => AllenRelation::StartedBy,
+            (Greater, Equal) => AllenRelation::Finishes,
+            (Less, Equal) => AllenRelation::FinishedBy,
+            (Greater, Less) => AllenRelation::During,
+            (Less, Greater) => AllenRelation::Contains,
+            (Less, Less) => AllenRelation::Overlaps,
+            (Greater, Greater) => AllenRelation::OverlappedBy,
+            (Equal, Equal) => AllenRelation::Equals,
+        }
+    }
+
+    /// Iterates over all instants in the interval.
+    ///
+    /// Returns `None` for open or unbounded intervals, which cannot be
+    /// enumerated.
+    pub fn iter(self) -> Option<impl Iterator<Item = Instant>> {
+        if self.end.is_forever() || self.start.is_dawn() {
+            return None;
+        }
+        Some((self.start.tick()..=self.end.tick()).map(Instant::at))
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} ; {}]", self.start, self.end)
+    }
+}
+
+/// Allen's thirteen interval relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllenRelation {
+    /// `self` ends strictly before `other` starts, with a gap.
+    Before,
+    /// `self` ends immediately before `other` starts.
+    Meets,
+    /// Proper overlap with `self` starting and ending first.
+    Overlaps,
+    /// Same start, `self` ends first.
+    Starts,
+    /// `self` strictly inside `other`.
+    During,
+    /// Same end, `self` starts later.
+    Finishes,
+    /// The intervals are identical.
+    Equals,
+    /// Same end, `self` starts earlier.
+    FinishedBy,
+    /// `other` strictly inside `self`.
+    Contains,
+    /// Same start, `self` ends later.
+    StartedBy,
+    /// Proper overlap with `other` starting and ending first.
+    OverlappedBy,
+    /// `other` ends immediately before `self` starts.
+    MetBy,
+    /// `other` ends strictly before `self` starts, with a gap.
+    After,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::of(Instant::at(a), Instant::at(b))
+    }
+
+    #[test]
+    fn rejects_reversed_bounds() {
+        assert!(Interval::new(Instant::at(5), Instant::at(4)).is_err());
+        assert!(Interval::new(Instant::at(5), Instant::at(5)).is_ok());
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_both_ends() {
+        let i = iv(3, 7);
+        assert!(i.contains(Instant::at(3)));
+        assert!(i.contains(Instant::at(7)));
+        assert!(!i.contains(Instant::at(2)));
+        assert!(!i.contains(Instant::at(8)));
+    }
+
+    #[test]
+    fn since_contains_far_future() {
+        let i = Interval::since(Instant::ym(2001, 1));
+        assert!(i.contains(Instant::ym(3000, 1)));
+        assert!(i.is_current());
+        assert_eq!(i.len(), None);
+    }
+
+    #[test]
+    fn intersect_cases() {
+        assert_eq!(iv(1, 5).intersect(iv(3, 9)), Some(iv(3, 5)));
+        assert_eq!(iv(1, 5).intersect(iv(5, 9)), Some(iv(5, 5)));
+        assert_eq!(iv(1, 5).intersect(iv(6, 9)), None);
+        assert_eq!(iv(1, 9).intersect(iv(3, 4)), Some(iv(3, 4)));
+    }
+
+    #[test]
+    fn union_requires_touching() {
+        assert_eq!(iv(1, 3).union(iv(4, 6)), Some(iv(1, 6))); // adjacent
+        assert_eq!(iv(1, 3).union(iv(3, 6)), Some(iv(1, 6))); // overlapping
+        assert_eq!(iv(1, 3).union(iv(5, 6)), None); // gap at 4
+    }
+
+    #[test]
+    fn truncate_end_models_exclude() {
+        // Exclude at tf sets validity end to tf - 1.
+        let i = Interval::since(Instant::ym(2001, 1));
+        let excluded_at = Instant::ym(2003, 1);
+        let closed = i.truncate_end(excluded_at.pred()).unwrap();
+        assert_eq!(closed.end(), Instant::ym(2002, 12));
+        assert!(iv(5, 9).truncate_end(Instant::at(2)).is_err());
+    }
+
+    #[test]
+    fn len_counts_inclusively() {
+        assert_eq!(iv(3, 3).len(), Some(1));
+        assert_eq!(iv(3, 7).len(), Some(5));
+        assert_eq!(Interval::ALL_TIME.len(), None);
+    }
+
+    #[test]
+    fn allen_all_thirteen() {
+        use AllenRelation::*;
+        assert_eq!(iv(1, 2).allen(iv(5, 6)), Before);
+        assert_eq!(iv(1, 2).allen(iv(3, 6)), Meets);
+        assert_eq!(iv(1, 4).allen(iv(3, 6)), Overlaps);
+        assert_eq!(iv(1, 4).allen(iv(1, 6)), Starts);
+        assert_eq!(iv(2, 4).allen(iv(1, 6)), During);
+        assert_eq!(iv(4, 6).allen(iv(1, 6)), Finishes);
+        assert_eq!(iv(1, 6).allen(iv(1, 6)), Equals);
+        assert_eq!(iv(1, 6).allen(iv(4, 6)), FinishedBy);
+        assert_eq!(iv(1, 6).allen(iv(2, 4)), Contains);
+        assert_eq!(iv(1, 6).allen(iv(1, 4)), StartedBy);
+        assert_eq!(iv(3, 6).allen(iv(1, 4)), OverlappedBy);
+        assert_eq!(iv(3, 6).allen(iv(1, 2)), MetBy);
+        assert_eq!(iv(5, 6).allen(iv(1, 2)), After);
+    }
+
+    #[test]
+    fn iter_enumerates_instants() {
+        let ts: Vec<i64> = iv(3, 6).iter().unwrap().map(Instant::tick).collect();
+        assert_eq!(ts, vec![3, 4, 5, 6]);
+        assert!(Interval::since(Instant::at(0)).iter().is_none());
+    }
+
+    #[test]
+    fn display_uses_month_granularity() {
+        let i = Interval::of(Instant::ym(2001, 1), Instant::FOREVER);
+        assert_eq!(i.to_string(), "[01/2001 ; Now]");
+    }
+}

@@ -1,0 +1,59 @@
+//! # mvolap-temporal
+//!
+//! Discrete time model for the multiversion OLAP engine.
+//!
+//! The paper ("Handling Evolutions in Multidimensional Structures",
+//! Body et al., ICDE 2003) timestamps every element of the
+//! multidimensional structure — member versions, roll-up relationships,
+//! facts — with an *inclusive* validity interval `[ti, tf]` over a discrete
+//! time axis, where `tf` may be the open end `Now`. The `Exclude` evolution
+//! operator sets end times to `tf − 1`, so time must be discrete.
+//!
+//! This crate provides:
+//!
+//! * [`Instant`] — a discrete tick (month granularity helpers included,
+//!   matching the paper's `01/2001` style timestamps);
+//! * [`Interval`] — an inclusive validity interval with an open `Now` end;
+//! * interval algebra: intersection, union, containment, [`AllenRelation`];
+//! * [`partition_timeline`] — the boundary partition used to infer
+//!   *Structure Versions* (paper Definition 9): the coarsest partition of
+//!   history such that the set of valid elements is constant within each
+//!   piece.
+
+pub mod instant;
+pub mod interval;
+pub mod partition;
+
+pub use instant::{Granularity, Instant, YearMonth};
+pub use interval::{AllenRelation, Interval};
+pub use partition::{partition_timeline, TimelineSegment};
+
+/// Errors produced by temporal operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// An interval was constructed with `start > end`.
+    EmptyInterval {
+        /// Requested start tick.
+        start: i64,
+        /// Requested end tick.
+        end: i64,
+    },
+    /// A month outside `1..=12` was supplied.
+    InvalidMonth(u32),
+    /// Arithmetic on an [`Instant`] overflowed the tick range.
+    InstantOverflow,
+}
+
+impl std::fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemporalError::EmptyInterval { start, end } => {
+                write!(f, "empty interval: start {start} is after end {end}")
+            }
+            TemporalError::InvalidMonth(m) => write!(f, "invalid month {m}, expected 1..=12"),
+            TemporalError::InstantOverflow => write!(f, "instant arithmetic overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}

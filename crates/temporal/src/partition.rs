@@ -1,0 +1,192 @@
+//! Boundary partition of the timeline.
+//!
+//! Paper Definition 9 observes that the *Structure Versions* of a temporal
+//! multidimensional schema "partition history and … can be inferred from
+//! the schema, as the intersections of the valid time intervals of all
+//! Member Versions and Temporal Relationships". This module implements that
+//! inference generically: given a set of validity intervals, it produces the
+//! coarsest partition of the covered timeline such that, inside each piece,
+//! the set of valid intervals is constant.
+
+use crate::{Instant, Interval};
+
+/// One piece of a timeline partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSegment {
+    /// The covered time slice.
+    pub interval: Interval,
+    /// Indices (into the input slice) of the intervals valid throughout
+    /// this segment, in ascending order.
+    pub active: Vec<usize>,
+}
+
+/// Partitions the timeline covered by `intervals` into maximal segments of
+/// constant validity.
+///
+/// Every returned segment satisfies: an input interval either contains the
+/// whole segment or is disjoint from it. Segments are returned in
+/// chronological order and cover exactly the union of the inputs (gaps in
+/// coverage produce no segment). Adjacent segments with identical active
+/// sets are merged, which makes the partition coarsest — this situation
+/// arises when coverage is interrupted by a gap.
+///
+/// The number of segments is at most `2 * intervals.len() - 1`.
+pub fn partition_timeline(intervals: &[Interval]) -> Vec<TimelineSegment> {
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+
+    // Critical instants: every interval start, and the instant just after
+    // every interval end (where validity can change).
+    let mut boundaries: Vec<Instant> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        boundaries.push(iv.start());
+        if !iv.end().is_forever() {
+            boundaries.push(iv.end().succ());
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    let mut segments: Vec<TimelineSegment> = Vec::with_capacity(boundaries.len());
+    for (i, &start) in boundaries.iter().enumerate() {
+        let end = match boundaries.get(i + 1) {
+            Some(next) => next.pred(),
+            None => Instant::FOREVER,
+        };
+        if start > end {
+            continue;
+        }
+        let segment = Interval::of(start, end);
+        let active: Vec<usize> = intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.contains_interval(segment))
+            .map(|(idx, _)| idx)
+            .collect();
+        if active.is_empty() {
+            continue; // gap in coverage
+        }
+        // Merge with the previous segment when both the active set matches
+        // and the segments are adjacent (no gap swallowed in between).
+        if let Some(prev) = segments.last_mut() {
+            if prev.active == active && prev.interval.end().succ() == start {
+                prev.interval = Interval::of(prev.interval.start(), end);
+                continue;
+            }
+        }
+        segments.push(TimelineSegment {
+            interval: segment,
+            active,
+        });
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::of(Instant::at(a), Instant::at(b))
+    }
+
+    fn open(a: i64) -> Interval {
+        Interval::since(Instant::at(a))
+    }
+
+    #[test]
+    fn empty_input_yields_no_segments() {
+        assert!(partition_timeline(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_interval_is_its_own_partition() {
+        let segs = partition_timeline(&[iv(3, 9)]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].interval, iv(3, 9));
+        assert_eq!(segs[0].active, vec![0]);
+    }
+
+    #[test]
+    fn paper_example_7_two_structure_versions() {
+        // Dpt.Jones [01/2001; 12/2002], Dpt.Paul & Dpt.Bill [01/2003; Now],
+        // Sales [01/2001; Now] => two structure versions:
+        //   [01/2001; 12/2002] and [01/2003; Now].
+        let jones = Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12));
+        let paul = Interval::since(Instant::ym(2003, 1));
+        let bill = Interval::since(Instant::ym(2003, 1));
+        let sales = Interval::since(Instant::ym(2001, 1));
+        let segs = partition_timeline(&[jones, paul, bill, sales]);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(
+            segs[0].interval,
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12))
+        );
+        assert_eq!(segs[0].active, vec![0, 3]);
+        assert_eq!(segs[1].interval, Interval::since(Instant::ym(2003, 1)));
+        assert_eq!(segs[1].active, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overlapping_intervals_split_at_every_boundary() {
+        let segs = partition_timeline(&[iv(1, 10), iv(5, 15)]);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].interval, iv(1, 4));
+        assert_eq!(segs[0].active, vec![0]);
+        assert_eq!(segs[1].interval, iv(5, 10));
+        assert_eq!(segs[1].active, vec![0, 1]);
+        assert_eq!(segs[2].interval, iv(11, 15));
+        assert_eq!(segs[2].active, vec![1]);
+    }
+
+    #[test]
+    fn gaps_produce_no_segment() {
+        let segs = partition_timeline(&[iv(1, 3), iv(7, 9)]);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].interval, iv(1, 3));
+        assert_eq!(segs[1].interval, iv(7, 9));
+    }
+
+    #[test]
+    fn identical_intervals_share_a_segment() {
+        let segs = partition_timeline(&[iv(2, 8), iv(2, 8), iv(2, 8)]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].active, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn open_intervals_extend_to_forever() {
+        let segs = partition_timeline(&[open(5), iv(5, 7)]);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].interval, iv(5, 7));
+        assert_eq!(segs[0].active, vec![0, 1]);
+        assert_eq!(segs[1].interval, Interval::since(Instant::at(8)));
+        assert_eq!(segs[1].active, vec![0]);
+    }
+
+    #[test]
+    fn segments_are_refinement_of_every_input() {
+        let input = [iv(0, 20), iv(3, 8), iv(8, 12), open(15)];
+        for seg in partition_timeline(&input) {
+            for iv in &input {
+                // Each input either contains the segment or misses it.
+                assert!(
+                    iv.contains_interval(seg.interval)
+                        || iv.intersect(seg.interval).is_none(),
+                    "segment {} straddles input {}",
+                    seg.interval,
+                    iv
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_instant_intervals() {
+        let segs = partition_timeline(&[iv(5, 5), iv(5, 5), iv(4, 6)]);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[1].interval, iv(5, 5));
+        assert_eq!(segs[1].active, vec![0, 1, 2]);
+    }
+}

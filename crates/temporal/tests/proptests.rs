@@ -1,0 +1,137 @@
+//! Property-based tests for the temporal algebra.
+
+use mvolap_temporal::{partition_timeline, AllenRelation, Instant, Interval};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary valid intervals over a small tick range,
+/// including open (`Now`-ended) ones.
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (-50i64..50, 0i64..40, prop::bool::ANY).prop_map(|(start, len, open)| {
+        let s = Instant::at(start);
+        if open {
+            Interval::since(s)
+        } else {
+            Interval::of(s, Instant::at(start + len))
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn intersect_is_commutative(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+    }
+
+    #[test]
+    fn intersect_is_idempotent(a in interval_strategy()) {
+        prop_assert_eq!(a.intersect(a), Some(a));
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in interval_strategy(), b in interval_strategy()) {
+        if let Some(c) = a.intersect(b) {
+            prop_assert!(a.contains_interval(c));
+            prop_assert!(b.contains_interval(c));
+        }
+    }
+
+    #[test]
+    fn overlaps_agrees_with_intersect(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.overlaps(b), a.intersect(b).is_some());
+    }
+
+    #[test]
+    fn union_contains_both(a in interval_strategy(), b in interval_strategy()) {
+        if let Some(u) = a.union(b) {
+            prop_assert!(u.contains_interval(a));
+            prop_assert!(u.contains_interval(b));
+        }
+    }
+
+    #[test]
+    fn allen_is_exhaustive_and_consistent(a in interval_strategy(), b in interval_strategy()) {
+        use AllenRelation::*;
+        let rel = a.allen(b);
+        // Overlap-classifying relations must agree with `overlaps`.
+        let overlapping = !matches!(rel, Before | Meets | MetBy | After);
+        prop_assert_eq!(overlapping, a.overlaps(b));
+        // Equals iff identical.
+        prop_assert_eq!(rel == Equals, a == b);
+    }
+
+    #[test]
+    fn allen_inverse_symmetry(a in interval_strategy(), b in interval_strategy()) {
+        use AllenRelation::*;
+        let inverse = match a.allen(b) {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equals => Equals,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        };
+        prop_assert_eq!(b.allen(a), inverse);
+    }
+
+    #[test]
+    fn partition_segments_are_ordered_and_disjoint(
+        ivs in prop::collection::vec(interval_strategy(), 0..12)
+    ) {
+        let segs = partition_timeline(&ivs);
+        for w in segs.windows(2) {
+            prop_assert!(w[0].interval.end() < w[1].interval.start());
+        }
+    }
+
+    #[test]
+    fn partition_refines_every_input(
+        ivs in prop::collection::vec(interval_strategy(), 0..12)
+    ) {
+        for seg in partition_timeline(&ivs) {
+            for iv in &ivs {
+                prop_assert!(
+                    iv.contains_interval(seg.interval) || iv.intersect(seg.interval).is_none()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_exactly_the_union(
+        ivs in prop::collection::vec(interval_strategy(), 1..10),
+        probe in -60i64..120
+    ) {
+        let t = Instant::at(probe);
+        let covered = ivs.iter().any(|iv| iv.contains(t));
+        let in_segment = partition_timeline(&ivs)
+            .iter()
+            .any(|s| s.interval.contains(t));
+        prop_assert_eq!(covered, in_segment);
+    }
+
+    #[test]
+    fn partition_active_sets_are_correct(
+        ivs in prop::collection::vec(interval_strategy(), 1..10)
+    ) {
+        for seg in partition_timeline(&ivs) {
+            let probe = seg.interval.start();
+            for (idx, iv) in ivs.iter().enumerate() {
+                prop_assert_eq!(seg.active.contains(&idx), iv.contains(probe));
+            }
+        }
+    }
+
+    #[test]
+    fn pred_succ_monotonic(t in -1000i64..1000) {
+        let i = Instant::at(t);
+        prop_assert!(i.pred() < i);
+        prop_assert!(i < i.succ());
+    }
+}

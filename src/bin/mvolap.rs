@@ -1,0 +1,291 @@
+//! `mvolap` — interactive OLAP front end (the fourth tier of the §5.1
+//! architecture, replacing the prototype's ProClarity client).
+//!
+//! ```text
+//! mvolap                        # REPL over the paper's case study
+//! mvolap --two-measures         # case study with Turnover + Profit
+//! mvolap --workload 42          # seeded synthetic evolving workload
+//! mvolap --load FILE            # a schema saved with \save
+//! mvolap -c "SELECT sum(Amount) BY year, Org.Division IN MODE tcm"
+//! ```
+//!
+//! Inside the REPL, lines are queries (see `mvolap-query` for the
+//! grammar) or backslash commands — `\h` lists them.
+
+use std::io::{BufRead, Write as _};
+
+use mvolap::core::case_study::{case_study, case_study_two_measures};
+use mvolap::core::{ConfidenceWeights, Tmd};
+use mvolap::cube::mode_qualities;
+use mvolap::query::{parse, run_compare, run_with_versions, ModeSpec, QueryError};
+use mvolap::workload::{generate, WorkloadConfig};
+
+struct Session {
+    tmd: Tmd,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut schema: Option<Tmd> = None;
+    let mut one_shot: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--two-measures" => schema = Some(case_study_two_measures().tmd),
+            "--workload" => {
+                i += 1;
+                let seed: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--workload requires a numeric seed"));
+                let w = generate(&WorkloadConfig::small(seed))
+                    .unwrap_or_else(|e| die(&format!("workload generation failed: {e}")));
+                schema = Some(w.tmd);
+            }
+            "--load" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--load requires a file path"));
+                let tmd = mvolap::core::persist::load_tmd(std::path::Path::new(path))
+                    .unwrap_or_else(|e| die(&format!("load failed: {e}")));
+                schema = Some(tmd);
+            }
+            "-c" => {
+                i += 1;
+                one_shot = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("-c requires a query string")),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: mvolap [--two-measures | --workload SEED | --load FILE] [-c QUERY]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+
+    let session = Session {
+        tmd: schema.unwrap_or_else(|| case_study().tmd),
+    };
+
+    if let Some(query) = one_shot {
+        execute(&session, &query);
+        return;
+    }
+
+    println!(
+        "mvolap — multiversion OLAP shell over schema `{}` \
+         ({} dimensions, {} facts). \\h for help, \\q to quit.",
+        session.tmd.name(),
+        session.tmd.dimensions().len(),
+        session.tmd.facts().len()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("mvolap> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => die(&format!("stdin error: {e}")),
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            if !command(&session, cmd) {
+                break;
+            }
+        } else {
+            execute(&session, line);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mvolap: {msg}");
+    std::process::exit(1)
+}
+
+/// Executes a backslash command; returns false to quit.
+fn command(session: &Session, cmd: &str) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "q" | "quit" => return false,
+        "h" | "help" => {
+            println!(
+                "\\svs            structure versions\n\
+                 \\dims           dimensions and levels\n\
+                 \\measures       measures and aggregators\n\
+                 \\dot DIM        GraphViz DOT of a dimension\n\
+                 \\log            evolution log\n\
+                 \\quality QUERY  quality factor of QUERY per mode\n\
+                 \\grid QUERY     result as a pivot grid (time × members)\n\
+                 \\save FILE      persist the schema (reload with --load)\n\
+                 \\export DIR     export the MultiVersion warehouse tables\n\
+                 \\q              quit\n\
+                 anything else executes as a query \
+                 (SELECT … BY … [WHERE …] [FOR …] IN MODE … | IN ALL MODES)"
+            );
+        }
+        "svs" => {
+            for sv in session.tmd.structure_versions() {
+                println!("{}", sv.label());
+            }
+        }
+        "dims" => {
+            for d in session.tmd.dimensions() {
+                let levels = mvolap::core::levels::all_level_names(d);
+                println!(
+                    "{}: {} member versions, levels: {}",
+                    d.name(),
+                    d.versions().len(),
+                    levels.join(" > ")
+                );
+            }
+        }
+        "measures" => {
+            for m in session.tmd.measures() {
+                println!("{} ({})", m.name, m.aggregator.name());
+            }
+        }
+        "dot" => match parts.next() {
+            Some(name) => match session.tmd.dimension_by_name(name) {
+                Ok(dim) => {
+                    let d = session.tmd.dimension(dim).expect("id just resolved");
+                    println!("{}", d.to_dot(session.tmd.granularity()));
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: \\dot DIMENSION"),
+        },
+        "log" => {
+            let entries = session.tmd.evolution_log().entries();
+            if entries.is_empty() {
+                println!("(no evolutions recorded)");
+            }
+            for e in entries {
+                println!("{} [{}] {}", e.at, e.operator, e.description);
+            }
+        }
+        "quality" => {
+            let rest: Vec<&str> = parts.collect();
+            quality(session, &rest.join(" "));
+        }
+        "grid" => {
+            let rest: Vec<&str> = parts.collect();
+            let svs = session.tmd.structure_versions();
+            match run_with_versions(&session.tmd, &svs, &rest.join(" ")) {
+                Ok(rs) => print!("{}", rs.render_grid(0)),
+                Err(e) => report(e),
+            }
+        }
+        "save" => match parts.next() {
+            Some(path) => {
+                match mvolap::core::persist::save_tmd(&session.tmd, std::path::Path::new(path)) {
+                    Ok(()) => println!("saved to {path}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            None => println!("usage: \\save FILE"),
+        },
+        "export" => match parts.next() {
+            Some(dir) => {
+                let result = mvolap::core::logical::build_multiversion_warehouse(&session.tmd)
+                    .map_err(|e| e.to_string())
+                    .and_then(|wh| {
+                        mvolap::storage::persist::save_catalog(&wh, std::path::Path::new(dir))
+                            .map_err(|e| e.to_string())
+                            .map(|()| wh.len())
+                    });
+                match result {
+                    Ok(n) => println!("exported {n} tables to {dir}/"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            None => println!("usage: \\export DIR"),
+        },
+        other => println!("unknown command \\{other} (\\h for help)"),
+    }
+    true
+}
+
+/// Prints the per-mode quality factor of a query.
+fn quality(session: &Session, query: &str) {
+    let svs = session.tmd.structure_versions();
+    let planned = parse(query).and_then(|ast| mvolap::query::plan(&session.tmd, &svs, &ast));
+    match planned {
+        Ok(q) => match mode_qualities(&session.tmd, &svs, &q, &ConfidenceWeights::DEFAULT) {
+            Ok(scores) => {
+                for s in scores {
+                    println!(
+                        "{:<6} Q = {:.3}  ({} rows, {} unmapped)",
+                        s.mode.label(),
+                        s.quality,
+                        s.rows,
+                        s.unmapped_rows
+                    );
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        },
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+/// Executes one query line.
+fn execute(session: &Session, query: &str) {
+    // ALL MODES queries go through the comparison path.
+    let is_all_modes = matches!(
+        parse(query),
+        Ok(ast) if matches!(ast.mode, ModeSpec::AllModes { .. })
+    );
+    if is_all_modes {
+        match run_compare(&session.tmd, query) {
+            Ok(results) => {
+                for r in results {
+                    println!(
+                        "== mode {} (Q = {:.3}, {} unmapped) ==",
+                        r.result.mode.label(),
+                        r.quality,
+                        r.result.unmapped_rows
+                    );
+                    match r.result.render("result") {
+                        Ok(text) => println!("{text}"),
+                        Err(e) => println!("render error: {e}"),
+                    }
+                }
+            }
+            Err(e) => report(e),
+        }
+        return;
+    }
+    let svs = session.tmd.structure_versions();
+    match run_with_versions(&session.tmd, &svs, query) {
+        Ok(rs) => {
+            if rs.unmapped_rows > 0 {
+                println!(
+                    "note: {} source facts have no representation in this mode",
+                    rs.unmapped_rows
+                );
+            }
+            match rs.render("result") {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("render error: {e}"),
+            }
+        }
+        Err(e) => report(e),
+    }
+}
+
+fn report(e: QueryError) {
+    println!("error: {e}");
+}

@@ -1,0 +1,267 @@
+//! Multi-dimensional schemas: the case study has one evolving dimension;
+//! these tests exercise two — an evolving Org crossed with an evolving
+//! Product line — including simultaneous splits in both dimensions
+//! (cartesian route fan-out in the multiversion presentation).
+
+use mvolap::core::aggregate::{evaluate, AggregateQuery, TimeLevel};
+use mvolap::core::evolution::{self, SplitPart};
+use mvolap::core::{
+    Confidence, DimensionId, MeasureDef, MemberVersionId, MemberVersionSpec, MultiVersionFactTable,
+    TemporalDimension, TemporalMode, Tmd,
+};
+use mvolap::prelude::{Granularity, Instant, Interval};
+
+struct TwoDim {
+    tmd: Tmd,
+    org: DimensionId,
+    product: DimensionId,
+    dept_a: MemberVersionId,
+    gadget: MemberVersionId,
+}
+
+/// Org: Division1 > {DeptA, DeptB}; Product: All > {Gadget, Widget}.
+/// In 2003 DeptA splits 50/50 into DeptA1/DeptA2 *and* Gadget splits
+/// 30/70 into GadgetS/GadgetL.
+fn build() -> TwoDim {
+    let mut tmd = Tmd::new("sales", Granularity::Month);
+    let all = Interval::since(Instant::ym(2001, 1));
+
+    let mut org = TemporalDimension::new("Org");
+    let div = org.add_version(MemberVersionSpec::named("Division1").at_level("Division"), all);
+    let dept_a = org.add_version(MemberVersionSpec::named("DeptA").at_level("Department"), all);
+    let dept_b = org.add_version(MemberVersionSpec::named("DeptB").at_level("Department"), all);
+    org.add_relationship(dept_a, div, all).expect("edge");
+    org.add_relationship(dept_b, div, all).expect("edge");
+    let org_id = tmd.add_dimension(org).expect("fresh schema");
+
+    let mut product = TemporalDimension::new("Product");
+    let family =
+        product.add_version(MemberVersionSpec::named("AllProducts").at_level("Family"), all);
+    let gadget = product.add_version(MemberVersionSpec::named("Gadget").at_level("Item"), all);
+    let widget = product.add_version(MemberVersionSpec::named("Widget").at_level("Item"), all);
+    product.add_relationship(gadget, family, all).expect("edge");
+    product.add_relationship(widget, family, all).expect("edge");
+    let product_id = tmd.add_dimension(product).expect("fresh schema");
+
+    tmd.add_measure(MeasureDef::summed("Revenue")).expect("fresh schema");
+
+    // 2001-2002 facts on the original structure.
+    for year in [2001, 2002] {
+        let t = Instant::ym(year, 6);
+        tmd.add_fact(&[dept_a, gadget], t, &[100.0]).expect("fact");
+        tmd.add_fact(&[dept_a, widget], t, &[40.0]).expect("fact");
+        tmd.add_fact(&[dept_b, gadget], t, &[60.0]).expect("fact");
+    }
+
+    // 2003: both dimensions evolve simultaneously.
+    let t3 = Instant::ym(2003, 1);
+    evolution::split(
+        &mut tmd,
+        org_id,
+        dept_a,
+        &[
+            SplitPart::proportional("DeptA1", 0.5, 1),
+            SplitPart::proportional("DeptA2", 0.5, 1),
+        ],
+        t3,
+        &[div],
+    )
+    .expect("org split");
+    evolution::split(
+        &mut tmd,
+        product_id,
+        gadget,
+        &[
+            SplitPart::proportional("GadgetS", 0.3, 1),
+            SplitPart::proportional("GadgetL", 0.7, 1),
+        ],
+        t3,
+        &[family],
+    )
+    .expect("product split");
+
+    TwoDim {
+        tmd,
+        org: org_id,
+        product: product_id,
+        dept_a,
+        gadget,
+    }
+}
+
+#[test]
+fn structure_versions_span_both_dimensions() {
+    let s = build();
+    let svs = s.tmd.structure_versions();
+    // One boundary (2003) shared by both dimensions: two versions.
+    assert_eq!(svs.len(), 2);
+    assert!(svs[0].contains(s.org, s.dept_a));
+    assert!(!svs[1].contains(s.org, s.dept_a));
+    assert!(svs[0].contains(s.product, s.gadget));
+    assert!(!svs[1].contains(s.product, s.gadget));
+}
+
+#[test]
+fn simultaneous_splits_fan_out_cartesianly() {
+    // DeptA×Gadget 2002 facts presented in the 2003 structure must fan
+    // out into 2 × 2 = 4 cells with multiplied factors.
+    let s = build();
+    let svs = s.tmd.structure_versions();
+    let mode = TemporalMode::Version(svs[1].id);
+    let mv = MultiVersionFactTable::infer(&s.tmd).expect("inference");
+    let p = mv.for_mode(&mode).expect("mode present");
+    let d_org = s.tmd.dimension(s.org).expect("org");
+    let d_prod = s.tmd.dimension(s.product).expect("product");
+    let name = |dim: &TemporalDimension, id| dim.version(id).expect("exists").name.clone();
+
+    let mut fanned: Vec<(String, String, f64)> = p
+        .rows
+        .iter()
+        .filter(|r| r.time.year() == 2002)
+        .filter(|r| name(d_org, r.coords[0]).starts_with("DeptA"))
+        .filter(|r| name(d_prod, r.coords[1]).starts_with("Gadget"))
+        .map(|r| {
+            (
+                name(d_org, r.coords[0]),
+                name(d_prod, r.coords[1]),
+                r.cells[0].value.expect("known"),
+            )
+        })
+        .collect();
+    fanned.sort_by_key(|a| (a.0.clone(), a.1.clone()));
+    assert_eq!(
+        fanned,
+        vec![
+            ("DeptA1".into(), "GadgetL".into(), 100.0 * 0.5 * 0.7),
+            ("DeptA1".into(), "GadgetS".into(), 100.0 * 0.5 * 0.3),
+            ("DeptA2".into(), "GadgetL".into(), 100.0 * 0.5 * 0.7),
+            ("DeptA2".into(), "GadgetS".into(), 100.0 * 0.5 * 0.3),
+        ]
+    );
+    // Confidence combines across dimensions: am ⊗ am = am.
+    for r in p.rows.iter().filter(|r| r.time.year() == 2002) {
+        let org_mapped = name(d_org, r.coords[0]).starts_with("DeptA");
+        let prod_mapped = name(d_prod, r.coords[1]).starts_with("Gadget");
+        let expected = if org_mapped || prod_mapped {
+            Confidence::Approx
+        } else {
+            Confidence::Source
+        };
+        assert_eq!(r.cells[0].confidence, expected);
+    }
+}
+
+#[test]
+fn mass_is_conserved_through_double_splits() {
+    let s = build();
+    let svs = s.tmd.structure_versions();
+    let total = |mode: TemporalMode| -> f64 {
+        let rs = evaluate(
+            &s.tmd,
+            &svs,
+            &AggregateQuery {
+                group_by: vec![],
+                time_level: TimeLevel::All,
+                measures: vec![],
+                mode,
+                time_range: None,
+                filters: Vec::new(),
+            },
+        )
+        .expect("evaluates");
+        rs.rows[0].cells[0].value.expect("known")
+    };
+    let tcm = total(TemporalMode::Consistent);
+    assert!((total(TemporalMode::Version(svs[0].id)) - tcm).abs() < 1e-9);
+    assert!((total(TemporalMode::Version(svs[1].id)) - tcm).abs() < 1e-9);
+}
+
+#[test]
+fn group_by_two_dimensions() {
+    let s = build();
+    let svs = s.tmd.structure_versions();
+    let q = AggregateQuery {
+        group_by: vec![
+            (s.org, "Department".into()),
+            (s.product, "Item".into()),
+        ],
+        time_level: TimeLevel::Year,
+        measures: vec![],
+        mode: TemporalMode::Consistent,
+        time_range: Some(Interval::years(2001, 2001)),
+        filters: Vec::new(),
+    };
+    let rs = evaluate(&s.tmd, &svs, &q).expect("evaluates");
+    assert_eq!(rs.key_headers, vec!["Department", "Item"]);
+    assert_eq!(rs.rows.len(), 3);
+    let cell = rs
+        .rows
+        .iter()
+        .find(|r| r.keys == vec!["DeptA".to_owned(), "Widget".to_owned()])
+        .expect("cell present");
+    assert_eq!(cell.cells[0].value, Some(40.0));
+}
+
+#[test]
+fn mixed_mode_maps_one_dimension_only() {
+    // §6 extension: present Org in the 2003 structure while Product
+    // stays temporally consistent — DeptA's 2002 facts split, Gadget's
+    // do not.
+    let s = build();
+    let svs = s.tmd.structure_versions();
+    let mode = TemporalMode::Mixed(vec![(s.org, svs[1].id)]);
+    let mv = mvolap::core::multiversion::present(&s.tmd, &svs, &mode).expect("presents");
+    let d_org = s.tmd.dimension(s.org).expect("org");
+    let d_prod = s.tmd.dimension(s.product).expect("product");
+    let rows_2002: Vec<(String, String, f64)> = mv
+        .rows
+        .iter()
+        .filter(|r| r.time.year() == 2002)
+        .map(|r| {
+            (
+                d_org.version(r.coords[0]).expect("exists").name.clone(),
+                d_prod.version(r.coords[1]).expect("exists").name.clone(),
+                r.cells[0].value.expect("known"),
+            )
+        })
+        .collect();
+    // Gadget survives untouched; DeptA fans into A1/A2.
+    assert!(rows_2002.iter().any(|(o, p, v)| o == "DeptA1" && p == "Gadget" && *v == 50.0));
+    assert!(rows_2002.iter().any(|(o, p, v)| o == "DeptA2" && p == "Gadget" && *v == 50.0));
+    assert!(rows_2002.iter().all(|(_, p, _)| !p.starts_with("GadgetS")));
+    // Product side was untouched, Org mapping downgrades confidence.
+    let q = AggregateQuery {
+        group_by: vec![(s.product, "Item".into())],
+        time_level: TimeLevel::All,
+        measures: vec![],
+        mode,
+        time_range: None,
+        filters: Vec::new(),
+    };
+    let rs = evaluate(&s.tmd, &svs, &q).expect("evaluates");
+    let gadget = rs.rows.iter().find(|r| r.keys[0] == "Gadget").expect("row");
+    // 2001+2002 gadget facts: (100+60)*2 = 320; 2003 facts on GadgetS/L
+    // group separately (product stays consistent).
+    assert_eq!(gadget.cells[0].value, Some(320.0));
+}
+
+#[test]
+fn unmapped_facts_are_counted_when_no_route_exists() {
+    // Delete DeptB in 2003 without any mapping: its facts cannot be
+    // presented in the 2003 structure.
+    let mut s = build();
+    let dept_b = s
+        .tmd
+        .dimension(s.org)
+        .expect("org")
+        .version_named_at("DeptB", Instant::ym(2002, 6))
+        .expect("exists")
+        .id;
+    evolution::delete(&mut s.tmd, s.org, dept_b, Instant::ym(2003, 1)).expect("delete");
+    let svs = s.tmd.structure_versions();
+    let last = svs.last().expect("versions").id;
+    let p = mvolap::core::multiversion::present(&s.tmd, &svs, &TemporalMode::Version(last))
+        .expect("presents");
+    // DeptB had 2 facts (2001, 2002 gadget rows).
+    assert_eq!(p.unmapped_rows, 2);
+}
