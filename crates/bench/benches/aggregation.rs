@@ -6,7 +6,7 @@
 //! modes pay per distinct coordinate needing routes, then converge to
 //! the same group-by cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mvolap_core::aggregate::{evaluate, AggregateQuery};
 use mvolap_core::TemporalMode;
 use mvolap_workload::{generate, WorkloadConfig};
@@ -27,12 +27,13 @@ fn bench_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregate/modes");
     group.sample_size(20);
     group.throughput(Throughput::Elements(n));
-    let modes: Vec<(String, TemporalMode)> = std::iter::once(("tcm".to_owned(), TemporalMode::Consistent))
-        .chain(
-            svs.iter()
-                .map(|sv| (sv.id.to_string(), TemporalMode::Version(sv.id))),
-        )
-        .collect();
+    let modes: Vec<(String, TemporalMode)> =
+        std::iter::once(("tcm".to_owned(), TemporalMode::Consistent))
+            .chain(
+                svs.iter()
+                    .map(|sv| (sv.id.to_string(), TemporalMode::Version(sv.id))),
+            )
+            .collect();
     for (label, mode) in modes {
         let q = AggregateQuery::by_year(w.dim, "Division", mode);
         group.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {

@@ -5,7 +5,7 @@
 //! navigation (roll-up + read) is orders of magnitude cheaper than
 //! re-aggregation because it only consults precomputed nodes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvolap_core::TemporalMode;
 use mvolap_cube::{Cube, CubeSpec, CubeView};
 use mvolap_workload::{generate, GeneratedWorkload, WorkloadConfig};
@@ -46,32 +46,19 @@ fn bench_build_incremental(c: &mut Criterion) {
         let w = workload(departments);
         let svs = w.tmd.structure_versions();
         let mode = TemporalMode::Version(svs.last().expect("versions").id);
-        group.bench_with_input(
-            BenchmarkId::new("from_facts", departments),
-            &w,
-            |b, w| {
-                b.iter(|| {
-                    Cube::build(&w.tmd, &svs, CubeSpec::for_mode(mode.clone()))
-                        .expect("cube builds")
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("incremental", departments),
-            &w,
-            |b, w| {
-                b.iter(|| {
-                    let cube = Cube::build_incremental(
-                        &w.tmd,
-                        &svs,
-                        CubeSpec::for_mode(mode.clone()),
-                    )
+        group.bench_with_input(BenchmarkId::new("from_facts", departments), &w, |b, w| {
+            b.iter(|| {
+                Cube::build(&w.tmd, &svs, CubeSpec::for_mode(mode.clone())).expect("cube builds")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", departments), &w, |b, w| {
+            b.iter(|| {
+                let cube = Cube::build_incremental(&w.tmd, &svs, CubeSpec::for_mode(mode.clone()))
                     .expect("cube builds");
-                    assert!(cube.stats().derived > 0, "derivation path must engage");
-                    cube
-                })
-            },
-        );
+                assert!(cube.stats().derived > 0, "derivation path must engage");
+                cube
+            })
+        });
     }
     group.finish();
 }
@@ -99,5 +86,10 @@ fn bench_navigation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build, bench_build_incremental, bench_navigation);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_build_incremental,
+    bench_navigation
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! pays per-edge reconstruction (modelled here as join against the
 //! edge list).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvolap_core::logical::{export_parent_child, export_snowflake, export_star};
 use mvolap_core::{logical, MultiVersionFactTable};
 use mvolap_storage::{AggCall, AggFunc, Predicate, Table};
@@ -53,10 +53,7 @@ fn bench_group_by(c: &mut Criterion) {
             b.iter(|| {
                 tcm.join(&s.star, "Org_id", "mv_id")
                     .expect("join")
-                    .group_by(
-                        &["Division"],
-                        &[AggCall::new(AggFunc::Sum, "Amount")],
-                    )
+                    .group_by(&["Division"], &[AggCall::new(AggFunc::Sum, "Amount")])
                     .expect("group by")
             })
         });
@@ -70,10 +67,7 @@ fn bench_group_by(c: &mut Criterion) {
                     .expect("join dept")
                     .join(div, "parent_id", "mv_id")
                     .expect("join div")
-                    .group_by(
-                        &["member_right"],
-                        &[AggCall::new(AggFunc::Sum, "Amount")],
-                    )
+                    .group_by(&["member_right"], &[AggCall::new(AggFunc::Sum, "Amount")])
                     .expect("group by")
             })
         });
@@ -83,10 +77,7 @@ fn bench_group_by(c: &mut Criterion) {
                 // Join the edge list to climb one level.
                 tcm.join(&s.parent_child, "Org_id", "mv_id")
                     .expect("join edges")
-                    .group_by(
-                        &["parent_id"],
-                        &[AggCall::new(AggFunc::Sum, "Amount")],
-                    )
+                    .group_by(&["parent_id"], &[AggCall::new(AggFunc::Sum, "Amount")])
                     .expect("group by")
             })
         });

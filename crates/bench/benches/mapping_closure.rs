@@ -4,7 +4,7 @@
 //!
 //! Expected shape: linear in chain length; linear in fan-out width.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvolap_core::{
     MappingGraph, MappingRelationship, MeasureMapping, MemberVersionId, RouteDirection,
 };

@@ -7,11 +7,16 @@
 //! while the delta representation's stored volume stays near the mapped
 //! fraction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mvolap_core::{DeltaMvft, MultiVersionFactTable};
 use mvolap_workload::{generate, WorkloadConfig};
 
-fn evolving(seed: u64, departments: usize, periods: u32, facts: usize) -> mvolap_workload::GeneratedWorkload {
+fn evolving(
+    seed: u64,
+    departments: usize,
+    periods: u32,
+    facts: usize,
+) -> mvolap_workload::GeneratedWorkload {
     let mut cfg = WorkloadConfig::small(seed)
         .with_departments(departments)
         .with_periods(periods)
@@ -47,11 +52,9 @@ fn bench_version_sweep(c: &mut Criterion) {
     for periods in [2u32, 4, 8] {
         let w = evolving(11, 15, periods, 4);
         let versions = w.tmd.structure_versions().len();
-        group.bench_with_input(
-            BenchmarkId::new("full", versions),
-            &w,
-            |b, w| b.iter(|| MultiVersionFactTable::infer(&w.tmd).expect("inference")),
-        );
+        group.bench_with_input(BenchmarkId::new("full", versions), &w, |b, w| {
+            b.iter(|| MultiVersionFactTable::infer(&w.tmd).expect("inference"))
+        });
     }
     group.finish();
 }

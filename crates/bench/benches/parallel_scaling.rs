@@ -1,0 +1,154 @@
+//! Thread-scaling of the morsel-parallel execution engine
+//! (`mvolap-exec`): MVFT inference and a Q1-style aggregation swept
+//! over worker counts 1/2/4/8 on a large evolving workload, with the
+//! shared memo cache measured both cold (fresh per run) and warm
+//! (shared across runs).
+//!
+//! Expected shape: on a multi-core host the fold scales with workers
+//! until morsel count or the merge step dominates; results are
+//! bit-identical at every point of the sweep (asserted here). On a
+//! single-core host the sweep measures engine overhead instead —
+//! `host_cpus` is recorded in the emitted JSON so readers can tell
+//! which regime a run measured. Emits `BENCH_parallel.json` at the
+//! workspace root.
+
+use mvolap_bench::harness::{BenchmarkId, Criterion, Throughput};
+use mvolap_core::aggregate::{evaluate_par, AggregateQuery};
+use mvolap_core::tmp::TemporalMode;
+use mvolap_core::{ExecContext, MultiVersionFactTable, QueryMemo};
+use mvolap_workload::{generate, GeneratedWorkload, WorkloadConfig};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn large_workload() -> GeneratedWorkload {
+    let mut cfg = WorkloadConfig::small(42)
+        .with_departments(40)
+        .with_periods(5)
+        .with_facts_per_department(24);
+    cfg.split_prob = 0.25;
+    cfg.merge_prob = 0.10;
+    cfg.reclassify_prob = 0.15;
+    cfg.create_prob = 0.0;
+    cfg.delete_prob = 0.0;
+    generate(&cfg).expect("workload generates")
+}
+
+fn bench_mvft_inference(c: &mut Criterion, w: &GeneratedWorkload) {
+    let facts = w.tmd.facts().len() as u64;
+    let mut group = c.benchmark_group("parallel_scaling/mvft_infer");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(facts));
+    for threads in THREAD_SWEEP {
+        let ctx = ExecContext::new(threads);
+        group.bench_with_input(BenchmarkId::new("cold", threads), w, |b, w| {
+            b.iter(|| {
+                // Fresh memo: every run pays full route resolution.
+                MultiVersionFactTable::infer_par(&w.tmd, &ctx, &QueryMemo::new())
+                    .expect("inference")
+            })
+        });
+        let warm = QueryMemo::new();
+        group.bench_with_input(BenchmarkId::new("warm", threads), w, |b, w| {
+            b.iter(|| MultiVersionFactTable::infer_par(&w.tmd, &ctx, &warm).expect("inference"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion, w: &GeneratedWorkload) {
+    let svs = w.tmd.structure_versions();
+    let latest = svs.last().expect("versions exist").id;
+    let query = AggregateQuery::by_year(w.dim, "Division", TemporalMode::Version(latest));
+    let facts = w.tmd.facts().len() as u64;
+
+    let mut group = c.benchmark_group("parallel_scaling/aggregate_q1");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(facts));
+    for threads in THREAD_SWEEP {
+        let ctx = ExecContext::new(threads);
+        let warm = QueryMemo::new();
+        group.bench_with_input(BenchmarkId::new("warm", threads), &(), |b, ()| {
+            b.iter(|| evaluate_par(&w.tmd, &svs, &query, &ctx, &warm).expect("evaluation"))
+        });
+    }
+    group.finish();
+}
+
+/// The engine's determinism contract, spot-checked on the bench
+/// workload so the sweep above provably measures identical work.
+fn assert_determinism(w: &GeneratedWorkload) {
+    let svs = w.tmd.structure_versions();
+    let latest = svs.last().expect("versions exist").id;
+    let query = AggregateQuery::by_year(w.dim, "Division", TemporalMode::Version(latest));
+    let baseline = evaluate_par(
+        &w.tmd,
+        &svs,
+        &query,
+        &ExecContext::sequential(),
+        &QueryMemo::new(),
+    )
+    .expect("evaluation");
+    for threads in THREAD_SWEEP {
+        let rs = evaluate_par(
+            &w.tmd,
+            &svs,
+            &query,
+            &ExecContext::new(threads),
+            &QueryMemo::new(),
+        )
+        .expect("evaluation");
+        assert_eq!(baseline.rows.len(), rs.rows.len());
+        for (a, b) in baseline.rows.iter().zip(&rs.rows) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.keys, b.keys);
+            for (x, y) in a.cells.iter().zip(&b.cells) {
+                assert_eq!(x.value.map(f64::to_bits), y.value.map(f64::to_bits));
+                assert_eq!(x.confidence, y.confidence);
+            }
+        }
+    }
+}
+
+fn main() {
+    let w = large_workload();
+    assert_determinism(&w);
+
+    let mut c = Criterion::from_env();
+    bench_mvft_inference(&mut c, &w);
+    bench_aggregation(&mut c, &w);
+    c.final_summary();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Speedup of the 4-thread point over 1 thread, per benchmark family
+    // (cold MVFT inference is the headline number).
+    let median = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name.contains(needle))
+            .map(|r| r.median_ns)
+    };
+    if let (Some(t1), Some(t4)) = (median("mvft_infer/cold/1"), median("mvft_infer/cold/4")) {
+        eprintln!(
+            "mvft_infer cold speedup at 4 threads: {:.2}x (host has {host_cpus} cpu(s){})",
+            t1 / t4,
+            if host_cpus < 4 {
+                " — scaling beyond the core count is not physically possible"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"facts\": {},\n  \"results\": {}\n}}\n",
+        w.tmd.facts().len(),
+        c.to_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -4,7 +4,7 @@
 //! Expected shape: parse and plan are microseconds and independent of
 //! data volume; execution dominates and scales with facts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvolap_query::{parse, plan, run_with_versions};
 use mvolap_workload::{generate, WorkloadConfig};
 

@@ -7,24 +7,25 @@
 //! being the only strategy that can answer *both* history and
 //! cross-transition comparison queries (see `examples/scd_comparison`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mvolap_core::{MeasureDef, TemporalDimension, Tmd};
-use mvolap_etl::{apply_changes, diff, Scd1Dimension, Scd2Dimension, Scd3Dimension, Snapshot, SnapshotRow};
+use mvolap_etl::{
+    apply_changes, diff, Scd1Dimension, Scd2Dimension, Scd3Dimension, Snapshot, SnapshotRow,
+};
+use mvolap_prng::Rng;
 use mvolap_temporal::{Granularity, Instant};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a stream of yearly snapshots with `members` departments,
 /// each year reclassifying ~10% of them across `divisions` divisions.
 fn snapshot_stream(members: usize, divisions: usize, years: usize, seed: u64) -> Vec<Snapshot> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut parent_of: Vec<usize> = (0..members).map(|i| i % divisions).collect();
     let mut out = Vec::with_capacity(years);
     for y in 0..years {
         if y > 0 {
             for p in parent_of.iter_mut() {
-                if rng.gen::<f64>() < 0.10 {
-                    *p = rng.gen_range(0..divisions);
+                if rng.f64_unit() < 0.10 {
+                    *p = rng.usize_below(divisions);
                 }
             }
         }
@@ -83,7 +84,8 @@ fn bench_loads(c: &mut Criterion) {
                     let dim = tmd
                         .add_dimension(TemporalDimension::new("Org"))
                         .expect("fresh schema");
-                    tmd.add_measure(MeasureDef::summed("Amount")).expect("fresh schema");
+                    tmd.add_measure(MeasureDef::summed("Amount"))
+                        .expect("fresh schema");
                     mvolap_etl::load::bootstrap(&mut tmd, dim, &stream[0]).expect("bootstrap");
                     for pair in stream.windows(2) {
                         let events = diff(&pair[0], &pair[1]);

@@ -5,7 +5,7 @@
 //! Expected shape: near-linear in the number of validity intervals
 //! (members + relationships), with the boundary sort dominating.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvolap_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mvolap_core::infer_structure_versions;
 use mvolap_workload::{generate, WorkloadConfig};
 
@@ -27,11 +27,9 @@ fn bench_inference(c: &mut Criterion) {
             .map(|d| d.versions().len() + d.relationships().len())
             .sum();
         group.throughput(Throughput::Elements(elements as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(elements),
-            &dims,
-            |b, dims| b.iter(|| infer_structure_versions(dims)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(elements), &dims, |b, dims| {
+            b.iter(|| infer_structure_versions(dims))
+        });
     }
     group.finish();
 }

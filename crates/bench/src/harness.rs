@@ -1,0 +1,502 @@
+//! A minimal Criterion-compatible benchmark harness.
+//!
+//! The build environment has no network route to a crates registry, so
+//! the external `criterion` crate cannot be fetched. This module
+//! re-implements the (small) API surface the benches in
+//! `crates/bench/benches/` actually use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`Bencher`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — over plain
+//! `std::time::Instant` sampling, so every bench file needs only its
+//! import line changed.
+//!
+//! Measurement model: per benchmark, a short warm-up estimates the cost
+//! of one iteration; each *sample* then runs enough iterations to fill
+//! a fixed time slice, and the reported figure is the median over the
+//! samples (robust to scheduler noise on small machines). Results
+//! accumulate on the [`Criterion`] value and can be dumped as JSON for
+//! machine-readable reports.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Throughput annotation attached to a group (elements per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter: `name/param`.
+    pub fn new<P: std::fmt::Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured benchmark, as recorded on the [`Criterion`] value.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark path, e.g. `mvft_inference/facts/full/160`.
+    pub name: String,
+    /// Median nanoseconds per iteration over the samples.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration over the samples.
+    pub mean_ns: f64,
+    /// Fastest sample (ns per iteration).
+    pub min_ns: f64,
+    /// Slowest sample (ns per iteration).
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Total iterations across all samples.
+    pub iterations: u64,
+    /// Elements per iteration, when the group declared a throughput.
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Elements processed per second at the median, if declared.
+    #[must_use]
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 / (self.median_ns / 1.0e9))
+    }
+}
+
+/// Measurement knobs (a subset of Criterion's, honouring the same
+/// defaults the benches relied on).
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Samples per benchmark.
+    pub sample_size: usize,
+    /// Warm-up budget before sampling.
+    pub warmup: Duration,
+    /// Target wall time per sample.
+    pub sample_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            warmup: Duration::from_millis(50),
+            sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+/// The harness entry point: owns config, an optional name filter, and
+/// the accumulated [`BenchResult`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: MeasureConfig,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// A harness with default config and CLI-derived filter: the first
+    /// non-flag argument (as passed by `cargo bench -- <substr>`)
+    /// restricts which benchmarks run. Flags Criterion would accept
+    /// (`--bench`, `--quick`, …) are ignored for compatibility.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let mut config = MeasureConfig::default();
+        if let Ok(ms) = std::env::var("MVOLAP_BENCH_SAMPLE_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                config.sample_time = Duration::from_millis(ms.max(1));
+            }
+        }
+        Criterion {
+            config,
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.to_string(), None, None, |b| f(b));
+        self
+    }
+
+    /// All results measured so far, in execution order.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a one-line-per-benchmark summary footer.
+    pub fn final_summary(&self) {
+        eprintln!("\n{} benchmarks measured", self.results.len());
+    }
+
+    /// Serialises all results as a JSON array (no external JSON crate;
+    /// names contain only identifier-ish characters, so plain string
+    /// escaping of `"` and `\` suffices).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        results_to_json(&self.results)
+    }
+
+    fn run_one<F>(
+        &mut self,
+        name: String,
+        sample_size: Option<usize>,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut config = self.config;
+        if let Some(n) = sample_size {
+            config.sample_size = n.max(2);
+        }
+        let mut bencher = Bencher {
+            config,
+            measurement: None,
+        };
+        f(&mut bencher);
+        let Some(m) = bencher.measurement else {
+            return; // the closure never called iter()
+        };
+        let elements = throughput.map(|t| match t {
+            Throughput::Elements(e) | Throughput::Bytes(e) => e,
+        });
+        let result = BenchResult {
+            name,
+            median_ns: m.median_ns,
+            mean_ns: m.mean_ns,
+            min_ns: m.min_ns,
+            max_ns: m.max_ns,
+            samples: m.samples,
+            iterations: m.iterations,
+            elements,
+        };
+        let rate = result
+            .elements_per_sec()
+            .map(|r| format!("  ({} elem/s)", human_count(r)))
+            .unwrap_or_default();
+        eprintln!(
+            "{:<56} median {:>12}  mean {:>12}{rate}",
+            result.name,
+            human_time(result.median_ns),
+            human_time(result.mean_ns),
+        );
+        self.results.push(result);
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `group_name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion
+            .run_one(name, sample_size, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion
+            .run_one(full, sample_size, throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iterations: u64,
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) runs
+/// and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    config: MeasureConfig,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, timing batches sized from a warm-up estimate.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the budget elapses (at least once) to get
+        // a per-iteration estimate and to populate caches.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_iters == 0 || warmup_start.elapsed() < self.config.warmup {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let per_sample = ((self.config.sample_time.as_nanos() as f64 / est_ns).floor() as u64)
+            .clamp(1, 1_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let mut iterations: u64 = 0;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            samples_ns.push(elapsed / per_sample as f64);
+            iterations += per_sample;
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median_ns = if samples_ns.len() % 2 == 1 {
+            samples_ns[samples_ns.len() / 2]
+        } else {
+            let hi = samples_ns.len() / 2;
+            (samples_ns[hi - 1] + samples_ns[hi]) / 2.0
+        };
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.measurement = Some(Measurement {
+            median_ns,
+            mean_ns,
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().expect("at least one sample"),
+            samples: samples_ns.len(),
+            iterations,
+        });
+    }
+}
+
+/// Formats nanoseconds with an auto-scaled unit.
+#[must_use]
+pub fn human_time(ns: f64) -> String {
+    if ns < 1.0e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1.0e6 {
+        format!("{:.2} µs", ns / 1.0e3)
+    } else if ns < 1.0e9 {
+        format!("{:.2} ms", ns / 1.0e6)
+    } else {
+        format!("{:.3} s", ns / 1.0e9)
+    }
+}
+
+fn human_count(n: f64) -> String {
+    if n < 1.0e3 {
+        format!("{n:.0}")
+    } else if n < 1.0e6 {
+        format!("{:.1}K", n / 1.0e3)
+    } else {
+        format!("{:.2}M", n / 1.0e6)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialises results as a JSON array (shared by [`Criterion::to_json`]
+/// and report writers).
+#[must_use]
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let elements = r
+            .elements
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let rate = r
+            .elements_per_sec()
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \
+             \"iterations\": {}, \"elements\": {}, \"elements_per_sec\": {}}}{}",
+            json_escape(&r.name),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iterations,
+            elements,
+            rate,
+            if i + 1 == results.len() { "\n" } else { ",\n" },
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Expands to a function running each target against the shared
+/// [`Criterion`] value — compatible with criterion's macro of the same
+/// name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Expands to `main`, running every group then printing the summary —
+/// compatible with criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::from_env();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_records() {
+        let mut c = Criterion {
+            config: MeasureConfig {
+                sample_size: 5,
+                warmup: Duration::from_millis(1),
+                sample_time: Duration::from_millis(1),
+            },
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("f", 1), &7u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        c.bench_function("solo", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 2);
+        let r = &c.results()[0];
+        assert_eq!(r.name, "g/f/1");
+        assert_eq!(r.samples, 3);
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.elements_per_sec().expect("throughput set") > 0.0);
+        assert_eq!(c.results()[1].name, "solo");
+
+        let json = c.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"name\": \"g/f/1\""));
+        assert!(json.contains("\"elements\": 100"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut c = Criterion {
+            config: MeasureConfig::default(),
+            filter: Some("match-me".to_string()),
+            results: Vec::new(),
+        };
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("full", 42).to_string(), "full/42");
+        assert_eq!(BenchmarkId::from_parameter("tcm").to_string(), "tcm");
+    }
+
+    #[test]
+    fn human_time_scales_units() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(1.5e3), "1.50 µs");
+        assert_eq!(human_time(2.5e6), "2.50 ms");
+        assert_eq!(human_time(3.0e9), "3.000 s");
+    }
+}

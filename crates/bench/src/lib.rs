@@ -1,4 +1,6 @@
-//! Benchmark support: paper-artifact reproduction and shared workload
-//! helpers for the Criterion benches.
+//! Benchmark support: paper-artifact reproduction, a self-contained
+//! Criterion-compatible measurement harness, and shared workload
+//! helpers for the benches.
 
+pub mod harness;
 pub mod paper;

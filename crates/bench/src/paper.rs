@@ -113,7 +113,8 @@ pub fn table_q1(mode: &str) -> Table {
         &format!("SELECT sum(Amount) BY year, Org.Division FOR 2001..2002 IN MODE {mode}"),
     )
     .expect("Q1 is valid");
-    rs.to_storage_table(&format!("q1_{mode}")).expect("exportable")
+    rs.to_storage_table(&format!("q1_{mode}"))
+        .expect("exportable")
 }
 
 /// Q2 ("total amounts per department", years 2002–2003) under a temporal
@@ -125,12 +126,17 @@ pub fn table_q2(mode: &str) -> Table {
         &format!("SELECT sum(Amount) BY year, Org.Department FOR 2002..2003 IN MODE {mode}"),
     )
     .expect("Q2 is valid");
-    rs.to_storage_table(&format!("q2_{mode}")).expect("exportable")
+    rs.to_storage_table(&format!("q2_{mode}"))
+        .expect("exportable")
 }
 
 /// A fresh minimal schema for demonstrating the Table 11 operator
 /// translations: one division `P1`, departments `V`, `V1`, `V2`.
-fn table_11_base() -> (Tmd, mvolap_core::DimensionId, [mvolap_core::MemberVersionId; 4]) {
+fn table_11_base() -> (
+    Tmd,
+    mvolap_core::DimensionId,
+    [mvolap_core::MemberVersionId; 4],
+) {
     let mut tmd = Tmd::new("t11", Granularity::Month);
     let mut d = TemporalDimension::new("Org");
     let all = Interval::since(Instant::ym(2001, 1));
@@ -142,7 +148,8 @@ fn table_11_base() -> (Tmd, mvolap_core::DimensionId, [mvolap_core::MemberVersio
         d.add_relationship(dept, p1, all).expect("base edge");
     }
     let dim = tmd.add_dimension(d).expect("fresh schema");
-    tmd.add_measure(MeasureDef::summed("m1")).expect("fresh schema");
+    tmd.add_measure(MeasureDef::summed("m1"))
+        .expect("fresh schema");
     (tmd, dim, [p1, v, v1, v2])
 }
 
@@ -193,8 +200,8 @@ pub fn table_11_operations() -> String {
     }
     {
         let (mut tmd, dim, [p1, v, ..]) = table_11_base();
-        let o = evolution::increase(&mut tmd, dim, v, "V+", 2.0, t, &[p1])
-            .expect("increase applies");
+        let o =
+            evolution::increase(&mut tmd, dim, v, "V+", 2.0, t, &[p1]).expect("increase applies");
         out.push_str("Increase V in V+ at time T (values increase with a factor 2):\n");
         out.push_str(&o.render(&tmd));
         out.push_str("\n\n");

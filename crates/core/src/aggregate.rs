@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use mvolap_exec::ExecContext;
 use mvolap_temporal::{Instant, Interval};
 
 use crate::confidence::{Confidence, ConfidenceWeights};
@@ -16,7 +17,8 @@ use crate::error::{CoreError, Result};
 use crate::fact::MeasureAccumulator;
 use crate::ids::{DimensionId, MeasureId};
 use crate::levels::ancestors_at_level;
-use crate::multiversion::{present, MvCell};
+use crate::memo::QueryMemo;
+use crate::multiversion::{present_par, MvCell};
 use crate::schema::Tmd;
 use crate::structure_version::StructureVersion;
 use crate::tmp::TemporalMode;
@@ -176,7 +178,8 @@ impl ResultSet {
         let schema = TableSchema::new(defs).map_err(CoreError::from)?;
         let mut table = Table::with_capacity(name, schema, self.rows.len());
         for row in &self.rows {
-            let mut values: Vec<Value> = Vec::with_capacity(1 + row.keys.len() + 2 * row.cells.len());
+            let mut values: Vec<Value> =
+                Vec::with_capacity(1 + row.keys.len() + 2 * row.cells.len());
             values.push(row.time.clone().into());
             values.extend(row.keys.iter().map(|k| Value::from(k.clone())));
             for cell in &row.cells {
@@ -190,7 +193,9 @@ impl ResultSet {
 
     /// Plain-text rendering in the paper's tabular style.
     pub fn render(&self, name: &str) -> Result<String> {
-        Ok(mvolap_storage::render::render_table(&self.to_storage_table(name)?))
+        Ok(mvolap_storage::render::render_table(
+            &self.to_storage_table(name)?,
+        ))
     }
 
     /// Pivot-grid rendering: time down the side, the first group key's
@@ -269,6 +274,60 @@ struct Acc {
     unknown: bool,
 }
 
+impl Acc {
+    /// Merges another partial group cell in (second-stage fold of the
+    /// morsel-parallel engine).
+    fn merge(&mut self, other: &Acc) {
+        self.acc.merge(&other.acc);
+        self.confidence = self.confidence.combine(other.confidence);
+        self.unknown |= other.unknown;
+    }
+}
+
+/// Per-worker partial state of an aggregation fold: groups in
+/// first-contribution order, plus the earliest row error (the fold
+/// itself cannot early-return across workers).
+struct EvalAcc {
+    index: HashMap<(String, Vec<String>), usize>,
+    keys: Vec<(String, Vec<String>)>,
+    accs: Vec<Vec<Acc>>,
+    error: Option<CoreError>,
+}
+
+impl EvalAcc {
+    fn new() -> Self {
+        EvalAcc {
+            index: HashMap::new(),
+            keys: Vec::new(),
+            accs: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Merges a later partial in, appending its new groups in their own
+    /// order. The earliest error (in morsel order) wins, matching the
+    /// error the sequential row loop would have surfaced first.
+    fn merge(&mut self, other: EvalAcc) {
+        if self.error.is_none() {
+            self.error = other.error;
+        }
+        for (key, cells) in other.keys.into_iter().zip(other.accs) {
+            match self.index.get(&key) {
+                Some(&i) => {
+                    for (a, b) in self.accs[i].iter_mut().zip(&cells) {
+                        a.merge(b);
+                    }
+                }
+                None => {
+                    self.index.insert(key.clone(), self.keys.len());
+                    self.keys.push(key);
+                    self.accs.push(cells);
+                }
+            }
+        }
+    }
+}
+
 /// Evaluates an aggregation query (Definition 12) against a schema.
 ///
 /// `structure_versions` must be [`Tmd::structure_versions`] of the same
@@ -290,9 +349,40 @@ pub fn evaluate(
     structure_versions: &[StructureVersion],
     query: &AggregateQuery,
 ) -> Result<ResultSet> {
+    evaluate_par(
+        tmd,
+        structure_versions,
+        query,
+        &ExecContext::sequential(),
+        &QueryMemo::new(),
+    )
+}
+
+/// Morsel-parallel [`evaluate`]: presented rows are folded in
+/// fixed-size morsels and per-worker partial groupings merged in morsel
+/// order — bit-identical to the sequential evaluation for every
+/// `ctx.threads`.
+///
+/// `memo` caches mapping routes (through the presentation) and roll-up
+/// ancestor sets per `(dimension, leaf, level, instant)`; share one
+/// [`QueryMemo`] across queries to amortise both, evolution operators
+/// invalidate it via [`Tmd::generation`].
+///
+/// # Errors
+///
+/// Unknown dimensions, measures, levels or structure versions.
+pub fn evaluate_par(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    query: &AggregateQuery,
+    ctx: &ExecContext,
+    memo: &QueryMemo,
+) -> Result<ResultSet> {
     // Resolve measures: empty means all.
     let measure_ids: Vec<MeasureId> = if query.measures.is_empty() {
-        (0..tmd.measures().len()).map(|i| MeasureId(i as u16)).collect()
+        (0..tmd.measures().len())
+            .map(|i| MeasureId(i as u16))
+            .collect()
     } else {
         for &m in &query.measures {
             if m.index() >= tmd.measures().len() {
@@ -305,7 +395,7 @@ pub fn evaluate(
         tmd.dimension(dim)?;
     }
 
-    let presented = present(tmd, structure_versions, &query.mode)?;
+    let presented = present_par(tmd, structure_versions, &query.mode, ctx, memo)?;
 
     // The instant at which each grouped dimension's hierarchy is read:
     // fixed at the structure version's start for version modes, the
@@ -322,14 +412,12 @@ pub fn evaluate(
         }
     };
 
-    let mut index: HashMap<(String, Vec<String>), usize> = HashMap::new();
-    let mut keys: Vec<(String, Vec<String>)> = Vec::new();
-    let mut accs: Vec<Vec<Acc>> = Vec::new();
-
-    'rows: for row in &presented.rows {
+    // Per-row grouping, shared by every worker. Errors return through
+    // the fold state (the engine's fold is infallible).
+    let process = |state: &mut EvalAcc, row: &crate::multiversion::MvRow| -> Result<()> {
         if let Some(range) = query.time_range {
             if !range.contains(row.time) {
-                continue;
+                return Ok(());
             }
         }
         // Member filters: the row survives when, in every filtered
@@ -339,7 +427,11 @@ pub fn evaluate(
             let dimension = tmd.dimension(filter.dimension)?;
             let at = hierarchy_instant(filter.dimension, row.time)?;
             let leaf = row.coords[filter.dimension.index()];
-            let ancestors = ancestors_at_level(dimension, leaf, &filter.level, at)?;
+            let ancestors = memo.try_ancestors(
+                tmd,
+                (filter.dimension, leaf, filter.level.clone(), at),
+                || ancestors_at_level(dimension, leaf, &filter.level, at),
+            )?;
             let accepted = ancestors.iter().any(|&a| {
                 dimension
                     .version(a)
@@ -347,7 +439,7 @@ pub fn evaluate(
                     .unwrap_or(false)
             });
             if !accepted {
-                continue 'rows;
+                return Ok(());
             }
         }
         let time_key = match query.time_level {
@@ -371,7 +463,9 @@ pub fn evaluate(
             let dimension = tmd.dimension(dim)?;
             let at = hierarchy_instant(dim, row.time)?;
             let leaf = row.coords[dim.index()];
-            let ancestors = ancestors_at_level(dimension, leaf, level, at)?;
+            let ancestors = memo.try_ancestors(tmd, (dim, leaf, level.clone(), at), || {
+                ancestors_at_level(dimension, leaf, level, at)
+            })?;
             if ancestors.is_empty() {
                 key_options.push(vec!["(unclassified)".to_owned()]);
             } else {
@@ -393,9 +487,9 @@ pub fn evaluate(
                 .map(|(opts, &i)| opts[i].clone())
                 .collect();
             let full_key = (time_key.clone(), group_keys);
-            let idx = *index.entry(full_key.clone()).or_insert_with(|| {
-                keys.push(full_key);
-                accs.push(
+            let idx = *state.index.entry(full_key.clone()).or_insert_with(|| {
+                state.keys.push(full_key);
+                state.accs.push(
                     measure_ids
                         .iter()
                         .map(|&m| Acc {
@@ -410,11 +504,11 @@ pub fn evaluate(
                         })
                         .collect(),
                 );
-                keys.len() - 1
+                state.keys.len() - 1
             });
             for (slot, &m) in measure_ids.iter().enumerate() {
                 let cell = &row.cells[m.index()];
-                let acc = &mut accs[idx][slot];
+                let acc = &mut state.accs[idx][slot];
                 acc.confidence = acc.confidence.combine(cell.confidence);
                 match cell.value {
                     Some(v) => acc.acc.update(v),
@@ -438,7 +532,28 @@ pub fn evaluate(
                 break;
             }
         }
+        Ok(())
+    };
+
+    let folded = ctx.parallel_fold(
+        &presented.rows,
+        EvalAcc::new,
+        |state, _row_index, row| {
+            // After an error, stop doing work in this partial — results
+            // are discarded once the error surfaces.
+            if state.error.is_some() {
+                return;
+            }
+            if let Err(e) = process(state, row) {
+                state.error = Some(e);
+            }
+        },
+        |into, from| into.merge(from),
+    );
+    if let Some(e) = folded.error {
+        return Err(e);
     }
+    let EvalAcc { keys, accs, .. } = folded;
 
     // Order: by time key (numeric-aware), preserving first-contribution
     // order within a time group — the paper's table layout.
@@ -494,8 +609,7 @@ mod tests {
 
     fn q1(mode: TemporalMode) -> AggregateQuery {
         let cs = case_study();
-        AggregateQuery::by_year(cs.org, "Division", mode)
-            .in_range(Interval::years(2001, 2002))
+        AggregateQuery::by_year(cs.org, "Division", mode).in_range(Interval::years(2001, 2002))
     }
 
     fn rows_of(rs: &ResultSet) -> Vec<(String, String, Option<f64>, Confidence)> {
@@ -521,9 +635,19 @@ mod tests {
         assert_eq!(
             rows,
             vec![
-                ("2001".into(), "Sales".into(), Some(150.0), Confidence::Source),
+                (
+                    "2001".into(),
+                    "Sales".into(),
+                    Some(150.0),
+                    Confidence::Source
+                ),
                 ("2001".into(), "R&D".into(), Some(100.0), Confidence::Source),
-                ("2002".into(), "Sales".into(), Some(100.0), Confidence::Source),
+                (
+                    "2002".into(),
+                    "Sales".into(),
+                    Some(100.0),
+                    Confidence::Source
+                ),
                 ("2002".into(), "R&D".into(), Some(150.0), Confidence::Source),
             ]
         );
@@ -541,8 +665,19 @@ mod tests {
         .unwrap();
         let rows = rows_of(&rs);
         assert_eq!(rows.len(), 4);
-        assert_eq!(rows[0], ("2001".into(), "Sales".into(), Some(150.0), Confidence::Source));
-        assert_eq!(rows[1], ("2001".into(), "R&D".into(), Some(100.0), Confidence::Source));
+        assert_eq!(
+            rows[0],
+            (
+                "2001".into(),
+                "Sales".into(),
+                Some(150.0),
+                Confidence::Source
+            )
+        );
+        assert_eq!(
+            rows[1],
+            ("2001".into(), "R&D".into(), Some(100.0), Confidence::Source)
+        );
         // 2002: Smith's data returns under Sales in the 2001 structure.
         assert_eq!(rows[2].0, "2002");
         assert_eq!(rows[2].1, "Sales");
@@ -568,14 +703,24 @@ mod tests {
         assert_eq!(rows[0].2, Some(100.0));
         assert_eq!(rows[1].1, "R&D");
         assert_eq!(rows[1].2, Some(150.0));
-        assert_eq!(rows[2], ("2002".into(), "Sales".into(), Some(100.0), Confidence::Source));
-        assert_eq!(rows[3], ("2002".into(), "R&D".into(), Some(150.0), Confidence::Source));
+        assert_eq!(
+            rows[2],
+            (
+                "2002".into(),
+                "Sales".into(),
+                Some(100.0),
+                Confidence::Source
+            )
+        );
+        assert_eq!(
+            rows[3],
+            ("2002".into(), "R&D".into(), Some(150.0), Confidence::Source)
+        );
     }
 
     fn q2(mode: TemporalMode) -> AggregateQuery {
         let cs = case_study();
-        AggregateQuery::by_year(cs.org, "Department", mode)
-            .in_range(Interval::years(2002, 2003))
+        AggregateQuery::by_year(cs.org, "Department", mode).in_range(Interval::years(2002, 2003))
     }
 
     #[test]
@@ -587,13 +732,48 @@ mod tests {
         assert_eq!(
             rows,
             vec![
-                ("2002".into(), "Dpt.Jones".into(), Some(100.0), Confidence::Source),
-                ("2002".into(), "Dpt.Smith".into(), Some(100.0), Confidence::Source),
-                ("2002".into(), "Dpt.Brian".into(), Some(50.0), Confidence::Source),
-                ("2003".into(), "Dpt.Bill".into(), Some(150.0), Confidence::Source),
-                ("2003".into(), "Dpt.Paul".into(), Some(50.0), Confidence::Source),
-                ("2003".into(), "Dpt.Smith".into(), Some(110.0), Confidence::Source),
-                ("2003".into(), "Dpt.Brian".into(), Some(40.0), Confidence::Source),
+                (
+                    "2002".into(),
+                    "Dpt.Jones".into(),
+                    Some(100.0),
+                    Confidence::Source
+                ),
+                (
+                    "2002".into(),
+                    "Dpt.Smith".into(),
+                    Some(100.0),
+                    Confidence::Source
+                ),
+                (
+                    "2002".into(),
+                    "Dpt.Brian".into(),
+                    Some(50.0),
+                    Confidence::Source
+                ),
+                (
+                    "2003".into(),
+                    "Dpt.Bill".into(),
+                    Some(150.0),
+                    Confidence::Source
+                ),
+                (
+                    "2003".into(),
+                    "Dpt.Paul".into(),
+                    Some(50.0),
+                    Confidence::Source
+                ),
+                (
+                    "2003".into(),
+                    "Dpt.Smith".into(),
+                    Some(110.0),
+                    Confidence::Source
+                ),
+                (
+                    "2003".into(),
+                    "Dpt.Brian".into(),
+                    Some(40.0),
+                    Confidence::Source
+                ),
             ]
         );
     }

@@ -50,16 +50,26 @@ pub struct CaseStudy {
 fn build_org() -> (TemporalDimension, [MemberVersionId; 7]) {
     let mut d = TemporalDimension::new("Org");
     let since01 = Interval::since(Instant::ym(2001, 1));
-    let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), since01);
-    let rnd = d.add_version(MemberVersionSpec::named("R&D").at_level("Division"), since01);
+    let sales = d.add_version(
+        MemberVersionSpec::named("Sales").at_level("Division"),
+        since01,
+    );
+    let rnd = d.add_version(
+        MemberVersionSpec::named("R&D").at_level("Division"),
+        since01,
+    );
     let jones = d.add_version(
         MemberVersionSpec::named("Dpt.Jones").at_level("Department"),
         Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
     );
-    let smith =
-        d.add_version(MemberVersionSpec::named("Dpt.Smith").at_level("Department"), since01);
-    let brian =
-        d.add_version(MemberVersionSpec::named("Dpt.Brian").at_level("Department"), since01);
+    let smith = d.add_version(
+        MemberVersionSpec::named("Dpt.Smith").at_level("Department"),
+        since01,
+    );
+    let brian = d.add_version(
+        MemberVersionSpec::named("Dpt.Brian").at_level("Department"),
+        since01,
+    );
     let bill = d.add_version(
         MemberVersionSpec::named("Dpt.Bill").at_level("Department"),
         Interval::since(Instant::ym(2003, 1)),
@@ -68,14 +78,23 @@ fn build_org() -> (TemporalDimension, [MemberVersionId; 7]) {
         MemberVersionSpec::named("Dpt.Paul").at_level("Department"),
         Interval::since(Instant::ym(2003, 1)),
     );
-    d.add_relationship(jones, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)))
-        .expect("case study edge");
+    d.add_relationship(
+        jones,
+        sales,
+        Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+    )
+    .expect("case study edge");
     // Smith under Sales in 2001 (Table 1), under R&D from 2002 (Table 2).
-    d.add_relationship(smith, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2001, 12)))
-        .expect("case study edge");
+    d.add_relationship(
+        smith,
+        sales,
+        Interval::of(Instant::ym(2001, 1), Instant::ym(2001, 12)),
+    )
+    .expect("case study edge");
     d.add_relationship(smith, rnd, Interval::since(Instant::ym(2002, 1)))
         .expect("case study edge");
-    d.add_relationship(brian, rnd, since01).expect("case study edge");
+    d.add_relationship(brian, rnd, since01)
+        .expect("case study edge");
     d.add_relationship(bill, sales, Interval::since(Instant::ym(2003, 1)))
         .expect("case study edge");
     d.add_relationship(paul, sales, Interval::since(Instant::ym(2003, 1)))
@@ -108,8 +127,11 @@ pub const TABLE_3: [(i32, &str, f64); 10] = [
 pub fn case_study() -> CaseStudy {
     let mut tmd = Tmd::new("institution", Granularity::Month);
     let (d, [sales, rnd, jones, smith, brian, bill, paul]) = build_org();
-    let org = tmd.add_dimension(d).expect("empty schema accepts dimensions");
-    tmd.add_measure(MeasureDef::summed("Amount")).expect("empty schema accepts measures");
+    let org = tmd
+        .add_dimension(d)
+        .expect("empty schema accepts dimensions");
+    tmd.add_measure(MeasureDef::summed("Amount"))
+        .expect("empty schema accepts measures");
 
     // Example 6: <Jones, Bill, {(x→0.4x, am)}, {(x→x, em)}> and
     //            <Jones, Paul, {(x→0.6x, am)}, {(x→x, em)}>.
@@ -160,9 +182,13 @@ pub fn case_study() -> CaseStudy {
 pub fn case_study_two_measures() -> CaseStudy {
     let mut tmd = Tmd::new("institution", Granularity::Month);
     let (d, [sales, rnd, jones, smith, brian, bill, paul]) = build_org();
-    let org = tmd.add_dimension(d).expect("empty schema accepts dimensions");
-    tmd.add_measure(MeasureDef::summed("Turnover")).expect("measure");
-    tmd.add_measure(MeasureDef::summed("Profit")).expect("measure");
+    let org = tmd
+        .add_dimension(d)
+        .expect("empty schema accepts dimensions");
+    tmd.add_measure(MeasureDef::summed("Turnover"))
+        .expect("measure");
+    tmd.add_measure(MeasureDef::summed("Profit"))
+        .expect("measure");
 
     let approx = |k: f64| MeasureMapping {
         func: MappingFunction::Scale(k),
@@ -217,7 +243,10 @@ mod tests {
         assert_eq!(cs.tmd.dimensions().len(), 1);
         assert_eq!(cs.tmd.measures().len(), 1);
         assert_eq!(cs.tmd.facts().len(), 10);
-        assert_eq!(cs.tmd.mapping_graph(cs.org).unwrap().relationships().len(), 2);
+        assert_eq!(
+            cs.tmd.mapping_graph(cs.org).unwrap().relationships().len(),
+            2
+        );
     }
 
     #[test]

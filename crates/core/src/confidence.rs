@@ -42,7 +42,8 @@ impl Confidence {
     /// Folds `⊗cf` over an iterator; an empty input is `Source`
     /// (the identity of the meet: nothing has been mapped).
     pub fn combine_all(iter: impl IntoIterator<Item = Confidence>) -> Confidence {
-        iter.into_iter().fold(Confidence::Source, Confidence::combine)
+        iter.into_iter()
+            .fold(Confidence::Source, Confidence::combine)
     }
 
     /// The paper's short code (`sd`, `em`, `am`, `uk`).

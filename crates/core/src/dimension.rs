@@ -169,7 +169,11 @@ impl TemporalDimension {
         // instants inside `validity` suffices.
         for t in self.critical_instants_within(validity) {
             if self.reaches_upward(parent, child, t) {
-                return Err(CoreError::CycleDetected { child, parent, at: t });
+                return Err(CoreError::CycleDetected {
+                    child,
+                    parent,
+                    at: t,
+                });
             }
         }
         let idx = self.rels.len();
@@ -334,8 +338,7 @@ impl TemporalDimension {
                 self.remove_relationship(i);
             } else {
                 if rv.end() > new_end {
-                    self.rels[i].validity =
-                        rv.truncate_end(new_end).map_err(CoreError::from)?;
+                    self.rels[i].validity = rv.truncate_end(new_end).map_err(CoreError::from)?;
                 }
                 i += 1;
             }
@@ -407,8 +410,7 @@ impl TemporalDimension {
             if rv.start() >= ti {
                 self.remove_relationship(i); // swapped-in edge now at `i`
             } else {
-                self.rels[i].validity =
-                    rv.truncate_end(ti.pred()).map_err(CoreError::from)?;
+                self.rels[i].validity = rv.truncate_end(ti.pred()).map_err(CoreError::from)?;
                 i += 1;
             }
         }
@@ -566,8 +568,12 @@ mod tests {
             MemberVersionSpec::named("Dpt.Paul").at_level("Department"),
             Interval::since(Instant::ym(2003, 1)),
         );
-        d.add_relationship(jones, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)))
-            .unwrap();
+        d.add_relationship(
+            jones,
+            sales,
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+        )
+        .unwrap();
         d.add_relationship(bill, sales, Interval::since(Instant::ym(2003, 1)))
             .unwrap();
         d.add_relationship(paul, sales, Interval::since(Instant::ym(2003, 1)))
@@ -596,7 +602,10 @@ mod tests {
         let err = d
             .add_relationship(jones, sales, Interval::since(Instant::ym(2001, 1)))
             .unwrap_err();
-        assert!(matches!(err, CoreError::RelationshipOutsideMemberValidity { .. }));
+        assert!(matches!(
+            err,
+            CoreError::RelationshipOutsideMemberValidity { .. }
+        ));
     }
 
     #[test]
@@ -642,8 +651,10 @@ mod tests {
         let all = Interval::since(Instant::ym(2001, 1));
         let a = d.add_version(MemberVersionSpec::named("A"), all);
         let b = d.add_version(MemberVersionSpec::named("B"), all);
-        d.add_relationship(a, b, Interval::years(2001, 2001)).unwrap();
-        d.add_relationship(b, a, Interval::years(2002, 2002)).unwrap();
+        d.add_relationship(a, b, Interval::years(2001, 2001))
+            .unwrap();
+        d.add_relationship(b, a, Interval::years(2002, 2002))
+            .unwrap();
     }
 
     #[test]
@@ -663,7 +674,8 @@ mod tests {
         let mut d = TemporalDimension::new("G");
         let p = d.add_version(MemberVersionSpec::named("P"), Interval::years(2001, 2003));
         let c = d.add_version(MemberVersionSpec::named("C"), Interval::years(2001, 2001));
-        d.add_relationship(c, p, Interval::years(2001, 2001)).unwrap();
+        d.add_relationship(c, p, Interval::years(2001, 2001))
+            .unwrap();
         // P has no children during 2002-2003, so it is a leaf version.
         assert!(d.is_ever_leaf(p));
         assert!(d.is_leaf_at(p, Instant::ym(2002, 6)));
@@ -689,7 +701,10 @@ mod tests {
         let (mut d, ids) = org();
         let bill = ids[2];
         d.exclude(bill, Instant::ym(2005, 1)).unwrap();
-        assert_eq!(d.version(bill).unwrap().validity.end(), Instant::ym(2004, 12));
+        assert_eq!(
+            d.version(bill).unwrap().validity.end(),
+            Instant::ym(2004, 12)
+        );
         assert!(d.parents_at(bill, Instant::ym(2004, 6)).len() == 1);
         assert!(d.parents_at(bill, Instant::ym(2005, 1)).is_empty());
         // Excluding before the start is invalid.
@@ -704,7 +719,8 @@ mod tests {
         let mut d = TemporalDimension::new("E");
         let p = d.add_version(MemberVersionSpec::named("P"), Interval::years(2001, 2005));
         let c = d.add_version(MemberVersionSpec::named("C"), Interval::years(2001, 2005));
-        d.add_relationship(c, p, Interval::years(2004, 2005)).unwrap();
+        d.add_relationship(c, p, Interval::years(2004, 2005))
+            .unwrap();
         d.exclude(c, Instant::ym(2003, 1)).unwrap();
         assert!(d.relationships().is_empty());
     }
@@ -720,9 +736,12 @@ mod tests {
         // Two future edges out of the same child `b` plus one from `a`,
         // so removals hit overlapping adjacency lists.
         let q = d.add_version(MemberVersionSpec::named("Q"), Interval::years(2001, 2010));
-        d.add_relationship(a, p, Interval::years(2005, 2010)).unwrap();
-        d.add_relationship(b, p, Interval::years(2006, 2010)).unwrap();
-        d.add_relationship(b, q, Interval::years(2007, 2010)).unwrap();
+        d.add_relationship(a, p, Interval::years(2005, 2010))
+            .unwrap();
+        d.add_relationship(b, p, Interval::years(2006, 2010))
+            .unwrap();
+        d.add_relationship(b, q, Interval::years(2007, 2010))
+            .unwrap();
         // Exclude P at 2004: both edges into P vanish (they start later),
         // b->q must survive untouched.
         d.exclude(p, Instant::ym(2004, 1)).unwrap();
@@ -741,10 +760,18 @@ mod tests {
         // from Sales to R&D in 2002.
         let mut d = TemporalDimension::new("Org");
         let since01 = Interval::since(Instant::ym(2001, 1));
-        let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), since01);
-        let rnd = d.add_version(MemberVersionSpec::named("R&D").at_level("Division"), since01);
-        let smith =
-            d.add_version(MemberVersionSpec::named("Dpt.Smith").at_level("Department"), since01);
+        let sales = d.add_version(
+            MemberVersionSpec::named("Sales").at_level("Division"),
+            since01,
+        );
+        let rnd = d.add_version(
+            MemberVersionSpec::named("R&D").at_level("Division"),
+            since01,
+        );
+        let smith = d.add_version(
+            MemberVersionSpec::named("Dpt.Smith").at_level("Department"),
+            since01,
+        );
         d.add_relationship(smith, sales, since01).unwrap();
         d.reclassify(smith, Instant::ym(2002, 1), None, &[sales], &[rnd])
             .unwrap();
@@ -766,9 +793,11 @@ mod tests {
         let p1 = d.add_version(MemberVersionSpec::named("P1"), all);
         let p2 = d.add_version(MemberVersionSpec::named("P2"), all);
         let m = d.add_version(MemberVersionSpec::named("M"), all);
-        d.add_relationship(m, p1, Interval::since(Instant::ym(2004, 1))).unwrap();
+        d.add_relationship(m, p1, Interval::since(Instant::ym(2004, 1)))
+            .unwrap();
         // Reclassifying at 2002 removes the 2004 edge entirely.
-        d.reclassify(m, Instant::ym(2002, 1), None, &[p1], &[p2]).unwrap();
+        d.reclassify(m, Instant::ym(2002, 1), None, &[p1], &[p2])
+            .unwrap();
         assert!(d.parents_at(m, Instant::ym(2004, 6)) == vec![p2]);
     }
 
@@ -801,8 +830,14 @@ mod tests {
         let mut d = TemporalDimension::new("N");
         let v1 = d.add_version(MemberVersionSpec::named("X"), Interval::years(2001, 2001));
         let v2 = d.add_version(MemberVersionSpec::named("X"), Interval::years(2002, 2002));
-        assert_eq!(d.version_named_at("X", Instant::ym(2001, 5)).unwrap().id, v1);
-        assert_eq!(d.version_named_at("X", Instant::ym(2002, 5)).unwrap().id, v2);
+        assert_eq!(
+            d.version_named_at("X", Instant::ym(2001, 5)).unwrap().id,
+            v1
+        );
+        assert_eq!(
+            d.version_named_at("X", Instant::ym(2002, 5)).unwrap().id,
+            v2
+        );
         assert!(d.version_named_at("X", Instant::ym(2003, 1)).is_err());
         assert_eq!(d.versions_named("X").len(), 2);
     }

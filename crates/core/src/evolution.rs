@@ -95,6 +95,12 @@ impl BasicOp {
     /// operators are administrator tools, not transactions — mirror of
     /// the paper's prototype).
     pub fn apply(&self, tmd: &mut Tmd) -> Result<Option<MemberVersionId>> {
+        // Every evolution operator invalidates derived caches (mapping
+        // routes, roll-up paths). The inner mutators bump the schema
+        // generation on their own, but the contract of the operators is
+        // explicit: one application, at least one bump — even if a
+        // future mutator forgets.
+        tmd.bump_generation();
         match self {
             BasicOp::Insert {
                 dim,
@@ -387,7 +393,12 @@ pub fn create(
 /// # Errors
 ///
 /// Propagates basic-operator failures.
-pub fn delete(tmd: &mut Tmd, dim: DimensionId, id: MemberVersionId, at: Instant) -> Result<EvolutionOutcome> {
+pub fn delete(
+    tmd: &mut Tmd,
+    dim: DimensionId,
+    id: MemberVersionId,
+    at: Instant,
+) -> Result<EvolutionOutcome> {
     let op = BasicOp::Exclude { dim, id, at };
     op.apply(tmd)?;
     Ok(EvolutionOutcome {
@@ -460,7 +471,9 @@ pub fn merge(
     parents: &[MemberVersionId],
 ) -> Result<EvolutionOutcome> {
     if sources.is_empty() {
-        return Err(CoreError::InvalidEvolution("merge requires at least one source".into()));
+        return Err(CoreError::InvalidEvolution(
+            "merge requires at least one source".into(),
+        ));
     }
     let mut script = Vec::with_capacity(sources.len() * 2 + 1);
     for s in sources {
@@ -515,10 +528,16 @@ pub fn split(
     parents: &[MemberVersionId],
 ) -> Result<EvolutionOutcome> {
     if parts.is_empty() {
-        return Err(CoreError::InvalidEvolution("split requires at least one part".into()));
+        return Err(CoreError::InvalidEvolution(
+            "split requires at least one part".into(),
+        ));
     }
     let level = tmd.dimension(dim)?.version(source)?.level.clone();
-    let exclude = BasicOp::Exclude { dim, id: source, at };
+    let exclude = BasicOp::Exclude {
+        dim,
+        id: source,
+        at,
+    };
     exclude.apply(tmd)?;
     let mut script = vec![exclude];
     let mut created = Vec::with_capacity(parts.len());
@@ -766,9 +785,7 @@ pub fn partial_annexation(
             v1,
             v2p,
             MeasureMapping::approx_scale(spec.moved),
-            MeasureMapping::approx_scale(
-                spec.target_growth / (1.0 + spec.target_growth),
-            ),
+            MeasureMapping::approx_scale(spec.target_growth / (1.0 + spec.target_growth)),
             measures,
         ),
     };
@@ -787,7 +804,13 @@ mod tests {
 
     /// A minimal one-dimension schema with a root division and two leaf
     /// departments.
-    fn base() -> (Tmd, DimensionId, MemberVersionId, MemberVersionId, MemberVersionId) {
+    fn base() -> (
+        Tmd,
+        DimensionId,
+        MemberVersionId,
+        MemberVersionId,
+        MemberVersionId,
+    ) {
         let mut tmd = Tmd::new("t", Granularity::Month);
         let mut d = crate::dimension::TemporalDimension::new("Org");
         let all = Interval::since(Instant::ym(2001, 1));
@@ -839,12 +862,23 @@ mod tests {
             MergeSource::with_share(v1, 0.5, 1),
             MergeSource::with_unknown_share(v2, 1),
         ];
-        let out = merge(&mut tmd, dim, &sources, "V12", Some("Department".into()), t, &[p])
-            .unwrap();
+        let out = merge(
+            &mut tmd,
+            dim,
+            &sources,
+            "V12",
+            Some("Department".into()),
+            t,
+            &[p],
+        )
+        .unwrap();
         // Exclude, Exclude, Insert, Associate, Associate.
         assert_eq!(out.script.len(), 5);
         let ops: Vec<&str> = out.script.iter().map(BasicOp::operator).collect();
-        assert_eq!(ops, vec!["Exclude", "Exclude", "Insert", "Associate", "Associate"]);
+        assert_eq!(
+            ops,
+            vec!["Exclude", "Exclude", "Insert", "Associate", "Associate"]
+        );
         let d = tmd.dimension(dim).unwrap();
         assert_eq!(d.version(v1).unwrap().validity.end(), Instant::ym(2002, 12));
         let rels = tmd.mapping_graph(dim).unwrap().relationships();
@@ -866,7 +900,10 @@ mod tests {
         assert_eq!(out.script.len(), 5);
         let d = tmd.dimension(dim).unwrap();
         // New parts inherit the level of the source.
-        assert_eq!(d.version(out.created[0]).unwrap().level.as_deref(), Some("Department"));
+        assert_eq!(
+            d.version(out.created[0]).unwrap().level.as_deref(),
+            Some("Department")
+        );
         let rels = tmd.mapping_graph(dim).unwrap().relationships();
         assert_eq!(rels[0].forward[0], MeasureMapping::approx_scale(0.4));
         assert_eq!(rels[1].forward[0], MeasureMapping::approx_scale(0.6));
@@ -918,7 +955,15 @@ mod tests {
         let ops: Vec<&str> = out.script.iter().map(BasicOp::operator).collect();
         assert_eq!(
             ops,
-            vec!["Exclude", "Exclude", "Insert", "Insert", "Associate", "Associate", "Associate"]
+            vec![
+                "Exclude",
+                "Exclude",
+                "Insert",
+                "Insert",
+                "Associate",
+                "Associate",
+                "Associate"
+            ]
         );
         let rels = tmd.mapping_graph(dim).unwrap().relationships();
         assert_eq!(rels.len(), 3);
@@ -929,7 +974,9 @@ mod tests {
         // rounds to 0.8).
         assert_eq!(rels[1].forward[0], MeasureMapping::EXACT_IDENTITY);
         let bwd = rels[1].backward[0];
-        assert!(matches!(bwd.func, crate::mapping::MappingFunction::Scale(k) if (k - 1.0/1.2).abs() < 1e-12));
+        assert!(
+            matches!(bwd.func, crate::mapping::MappingFunction::Scale(k) if (k - 1.0/1.2).abs() < 1e-12)
+        );
         // V1 -> V2+: 0.1 approx forward, ~0.167 approx backward.
         assert_eq!(rels[2].forward[0], MeasureMapping::approx_scale(0.1));
     }

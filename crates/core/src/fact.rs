@@ -130,12 +130,7 @@ impl FactTable {
     ///
     /// [`CoreError::CoordinateArityMismatch`] or
     /// [`CoreError::MeasureArityMismatch`].
-    pub fn push(
-        &mut self,
-        coords: &[MemberVersionId],
-        t: Instant,
-        values: &[f64],
-    ) -> Result<()> {
+    pub fn push(&mut self, coords: &[MemberVersionId], t: Instant, values: &[f64]) -> Result<()> {
         if coords.len() != self.coords.len() {
             return Err(CoreError::CoordinateArityMismatch {
                 expected: self.coords.len(),
@@ -187,7 +182,9 @@ impl FactTable {
     }
 
     /// Iterates over `(row_index, coords, time, values)`.
-    pub fn rows(&self) -> impl Iterator<Item = (usize, Vec<MemberVersionId>, Instant, Vec<f64>)> + '_ {
+    pub fn rows(
+        &self,
+    ) -> impl Iterator<Item = (usize, Vec<MemberVersionId>, Instant, Vec<f64>)> + '_ {
         (0..self.len()).map(move |r| (r, self.row_coords(r), self.time(r), self.row_values(r)))
     }
 }
@@ -221,6 +218,18 @@ impl MeasureAccumulator {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Merges another accumulator's partial state in (the second-stage
+    /// fold of the morsel-parallel engine). Count/min/max merge
+    /// exactly; the sum associates in merge order, so merging partial
+    /// states in morsel order keeps results deterministic for any
+    /// worker count.
+    pub fn merge(&mut self, other: &MeasureAccumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// The aggregate result, or `None` when nothing was folded.

@@ -143,13 +143,14 @@ pub fn ancestors_at_level(
     t: Instant,
 ) -> Result<Vec<MemberVersionId>> {
     let (_, levels) = levels_at(dimension, t);
-    let target = levels
-        .iter()
-        .find(|l| l.name == level)
-        .ok_or_else(|| CoreError::UnknownLevel {
-            dimension: dimension.name().to_owned(),
-            level: level.to_owned(),
-        })?;
+    let target =
+        levels
+            .iter()
+            .find(|l| l.name == level)
+            .ok_or_else(|| CoreError::UnknownLevel {
+                dimension: dimension.name().to_owned(),
+                level: level.to_owned(),
+            })?;
     if target.members.contains(&leaf) {
         return Ok(vec![leaf]);
     }
@@ -174,10 +175,14 @@ mod tests {
         let all = Interval::since(Instant::ym(2001, 1));
         let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), all);
         let rnd = d.add_version(MemberVersionSpec::named("R&D").at_level("Division"), all);
-        let jones =
-            d.add_version(MemberVersionSpec::named("Dpt.Jones").at_level("Department"), all);
-        let brian =
-            d.add_version(MemberVersionSpec::named("Dpt.Brian").at_level("Department"), all);
+        let jones = d.add_version(
+            MemberVersionSpec::named("Dpt.Jones").at_level("Department"),
+            all,
+        );
+        let brian = d.add_version(
+            MemberVersionSpec::named("Dpt.Brian").at_level("Department"),
+            all,
+        );
         d.add_relationship(jones, sales, all).unwrap();
         d.add_relationship(brian, rnd, all).unwrap();
         d
@@ -221,7 +226,10 @@ mod tests {
         let early = Interval::years(2001, 2001);
         let all = Interval::since(Instant::ym(2001, 1));
         let div = d.add_version(MemberVersionSpec::named("Div").at_level("Division"), all);
-        let dept = d.add_version(MemberVersionSpec::named("Dept").at_level("Department"), early);
+        let dept = d.add_version(
+            MemberVersionSpec::named("Dept").at_level("Department"),
+            early,
+        );
         d.add_relationship(dept, div, early).unwrap();
         let (_, in_2001) = levels_at(&d, Instant::ym(2001, 6));
         assert_eq!(in_2001.len(), 2);
@@ -233,7 +241,10 @@ mod tests {
     #[test]
     fn level_of_member() {
         let d = tagged_org();
-        let jones = d.version_named_at("Dpt.Jones", Instant::ym(2001, 6)).unwrap().id;
+        let jones = d
+            .version_named_at("Dpt.Jones", Instant::ym(2001, 6))
+            .unwrap()
+            .id;
         assert_eq!(
             level_of(&d, jones, Instant::ym(2001, 6)).as_deref(),
             Some("Department")
@@ -246,9 +257,15 @@ mod tests {
         let t = Instant::ym(2001, 6);
         let jones = d.version_named_at("Dpt.Jones", t).unwrap().id;
         let sales = d.version_named_at("Sales", t).unwrap().id;
-        assert_eq!(ancestors_at_level(&d, jones, "Division", t).unwrap(), vec![sales]);
+        assert_eq!(
+            ancestors_at_level(&d, jones, "Division", t).unwrap(),
+            vec![sales]
+        );
         // Leaf at its own level maps to itself.
-        assert_eq!(ancestors_at_level(&d, jones, "Department", t).unwrap(), vec![jones]);
+        assert_eq!(
+            ancestors_at_level(&d, jones, "Department", t).unwrap(),
+            vec![jones]
+        );
         assert!(ancestors_at_level(&d, jones, "Galaxy", t).is_err());
     }
 
@@ -258,8 +275,10 @@ mod tests {
         let mut d = TemporalDimension::new("Org");
         let all = Interval::since(Instant::ym(2001, 1));
         d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), all);
-        let orphan =
-            d.add_version(MemberVersionSpec::named("Dpt.Lone").at_level("Department"), all);
+        let orphan = d.add_version(
+            MemberVersionSpec::named("Dpt.Lone").at_level("Department"),
+            all,
+        );
         let t = Instant::ym(2001, 6);
         assert_eq!(
             ancestors_at_level(&d, orphan, "Division", t).unwrap(),

@@ -61,6 +61,7 @@ pub mod levels;
 pub mod logical;
 pub mod mapping;
 pub mod member;
+pub mod memo;
 pub mod metadata;
 pub mod multiversion;
 pub mod persist;
@@ -68,15 +69,21 @@ pub mod schema;
 pub mod structure_version;
 pub mod tmp;
 
-pub use aggregate::{evaluate, AggregateQuery, ResultRow, ResultSet, TimeLevel};
+pub use aggregate::{evaluate, evaluate_par, AggregateQuery, ResultRow, ResultSet, TimeLevel};
 pub use confidence::{CellColour, Confidence, ConfidenceAlgebra, ConfidenceWeights};
 pub use dimension::{DimensionSnapshot, TemporalDimension, TemporalRelationship};
 pub use error::{CoreError, Result};
 pub use fact::{Aggregator, FactTable, MeasureDef};
 pub use ids::{DimensionId, MeasureId, MemberVersionId, StructureVersionId};
-pub use mapping::{MappingFunction, MappingGraph, MappingRelationship, MeasureMapping, RouteDirection};
+pub use mapping::{
+    MappingFunction, MappingGraph, MappingRelationship, MeasureMapping, RouteDirection,
+};
 pub use member::{MemberVersion, MemberVersionSpec};
-pub use multiversion::{DeltaMvft, MultiVersionFactTable, MvCell, MvRow, PresentedFacts};
+pub use memo::{MemoStats, QueryMemo};
+pub use multiversion::{
+    present, present_par, DeltaMvft, MultiVersionFactTable, MvCell, MvRow, PresentedFacts,
+};
+pub use mvolap_exec::ExecContext;
 pub use schema::Tmd;
 pub use structure_version::{infer_structure_versions, structure_version_at, StructureVersion};
 pub use tmp::{all_modes, TemporalMode};

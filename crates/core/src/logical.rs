@@ -280,8 +280,7 @@ pub fn export_star(tmd: &Tmd, dim: DimensionId) -> Result<Table> {
         spells.sort_by_key(|s| s.start());
         for spell in spells {
             let probe = spell.start();
-            let mut row: Vec<Value> =
-                vec![(leaf.0 as i64).into(), v.name.clone().into()];
+            let mut row: Vec<Value> = vec![(leaf.0 as i64).into(), v.name.clone().into()];
             for level in &level_names {
                 let ancestors = ancestors_at_level(d, leaf, level, probe).unwrap_or_default();
                 match ancestors.first() {
@@ -335,7 +334,10 @@ pub fn export_snowflake(tmd: &Tmd, dim: DimensionId) -> Result<Vec<Table>> {
                 continue;
             }
             let parents = d.parents_at(v.id, at);
-            let parent = parents.first().map(|p| Value::Int(p.0 as i64)).unwrap_or(Value::Null);
+            let parent = parents
+                .first()
+                .map(|p| Value::Int(p.0 as i64))
+                .unwrap_or(Value::Null);
             table
                 .push_row(vec![
                     (v.id.0 as i64).into(),
@@ -407,8 +409,14 @@ pub fn export_tmp_dimension(tmd: &Tmd, svs: &[StructureVersion]) -> Result<Table
 pub fn export_multiversion_fact(tmd: &Tmd, mvft: &MultiVersionFactTable) -> Result<Table> {
     let mut defs = vec![ColumnDef::required("tmp_id", DataType::Int)];
     for d in tmd.dimensions() {
-        defs.push(ColumnDef::required(format!("{}_id", d.name()), DataType::Int));
-        defs.push(ColumnDef::required(format!("{}_member", d.name()), DataType::Str));
+        defs.push(ColumnDef::required(
+            format!("{}_id", d.name()),
+            DataType::Int,
+        ));
+        defs.push(ColumnDef::required(
+            format!("{}_member", d.name()),
+            DataType::Str,
+        ));
     }
     defs.push(ColumnDef::required("time", DataType::Str));
     for m in tmd.measures() {
@@ -450,10 +458,16 @@ pub fn export_mapping_relations(tmd: &Tmd, dim: DimensionId) -> Result<Table> {
         ColumnDef::required("To", DataType::Str),
     ];
     for m in tmd.measures() {
-        defs.push(ColumnDef::nullable(format!("k for {}", m.name), DataType::Float));
+        defs.push(ColumnDef::nullable(
+            format!("k for {}", m.name),
+            DataType::Float,
+        ));
     }
     for m in tmd.measures() {
-        defs.push(ColumnDef::nullable(format!("k-1 for {}", m.name), DataType::Float));
+        defs.push(ColumnDef::nullable(
+            format!("k-1 for {}", m.name),
+            DataType::Float,
+        ));
     }
     defs.push(ColumnDef::required("Confidence", DataType::Int));
     defs.push(ColumnDef::required("Confidence-1", DataType::Int));
@@ -465,18 +479,26 @@ pub fn export_mapping_relations(tmd: &Tmd, dim: DimensionId) -> Result<Table> {
             d.version(rel.to)?.name.clone().into(),
         ];
         for m in &rel.forward {
-            row.push(m.func.linear_factor().map(Value::Float).unwrap_or(Value::Null));
+            row.push(
+                m.func
+                    .linear_factor()
+                    .map(Value::Float)
+                    .unwrap_or(Value::Null),
+            );
         }
         for m in &rel.backward {
-            row.push(m.func.linear_factor().map(Value::Float).unwrap_or(Value::Null));
+            row.push(
+                m.func
+                    .linear_factor()
+                    .map(Value::Float)
+                    .unwrap_or(Value::Null),
+            );
         }
         // The prototype stores one confidence per relation direction.
-        let fwd_cf = crate::confidence::Confidence::combine_all(
-            rel.forward.iter().map(|m| m.confidence),
-        );
-        let bwd_cf = crate::confidence::Confidence::combine_all(
-            rel.backward.iter().map(|m| m.confidence),
-        );
+        let fwd_cf =
+            crate::confidence::Confidence::combine_all(rel.forward.iter().map(|m| m.confidence));
+        let bwd_cf =
+            crate::confidence::Confidence::combine_all(rel.backward.iter().map(|m| m.confidence));
         row.push(fwd_cf.physical_code().into());
         row.push(bwd_cf.physical_code().into());
         table.push_row(row).map_err(CoreError::from)?;
@@ -530,7 +552,9 @@ pub fn build_multiversion_warehouse(tmd: &Tmd) -> Result<Catalog> {
     let mut catalog = Catalog::new();
     for (i, _) in tmd.dimensions().iter().enumerate() {
         let dim = DimensionId(i as u32);
-        catalog.create(export_star(tmd, dim)?).map_err(CoreError::from)?;
+        catalog
+            .create(export_star(tmd, dim)?)
+            .map_err(CoreError::from)?;
         catalog
             .create(export_mapping_relations(tmd, dim)?)
             .map_err(CoreError::from)?;
@@ -541,7 +565,9 @@ pub fn build_multiversion_warehouse(tmd: &Tmd) -> Result<Catalog> {
     catalog
         .create(export_multiversion_fact(tmd, &mvft)?)
         .map_err(CoreError::from)?;
-    catalog.create(export_evolution_log(tmd)?).map_err(CoreError::from)?;
+    catalog
+        .create(export_evolution_log(tmd)?)
+        .map_err(CoreError::from)?;
     Ok(catalog)
 }
 
@@ -574,7 +600,10 @@ mod tests {
         let sales_row = t.rows().find(|r| r[1] == Value::from("Sales")).unwrap();
         assert_eq!(sales_row[3], Value::Null);
         // Smith has two parent spells.
-        let smith_rows = t.rows().filter(|r| r[1] == Value::from("Dpt.Smith")).count();
+        let smith_rows = t
+            .rows()
+            .filter(|r| r[1] == Value::from("Dpt.Smith"))
+            .count();
         assert_eq!(smith_rows, 2);
     }
 
@@ -599,9 +628,10 @@ mod tests {
     fn star_export_splits_smith_into_two_spells() {
         let cs = case_study();
         let t = export_star(&cs.tmd, cs.org).unwrap();
-        assert_eq!(t.schema().names(), vec![
-            "mv_id", "member", "Division", "valid_from", "valid_to"
-        ]);
+        assert_eq!(
+            t.schema().names(),
+            vec!["mv_id", "member", "Division", "valid_from", "valid_to"]
+        );
         let smith: Vec<Vec<Value>> = t
             .rows()
             .filter(|r| r[1] == Value::from("Dpt.Smith"))
@@ -614,7 +644,10 @@ mod tests {
         assert_eq!(smith[1][2], Value::from("R&D"));
         assert_eq!(smith[1][3], Value::from("01/2002"));
         // Stable members keep a single row.
-        let brian = t.rows().filter(|r| r[1] == Value::from("Dpt.Brian")).count();
+        let brian = t
+            .rows()
+            .filter(|r| r[1] == Value::from("Dpt.Brian"))
+            .count();
         assert_eq!(brian, 1);
     }
 
@@ -656,15 +689,11 @@ mod tests {
         let t = export_multiversion_fact(&cs.tmd, &mvft).unwrap();
         assert_eq!(t.len(), mvft.total_rows());
         // tcm rows carry the source code 3.
-        let tcm_rows: Vec<Vec<Value>> =
-            t.rows().filter(|r| r[0] == Value::Int(0)).collect();
+        let tcm_rows: Vec<Vec<Value>> = t.rows().filter(|r| r[0] == Value::Int(0)).collect();
         assert_eq!(tcm_rows.len(), 10);
         assert!(tcm_rows.iter().all(|r| r[5] == Value::Int(3)));
         // Mapped rows exist with codes 2 (exact) and 1 (approx).
-        let codes: Vec<i64> = t
-            .rows()
-            .filter_map(|r| r[5].as_int())
-            .collect();
+        let codes: Vec<i64> = t.rows().filter_map(|r| r[5].as_int()).collect();
         assert!(codes.contains(&2));
         assert!(codes.contains(&1));
     }
@@ -678,7 +707,10 @@ mod tests {
         assert_eq!(t.len(), 2);
         let rows: Vec<Vec<Value>> = t.rows().collect();
         // Row to Bill: k m1 = 0.4, k m2 = 0.2.
-        let bill = rows.iter().find(|r| r[1] == Value::from("Dpt.Bill")).unwrap();
+        let bill = rows
+            .iter()
+            .find(|r| r[1] == Value::from("Dpt.Bill"))
+            .unwrap();
         assert_eq!(bill[0], Value::from("Dpt.Jones"));
         assert_eq!(bill[2], Value::Float(0.4));
         assert_eq!(bill[3], Value::Float(0.2));
@@ -686,7 +718,10 @@ mod tests {
         assert_eq!(bill[5], Value::Float(1.0));
         assert_eq!(bill[6], Value::Int(1)); // am
         assert_eq!(bill[7], Value::Int(2)); // em
-        let paul = rows.iter().find(|r| r[1] == Value::from("Dpt.Paul")).unwrap();
+        let paul = rows
+            .iter()
+            .find(|r| r[1] == Value::from("Dpt.Paul"))
+            .unwrap();
         assert_eq!(paul[2], Value::Float(0.6));
         assert_eq!(paul[3], Value::Float(0.8));
     }
@@ -700,14 +735,18 @@ mod tests {
         let all = Interval::since(Instant::ym(2001, 1));
         let div1 = d.add_version(MemberVersionSpec::named("Div1").at_level("Division"), all);
         let div2 = d.add_version(MemberVersionSpec::named("Div2").at_level("Division"), all);
-        let dept = d.add_version(MemberVersionSpec::named("DeptA").at_level("Department"), all);
+        let dept = d.add_version(
+            MemberVersionSpec::named("DeptA").at_level("Department"),
+            all,
+        );
         let tx = d.add_version(MemberVersionSpec::named("TeamX").at_level("Team"), all);
         let ty = d.add_version(MemberVersionSpec::named("TeamY").at_level("Team"), all);
         d.add_relationship(dept, div1, all).unwrap();
         d.add_relationship(tx, dept, all).unwrap();
         d.add_relationship(ty, dept, all).unwrap();
         let dim = tmd.add_dimension(d).unwrap();
-        tmd.add_measure(crate::fact::MeasureDef::summed("m")).unwrap();
+        tmd.add_measure(crate::fact::MeasureDef::summed("m"))
+            .unwrap();
 
         let at = Instant::ym(2002, 1);
         let out = reclassify_as_transform(&mut tmd, dim, dept, at, &[div1], &[div2]).unwrap();
@@ -715,7 +754,10 @@ mod tests {
         assert_eq!(out.created.len(), 3);
         let d = tmd.dimension(dim).unwrap();
         // Old versions closed at 12/2001.
-        assert_eq!(d.version(dept).unwrap().validity.end(), Instant::ym(2001, 12));
+        assert_eq!(
+            d.version(dept).unwrap().validity.end(),
+            Instant::ym(2001, 12)
+        );
         assert_eq!(d.version(tx).unwrap().validity.end(), Instant::ym(2001, 12));
         // New DeptA sits under Div2.
         let new_dept = out.created[0];

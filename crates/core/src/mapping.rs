@@ -259,7 +259,10 @@ impl MappingGraph {
             return Err(CoreError::MappingSelfLoop(rel.from));
         }
         let idx = self.relationships.len();
-        self.adjacency.entry(rel.from).or_default().push((idx, true));
+        self.adjacency
+            .entry(rel.from)
+            .or_default()
+            .push((idx, true));
         self.adjacency.entry(rel.to).or_default().push((idx, false));
         self.relationships.push(rel);
         Ok(())
@@ -309,7 +312,11 @@ impl MappingGraph {
         // revisit nodes (`path` tracks the chain) so split/merge diamonds
         // terminate.
         let mut frontier: Vec<(MemberVersionId, Vec<MeasureMapping>, Vec<MemberVersionId>)> =
-            vec![(source, vec![MeasureMapping::SOURCE_IDENTITY; measures], vec![source])];
+            vec![(
+                source,
+                vec![MeasureMapping::SOURCE_IDENTITY; measures],
+                vec![source],
+            )];
         while let Some((node, acc, path)) = frontier.pop() {
             let Some(edges) = self.adjacency.get(&node) else {
                 continue;
@@ -323,12 +330,13 @@ impl MappingGraph {
                 if path.contains(&next) {
                     continue;
                 }
-                let step = if is_forward { &rel.forward } else { &rel.backward };
-                let composed: Vec<MeasureMapping> = acc
-                    .iter()
-                    .zip(step)
-                    .map(|(a, s)| a.compose(*s))
-                    .collect();
+                let step = if is_forward {
+                    &rel.forward
+                } else {
+                    &rel.backward
+                };
+                let composed: Vec<MeasureMapping> =
+                    acc.iter().zip(step).map(|(a, s)| a.compose(*s)).collect();
                 if is_valid_target(next) {
                     routes.push(MappingRoute {
                         target: next,
@@ -415,7 +423,12 @@ mod tests {
         assert_eq!(Affine { a: 1.0, b: 2.0 }.linear_factor(), None);
     }
 
-    fn split_graph() -> (MappingGraph, MemberVersionId, MemberVersionId, MemberVersionId) {
+    fn split_graph() -> (
+        MappingGraph,
+        MemberVersionId,
+        MemberVersionId,
+        MemberVersionId,
+    ) {
         // Paper Example 6: Jones split into Bill (40%) and Paul (60%).
         let jones = MemberVersionId(0);
         let bill = MemberVersionId(1);
@@ -444,7 +457,11 @@ mod tests {
     fn self_loop_rejected() {
         let mut g = MappingGraph::new();
         assert!(matches!(
-            g.add(MappingRelationship::equivalence(MemberVersionId(1), MemberVersionId(1), 1)),
+            g.add(MappingRelationship::equivalence(
+                MemberVersionId(1),
+                MemberVersionId(1),
+                1
+            )),
             Err(CoreError::MappingSelfLoop(_))
         ));
     }
@@ -498,7 +515,9 @@ mod tests {
         assert_eq!(routes[0].per_measure[0].confidence, Confidence::Approx);
         // Truly disconnected: nothing.
         let lone = MemberVersionId(99);
-        assert!(g.resolve(lone, 1, RouteDirection::Any, |id| id == paul).is_empty());
+        assert!(g
+            .resolve(lone, 1, RouteDirection::Any, |id| id == paul)
+            .is_empty());
     }
 
     #[test]

@@ -107,6 +107,9 @@ mod tests {
             .with_attribute("leader", "Smith");
         assert_eq!(spec.name, "Dpt.Smith");
         assert_eq!(spec.level.as_deref(), Some("Department"));
-        assert_eq!(spec.attributes.get("leader").map(String::as_str), Some("Smith"));
+        assert_eq!(
+            spec.attributes.get("leader").map(String::as_str),
+            Some("Smith")
+        );
     }
 }

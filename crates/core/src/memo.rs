@@ -1,0 +1,199 @@
+//! Shared memoization for the per-query-invariant lookups of the
+//! multiversion model.
+//!
+//! Two resolutions dominate presentation and aggregation cost and
+//! depend only on the schema *structure* (never on fact rows):
+//!
+//! * **mapping-closure routes** — where a member version's data lands
+//!   in a target structure version ([`crate::mapping::MappingGraph::resolve`]);
+//! * **roll-up paths** — a leaf's ancestors at a named level and
+//!   instant ([`crate::levels::ancestors_at_level`]).
+//!
+//! [`QueryMemo`] wraps one generation-keyed cache
+//! ([`mvolap_exec::GenCache`]) per lookup kind. Lookups carry
+//! [`Tmd::generation`]; any structural mutation (evolution operators,
+//! new versions/mappings) bumps the generation and thereby flushes both
+//! caches on their next access — entries can never leak across schema
+//! states. The memo is `Arc`-shareable across worker threads and across
+//! queries: hand one `Arc<QueryMemo>` to every `*_par` entry point of a
+//! serving process and routes computed by one query are reused by all.
+
+use std::sync::Arc;
+
+use mvolap_exec::{CacheStats, GenCache};
+use mvolap_temporal::Instant;
+
+use crate::ids::{DimensionId, MemberVersionId, StructureVersionId};
+use crate::mapping::MappingRoute;
+use crate::schema::Tmd;
+
+/// Cache key of a mapping-closure resolution: which member version's
+/// data, presented in which structure version of which dimension.
+pub type RouteKey = (DimensionId, MemberVersionId, StructureVersionId);
+
+/// Cache key of a roll-up resolution: leaf member version, target level
+/// name, and the hierarchy instant it is resolved at.
+pub type AncestorKey = (DimensionId, MemberVersionId, String, Instant);
+
+/// Hit/miss counters for both caches of a [`QueryMemo`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Mapping-closure route cache counters.
+    pub routes: CacheStats,
+    /// Roll-up ancestor cache counters.
+    pub ancestors: CacheStats,
+}
+
+/// Shared memo for mapping routes and roll-up paths, invalidated by the
+/// schema generation.
+#[derive(Debug, Default)]
+pub struct QueryMemo {
+    routes: GenCache<RouteKey, Vec<MappingRoute>>,
+    ancestors: GenCache<AncestorKey, Vec<MemberVersionId>>,
+}
+
+impl QueryMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryMemo {
+            routes: GenCache::new(),
+            ancestors: GenCache::new(),
+        }
+    }
+
+    /// An empty memo behind an `Arc`, ready to share across threads and
+    /// queries.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(QueryMemo::new())
+    }
+
+    /// The mapping routes for `key` under `tmd`'s current generation,
+    /// computing them with `make` on a miss.
+    pub fn routes<F>(&self, tmd: &Tmd, key: RouteKey, make: F) -> Arc<Vec<MappingRoute>>
+    where
+        F: FnOnce() -> Vec<MappingRoute>,
+    {
+        self.routes.get_or_insert_with(tmd.generation(), key, make)
+    }
+
+    /// The roll-up ancestors for `key` under `tmd`'s current
+    /// generation, computing them with `make` on a miss.
+    pub fn ancestors<F>(&self, tmd: &Tmd, key: AncestorKey, make: F) -> Arc<Vec<MemberVersionId>>
+    where
+        F: FnOnce() -> Vec<MemberVersionId>,
+    {
+        self.ancestors
+            .get_or_insert_with(tmd.generation(), key, make)
+    }
+
+    /// The roll-up ancestors for `key`, computing them with the
+    /// fallible `make` on a miss. Failures propagate and are **not**
+    /// cached — roll-up errors are time-dependent and must resurface on
+    /// every affected lookup.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `make` returns.
+    pub fn try_ancestors<F, E>(
+        &self,
+        tmd: &Tmd,
+        key: AncestorKey,
+        make: F,
+    ) -> std::result::Result<Arc<Vec<MemberVersionId>>, E>
+    where
+        F: FnOnce() -> std::result::Result<Vec<MemberVersionId>, E>,
+    {
+        if let Some(v) = self.ancestors.get(tmd.generation(), &key) {
+            return Ok(v);
+        }
+        let v = make()?;
+        Ok(self
+            .ancestors
+            .get_or_insert_with(tmd.generation(), key, || v))
+    }
+
+    /// Lifetime hit/miss counters of both caches.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            routes: self.routes.stats(),
+            ancestors: self.ancestors.stats(),
+        }
+    }
+
+    /// Cached entries (routes, ancestors) — diagnostics.
+    #[must_use]
+    pub fn len(&self) -> (usize, usize) {
+        (self.routes.len(), self.ancestors.len())
+    }
+
+    /// True when both caches are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty() && self.ancestors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::case_study;
+    use crate::evolution;
+    use mvolap_temporal::Interval;
+
+    #[test]
+    fn routes_cached_until_schema_mutates() {
+        let mut cs = case_study();
+        let memo = QueryMemo::new();
+        let key = (DimensionId(0), MemberVersionId(0), StructureVersionId(0));
+        let a = memo.routes(&cs.tmd, key, Vec::new);
+        let b = memo.routes(&cs.tmd, key, || panic!("cached"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.stats().routes, CacheStats { hits: 1, misses: 1 });
+
+        // An evolution operator bumps the generation → recompute.
+        evolution::create(
+            &mut cs.tmd,
+            cs.org,
+            "Dpt.Fresh",
+            Some("Department".into()),
+            mvolap_temporal::Instant::ym(2004, 1),
+            &[],
+        )
+        .unwrap();
+        let recomputed = std::cell::Cell::new(false);
+        let _ = memo.routes(&cs.tmd, key, || {
+            recomputed.set(true);
+            Vec::new()
+        });
+        assert!(recomputed.get(), "generation bump must flush the cache");
+    }
+
+    #[test]
+    fn plain_version_insert_also_invalidates() {
+        let mut cs = case_study();
+        let memo = QueryMemo::new();
+        let akey = (
+            DimensionId(0),
+            MemberVersionId(0),
+            "Division".to_string(),
+            Instant::ym(2001, 6),
+        );
+        memo.ancestors(&cs.tmd, akey.clone(), Vec::new);
+        cs.tmd
+            .add_version(
+                cs.org,
+                crate::member::MemberVersionSpec::named("X"),
+                Interval::since(Instant::ym(2004, 1)),
+            )
+            .unwrap();
+        let recomputed = std::cell::Cell::new(false);
+        memo.ancestors(&cs.tmd, akey, || {
+            recomputed.set(true);
+            Vec::new()
+        });
+        assert!(recomputed.get());
+    }
+}

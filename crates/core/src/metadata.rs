@@ -54,11 +54,7 @@ impl EvolutionLog {
     }
 
     /// Events touching a given member version, oldest first.
-    pub fn history_of(
-        &self,
-        dimension: DimensionId,
-        id: MemberVersionId,
-    ) -> Vec<&EvolutionEntry> {
+    pub fn history_of(&self, dimension: DimensionId, id: MemberVersionId) -> Vec<&EvolutionEntry> {
         self.entries
             .iter()
             .filter(|e| e.dimension == dimension && e.subjects.contains(&id))
@@ -105,7 +101,9 @@ mod tests {
         assert_eq!(h.len(), 2);
         assert_eq!(h[0].operator, "insert");
         assert_eq!(h[1].operator, "reclassify");
-        assert!(log.history_of(DimensionId(1), MemberVersionId(1)).is_empty());
+        assert!(log
+            .history_of(DimensionId(1), MemberVersionId(1))
+            .is_empty());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! version and reconstructs the rest from the consistent fact table.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use mvolap_exec::ExecContext;
 use mvolap_temporal::Instant;
 
 use crate::confidence::Confidence;
@@ -28,6 +30,7 @@ use crate::error::{CoreError, Result};
 use crate::fact::MeasureAccumulator;
 use crate::ids::{DimensionId, MemberVersionId};
 use crate::mapping::MappingRoute;
+use crate::memo::QueryMemo;
 use crate::schema::Tmd;
 use crate::structure_version::StructureVersion;
 use crate::tmp::TemporalMode;
@@ -102,10 +105,98 @@ impl CellAcc {
         }
     }
 
+    /// Merges another partial cell in (second-stage fold of the
+    /// morsel-parallel engine). Sound because `⊗cf` is a meet with
+    /// `Source` as identity and the accumulator merges exactly.
+    fn merge(&mut self, other: &CellAcc) {
+        self.acc.merge(&other.acc);
+        self.confidence = self.confidence.combine(other.confidence);
+        self.unknown |= other.unknown;
+    }
+
     fn finish(&self) -> MvCell {
         MvCell {
-            value: if self.unknown { None } else { self.acc.finish() },
+            value: if self.unknown {
+                None
+            } else {
+                self.acc.finish()
+            },
             confidence: self.confidence,
+        }
+    }
+}
+
+/// Per-worker partial state of a presentation fold: the grouped cells
+/// contributed by one set of morsels, in first-contribution order.
+struct PresentAcc {
+    index: HashMap<(Vec<MemberVersionId>, Instant), usize>,
+    keys: Vec<(Vec<MemberVersionId>, Instant)>,
+    cells: Vec<Vec<CellAcc>>,
+    unmapped: usize,
+}
+
+impl PresentAcc {
+    fn new() -> Self {
+        PresentAcc {
+            index: HashMap::new(),
+            keys: Vec::new(),
+            cells: Vec::new(),
+            unmapped: 0,
+        }
+    }
+
+    /// The cell row for `key`, creating it on first contribution.
+    fn cells_for(&mut self, key: (Vec<MemberVersionId>, Instant), tmd: &Tmd) -> &mut Vec<CellAcc> {
+        let idx = *self.index.entry(key.clone()).or_insert_with(|| {
+            self.keys.push(key);
+            self.cells.push(
+                tmd.measures()
+                    .iter()
+                    .map(|m| CellAcc::new(m.aggregator))
+                    .collect(),
+            );
+            self.keys.len() - 1
+        });
+        &mut self.cells[idx]
+    }
+
+    /// Merges a later partial in. Appending `other`'s new keys in their
+    /// own order keeps the global order equal to the sequential
+    /// first-contribution order, because partials are merged in morsel
+    /// order.
+    fn merge(&mut self, other: PresentAcc) {
+        self.unmapped += other.unmapped;
+        for (key, accs) in other.keys.into_iter().zip(other.cells) {
+            match self.index.get(&key) {
+                Some(&i) => {
+                    for (a, b) in self.cells[i].iter_mut().zip(&accs) {
+                        a.merge(b);
+                    }
+                }
+                None => {
+                    self.index.insert(key.clone(), self.keys.len());
+                    self.keys.push(key);
+                    self.cells.push(accs);
+                }
+            }
+        }
+    }
+
+    fn finish(self, mode: &TemporalMode) -> PresentedFacts {
+        let rows = self
+            .keys
+            .into_iter()
+            .zip(&self.cells)
+            .map(|((coords, time), accs)| MvRow {
+                coords,
+                time,
+                cells: accs.iter().map(CellAcc::finish).collect(),
+            })
+            .collect();
+        PresentedFacts {
+            mode: mode.clone(),
+            rows,
+            unmapped_rows: self.unmapped,
         }
     }
 }
@@ -122,6 +213,38 @@ pub fn present(
     tmd: &Tmd,
     structure_versions: &[StructureVersion],
     mode: &TemporalMode,
+) -> Result<PresentedFacts> {
+    // A fresh memo per call reproduces the historical behaviour of a
+    // local per-presentation route cache.
+    present_par(
+        tmd,
+        structure_versions,
+        mode,
+        &ExecContext::sequential(),
+        &QueryMemo::new(),
+    )
+}
+
+/// Morsel-parallel [`present`]: fact rows are folded in fixed-size
+/// morsels and the per-worker partials merged in morsel order, so the
+/// result is bit-identical for every `ctx.threads` (the sequential
+/// presentation is the `threads = 1` case of the same decomposition).
+///
+/// `memo` caches mapping-closure routes per `(dimension, member
+/// version, structure version)` keyed to [`Tmd::generation`]; share one
+/// [`QueryMemo`] across calls to reuse routes between modes and
+/// queries, evolution operators invalidate it automatically.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownStructureVersion`] when the mode references a
+/// version id outside `structure_versions`.
+pub fn present_par(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    mode: &TemporalMode,
+    ctx: &ExecContext,
+    memo: &QueryMemo,
 ) -> Result<PresentedFacts> {
     let n_dims = tmd.dimensions().len();
     let n_measures = tmd.measures().len();
@@ -142,135 +265,112 @@ pub fn present(
             }
         }
     }
+    let per_dim_sv = &per_dim_sv;
 
-    // Route cache: (dimension, source member version) resolves identically
-    // for every fact row, and fact tables repeat coordinates heavily.
-    let mut route_cache: HashMap<(usize, MemberVersionId), Vec<MappingRoute>> = HashMap::new();
+    // The fold walks row indices; the items slice only sets the length.
+    let row_markers = vec![(); facts.len()];
 
-    let mut index: HashMap<(Vec<MemberVersionId>, Instant), usize> = HashMap::new();
-    let mut keys: Vec<(Vec<MemberVersionId>, Instant)> = Vec::new();
-    let mut cells: Vec<Vec<CellAcc>> = Vec::new();
-    let mut unmapped = 0usize;
-
-    let new_cell_row = |tmd: &Tmd| -> Vec<CellAcc> {
-        tmd.measures()
-            .iter()
-            .map(|m| CellAcc::new(m.aggregator))
-            .collect()
-    };
-
-    'rows: for row in 0..facts.len() {
-        let t = facts.time(row);
-        // Resolve per-dimension routes for this fact. The index drives
-        // three parallel structures (fact coordinates, per-dim targets,
-        // the routes vector), so a range loop is the clearest form.
-        let mut routes: Vec<Vec<MappingRoute>> = Vec::with_capacity(n_dims);
-        #[allow(clippy::needless_range_loop)]
-        for d in 0..n_dims {
-            let c = facts.coord(row, d);
-            match per_dim_sv[d] {
-                None => {
-                    // Temporally consistent: facts were validated at
-                    // insert time to be valid at their own time.
-                    routes.push(vec![MappingRoute {
-                        target: c,
-                        per_measure: vec![
-                            crate::mapping::MeasureMapping::SOURCE_IDENTITY;
-                            n_measures
-                        ],
-                        hops: 0,
-                    }]);
-                }
-                Some(sv) => {
-                    let dim_id = DimensionId(d as u32);
-                    let rs = route_cache.entry((d, c)).or_insert_with(|| {
-                        // Routes must move monotonically through time
-                        // toward the target structure version: forward
-                        // edges for data older than it, backward edges
-                        // for newer data (see `RouteDirection`).
-                        let validity = tmd
-                            .dimension(dim_id)
-                            .and_then(|dim| dim.version(c))
-                            .expect("fact coordinates are validated on insert")
-                            .validity;
-                        let direction = if validity.end() < sv.interval.start() {
-                            crate::mapping::RouteDirection::Forward
-                        } else if sv.interval.end() < validity.start() {
-                            crate::mapping::RouteDirection::Backward
-                        } else {
-                            // Valid coordinates short-circuit in
-                            // `resolve`; partial overlap cannot occur
-                            // because structure versions refine every
-                            // validity interval.
-                            crate::mapping::RouteDirection::Any
-                        };
-                        tmd.mapping_graph(dim_id)
-                            .expect("dimension exists")
-                            .resolve(c, n_measures, direction, |id| sv.contains(dim_id, id))
-                    });
-                    if rs.is_empty() {
-                        unmapped += 1;
-                        continue 'rows;
+    let acc = ctx.parallel_fold(
+        &row_markers,
+        PresentAcc::new,
+        |state, row, &()| {
+            let t = facts.time(row);
+            // Resolve per-dimension routes for this fact. The index
+            // drives three parallel structures (fact coordinates,
+            // per-dim targets, the routes vector), so a range loop is
+            // the clearest form.
+            let mut routes: Vec<Arc<Vec<MappingRoute>>> = Vec::with_capacity(n_dims);
+            #[allow(clippy::needless_range_loop)]
+            for d in 0..n_dims {
+                let c = facts.coord(row, d);
+                match per_dim_sv[d] {
+                    None => {
+                        // Temporally consistent: facts were validated
+                        // at insert time to be valid at their own time.
+                        routes.push(Arc::new(vec![MappingRoute {
+                            target: c,
+                            per_measure: vec![
+                                crate::mapping::MeasureMapping::SOURCE_IDENTITY;
+                                n_measures
+                            ],
+                            hops: 0,
+                        }]));
                     }
-                    routes.push(rs.clone());
+                    Some(sv) => {
+                        let dim_id = DimensionId(d as u32);
+                        let rs = memo.routes(tmd, (dim_id, c, sv.id), || {
+                            // Routes must move monotonically through
+                            // time toward the target structure version:
+                            // forward edges for data older than it,
+                            // backward edges for newer data (see
+                            // `RouteDirection`).
+                            let validity = tmd
+                                .dimension(dim_id)
+                                .and_then(|dim| dim.version(c))
+                                .expect("fact coordinates are validated on insert")
+                                .validity;
+                            let direction = if validity.end() < sv.interval.start() {
+                                crate::mapping::RouteDirection::Forward
+                            } else if sv.interval.end() < validity.start() {
+                                crate::mapping::RouteDirection::Backward
+                            } else {
+                                // Valid coordinates short-circuit in
+                                // `resolve`; partial overlap cannot
+                                // occur because structure versions
+                                // refine every validity interval.
+                                crate::mapping::RouteDirection::Any
+                            };
+                            tmd.mapping_graph(dim_id)
+                                .expect("dimension exists")
+                                .resolve(c, n_measures, direction, |id| sv.contains(dim_id, id))
+                        });
+                        if rs.is_empty() {
+                            state.unmapped += 1;
+                            return;
+                        }
+                        routes.push(rs);
+                    }
                 }
             }
-        }
 
-        // Cartesian product of per-dimension routes (splits fan out).
-        let mut combo = vec![0usize; n_dims];
-        loop {
-            let coords: Vec<MemberVersionId> =
-                (0..n_dims).map(|d| routes[d][combo[d]].target).collect();
-            let key = (coords, t);
-            let idx = *index.entry(key.clone()).or_insert_with(|| {
-                keys.push(key);
-                cells.push(new_cell_row(tmd));
-                keys.len() - 1
-            });
-            for (m, cell) in cells[idx].iter_mut().enumerate() {
-                // Compose this measure's mapping across dimensions and
-                // apply it to the source value.
-                let mut mapping = crate::mapping::MeasureMapping::SOURCE_IDENTITY;
-                for (d, r) in routes.iter().enumerate() {
-                    mapping = mapping.compose(r[combo[d]].per_measure[m]);
-                }
-                let value = mapping.func.apply(facts.value(row, m));
-                cell.update(value, mapping.confidence);
-            }
-            // Advance the mixed-radix counter.
-            let mut d = 0;
+            // Cartesian product of per-dimension routes (splits fan
+            // out).
+            let mut combo = vec![0usize; n_dims];
             loop {
+                let coords: Vec<MemberVersionId> =
+                    (0..n_dims).map(|d| routes[d][combo[d]].target).collect();
+                let cells = state.cells_for((coords, t), tmd);
+                for (m, cell) in cells.iter_mut().enumerate() {
+                    // Compose this measure's mapping across dimensions
+                    // and apply it to the source value.
+                    let mut mapping = crate::mapping::MeasureMapping::SOURCE_IDENTITY;
+                    for (d, r) in routes.iter().enumerate() {
+                        mapping = mapping.compose(r[combo[d]].per_measure[m]);
+                    }
+                    let value = mapping.func.apply(facts.value(row, m));
+                    cell.update(value, mapping.confidence);
+                }
+                // Advance the mixed-radix counter.
+                let mut d = 0;
+                loop {
+                    if d == n_dims {
+                        break;
+                    }
+                    combo[d] += 1;
+                    if combo[d] < routes[d].len() {
+                        break;
+                    }
+                    combo[d] = 0;
+                    d += 1;
+                }
                 if d == n_dims {
                     break;
                 }
-                combo[d] += 1;
-                if combo[d] < routes[d].len() {
-                    break;
-                }
-                combo[d] = 0;
-                d += 1;
             }
-            if d == n_dims {
-                break;
-            }
-        }
-    }
-
-    let rows = keys
-        .into_iter()
-        .zip(&cells)
-        .map(|((coords, time), accs)| MvRow {
-            coords,
-            time,
-            cells: accs.iter().map(CellAcc::finish).collect(),
-        })
-        .collect();
-    Ok(PresentedFacts {
-        mode: mode.clone(),
-        rows,
-        unmapped_rows: unmapped,
-    })
+        },
+        |into, from| into.merge(from),
+    );
+    Ok(acc.finish(mode))
 }
 
 /// The fully materialised MultiVersion Fact Table: every temporal mode's
@@ -289,11 +389,25 @@ impl MultiVersionFactTable {
     ///
     /// Propagates presentation errors.
     pub fn infer(tmd: &Tmd) -> Result<Self> {
+        Self::infer_par(tmd, &ExecContext::sequential(), &QueryMemo::new())
+    }
+
+    /// Morsel-parallel [`MultiVersionFactTable::infer`]: each mode's
+    /// presentation runs through [`present_par`], sharing `memo`'s
+    /// route cache across modes. Bit-identical to [`infer`] for every
+    /// thread count.
+    ///
+    /// [`infer`]: MultiVersionFactTable::infer
+    ///
+    /// # Errors
+    ///
+    /// Propagates presentation errors.
+    pub fn infer_par(tmd: &Tmd, ctx: &ExecContext, memo: &QueryMemo) -> Result<Self> {
         let svs = tmd.structure_versions();
         let modes = crate::tmp::all_modes(&svs);
         let mut presentations = Vec::with_capacity(modes.len());
         for mode in &modes {
-            presentations.push(present(tmd, &svs, mode)?);
+            presentations.push(present_par(tmd, &svs, mode, ctx, memo)?);
         }
         Ok(MultiVersionFactTable { presentations })
     }
@@ -352,13 +466,23 @@ impl DeltaMvft {
     ///
     /// Propagates presentation errors.
     pub fn infer(tmd: &Tmd) -> Result<Self> {
+        Self::infer_par(tmd, &ExecContext::sequential(), &QueryMemo::new())
+    }
+
+    /// Morsel-parallel [`DeltaMvft::infer`]; see
+    /// [`MultiVersionFactTable::infer_par`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates presentation errors.
+    pub fn infer_par(tmd: &Tmd, ctx: &ExecContext, memo: &QueryMemo) -> Result<Self> {
         let svs = tmd.structure_versions();
         let mut modes = Vec::with_capacity(svs.len());
         let mut deltas = Vec::with_capacity(svs.len());
         let mut unmapped = Vec::with_capacity(svs.len());
         for sv in &svs {
             let mode = TemporalMode::Version(sv.id);
-            let p = present(tmd, &svs, &mode)?;
+            let p = present_par(tmd, &svs, &mode, ctx, memo)?;
             let mapped: Vec<MvRow> = p
                 .rows
                 .into_iter()
@@ -411,8 +535,7 @@ impl DeltaMvft {
         let mut cells: Vec<Vec<CellAcc>> = Vec::new();
         for row in 0..facts.len() {
             let coords = facts.row_coords(row);
-            let all_valid = (0..n_dims)
-                .all(|d| sv.contains(DimensionId(d as u32), coords[d]));
+            let all_valid = (0..n_dims).all(|d| sv.contains(DimensionId(d as u32), coords[d]));
             if !all_valid {
                 continue;
             }
@@ -495,9 +618,9 @@ mod tests {
         year: i32,
     ) -> Option<&'a MvRow> {
         let dim = cs.tmd.dimension(cs.org).unwrap();
-        p.rows.iter().find(|r| {
-            dim.version(r.coords[0]).unwrap().name == name && r.time.year() == year
-        })
+        p.rows
+            .iter()
+            .find(|r| dim.version(r.coords[0]).unwrap().name == name && r.time.year() == year)
     }
 
     #[test]
@@ -565,7 +688,10 @@ mod tests {
         let cs = case_study();
         let mv = MultiVersionFactTable::infer(&cs.tmd).unwrap();
         let dim = cs.tmd.dimension(cs.org).unwrap();
-        let jones = dim.version_named_at("Dpt.Jones", Instant::ym(2002, 6)).unwrap().id;
+        let jones = dim
+            .version_named_at("Dpt.Jones", Instant::ym(2002, 6))
+            .unwrap()
+            .id;
         let t = Instant::ym(2003, 6);
         let cells = mv
             .lookup(&[jones], t, &TemporalMode::Version(StructureVersionId(1)))
@@ -581,8 +707,12 @@ mod tests {
     fn unknown_version_id_is_error() {
         let cs = case_study();
         let svs = cs.tmd.structure_versions();
-        let err =
-            present(&cs.tmd, &svs, &TemporalMode::Version(StructureVersionId(99))).unwrap_err();
+        let err = present(
+            &cs.tmd,
+            &svs,
+            &TemporalMode::Version(StructureVersionId(99)),
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::UnknownStructureVersion(99)));
     }
 
@@ -621,8 +751,8 @@ mod tests {
         let full = MultiVersionFactTable::infer(&cs.tmd).unwrap();
         let delta = DeltaMvft::infer(&cs.tmd).unwrap();
         // Full duplicates everything; delta only the mapped rows.
-        let full_version_rows = full.total_rows()
-            - full.for_mode(&TemporalMode::Consistent).unwrap().rows.len();
+        let full_version_rows =
+            full.total_rows() - full.for_mode(&TemporalMode::Consistent).unwrap().rows.len();
         assert!(delta.stored_rows() < full_version_rows);
     }
 

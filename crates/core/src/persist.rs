@@ -179,15 +179,18 @@ fn func_dec(s: &str, line: usize) -> Result<MeasureMapping, PersistError> {
         MappingFunction::Unknown
     } else if let Some(k) = f.strip_prefix('s') {
         MappingFunction::Scale(
-            k.parse().map_err(|_| bad(line, format!("bad scale `{k}`")))?,
+            k.parse()
+                .map_err(|_| bad(line, format!("bad scale `{k}`")))?,
         )
     } else if let Some(ab) = f.strip_prefix('a') {
         let (a, b) = ab
             .split_once(':')
             .ok_or_else(|| bad(line, format!("bad affine `{ab}`")))?;
         MappingFunction::Affine {
-            a: a.parse().map_err(|_| bad(line, format!("bad affine a `{a}`")))?,
-            b: b.parse().map_err(|_| bad(line, format!("bad affine b `{b}`")))?,
+            a: a.parse()
+                .map_err(|_| bad(line, format!("bad affine a `{a}`")))?,
+            b: b.parse()
+                .map_err(|_| bad(line, format!("bad affine b `{b}`")))?,
         }
     } else {
         return Err(bad(line, format!("bad mapping function `{f}`")));
@@ -217,7 +220,10 @@ pub fn write_tmd(tmd: &Tmd, out: &mut impl Write) -> Result<(), PersistError> {
                 v.id.0,
                 instant_enc(v.validity.start()),
                 instant_enc(v.validity.end()),
-                v.level.as_deref().map(field).unwrap_or_else(|| "-".to_owned()),
+                v.level
+                    .as_deref()
+                    .map(field)
+                    .unwrap_or_else(|| "-".to_owned()),
                 field(&v.name)
             );
             for (k, val) in &v.attributes {
@@ -235,7 +241,9 @@ pub fn write_tmd(tmd: &Tmd, out: &mut impl Write) -> Result<(), PersistError> {
                 instant_enc(r.validity.end())
             );
         }
-        let graph = tmd.mapping_graph(DimensionId(di as u32)).expect("dimension exists");
+        let graph = tmd
+            .mapping_graph(DimensionId(di as u32))
+            .expect("dimension exists");
         for rel in graph.relationships() {
             let fwd: Vec<String> = rel.forward.iter().map(func_enc).collect();
             let bwd: Vec<String> = rel.backward.iter().map(func_enc).collect();
@@ -251,8 +259,16 @@ pub fn write_tmd(tmd: &Tmd, out: &mut impl Write) -> Result<(), PersistError> {
     }
     let facts = tmd.facts();
     for row in 0..facts.len() {
-        let coords: Vec<String> = facts.row_coords(row).iter().map(|c| c.0.to_string()).collect();
-        let values: Vec<String> = facts.row_values(row).iter().map(|v| format!("{v}")).collect();
+        let coords: Vec<String> = facts
+            .row_coords(row)
+            .iter()
+            .map(|c| c.0.to_string())
+            .collect();
+        let values: Vec<String> = facts
+            .row_values(row)
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
         let _ = writeln!(
             buf,
             "fact {} {} | {}",
@@ -337,7 +353,9 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
                 tmd = Some(Tmd::new(unfield(parts[0], n)?, gran));
             }
             "measure" => {
-                let t = tmd.as_mut().ok_or_else(|| bad(n, "measure before schema"))?;
+                let t = tmd
+                    .as_mut()
+                    .ok_or_else(|| bad(n, "measure before schema"))?;
                 if parts.len() != 2 {
                     return Err(bad(n, "measure needs <name> <aggregator>"));
                 }
@@ -349,19 +367,25 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
                 })?;
             }
             "dimension" => {
-                let t = tmd.as_mut().ok_or_else(|| bad(n, "dimension before schema"))?;
+                let t = tmd
+                    .as_mut()
+                    .ok_or_else(|| bad(n, "dimension before schema"))?;
                 if parts.len() != 1 {
                     return Err(bad(n, "dimension needs <name>"));
                 }
                 t.add_dimension(TemporalDimension::new(unfield(parts[0], n)?))?;
             }
             "version" => {
-                let t = tmd.as_mut().ok_or_else(|| bad(n, "version before schema"))?;
+                let t = tmd
+                    .as_mut()
+                    .ok_or_else(|| bad(n, "version before schema"))?;
                 if parts.len() < 6 {
                     return Err(bad(n, "version needs 6+ fields"));
                 }
                 let dim = DimensionId(
-                    parts[0].parse().map_err(|_| bad(n, "bad dimension index"))?,
+                    parts[0]
+                        .parse()
+                        .map_err(|_| bad(n, "bad dimension index"))?,
                 );
                 let id: u32 = parts[1].parse().map_err(|_| bad(n, "bad version id"))?;
                 let start = instant_dec(parts[2], n)?;
@@ -379,8 +403,8 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
                         .ok_or_else(|| bad(n, format!("bad attribute `{kv}`")))?;
                     attributes.insert(unfield(k, n)?, unfield(v, n)?);
                 }
-                let validity = Interval::new(start, end)
-                    .map_err(|e| bad(n, format!("bad validity: {e}")))?;
+                let validity =
+                    Interval::new(start, end).map_err(|e| bad(n, format!("bad validity: {e}")))?;
                 let assigned = t.add_version(
                     dim,
                     MemberVersionSpec {
@@ -393,7 +417,10 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
                 if assigned.0 != id {
                     return Err(bad(
                         n,
-                        format!("version ids must be dense and ordered: expected {id}, got {}", assigned.0),
+                        format!(
+                            "version ids must be dense and ordered: expected {id}, got {}",
+                            assigned.0
+                        ),
                     ));
                 }
             }
@@ -405,12 +432,8 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
                 let end = instant_dec(parts[4], n)?;
                 edges.push(PendingEdge {
                     dim: DimensionId(parts[0].parse().map_err(|_| bad(n, "bad dimension"))?),
-                    child: MemberVersionId(
-                        parts[1].parse().map_err(|_| bad(n, "bad child id"))?,
-                    ),
-                    parent: MemberVersionId(
-                        parts[2].parse().map_err(|_| bad(n, "bad parent id"))?,
-                    ),
+                    child: MemberVersionId(parts[1].parse().map_err(|_| bad(n, "bad child id"))?),
+                    parent: MemberVersionId(parts[2].parse().map_err(|_| bad(n, "bad parent id"))?),
                     validity: Interval::new(start, end)
                         .map_err(|e| bad(n, format!("bad validity: {e}")))?,
                     line: n,
@@ -425,8 +448,7 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
                     return Err(bad(n, "mapping needs <dim> <from> <to> fwd… | bwd…"));
                 }
                 let dim = DimensionId(parts[0].parse().map_err(|_| bad(n, "bad dimension"))?);
-                let from =
-                    MemberVersionId(parts[1].parse().map_err(|_| bad(n, "bad from id"))?);
+                let from = MemberVersionId(parts[1].parse().map_err(|_| bad(n, "bad from id"))?);
                 let to = MemberVersionId(parts[2].parse().map_err(|_| bad(n, "bad to id"))?);
                 let forward = parts[3..pipe]
                     .iter()
@@ -483,9 +505,7 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 log.push(EvolutionEntry {
-                    dimension: DimensionId(
-                        parts[0].parse().map_err(|_| bad(n, "bad dimension"))?,
-                    ),
+                    dimension: DimensionId(parts[0].parse().map_err(|_| bad(n, "bad dimension"))?),
                     at: instant_dec(parts[1], n)?,
                     operator: static_op(parts[2]),
                     subjects,
@@ -552,7 +572,10 @@ mod tests {
         // Structure versions re-infer identically.
         assert_eq!(back.structure_versions(), cs.tmd.structure_versions());
         // Dimension content matches.
-        let (a, b) = (cs.tmd.dimension(cs.org).unwrap(), back.dimension(cs.org).unwrap());
+        let (a, b) = (
+            cs.tmd.dimension(cs.org).unwrap(),
+            back.dimension(cs.org).unwrap(),
+        );
         assert_eq!(a.versions(), b.versions());
         assert_eq!(a.relationships().len(), b.relationships().len());
     }
@@ -587,14 +610,16 @@ mod tests {
     #[test]
     fn hostile_names_roundtrip() {
         let mut tmd = Tmd::new("name with spaces\nand=weird\\chars", Granularity::Month);
-        let dim = tmd.add_dimension(TemporalDimension::new("dim name")).unwrap();
+        let dim = tmd
+            .add_dimension(TemporalDimension::new("dim name"))
+            .unwrap();
         tmd.add_measure(MeasureDef::summed("m one")).unwrap();
         let all = Interval::since(Instant::ym(2001, 1));
         tmd.add_version(
             dim,
             MemberVersionSpec::named("member = tricky \\N")
                 .at_level("level one")
-                .with_attribute("key=","va l"),
+                .with_attribute("key=", "va l"),
             all,
         )
         .unwrap();
@@ -629,7 +654,9 @@ mod tests {
                     fact 5 0 | 1.0\n";
         assert!(matches!(
             read_tmd(&mut text.as_bytes()),
-            Err(PersistError::Core(crate::CoreError::CoordinateNotLeaf { .. }))
+            Err(PersistError::Core(
+                crate::CoreError::CoordinateNotLeaf { .. }
+            ))
         ));
     }
 

@@ -31,6 +31,13 @@ pub struct Tmd {
     mappings: Vec<MappingGraph>,
     facts: FactTable,
     log: EvolutionLog,
+    /// Structural-mutation counter: bumped by every schema change that
+    /// can invalidate derived lookups (new versions, relationships,
+    /// mappings, dimensions, measures — and explicitly by the evolution
+    /// operators). Fact appends do *not* bump it: mapping routes and
+    /// roll-up paths never depend on fact rows. [`crate::QueryMemo`]
+    /// keys its caches on this value.
+    generation: u64,
 }
 
 impl Tmd {
@@ -44,7 +51,23 @@ impl Tmd {
             mappings: Vec::new(),
             facts: FactTable::new(0, 0),
             log: EvolutionLog::new(),
+            generation: 0,
         }
+    }
+
+    /// The current structural generation. Any change to dimensions,
+    /// member versions, relationships, mappings or measures moves it;
+    /// memo caches keyed on it ([`crate::QueryMemo`]) are thereby
+    /// invalidated atomically.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Explicitly advances the structural generation, invalidating
+    /// every generation-keyed cache. The evolution operators call this
+    /// on completion; callers holding external derived state may too.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     /// Schema name.
@@ -74,6 +97,7 @@ impl Tmd {
         self.dimensions.push(dimension);
         self.mappings.push(MappingGraph::new());
         self.facts = FactTable::new(self.dimensions.len(), self.measures.len());
+        self.bump_generation();
         Ok(id)
     }
 
@@ -97,6 +121,7 @@ impl Tmd {
         let id = MeasureId(self.measures.len() as u16);
         self.measures.push(measure);
         self.facts = FactTable::new(self.dimensions.len(), self.measures.len());
+        self.bump_generation();
         Ok(id)
     }
 
@@ -117,6 +142,9 @@ impl Tmd {
     ///
     /// [`CoreError::UnknownDimension`].
     pub(crate) fn dimension_mut(&mut self, id: DimensionId) -> Result<&mut TemporalDimension> {
+        // Handing out mutable access means the dimension may change
+        // structurally; conservatively advance the generation.
+        self.bump_generation();
         self.dimensions
             .get_mut(id.index())
             .ok_or(CoreError::UnknownDimension(id))
@@ -263,7 +291,9 @@ impl Tmd {
                 return Err(CoreError::MappingEndpointNotLeaf(endpoint));
             }
         }
-        self.mappings[dim.index()].add(rel)
+        self.mappings[dim.index()].add(rel)?;
+        self.bump_generation();
+        Ok(())
     }
 
     /// Infers the structure versions of the schema (Definition 9).
@@ -297,7 +327,8 @@ impl Tmd {
         parent: MemberVersionId,
         validity: Interval,
     ) -> Result<()> {
-        self.dimension_mut(dim)?.add_relationship(child, parent, validity)
+        self.dimension_mut(dim)?
+            .add_relationship(child, parent, validity)
     }
 }
 
@@ -312,8 +343,10 @@ mod tests {
         let mut d = TemporalDimension::new("Org");
         let all = Interval::since(Instant::ym(2001, 1));
         let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), all);
-        let jones =
-            d.add_version(MemberVersionSpec::named("Dpt.Jones").at_level("Department"), all);
+        let jones = d.add_version(
+            MemberVersionSpec::named("Dpt.Jones").at_level("Department"),
+            all,
+        );
         d.add_relationship(jones, sales, all).unwrap();
         let dim = tmd.add_dimension(d).unwrap();
         tmd.add_measure(MeasureDef::summed("Amount")).unwrap();
@@ -324,8 +357,18 @@ mod tests {
     fn fact_validation_leaf_and_validity() {
         let (mut tmd, dim) = base_schema();
         let t = Instant::ym(2001, 6);
-        let jones = tmd.dimension(dim).unwrap().version_named_at("Dpt.Jones", t).unwrap().id;
-        let sales = tmd.dimension(dim).unwrap().version_named_at("Sales", t).unwrap().id;
+        let jones = tmd
+            .dimension(dim)
+            .unwrap()
+            .version_named_at("Dpt.Jones", t)
+            .unwrap()
+            .id;
+        let sales = tmd
+            .dimension(dim)
+            .unwrap()
+            .version_named_at("Sales", t)
+            .unwrap()
+            .id;
         tmd.add_fact(&[jones], t, &[100.0]).unwrap();
         assert_eq!(tmd.facts().len(), 1);
         // Non-leaf coordinate rejected.
@@ -348,7 +391,8 @@ mod tests {
     #[test]
     fn fact_by_names() {
         let (mut tmd, _) = base_schema();
-        tmd.add_fact_by_names(&["Dpt.Jones"], Instant::ym(2001, 6), &[42.0]).unwrap();
+        tmd.add_fact_by_names(&["Dpt.Jones"], Instant::ym(2001, 6), &[42.0])
+            .unwrap();
         assert_eq!(tmd.facts().len(), 1);
         assert!(tmd
             .add_fact_by_names(&["Dpt.Ghost"], Instant::ym(2001, 6), &[1.0])
@@ -358,7 +402,8 @@ mod tests {
     #[test]
     fn schema_frozen_after_facts() {
         let (mut tmd, _) = base_schema();
-        tmd.add_fact_by_names(&["Dpt.Jones"], Instant::ym(2001, 6), &[1.0]).unwrap();
+        tmd.add_fact_by_names(&["Dpt.Jones"], Instant::ym(2001, 6), &[1.0])
+            .unwrap();
         assert!(matches!(
             tmd.add_dimension(TemporalDimension::new("X")),
             Err(CoreError::InvalidEvolution(_))
@@ -373,8 +418,18 @@ mod tests {
     fn mapping_validation() {
         let (mut tmd, dim) = base_schema();
         let t = Instant::ym(2001, 6);
-        let jones = tmd.dimension(dim).unwrap().version_named_at("Dpt.Jones", t).unwrap().id;
-        let sales = tmd.dimension(dim).unwrap().version_named_at("Sales", t).unwrap().id;
+        let jones = tmd
+            .dimension(dim)
+            .unwrap()
+            .version_named_at("Dpt.Jones", t)
+            .unwrap()
+            .id;
+        let sales = tmd
+            .dimension(dim)
+            .unwrap()
+            .version_named_at("Sales", t)
+            .unwrap()
+            .id;
         // Add a second leaf to map to.
         let bill = tmd
             .add_version(
@@ -420,7 +475,12 @@ mod tests {
     fn measure_frozen_after_mappings() {
         let (mut tmd, dim) = base_schema();
         let t = Instant::ym(2001, 6);
-        let jones = tmd.dimension(dim).unwrap().version_named_at("Dpt.Jones", t).unwrap().id;
+        let jones = tmd
+            .dimension(dim)
+            .unwrap()
+            .version_named_at("Dpt.Jones", t)
+            .unwrap()
+            .id;
         let bill = tmd
             .add_version(
                 dim,
@@ -428,7 +488,8 @@ mod tests {
                 Interval::since(Instant::ym(2003, 1)),
             )
             .unwrap();
-        tmd.add_mapping(dim, MappingRelationship::equivalence(jones, bill, 1)).unwrap();
+        tmd.add_mapping(dim, MappingRelationship::equivalence(jones, bill, 1))
+            .unwrap();
         assert!(matches!(
             tmd.add_measure(MeasureDef::summed("m2")),
             Err(CoreError::InvalidEvolution(_))

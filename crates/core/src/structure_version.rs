@@ -122,16 +122,26 @@ mod tests {
     fn case_org() -> TemporalDimension {
         let mut d = TemporalDimension::new("Org");
         let since01 = Interval::since(Instant::ym(2001, 1));
-        let sales = d.add_version(MemberVersionSpec::named("Sales").at_level("Division"), since01);
-        let rnd = d.add_version(MemberVersionSpec::named("R&D").at_level("Division"), since01);
+        let sales = d.add_version(
+            MemberVersionSpec::named("Sales").at_level("Division"),
+            since01,
+        );
+        let rnd = d.add_version(
+            MemberVersionSpec::named("R&D").at_level("Division"),
+            since01,
+        );
         let jones = d.add_version(
             MemberVersionSpec::named("Dpt.Jones").at_level("Department"),
             Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
         );
-        let smith =
-            d.add_version(MemberVersionSpec::named("Dpt.Smith").at_level("Department"), since01);
-        let brian =
-            d.add_version(MemberVersionSpec::named("Dpt.Brian").at_level("Department"), since01);
+        let smith = d.add_version(
+            MemberVersionSpec::named("Dpt.Smith").at_level("Department"),
+            since01,
+        );
+        let brian = d.add_version(
+            MemberVersionSpec::named("Dpt.Brian").at_level("Department"),
+            since01,
+        );
         let bill = d.add_version(
             MemberVersionSpec::named("Dpt.Bill").at_level("Department"),
             Interval::since(Instant::ym(2003, 1)),
@@ -140,10 +150,18 @@ mod tests {
             MemberVersionSpec::named("Dpt.Paul").at_level("Department"),
             Interval::since(Instant::ym(2003, 1)),
         );
-        d.add_relationship(jones, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)))
-            .unwrap();
-        d.add_relationship(smith, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2001, 12)))
-            .unwrap();
+        d.add_relationship(
+            jones,
+            sales,
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+        )
+        .unwrap();
+        d.add_relationship(
+            smith,
+            sales,
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2001, 12)),
+        )
+        .unwrap();
         d.add_relationship(smith, rnd, Interval::since(Instant::ym(2002, 1)))
             .unwrap();
         d.add_relationship(brian, rnd, since01).unwrap();
@@ -171,8 +189,14 @@ mod tests {
     #[test]
     fn membership_per_version() {
         let d = case_org();
-        let jones = d.version_named_at("Dpt.Jones", Instant::ym(2001, 6)).unwrap().id;
-        let bill = d.version_named_at("Dpt.Bill", Instant::ym(2003, 6)).unwrap().id;
+        let jones = d
+            .version_named_at("Dpt.Jones", Instant::ym(2001, 6))
+            .unwrap()
+            .id;
+        let bill = d
+            .version_named_at("Dpt.Bill", Instant::ym(2003, 6))
+            .unwrap()
+            .id;
         let svs = infer_structure_versions(std::slice::from_ref(&d));
         let dim = DimensionId(0);
         assert!(svs[0].contains(dim, jones));
@@ -207,8 +231,10 @@ mod tests {
         // Paper Example 7 scopes to the Jones split alone: exactly two
         // structure versions.
         let mut d = TemporalDimension::new("Org");
-        let sales =
-            d.add_version(MemberVersionSpec::named("Sales"), Interval::since(Instant::ym(2001, 1)));
+        let sales = d.add_version(
+            MemberVersionSpec::named("Sales"),
+            Interval::since(Instant::ym(2001, 1)),
+        );
         let jones = d.add_version(
             MemberVersionSpec::named("Dpt.Jones"),
             Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
@@ -221,8 +247,12 @@ mod tests {
             MemberVersionSpec::named("Dpt.Paul"),
             Interval::since(Instant::ym(2003, 1)),
         );
-        d.add_relationship(jones, sales, Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)))
-            .unwrap();
+        d.add_relationship(
+            jones,
+            sales,
+            Interval::of(Instant::ym(2001, 1), Instant::ym(2002, 12)),
+        )
+        .unwrap();
         d.add_relationship(bill, sales, Interval::since(Instant::ym(2003, 1)))
             .unwrap();
         d.add_relationship(paul, sales, Interval::since(Instant::ym(2003, 1)))

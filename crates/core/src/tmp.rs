@@ -29,9 +29,7 @@ impl TemporalMode {
         match self {
             TemporalMode::Consistent => None,
             TemporalMode::Version(v) => Some(*v),
-            TemporalMode::Mixed(pairs) => {
-                pairs.iter().find(|(d, _)| *d == dim).map(|(_, v)| *v)
-            }
+            TemporalMode::Mixed(pairs) => pairs.iter().find(|(d, _)| *d == dim).map(|(_, v)| *v),
         }
     }
 
@@ -63,7 +61,11 @@ impl std::fmt::Display for TemporalMode {
 pub fn all_modes(structure_versions: &[StructureVersion]) -> Vec<TemporalMode> {
     let mut out = Vec::with_capacity(structure_versions.len() + 1);
     out.push(TemporalMode::Consistent);
-    out.extend(structure_versions.iter().map(|v| TemporalMode::Version(v.id)));
+    out.extend(
+        structure_versions
+            .iter()
+            .map(|v| TemporalMode::Version(v.id)),
+    );
     out
 }
 

@@ -1,169 +1,170 @@
-//! Property-based tests on the core model's data structures:
+//! Randomized property tests on the core model's data structures:
 //! dimension graph invariants, mapping-function algebra, confidence
 //! lattice laws, and structure-version inference on random dimensions.
+//! Driven by the in-repo deterministic generator (`mvolap_prng::check`
+//! replaces the external `proptest` crate, which the offline build
+//! cannot fetch).
 
 use mvolap_core::{
     infer_structure_versions, Confidence, MappingFunction, MemberVersionSpec, TemporalDimension,
 };
+use mvolap_prng::{check, Rng};
 use mvolap_temporal::{Instant, Interval};
-use proptest::prelude::*;
 
-fn confidence_strategy() -> impl Strategy<Value = Confidence> {
-    prop::sample::select(Confidence::ALL.to_vec())
+const CASES: u64 = 128;
+
+fn any_confidence(rng: &mut Rng) -> Confidence {
+    *rng.choose(&Confidence::ALL).expect("nonempty")
 }
 
-fn function_strategy() -> impl Strategy<Value = MappingFunction> {
-    prop_oneof![
-        Just(MappingFunction::Identity),
-        Just(MappingFunction::Unknown),
-        (-3.0f64..3.0).prop_map(MappingFunction::Scale),
-        ((-3.0f64..3.0), (-10.0f64..10.0))
-            .prop_map(|(a, b)| MappingFunction::Affine { a, b }),
-    ]
+fn any_function(rng: &mut Rng) -> MappingFunction {
+    match rng.usize_below(4) {
+        0 => MappingFunction::Identity,
+        1 => MappingFunction::Unknown,
+        2 => MappingFunction::Scale(rng.f64_in(-3.0, 3.0)),
+        _ => MappingFunction::Affine {
+            a: rng.f64_in(-3.0, 3.0),
+            b: rng.f64_in(-10.0, 10.0),
+        },
+    }
 }
 
 /// A random small dimension: members with random validities, and a
 /// random forest of valid roll-up edges (built through the validated
 /// API, so construction itself re-checks the invariants).
-fn dimension_strategy() -> impl Strategy<Value = TemporalDimension> {
-    let member = (0i64..40, 1i64..40, prop::bool::ANY);
-    prop::collection::vec(member, 1..12).prop_map(|specs| {
-        let mut d = TemporalDimension::new("D");
-        let mut ids = Vec::new();
-        for (i, (start, len, open)) in specs.iter().enumerate() {
-            let s = Instant::at(*start);
-            let validity = if *open {
-                Interval::since(s)
-            } else {
-                Interval::of(s, Instant::at(start + len))
-            };
-            ids.push(d.add_version(MemberVersionSpec::named(format!("m{i}")), validity));
+fn any_dimension(rng: &mut Rng) -> TemporalDimension {
+    let mut d = TemporalDimension::new("D");
+    let mut ids = Vec::new();
+    for i in 0..rng.usize_in(1, 12) {
+        let start = rng.i64_in(0, 40);
+        let len = rng.i64_in(1, 40);
+        let s = Instant::at(start);
+        let validity = if rng.bool() {
+            Interval::since(s)
+        } else {
+            Interval::of(s, Instant::at(start + len))
+        };
+        ids.push(d.add_version(MemberVersionSpec::named(format!("m{i}")), validity));
+    }
+    // Wire a forest: each member may point at an earlier-id member
+    // (guaranteeing acyclicity) over the intersection of validities.
+    for (i, &child) in ids.iter().enumerate().skip(1) {
+        let parent = ids[i / 2];
+        let cv = d.version(child).expect("exists").validity;
+        let pv = d.version(parent).expect("exists").validity;
+        if let Some(edge) = cv.intersect(pv) {
+            d.add_relationship(child, parent, edge)
+                .expect("acyclic by construction");
         }
-        // Wire a forest: each member may point at an earlier-id member
-        // (guaranteeing acyclicity) over the intersection of validities.
-        for (i, &child) in ids.iter().enumerate().skip(1) {
-            let parent = ids[i / 2];
-            let cv = d.version(child).expect("exists").validity;
-            let pv = d.version(parent).expect("exists").validity;
-            if let Some(edge) = cv.intersect(pv) {
-                d.add_relationship(child, parent, edge).expect("acyclic by construction");
-            }
-        }
-        d
-    })
+    }
+    d
 }
 
-proptest! {
-    /// ⊗cf is a commutative, associative, idempotent meet with identity
-    /// `sd` and absorbing element `uk` — a bounded semilattice.
-    #[test]
-    fn confidence_is_a_meet_semilattice(
-        a in confidence_strategy(),
-        b in confidence_strategy(),
-        c in confidence_strategy(),
-    ) {
-        prop_assert_eq!(a.combine(b), b.combine(a));
-        prop_assert_eq!(a.combine(b).combine(c), a.combine(b.combine(c)));
-        prop_assert_eq!(a.combine(a), a);
-        prop_assert_eq!(a.combine(Confidence::Source), a);
-        prop_assert_eq!(a.combine(Confidence::Unknown), Confidence::Unknown);
+/// ⊗cf is a commutative, associative, idempotent meet with identity
+/// `sd` and absorbing element `uk` — a bounded semilattice.
+#[test]
+fn confidence_is_a_meet_semilattice() {
+    check(CASES, 0xc001, |rng| {
+        let (a, b, c) = (
+            any_confidence(rng),
+            any_confidence(rng),
+            any_confidence(rng),
+        );
+        assert_eq!(a.combine(b), b.combine(a));
+        assert_eq!(a.combine(b).combine(c), a.combine(b.combine(c)));
+        assert_eq!(a.combine(a), a);
+        assert_eq!(a.combine(Confidence::Source), a);
+        assert_eq!(a.combine(Confidence::Unknown), Confidence::Unknown);
         // Combining never increases reliability.
-        prop_assert!(a.combine(b) <= a);
-    }
+        assert!(a.combine(b) <= a);
+    });
+}
 
-    /// Function composition agrees with sequential application and is
-    /// associative; identity is a two-sided unit and unknown absorbs.
-    #[test]
-    fn mapping_function_algebra(
-        f in function_strategy(),
-        g in function_strategy(),
-        h in function_strategy(),
-        x in -50.0f64..50.0,
-    ) {
+/// Function composition agrees with sequential application and is
+/// associative; identity is a two-sided unit and unknown absorbs.
+#[test]
+fn mapping_function_algebra() {
+    check(CASES, 0xc002, |rng| {
+        let (f, g, h) = (any_function(rng), any_function(rng), any_function(rng));
+        let x = rng.f64_in(-50.0, 50.0);
         let composed = f.compose(g).apply(x);
         let sequential = f.apply(x).and_then(|y| g.apply(y));
         match (composed, sequential) {
-            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * b.abs().max(1.0)),
-            (a, b) => prop_assert_eq!(a, b),
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6 * b.abs().max(1.0)),
+            (a, b) => assert_eq!(a, b),
         }
         // Associativity (on application results).
         let left = f.compose(g).compose(h).apply(x);
         let right = f.compose(g.compose(h)).apply(x);
         match (left, right) {
-            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * b.abs().max(1.0)),
-            (a, b) => prop_assert_eq!(a, b),
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6 * b.abs().max(1.0)),
+            (a, b) => assert_eq!(a, b),
         }
-        prop_assert_eq!(
-            MappingFunction::Identity.compose(f).apply(x),
-            f.apply(x)
-        );
-        prop_assert_eq!(
-            f.compose(MappingFunction::Identity).apply(x),
-            f.apply(x)
-        );
-        prop_assert_eq!(f.compose(MappingFunction::Unknown).apply(x), None);
-    }
+        assert_eq!(MappingFunction::Identity.compose(f).apply(x), f.apply(x));
+        assert_eq!(f.compose(MappingFunction::Identity).apply(x), f.apply(x));
+        assert_eq!(f.compose(MappingFunction::Unknown).apply(x), None);
+    });
+}
 
-    /// Every snapshot of a random dimension is a DAG with sane depths:
-    /// parents are strictly shallower than the deepest child path.
-    #[test]
-    fn snapshots_are_dags_with_consistent_depths(
-        d in dimension_strategy(),
-        probe in 0i64..80,
-    ) {
-        let t = Instant::at(probe);
+/// Every snapshot of a random dimension is a DAG with sane depths:
+/// parents are strictly shallower than the deepest child path.
+#[test]
+fn snapshots_are_dags_with_consistent_depths() {
+    check(CASES, 0xc003, |rng| {
+        let d = any_dimension(rng);
+        let t = Instant::at(rng.i64_in(0, 80));
         let snap = d.snapshot(t);
         let depths = snap.depths();
         // Every valid member got a depth (acyclicity: Kahn visits all).
-        prop_assert_eq!(depths.len(), snap.members().len());
+        assert_eq!(depths.len(), snap.members().len());
         for &m in snap.members() {
             for p in d.parents_at(m, t) {
-                prop_assert!(depths[&p] < depths[&m]);
+                assert!(depths[&p] < depths[&m]);
             }
         }
         // Roots have depth zero, leaves have no children.
         for r in snap.roots() {
-            prop_assert_eq!(depths[&r], 0);
+            assert_eq!(depths[&r], 0);
         }
         for l in snap.leaves() {
-            prop_assert!(d.children_at(l, t).is_empty());
+            assert!(d.children_at(l, t).is_empty());
         }
-    }
+    });
+}
 
-    /// Structure versions cover exactly the instants at which at least
-    /// one element is valid, and membership matches point queries.
-    #[test]
-    fn structure_versions_agree_with_point_queries(
-        d in dimension_strategy(),
-        probe in -5i64..85,
-    ) {
+/// Structure versions cover exactly the instants at which at least one
+/// element is valid, and membership matches point queries.
+#[test]
+fn structure_versions_agree_with_point_queries() {
+    check(CASES, 0xc004, |rng| {
+        let d = any_dimension(rng);
+        let t = Instant::at(rng.i64_in(-5, 85));
         let svs = infer_structure_versions(std::slice::from_ref(&d));
-        let t = Instant::at(probe);
         let covered = svs.iter().find(|sv| sv.interval.contains(t));
         let any_valid = d.versions().iter().any(|v| v.validity.contains(t));
-        prop_assert_eq!(covered.is_some(), any_valid);
+        assert_eq!(covered.is_some(), any_valid);
         if let Some(sv) = covered {
             for v in d.versions() {
-                prop_assert_eq!(
+                assert_eq!(
                     sv.contains(mvolap_core::DimensionId(0), v.id),
                     v.validity.contains(t),
-                    "member {} at {}", v.name, t
+                    "member {} at {}",
+                    v.name,
+                    t
                 );
             }
         }
-    }
+    });
+}
 
-    /// Excluding a member keeps the dimension internally consistent:
-    /// no relationship outlives either endpoint.
-    #[test]
-    fn exclusion_preserves_relationship_invariant(
-        d in dimension_strategy(),
-        victim_seed in 0usize..12,
-        cut in 5i64..60,
-    ) {
-        let mut d = d;
-        let victim = d.versions()[victim_seed % d.versions().len()].id;
-        let at = Instant::at(cut);
+/// Excluding a member keeps the dimension internally consistent: no
+/// relationship outlives either endpoint.
+#[test]
+fn exclusion_preserves_relationship_invariant() {
+    check(CASES, 0xc005, |rng| {
+        let mut d = any_dimension(rng);
+        let victim = d.versions()[rng.usize_below(d.versions().len())].id;
+        let at = Instant::at(rng.i64_in(5, 60));
         // Exclusion may legitimately fail (cut before start); when it
         // succeeds, validate the Definition 2 inclusion for every edge.
         if d.exclude(victim, at).is_ok() {
@@ -171,11 +172,11 @@ proptest! {
                 let cv = d.version(r.child).expect("exists").validity;
                 let pv = d.version(r.parent).expect("exists").validity;
                 let both = cv.intersect(pv);
-                prop_assert!(
+                assert!(
                     both.map(|b| b.contains_interval(r.validity)) == Some(true),
-                    "edge {:?} outlives an endpoint", r
+                    "edge {r:?} outlives an endpoint"
                 );
             }
         }
-    }
+    });
 }

@@ -20,14 +20,16 @@
 
 use std::collections::HashMap;
 
-use mvolap_core::aggregate::{evaluate, AggregateQuery, ResultRow, ResultSet, TimeLevel};
+use mvolap_core::aggregate::{
+    evaluate, evaluate_par, AggregateQuery, ResultRow, ResultSet, TimeLevel,
+};
 use mvolap_core::error::{CoreError, Result};
 use mvolap_core::fact::MeasureAccumulator;
 use mvolap_core::levels::{all_level_names, ancestors_at_level};
 use mvolap_core::multiversion::MvCell;
 use mvolap_core::structure_version::StructureVersion;
 use mvolap_core::tmp::TemporalMode;
-use mvolap_core::{Aggregator, Confidence, DimensionId, Tmd};
+use mvolap_core::{Aggregator, Confidence, DimensionId, ExecContext, QueryMemo, Tmd};
 use mvolap_temporal::{Instant, Interval};
 
 /// The specification of a cube to materialise.
@@ -93,11 +95,44 @@ impl Cube {
     /// # Errors
     ///
     /// Propagates evaluation failures (unknown mode version etc.).
-    pub fn build(tmd: &Tmd, structure_versions: &[StructureVersion], spec: CubeSpec) -> Result<Self> {
+    pub fn build(
+        tmd: &Tmd,
+        structure_versions: &[StructureVersion],
+        spec: CubeSpec,
+    ) -> Result<Self> {
+        Self::build_par(
+            tmd,
+            structure_versions,
+            spec,
+            &ExecContext::sequential(),
+            &QueryMemo::new(),
+        )
+    }
+
+    /// Parallel [`Cube::build`]: lattice nodes are independent
+    /// aggregations, so they evaluate concurrently across `ctx`'s
+    /// workers (each node's inner fold stays sequential to avoid
+    /// oversubscription), sharing `memo`'s route and roll-up caches
+    /// across nodes. Node order and every cell are bit-identical to
+    /// [`Cube::build`] for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (unknown mode version etc.).
+    pub fn build_par(
+        tmd: &Tmd,
+        structure_versions: &[StructureVersion],
+        spec: CubeSpec,
+        ctx: &ExecContext,
+        memo: &QueryMemo,
+    ) -> Result<Self> {
         let dimension_levels: Vec<Vec<String>> =
             tmd.dimensions().iter().map(all_level_names).collect();
-        let dimension_names: Vec<String> =
-            tmd.dimensions().iter().map(|d| d.name().to_owned()).collect();
+        let dimension_names: Vec<String> = tmd
+            .dimensions()
+            .iter()
+            .map(|d| d.name().to_owned())
+            .collect();
 
         // Enumerate level choices per dimension: None (All) + each level.
         let mut choice_sets: Vec<Vec<Option<String>>> = Vec::with_capacity(dimension_levels.len());
@@ -107,7 +142,8 @@ impl Cube {
             choice_sets.push(choices);
         }
 
-        let mut nodes = Vec::new();
+        // Materialise the node list first; evaluation fans out below.
+        let mut planned: Vec<(LatticeNode, AggregateQuery)> = Vec::new();
         let mut combo = vec![0usize; choice_sets.len()];
         loop {
             let levels: Vec<Option<String>> = choice_sets
@@ -119,9 +155,7 @@ impl Cube {
                 let group_by: Vec<(DimensionId, String)> = levels
                     .iter()
                     .enumerate()
-                    .filter_map(|(d, l)| {
-                        l.as_ref().map(|l| (DimensionId(d as u32), l.clone()))
-                    })
+                    .filter_map(|(d, l)| l.as_ref().map(|l| (DimensionId(d as u32), l.clone())))
                     .collect();
                 let query = AggregateQuery {
                     group_by,
@@ -131,13 +165,12 @@ impl Cube {
                     time_range: spec.time_range,
                     filters: Vec::new(),
                 };
-                let result = evaluate(tmd, structure_versions, &query)?;
-                nodes.push((
+                planned.push((
                     LatticeNode {
                         levels: levels.clone(),
                         time_level: tl,
                     },
-                    result,
+                    query,
                 ));
             }
             // Advance the mixed-radix counter over level choices.
@@ -156,6 +189,18 @@ impl Cube {
             if d == combo.len() || choice_sets.is_empty() {
                 break;
             }
+        }
+
+        // One worker per node; `parallel_map` preserves node order, and
+        // the first error in node order is the one `build` would have
+        // hit first.
+        let inner = ExecContext::sequential();
+        let results = ctx.parallel_map(&planned, |_, (_, query)| {
+            evaluate_par(tmd, structure_versions, query, &inner, memo)
+        });
+        let mut nodes = Vec::with_capacity(planned.len());
+        for ((node, _), result) in planned.into_iter().zip(results) {
+            nodes.push((node, result?));
         }
 
         let stats = BuildStats {
@@ -203,8 +248,11 @@ impl Cube {
 
         let dimension_levels: Vec<Vec<String>> =
             tmd.dimensions().iter().map(all_level_names).collect();
-        let dimension_names: Vec<String> =
-            tmd.dimensions().iter().map(|d| d.name().to_owned()).collect();
+        let dimension_names: Vec<String> = tmd
+            .dimensions()
+            .iter()
+            .map(|d| d.name().to_owned())
+            .collect();
         let n_dims = dimension_levels.len();
 
         // Level choices per dimension, coarse → fine: index 0 is All,
@@ -283,7 +331,13 @@ impl Cube {
                     )?
                 };
                 computed.insert((combo.clone(), tl), nodes.len());
-                nodes.push((LatticeNode { levels, time_level: tl }, result));
+                nodes.push((
+                    LatticeNode {
+                        levels,
+                        time_level: tl,
+                    },
+                    result,
+                ));
             }
         }
 
@@ -399,8 +453,11 @@ fn derive_rollup(
     debug_assert!(child_combo[d] > 0, "child must group dimension d");
 
     // Derivation aggregators: counts add up; sums add; min/max nest.
-    let derive_aggs: Vec<Aggregator> =
-        tmd.measures().iter().map(|m| m.aggregator.combining()).collect();
+    let derive_aggs: Vec<Aggregator> = tmd
+        .measures()
+        .iter()
+        .map(|m| m.aggregator.combining())
+        .collect();
 
     struct Acc {
         acc: MeasureAccumulator,
@@ -526,8 +583,8 @@ mod tests {
     fn lattice_has_all_level_time_combinations() {
         let cs = case_study();
         let svs = cs.tmd.structure_versions();
-        let cube = Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent))
-            .unwrap();
+        let cube =
+            Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent)).unwrap();
         // (All, Division, Department) × (Year, All) = 6 nodes.
         assert_eq!(cube.node_count(), 6);
         assert!(cube.cell_count() > 0);
@@ -539,8 +596,8 @@ mod tests {
     fn node_lookup_matches_direct_evaluation() {
         let cs = case_study();
         let svs = cs.tmd.structure_versions();
-        let cube = Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent))
-            .unwrap();
+        let cube =
+            Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent)).unwrap();
         let node = cube
             .node(&[Some("Division".into())], TimeLevel::Year)
             .unwrap();
@@ -559,8 +616,8 @@ mod tests {
     fn grand_total_node() {
         let cs = case_study();
         let svs = cs.tmd.structure_versions();
-        let cube = Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent))
-            .unwrap();
+        let cube =
+            Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent)).unwrap();
         let total = cube.node(&[None], TimeLevel::All).unwrap();
         assert_eq!(total.rows.len(), 1);
         // Sum of every Table 3 amount: 850.
@@ -574,8 +631,7 @@ mod tests {
         for svid in [0u32, 1, 2] {
             let mode = TemporalMode::Version(StructureVersionId(svid));
             let base = Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(mode.clone())).unwrap();
-            let incr =
-                Cube::build_incremental(&cs.tmd, &svs, CubeSpec::for_mode(mode)).unwrap();
+            let incr = Cube::build_incremental(&cs.tmd, &svs, CubeSpec::for_mode(mode)).unwrap();
             // Only the finest node per time level came from facts.
             assert_eq!(incr.stats().from_facts, 2);
             assert_eq!(incr.stats().derived, 4);

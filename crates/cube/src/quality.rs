@@ -67,7 +67,13 @@ pub fn best_mode(
     let qualities = mode_qualities(tmd, structure_versions, query, weights)?;
     Ok(qualities
         .into_iter()
-        .reduce(|best, cur| if cur.quality > best.quality { cur } else { best })
+        .reduce(|best, cur| {
+            if cur.quality > best.quality {
+                cur
+            } else {
+                best
+            }
+        })
         .expect("all_modes always yields at least tcm"))
 }
 

@@ -160,7 +160,11 @@ impl<'a> CubeView<'a> {
     pub fn rotate(&mut self, order: Vec<usize>) -> Result<()> {
         let n = self.filters.len();
         let mut seen = vec![false; n];
-        if order.len() != n || order.iter().any(|&i| i >= n || std::mem::replace(&mut seen[i], true)) {
+        if order.len() != n
+            || order
+                .iter()
+                .any(|&i| i >= n || std::mem::replace(&mut seen[i], true))
+        {
             return Err(CoreError::InvalidEvolution(format!(
                 "rotate order must be a permutation of 0..{n}"
             )));
@@ -269,7 +273,10 @@ mod tests {
     fn cube_for(mode: TemporalMode) -> (Cube, DimensionId) {
         let cs = case_study();
         let svs = cs.tmd.structure_versions();
-        (Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(mode)).unwrap(), cs.org)
+        (
+            Cube::build(&cs.tmd, &svs, CubeSpec::for_mode(mode)).unwrap(),
+            cs.org,
+        )
     }
 
     #[test]
@@ -349,7 +356,7 @@ mod tests {
         assert!(lines[0].contains("Dpt.Bill"));
         assert!(lines[0].contains("Dpt.Smith"));
         assert!(!lines[0].contains("Dpt.Jones")); // not valid in VS2
-        // Rows are years; the 2002 Bill cell is the mapped 40 (am).
+                                                  // Rows are years; the 2002 Bill cell is the mapped 40 (am).
         let row_2002 = lines.iter().find(|l| l.starts_with("2002")).unwrap();
         assert!(row_2002.contains("40 (am)"));
         let row_2003 = lines.iter().find(|l| l.starts_with("2003")).unwrap();

@@ -105,7 +105,10 @@ pub fn apply_changes(
         if rest.len() == before {
             return Err(CoreError::InvalidEvolution(format!(
                 "created members have unresolvable parents: {}",
-                rest.iter().map(|r| r.member.as_str()).collect::<Vec<_>>().join(", ")
+                rest.iter()
+                    .map(|r| r.member.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )));
         }
         pending_creates = rest;
@@ -304,7 +307,10 @@ pub fn bootstrap(
         if rest.len() == before {
             return Err(CoreError::InvalidEvolution(format!(
                 "snapshot has unresolvable parents for: {}",
-                rest.iter().map(|r| r.member.as_str()).collect::<Vec<_>>().join(", ")
+                rest.iter()
+                    .map(|r| r.member.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )));
         }
         pending = rest;
@@ -352,8 +358,14 @@ mod tests {
         let report = bootstrap(&mut tmd, dim, &org_2001()).unwrap();
         assert_eq!(report.created, 5);
         let d = tmd.dimension(dim).unwrap();
-        let smith = d.version_named_at("Dpt.Smith", Instant::ym(2001, 6)).unwrap().id;
-        let sales = d.version_named_at("Sales", Instant::ym(2001, 6)).unwrap().id;
+        let smith = d
+            .version_named_at("Dpt.Smith", Instant::ym(2001, 6))
+            .unwrap()
+            .id;
+        let sales = d
+            .version_named_at("Sales", Instant::ym(2001, 6))
+            .unwrap()
+            .id;
         assert_eq!(d.parents_at(smith, Instant::ym(2001, 6)), vec![sales]);
     }
 
@@ -378,7 +390,10 @@ mod tests {
         let report = apply_changes(&mut tmd, dim, &events, Instant::ym(2002, 1)).unwrap();
         assert_eq!(report.reclassified, 1);
         let d = tmd.dimension(dim).unwrap();
-        let smith = d.version_named_at("Dpt.Smith", Instant::ym(2002, 6)).unwrap().id;
+        let smith = d
+            .version_named_at("Dpt.Smith", Instant::ym(2002, 6))
+            .unwrap()
+            .id;
         let rnd = d.version_named_at("R&D", Instant::ym(2002, 6)).unwrap().id;
         assert_eq!(d.parents_at(smith, Instant::ym(2002, 6)), vec![rnd]);
         // Two structure versions now exist.
@@ -401,7 +416,9 @@ mod tests {
         assert_eq!(report.created, 1);
         assert_eq!(report.deleted, 1);
         let d = tmd.dimension(dim).unwrap();
-        assert!(d.version_named_at("Dpt.Jones", Instant::ym(2002, 6)).is_err());
+        assert!(d
+            .version_named_at("Dpt.Jones", Instant::ym(2002, 6))
+            .is_err());
         assert!(d.version_named_at("Dpt.New", Instant::ym(2002, 6)).is_ok());
     }
 
@@ -427,8 +444,7 @@ mod tests {
             parts: vec![("Dpt.Bill".into(), 0.4), ("Dpt.Paul".into(), 0.6)],
         }];
         let report =
-            apply_changes_with_hints(&mut tmd, dim, &events, &hints, Instant::ym(2003, 1))
-                .unwrap();
+            apply_changes_with_hints(&mut tmd, dim, &events, &hints, Instant::ym(2003, 1)).unwrap();
         assert_eq!(report.created, 2);
         assert_eq!(report.deleted, 1);
         // Mapping relationships exist — unlike a plain delete+create.
@@ -436,7 +452,8 @@ mod tests {
         assert_eq!(rels.len(), 2);
         // And data is now comparable across the transition, paper
         // Table 10 style.
-        tmd.add_fact_by_names(&["Dpt.Jones"], Instant::ym(2002, 6), &[100.0]).unwrap();
+        tmd.add_fact_by_names(&["Dpt.Jones"], Instant::ym(2002, 6), &[100.0])
+            .unwrap();
         let svs = tmd.structure_versions();
         let last = svs.last().unwrap().id;
         let p = mvolap_core::multiversion::present(
@@ -466,8 +483,7 @@ mod tests {
             into: "Dpt.Mega".into(),
         }];
         let report =
-            apply_changes_with_hints(&mut tmd, dim, &events, &hints, Instant::ym(2003, 1))
-                .unwrap();
+            apply_changes_with_hints(&mut tmd, dim, &events, &hints, Instant::ym(2003, 1)).unwrap();
         assert_eq!(report.created, 1);
         assert_eq!(report.deleted, 2);
         assert_eq!(tmd.mapping_graph(dim).unwrap().relationships().len(), 2);

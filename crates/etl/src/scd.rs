@@ -251,8 +251,7 @@ impl Scd3Dimension {
                     Value::Null,
                 ),
                 Some((old_parent, old_previous)) => {
-                    let new_parent =
-                        next.parent.clone().map(Value::from).unwrap_or(Value::Null);
+                    let new_parent = next.parent.clone().map(Value::from).unwrap_or(Value::Null);
                     if new_parent == old_parent {
                         (old_parent, old_previous)
                     } else {
@@ -271,7 +270,12 @@ impl Scd3Dimension {
         self.table
             .rows()
             .find(|r| r[0].as_str() == Some(member))
-            .map(|r| (r[1].as_str().map(str::to_owned), r[2].as_str().map(str::to_owned)))
+            .map(|r| {
+                (
+                    r[1].as_str().map(str::to_owned),
+                    r[2].as_str().map(str::to_owned),
+                )
+            })
     }
 
     /// The underlying relational table.
@@ -286,10 +290,7 @@ mod tests {
     use crate::snapshot::SnapshotRow;
 
     fn snap(period: Instant, pairs: &[(&str, Option<&str>)]) -> Snapshot {
-        Snapshot::new(
-            period,
-            pairs.iter().map(|(m, p)| SnapshotRow::new(*m, *p)),
-        )
+        Snapshot::new(period, pairs.iter().map(|(m, p)| SnapshotRow::new(*m, *p)))
     }
 
     fn s2001() -> Snapshot {
@@ -399,6 +400,9 @@ mod tests {
             d.parents_of("Dpt.Smith").unwrap(),
             (Some("R&D".into()), Some("Sales".into()))
         );
-        assert_eq!(d.parents_of("Dpt.Brian").unwrap(), (Some("R&D".into()), None));
+        assert_eq!(
+            d.parents_of("Dpt.Brian").unwrap(),
+            (Some("R&D".into()), None)
+        );
     }
 }

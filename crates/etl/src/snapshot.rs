@@ -184,11 +184,14 @@ mod tests {
     fn smith_reclassification_detected() {
         // The paper's 2001 -> 2002 evolution (Tables 1 -> 2).
         let events = diff(&org_2001(), &org_2002());
-        assert_eq!(events, vec![ChangeEvent::Reclassified {
-            member: "Dpt.Smith".into(),
-            old_parent: Some("Sales".into()),
-            new_parent: Some("R&D".into()),
-        }]);
+        assert_eq!(
+            events,
+            vec![ChangeEvent::Reclassified {
+                member: "Dpt.Smith".into(),
+                old_parent: Some("Sales".into()),
+                new_parent: Some("R&D".into()),
+            }]
+        );
     }
 
     #[test]
@@ -202,21 +205,22 @@ mod tests {
         let events = diff(&org_2001(), &next);
         assert_eq!(events.len(), 2);
         assert!(matches!(&events[0], ChangeEvent::Deleted { member } if member == "Dpt.Jones"));
-        assert!(
-            matches!(&events[1], ChangeEvent::Created { row } if row.member == "Dpt.New")
-        );
+        assert!(matches!(&events[1], ChangeEvent::Created { row } if row.member == "Dpt.New"));
     }
 
     #[test]
     fn attribute_changes_detected() {
         let mut next = org_2001();
-        next.rows.get_mut("Dpt.Brian").unwrap().attributes.insert(
-            "leader".into(),
-            "Brian Jr".into(),
-        );
+        next.rows
+            .get_mut("Dpt.Brian")
+            .unwrap()
+            .attributes
+            .insert("leader".into(), "Brian Jr".into());
         let events = diff(&org_2001(), &next);
         assert_eq!(events.len(), 1);
-        assert!(matches!(&events[0], ChangeEvent::AttributesChanged { member, .. } if member == "Dpt.Brian"));
+        assert!(
+            matches!(&events[0], ChangeEvent::AttributesChanged { member, .. } if member == "Dpt.Brian")
+        );
     }
 
     #[test]

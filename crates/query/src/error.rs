@@ -58,7 +58,11 @@ impl std::fmt::Display for QueryError {
             QueryError::UnexpectedChar { ch, at } => {
                 write!(f, "unexpected character `{ch}` at byte {at}")
             }
-            QueryError::Unexpected { expected, found, at } => {
+            QueryError::Unexpected {
+                expected,
+                found,
+                at,
+            } => {
                 write!(f, "expected {expected}, found `{found}` at byte {at}")
             }
             QueryError::BadNumber { text, at } => {

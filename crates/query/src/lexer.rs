@@ -52,27 +52,45 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, at: i });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    at: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, at: i });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    at: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, at: i });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    at: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semi, at: i });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    at: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, at: i });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    at: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Equals, at: i });
+                out.push(Token {
+                    kind: TokenKind::Equals,
+                    at: i,
+                });
                 i += 1;
             }
             '\'' => {
@@ -112,10 +130,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
-                    out.push(Token { kind: TokenKind::DotDot, at: i });
+                    out.push(Token {
+                        kind: TokenKind::DotDot,
+                        at: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Dot, at: i });
+                    out.push(Token {
+                        kind: TokenKind::Dot,
+                        at: i,
+                    });
                     i += 1;
                 }
             }
@@ -163,7 +187,11 @@ mod tests {
     use TokenKind::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -201,11 +229,14 @@ mod tests {
 
     #[test]
     fn identifiers_keep_special_name_chars() {
-        assert_eq!(kinds("R&D Dpt'X a_b-c"), vec![
-            Ident("R&D".into()),
-            Ident("Dpt'X".into()),
-            Ident("a_b-c".into()),
-        ]);
+        assert_eq!(
+            kinds("R&D Dpt'X a_b-c"),
+            vec![
+                Ident("R&D".into()),
+                Ident("Dpt'X".into()),
+                Ident("a_b-c".into()),
+            ]
+        );
     }
 
     #[test]

@@ -51,4 +51,7 @@ pub use ast::{GroupKey, ModeSpec, Query, Select};
 pub use error::QueryError;
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse;
-pub use plan::{plan, run, run_compare, run_with_versions, ModeResult};
+pub use plan::{
+    plan, run, run_compare, run_compare_par, run_par, run_with_versions, run_with_versions_par,
+    ModeResult,
+};

@@ -329,19 +329,25 @@ mod tests {
 
     #[test]
     fn parses_q1() {
-        let q = parse("SELECT sum(Amount) BY year, Org.Division FOR 2001..2002 IN MODE tcm")
-            .unwrap();
-        assert_eq!(q.selects, vec![Select {
-            aggregate: "sum".into(),
-            measure: "Amount".into()
-        }]);
-        assert_eq!(q.groups, vec![
-            GroupKey::Year,
-            GroupKey::DimLevel {
-                dimension: "Org".into(),
-                level: "Division".into()
-            }
-        ]);
+        let q =
+            parse("SELECT sum(Amount) BY year, Org.Division FOR 2001..2002 IN MODE tcm").unwrap();
+        assert_eq!(
+            q.selects,
+            vec![Select {
+                aggregate: "sum".into(),
+                measure: "Amount".into()
+            }]
+        );
+        assert_eq!(
+            q.groups,
+            vec![
+                GroupKey::Year,
+                GroupKey::DimLevel {
+                    dimension: "Org".into(),
+                    level: "Division".into()
+                }
+            ]
+        );
         assert_eq!(q.range, Some((2001, 2002)));
         assert_eq!(q.mode, ModeSpec::Tcm);
     }
@@ -351,7 +357,13 @@ mod tests {
         let q = parse("SELECT sum(Amount) BY year IN MODE VERSION 2").unwrap();
         assert_eq!(q.mode, ModeSpec::Version(2));
         let q = parse("SELECT sum(Amount) BY year IN MODE AT 06/2002").unwrap();
-        assert_eq!(q.mode, ModeSpec::At { month: 6, year: 2002 });
+        assert_eq!(
+            q.mode,
+            ModeSpec::At {
+                month: 6,
+                year: 2002
+            }
+        );
     }
 
     #[test]
@@ -375,7 +387,10 @@ mod tests {
     #[test]
     fn error_messages_carry_positions() {
         let err = parse("SELECT sum Amount) BY year IN MODE tcm").unwrap_err();
-        assert!(matches!(err, QueryError::Unexpected { at: 11, .. }), "{err:?}");
+        assert!(
+            matches!(err, QueryError::Unexpected { at: 11, .. }),
+            "{err:?}"
+        );
         let err = parse("SELECT sum(Amount) BY year IN MODE nowhere").unwrap_err();
         assert!(matches!(err, QueryError::Unexpected { .. }));
         let err = parse("SELECT sum(Amount) BY year IN MODE tcm extra").unwrap_err();

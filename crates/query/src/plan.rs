@@ -1,9 +1,9 @@
 //! Planning and execution: AST → core [`AggregateQuery`] → result.
 
-use mvolap_core::aggregate::{evaluate, AggregateQuery, ResultSet, TimeLevel};
+use mvolap_core::aggregate::{evaluate_par, AggregateQuery, ResultSet, TimeLevel};
 use mvolap_core::structure_version::{structure_version_at, StructureVersion};
 use mvolap_core::tmp::TemporalMode;
-use mvolap_core::{Aggregator, StructureVersionId, Tmd};
+use mvolap_core::{Aggregator, ExecContext, QueryMemo, StructureVersionId, Tmd};
 use mvolap_temporal::{Instant, Interval};
 
 use crate::ast::{GroupKey, ModeSpec, Query};
@@ -82,8 +82,7 @@ pub fn plan(
     let mode = match &query.mode {
         ModeSpec::AllModes { .. } => {
             return Err(QueryError::Unresolved(
-                "ALL MODES queries compare presentations; execute them with `run_compare`"
-                    .into(),
+                "ALL MODES queries compare presentations; execute them with `run_compare`".into(),
             ))
         }
         ModeSpec::Tcm => TemporalMode::Consistent,
@@ -149,9 +148,33 @@ pub fn run_with_versions(
     structure_versions: &[StructureVersion],
     input: &str,
 ) -> Result<ResultSet> {
+    run_with_versions_par(
+        tmd,
+        structure_versions,
+        input,
+        &ExecContext::sequential(),
+        &QueryMemo::new(),
+    )
+}
+
+/// Morsel-parallel [`run_with_versions`]: execution routes through
+/// [`evaluate_par`] with the caller's [`ExecContext`] and shared
+/// [`QueryMemo`]. Results are bit-identical to the sequential run for
+/// any thread count.
+///
+/// # Errors
+///
+/// Any lexing, parsing, planning or execution failure.
+pub fn run_with_versions_par(
+    tmd: &Tmd,
+    structure_versions: &[StructureVersion],
+    input: &str,
+    ctx: &ExecContext,
+    memo: &QueryMemo,
+) -> Result<ResultSet> {
     let ast = parse(input)?;
     let q = plan(tmd, structure_versions, &ast)?;
-    Ok(evaluate(tmd, structure_versions, &q)?)
+    Ok(evaluate_par(tmd, structure_versions, &q, ctx, memo)?)
 }
 
 /// Parses, plans and executes a query string against a schema.
@@ -162,6 +185,16 @@ pub fn run_with_versions(
 pub fn run(tmd: &Tmd, input: &str) -> Result<ResultSet> {
     let svs = tmd.structure_versions();
     run_with_versions(tmd, &svs, input)
+}
+
+/// Morsel-parallel [`run`]; see [`run_with_versions_par`].
+///
+/// # Errors
+///
+/// Any lexing, parsing, planning or execution failure.
+pub fn run_par(tmd: &Tmd, input: &str, ctx: &ExecContext, memo: &QueryMemo) -> Result<ResultSet> {
+    let svs = tmd.structure_versions();
+    run_with_versions_par(tmd, &svs, input, ctx, memo)
 }
 
 /// One entry of an `IN ALL MODES` comparison: the mode's result plus its
@@ -186,6 +219,23 @@ pub struct ModeResult {
 ///
 /// Any lexing, parsing, planning or execution failure.
 pub fn run_compare(tmd: &Tmd, input: &str) -> Result<Vec<ModeResult>> {
+    run_compare_par(tmd, input, &ExecContext::sequential(), &QueryMemo::new())
+}
+
+/// Morsel-parallel [`run_compare`]: every mode's evaluation shares
+/// `memo`, so mapping routes resolved for one presentation are reused
+/// by the others. Bit-identical to [`run_compare`] for any thread
+/// count.
+///
+/// # Errors
+///
+/// Any lexing, parsing, planning or execution failure.
+pub fn run_compare_par(
+    tmd: &Tmd,
+    input: &str,
+    ctx: &ExecContext,
+    memo: &QueryMemo,
+) -> Result<Vec<ModeResult>> {
     use mvolap_core::ConfidenceWeights;
 
     let svs = tmd.structure_versions();
@@ -215,11 +265,15 @@ pub fn run_compare(tmd: &Tmd, input: &str) -> Result<Vec<ModeResult>> {
     let mut out = Vec::with_capacity(modes.len());
     for mode in modes {
         template.mode = mode;
-        let result = evaluate(tmd, &svs, &template)?;
+        let result = evaluate_par(tmd, &svs, &template, ctx, memo)?;
         let quality = result.quality(&weights);
         out.push(ModeResult { result, quality });
     }
-    out.sort_by(|a, b| b.quality.partial_cmp(&a.quality).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.quality
+            .partial_cmp(&a.quality)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(out)
 }
 
@@ -242,12 +296,15 @@ mod tests {
             .iter()
             .map(|r| (r.time.clone(), r.keys[0].clone(), r.cells[0].value))
             .collect();
-        assert_eq!(rows, vec![
-            ("2001".into(), "Sales".into(), Some(150.0)),
-            ("2001".into(), "R&D".into(), Some(100.0)),
-            ("2002".into(), "Sales".into(), Some(100.0)),
-            ("2002".into(), "R&D".into(), Some(150.0)),
-        ]);
+        assert_eq!(
+            rows,
+            vec![
+                ("2001".into(), "Sales".into(), Some(150.0)),
+                ("2001".into(), "R&D".into(), Some(100.0)),
+                ("2002".into(), "Sales".into(), Some(100.0)),
+                ("2002".into(), "R&D".into(), Some(150.0)),
+            ]
+        );
     }
 
     #[test]
@@ -300,7 +357,10 @@ mod tests {
             Err(QueryError::Unresolved(_))
         ));
         assert!(matches!(
-            run(&cs.tmd, "SELECT sum(Amount) BY Nowhere.Division IN MODE tcm"),
+            run(
+                &cs.tmd,
+                "SELECT sum(Amount) BY Nowhere.Division IN MODE tcm"
+            ),
             Err(QueryError::Unresolved(_))
         ));
         assert!(matches!(
@@ -394,8 +454,14 @@ mod tests {
         // Only the departments under Sales at each fact's own time.
         assert!(rs.rows.iter().all(|r| r.keys[0] != "Dpt.Brian"));
         // Smith is under Sales in 2001, under R&D afterwards.
-        assert!(rs.rows.iter().any(|r| r.time == "2001" && r.keys[0] == "Dpt.Smith"));
-        assert!(!rs.rows.iter().any(|r| r.time == "2002" && r.keys[0] == "Dpt.Smith"));
+        assert!(rs
+            .rows
+            .iter()
+            .any(|r| r.time == "2001" && r.keys[0] == "Dpt.Smith"));
+        assert!(!rs
+            .rows
+            .iter()
+            .any(|r| r.time == "2002" && r.keys[0] == "Dpt.Smith"));
     }
 
     #[test]

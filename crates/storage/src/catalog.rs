@@ -119,7 +119,10 @@ mod tests {
         let mut c = Catalog::new();
         c.create(mk("facts")).unwrap();
         assert!(c.get("facts").is_ok());
-        assert!(matches!(c.create(mk("facts")), Err(StorageError::TableExists(_))));
+        assert!(matches!(
+            c.create(mk("facts")),
+            Err(StorageError::TableExists(_))
+        ));
         c.create_or_replace(mk("facts"));
         assert_eq!(c.len(), 1);
         c.drop("facts").unwrap();

@@ -33,11 +33,15 @@ impl Column {
     /// Creates an empty column pre-sized for `capacity` rows.
     pub fn with_capacity(dtype: DataType, capacity: usize) -> Self {
         match dtype {
-            DataType::Int => Column::Int(Vec::with_capacity(capacity), Vec::with_capacity(capacity)),
+            DataType::Int => {
+                Column::Int(Vec::with_capacity(capacity), Vec::with_capacity(capacity))
+            }
             DataType::Float => {
                 Column::Float(Vec::with_capacity(capacity), Vec::with_capacity(capacity))
             }
-            DataType::Str => Column::Str(Vec::with_capacity(capacity), Vec::with_capacity(capacity)),
+            DataType::Str => {
+                Column::Str(Vec::with_capacity(capacity), Vec::with_capacity(capacity))
+            }
             DataType::Bool => {
                 Column::Bool(Vec::with_capacity(capacity), Vec::with_capacity(capacity))
             }
@@ -197,7 +201,9 @@ impl Column {
             Column::Int(v, m) => v.capacity() * 8 + m.capacity(),
             Column::Float(v, m) => v.capacity() * 8 + m.capacity(),
             Column::Str(v, m) => {
-                v.iter().map(|s| s.capacity() + std::mem::size_of::<String>()).sum::<usize>()
+                v.iter()
+                    .map(|s| s.capacity() + std::mem::size_of::<String>())
+                    .sum::<usize>()
                     + m.capacity()
             }
             Column::Bool(v, m) => v.capacity() + m.capacity(),

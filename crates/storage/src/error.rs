@@ -78,7 +78,10 @@ impl std::fmt::Display for StorageError {
                 write!(f, "null written to non-nullable column `{column}`")
             }
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {actual}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {actual}"
+                )
             }
             StorageError::RowOutOfBounds { row, len } => {
                 write!(f, "row {row} out of bounds for table of length {len}")

@@ -49,7 +49,10 @@ impl HashIndex {
         if value.is_null() {
             return &[];
         }
-        self.map.get(&value.to_string()).map(Vec::as_slice).unwrap_or(&[])
+        self.map
+            .get(&value.to_string())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of distinct indexed values.

@@ -35,9 +35,9 @@ pub mod value;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
-pub use persist::PersistError;
 pub use index::HashIndex;
 pub use ops::{AggCall, AggFunc, SortKey, SortOrder};
+pub use persist::PersistError;
 pub use predicate::Predicate;
 pub use schema::{ColumnDef, TableSchema};
 pub use table::Table;

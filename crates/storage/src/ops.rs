@@ -84,7 +84,11 @@ impl AggCall {
     pub fn new(func: AggFunc, column: impl Into<String>) -> Self {
         let column = column.into();
         let alias = format!("{}_{}", func.name(), column);
-        AggCall { func, column, alias }
+        AggCall {
+            func,
+            column,
+            alias,
+        }
     }
 
     /// Overrides the output column name.
@@ -192,12 +196,13 @@ impl Table {
     pub fn sort_by(&self, keys: &[SortKey]) -> Result<Table, StorageError> {
         let mut key_idx = Vec::with_capacity(keys.len());
         for k in keys {
-            let idx = self.schema().index_of(&k.column).ok_or_else(|| {
-                StorageError::UnknownColumn {
-                    table: self.name().to_owned(),
-                    column: k.column.clone(),
-                }
-            })?;
+            let idx =
+                self.schema()
+                    .index_of(&k.column)
+                    .ok_or_else(|| StorageError::UnknownColumn {
+                        table: self.name().to_owned(),
+                        column: k.column.clone(),
+                    })?;
             key_idx.push((idx, k.order));
         }
         let mut order: Vec<usize> = (0..self.len()).collect();
@@ -216,7 +221,8 @@ impl Table {
             }
             std::cmp::Ordering::Equal
         });
-        let mut out = Table::with_capacity(self.name().to_owned(), self.schema().clone(), self.len());
+        let mut out =
+            Table::with_capacity(self.name().to_owned(), self.schema().clone(), self.len());
         for r in order {
             out.push_row(self.row(r)?)?;
         }
@@ -238,23 +244,25 @@ impl Table {
         let mut key_idx = Vec::with_capacity(keys.len());
         let mut out_defs = Vec::with_capacity(keys.len() + aggs.len());
         for &k in keys {
-            let idx = self.schema().index_of(k).ok_or_else(|| StorageError::UnknownColumn {
-                table: self.name().to_owned(),
-                column: k.to_owned(),
-            })?;
+            let idx = self
+                .schema()
+                .index_of(k)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    table: self.name().to_owned(),
+                    column: k.to_owned(),
+                })?;
             key_idx.push(idx);
             let def = &self.schema().columns()[idx];
             out_defs.push(ColumnDef::nullable(def.name.clone(), def.dtype));
         }
         let mut agg_idx = Vec::with_capacity(aggs.len());
         for call in aggs {
-            let idx = self
-                .schema()
-                .index_of(&call.column)
-                .ok_or_else(|| StorageError::UnknownColumn {
+            let idx = self.schema().index_of(&call.column).ok_or_else(|| {
+                StorageError::UnknownColumn {
                     table: self.name().to_owned(),
                     column: call.column.clone(),
-                })?;
+                }
+            })?;
             let in_type = self.schema().columns()[idx].dtype;
             let numeric = matches!(in_type, DataType::Int | DataType::Float);
             let out_type = match call.func {
@@ -296,11 +304,8 @@ impl Table {
         }
 
         let schema = TableSchema::new(out_defs)?;
-        let mut out = Table::with_capacity(
-            format!("{}_grouped", self.name()),
-            schema,
-            group_keys.len(),
-        );
+        let mut out =
+            Table::with_capacity(format!("{}_grouped", self.name()), schema, group_keys.len());
         for (kv, states) in group_keys.into_iter().zip(group_states) {
             let mut row = kv;
             for (state, call) in states.iter().zip(aggs) {
@@ -327,10 +332,13 @@ impl Table {
         left_key: &str,
         right_key: &str,
     ) -> Result<Table, StorageError> {
-        let li = self.schema().index_of(left_key).ok_or_else(|| StorageError::UnknownColumn {
-            table: self.name().to_owned(),
-            column: left_key.to_owned(),
-        })?;
+        let li = self
+            .schema()
+            .index_of(left_key)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name().to_owned(),
+                column: left_key.to_owned(),
+            })?;
         let ri = other
             .schema()
             .index_of(right_key)
@@ -340,8 +348,7 @@ impl Table {
             })?;
         let lt = self.schema().columns()[li].dtype;
         let rt = other.schema().columns()[ri].dtype;
-        let numeric =
-            |t: DataType| matches!(t, DataType::Int | DataType::Float);
+        let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float);
         if lt != rt && !(numeric(lt) && numeric(rt)) {
             return Err(StorageError::IncompatibleKeys {
                 left: format!("{}.{left_key}: {lt}", self.name()),
@@ -487,7 +494,9 @@ mod tests {
             "e",
             TableSchema::new(vec![ColumnDef::required("k", DataType::Int)]).unwrap(),
         );
-        let g = t.group_by(&["k"], &[AggCall::new(AggFunc::Count, "k")]).unwrap();
+        let g = t
+            .group_by(&["k"], &[AggCall::new(AggFunc::Count, "k")])
+            .unwrap();
         assert!(g.is_empty());
     }
 
@@ -548,7 +557,8 @@ mod tests {
     #[test]
     fn join_incompatible_key_types_rejected() {
         let a = sales();
-        let schema = TableSchema::new(vec![ColumnDef::required("division", DataType::Int)]).unwrap();
+        let schema =
+            TableSchema::new(vec![ColumnDef::required("division", DataType::Int)]).unwrap();
         let b = Table::new("b", schema);
         assert!(matches!(
             a.join(&b, "division", "division"),

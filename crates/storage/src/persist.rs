@@ -116,7 +116,11 @@ fn encode_value(v: &Value) -> String {
             if f.is_nan() {
                 "NaN".to_owned()
             } else if f.is_infinite() {
-                if *f > 0.0 { "inf".to_owned() } else { "-inf".to_owned() }
+                if *f > 0.0 {
+                    "inf".to_owned()
+                } else {
+                    "-inf".to_owned()
+                }
             } else {
                 format!("{f}")
             }
@@ -235,7 +239,11 @@ pub fn read_table(input: &mut impl Read) -> Result<Table, PersistError> {
                 if cells.len() != columns.len() {
                     return Err(bad(
                         n,
-                        format!("row has {} cells, schema has {}", cells.len(), columns.len()),
+                        format!(
+                            "row has {} cells, schema has {}",
+                            cells.len(),
+                            columns.len()
+                        ),
                     ));
                 }
                 let row = cells
@@ -354,7 +362,10 @@ mod tests {
         write_table(&t, &mut buf).unwrap();
         let back = read_table(&mut buf.as_slice()).unwrap();
         for (a, b) in t.rows().zip(back.rows()) {
-            assert_eq!(a[0].as_float().unwrap().to_bits(), b[0].as_float().unwrap().to_bits());
+            assert_eq!(
+                a[0].as_float().unwrap().to_bits(),
+                b[0].as_float().unwrap().to_bits()
+            );
         }
     }
 

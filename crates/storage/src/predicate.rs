@@ -126,7 +126,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new("t", schema);
         t.push_row(vec![1.into(), "a".into(), 10.0.into()]).unwrap();
-        t.push_row(vec![2.into(), Value::Null, 20.0.into()]).unwrap();
+        t.push_row(vec![2.into(), Value::Null, 20.0.into()])
+            .unwrap();
         t.push_row(vec![3.into(), "c".into(), 30.0.into()]).unwrap();
         t
     }
@@ -137,18 +138,30 @@ mod tests {
         assert!(Predicate::eq("name", "a").eval(&t, 0).unwrap());
         // NULL equals nothing, differs from nothing.
         assert!(!Predicate::eq("name", "a").eval(&t, 1).unwrap());
-        assert!(!Predicate::Ne("name".into(), "a".into()).eval(&t, 1).unwrap());
+        assert!(!Predicate::Ne("name".into(), "a".into())
+            .eval(&t, 1)
+            .unwrap());
         assert!(Predicate::IsNull("name".into()).eval(&t, 1).unwrap());
     }
 
     #[test]
     fn comparisons() {
         let t = sample();
-        assert!(Predicate::Lt("amount".into(), 15.0.into()).eval(&t, 0).unwrap());
-        assert!(Predicate::Ge("amount".into(), 30.0.into()).eval(&t, 2).unwrap());
-        assert!(Predicate::Between("id".into(), 2.into(), 3.into()).eval(&t, 1).unwrap());
-        assert!(!Predicate::Between("id".into(), 2.into(), 3.into()).eval(&t, 0).unwrap());
-        assert!(Predicate::In("id".into(), vec![1.into(), 3.into()]).eval(&t, 2).unwrap());
+        assert!(Predicate::Lt("amount".into(), 15.0.into())
+            .eval(&t, 0)
+            .unwrap());
+        assert!(Predicate::Ge("amount".into(), 30.0.into())
+            .eval(&t, 2)
+            .unwrap());
+        assert!(Predicate::Between("id".into(), 2.into(), 3.into())
+            .eval(&t, 1)
+            .unwrap());
+        assert!(!Predicate::Between("id".into(), 2.into(), 3.into())
+            .eval(&t, 0)
+            .unwrap());
+        assert!(Predicate::In("id".into(), vec![1.into(), 3.into()])
+            .eval(&t, 2)
+            .unwrap());
     }
 
     #[test]

@@ -92,8 +92,10 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("q1", schema);
-        t.push_row(vec![2001.into(), "Sales".into(), 150.0.into()]).unwrap();
-        t.push_row(vec![2001.into(), "R&D".into(), Value::Null]).unwrap();
+        t.push_row(vec![2001.into(), "Sales".into(), 150.0.into()])
+            .unwrap();
+        t.push_row(vec![2001.into(), "R&D".into(), Value::Null])
+            .unwrap();
         t
     }
 
@@ -110,10 +112,7 @@ mod tests {
     #[test]
     fn csv_render() {
         let csv = render_csv(&sample());
-        assert_eq!(
-            csv,
-            "Year,Division,Amount\n2001,Sales,150\n2001,R&D,NULL\n"
-        );
+        assert_eq!(csv, "Year,Division,Amount\n2001,Sales,150\n2001,R&D,NULL\n");
     }
 
     #[test]

@@ -14,7 +14,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
-        let columns = schema.columns().iter().map(|c| Column::new(c.dtype)).collect();
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.dtype))
+            .collect();
         Table {
             name: name.into(),
             schema,
@@ -75,10 +79,13 @@ impl Table {
     ///
     /// Returns [`StorageError::UnknownColumn`] when absent.
     pub fn column_by_name(&self, name: &str) -> Result<&Column, StorageError> {
-        let idx = self.schema.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
-            table: self.name.clone(),
-            column: name.to_owned(),
-        })?;
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })?;
         Ok(&self.columns[idx])
     }
 
@@ -169,10 +176,13 @@ impl Table {
         let mut defs = Vec::with_capacity(columns.len());
         let mut idxs = Vec::with_capacity(columns.len());
         for &name in columns {
-            let idx = self.schema.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
-                table: self.name.clone(),
-                column: name.to_owned(),
-            })?;
+            let idx = self
+                .schema
+                .index_of(name)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: name.to_owned(),
+                })?;
             idxs.push(idx);
             defs.push(self.schema.columns()[idx].clone());
         }

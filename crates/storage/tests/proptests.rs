@@ -1,66 +1,84 @@
-//! Property-based tests for the relational operators.
+//! Randomized property tests for the relational operators, driven by
+//! the in-repo deterministic generator (`mvolap_prng::check` replaces
+//! the external `proptest` crate, which the offline build cannot
+//! fetch).
 
+use mvolap_prng::{check, Rng};
 use mvolap_storage::{
     AggCall, AggFunc, ColumnDef, DataType, Predicate, SortKey, Table, TableSchema, Value,
 };
-use proptest::prelude::*;
 
-/// A small relation: (k: int in 0..5, label: nullable str, x: float).
-fn table_strategy() -> impl Strategy<Value = Table> {
-    let row = (0i64..5, prop::option::of("[a-c]{1,2}"), -100.0f64..100.0);
-    prop::collection::vec(row, 0..40).prop_map(|rows| {
-        let schema = TableSchema::new(vec![
-            ColumnDef::required("k", DataType::Int),
-            ColumnDef::nullable("label", DataType::Str),
-            ColumnDef::required("x", DataType::Float),
-        ])
-        .expect("static schema");
-        let mut t = Table::new("t", schema);
-        for (k, label, x) in rows {
-            t.push_row(vec![
-                k.into(),
-                label.map(Value::from).unwrap_or(Value::Null),
-                x.into(),
-            ])
+const CASES: u64 = 128;
+
+/// A small relation: (k: int in 0..5, label: nullable 1–2 letter str,
+/// x: float).
+fn any_table(rng: &mut Rng) -> Table {
+    let schema = TableSchema::new(vec![
+        ColumnDef::required("k", DataType::Int),
+        ColumnDef::nullable("label", DataType::Str),
+        ColumnDef::required("x", DataType::Float),
+    ])
+    .expect("static schema");
+    let mut t = Table::new("t", schema);
+    for _ in 0..rng.usize_below(40) {
+        let k = rng.i64_in(0, 5);
+        let label = if rng.bool() {
+            let len = rng.usize_in(1, 3);
+            let s: String = (0..len)
+                .map(|_| char::from(b'a' + rng.u32_in(0, 3) as u8))
+                .collect();
+            Value::from(s)
+        } else {
+            Value::Null
+        };
+        let x = rng.f64_in(-100.0, 100.0);
+        t.push_row(vec![k.into(), label, x.into()])
             .expect("schema-conformant");
-        }
-        t
-    })
+    }
+    t
 }
 
-proptest! {
-    /// Filtering never invents rows, and complementary predicates
-    /// partition the table.
-    #[test]
-    fn filter_partitions(t in table_strategy(), threshold in -100i64..100) {
+/// Filtering never invents rows, and complementary predicates
+/// partition the table.
+#[test]
+fn filter_partitions() {
+    check(CASES, 0x5701, |rng| {
+        let t = any_table(rng);
+        let threshold = rng.i64_in(-100, 100);
         let p = Predicate::Ge("k".into(), Value::Int(threshold));
         let yes = t.filter(&p).expect("filter");
         let no = t.filter(&p.clone().not()).expect("filter");
-        prop_assert_eq!(yes.len() + no.len(), t.len());
+        assert_eq!(yes.len() + no.len(), t.len());
         for r in yes.rows() {
-            prop_assert!(r[0].as_int().expect("int") >= threshold);
+            assert!(r[0].as_int().expect("int") >= threshold);
         }
-    }
+    });
+}
 
-    /// Sort is a permutation and respects the ordering.
-    #[test]
-    fn sort_is_ordered_permutation(t in table_strategy()) {
+/// Sort is a permutation and respects the ordering.
+#[test]
+fn sort_is_ordered_permutation() {
+    check(CASES, 0x5702, |rng| {
+        let t = any_table(rng);
         let s = t.sort_by(&[SortKey::asc("x")]).expect("sort");
-        prop_assert_eq!(s.len(), t.len());
+        assert_eq!(s.len(), t.len());
         let xs: Vec<f64> = s.rows().map(|r| r[2].as_float().expect("float")).collect();
         for w in xs.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
         // Same multiset of sums (cheap permutation check).
         let sum_t: f64 = t.rows().map(|r| r[2].as_float().expect("float")).sum();
         let sum_s: f64 = xs.iter().sum();
-        prop_assert!((sum_t - sum_s).abs() < 1e-9);
-    }
+        assert!((sum_t - sum_s).abs() < 1e-9);
+    });
+}
 
-    /// Group-by SUM over a key equals the filtered sums, and group sums
-    /// add up to the total.
-    #[test]
-    fn group_by_sums_match_filters(t in table_strategy()) {
+/// Group-by SUM over a key equals the filtered sums, and group sums add
+/// up to the total.
+#[test]
+fn group_by_sums_match_filters() {
+    check(CASES, 0x5703, |rng| {
+        let t = any_table(rng);
         let g = t
             .group_by(&["k"], &[AggCall::new(AggFunc::Sum, "x").with_alias("s")])
             .expect("group by");
@@ -75,25 +93,31 @@ proptest! {
                 .rows()
                 .map(|r| r[2].as_float().expect("float"))
                 .sum();
-            prop_assert!((direct - s).abs() < 1e-9);
+            assert!((direct - s).abs() < 1e-9);
         }
         let total: f64 = t.rows().map(|r| r[2].as_float().expect("float")).sum();
-        prop_assert!((grouped_total - total).abs() < 1e-9);
-    }
+        assert!((grouped_total - total).abs() < 1e-9);
+    });
+}
 
-    /// COUNT group-by sizes sum to the row count.
-    #[test]
-    fn group_by_counts_sum_to_len(t in table_strategy()) {
+/// COUNT group-by sizes sum to the row count.
+#[test]
+fn group_by_counts_sum_to_len() {
+    check(CASES, 0x5704, |rng| {
+        let t = any_table(rng);
         let g = t
             .group_by(&["k"], &[AggCall::new(AggFunc::Count, "k").with_alias("n")])
             .expect("group by");
         let n: i64 = g.rows().map(|r| r[1].as_int().expect("count")).sum();
-        prop_assert_eq!(n as usize, t.len());
-    }
+        assert_eq!(n as usize, t.len());
+    });
+}
 
-    /// Min <= Avg <= Max within every group.
-    #[test]
-    fn group_by_min_avg_max_order(t in table_strategy()) {
+/// Min <= Avg <= Max within every group.
+#[test]
+fn group_by_min_avg_max_order() {
+    check(CASES, 0x5705, |rng| {
+        let t = any_table(rng);
         let g = t
             .group_by(
                 &["k"],
@@ -110,13 +134,16 @@ proptest! {
                 row[2].as_float().expect("avg"),
                 row[3].as_float().expect("max"),
             );
-            prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9);
+            assert!(min <= avg + 1e-9 && avg <= max + 1e-9);
         }
-    }
+    });
+}
 
-    /// Self-join on the key yields exactly Σ n_k² rows.
-    #[test]
-    fn self_join_cardinality(t in table_strategy()) {
+/// Self-join on the key yields exactly Σ n_k² rows.
+#[test]
+fn self_join_cardinality() {
+    check(CASES, 0x5706, |rng| {
+        let t = any_table(rng);
         let j = t.join(&t, "k", "k").expect("join");
         let g = t
             .group_by(&["k"], &[AggCall::new(AggFunc::Count, "k").with_alias("n")])
@@ -128,29 +155,35 @@ proptest! {
                 n * n
             })
             .sum();
-        prop_assert_eq!(j.len() as i64, expected);
-    }
+        assert_eq!(j.len() as i64, expected);
+    });
+}
 
-    /// Distinct is idempotent and never grows.
-    #[test]
-    fn distinct_idempotent(t in table_strategy()) {
+/// Distinct is idempotent and never grows.
+#[test]
+fn distinct_idempotent() {
+    check(CASES, 0x5707, |rng| {
+        let t = any_table(rng);
         let d1 = t.distinct().expect("distinct");
         let d2 = d1.distinct().expect("distinct");
-        prop_assert!(d1.len() <= t.len());
-        prop_assert_eq!(d1.len(), d2.len());
+        assert!(d1.len() <= t.len());
+        assert_eq!(d1.len(), d2.len());
         for (a, b) in d1.rows().zip(d2.rows()) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    /// Projection keeps row count and column contents.
-    #[test]
-    fn project_preserves_columns(t in table_strategy()) {
+/// Projection keeps row count and column contents.
+#[test]
+fn project_preserves_columns() {
+    check(CASES, 0x5708, |rng| {
+        let t = any_table(rng);
         let p = t.project(&["x", "k"]).expect("project");
-        prop_assert_eq!(p.len(), t.len());
+        assert_eq!(p.len(), t.len());
         for (orig, proj) in t.rows().zip(p.rows()) {
-            prop_assert_eq!(&orig[2], &proj[0]);
-            prop_assert_eq!(&orig[0], &proj[1]);
+            assert_eq!(&orig[2], &proj[0]);
+            assert_eq!(&orig[0], &proj[1]);
         }
-    }
+    });
 }

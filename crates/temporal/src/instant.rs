@@ -198,16 +198,34 @@ mod tests {
     #[test]
     fn ym_roundtrip() {
         let i = Instant::ym(2001, 1);
-        assert_eq!(i.to_ym(), YearMonth { year: 2001, month: 1 });
+        assert_eq!(
+            i.to_ym(),
+            YearMonth {
+                year: 2001,
+                month: 1
+            }
+        );
         assert_eq!(i.year(), 2001);
         let j = Instant::ym(2002, 12);
-        assert_eq!(j.to_ym(), YearMonth { year: 2002, month: 12 });
+        assert_eq!(
+            j.to_ym(),
+            YearMonth {
+                year: 2002,
+                month: 12
+            }
+        );
     }
 
     #[test]
     fn ym_rejects_invalid_month() {
-        assert_eq!(Instant::from_ym(2001, 0), Err(TemporalError::InvalidMonth(0)));
-        assert_eq!(Instant::from_ym(2001, 13), Err(TemporalError::InvalidMonth(13)));
+        assert_eq!(
+            Instant::from_ym(2001, 0),
+            Err(TemporalError::InvalidMonth(0))
+        );
+        assert_eq!(
+            Instant::from_ym(2001, 13),
+            Err(TemporalError::InvalidMonth(13))
+        );
     }
 
     #[test]
@@ -265,6 +283,12 @@ mod tests {
     #[test]
     fn negative_year_euclid_decomposition() {
         let i = Instant::ym(-1, 11);
-        assert_eq!(i.to_ym(), YearMonth { year: -1, month: 11 });
+        assert_eq!(
+            i.to_ym(),
+            YearMonth {
+                year: -1,
+                month: 11
+            }
+        );
     }
 }

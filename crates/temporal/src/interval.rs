@@ -122,9 +122,7 @@ impl Interval {
     /// Whether the two intervals are adjacent or overlapping, i.e. their
     /// union is itself an interval.
     pub fn touches(self, other: Interval) -> bool {
-        self.overlaps(other)
-            || self.end.succ() == other.start
-            || other.end.succ() == self.start
+        self.overlaps(other) || self.end.succ() == other.start || other.end.succ() == self.start
     }
 
     /// The smallest interval covering both inputs, when they touch.

@@ -172,8 +172,7 @@ mod tests {
             for iv in &input {
                 // Each input either contains the segment or misses it.
                 assert!(
-                    iv.contains_interval(seg.interval)
-                        || iv.intersect(seg.interval).is_none(),
+                    iv.contains_interval(seg.interval) || iv.intersect(seg.interval).is_none(),
                     "segment {} straddles input {}",
                     seg.interval,
                     iv

@@ -1,67 +1,96 @@
-//! Property-based tests for the temporal algebra.
+//! Randomized property tests for the temporal algebra, driven by the
+//! in-repo deterministic generator (`mvolap_prng::check` replaces the
+//! external `proptest` crate, which the offline build cannot fetch).
 
+use mvolap_prng::{check, Rng};
 use mvolap_temporal::{partition_timeline, AllenRelation, Instant, Interval};
-use proptest::prelude::*;
 
-/// Strategy producing arbitrary valid intervals over a small tick range,
-/// including open (`Now`-ended) ones.
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (-50i64..50, 0i64..40, prop::bool::ANY).prop_map(|(start, len, open)| {
-        let s = Instant::at(start);
-        if open {
-            Interval::since(s)
-        } else {
-            Interval::of(s, Instant::at(start + len))
-        }
-    })
+const CASES: u64 = 256;
+
+/// An arbitrary valid interval over a small tick range, including open
+/// (`Now`-ended) ones.
+fn any_interval(rng: &mut Rng) -> Interval {
+    let start = rng.i64_in(-50, 50);
+    let len = rng.i64_in(0, 40);
+    let s = Instant::at(start);
+    if rng.bool() {
+        Interval::since(s)
+    } else {
+        Interval::of(s, Instant::at(start + len))
+    }
 }
 
-proptest! {
-    #[test]
-    fn intersect_is_commutative(a in interval_strategy(), b in interval_strategy()) {
-        prop_assert_eq!(a.intersect(b), b.intersect(a));
-    }
+fn intervals(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Interval> {
+    (0..rng.usize_in(lo, hi))
+        .map(|_| any_interval(rng))
+        .collect()
+}
 
-    #[test]
-    fn intersect_is_idempotent(a in interval_strategy()) {
-        prop_assert_eq!(a.intersect(a), Some(a));
-    }
+#[test]
+fn intersect_is_commutative() {
+    check(CASES, 0x7e01, |rng| {
+        let (a, b) = (any_interval(rng), any_interval(rng));
+        assert_eq!(a.intersect(b), b.intersect(a));
+    });
+}
 
-    #[test]
-    fn intersection_contained_in_both(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn intersect_is_idempotent() {
+    check(CASES, 0x7e02, |rng| {
+        let a = any_interval(rng);
+        assert_eq!(a.intersect(a), Some(a));
+    });
+}
+
+#[test]
+fn intersection_contained_in_both() {
+    check(CASES, 0x7e03, |rng| {
+        let (a, b) = (any_interval(rng), any_interval(rng));
         if let Some(c) = a.intersect(b) {
-            prop_assert!(a.contains_interval(c));
-            prop_assert!(b.contains_interval(c));
+            assert!(a.contains_interval(c));
+            assert!(b.contains_interval(c));
         }
-    }
+    });
+}
 
-    #[test]
-    fn overlaps_agrees_with_intersect(a in interval_strategy(), b in interval_strategy()) {
-        prop_assert_eq!(a.overlaps(b), a.intersect(b).is_some());
-    }
+#[test]
+fn overlaps_agrees_with_intersect() {
+    check(CASES, 0x7e04, |rng| {
+        let (a, b) = (any_interval(rng), any_interval(rng));
+        assert_eq!(a.overlaps(b), a.intersect(b).is_some());
+    });
+}
 
-    #[test]
-    fn union_contains_both(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn union_contains_both() {
+    check(CASES, 0x7e05, |rng| {
+        let (a, b) = (any_interval(rng), any_interval(rng));
         if let Some(u) = a.union(b) {
-            prop_assert!(u.contains_interval(a));
-            prop_assert!(u.contains_interval(b));
+            assert!(u.contains_interval(a));
+            assert!(u.contains_interval(b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn allen_is_exhaustive_and_consistent(a in interval_strategy(), b in interval_strategy()) {
-        use AllenRelation::*;
+#[test]
+fn allen_is_exhaustive_and_consistent() {
+    use AllenRelation::*;
+    check(CASES, 0x7e06, |rng| {
+        let (a, b) = (any_interval(rng), any_interval(rng));
         let rel = a.allen(b);
         // Overlap-classifying relations must agree with `overlaps`.
         let overlapping = !matches!(rel, Before | Meets | MetBy | After);
-        prop_assert_eq!(overlapping, a.overlaps(b));
+        assert_eq!(overlapping, a.overlaps(b));
         // Equals iff identical.
-        prop_assert_eq!(rel == Equals, a == b);
-    }
+        assert_eq!(rel == Equals, a == b);
+    });
+}
 
-    #[test]
-    fn allen_inverse_symmetry(a in interval_strategy(), b in interval_strategy()) {
-        use AllenRelation::*;
+#[test]
+fn allen_inverse_symmetry() {
+    use AllenRelation::*;
+    check(CASES, 0x7e07, |rng| {
+        let (a, b) = (any_interval(rng), any_interval(rng));
         let inverse = match a.allen(b) {
             Before => After,
             Meets => MetBy,
@@ -77,61 +106,64 @@ proptest! {
             MetBy => Meets,
             After => Before,
         };
-        prop_assert_eq!(b.allen(a), inverse);
-    }
+        assert_eq!(b.allen(a), inverse);
+    });
+}
 
-    #[test]
-    fn partition_segments_are_ordered_and_disjoint(
-        ivs in prop::collection::vec(interval_strategy(), 0..12)
-    ) {
+#[test]
+fn partition_segments_are_ordered_and_disjoint() {
+    check(CASES, 0x7e08, |rng| {
+        let ivs = intervals(rng, 0, 12);
         let segs = partition_timeline(&ivs);
         for w in segs.windows(2) {
-            prop_assert!(w[0].interval.end() < w[1].interval.start());
+            assert!(w[0].interval.end() < w[1].interval.start());
         }
-    }
+    });
+}
 
-    #[test]
-    fn partition_refines_every_input(
-        ivs in prop::collection::vec(interval_strategy(), 0..12)
-    ) {
+#[test]
+fn partition_refines_every_input() {
+    check(CASES, 0x7e09, |rng| {
+        let ivs = intervals(rng, 0, 12);
         for seg in partition_timeline(&ivs) {
             for iv in &ivs {
-                prop_assert!(
-                    iv.contains_interval(seg.interval) || iv.intersect(seg.interval).is_none()
-                );
+                assert!(iv.contains_interval(seg.interval) || iv.intersect(seg.interval).is_none());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn partition_covers_exactly_the_union(
-        ivs in prop::collection::vec(interval_strategy(), 1..10),
-        probe in -60i64..120
-    ) {
-        let t = Instant::at(probe);
+#[test]
+fn partition_covers_exactly_the_union() {
+    check(CASES, 0x7e0a, |rng| {
+        let ivs = intervals(rng, 1, 10);
+        let t = Instant::at(rng.i64_in(-60, 120));
         let covered = ivs.iter().any(|iv| iv.contains(t));
         let in_segment = partition_timeline(&ivs)
             .iter()
             .any(|s| s.interval.contains(t));
-        prop_assert_eq!(covered, in_segment);
-    }
+        assert_eq!(covered, in_segment);
+    });
+}
 
-    #[test]
-    fn partition_active_sets_are_correct(
-        ivs in prop::collection::vec(interval_strategy(), 1..10)
-    ) {
+#[test]
+fn partition_active_sets_are_correct() {
+    check(CASES, 0x7e0b, |rng| {
+        let ivs = intervals(rng, 1, 10);
         for seg in partition_timeline(&ivs) {
             let probe = seg.interval.start();
             for (idx, iv) in ivs.iter().enumerate() {
-                prop_assert_eq!(seg.active.contains(&idx), iv.contains(probe));
+                assert_eq!(seg.active.contains(&idx), iv.contains(probe));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pred_succ_monotonic(t in -1000i64..1000) {
-        let i = Instant::at(t);
-        prop_assert!(i.pred() < i);
-        prop_assert!(i < i.succ());
-    }
+#[test]
+fn pred_succ_monotonic() {
+    check(CASES, 0x7e0c, |rng| {
+        let i = Instant::at(rng.i64_in(-1000, 1000));
+        assert!(i.pred() < i);
+        assert!(i < i.succ());
+    });
 }

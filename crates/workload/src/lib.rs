@@ -6,17 +6,15 @@
 //! evaluation is a worked case study; these generators provide the
 //! scaling workloads behind the benchmark suite's shape experiments.
 //!
-//! All generation is seeded (`rand::StdRng`), so every benchmark run
-//! sees exactly the same schema and facts for a given configuration.
+//! All generation is seeded (`mvolap_prng::Rng`), so every benchmark
+//! run sees exactly the same schema and facts for a given configuration.
 
 use mvolap_core::evolution::{self, MergeSource, SplitPart};
 use mvolap_core::{
     DimensionId, MeasureDef, MemberVersionId, MemberVersionSpec, Result, TemporalDimension, Tmd,
 };
+use mvolap_prng::Rng;
 use mvolap_temporal::{Granularity, Instant, Interval};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of an evolving-organisation workload.
 #[derive(Debug, Clone)]
@@ -135,7 +133,7 @@ pub struct GeneratedWorkload {
 /// Propagates evolution-operator failures (none are expected for valid
 /// configurations).
 pub fn generate(config: &WorkloadConfig) -> Result<GeneratedWorkload> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut tmd = Tmd::new("workload", Granularity::Month);
     let dim = tmd.add_dimension(TemporalDimension::new("Org"))?;
     tmd.add_measure(MeasureDef::summed("Amount"))?;
@@ -154,7 +152,7 @@ pub fn generate(config: &WorkloadConfig) -> Result<GeneratedWorkload> {
         divisions.push(id);
     }
     for _ in 0..config.initial_departments {
-        let parent = *divisions.choose(&mut rng).expect("at least one division");
+        let parent = *rng.choose(&divisions).expect("at least one division");
         let name = format!("Dept{dept_counter}");
         dept_counter += 1;
         evolution::create(
@@ -171,14 +169,23 @@ pub fn generate(config: &WorkloadConfig) -> Result<GeneratedWorkload> {
         let year = 2001 + period as i32;
         let boundary = Instant::ym(year, 1);
         if period > 0 {
-            evolve_period(&mut tmd, dim, &divisions, boundary, config, &mut rng, &mut stats, &mut dept_counter)?;
+            evolve_period(
+                &mut tmd,
+                dim,
+                &divisions,
+                boundary,
+                config,
+                &mut rng,
+                &mut stats,
+                &mut dept_counter,
+            )?;
         }
         // Facts mid-year for every live department.
         let mid = Instant::ym(year, 6);
         let leaves: Vec<MemberVersionId> = live_departments(&tmd, dim, mid)?;
         for leaf in leaves {
             for _ in 0..config.facts_per_department {
-                let amount = rng.gen_range(10.0..200.0f64).round();
+                let amount = rng.f64_in(10.0, 200.0).round();
                 tmd.add_fact(&[leaf], mid, &[amount])?;
                 stats.facts += 1;
             }
@@ -210,13 +217,13 @@ fn evolve_period(
     divisions: &[MemberVersionId],
     boundary: Instant,
     config: &WorkloadConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     stats: &mut WorkloadStats,
     dept_counter: &mut usize,
 ) -> Result<()> {
     let before = boundary.pred();
     let mut live = live_departments(tmd, dim, before)?;
-    live.shuffle(rng);
+    rng.shuffle(&mut live);
     // Members already consumed by an event this period.
     let mut consumed: Vec<MemberVersionId> = Vec::new();
 
@@ -224,13 +231,13 @@ fn evolve_period(
         if consumed.contains(&dept) {
             continue;
         }
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64_unit();
         let parents = tmd.dimension(dim)?.parents_at(dept, before);
         if roll < config.split_prob {
             let a = format!("Dept{}", *dept_counter);
             let b = format!("Dept{}", *dept_counter + 1);
             *dept_counter += 2;
-            let share = rng.gen_range(0.2..0.8);
+            let share = rng.f64_in(0.2, 0.8);
             evolution::split(
                 tmd,
                 dim,
@@ -270,7 +277,7 @@ fn evolve_period(
                 stats.merges += 1;
             }
         } else if roll < config.split_prob + config.merge_prob + config.reclassify_prob {
-            let target = *divisions.choose(rng).expect("at least one division");
+            let target = *rng.choose(divisions).expect("at least one division");
             if !parents.contains(&target) {
                 evolution::reclassify(tmd, dim, dept, boundary, &parents, &[target])?;
                 stats.reclassifications += 1;
@@ -286,11 +293,18 @@ fn evolve_period(
             }
         }
     }
-    if rng.gen::<f64>() < config.create_prob * live.len() as f64 {
-        let parent = *divisions.choose(rng).expect("at least one division");
+    if rng.f64_unit() < config.create_prob * live.len() as f64 {
+        let parent = *rng.choose(divisions).expect("at least one division");
         let name = format!("Dept{}", *dept_counter);
         *dept_counter += 1;
-        evolution::create(tmd, dim, name, Some("Department".into()), boundary, &[parent])?;
+        evolution::create(
+            tmd,
+            dim,
+            name,
+            Some("Department".into()),
+            boundary,
+            &[parent],
+        )?;
         stats.creations += 1;
     }
     Ok(())

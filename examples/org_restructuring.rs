@@ -11,9 +11,7 @@
 //! cargo run --example org_restructuring
 //! ```
 
-use mvolap::core::evolution::{
-    self, MergeSource, PartialAnnexationSpec, SplitPart,
-};
+use mvolap::core::evolution::{self, MergeSource, PartialAnnexationSpec, SplitPart};
 use mvolap::core::{ConfidenceWeights, MeasureDef, MemberVersionSpec, TemporalDimension, Tmd};
 use mvolap::cube::mode_qualities;
 use mvolap::prelude::*;
@@ -23,7 +21,8 @@ fn main() {
     let dim = tmd
         .add_dimension(TemporalDimension::new("Faculty"))
         .expect("fresh schema");
-    tmd.add_measure(MeasureDef::summed("Budget")).expect("fresh schema");
+    tmd.add_measure(MeasureDef::summed("Budget"))
+        .expect("fresh schema");
 
     // 2010: two faculties, four institutes.
     let t0 = Instant::ym(2010, 1);
@@ -48,20 +47,35 @@ fn main() {
         ("Inst.History", arts),
         ("Inst.Music", arts),
     ] {
-        let o = evolution::create(&mut tmd, dim, name, Some("Institute".into()), t0, &[faculty])
-            .expect("create");
+        let o = evolution::create(
+            &mut tmd,
+            dim,
+            name,
+            Some("Institute".into()),
+            t0,
+            &[faculty],
+        )
+        .expect("create");
         println!("create {name}:\n{}\n", o.render(&tmd));
         institutes.push(o.created[0]);
     }
-    let [math, physics, history, music]: [_; 4] =
-        institutes.try_into().expect("four institutes");
+    let [math, physics, history, music]: [_; 4] = institutes.try_into().expect("four institutes");
 
     // Budgets for 2010-2013 (before any evolution).
     for year in 2010..=2013 {
-        for (inst, budget) in [(math, 300.0), (physics, 500.0), (history, 200.0), (music, 100.0)]
-        {
-            if tmd.dimension(dim).expect("dim").is_valid_at(inst, Instant::ym(year, 6)) {
-                tmd.add_fact(&[inst], Instant::ym(year, 6), &[budget]).expect("fact");
+        for (inst, budget) in [
+            (math, 300.0),
+            (physics, 500.0),
+            (history, 200.0),
+            (music, 100.0),
+        ] {
+            if tmd
+                .dimension(dim)
+                .expect("dim")
+                .is_valid_at(inst, Instant::ym(year, 6))
+            {
+                tmd.add_fact(&[inst], Instant::ym(year, 6), &[budget])
+                    .expect("fact");
             }
         }
     }
@@ -69,9 +83,12 @@ fn main() {
     // 2014: History moves from Arts to Science (pure reclassification —
     // the conceptual model keeps the member version and re-wires edges).
     let t1 = Instant::ym(2014, 1);
-    let o = evolution::reclassify(&mut tmd, dim, history, t1, &[arts], &[science])
-        .expect("reclassify");
-    println!("reclassify Inst.History under Science:\n{}\n", o.render(&tmd));
+    let o =
+        evolution::reclassify(&mut tmd, dim, history, t1, &[arts], &[science]).expect("reclassify");
+    println!(
+        "reclassify Inst.History under Science:\n{}\n",
+        o.render(&tmd)
+    );
 
     // 2015: Math splits into Pure (30%) and Applied (70%).
     let t2 = Instant::ym(2015, 1);
@@ -164,14 +181,17 @@ fn main() {
     println!();
 
     println!("== Faculty dimension (GraphViz DOT — render with `dot -Tsvg`) ==");
-    println!("{}", tmd.dimension(dim).expect("dim").to_dot(Granularity::Month));
+    println!(
+        "{}",
+        tmd.dimension(dim).expect("dim").to_dot(Granularity::Month)
+    );
 
     // Finally: budget by institute in every temporal mode, with the
     // §5.2 quality factor guiding the choice of mode.
     let q = AggregateQuery::by_year(dim, "Institute", TemporalMode::Consistent);
     println!("== Quality factor of `budget by institute and year` per mode ==");
-    let scores = mode_qualities(&tmd, &svs, &q, &ConfidenceWeights::DEFAULT)
-        .expect("query evaluates");
+    let scores =
+        mode_qualities(&tmd, &svs, &q, &ConfidenceWeights::DEFAULT).expect("query evaluates");
     for s in &scores {
         println!(
             "  {:<6} Q = {:.3}  ({} rows, {} unmapped facts)",

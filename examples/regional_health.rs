@@ -45,18 +45,15 @@ fn main() {
         facilities.push(f);
     }
     let dim = tmd.add_dimension(geo).expect("fresh schema");
-    tmd.add_measure(MeasureDef::summed("Admissions")).expect("fresh schema");
+    tmd.add_measure(MeasureDef::summed("Admissions"))
+        .expect("fresh schema");
 
     // Levels are equivalence classes of DAG depth (Definition 4).
     let (derivation, levels) = levels_at(tmd.dimension(dim).expect("geo"), Instant::ym(2010, 6));
     assert_eq!(derivation, LevelDerivation::Depth);
     println!("Derived levels at 06/2010:");
     for l in &levels {
-        println!(
-            "  {} -> {} members",
-            l.name,
-            l.members.len()
-        );
+        println!("  {} -> {} members", l.name, l.members.len());
     }
     println!();
 
@@ -111,19 +108,18 @@ fn main() {
     let last = svs.last().expect("versions").id;
     let rs = run(
         &tmd,
-        &format!("SELECT sum(Admissions) BY year, Geo.L1 IN MODE VERSION {}", last.0),
+        &format!(
+            "SELECT sum(Admissions) BY year, Geo.L1 IN MODE VERSION {}",
+            last.0
+        ),
     )
     .expect("query runs");
     print!("{}", rs.render("admissions").expect("renderable"));
     println!();
 
     // The cube works identically over derived levels.
-    let cube = Cube::build_incremental(
-        &tmd,
-        &svs,
-        CubeSpec::for_mode(TemporalMode::Version(last)),
-    )
-    .expect("cube builds");
+    let cube = Cube::build_incremental(&tmd, &svs, CubeSpec::for_mode(TemporalMode::Version(last)))
+        .expect("cube builds");
     println!(
         "Cube: {} nodes ({} from facts, {} derived incrementally)",
         cube.node_count(),

@@ -17,14 +17,17 @@
 //! ```
 
 use mvolap::core::MeasureDef;
-use mvolap::etl::{apply_changes, diff, Scd1Dimension, Scd2Dimension, Scd3Dimension, Snapshot, SnapshotRow};
+use mvolap::etl::{
+    apply_changes, diff, Scd1Dimension, Scd2Dimension, Scd3Dimension, Snapshot, SnapshotRow,
+};
 use mvolap::prelude::*;
 use mvolap::query::run;
 
 fn snapshot(year: i32, rows: &[(&str, Option<&str>, &str)]) -> Snapshot {
     Snapshot::new(
         Instant::ym(year, 1),
-        rows.iter().map(|(m, p, l)| SnapshotRow::new(*m, *p).at_level(*l)),
+        rows.iter()
+            .map(|(m, p, l)| SnapshotRow::new(*m, *p).at_level(*l)),
     )
 }
 
@@ -32,28 +35,37 @@ fn main() {
     // Three yearly snapshots: Smith moves to R&D in 2002; a new Support
     // division absorbs Smith in 2003.
     let snapshots = vec![
-        snapshot(2001, &[
-            ("Sales", None, "Division"),
-            ("R&D", None, "Division"),
-            ("Dpt.Jones", Some("Sales"), "Department"),
-            ("Dpt.Smith", Some("Sales"), "Department"),
-            ("Dpt.Brian", Some("R&D"), "Department"),
-        ]),
-        snapshot(2002, &[
-            ("Sales", None, "Division"),
-            ("R&D", None, "Division"),
-            ("Dpt.Jones", Some("Sales"), "Department"),
-            ("Dpt.Smith", Some("R&D"), "Department"),
-            ("Dpt.Brian", Some("R&D"), "Department"),
-        ]),
-        snapshot(2003, &[
-            ("Sales", None, "Division"),
-            ("R&D", None, "Division"),
-            ("Support", None, "Division"),
-            ("Dpt.Jones", Some("Sales"), "Department"),
-            ("Dpt.Smith", Some("Support"), "Department"),
-            ("Dpt.Brian", Some("R&D"), "Department"),
-        ]),
+        snapshot(
+            2001,
+            &[
+                ("Sales", None, "Division"),
+                ("R&D", None, "Division"),
+                ("Dpt.Jones", Some("Sales"), "Department"),
+                ("Dpt.Smith", Some("Sales"), "Department"),
+                ("Dpt.Brian", Some("R&D"), "Department"),
+            ],
+        ),
+        snapshot(
+            2002,
+            &[
+                ("Sales", None, "Division"),
+                ("R&D", None, "Division"),
+                ("Dpt.Jones", Some("Sales"), "Department"),
+                ("Dpt.Smith", Some("R&D"), "Department"),
+                ("Dpt.Brian", Some("R&D"), "Department"),
+            ],
+        ),
+        snapshot(
+            2003,
+            &[
+                ("Sales", None, "Division"),
+                ("R&D", None, "Division"),
+                ("Support", None, "Division"),
+                ("Dpt.Jones", Some("Sales"), "Department"),
+                ("Dpt.Smith", Some("Support"), "Department"),
+                ("Dpt.Brian", Some("R&D"), "Department"),
+            ],
+        ),
     ];
 
     // --- SCD baselines ingest the stream ---------------------------------
@@ -71,7 +83,8 @@ fn main() {
     let dim = tmd
         .add_dimension(mvolap::core::TemporalDimension::new("Org"))
         .expect("fresh schema");
-    tmd.add_measure(MeasureDef::summed("Amount")).expect("fresh schema");
+    tmd.add_measure(MeasureDef::summed("Amount"))
+        .expect("fresh schema");
     mvolap::etl::load::bootstrap(&mut tmd, dim, &snapshots[0]).expect("bootstrap");
     for pair in snapshots.windows(2) {
         let events = diff(&pair[0], &pair[1]);
@@ -86,7 +99,10 @@ fn main() {
     println!("Question: where did Dpt.Smith sit, year by year?\n");
 
     println!("SCD Type 1 (overwrite):");
-    println!("  2001: {:?}  <- history destroyed", scd1.parent_of("Dpt.Smith"));
+    println!(
+        "  2001: {:?}  <- history destroyed",
+        scd1.parent_of("Dpt.Smith")
+    );
     println!("  2003: {:?}", scd1.parent_of("Dpt.Smith"));
 
     println!("\nSCD Type 2 (row versioning):");

@@ -15,6 +15,7 @@
 //! |---|---|
 //! | [`temporal`] | Discrete instants, validity intervals, timeline partition |
 //! | [`storage`] | In-memory columnar relational engine ("warehouse server") |
+//! | [`exec`] | Morsel-parallel execution engine + generation-keyed memo cache |
 //! | [`core`] | The paper's model: Definitions 1–12 + evolution operators |
 //! | [`etl`] | Snapshot change detection, loaders, SCD Type 1/2/3 baselines |
 //! | [`query`] | Textual query language with `IN MODE` temporal presentation |
@@ -44,6 +45,7 @@
 pub use mvolap_core as core;
 pub use mvolap_cube as cube;
 pub use mvolap_etl as etl;
+pub use mvolap_exec as exec;
 pub use mvolap_query as query;
 pub use mvolap_storage as storage;
 pub use mvolap_temporal as temporal;
@@ -52,9 +54,10 @@ pub use mvolap_workload as workload;
 /// Commonly used items, one `use` away.
 pub mod prelude {
     pub use mvolap_core::{
-        evaluate, AggregateQuery, Aggregator, Confidence, ConfidenceWeights, DimensionId,
-        MeasureDef, MemberVersionId, MemberVersionSpec, MultiVersionFactTable, StructureVersionId,
-        TemporalDimension, TemporalMode, TimeLevel, Tmd,
+        evaluate, evaluate_par, AggregateQuery, Aggregator, Confidence, ConfidenceWeights,
+        DimensionId, ExecContext, MeasureDef, MemberVersionId, MemberVersionSpec,
+        MultiVersionFactTable, QueryMemo, StructureVersionId, TemporalDimension, TemporalMode,
+        TimeLevel, Tmd,
     };
     pub use mvolap_temporal::{Granularity, Instant, Interval};
 }

@@ -116,17 +116,9 @@ fn cube_view_rollup_preserves_totals() {
     let cube =
         Cube::build(&w.tmd, &svs, CubeSpec::for_mode(TemporalMode::Consistent)).expect("cube");
     let mut view = CubeView::open(&cube);
-    let dept_total: f64 = view
-        .rows()
-        .iter()
-        .filter_map(|r| r.cells[0].value)
-        .sum();
+    let dept_total: f64 = view.rows().iter().filter_map(|r| r.cells[0].value).sum();
     view.roll_up(w.dim).expect("dimension exists");
-    let div_total: f64 = view
-        .rows()
-        .iter()
-        .filter_map(|r| r.cells[0].value)
-        .sum();
+    let div_total: f64 = view.rows().iter().filter_map(|r| r.cells[0].value).sum();
     assert!(
         (dept_total - div_total).abs() < 1e-6 * dept_total.abs().max(1.0),
         "roll-up changed the total: {dept_total} vs {div_total}"
@@ -193,7 +185,10 @@ fn logical_export_round_trips_through_relational_group_by() {
 fn warehouse_builds_for_generated_workloads() {
     let w = evolving_workload(90);
     let warehouse = logical::build_multiversion_warehouse(&w.tmd).expect("builds");
-    assert!(!warehouse.get("fact_multiversion").expect("exists").is_empty());
+    assert!(!warehouse
+        .get("fact_multiversion")
+        .expect("exists")
+        .is_empty());
     assert!(!warehouse.get("dim_Org_star").expect("exists").is_empty());
     // Evolution events were logged.
     assert!(!warehouse.get("meta_evolutions").expect("exists").is_empty());

@@ -27,23 +27,35 @@ fn build() -> TwoDim {
     let all = Interval::since(Instant::ym(2001, 1));
 
     let mut org = TemporalDimension::new("Org");
-    let div = org.add_version(MemberVersionSpec::named("Division1").at_level("Division"), all);
-    let dept_a = org.add_version(MemberVersionSpec::named("DeptA").at_level("Department"), all);
-    let dept_b = org.add_version(MemberVersionSpec::named("DeptB").at_level("Department"), all);
+    let div = org.add_version(
+        MemberVersionSpec::named("Division1").at_level("Division"),
+        all,
+    );
+    let dept_a = org.add_version(
+        MemberVersionSpec::named("DeptA").at_level("Department"),
+        all,
+    );
+    let dept_b = org.add_version(
+        MemberVersionSpec::named("DeptB").at_level("Department"),
+        all,
+    );
     org.add_relationship(dept_a, div, all).expect("edge");
     org.add_relationship(dept_b, div, all).expect("edge");
     let org_id = tmd.add_dimension(org).expect("fresh schema");
 
     let mut product = TemporalDimension::new("Product");
-    let family =
-        product.add_version(MemberVersionSpec::named("AllProducts").at_level("Family"), all);
+    let family = product.add_version(
+        MemberVersionSpec::named("AllProducts").at_level("Family"),
+        all,
+    );
     let gadget = product.add_version(MemberVersionSpec::named("Gadget").at_level("Item"), all);
     let widget = product.add_version(MemberVersionSpec::named("Widget").at_level("Item"), all);
     product.add_relationship(gadget, family, all).expect("edge");
     product.add_relationship(widget, family, all).expect("edge");
     let product_id = tmd.add_dimension(product).expect("fresh schema");
 
-    tmd.add_measure(MeasureDef::summed("Revenue")).expect("fresh schema");
+    tmd.add_measure(MeasureDef::summed("Revenue"))
+        .expect("fresh schema");
 
     // 2001-2002 facts on the original structure.
     for year in [2001, 2002] {
@@ -181,10 +193,7 @@ fn group_by_two_dimensions() {
     let s = build();
     let svs = s.tmd.structure_versions();
     let q = AggregateQuery {
-        group_by: vec![
-            (s.org, "Department".into()),
-            (s.product, "Item".into()),
-        ],
+        group_by: vec![(s.org, "Department".into()), (s.product, "Item".into())],
         time_level: TimeLevel::Year,
         measures: vec![],
         mode: TemporalMode::Consistent,
@@ -226,8 +235,12 @@ fn mixed_mode_maps_one_dimension_only() {
         })
         .collect();
     // Gadget survives untouched; DeptA fans into A1/A2.
-    assert!(rows_2002.iter().any(|(o, p, v)| o == "DeptA1" && p == "Gadget" && *v == 50.0));
-    assert!(rows_2002.iter().any(|(o, p, v)| o == "DeptA2" && p == "Gadget" && *v == 50.0));
+    assert!(rows_2002
+        .iter()
+        .any(|(o, p, v)| o == "DeptA1" && p == "Gadget" && *v == 50.0));
+    assert!(rows_2002
+        .iter()
+        .any(|(o, p, v)| o == "DeptA2" && p == "Gadget" && *v == 50.0));
     assert!(rows_2002.iter().all(|(_, p, _)| !p.starts_with("GadgetS")));
     // Product side was untouched, Org mapping downgrades confidence.
     let q = AggregateQuery {

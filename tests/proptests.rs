@@ -1,52 +1,43 @@
-//! Cross-crate property-based tests: model invariants that must hold
-//! for *any* evolving workload, not just the paper's case study.
+//! Cross-crate randomized property tests: model invariants that must
+//! hold for *any* evolving workload, not just the paper's case study.
+//! Driven by the in-repo deterministic generator (`mvolap_prng::check`
+//! replaces the external `proptest` crate, which the offline build
+//! cannot fetch).
 
 use mvolap::core::aggregate::{evaluate, AggregateQuery, TimeLevel};
 use mvolap::core::{
     infer_structure_versions, Confidence, DeltaMvft, MultiVersionFactTable, TemporalMode,
 };
 use mvolap::workload::{generate, GeneratedWorkload, WorkloadConfig};
-use proptest::prelude::*;
+use mvolap_prng::{check, Rng};
 
-/// Strategy producing generated workloads with evolution but no
-/// creations/deletions (so every fact is mappable in every mode).
-fn conservative_workload() -> impl Strategy<Value = GeneratedWorkload> {
-    (
-        0u64..1_000,     // seed
-        2u32..6,         // periods
-        3usize..12,      // departments
-        0.0f64..0.4,     // split
-        0.0f64..0.2,     // merge
-        0.0f64..0.3,     // reclassify
-    )
-        .prop_map(|(seed, periods, depts, split, merge, reclassify)| {
-            let mut cfg = WorkloadConfig::small(seed)
-                .with_periods(periods)
-                .with_departments(depts)
-                .with_facts_per_department(2);
-            cfg.split_prob = split;
-            cfg.merge_prob = merge;
-            cfg.reclassify_prob = reclassify;
-            cfg.create_prob = 0.0;
-            cfg.delete_prob = 0.0;
-            generate(&cfg).expect("valid configurations generate")
-        })
+const CASES: u64 = 24;
+
+/// A generated workload with evolution but no creations/deletions (so
+/// every fact is mappable in every mode).
+fn conservative_workload(rng: &mut Rng) -> GeneratedWorkload {
+    let mut cfg = WorkloadConfig::small(rng.u64_below(1_000))
+        .with_periods(rng.u32_in(2, 6))
+        .with_departments(rng.usize_in(3, 12))
+        .with_facts_per_department(2);
+    cfg.split_prob = rng.f64_in(0.0, 0.4);
+    cfg.merge_prob = rng.f64_in(0.0, 0.2);
+    cfg.reclassify_prob = rng.f64_in(0.0, 0.3);
+    cfg.create_prob = 0.0;
+    cfg.delete_prob = 0.0;
+    generate(&cfg).expect("valid configurations generate")
 }
 
-/// Strategy allowing creations and deletions too.
-fn any_workload() -> impl Strategy<Value = GeneratedWorkload> {
-    (0u64..1_000, 2u32..5, 3usize..10, 0.0f64..0.3, 0.0f64..0.2).prop_map(
-        |(seed, periods, depts, split, delete)| {
-            let mut cfg = WorkloadConfig::small(seed)
-                .with_periods(periods)
-                .with_departments(depts)
-                .with_facts_per_department(2);
-            cfg.split_prob = split;
-            cfg.delete_prob = delete;
-            cfg.create_prob = 0.1;
-            generate(&cfg).expect("valid configurations generate")
-        },
-    )
+/// A workload allowing creations and deletions too.
+fn any_workload(rng: &mut Rng) -> GeneratedWorkload {
+    let mut cfg = WorkloadConfig::small(rng.u64_below(1_000))
+        .with_periods(rng.u32_in(2, 5))
+        .with_departments(rng.usize_in(3, 10))
+        .with_facts_per_department(2);
+    cfg.split_prob = rng.f64_in(0.0, 0.3);
+    cfg.delete_prob = rng.f64_in(0.0, 0.2);
+    cfg.create_prob = 0.1;
+    generate(&cfg).expect("valid configurations generate")
 }
 
 fn grand_total(w: &GeneratedWorkload, mode: TemporalMode) -> (Option<f64>, usize) {
@@ -68,116 +59,134 @@ fn grand_total(w: &GeneratedWorkload, mode: TemporalMode) -> (Option<f64>, usize
     (value, rs.unmapped_rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Measure mass is conserved in every temporal mode when every
-    /// transition carries a total mapping (splits sum to 1, merges map
-    /// identically forward).
-    #[test]
-    fn mass_conserved_across_modes(w in conservative_workload()) {
+/// Measure mass is conserved in every temporal mode when every
+/// transition carries a total mapping (splits sum to 1, merges map
+/// identically forward).
+#[test]
+fn mass_conserved_across_modes() {
+    check(CASES, 0xa001, |rng| {
+        let w = conservative_workload(rng);
         let (tcm, _) = grand_total(&w, TemporalMode::Consistent);
         let tcm = tcm.expect("facts exist");
         for sv in w.tmd.structure_versions() {
             let (v, unmapped) = grand_total(&w, TemporalMode::Version(sv.id));
-            prop_assert_eq!(unmapped, 0);
+            assert_eq!(unmapped, 0);
             let v = v.expect("all facts map");
-            prop_assert!((tcm - v).abs() < 1e-6 * tcm.abs().max(1.0),
-                "mode {} total {} != tcm {}", sv.id, v, tcm);
+            assert!(
+                (tcm - v).abs() < 1e-6 * tcm.abs().max(1.0),
+                "mode {} total {} != tcm {}",
+                sv.id,
+                v,
+                tcm
+            );
         }
-    }
+    });
+}
 
-    /// The structure versions always partition the covered timeline:
-    /// chronologically ordered, gap-free inside coverage, adjacent
-    /// versions differing in membership.
-    #[test]
-    fn structure_versions_partition_history(w in any_workload()) {
+/// The structure versions always partition the covered timeline:
+/// chronologically ordered, gap-free inside coverage, adjacent versions
+/// differing in membership.
+#[test]
+fn structure_versions_partition_history() {
+    check(CASES, 0xa002, |rng| {
+        let w = any_workload(rng);
         let svs = w.tmd.structure_versions();
-        prop_assert!(!svs.is_empty());
+        assert!(!svs.is_empty());
         for pair in svs.windows(2) {
             // Ordered and adjacent (the workload dimension has no gaps:
             // divisions are eternal).
-            prop_assert_eq!(pair[0].interval.end().succ(), pair[1].interval.start());
+            assert_eq!(pair[0].interval.end().succ(), pair[1].interval.start());
             // Adjacent versions must differ in members or edges, else
             // they would be one version.
-            prop_assert!(
-                pair[0].members != pair[1].members || pair[0].edges != pair[1].edges
-            );
+            assert!(pair[0].members != pair[1].members || pair[0].edges != pair[1].edges);
         }
         // The last version is open (divisions live forever).
-        prop_assert!(svs.last().expect("nonempty").interval.is_current());
-    }
+        assert!(svs.last().expect("nonempty").interval.is_current());
+    });
+}
 
-    /// Definition 11's inclusion: the restriction of the multiversion
-    /// fact table to tcm is the consistent fact table with `sd`
-    /// confidence everywhere.
-    #[test]
-    fn tcm_presentation_is_source_data(w in any_workload()) {
+/// Definition 11's inclusion: the restriction of the multiversion fact
+/// table to tcm is the consistent fact table with `sd` confidence
+/// everywhere.
+#[test]
+fn tcm_presentation_is_source_data() {
+    check(CASES, 0xa003, |rng| {
+        let w = any_workload(rng);
         let mv = MultiVersionFactTable::infer(&w.tmd).expect("inference");
         let tcm = mv.for_mode(&TemporalMode::Consistent).expect("tcm");
-        prop_assert_eq!(tcm.unmapped_rows, 0);
+        assert_eq!(tcm.unmapped_rows, 0);
         let total: f64 = tcm.rows.iter().filter_map(|r| r.cells[0].value).sum();
         let fact_total: f64 = (0..w.tmd.facts().len())
             .map(|r| w.tmd.facts().value(r, 0))
             .sum();
-        prop_assert!((total - fact_total).abs() < 1e-6);
+        assert!((total - fact_total).abs() < 1e-6);
         for row in &tcm.rows {
             for c in &row.cells {
-                prop_assert_eq!(c.confidence, Confidence::Source);
+                assert_eq!(c.confidence, Confidence::Source);
             }
         }
-    }
+    });
+}
 
-    /// The delta (differences-only) materialisation reconstructs exactly
-    /// the full materialisation, for every mode.
-    #[test]
-    fn delta_equals_full_materialisation(w in any_workload()) {
+/// The delta (differences-only) materialisation reconstructs exactly
+/// the full materialisation, for every mode.
+#[test]
+fn delta_equals_full_materialisation() {
+    check(CASES, 0xa004, |rng| {
+        let w = any_workload(rng);
         let full = MultiVersionFactTable::infer(&w.tmd).expect("full");
         let delta = DeltaMvft::infer(&w.tmd).expect("delta");
         for sv in w.tmd.structure_versions() {
             let mode = TemporalMode::Version(sv.id);
             let f = full.for_mode(&mode).expect("mode present");
             let r = delta.reconstruct(&w.tmd, &mode).expect("reconstructs");
-            prop_assert_eq!(f.rows.len(), r.rows.len());
-            prop_assert_eq!(f.unmapped_rows, r.unmapped_rows);
+            assert_eq!(f.rows.len(), r.rows.len());
+            assert_eq!(f.unmapped_rows, r.unmapped_rows);
             for row in &f.rows {
-                let other = r.rows.iter()
+                let other = r
+                    .rows
+                    .iter()
                     .find(|o| o.coords == row.coords && o.time == row.time)
                     .expect("row present in reconstruction");
                 for (a, b) in row.cells.iter().zip(&other.cells) {
-                    prop_assert_eq!(a.confidence, b.confidence);
+                    assert_eq!(a.confidence, b.confidence);
                     match (a.value, b.value) {
-                        (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                        (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
                         (None, None) => {}
-                        _ => prop_assert!(false, "value/unknown mismatch"),
+                        _ => panic!("value/unknown mismatch"),
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Mapped cells are never *more* confident than source data, and
-    /// versions that need no mapping stay fully source.
-    #[test]
-    fn confidence_never_exceeds_source(w in any_workload()) {
+/// Mapped cells are never *more* confident than source data, and
+/// versions that need no mapping stay fully source.
+#[test]
+fn confidence_never_exceeds_source() {
+    check(CASES, 0xa005, |rng| {
+        let w = any_workload(rng);
         let mv = MultiVersionFactTable::infer(&w.tmd).expect("inference");
         for p in mv.presentations() {
             for row in &p.rows {
                 for c in &row.cells {
-                    prop_assert!(c.confidence <= Confidence::Source);
+                    assert!(c.confidence <= Confidence::Source);
                     if c.value.is_none() {
-                        prop_assert_eq!(c.confidence, Confidence::Unknown);
+                        assert_eq!(c.confidence, Confidence::Unknown);
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Roll-up never changes grand totals: aggregating departments or
-    /// divisions or everything gives the same overall sum (within a
-    /// mode).
-    #[test]
-    fn rollup_preserves_totals(w in conservative_workload()) {
+/// Roll-up never changes grand totals: aggregating departments or
+/// divisions or everything gives the same overall sum (within a mode).
+#[test]
+fn rollup_preserves_totals() {
+    check(CASES, 0xa006, |rng| {
+        let w = conservative_workload(rng);
         let svs = w.tmd.structure_versions();
         let modes: Vec<TemporalMode> = std::iter::once(TemporalMode::Consistent)
             .chain(svs.iter().map(|sv| TemporalMode::Version(sv.id)))
@@ -199,72 +208,85 @@ proptest! {
                 let t: f64 = rs.rows.iter().filter_map(|r| r.cells[0].value).sum();
                 totals.push(t);
             }
-            prop_assert!((totals[0] - totals[1]).abs() < 1e-6 * totals[0].abs().max(1.0));
-            prop_assert!((totals[1] - totals[2]).abs() < 1e-6 * totals[1].abs().max(1.0));
+            assert!((totals[0] - totals[1]).abs() < 1e-6 * totals[0].abs().max(1.0));
+            assert!((totals[1] - totals[2]).abs() < 1e-6 * totals[1].abs().max(1.0));
         }
-    }
+    });
+}
 
-    /// `infer_structure_versions` is deterministic and stable under
-    /// recomputation.
-    #[test]
-    fn structure_version_inference_is_deterministic(w in any_workload()) {
+/// `infer_structure_versions` is deterministic and stable under
+/// recomputation.
+#[test]
+fn structure_version_inference_is_deterministic() {
+    check(CASES, 0xa007, |rng| {
+        let w = any_workload(rng);
         let a = infer_structure_versions(w.tmd.dimensions());
         let b = w.tmd.structure_versions();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Persistence round-trips any generated schema: the reloaded schema
-    /// answers every mode's grand total identically and re-infers the
-    /// same structure versions.
-    #[test]
-    fn persistence_roundtrips_any_workload(w in any_workload()) {
+/// Persistence round-trips any generated schema: the reloaded schema
+/// answers every mode's grand total identically and re-infers the same
+/// structure versions.
+#[test]
+fn persistence_roundtrips_any_workload() {
+    check(CASES, 0xa008, |rng| {
+        let w = any_workload(rng);
         let mut buf = Vec::new();
         mvolap::core::persist::write_tmd(&w.tmd, &mut buf).expect("write");
         let back = mvolap::core::persist::read_tmd(&mut buf.as_slice()).expect("read");
-        prop_assert_eq!(back.facts().len(), w.tmd.facts().len());
-        prop_assert_eq!(back.structure_versions(), w.tmd.structure_versions());
-        prop_assert_eq!(
+        assert_eq!(back.facts().len(), w.tmd.facts().len());
+        assert_eq!(back.structure_versions(), w.tmd.structure_versions());
+        assert_eq!(
             back.evolution_log().entries().len(),
             w.tmd.evolution_log().entries().len()
         );
-        let b = GeneratedWorkload { tmd: back, dim: w.dim, stats: w.stats.clone() };
+        let b = GeneratedWorkload {
+            tmd: back,
+            dim: w.dim,
+            stats: w.stats.clone(),
+        };
         for sv in w.tmd.structure_versions() {
             let (x, ux) = grand_total(&w, TemporalMode::Version(sv.id));
             let (y, uy) = grand_total(&b, TemporalMode::Version(sv.id));
-            prop_assert_eq!(ux, uy);
+            assert_eq!(ux, uy);
             match (x, y) {
-                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
-                (x, y) => prop_assert_eq!(x, y),
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                (x, y) => assert_eq!(x, y),
             }
         }
-    }
+    });
+}
 
-    /// The incremental cube build agrees with the from-facts build for
-    /// every version mode of any conservative workload.
-    #[test]
-    fn incremental_cube_matches_base(w in conservative_workload()) {
+/// The incremental cube build agrees with the from-facts build for
+/// every version mode of any conservative workload.
+#[test]
+fn incremental_cube_matches_base() {
+    check(CASES, 0xa009, |rng| {
         use mvolap::cube::{Cube, CubeSpec};
+        let w = conservative_workload(rng);
         let svs = w.tmd.structure_versions();
         let mode = TemporalMode::Version(svs.last().expect("versions").id);
-        let base = Cube::build(&w.tmd, &svs, CubeSpec::for_mode(mode.clone()))
-            .expect("builds");
-        let incr = Cube::build_incremental(&w.tmd, &svs, CubeSpec::for_mode(mode))
-            .expect("builds");
+        let base = Cube::build(&w.tmd, &svs, CubeSpec::for_mode(mode.clone())).expect("builds");
+        let incr = Cube::build_incremental(&w.tmd, &svs, CubeSpec::for_mode(mode)).expect("builds");
         for (node, base_rs) in base.iter() {
             let incr_rs = incr.node(&node.levels, node.time_level).expect("node");
-            prop_assert_eq!(incr_rs.rows.len(), base_rs.rows.len());
+            assert_eq!(incr_rs.rows.len(), base_rs.rows.len());
             for row in &base_rs.rows {
-                let other = incr_rs.rows.iter()
+                let other = incr_rs
+                    .rows
+                    .iter()
                     .find(|r| r.time == row.time && r.keys == row.keys)
                     .expect("row present");
                 for (a, b) in row.cells.iter().zip(&other.cells) {
-                    prop_assert_eq!(a.confidence, b.confidence);
+                    assert_eq!(a.confidence, b.confidence);
                     match (a.value, b.value) {
-                        (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6),
-                        (x, y) => prop_assert_eq!(x, y),
+                        (Some(x), Some(y)) => assert!((x - y).abs() < 1e-6),
+                        (x, y) => assert_eq!(x, y),
                     }
                 }
             }
         }
-    }
+    });
 }

@@ -45,11 +45,19 @@ fn measures_map_with_their_own_factors() {
          FOR 2002..2002 IN MODE VERSION 2",
     )
     .expect("query runs");
-    let bill = rs.rows.iter().find(|r| r.keys[0] == "Dpt.Bill").expect("row");
+    let bill = rs
+        .rows
+        .iter()
+        .find(|r| r.keys[0] == "Dpt.Bill")
+        .expect("row");
     assert_eq!(bill.cells[0].value, Some(40.0)); // 0.4 × 100
     assert_eq!(bill.cells[1].value, Some(4.0)); // 0.2 × 20
     assert_eq!(bill.cells[0].confidence, Confidence::Approx);
-    let paul = rs.rows.iter().find(|r| r.keys[0] == "Dpt.Paul").expect("row");
+    let paul = rs
+        .rows
+        .iter()
+        .find(|r| r.keys[0] == "Dpt.Paul")
+        .expect("row");
     assert_eq!(paul.cells[0].value, Some(60.0)); // 0.6 × 100
     assert_eq!(paul.cells[1].value, Some(16.0)); // 0.8 × 20
 }
@@ -137,5 +145,8 @@ fn quoted_member_names_with_special_characters() {
         .iter()
         .all(|r| r.keys[0] == "Dpt.Brian" || r.keys[0] == "Dpt.Smith"));
     // Smith's 2001 facts were under Sales: excluded.
-    assert!(!rs.rows.iter().any(|r| r.time == "2001" && r.keys[0] == "Dpt.Smith"));
+    assert!(!rs
+        .rows
+        .iter()
+        .any(|r| r.time == "2001" && r.keys[0] == "Dpt.Smith"));
 }
