@@ -102,6 +102,13 @@ pub enum CoreError {
     MappingEndpointNotLeaf(MemberVersionId),
     /// A mapping between identical endpoints was requested.
     MappingSelfLoop(MemberVersionId),
+    /// No mapping relationship exists between the given endpoints.
+    MappingNotFound {
+        /// Source member version.
+        from: MemberVersionId,
+        /// Target member version.
+        to: MemberVersionId,
+    },
     /// A structure version id did not resolve.
     UnknownStructureVersion(usize),
     /// No structure version covers the given instant.
@@ -185,6 +192,9 @@ impl std::fmt::Display for CoreError {
                 write!(f, "mapping endpoint {id:?} is not a leaf member version")
             }
             MappingSelfLoop(id) => write!(f, "mapping from {id:?} to itself"),
+            MappingNotFound { from, to } => {
+                write!(f, "no mapping relationship {from:?}->{to:?} exists")
+            }
             UnknownStructureVersion(i) => write!(f, "unknown structure version VS{i}"),
             NoStructureVersionAt(t) => write!(f, "no structure version covers {t}"),
             InvalidExclusion { id, at } => {

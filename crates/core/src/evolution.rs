@@ -601,6 +601,45 @@ pub fn reclassify(
     })
 }
 
+/// *Confidence change*: revises the per-measure mappings (functions
+/// and/or confidence factors) of an existing mapping relationship
+/// `from → to`. The paper treats mapping functions as "based on knowledge
+/// around evolution operations"; that knowledge improves over time — an
+/// unknown backward share becomes an estimate, an approximation becomes
+/// exact — and this operator records the revision in the evolution log
+/// without touching the structure.
+///
+/// # Errors
+///
+/// [`CoreError::MappingNotFound`] when the relationship does not exist,
+/// [`CoreError::MappingArityMismatch`] on a wrong per-measure arity.
+pub fn change_confidence(
+    tmd: &mut Tmd,
+    dim: DimensionId,
+    from: MemberVersionId,
+    to: MemberVersionId,
+    forward: Vec<MeasureMapping>,
+    backward: Vec<MeasureMapping>,
+) -> Result<()> {
+    let (from_name, to_name, at) = {
+        let d = tmd.dimension(dim)?;
+        (
+            d.version(from)?.name.clone(),
+            d.version(to)?.name.clone(),
+            d.version(to)?.validity.start(),
+        )
+    };
+    tmd.set_mapping(dim, from, to, forward, backward)?;
+    tmd.record_evolution(EvolutionEntry {
+        dimension: dim,
+        subjects: vec![from, to],
+        at,
+        operator: "confidence",
+        description: format!("revised mapping '{from_name}' -> '{to_name}'"),
+    });
+    Ok(())
+}
+
 /// Complex operation *Increase* (Table 11): member `id` becomes a larger
 /// `new_name`, values scaling by `factor` (approximate both ways).
 ///
@@ -979,6 +1018,46 @@ mod tests {
         );
         // V1 -> V2+: 0.1 approx forward, ~0.167 approx backward.
         assert_eq!(rels[2].forward[0], MeasureMapping::approx_scale(0.1));
+    }
+
+    #[test]
+    fn change_confidence_revises_mapping_in_place() {
+        let (mut tmd, dim, p, v1, _) = base();
+        let t = Instant::ym(2003, 1);
+        let sources = [MergeSource::with_unknown_share(v1, 1)];
+        let out = merge(&mut tmd, dim, &sources, "V12", None, t, &[p]).unwrap();
+        let merged = out.created[0];
+        // Knowledge improves: the unknown backward share becomes a 0.5
+        // approximation.
+        change_confidence(
+            &mut tmd,
+            dim,
+            v1,
+            merged,
+            vec![MeasureMapping::EXACT_IDENTITY],
+            vec![MeasureMapping::approx_scale(0.5)],
+        )
+        .unwrap();
+        let rels = tmd.mapping_graph(dim).unwrap().relationships();
+        assert_eq!(rels[0].backward[0], MeasureMapping::approx_scale(0.5));
+        let log = tmd.evolution_log().entries();
+        assert_eq!(log.last().unwrap().operator, "confidence");
+        // Arity and existence are validated.
+        assert!(matches!(
+            change_confidence(&mut tmd, dim, v1, merged, vec![], vec![]),
+            Err(CoreError::MappingArityMismatch { .. })
+        ));
+        assert!(matches!(
+            change_confidence(
+                &mut tmd,
+                dim,
+                merged,
+                v1,
+                vec![MeasureMapping::EXACT_IDENTITY],
+                vec![MeasureMapping::EXACT_IDENTITY],
+            ),
+            Err(CoreError::MappingNotFound { .. })
+        ));
     }
 
     #[test]

@@ -273,6 +273,33 @@ impl MappingGraph {
         &self.relationships
     }
 
+    /// Replaces the per-measure mappings of the relationship `from → to`
+    /// in place — the *confidence change* evolution: the administrator's
+    /// knowledge about a past transition improves (an approximate share
+    /// becomes exact, an unknown becomes an estimate) without the
+    /// endpoints themselves changing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MappingNotFound`] when no relationship links the
+    /// endpoints in that orientation.
+    pub fn reweigh(
+        &mut self,
+        from: MemberVersionId,
+        to: MemberVersionId,
+        forward: Vec<MeasureMapping>,
+        backward: Vec<MeasureMapping>,
+    ) -> Result<()> {
+        let rel = self
+            .relationships
+            .iter_mut()
+            .find(|r| r.from == from && r.to == to)
+            .ok_or(CoreError::MappingNotFound { from, to })?;
+        rel.forward = forward;
+        rel.backward = backward;
+        Ok(())
+    }
+
     /// Relationships incident to `id` (as source or target).
     pub fn incident(&self, id: MemberVersionId) -> Vec<&MappingRelationship> {
         self.adjacency

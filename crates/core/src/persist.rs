@@ -327,6 +327,7 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
             "exclude" => "exclude",
             "associate" => "associate",
             "reclassify" => "reclassify",
+            "confidence" => "confidence",
             _ => "evolution",
         }
     };
@@ -533,10 +534,26 @@ pub fn read_tmd(input: &mut impl Read) -> Result<Tmd, PersistError> {
     Ok(tmd)
 }
 
-/// Saves a schema to a file.
+/// Saves a schema to a file, atomically: the snapshot is written to a
+/// sibling temp file, fsync'd, and renamed over `path`, so a crash
+/// mid-save can never truncate or corrupt an existing snapshot — the old
+/// file survives intact until the new one is durably complete.
 pub fn save_tmd(tmd: &Tmd, path: &std::path::Path) -> Result<(), PersistError> {
-    let mut f = std::fs::File::create(path)?;
-    write_tmd(tmd, &mut f)
+    let mut file_name = path.file_name().unwrap_or_default().to_os_string();
+    file_name.push(".tmp");
+    let tmp = path.with_file_name(file_name);
+    let mut f = std::fs::File::create(&tmp)?;
+    if let Err(e) = write_tmd(tmd, &mut f).and_then(|()| f.sync_all().map_err(PersistError::from)) {
+        drop(f);
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    Ok(())
 }
 
 /// Loads a schema from a file.
@@ -683,5 +700,135 @@ mod tests {
         let back = load_tmd(&path).expect("load");
         assert_eq!(back.facts().len(), cs.tmd.facts().len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("mvolap_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.tmd");
+        let cs = case_study();
+        save_tmd(&cs.tmd, &path).expect("first save");
+        // Overwriting an existing snapshot goes through the temp file;
+        // afterwards only the final file remains and it parses.
+        save_tmd(&cs.tmd, &path).expect("second save");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["snapshot.tmd".to_owned()], "{names:?}");
+        load_tmd(&path).expect("load");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn field_escaping_edge_cases_roundtrip() {
+        for name in [
+            "a=b",
+            "==",
+            "back\\slash",
+            "\\e",
+            "\\s",
+            "\\0",
+            " ",
+            "\t",
+            "\n",
+            " \t\n=\\",
+            "trailing ",
+            "=leading",
+            "",
+        ] {
+            let encoded = field(name);
+            assert!(
+                !encoded.contains(' ')
+                    && !encoded.contains('\t')
+                    && !encoded.contains('\n')
+                    && !encoded.contains('='),
+                "field({name:?}) = {encoded:?} leaks a separator"
+            );
+            assert_eq!(unfield(&encoded, 1).unwrap(), name, "via {encoded:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_member_names_and_attributes_roundtrip_through_schema() {
+        let mut tmd = Tmd::new("t", Granularity::Month);
+        let dim = tmd
+            .add_dimension(TemporalDimension::new("d=1 \\ two"))
+            .unwrap();
+        tmd.add_measure(MeasureDef::summed("m")).unwrap();
+        let all = Interval::since(Instant::ym(2001, 1));
+        for (i, name) in ["x=y", "a\\sb", "  ", "\\N", "lvl=\\"].iter().enumerate() {
+            tmd.add_version(
+                dim,
+                MemberVersionSpec::named(*name)
+                    .at_level(format!("L{i}= \\"))
+                    .with_attribute("k=\\ ", "v=\t")
+                    .with_attribute("", "="),
+                all,
+            )
+            .unwrap();
+        }
+        let back = roundtrip(&tmd);
+        let (a, b) = (tmd.dimension(dim).unwrap(), back.dimension(dim).unwrap());
+        assert_eq!(a.versions(), b.versions());
+        assert_eq!(back.dimensions()[0].name(), "d=1 \\ two");
+    }
+
+    #[test]
+    fn mapping_function_encodings_roundtrip_bit_exact() {
+        use crate::confidence::Confidence;
+        let funcs = [
+            MappingFunction::Identity,
+            MappingFunction::Unknown,
+            MappingFunction::Scale(0.1),
+            MappingFunction::Scale(1.0 / 3.0),
+            MappingFunction::Scale(-0.0),
+            MappingFunction::Scale(1e-300),
+            MappingFunction::Scale(f64::MIN_POSITIVE / 2.0), // subnormal
+            MappingFunction::Scale(f64::MAX),
+            MappingFunction::Scale(f64::INFINITY),
+            MappingFunction::Affine { a: 0.1, b: -0.2 },
+            MappingFunction::Affine {
+                a: 1e300,
+                b: -1e-300,
+            },
+            MappingFunction::Affine {
+                a: f64::NEG_INFINITY,
+                b: -0.0,
+            },
+        ];
+        let confidences = [
+            Confidence::Source,
+            Confidence::Exact,
+            Confidence::Approx,
+            Confidence::Unknown,
+        ];
+        let bits = |f: MappingFunction| -> Vec<u64> {
+            match f {
+                MappingFunction::Identity => vec![1],
+                MappingFunction::Unknown => vec![2],
+                MappingFunction::Scale(k) => vec![3, k.to_bits()],
+                MappingFunction::Affine { a, b } => vec![4, a.to_bits(), b.to_bits()],
+            }
+        };
+        for func in funcs {
+            for confidence in confidences {
+                let m = MeasureMapping { func, confidence };
+                let enc = func_enc(&m);
+                let back = func_dec(&enc, 1).unwrap_or_else(|e| panic!("{enc}: {e}"));
+                assert_eq!(bits(back.func), bits(func), "{enc}");
+                assert_eq!(back.confidence, confidence, "{enc}");
+            }
+        }
+        // NaN round-trips to NaN (any payload counts).
+        let m = MeasureMapping {
+            func: MappingFunction::Scale(f64::NAN),
+            confidence: Confidence::Approx,
+        };
+        match func_dec(&func_enc(&m), 1).unwrap().func {
+            MappingFunction::Scale(k) => assert!(k.is_nan()),
+            other => panic!("expected scale, got {other:?}"),
+        }
     }
 }

@@ -296,6 +296,37 @@ impl Tmd {
         Ok(())
     }
 
+    /// Replaces the per-measure mappings of an existing relationship
+    /// `from → to` of dimension `dim` — the mutation underlying the
+    /// *confidence change* evolution
+    /// ([`crate::evolution::change_confidence`]). Arity is re-validated
+    /// against the schema's measures; the structural generation advances
+    /// because composed mapping routes change.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MappingArityMismatch`] or
+    /// [`CoreError::MappingNotFound`].
+    pub fn set_mapping(
+        &mut self,
+        dim: DimensionId,
+        from: MemberVersionId,
+        to: MemberVersionId,
+        forward: Vec<crate::mapping::MeasureMapping>,
+        backward: Vec<crate::mapping::MeasureMapping>,
+    ) -> Result<()> {
+        self.dimension(dim)?;
+        if forward.len() != self.measures.len() || backward.len() != self.measures.len() {
+            return Err(CoreError::MappingArityMismatch {
+                expected: self.measures.len(),
+                actual: forward.len(),
+            });
+        }
+        self.mappings[dim.index()].reweigh(from, to, forward, backward)?;
+        self.bump_generation();
+        Ok(())
+    }
+
     /// Infers the structure versions of the schema (Definition 9).
     pub fn structure_versions(&self) -> Vec<StructureVersion> {
         infer_structure_versions(&self.dimensions)

@@ -1,0 +1,65 @@
+//! In-repo CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! The container has no crates registry, so the usual `crc32fast`
+//! dependency is replaced by a table-driven implementation built at
+//! compile time. The algorithm matches zlib's `crc32` (and therefore
+//! `cksum -o 3`, PNG, gzip): initial value `!0`, reflected table, final
+//! complement — handy when inspecting WAL segments with external tools.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (zlib-compatible).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from zlib's crc32().
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"mvolap wal frame payload");
+        let mut bytes = b"mvolap wal frame payload".to_vec();
+        for i in 0..bytes.len() * 8 {
+            bytes[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&bytes), base, "flip at bit {i} undetected");
+            bytes[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors of the durability subsystem.
+
+use mvolap_core::persist::PersistError;
+use mvolap_core::CoreError;
+
+/// Errors raised by the WAL, checkpointing and recovery machinery.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A deterministic fault-injection crash point fired (testing only).
+    Injected {
+        /// The I/O primitive that was interrupted.
+        op: &'static str,
+    },
+    /// The store hit an I/O or injected fault earlier and its in-memory
+    /// state can no longer be trusted; reopen the directory to recover.
+    Poisoned,
+    /// On-disk state is corrupt beyond torn-tail repair.
+    Corrupt {
+        /// What was found, and where.
+        message: String,
+    },
+    /// The directory holds no recoverable store (no checkpoint and no
+    /// bootstrap record survived).
+    NoStore,
+    /// Checkpoint (de)serialisation failure.
+    Persist(PersistError),
+    /// Replaying a record violated the model — validated replay refused
+    /// to construct an inconsistent schema.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "i/o error: {e}"),
+            DurableError::Injected { op } => write!(f, "injected crash during {op}"),
+            DurableError::Poisoned => {
+                write!(f, "store poisoned by an earlier fault; reopen to recover")
+            }
+            DurableError::Corrupt { message } => write!(f, "corrupt store: {message}"),
+            DurableError::NoStore => write!(f, "directory holds no recoverable store"),
+            DurableError::Persist(e) => write!(f, "checkpoint error: {e}"),
+            DurableError::Core(e) => write!(f, "replay error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<PersistError> for DurableError {
+    fn from(e: PersistError) -> Self {
+        DurableError::Persist(e)
+    }
+}
+
+impl From<CoreError> for DurableError {
+    fn from(e: CoreError) -> Self {
+        DurableError::Core(e)
+    }
+}
+
+impl DurableError {
+    pub(crate) fn corrupt(message: impl Into<String>) -> Self {
+        DurableError::Corrupt {
+            message: message.into(),
+        }
+    }
+
+    /// Whether the error came from the I/O layer (real or injected) —
+    /// the class of failures after which the in-memory store must be
+    /// considered out of sync with disk.
+    pub fn is_io_class(&self) -> bool {
+        matches!(
+            self,
+            DurableError::Io(_) | DurableError::Injected { .. } | DurableError::Poisoned
+        )
+    }
+}

@@ -1,0 +1,469 @@
+//! [`DurableTmd`]: a temporal warehouse whose every evolution is
+//! journaled before it is applied.
+//!
+//! ## Commit protocol
+//!
+//! The WAL must contain exactly the operations that *committed* — a
+//! journaled record that could not be applied would poison every future
+//! recovery. Evolution operators therefore validate on a **clone** of
+//! the schema first, journal (append + fsync) second, and swap the
+//! clone in third; the swap cannot fail. Fact batches skip the clone (a
+//! bulk load would copy the whole warehouse per batch): they run the
+//! exact read-only checks `Tmd::add_fact` performs, journal, then apply
+//! directly.
+//!
+//! Consequently every record read back by recovery is guaranteed to
+//! replay cleanly on the state it was journaled against; a replay
+//! failure always means real corruption and is reported as such rather
+//! than papered over.
+//!
+//! ## Failure handling
+//!
+//! When journaling itself fails (an I/O error or injected crash), the
+//! in-memory schema no longer provably matches the log and the store
+//! *poisons* itself: every subsequent operation returns
+//! [`DurableError::Poisoned`]. Recovery is re-opening the directory.
+
+use std::path::{Path, PathBuf};
+
+use mvolap_core::evolution::{MergeSource, SplitPart};
+use mvolap_core::{DimensionId, MeasureMapping, MemberVersionId, Tmd};
+use mvolap_temporal::Instant;
+
+use crate::checkpoint::{self, CheckpointId};
+use crate::error::DurableError;
+use crate::io::{FaultPlan, Io};
+use crate::record::{FactRow, WalRecord};
+use crate::wal::Wal;
+
+/// Tuning knobs of a [`DurableTmd`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Rotate WAL segments once they exceed this many bytes.
+    pub segment_bytes: u64,
+    /// Automatically checkpoint after this many committed records
+    /// (`0` disables auto-checkpointing).
+    pub checkpoint_every_records: u64,
+    /// Prune fully-covered WAL segments and superseded checkpoints
+    /// after each checkpoint.
+    pub prune_on_checkpoint: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            segment_bytes: 8 << 20,
+            checkpoint_every_records: 1024,
+            prune_on_checkpoint: true,
+        }
+    }
+}
+
+/// A durable temporal multidimensional schema: [`Tmd`] + WAL +
+/// checkpoints under one directory.
+#[derive(Debug)]
+pub struct DurableTmd {
+    dir: PathBuf,
+    tmd: Tmd,
+    wal: Wal,
+    io: Io,
+    opts: Options,
+    records_since_ckpt: u64,
+    poisoned: bool,
+}
+
+impl DurableTmd {
+    /// Creates a fresh store under `dir` seeded with `tmd`. The seed
+    /// schema is journaled as the bootstrap record, so the store is
+    /// recoverable before its first checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; `dir` must not already contain a store.
+    pub fn create(dir: &Path, tmd: Tmd) -> Result<DurableTmd, DurableError> {
+        Self::create_with(dir, tmd, Options::default(), Io::plain())
+    }
+
+    /// [`DurableTmd::create`] with explicit options and I/O layer (fault
+    /// injection enters here).
+    ///
+    /// # Errors
+    ///
+    /// I/O or injected-fault failures.
+    pub fn create_with(
+        dir: &Path,
+        tmd: Tmd,
+        opts: Options,
+        mut io: Io,
+    ) -> Result<DurableTmd, DurableError> {
+        if dir.join("wal").exists() {
+            return Err(DurableError::corrupt(format!(
+                "refusing to create over an existing store in {}",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut wal = Wal::create(dir, opts.segment_bytes, &mut io)?;
+        let mut snapshot = Vec::new();
+        mvolap_core::persist::write_tmd(&tmd, &mut snapshot)?;
+        wal.append(&WalRecord::Bootstrap { snapshot }.encode(), &mut io)?;
+        Ok(DurableTmd {
+            dir: dir.to_path_buf(),
+            tmd,
+            wal,
+            io,
+            opts,
+            records_since_ckpt: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Recovers a store from `dir`: loads the newest valid checkpoint
+    /// (or replays from the bootstrap record) and applies the WAL tail
+    /// through the validated construction API.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::NoStore`] when nothing recoverable exists,
+    /// [`DurableError::Corrupt`] on damage beyond torn-tail repair.
+    pub fn open(dir: &Path) -> Result<DurableTmd, DurableError> {
+        Self::open_with(dir, Options::default(), Io::plain())
+    }
+
+    /// [`DurableTmd::open`] with explicit options and I/O layer.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::open`].
+    pub fn open_with(dir: &Path, opts: Options, mut io: Io) -> Result<DurableTmd, DurableError> {
+        let ckpt = checkpoint::load_latest(dir)?;
+        let opened = Wal::open(dir, opts.segment_bytes, &mut io)?;
+        let (mut tmd, resume_lsn) = match ckpt {
+            Some((id, tmd)) => (tmd, id.next_lsn),
+            None => {
+                // No checkpoint: replay everything from the bootstrap
+                // record. The placeholder is replaced wholesale by it.
+                (Tmd::new("recovering", Default::default()), 1)
+            }
+        };
+        let mut replayed = 0u64;
+        for rec in &opened.records {
+            if rec.lsn < resume_lsn {
+                continue;
+            }
+            let record = WalRecord::decode(&rec.payload)?;
+            record.apply(&mut tmd).map_err(|e| {
+                DurableError::corrupt(format!(
+                    "record {} ({}) does not apply: {e}",
+                    rec.lsn,
+                    record.kind()
+                ))
+            })?;
+            replayed += 1;
+        }
+        if resume_lsn == 1 && replayed == 0 {
+            // Neither a checkpoint nor a bootstrap record survived.
+            return Err(DurableError::NoStore);
+        }
+        Ok(DurableTmd {
+            dir: dir.to_path_buf(),
+            tmd,
+            wal: opened.wal,
+            io,
+            opts,
+            records_since_ckpt: replayed,
+            poisoned: false,
+        })
+    }
+
+    /// The current schema (read-only: mutations must go through the
+    /// journaled operations).
+    pub fn schema(&self) -> &Tmd {
+        &self.tmd
+    }
+
+    /// The LSN the next journaled record will receive.
+    pub fn wal_position(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// Number of I/O primitives performed so far (crash-point counting).
+    pub fn io_ops(&self) -> u64 {
+        self.io.ops()
+    }
+
+    /// Whether an earlier fault poisoned this handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn usable(&self) -> Result<(), DurableError> {
+        if self.poisoned {
+            Err(DurableError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Journals `record`; poisons the store when the append fails after
+    /// validation (the in-memory state may then diverge from disk).
+    fn journal(&mut self, record: &WalRecord) -> Result<u64, DurableError> {
+        match self.wal.append(&record.encode(), &mut self.io) {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn after_commit(&mut self) -> Result<(), DurableError> {
+        self.records_since_ckpt += 1;
+        if self.opts.checkpoint_every_records > 0
+            && self.records_since_ckpt >= self.opts.checkpoint_every_records
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Applies one logical record: validate, journal, commit.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Core`] when the operation is invalid against the
+    /// current schema (nothing journaled, store stays usable); I/O-class
+    /// errors when journaling fails (store poisons itself).
+    pub fn apply(&mut self, record: WalRecord) -> Result<u64, DurableError> {
+        self.usable()?;
+        match record {
+            WalRecord::Bootstrap { .. } => Err(DurableError::corrupt(
+                "bootstrap records are internal to create/recovery",
+            )),
+            WalRecord::FactBatch { ref rows } => {
+                // Hot path: read-only pre-validation instead of a clone.
+                WalRecord::validate_facts(&self.tmd, rows)?;
+                let lsn = self.journal(&record)?;
+                let WalRecord::FactBatch { rows } = record else {
+                    unreachable!()
+                };
+                for r in &rows {
+                    self.tmd
+                        .add_fact(&r.coords, r.at, &r.values)
+                        .expect("pre-validated fact batch must apply");
+                }
+                self.after_commit()?;
+                Ok(lsn)
+            }
+            record => {
+                // Validate on a clone; the swap after journaling cannot
+                // fail, so the WAL holds exactly the committed ops.
+                let mut next = self.tmd.clone();
+                record.apply(&mut next)?;
+                let lsn = self.journal(&record)?;
+                self.tmd = next;
+                self.after_commit()?;
+                Ok(lsn)
+            }
+        }
+    }
+
+    /// Writes a checkpoint of the current schema and (optionally) prunes
+    /// the log and older checkpoints behind it.
+    ///
+    /// # Errors
+    ///
+    /// I/O-class failures (the store poisons itself: a half-finished
+    /// prune is recoverable, but the fault may equally have hit the
+    /// journal).
+    pub fn checkpoint(&mut self) -> Result<CheckpointId, DurableError> {
+        self.usable()?;
+        let next_lsn = self.wal.next_lsn();
+        let result =
+            checkpoint::write(&self.tmd, &self.dir, next_lsn, &mut self.io).and_then(|id| {
+                if self.opts.prune_on_checkpoint {
+                    self.wal.prune(id.next_lsn, &mut self.io)?;
+                    checkpoint::prune(&self.dir, id, &mut self.io)?;
+                }
+                Ok(id)
+            });
+        match result {
+            Ok(id) => {
+                self.records_since_ckpt = 0;
+                Ok(id)
+            }
+            Err(e) => {
+                if e.is_io_class() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    // -- journaled evolution operators --------------------------------
+
+    /// Journaled [`mvolap_core::evolution::create`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn create_member(
+        &mut self,
+        dim: DimensionId,
+        name: impl Into<String>,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<u64, DurableError> {
+        self.apply(WalRecord::Create {
+            dim,
+            name: name.into(),
+            level,
+            at,
+            parents: parents.to_vec(),
+        })
+    }
+
+    /// Journaled [`mvolap_core::evolution::delete`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn delete_member(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+    ) -> Result<u64, DurableError> {
+        self.apply(WalRecord::Delete { dim, id, at })
+    }
+
+    /// Journaled [`mvolap_core::evolution::transform`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn transform_member(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        new_name: impl Into<String>,
+        new_attributes: std::collections::BTreeMap<String, String>,
+        at: Instant,
+    ) -> Result<u64, DurableError> {
+        self.apply(WalRecord::Transform {
+            dim,
+            id,
+            new_name: new_name.into(),
+            new_attributes,
+            at,
+        })
+    }
+
+    /// Journaled [`mvolap_core::evolution::merge`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn merge_members(
+        &mut self,
+        dim: DimensionId,
+        sources: Vec<MergeSource>,
+        new_name: impl Into<String>,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<u64, DurableError> {
+        self.apply(WalRecord::Merge {
+            dim,
+            sources,
+            new_name: new_name.into(),
+            level,
+            at,
+            parents: parents.to_vec(),
+        })
+    }
+
+    /// Journaled [`mvolap_core::evolution::split`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn split_member(
+        &mut self,
+        dim: DimensionId,
+        source: MemberVersionId,
+        parts: Vec<SplitPart>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<u64, DurableError> {
+        self.apply(WalRecord::Split {
+            dim,
+            source,
+            parts,
+            at,
+            parents: parents.to_vec(),
+        })
+    }
+
+    /// Journaled [`mvolap_core::evolution::reclassify`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn reclassify_member(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+        old_parents: &[MemberVersionId],
+        new_parents: &[MemberVersionId],
+    ) -> Result<u64, DurableError> {
+        self.apply(WalRecord::Reclassify {
+            dim,
+            id,
+            at,
+            old_parents: old_parents.to_vec(),
+            new_parents: new_parents.to_vec(),
+        })
+    }
+
+    /// Journaled [`mvolap_core::evolution::change_confidence`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn change_confidence(
+        &mut self,
+        dim: DimensionId,
+        from: MemberVersionId,
+        to: MemberVersionId,
+        forward: Vec<MeasureMapping>,
+        backward: Vec<MeasureMapping>,
+    ) -> Result<u64, DurableError> {
+        self.apply(WalRecord::Confidence {
+            dim,
+            from,
+            to,
+            forward,
+            backward,
+        })
+    }
+
+    /// Journaled fact-batch append (the ETL load path).
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn append_facts(&mut self, rows: Vec<FactRow>) -> Result<u64, DurableError> {
+        self.apply(WalRecord::FactBatch { rows })
+    }
+}
+
+/// Builds a fault-injecting I/O layer: crash on the `ops`-th primitive,
+/// torn-write cuts driven by `seed`. Convenience re-export for harnesses
+/// and examples.
+pub fn faulty_io(ops: u64, seed: u64) -> Io {
+    Io::faulty(FaultPlan::crash_after(ops, seed))
+}

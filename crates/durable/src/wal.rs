@@ -1,0 +1,491 @@
+//! Segment-based write-ahead log.
+//!
+//! The log lives in `<store>/wal/` as numbered segments
+//! `00000001.wal`, `00000002.wal`, … Each segment starts with a 20-byte
+//! header — the magic `MVOLAP-WAL1\0` followed by the u64 LE LSN of the
+//! segment's first record — and continues with checksummed frames (see
+//! [`crate::frame`]), one logical record per frame. LSNs are assigned
+//! sequentially from 1.
+//!
+//! Durability protocol:
+//!
+//! * `append` writes one frame and fsyncs before reporting the record
+//!   committed.
+//! * Rotation (`segment_bytes` exceeded) fsyncs the old segment, writes
+//!   the new segment's header, fsyncs it, then fsyncs the directory so
+//!   the new file's name is durable.
+//! * On open, only the **last** segment may end in garbage (a torn
+//!   append): the tail is truncated back to the last valid frame.
+//!   Damage anywhere else — a mid-log CRC failure, a missing segment
+//!   number, a bad header in a non-final segment — is reported as
+//!   [`DurableError::Corrupt`] rather than silently dropped.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+use crate::error::DurableError;
+use crate::frame;
+use crate::io::Io;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 12] = b"MVOLAP-WAL1\0";
+
+/// Size of the segment header: magic + base LSN.
+pub const SEGMENT_HEADER: usize = SEGMENT_MAGIC.len() + 8;
+
+/// A record read back from the log.
+#[derive(Debug, Clone)]
+pub struct LoggedRecord {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// The raw frame payload.
+    pub payload: Vec<u8>,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{seq:08}.wal"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(".wal")?;
+    if stem.len() != 8 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+fn encode_header(base_lsn: u64) -> [u8; SEGMENT_HEADER] {
+    let mut h = [0u8; SEGMENT_HEADER];
+    h[..SEGMENT_MAGIC.len()].copy_from_slice(SEGMENT_MAGIC);
+    h[SEGMENT_MAGIC.len()..].copy_from_slice(&base_lsn.to_le_bytes());
+    h
+}
+
+fn decode_header(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < SEGMENT_HEADER || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return None;
+    }
+    Some(u64::from_le_bytes(
+        bytes[SEGMENT_MAGIC.len()..SEGMENT_HEADER]
+            .try_into()
+            .expect("8 bytes"),
+    ))
+}
+
+/// The write-ahead log: an append handle plus segment bookkeeping.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    /// Sequence number of the active (last) segment.
+    active_seq: u64,
+    /// Open handle on the active segment.
+    active: File,
+    /// Bytes currently in the active segment (header included).
+    active_len: u64,
+    /// LSN the next appended record will receive.
+    next_lsn: u64,
+    /// Rotation threshold.
+    segment_bytes: u64,
+}
+
+/// Everything `Wal::open` recovers from disk.
+#[derive(Debug)]
+pub struct WalOpen {
+    /// The log, positioned for appending.
+    pub wal: Wal,
+    /// All records that survived, in LSN order.
+    pub records: Vec<LoggedRecord>,
+    /// Whether a torn tail was truncated away during open.
+    pub repaired: bool,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log under `dir` (the `wal/` directory is
+    /// created if missing). First record will get LSN 1.
+    pub fn create(dir: &Path, segment_bytes: u64, io: &mut Io) -> Result<Wal, DurableError> {
+        let wal_dir = dir.join("wal");
+        std::fs::create_dir_all(&wal_dir)?;
+        let mut active = io.create(&segment_path(&wal_dir, 1))?;
+        io.write(&mut active, &encode_header(1))?;
+        io.sync(&active)?;
+        io.sync_dir(&wal_dir)?;
+        Ok(Wal {
+            dir: wal_dir,
+            active_seq: 1,
+            active,
+            active_len: SEGMENT_HEADER as u64,
+            next_lsn: 1,
+            segment_bytes,
+        })
+    }
+
+    /// Opens an existing log, scanning every segment, repairing a torn
+    /// tail in the last one.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Corrupt`] for damage outside the repairable tail:
+    /// gaps in segment numbering, bad headers or mid-log frame
+    /// corruption, or LSN discontinuities between segments.
+    /// [`DurableError::NoStore`] when `dir` has no `wal/` directory.
+    pub fn open(dir: &Path, segment_bytes: u64, io: &mut Io) -> Result<WalOpen, DurableError> {
+        let wal_dir = dir.join("wal");
+        if !wal_dir.is_dir() {
+            return Err(DurableError::NoStore);
+        }
+        let mut seqs = Vec::new();
+        for entry in std::fs::read_dir(&wal_dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(seq) = parse_segment_name(&name.to_string_lossy()) {
+                seqs.push(seq);
+            }
+            // Other files (e.g. editor droppings) are ignored.
+        }
+        seqs.sort_unstable();
+        if seqs.is_empty() {
+            return Err(DurableError::NoStore);
+        }
+        let first = seqs[0];
+        for (i, &s) in seqs.iter().enumerate() {
+            if s != first + i as u64 {
+                return Err(DurableError::corrupt(format!(
+                    "segment numbering gap: expected {:08}.wal, found {s:08}.wal",
+                    first + i as u64
+                )));
+            }
+        }
+
+        let mut records: Vec<LoggedRecord> = Vec::new();
+        let mut repaired = false;
+        let mut expected_base: Option<u64> = None;
+        let last_idx = seqs.len() - 1;
+        let mut active_len = 0u64;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = segment_path(&wal_dir, seq);
+            let bytes = std::fs::read(&path)?;
+            let is_last = i == last_idx;
+            let base = match decode_header(&bytes) {
+                Some(b) => b,
+                None if is_last => {
+                    // A crash during rotation can leave the new segment
+                    // with a torn header and zero durable records: drop
+                    // the whole file.
+                    if seqs.len() == 1 {
+                        // A torn header on the only segment means even
+                        // the store's creation never committed.
+                        return Err(DurableError::NoStore);
+                    }
+                    io.remove_file(&path)?;
+                    io.sync_dir(&wal_dir)?;
+                    repaired = true;
+                    // Re-open the previous segment as active.
+                    let prev = segment_path(&wal_dir, seq - 1);
+                    let active = std::fs::OpenOptions::new().append(true).open(&prev)?;
+                    let active_len = std::fs::metadata(&prev)?.len();
+                    let next_lsn = records
+                        .last()
+                        .map_or_else(|| expected_base.unwrap_or(1), |r| r.lsn + 1);
+                    return Ok(WalOpen {
+                        wal: Wal {
+                            dir: wal_dir,
+                            active_seq: seq - 1,
+                            active,
+                            active_len,
+                            next_lsn,
+                            segment_bytes,
+                        },
+                        records,
+                        repaired,
+                    });
+                }
+                None => {
+                    return Err(DurableError::corrupt(format!(
+                        "bad header in non-final segment {seq:08}.wal"
+                    )))
+                }
+            };
+            if let Some(expect) = expected_base {
+                if base != expect {
+                    return Err(DurableError::corrupt(format!(
+                        "segment {seq:08}.wal starts at LSN {base}, expected {expect}"
+                    )));
+                }
+            }
+            let scan = frame::scan(&bytes[SEGMENT_HEADER..]);
+            let keep = (SEGMENT_HEADER + scan.valid_len) as u64;
+            if scan.torn {
+                if !is_last {
+                    return Err(DurableError::corrupt(format!(
+                        "corrupt frame mid-log in segment {seq:08}.wal"
+                    )));
+                }
+                // Torn tail: truncate back to the last valid frame.
+                let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+                io.set_len(&f, keep)?;
+                io.sync(&f)?;
+                repaired = true;
+            }
+            for (k, payload) in scan.payloads.into_iter().enumerate() {
+                records.push(LoggedRecord {
+                    lsn: base + k as u64,
+                    payload,
+                });
+            }
+            // The next segment must start right after this one's records.
+            expected_base = Some(records.last().map_or(base, |r| r.lsn + 1));
+            if is_last {
+                active_len = keep;
+            }
+        }
+        let active_seq = *seqs.last().expect("non-empty");
+        let active_path = segment_path(&wal_dir, active_seq);
+        let active = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&active_path)?;
+        let next_lsn = expected_base.expect("at least one segment scanned");
+        Ok(WalOpen {
+            wal: Wal {
+                dir: wal_dir,
+                active_seq,
+                active,
+                active_len,
+                next_lsn,
+                segment_bytes,
+            },
+            records,
+            repaired,
+        })
+    }
+
+    /// LSN the next appended record will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Appends one record payload, fsyncs, and returns its LSN.
+    ///
+    /// Rotates to a fresh segment first when the active one is full.
+    ///
+    /// # Errors
+    ///
+    /// I/O (or injected-fault) failures; the record is only durable when
+    /// `Ok` is returned.
+    pub fn append(&mut self, payload: &[u8], io: &mut Io) -> Result<u64, DurableError> {
+        if self.active_len >= self.segment_bytes {
+            self.rotate(io)?;
+        }
+        let framed = frame::encode(payload);
+        io.write(&mut self.active, &framed)?;
+        io.sync(&self.active)?;
+        self.active_len += framed.len() as u64;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    fn rotate(&mut self, io: &mut Io) -> Result<(), DurableError> {
+        io.sync(&self.active)?;
+        let seq = self.active_seq + 1;
+        let path = segment_path(&self.dir, seq);
+        let mut f = io.create(&path)?;
+        io.write(&mut f, &encode_header(self.next_lsn))?;
+        io.sync(&f)?;
+        io.sync_dir(&self.dir)?;
+        self.active = f;
+        self.active_seq = seq;
+        self.active_len = SEGMENT_HEADER as u64;
+        Ok(())
+    }
+
+    /// Removes whole segments whose records all have `lsn < upto`;
+    /// called after a checkpoint to bound log growth. The active segment
+    /// is never removed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while unlinking.
+    pub fn prune(&mut self, upto: u64, io: &mut Io) -> Result<usize, DurableError> {
+        let mut removed = 0;
+        for seq in 1..self.active_seq {
+            let path = segment_path(&self.dir, seq);
+            if !path.exists() {
+                continue;
+            }
+            let bytes = std::fs::read(&path)?;
+            let Some(base) = decode_header(&bytes) else {
+                continue;
+            };
+            let n = frame::scan(&bytes[SEGMENT_HEADER..]).payloads.len() as u64;
+            // Also require the *next* segment to exist so the chain stays
+            // contiguous for open().
+            let next_exists = segment_path(&self.dir, seq + 1).exists();
+            if base + n <= upto && next_exists {
+                io.remove_file(&path)?;
+                removed += 1;
+            } else {
+                break;
+            }
+        }
+        if removed > 0 {
+            io.sync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mvolap_wal_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_reopen_roundtrip() {
+        let dir = tmp("roundtrip");
+        let mut io = Io::plain();
+        let mut wal = Wal::create(&dir, 1 << 20, &mut io).unwrap();
+        assert_eq!(wal.append(b"alpha", &mut io).unwrap(), 1);
+        assert_eq!(wal.append(b"beta", &mut io).unwrap(), 2);
+        drop(wal);
+        let opened = Wal::open(&dir, 1 << 20, &mut io).unwrap();
+        assert!(!opened.repaired);
+        assert_eq!(opened.wal.next_lsn(), 3);
+        let got: Vec<_> = opened
+            .records
+            .iter()
+            .map(|r| (r.lsn, r.payload.clone()))
+            .collect();
+        assert_eq!(got, vec![(1, b"alpha".to_vec()), (2, b"beta".to_vec())]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_spans_segments_and_lsns_stay_sequential() {
+        let dir = tmp("rotate");
+        let mut io = Io::plain();
+        // Tiny threshold: every record rotates.
+        let mut wal = Wal::create(&dir, 64, &mut io).unwrap();
+        for i in 0..10u64 {
+            let lsn = wal
+                .append(format!("record-{i:04}").as_bytes(), &mut io)
+                .unwrap();
+            assert_eq!(lsn, i + 1);
+        }
+        drop(wal);
+        let segs = std::fs::read_dir(dir.join("wal")).unwrap().count();
+        assert!(segs > 1, "expected rotation, got {segs} segment(s)");
+        let opened = Wal::open(&dir, 64, &mut io).unwrap();
+        assert_eq!(opened.records.len(), 10);
+        for (i, r) in opened.records.iter().enumerate() {
+            assert_eq!(r.lsn, i as u64 + 1);
+        }
+        assert_eq!(opened.wal.next_lsn(), 11);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp("torn");
+        let mut io = Io::plain();
+        let mut wal = Wal::create(&dir, 1 << 20, &mut io).unwrap();
+        wal.append(b"keep me", &mut io).unwrap();
+        wal.append(b"whole", &mut io).unwrap();
+        drop(wal);
+        // Simulate a torn third append: half a frame at the tail.
+        let path = dir.join("wal").join("00000001.wal");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let torn = frame::encode(b"torn record");
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let opened = Wal::open(&dir, 1 << 20, &mut io).unwrap();
+        assert!(opened.repaired);
+        assert_eq!(opened.records.len(), 2);
+        assert_eq!(opened.wal.next_lsn(), 3);
+        // The file itself must have been repaired on disk.
+        let fixed = std::fs::read(&path).unwrap();
+        assert_eq!(frame::scan(&fixed[SEGMENT_HEADER..]).payloads.len(), 2);
+        assert!(!frame::scan(&fixed[SEGMENT_HEADER..]).torn);
+
+        // And a subsequent append continues cleanly.
+        let mut wal = opened.wal;
+        assert_eq!(wal.append(b"after repair", &mut io).unwrap(), 3);
+        let reopened = Wal::open(&dir, 1 << 20, &mut io).unwrap();
+        assert_eq!(reopened.records.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_fatal() {
+        let dir = tmp("midlog");
+        let mut io = Io::plain();
+        let mut wal = Wal::create(&dir, 64, &mut io).unwrap();
+        for i in 0..6u64 {
+            wal.append(format!("record-{i}").as_bytes(), &mut io)
+                .unwrap();
+        }
+        drop(wal);
+        // Flip a byte inside the FIRST segment's frame area.
+        let path = dir.join("wal").join("00000001.wal");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = SEGMENT_HEADER + frame::HEADER + 1;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match Wal::open(&dir, 64, &mut io) {
+            Err(DurableError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_segment_is_fatal() {
+        let dir = tmp("gap");
+        let mut io = Io::plain();
+        let mut wal = Wal::create(&dir, 64, &mut io).unwrap();
+        for i in 0..8u64 {
+            wal.append(format!("record-{i}").as_bytes(), &mut io)
+                .unwrap();
+        }
+        drop(wal);
+        let segs: Vec<_> = std::fs::read_dir(dir.join("wal"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert!(segs.len() >= 3, "need >=3 segments, got {}", segs.len());
+        // Remove a middle segment.
+        let mut names: Vec<_> = segs.clone();
+        names.sort();
+        std::fs::remove_file(&names[1]).unwrap();
+        match Wal::open(&dir, 64, &mut io) {
+            Err(DurableError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_removes_only_fully_covered_inactive_segments() {
+        let dir = tmp("prune");
+        let mut io = Io::plain();
+        let mut wal = Wal::create(&dir, 64, &mut io).unwrap();
+        for i in 0..9u64 {
+            wal.append(format!("record-{i}").as_bytes(), &mut io)
+                .unwrap();
+        }
+        let removed = wal.prune(wal.next_lsn(), &mut io).unwrap();
+        assert!(removed > 0);
+        drop(wal);
+        let opened = Wal::open(&dir, 64, &mut io).unwrap();
+        // Remaining records are a suffix ending at LSN 9.
+        assert_eq!(opened.records.last().unwrap().lsn, 9);
+        assert_eq!(opened.wal.next_lsn(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,220 @@
+//! Crash-recovery integration tests: the acceptance gate of the
+//! durability subsystem.
+//!
+//! The central test runs [`mvolap_durable::crash_sweep`]: a seeded
+//! evolution + load workload is executed once fault-free to enumerate
+//! every I/O primitive, then re-executed with a simulated crash (torn
+//! write included) at each of those ≥ 200 points; every crashed
+//! directory must recover to *exactly* a prefix of the applied
+//! operation sequence — verified by bit-exact snapshot comparison plus
+//! an aggregate-query fingerprint.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use mvolap_core::case_study;
+use mvolap_core::persist::write_tmd;
+use mvolap_durable::{crash_sweep, DurableError, DurableTmd, FactRow};
+use mvolap_temporal::Instant;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mvolap_crash_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn snapshot(tmd: &mvolap_core::Tmd) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_tmd(tmd, &mut buf).unwrap();
+    buf
+}
+
+/// The acceptance criterion: every crash point of the seeded workload
+/// recovers prefix-consistently, and there are at least 200 of them.
+#[test]
+fn crash_sweep_recovers_a_prefix_at_every_point() {
+    let dir = tmp("sweep");
+    let outcome = crash_sweep(&dir, 0xD15C_0B0B, 110).expect("sweep invariant violated");
+    assert!(
+        outcome.crash_points >= 200,
+        "need >= 200 crash points, workload produced {}",
+        outcome.crash_points
+    );
+    assert_eq!(outcome.records, 110);
+    // Sanity on the distribution: most crashes land mid-stream, some
+    // surface a durable-but-unacknowledged record.
+    assert!(
+        outcome.recovered_at_committed > 0 && outcome.recovered_ahead > 0,
+        "degenerate sweep: {outcome:?}"
+    );
+    assert_eq!(
+        outcome.recovered_empty + outcome.recovered_at_committed + outcome.recovered_ahead,
+        outcome.crash_points
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A second seed shifts every crash point onto different byte
+/// boundaries (different torn-write cuts, different record mix).
+#[test]
+fn crash_sweep_holds_under_a_different_seed() {
+    let dir = tmp("sweep2");
+    let outcome = crash_sweep(&dir, 42, 60).expect("sweep invariant violated");
+    assert!(outcome.crash_points >= 120);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Basic lifecycle without faults: create, evolve, load, reopen.
+#[test]
+fn journaled_operations_survive_reopen() {
+    let dir = tmp("lifecycle");
+    let cs = case_study::case_study();
+    let mut store = DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
+    // One evolution + one fact batch through the journal.
+    store
+        .transform_member(
+            cs.org,
+            cs.brian,
+            "Dpt.Brian-renamed",
+            BTreeMap::new(),
+            Instant::ym(2004, 1),
+        )
+        .unwrap();
+    let renamed = {
+        let d = &store.schema().dimensions()[cs.org.0 as usize];
+        d.version_named_at("Dpt.Brian-renamed", Instant::ym(2004, 2))
+            .unwrap()
+            .id
+    };
+    store
+        .append_facts(vec![FactRow {
+            coords: vec![renamed],
+            at: Instant::ym(2004, 6),
+            values: vec![75.0],
+        }])
+        .unwrap();
+    let before = snapshot(store.schema());
+    let lsn = store.wal_position();
+    drop(store);
+
+    let reopened = DurableTmd::open(&dir).unwrap();
+    assert_eq!(snapshot(reopened.schema()), before);
+    assert_eq!(reopened.wal_position(), lsn);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Checkpoints bound recovery work and prune the log; recovery from
+/// checkpoint + tail equals recovery from the full log.
+#[test]
+fn checkpoint_plus_tail_equals_full_replay() {
+    let dir = tmp("ckpt_tail");
+    let cs = case_study::case_study();
+    let mut store = DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
+    store
+        .append_facts(vec![FactRow {
+            coords: vec![cs.brian],
+            at: Instant::ym(2003, 7),
+            values: vec![10.0],
+        }])
+        .unwrap();
+    store.checkpoint().unwrap();
+    // Post-checkpoint tail.
+    store
+        .append_facts(vec![FactRow {
+            coords: vec![cs.paul],
+            at: Instant::ym(2003, 8),
+            values: vec![20.0],
+        }])
+        .unwrap();
+    let before = snapshot(store.schema());
+    drop(store);
+    let reopened = DurableTmd::open(&dir).unwrap();
+    assert_eq!(snapshot(reopened.schema()), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Validation failures are rejected *before* anything reaches the log:
+/// the store stays usable and a reopen sees no trace of them.
+#[test]
+fn invalid_operations_leave_no_journal_trace() {
+    let dir = tmp("invalid");
+    let cs = case_study::case_study();
+    let mut store = DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
+    let lsn = store.wal_position();
+    // Non-leaf coordinate: rejected by fact validation.
+    let err = store
+        .append_facts(vec![FactRow {
+            coords: vec![cs.sales],
+            at: Instant::ym(2003, 6),
+            values: vec![1.0],
+        }])
+        .unwrap_err();
+    assert!(matches!(err, DurableError::Core(_)));
+    // Deleting an unknown member: rejected by the clone validation.
+    let err = store
+        .delete_member(
+            cs.org,
+            mvolap_core::MemberVersionId(999),
+            Instant::ym(2004, 1),
+        )
+        .unwrap_err();
+    assert!(matches!(err, DurableError::Core(_)));
+    assert!(!store.is_poisoned());
+    assert_eq!(store.wal_position(), lsn, "nothing may reach the log");
+    // The store still works.
+    store
+        .append_facts(vec![FactRow {
+            coords: vec![cs.brian],
+            at: Instant::ym(2003, 6),
+            values: vec![5.0],
+        }])
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The WAL journals the confidence-change operator and replays it.
+#[test]
+fn confidence_change_survives_recovery() {
+    let dir = tmp("confidence");
+    let cs = case_study::case_study();
+    let mut store = DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
+    // The case study maps Jones -> Bill with an approximate 0.4 share;
+    // revise it to an exact 0.45.
+    store
+        .change_confidence(
+            cs.org,
+            cs.jones,
+            cs.bill,
+            vec![mvolap_core::MeasureMapping {
+                func: mvolap_core::MappingFunction::Scale(0.45),
+                confidence: mvolap_core::Confidence::Exact,
+            }],
+            vec![mvolap_core::MeasureMapping::EXACT_IDENTITY],
+        )
+        .unwrap();
+    let before = snapshot(store.schema());
+    drop(store);
+    let reopened = DurableTmd::open(&dir).unwrap();
+    assert_eq!(snapshot(reopened.schema()), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Opening an empty or missing directory reports `NoStore`, not a
+/// panic or a silently empty warehouse.
+#[test]
+fn open_without_store_is_explicit() {
+    let dir = tmp("nostore");
+    assert!(matches!(DurableTmd::open(&dir), Err(DurableError::NoStore)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Creating over an existing store is refused.
+#[test]
+fn create_refuses_to_clobber() {
+    let dir = tmp("clobber");
+    let cs = case_study::case_study();
+    DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
+    assert!(DurableTmd::create(&dir, cs.tmd).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

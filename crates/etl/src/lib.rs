@@ -8,7 +8,10 @@
 //! paper's §1.2 discusses and improves upon.
 //!
 //! * [`snapshot`] — the source snapshot model and differ;
-//! * [`load`] — applying detected changes to a [`mvolap_core::Tmd`];
+//! * [`load`] — applying detected changes to any [`EvolutionTarget`];
+//! * [`target`] — the load destination abstraction: a bare
+//!   [`mvolap_core::Tmd`] or a journaled [`mvolap_durable::DurableTmd`],
+//!   plus [`load_facts`] for fact batches;
 //! * [`scd`] — SCD Type 1 (overwrite), Type 2 (row versioning) and
 //!   Type 3 (previous-value column) dimension maintainers, used as
 //!   baselines by the benchmark suite.
@@ -16,7 +19,12 @@
 pub mod load;
 pub mod scd;
 pub mod snapshot;
+pub mod target;
 
-pub use load::{apply_changes, apply_changes_with_hints, bootstrap, EvolutionHint, LoadReport};
+pub use load::{
+    apply_changes, apply_changes_in, apply_changes_with_hints, apply_changes_with_hints_in,
+    bootstrap, bootstrap_in, EvolutionHint, LoadReport,
+};
 pub use scd::{Scd1Dimension, Scd2Dimension, Scd3Dimension};
 pub use snapshot::{diff, ChangeEvent, Snapshot, SnapshotRow};
+pub use target::{load_facts, EvolutionTarget, FactRecord};

@@ -1,10 +1,16 @@
 //! Loading detected changes into a temporal multidimensional schema.
+//!
+//! Each loader is generic over [`EvolutionTarget`], so the same change
+//! stream lands either directly in a [`Tmd`] or — journaled through the
+//! write-ahead log — in a [`mvolap_durable::DurableTmd`]. The original
+//! `Tmd`-taking entry points remain as thin wrappers.
 
-use mvolap_core::evolution::{self, MergeSource, SplitPart};
+use mvolap_core::evolution::{MergeSource, SplitPart};
 use mvolap_core::{CoreError, DimensionId, MemberVersionId, Result, Tmd};
 use mvolap_temporal::Instant;
 
 use crate::snapshot::ChangeEvent;
+use crate::target::EvolutionTarget;
 
 /// Administrator-supplied knowledge about an evolution that a snapshot
 /// diff cannot infer: a member that disappeared while others appeared is
@@ -55,8 +61,8 @@ fn resolve(tmd: &Tmd, dim: DimensionId, name: &str, t: Instant) -> Result<Member
         .map(|v| v.id)
 }
 
-/// Applies snapshot-diff events to a schema at instant `at`, through the
-/// §3.2 evolution operators:
+/// Applies snapshot-diff events to a load destination at instant `at`,
+/// through the §3.2 evolution operators:
 ///
 /// * `Created` → `create` (Insert);
 /// * `Deleted` → `delete` (Exclude);
@@ -67,13 +73,14 @@ fn resolve(tmd: &Tmd, dim: DimensionId, name: &str, t: Instant) -> Result<Member
 ///
 /// # Errors
 ///
-/// Name-resolution failures and evolution-operator violations.
-pub fn apply_changes(
-    tmd: &mut Tmd,
+/// Name-resolution failures, evolution-operator violations, and — for a
+/// durable destination — journaling failures.
+pub fn apply_changes_in<T: EvolutionTarget>(
+    target: &mut T,
     dim: DimensionId,
     events: &[ChangeEvent],
     at: Instant,
-) -> Result<LoadReport> {
+) -> std::result::Result<LoadReport, T::Error> {
     let mut report = LoadReport::default();
     // Creations may depend on one another (a department under a division
     // created in the same snapshot); retry until a pass makes no
@@ -90,7 +97,7 @@ pub fn apply_changes(
         let mut rest = Vec::new();
         for row in pending_creates {
             let parents = match &row.parent {
-                Some(p) => match resolve(tmd, dim, p, at) {
+                Some(p) => match resolve(target.schema(), dim, p, at) {
                     Ok(id) => vec![id],
                     Err(_) => {
                         rest.push(row);
@@ -99,7 +106,7 @@ pub fn apply_changes(
                 },
                 None => Vec::new(),
             };
-            evolution::create(tmd, dim, &row.member, row.level.clone(), at, &parents)?;
+            target.create(dim, &row.member, row.level.clone(), at, &parents)?;
             report.created += 1;
         }
         if rest.len() == before {
@@ -109,7 +116,8 @@ pub fn apply_changes(
                     .map(|r| r.member.as_str())
                     .collect::<Vec<_>>()
                     .join(", ")
-            )));
+            ))
+            .into());
         }
         pending_creates = rest;
     }
@@ -117,8 +125,8 @@ pub fn apply_changes(
         match event {
             ChangeEvent::Created { .. } => {} // handled above
             ChangeEvent::Deleted { member } => {
-                let id = resolve(tmd, dim, member, at)?;
-                evolution::delete(tmd, dim, id, at)?;
+                let id = resolve(target.schema(), dim, member, at)?;
+                target.delete(dim, id, at)?;
                 report.deleted += 1;
             }
             ChangeEvent::Reclassified {
@@ -126,22 +134,22 @@ pub fn apply_changes(
                 old_parent,
                 new_parent,
             } => {
-                let id = resolve(tmd, dim, member, at)?;
+                let id = resolve(target.schema(), dim, member, at)?;
                 let old: Vec<MemberVersionId> = match old_parent {
-                    Some(p) => vec![resolve(tmd, dim, p, at)?],
+                    Some(p) => vec![resolve(target.schema(), dim, p, at)?],
                     None => Vec::new(),
                 };
                 let new: Vec<MemberVersionId> = match new_parent {
-                    Some(p) => vec![resolve(tmd, dim, p, at)?],
+                    Some(p) => vec![resolve(target.schema(), dim, p, at)?],
                     None => Vec::new(),
                 };
-                evolution::reclassify(tmd, dim, id, at, &old, &new)?;
+                target.reclassify(dim, id, at, &old, &new)?;
                 report.reclassified += 1;
             }
             ChangeEvent::AttributesChanged { member, attributes } => {
-                let id = resolve(tmd, dim, member, at)?;
-                let name = tmd.dimension(dim)?.version(id)?.name.clone();
-                evolution::transform(tmd, dim, id, name, attributes.clone(), at)?;
+                let id = resolve(target.schema(), dim, member, at)?;
+                let name = target.schema().dimension(dim)?.version(id)?.name.clone();
+                target.transform(dim, id, &name, attributes.clone(), at)?;
                 report.transformed += 1;
             }
         }
@@ -149,23 +157,37 @@ pub fn apply_changes(
     Ok(report)
 }
 
+/// [`apply_changes_in`] for a bare [`Tmd`] — the original entry point.
+///
+/// # Errors
+///
+/// As [`apply_changes_in`].
+pub fn apply_changes(
+    tmd: &mut Tmd,
+    dim: DimensionId,
+    events: &[ChangeEvent],
+    at: Instant,
+) -> Result<LoadReport> {
+    apply_changes_in(tmd, dim, events, at)
+}
+
 /// Applies snapshot-diff events with administrator hints: hinted splits
 /// and merges consume their matching `Deleted`/`Created` events and run
 /// the corresponding high-level operator (wiring mapping relationships);
-/// everything left over flows through [`apply_changes`].
+/// everything left over flows through [`apply_changes_in`].
 ///
 /// # Errors
 ///
 /// [`CoreError::InvalidEvolution`] when a hint references members the
 /// diff does not actually report as deleted/created; plus everything
-/// [`apply_changes`] raises.
-pub fn apply_changes_with_hints(
-    tmd: &mut Tmd,
+/// [`apply_changes_in`] raises.
+pub fn apply_changes_with_hints_in<T: EvolutionTarget>(
+    target: &mut T,
     dim: DimensionId,
     events: &[ChangeEvent],
     hints: &[EvolutionHint],
     at: Instant,
-) -> Result<LoadReport> {
+) -> std::result::Result<LoadReport, T::Error> {
     let deleted = |events: &[ChangeEvent], name: &str| {
         events
             .iter()
@@ -181,7 +203,7 @@ pub fn apply_changes_with_hints(
     let mut consumed_deletes: Vec<String> = Vec::new();
     let mut consumed_creates: Vec<String> = Vec::new();
     let mut report = LoadReport::default();
-    let measures = tmd.measures().len();
+    let measures = target.schema().measures().len();
 
     for hint in hints {
         match hint {
@@ -189,7 +211,8 @@ pub fn apply_changes_with_hints(
                 if !deleted(events, member) {
                     return Err(CoreError::InvalidEvolution(format!(
                         "split hint for `{member}` but the snapshot does not delete it"
-                    )));
+                    ))
+                    .into());
                 }
                 let mut split_parts = Vec::with_capacity(parts.len());
                 let mut parents: Vec<MemberVersionId> = Vec::new();
@@ -200,15 +223,15 @@ pub fn apply_changes_with_hints(
                         ))
                     })?;
                     if let Some(p) = &row.parent {
-                        let id = resolve(tmd, dim, p, at)?;
+                        let id = resolve(target.schema(), dim, p, at)?;
                         if !parents.contains(&id) {
                             parents.push(id);
                         }
                     }
                     split_parts.push(SplitPart::proportional(part.clone(), *share, measures));
                 }
-                let source = resolve(tmd, dim, member, at)?;
-                evolution::split(tmd, dim, source, &split_parts, at, &parents)?;
+                let source = resolve(target.schema(), dim, member, at)?;
+                target.split(dim, source, split_parts, at, &parents)?;
                 consumed_deletes.push(member.clone());
                 consumed_creates.extend(parts.iter().map(|(p, _)| p.clone()));
                 report.deleted += 1;
@@ -221,7 +244,7 @@ pub fn apply_changes_with_hints(
                     ))
                 })?;
                 let parents: Vec<MemberVersionId> = match &row.parent {
-                    Some(p) => vec![resolve(tmd, dim, p, at)?],
+                    Some(p) => vec![resolve(target.schema(), dim, p, at)?],
                     None => Vec::new(),
                 };
                 let mut merge_sources = Vec::with_capacity(sources.len());
@@ -229,20 +252,13 @@ pub fn apply_changes_with_hints(
                     if !deleted(events, source) {
                         return Err(CoreError::InvalidEvolution(format!(
                             "merge hint source `{source}` is not deleted by the snapshot"
-                        )));
+                        ))
+                        .into());
                     }
-                    let id = resolve(tmd, dim, source, at)?;
+                    let id = resolve(target.schema(), dim, source, at)?;
                     merge_sources.push(MergeSource::with_share(id, *share, measures));
                 }
-                evolution::merge(
-                    tmd,
-                    dim,
-                    &merge_sources,
-                    into.clone(),
-                    row.level.clone(),
-                    at,
-                    &parents,
-                )?;
+                target.merge(dim, merge_sources, into, row.level.clone(), at, &parents)?;
                 consumed_deletes.extend(sources.iter().map(|(s, _)| s.clone()));
                 consumed_creates.push(into.clone());
                 report.deleted += sources.len();
@@ -261,12 +277,28 @@ pub fn apply_changes_with_hints(
         })
         .cloned()
         .collect();
-    let rest = apply_changes(tmd, dim, &remaining, at)?;
+    let rest = apply_changes_in(target, dim, &remaining, at)?;
     report.created += rest.created;
     report.deleted += rest.deleted;
     report.reclassified += rest.reclassified;
     report.transformed += rest.transformed;
     Ok(report)
+}
+
+/// [`apply_changes_with_hints_in`] for a bare [`Tmd`] — the original
+/// entry point.
+///
+/// # Errors
+///
+/// As [`apply_changes_with_hints_in`].
+pub fn apply_changes_with_hints(
+    tmd: &mut Tmd,
+    dim: DimensionId,
+    events: &[ChangeEvent],
+    hints: &[EvolutionHint],
+    at: Instant,
+) -> Result<LoadReport> {
+    apply_changes_with_hints_in(tmd, dim, events, hints, at)
 }
 
 /// Bootstraps an empty dimension from its first snapshot: every root
@@ -277,11 +309,11 @@ pub fn apply_changes_with_hints(
 ///
 /// [`CoreError::InvalidEvolution`] when a parent is missing from the
 /// snapshot itself.
-pub fn bootstrap(
-    tmd: &mut Tmd,
+pub fn bootstrap_in<T: EvolutionTarget>(
+    target: &mut T,
     dim: DimensionId,
     snapshot: &crate::snapshot::Snapshot,
-) -> Result<LoadReport> {
+) -> std::result::Result<LoadReport, T::Error> {
     let mut report = LoadReport::default();
     // Roots first, then repeatedly anything whose parent already exists.
     let mut pending: Vec<&crate::snapshot::SnapshotRow> = snapshot.rows.values().collect();
@@ -292,7 +324,7 @@ pub fn bootstrap(
         for row in pending {
             let parent_id = match &row.parent {
                 None => None,
-                Some(p) => match resolve(tmd, dim, p, at) {
+                Some(p) => match resolve(target.schema(), dim, p, at) {
                     Ok(id) => Some(id),
                     Err(_) => {
                         rest.push(row);
@@ -301,7 +333,7 @@ pub fn bootstrap(
                 },
             };
             let parents: Vec<MemberVersionId> = parent_id.into_iter().collect();
-            evolution::create(tmd, dim, &row.member, row.level.clone(), at, &parents)?;
+            target.create(dim, &row.member, row.level.clone(), at, &parents)?;
             report.created += 1;
         }
         if rest.len() == before {
@@ -311,18 +343,34 @@ pub fn bootstrap(
                     .map(|r| r.member.as_str())
                     .collect::<Vec<_>>()
                     .join(", ")
-            )));
+            ))
+            .into());
         }
         pending = rest;
     }
     Ok(report)
 }
 
+/// [`bootstrap_in`] for a bare [`Tmd`] — the original entry point.
+///
+/// # Errors
+///
+/// As [`bootstrap_in`].
+pub fn bootstrap(
+    tmd: &mut Tmd,
+    dim: DimensionId,
+    snapshot: &crate::snapshot::Snapshot,
+) -> Result<LoadReport> {
+    bootstrap_in(tmd, dim, snapshot)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::snapshot::{diff, Snapshot, SnapshotRow};
+    use crate::target::{load_facts, FactRecord};
     use mvolap_core::{MeasureDef, TemporalDimension};
+    use mvolap_durable::DurableTmd;
     use mvolap_temporal::Granularity;
 
     fn empty_schema() -> (Tmd, DimensionId) {
@@ -524,5 +572,65 @@ mod tests {
         // Two versions of Brian's department now exist.
         assert_eq!(d.versions_named("Dpt.Brian").len(), 2);
         assert_eq!(tmd.mapping_graph(dim).unwrap().relationships().len(), 1);
+    }
+
+    /// The full §5.1 pipeline against a durable destination: bootstrap,
+    /// facts, a hinted split — every step journaled — then recovery from
+    /// disk alone reproduces the identical schema.
+    #[test]
+    fn etl_pipeline_is_journaled_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mvolap_etl_wal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (tmd, dim) = empty_schema();
+        let mut store = DurableTmd::create(&dir, tmd).unwrap();
+
+        bootstrap_in(&mut store, dim, &org_2001()).unwrap();
+        load_facts(
+            &mut store,
+            &[FactRecord {
+                coords: vec!["Dpt.Jones".into()],
+                at: Instant::ym(2002, 6),
+                values: vec![100.0],
+            }],
+        )
+        .unwrap();
+        let mut next = org_2001();
+        next.period = Instant::ym(2003, 1);
+        next.rows.remove("Dpt.Jones");
+        for name in ["Dpt.Bill", "Dpt.Paul"] {
+            next.rows.insert(
+                name.into(),
+                SnapshotRow::new(name, Some("Sales")).at_level("Department"),
+            );
+        }
+        let events = diff(&org_2001(), &next);
+        let hints = [EvolutionHint::Split {
+            member: "Dpt.Jones".into(),
+            parts: vec![("Dpt.Bill".into(), 0.4), ("Dpt.Paul".into(), 0.6)],
+        }];
+        let report =
+            apply_changes_with_hints_in(&mut store, dim, &events, &hints, Instant::ym(2003, 1))
+                .unwrap();
+        assert_eq!(report.created, 2);
+        assert_eq!(report.deleted, 1);
+
+        let mut before = Vec::new();
+        mvolap_core::persist::write_tmd(store.schema(), &mut before).unwrap();
+        drop(store);
+
+        let reopened = DurableTmd::open(&dir).unwrap();
+        let mut after = Vec::new();
+        mvolap_core::persist::write_tmd(reopened.schema(), &mut after).unwrap();
+        assert_eq!(after, before);
+        assert_eq!(
+            reopened
+                .schema()
+                .mapping_graph(dim)
+                .unwrap()
+                .relationships()
+                .len(),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,417 @@
+//! [`EvolutionTarget`]: the load destination abstraction.
+//!
+//! The loaders in [`crate::load`] apply detected changes through the
+//! §3.2 evolution operators. Historically they took a bare
+//! [`Tmd`]; with the durability subsystem the same change stream must
+//! be able to land in a [`DurableTmd`], where every operator is
+//! journaled to the write-ahead log before it is applied. This trait
+//! abstracts the destination so each loader is written once:
+//!
+//! * [`Tmd`] — in-memory application, errors are [`CoreError`];
+//! * [`DurableTmd`] — journal-then-apply, errors are
+//!   [`DurableError`] (which subsumes `CoreError` via `From`).
+
+use std::collections::BTreeMap;
+
+use mvolap_core::evolution::{self, MergeSource, SplitPart};
+use mvolap_core::{CoreError, DimensionId, MemberVersionId, Tmd};
+use mvolap_durable::{DurableError, DurableTmd, FactRow};
+use mvolap_temporal::Instant;
+
+/// A destination the ETL loaders can apply evolution operators and fact
+/// batches to.
+pub trait EvolutionTarget {
+    /// The error the destination raises; every model violation is a
+    /// [`CoreError`] underneath.
+    type Error: From<CoreError>;
+
+    /// Read access to the current schema (name resolution, arity).
+    fn schema(&self) -> &Tmd;
+
+    /// *Creation of a member* (Insert).
+    ///
+    /// # Errors
+    ///
+    /// Evolution-operator violations; journaling failures for durable
+    /// destinations.
+    fn create(
+        &mut self,
+        dim: DimensionId,
+        name: &str,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), Self::Error>;
+
+    /// *Deletion of a member* (Exclude).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvolutionTarget::create`].
+    fn delete(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+    ) -> Result<(), Self::Error>;
+
+    /// *Reclassification of a member*.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvolutionTarget::create`].
+    fn reclassify(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+        old_parents: &[MemberVersionId],
+        new_parents: &[MemberVersionId],
+    ) -> Result<(), Self::Error>;
+
+    /// *Transformation of a member* (name/attribute change).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvolutionTarget::create`].
+    fn transform(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        new_name: &str,
+        new_attributes: BTreeMap<String, String>,
+        at: Instant,
+    ) -> Result<(), Self::Error>;
+
+    /// *Splitting of one member into n*.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvolutionTarget::create`].
+    fn split(
+        &mut self,
+        dim: DimensionId,
+        source: MemberVersionId,
+        parts: Vec<SplitPart>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), Self::Error>;
+
+    /// *Merging of n members into one*.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvolutionTarget::create`].
+    fn merge(
+        &mut self,
+        dim: DimensionId,
+        sources: Vec<MergeSource>,
+        new_name: &str,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), Self::Error>;
+
+    /// Appends a batch of validated fact rows (one WAL record for
+    /// durable destinations).
+    ///
+    /// # Errors
+    ///
+    /// Fact-validation failures (Definition 5); journaling failures for
+    /// durable destinations.
+    fn append_facts(&mut self, rows: Vec<FactRow>) -> Result<(), Self::Error>;
+}
+
+impl EvolutionTarget for Tmd {
+    type Error = CoreError;
+
+    fn schema(&self) -> &Tmd {
+        self
+    }
+
+    fn create(
+        &mut self,
+        dim: DimensionId,
+        name: &str,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), CoreError> {
+        evolution::create(self, dim, name, level, at, parents).map(|_| ())
+    }
+
+    fn delete(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+    ) -> Result<(), CoreError> {
+        evolution::delete(self, dim, id, at).map(|_| ())
+    }
+
+    fn reclassify(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+        old_parents: &[MemberVersionId],
+        new_parents: &[MemberVersionId],
+    ) -> Result<(), CoreError> {
+        evolution::reclassify(self, dim, id, at, old_parents, new_parents).map(|_| ())
+    }
+
+    fn transform(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        new_name: &str,
+        new_attributes: BTreeMap<String, String>,
+        at: Instant,
+    ) -> Result<(), CoreError> {
+        evolution::transform(self, dim, id, new_name, new_attributes, at).map(|_| ())
+    }
+
+    fn split(
+        &mut self,
+        dim: DimensionId,
+        source: MemberVersionId,
+        parts: Vec<SplitPart>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), CoreError> {
+        evolution::split(self, dim, source, &parts, at, parents).map(|_| ())
+    }
+
+    fn merge(
+        &mut self,
+        dim: DimensionId,
+        sources: Vec<MergeSource>,
+        new_name: &str,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), CoreError> {
+        evolution::merge(self, dim, &sources, new_name, level, at, parents).map(|_| ())
+    }
+
+    fn append_facts(&mut self, rows: Vec<FactRow>) -> Result<(), CoreError> {
+        for r in &rows {
+            self.add_fact(&r.coords, r.at, &r.values)?;
+        }
+        Ok(())
+    }
+}
+
+impl EvolutionTarget for DurableTmd {
+    type Error = DurableError;
+
+    fn schema(&self) -> &Tmd {
+        DurableTmd::schema(self)
+    }
+
+    fn create(
+        &mut self,
+        dim: DimensionId,
+        name: &str,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), DurableError> {
+        self.create_member(dim, name, level, at, parents)
+            .map(|_| ())
+    }
+
+    fn delete(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+    ) -> Result<(), DurableError> {
+        self.delete_member(dim, id, at).map(|_| ())
+    }
+
+    fn reclassify(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        at: Instant,
+        old_parents: &[MemberVersionId],
+        new_parents: &[MemberVersionId],
+    ) -> Result<(), DurableError> {
+        self.reclassify_member(dim, id, at, old_parents, new_parents)
+            .map(|_| ())
+    }
+
+    fn transform(
+        &mut self,
+        dim: DimensionId,
+        id: MemberVersionId,
+        new_name: &str,
+        new_attributes: BTreeMap<String, String>,
+        at: Instant,
+    ) -> Result<(), DurableError> {
+        self.transform_member(dim, id, new_name, new_attributes, at)
+            .map(|_| ())
+    }
+
+    fn split(
+        &mut self,
+        dim: DimensionId,
+        source: MemberVersionId,
+        parts: Vec<SplitPart>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), DurableError> {
+        self.split_member(dim, source, parts, at, parents)
+            .map(|_| ())
+    }
+
+    fn merge(
+        &mut self,
+        dim: DimensionId,
+        sources: Vec<MergeSource>,
+        new_name: &str,
+        level: Option<String>,
+        at: Instant,
+        parents: &[MemberVersionId],
+    ) -> Result<(), DurableError> {
+        self.merge_members(dim, sources, new_name, level, at, parents)
+            .map(|_| ())
+    }
+
+    fn append_facts(&mut self, rows: Vec<FactRow>) -> Result<(), DurableError> {
+        DurableTmd::append_facts(self, rows).map(|_| ())
+    }
+}
+
+/// One source fact, addressed by member names (the form operational
+/// sources deliver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactRecord {
+    /// One member name per dimension.
+    pub coords: Vec<String>,
+    /// Fact time.
+    pub at: Instant,
+    /// One value per measure.
+    pub values: Vec<f64>,
+}
+
+/// Loads a batch of source facts into `target`: every name is resolved
+/// to the member version valid at the row's own time, then the whole
+/// batch lands in one [`EvolutionTarget::append_facts`] call — one WAL
+/// record on a durable destination. Returns the number of rows loaded.
+///
+/// # Errors
+///
+/// Name-resolution failures, fact validation (Definition 5), and the
+/// destination's journaling errors. Nothing is applied on error: the
+/// batch resolves fully before any row lands.
+pub fn load_facts<T: EvolutionTarget>(
+    target: &mut T,
+    records: &[FactRecord],
+) -> Result<usize, T::Error> {
+    let mut rows = Vec::with_capacity(records.len());
+    {
+        let tmd = target.schema();
+        let dims = tmd.dimensions();
+        for record in records {
+            if record.coords.len() != dims.len() {
+                return Err(CoreError::CoordinateArityMismatch {
+                    expected: dims.len(),
+                    actual: record.coords.len(),
+                }
+                .into());
+            }
+            let mut coords = Vec::with_capacity(record.coords.len());
+            for (dim, name) in dims.iter().zip(&record.coords) {
+                coords.push(dim.version_named_at(name, record.at)?.id);
+            }
+            rows.push(FactRow {
+                coords,
+                at: record.at,
+                values: record.values.clone(),
+            });
+        }
+    }
+    let n = rows.len();
+    target.append_facts(rows)?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvolap_core::case_study;
+
+    #[test]
+    fn load_facts_resolves_names_per_row_time() {
+        let mut tmd = case_study::case_study().tmd;
+        let before = tmd.facts().len();
+        let n = load_facts(
+            &mut tmd,
+            &[
+                FactRecord {
+                    coords: vec!["Dpt.Jones".into()],
+                    at: Instant::ym(2002, 6),
+                    values: vec![12.0],
+                },
+                FactRecord {
+                    coords: vec!["Dpt.Bill".into()],
+                    at: Instant::ym(2003, 6),
+                    values: vec![34.0],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(tmd.facts().len(), before + 2);
+    }
+
+    #[test]
+    fn load_facts_is_all_or_nothing_on_resolution_failure() {
+        let mut tmd = case_study::case_study().tmd;
+        let before = tmd.facts().len();
+        // Jones is gone by 2003: resolution fails, nothing loads.
+        let err = load_facts(
+            &mut tmd,
+            &[
+                FactRecord {
+                    coords: vec!["Dpt.Brian".into()],
+                    at: Instant::ym(2003, 6),
+                    values: vec![1.0],
+                },
+                FactRecord {
+                    coords: vec!["Dpt.Jones".into()],
+                    at: Instant::ym(2003, 6),
+                    values: vec![2.0],
+                },
+            ],
+        );
+        assert!(err.is_err());
+        assert_eq!(tmd.facts().len(), before);
+    }
+
+    #[test]
+    fn durable_target_journals_the_loaders_operations() {
+        let dir = std::env::temp_dir().join(format!("mvolap_etl_tgt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cs = case_study::case_study();
+        let mut store = DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
+        let lsn0 = store.wal_position();
+        load_facts(
+            &mut store,
+            &[FactRecord {
+                coords: vec!["Dpt.Brian".into()],
+                at: Instant::ym(2003, 6),
+                values: vec![9.0],
+            }],
+        )
+        .unwrap();
+        assert_eq!(store.wal_position(), lsn0 + 1, "one batch, one record");
+        let n = store.schema().facts().len();
+        drop(store);
+        let reopened = DurableTmd::open(&dir).unwrap();
+        assert_eq!(reopened.schema().facts().len(), n);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

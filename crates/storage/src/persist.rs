@@ -269,12 +269,27 @@ pub fn read_table(input: &mut impl Read) -> Result<Table, PersistError> {
 /// Saves every table of a catalog into `dir` (created if absent), one
 /// `<table>.tbl` file per table. File names are percent-style sanitised
 /// so arbitrary table names stay valid paths.
+///
+/// Each table is written atomically (temp file, fsync, rename), so a
+/// crash mid-save can never truncate a previously saved table file.
 pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), PersistError> {
     std::fs::create_dir_all(dir)?;
     for table in catalog.tables() {
         let file = dir.join(format!("{}.tbl", sanitize(table.name())));
-        let mut f = std::fs::File::create(file)?;
-        write_table(table, &mut f)?;
+        let tmp = dir.join(format!("{}.tbl.tmp", sanitize(table.name())));
+        let mut f = std::fs::File::create(&tmp)?;
+        if let Err(e) =
+            write_table(table, &mut f).and_then(|()| f.sync_all().map_err(PersistError::from))
+        {
+            drop(f);
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        drop(f);
+        if let Err(e) = std::fs::rename(&tmp, &file) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
     }
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | [`exec`] | Morsel-parallel execution engine + generation-keyed memo cache |
 //! | [`core`] | The paper's model: Definitions 1–12 + evolution operators |
 //! | [`etl`] | Snapshot change detection, loaders, SCD Type 1/2/3 baselines |
+//! | [`durable`] | Write-ahead log, checkpointing and crash recovery |
 //! | [`query`] | Textual query language with `IN MODE` temporal presentation |
 //! | [`cube`] | Aggregate lattice, navigation operators, quality factor |
 //! | [`workload`] | Seeded evolving-hierarchy and fact generators |
@@ -44,6 +45,7 @@
 
 pub use mvolap_core as core;
 pub use mvolap_cube as cube;
+pub use mvolap_durable as durable;
 pub use mvolap_etl as etl;
 pub use mvolap_exec as exec;
 pub use mvolap_query as query;
