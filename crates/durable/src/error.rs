@@ -24,6 +24,14 @@ pub enum DurableError {
     /// The directory holds no recoverable store (no checkpoint and no
     /// bootstrap record survived).
     NoStore,
+    /// A tail was requested from an LSN that checkpointing has already
+    /// pruned out of the log. The caller (typically a replication
+    /// follower) must re-bootstrap from a checkpoint snapshot instead of
+    /// replaying frames.
+    Pruned {
+        /// Base LSN of the oldest segment still on disk.
+        oldest_available: u64,
+    },
     /// Checkpoint (de)serialisation failure.
     Persist(PersistError),
     /// Replaying a record violated the model — validated replay refused
@@ -41,6 +49,11 @@ impl std::fmt::Display for DurableError {
             }
             DurableError::Corrupt { message } => write!(f, "corrupt store: {message}"),
             DurableError::NoStore => write!(f, "directory holds no recoverable store"),
+            DurableError::Pruned { oldest_available } => write!(
+                f,
+                "requested LSN precedes the log (oldest available: {oldest_available}); \
+                 re-bootstrap from a checkpoint"
+            ),
             DurableError::Persist(e) => write!(f, "checkpoint error: {e}"),
             DurableError::Core(e) => write!(f, "replay error: {e}"),
         }

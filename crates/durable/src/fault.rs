@@ -369,7 +369,7 @@ pub fn generate(seed: u64, target_records: usize) -> Workload {
 fn sweep_options() -> Options {
     Options {
         segment_bytes: 2048,
-        checkpoint_every_records: 0,
+        policy: crate::store::CheckpointPolicy::manual(),
         prune_on_checkpoint: true,
     }
 }

@@ -39,6 +39,23 @@ impl FaultPlan {
             rng: Rng::seed_from_u64(seed ^ ops.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         }
     }
+
+    /// Counts one step of whatever the plan is attached to (an I/O
+    /// primitive, a replication transport hop, …); `true` means the
+    /// fault fires *now*. Once fired, every subsequent step fires too —
+    /// a crashed component stays crashed.
+    pub fn fires(&mut self) -> bool {
+        if self.remaining == 0 {
+            return true;
+        }
+        self.remaining -= 1;
+        false
+    }
+
+    /// Deterministic torn-write cut: how many of `len` bytes survive.
+    pub fn cut(&mut self, len: usize) -> usize {
+        self.rng.usize_below(len + 1)
+    }
 }
 
 /// The injectable I/O layer. Without a plan it is a thin veneer over
@@ -72,10 +89,9 @@ impl Io {
     fn tick(&mut self, op: &'static str) -> Result<(), DurableError> {
         self.ops += 1;
         if let Some(plan) = &mut self.fault {
-            if plan.remaining == 0 {
+            if plan.fires() {
                 return Err(DurableError::Injected { op });
             }
-            plan.remaining -= 1;
         }
         Ok(())
     }
@@ -86,13 +102,12 @@ impl Io {
     pub fn write(&mut self, file: &mut File, bytes: &[u8]) -> Result<(), DurableError> {
         self.ops += 1;
         if let Some(plan) = &mut self.fault {
-            if plan.remaining == 0 {
-                let cut = plan.rng.usize_below(bytes.len() + 1);
+            if plan.fires() {
+                let cut = plan.cut(bytes.len());
                 let _ = file.write_all(&bytes[..cut]);
                 let _ = file.flush();
                 return Err(DurableError::Injected { op: "write" });
             }
-            plan.remaining -= 1;
         }
         file.write_all(bytes)?;
         Ok(())

@@ -43,5 +43,5 @@ pub use error::DurableError;
 pub use fault::{crash_sweep, generate, Step, SweepOutcome, Workload};
 pub use io::{FaultPlan, Io};
 pub use record::{FactRow, WalRecord};
-pub use store::{DurableTmd, Options};
-pub use wal::{LoggedRecord, Wal};
+pub use store::{CheckpointPolicy, DurableTmd, Options};
+pub use wal::{LoggedRecord, TailFrame, Wal};

@@ -36,14 +36,72 @@ use crate::io::{FaultPlan, Io};
 use crate::record::{FactRow, WalRecord};
 use crate::wal::Wal;
 
+/// When a [`DurableTmd`] checkpoints automatically. Every threshold is
+/// independent and `0` disables it; the store checkpoints as soon as
+/// *any* enabled threshold is crossed after a commit.
+///
+/// `every_records` alone is the classic count policy, but a long tail
+/// of *small* records (many tiny fact batches) or a tail inherited from
+/// recovery can still grow unboundedly below it — `max_tail_bytes` and
+/// `max_tail_ops` bound the uncheckpointed tail by size and by total
+/// record count regardless of who appended it.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many records committed by this handle.
+    pub every_records: u64,
+    /// Checkpoint once the uncheckpointed WAL tail exceeds this many
+    /// bytes (frame headers included).
+    pub max_tail_bytes: u64,
+    /// Checkpoint once the uncheckpointed WAL tail holds this many
+    /// records, counting records replayed from the log at open — a
+    /// store that recovers a long tail checkpoints promptly instead of
+    /// re-replaying it on every future open.
+    pub max_tail_ops: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_records: 1024,
+            max_tail_bytes: 0,
+            max_tail_ops: 0,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Only the classic record-count trigger.
+    pub fn every_records(n: u64) -> Self {
+        CheckpointPolicy {
+            every_records: n,
+            max_tail_bytes: 0,
+            max_tail_ops: 0,
+        }
+    }
+
+    /// No automatic checkpointing at all.
+    pub fn manual() -> Self {
+        CheckpointPolicy {
+            every_records: 0,
+            max_tail_bytes: 0,
+            max_tail_ops: 0,
+        }
+    }
+
+    fn due(&self, records_since: u64, tail_bytes: u64, tail_ops: u64) -> bool {
+        (self.every_records > 0 && records_since >= self.every_records)
+            || (self.max_tail_bytes > 0 && tail_bytes >= self.max_tail_bytes)
+            || (self.max_tail_ops > 0 && tail_ops >= self.max_tail_ops)
+    }
+}
+
 /// Tuning knobs of a [`DurableTmd`].
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Rotate WAL segments once they exceed this many bytes.
     pub segment_bytes: u64,
-    /// Automatically checkpoint after this many committed records
-    /// (`0` disables auto-checkpointing).
-    pub checkpoint_every_records: u64,
+    /// When to checkpoint automatically.
+    pub policy: CheckpointPolicy,
     /// Prune fully-covered WAL segments and superseded checkpoints
     /// after each checkpoint.
     pub prune_on_checkpoint: bool,
@@ -53,7 +111,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             segment_bytes: 8 << 20,
-            checkpoint_every_records: 1024,
+            policy: CheckpointPolicy::default(),
             prune_on_checkpoint: true,
         }
     }
@@ -69,6 +127,12 @@ pub struct DurableTmd {
     io: Io,
     opts: Options,
     records_since_ckpt: u64,
+    /// Bytes (frames included) appended to the tail since the last
+    /// known checkpoint.
+    bytes_since_ckpt: u64,
+    /// First LSN *not* covered by the last known checkpoint; the
+    /// uncheckpointed tail is `next_lsn - covered_lsn` records.
+    covered_lsn: u64,
     poisoned: bool,
 }
 
@@ -106,7 +170,8 @@ impl DurableTmd {
         let mut wal = Wal::create(dir, opts.segment_bytes, &mut io)?;
         let mut snapshot = Vec::new();
         mvolap_core::persist::write_tmd(&tmd, &mut snapshot)?;
-        wal.append(&WalRecord::Bootstrap { snapshot }.encode(), &mut io)?;
+        let payload = WalRecord::Bootstrap { snapshot }.encode();
+        wal.append(&payload, &mut io)?;
         Ok(DurableTmd {
             dir: dir.to_path_buf(),
             tmd,
@@ -114,6 +179,49 @@ impl DurableTmd {
             io,
             opts,
             records_since_ckpt: 0,
+            bytes_since_ckpt: (payload.len() + crate::frame::HEADER) as u64,
+            covered_lsn: 1,
+            poisoned: false,
+        })
+    }
+
+    /// Creates a store under `dir` from a checkpoint *snapshot* instead
+    /// of a bootstrap record: the WAL starts empty at `next_lsn` and the
+    /// snapshot is written as the covering checkpoint. A replication
+    /// follower re-bootstrapping from a primary checkpoint uses this so
+    /// its log stays LSN-aligned with the primary's.
+    ///
+    /// # Errors
+    ///
+    /// I/O or injected-fault failures; `dir` must not already contain a
+    /// store. A crash between WAL creation and the checkpoint leaves a
+    /// directory [`DurableTmd::open`] reports as
+    /// [`DurableError::NoStore`] — recreate it.
+    pub fn create_from_snapshot(
+        dir: &Path,
+        tmd: Tmd,
+        next_lsn: u64,
+        opts: Options,
+        mut io: Io,
+    ) -> Result<DurableTmd, DurableError> {
+        if dir.join("wal").exists() {
+            return Err(DurableError::corrupt(format!(
+                "refusing to create over an existing store in {}",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(dir)?;
+        let wal = Wal::create_at(dir, next_lsn, opts.segment_bytes, &mut io)?;
+        checkpoint::write(&tmd, dir, next_lsn, &mut io)?;
+        Ok(DurableTmd {
+            dir: dir.to_path_buf(),
+            tmd,
+            wal,
+            io,
+            opts,
+            records_since_ckpt: 0,
+            bytes_since_ckpt: 0,
+            covered_lsn: next_lsn,
             poisoned: false,
         })
     }
@@ -138,6 +246,7 @@ impl DurableTmd {
     pub fn open_with(dir: &Path, opts: Options, mut io: Io) -> Result<DurableTmd, DurableError> {
         let ckpt = checkpoint::load_latest(dir)?;
         let opened = Wal::open(dir, opts.segment_bytes, &mut io)?;
+        let had_ckpt = ckpt.is_some();
         let (mut tmd, resume_lsn) = match ckpt {
             Some((id, tmd)) => (tmd, id.next_lsn),
             None => {
@@ -147,6 +256,7 @@ impl DurableTmd {
             }
         };
         let mut replayed = 0u64;
+        let mut tail_bytes = 0u64;
         for rec in &opened.records {
             if rec.lsn < resume_lsn {
                 continue;
@@ -160,8 +270,9 @@ impl DurableTmd {
                 ))
             })?;
             replayed += 1;
+            tail_bytes += (rec.payload.len() + crate::frame::HEADER) as u64;
         }
-        if resume_lsn == 1 && replayed == 0 {
+        if resume_lsn == 1 && replayed == 0 && !had_ckpt {
             // Neither a checkpoint nor a bootstrap record survived.
             return Err(DurableError::NoStore);
         }
@@ -172,6 +283,8 @@ impl DurableTmd {
             io,
             opts,
             records_since_ckpt: replayed,
+            bytes_since_ckpt: tail_bytes,
+            covered_lsn: resume_lsn,
             poisoned: false,
         })
     }
@@ -185,6 +298,40 @@ impl DurableTmd {
     /// The LSN the next journaled record will receive.
     pub fn wal_position(&self) -> u64 {
         self.wal.next_lsn()
+    }
+
+    /// The directory the store lives under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Streams every durable frame with `lsn >= from_lsn` — the
+    /// replication tap (see [`Wal::frames_from`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Pruned`] when checkpointing already removed that
+    /// part of the log; [`DurableError::Corrupt`] on damage or a
+    /// future LSN.
+    pub fn tail(&self, from_lsn: u64) -> Result<Vec<crate::wal::TailFrame>, DurableError> {
+        self.wal.frames_from(from_lsn)
+    }
+
+    /// Base LSN of the oldest WAL segment still on disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while reading segment headers.
+    pub fn oldest_lsn(&self) -> Result<u64, DurableError> {
+        self.wal.oldest_lsn()
+    }
+
+    /// Consumes the handle, returning its I/O layer — harnesses that
+    /// thread one deterministic fault schedule through a store that is
+    /// wiped and re-created (a follower re-bootstrapping from a
+    /// snapshot) carry the layer across the rebuild with this.
+    pub fn into_io(self) -> Io {
+        self.io
     }
 
     /// Number of I/O primitives performed so far (crash-point counting).
@@ -208,8 +355,12 @@ impl DurableTmd {
     /// Journals `record`; poisons the store when the append fails after
     /// validation (the in-memory state may then diverge from disk).
     fn journal(&mut self, record: &WalRecord) -> Result<u64, DurableError> {
-        match self.wal.append(&record.encode(), &mut self.io) {
-            Ok(lsn) => Ok(lsn),
+        let payload = record.encode();
+        match self.wal.append(&payload, &mut self.io) {
+            Ok(lsn) => {
+                self.bytes_since_ckpt += (payload.len() + crate::frame::HEADER) as u64;
+                Ok(lsn)
+            }
             Err(e) => {
                 self.poisoned = true;
                 Err(e)
@@ -219,8 +370,11 @@ impl DurableTmd {
 
     fn after_commit(&mut self) -> Result<(), DurableError> {
         self.records_since_ckpt += 1;
-        if self.opts.checkpoint_every_records > 0
-            && self.records_since_ckpt >= self.opts.checkpoint_every_records
+        let tail_ops = self.wal.next_lsn().saturating_sub(self.covered_lsn);
+        if self
+            .opts
+            .policy
+            .due(self.records_since_ckpt, self.bytes_since_ckpt, tail_ops)
         {
             self.checkpoint()?;
         }
@@ -290,6 +444,8 @@ impl DurableTmd {
         match result {
             Ok(id) => {
                 self.records_since_ckpt = 0;
+                self.bytes_since_ckpt = 0;
+                self.covered_lsn = id.next_lsn;
                 Ok(id)
             }
             Err(e) => {

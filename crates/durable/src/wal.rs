@@ -23,6 +23,7 @@
 use std::fs::File;
 use std::path::{Path, PathBuf};
 
+use crate::checksum::crc32;
 use crate::error::DurableError;
 use crate::frame;
 use crate::io::Io;
@@ -38,6 +39,21 @@ pub const SEGMENT_HEADER: usize = SEGMENT_MAGIC.len() + 8;
 pub struct LoggedRecord {
     /// The record's log sequence number.
     pub lsn: u64,
+    /// The raw frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// A frame streamed out of the log for replication: the payload plus
+/// its CRC-32, so a follower can verify transport integrity and a
+/// promoted primary can detect divergence by comparing checksums at
+/// equal LSNs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailFrame {
+    /// The frame's log sequence number.
+    pub lsn: u64,
+    /// CRC-32 of the payload (the same checksum the on-disk frame
+    /// carries).
+    pub crc: u32,
     /// The raw frame payload.
     pub payload: Vec<u8>,
 }
@@ -103,10 +119,23 @@ impl Wal {
     /// Creates a fresh, empty log under `dir` (the `wal/` directory is
     /// created if missing). First record will get LSN 1.
     pub fn create(dir: &Path, segment_bytes: u64, io: &mut Io) -> Result<Wal, DurableError> {
+        Self::create_at(dir, 1, segment_bytes, io)
+    }
+
+    /// Creates a fresh, empty log whose first record will get LSN
+    /// `base_lsn`. Replication followers bootstrapped from a checkpoint
+    /// snapshot use this so their own log lines up LSN-for-LSN with the
+    /// primary's.
+    pub fn create_at(
+        dir: &Path,
+        base_lsn: u64,
+        segment_bytes: u64,
+        io: &mut Io,
+    ) -> Result<Wal, DurableError> {
         let wal_dir = dir.join("wal");
         std::fs::create_dir_all(&wal_dir)?;
         let mut active = io.create(&segment_path(&wal_dir, 1))?;
-        io.write(&mut active, &encode_header(1))?;
+        io.write(&mut active, &encode_header(base_lsn))?;
         io.sync(&active)?;
         io.sync_dir(&wal_dir)?;
         Ok(Wal {
@@ -114,7 +143,7 @@ impl Wal {
             active_seq: 1,
             active,
             active_len: SEGMENT_HEADER as u64,
-            next_lsn: 1,
+            next_lsn: base_lsn,
             segment_bytes,
         })
     }
@@ -332,6 +361,138 @@ impl Wal {
         }
         Ok(removed)
     }
+
+    /// Streams every durable frame with `lsn >= from_lsn` back out of
+    /// the log, re-reading the segment files (read-only; the append
+    /// handle is untouched). This is the replication tap: a follower at
+    /// position `from_lsn` gets exactly the frames it is missing,
+    /// checksums included.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Pruned`] when `from_lsn` predates the oldest
+    /// segment still on disk (the caller must re-bootstrap from a
+    /// checkpoint), [`DurableError::Corrupt`] when `from_lsn` lies
+    /// beyond the durable tail or the segment chain is damaged.
+    pub fn frames_from(&self, from_lsn: u64) -> Result<Vec<TailFrame>, DurableError> {
+        read_frames(&self.dir, from_lsn)
+    }
+
+    /// Base LSN of the oldest segment still on disk — the earliest
+    /// position [`Wal::frames_from`] can serve.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while listing or reading segment headers.
+    pub fn oldest_lsn(&self) -> Result<u64, DurableError> {
+        oldest_base(&self.dir)
+    }
+}
+
+/// Streams frames with `lsn >= from_lsn` out of the store at `dir`
+/// (the directory that holds the `wal/` subdirectory), without an open
+/// [`Wal`] handle. A replication tailer reading a primary's store uses
+/// this path.
+///
+/// # Errors
+///
+/// As [`Wal::frames_from`]; additionally [`DurableError::NoStore`] when
+/// `dir` holds no log at all.
+pub fn tail(dir: &Path, from_lsn: u64) -> Result<Vec<TailFrame>, DurableError> {
+    read_frames(&dir.join("wal"), from_lsn)
+}
+
+fn sorted_segments(wal_dir: &Path) -> Result<Vec<u64>, DurableError> {
+    if !wal_dir.is_dir() {
+        return Err(DurableError::NoStore);
+    }
+    let mut seqs = Vec::new();
+    for entry in std::fs::read_dir(wal_dir)? {
+        let entry = entry?;
+        if let Some(seq) = parse_segment_name(&entry.file_name().to_string_lossy()) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    if seqs.is_empty() {
+        return Err(DurableError::NoStore);
+    }
+    let first = seqs[0];
+    for (i, &s) in seqs.iter().enumerate() {
+        if s != first + i as u64 {
+            return Err(DurableError::corrupt(format!(
+                "segment numbering gap: expected {:08}.wal, found {s:08}.wal",
+                first + i as u64
+            )));
+        }
+    }
+    Ok(seqs)
+}
+
+fn oldest_base(wal_dir: &Path) -> Result<u64, DurableError> {
+    let seqs = sorted_segments(wal_dir)?;
+    let bytes = std::fs::read(segment_path(wal_dir, seqs[0]))?;
+    decode_header(&bytes)
+        .ok_or_else(|| DurableError::corrupt(format!("bad header in segment {:08}.wal", seqs[0])))
+}
+
+fn read_frames(wal_dir: &Path, from_lsn: u64) -> Result<Vec<TailFrame>, DurableError> {
+    let seqs = sorted_segments(wal_dir)?;
+    let last_idx = seqs.len() - 1;
+    let mut frames = Vec::new();
+    let mut expected_base: Option<u64> = None;
+    let mut next_lsn = 0u64;
+    for (i, &seq) in seqs.iter().enumerate() {
+        let is_last = i == last_idx;
+        let bytes = std::fs::read(segment_path(wal_dir, seq))?;
+        let base = match decode_header(&bytes) {
+            Some(b) => b,
+            // A torn header can only be the residue of a crashed
+            // rotation on the final segment: nothing durable follows.
+            None if is_last => break,
+            None => {
+                return Err(DurableError::corrupt(format!(
+                    "bad header in non-final segment {seq:08}.wal"
+                )))
+            }
+        };
+        if i == 0 && from_lsn < base {
+            return Err(DurableError::Pruned {
+                oldest_available: base,
+            });
+        }
+        if let Some(expect) = expected_base {
+            if base != expect {
+                return Err(DurableError::corrupt(format!(
+                    "segment {seq:08}.wal starts at LSN {base}, expected {expect}"
+                )));
+            }
+        }
+        let scan = frame::scan(&bytes[SEGMENT_HEADER..]);
+        if scan.torn && !is_last {
+            return Err(DurableError::corrupt(format!(
+                "corrupt frame mid-log in segment {seq:08}.wal"
+            )));
+        }
+        next_lsn = base + scan.payloads.len() as u64;
+        for (k, payload) in scan.payloads.into_iter().enumerate() {
+            let lsn = base + k as u64;
+            if lsn >= from_lsn {
+                frames.push(TailFrame {
+                    lsn,
+                    crc: crc32(&payload),
+                    payload,
+                });
+            }
+        }
+        expected_base = Some(next_lsn);
+    }
+    if from_lsn > next_lsn {
+        return Err(DurableError::corrupt(format!(
+            "tail requested from future LSN {from_lsn} (log ends before {next_lsn})"
+        )));
+    }
+    Ok(frames)
 }
 
 #[cfg(test)]

@@ -1,0 +1,441 @@
+//! A replication follower: replays the primary's WAL frames through
+//! the same validated apply path the primary committed them with, into
+//! its own WAL + checkpoint store.
+//!
+//! Because WAL record encoding is canonical (decode ∘ encode is the
+//! identity), a follower journaling the records it decodes produces a
+//! log *byte-identical* to the primary's at every LSN — which is what
+//! makes frame-CRC comparison a sound divergence test in both
+//! directions.
+
+use std::path::{Path, PathBuf};
+
+use mvolap_core::Tmd;
+use mvolap_durable::checksum::crc32;
+use mvolap_durable::{DurableError, DurableTmd, Io, Options, TailFrame, WalRecord};
+
+use crate::error::ReplicaError;
+use crate::record::ReplicaMsg;
+
+/// Why a follower refuses further replay. Sticky: once set, every
+/// subsequent frame batch is refused until the follower is rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Refusal {
+    /// Frame CRCs disagree at `lsn` — the histories forked.
+    Diverged {
+        lsn: u64,
+        expected_crc: u32,
+        got_crc: u32,
+    },
+    /// A frame decoded but its record does not apply to our state —
+    /// the histories are semantically incompatible.
+    Invalid { lsn: u64, reason: String },
+}
+
+impl Refusal {
+    fn to_error(&self) -> ReplicaError {
+        match self {
+            Refusal::Diverged {
+                lsn,
+                expected_crc,
+                got_crc,
+            } => ReplicaError::Diverged {
+                lsn: *lsn,
+                expected_crc: *expected_crc,
+                got_crc: *got_crc,
+            },
+            Refusal::Invalid { lsn, reason } => ReplicaError::Protocol(format!(
+                "frame {lsn} does not apply to follower state: {reason}"
+            )),
+        }
+    }
+}
+
+/// A follower node. Owns (or will own, once bootstrapped) a
+/// [`DurableTmd`] under its own directory; applies [`ReplicaMsg`]s and
+/// produces the replies the protocol calls for.
+#[derive(Debug)]
+pub struct Follower {
+    name: String,
+    dir: PathBuf,
+    opts: Options,
+    /// `None` until the first bootstrap frame or snapshot arrives.
+    store: Option<DurableTmd>,
+    /// I/O layer held for the store once it materialises.
+    io: Option<Io>,
+    /// CRC of the last frame journaled via replication; 0 = unknown.
+    last_crc: u32,
+    epoch: u64,
+    refusal: Option<Refusal>,
+}
+
+impl Follower {
+    /// A fresh, empty follower that will bootstrap from the primary.
+    /// `io` is the I/O layer its store will use (fault injection
+    /// enters here).
+    pub fn create(
+        name: impl Into<String>,
+        dir: impl Into<PathBuf>,
+        opts: Options,
+        io: Io,
+    ) -> Follower {
+        Follower {
+            name: name.into(),
+            dir: dir.into(),
+            opts,
+            store: None,
+            io: Some(io),
+            last_crc: 0,
+            epoch: 0,
+            refusal: None,
+        }
+    }
+
+    /// Reopens a follower after a crash: recovers its store and
+    /// re-derives its replication position from its own log. A
+    /// directory with nothing recoverable (crash before anything was
+    /// durable) yields an empty follower that re-bootstraps.
+    ///
+    /// The epoch restarts at 0 and is re-learnt from the first message
+    /// of the current primary — the supervisor routes messages, so a
+    /// restarted follower only ever hears from the live primary.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Durable`] on I/O failure or corruption.
+    pub fn open(
+        name: impl Into<String>,
+        dir: impl Into<PathBuf>,
+        opts: Options,
+        io: Io,
+    ) -> Result<Follower, ReplicaError> {
+        let name = name.into();
+        let dir = dir.into();
+        match DurableTmd::open_with(&dir, opts.clone(), io) {
+            Ok(store) => {
+                let oldest = store.oldest_lsn()?;
+                let last_crc = store.tail(oldest)?.last().map_or(0, |f| f.crc);
+                Ok(Follower {
+                    name,
+                    dir,
+                    opts,
+                    store: Some(store),
+                    io: None,
+                    last_crc,
+                    epoch: 0,
+                    refusal: None,
+                })
+            }
+            Err(DurableError::NoStore) => Ok(Follower::create(name, dir, opts, Io::plain())),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Epoch this follower believes is current.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The first LSN this follower is missing (1 when empty).
+    pub fn next_lsn(&self) -> u64 {
+        self.store.as_ref().map_or(1, DurableTmd::wal_position)
+    }
+
+    /// The replicated schema, once bootstrapped.
+    pub fn schema(&self) -> Option<&Tmd> {
+        self.store.as_ref().map(DurableTmd::schema)
+    }
+
+    /// I/O primitives performed by this follower's store so far.
+    pub fn io_ops(&self) -> u64 {
+        self.store.as_ref().map_or(0, DurableTmd::io_ops)
+    }
+
+    /// Whether this follower has refused replay (diverged or invalid).
+    pub fn is_refusing(&self) -> bool {
+        self.refusal.is_some()
+    }
+
+    /// The sticky refusal, as the error it raises.
+    pub fn refusal_error(&self) -> Option<ReplicaError> {
+        self.refusal.as_ref().map(Refusal::to_error)
+    }
+
+    /// The position announcement this follower sends each round.
+    pub fn hello(&self) -> ReplicaMsg {
+        ReplicaMsg::Hello {
+            node: self.name.clone(),
+            epoch: self.epoch,
+            next_lsn: self.next_lsn(),
+            last_crc: self.last_crc,
+        }
+    }
+
+    fn ack(&self) -> ReplicaMsg {
+        ReplicaMsg::Ack {
+            node: self.name.clone(),
+            epoch: self.epoch,
+            next_lsn: self.next_lsn(),
+        }
+    }
+
+    /// Checks the message's epoch: stale senders are refused, newer
+    /// epochs adopted.
+    fn check_epoch(&mut self, epoch: u64) -> Result<(), ReplicaError> {
+        if epoch < self.epoch {
+            return Err(ReplicaError::Fenced { epoch: self.epoch });
+        }
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// Handles one protocol message, returning the reply to send (if
+    /// any).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Fenced`] for messages from a stale epoch;
+    /// [`ReplicaError::Diverged`] / [`ReplicaError::Protocol`] when
+    /// replay is refused; I/O-class [`ReplicaError::Durable`] when the
+    /// follower's own store crashes.
+    pub fn handle(&mut self, msg: ReplicaMsg) -> Result<Option<ReplicaMsg>, ReplicaError> {
+        match msg {
+            ReplicaMsg::Heartbeat { epoch, .. } => {
+                self.check_epoch(epoch)?;
+                Ok(Some(self.ack()))
+            }
+            ReplicaMsg::Frames { epoch, frames } => {
+                self.check_epoch(epoch)?;
+                if let Some(r) = &self.refusal {
+                    return Err(r.to_error());
+                }
+                self.apply_frames(&frames)?;
+                Ok(Some(self.ack()))
+            }
+            ReplicaMsg::Snapshot {
+                epoch,
+                next_lsn,
+                snapshot,
+            } => {
+                self.check_epoch(epoch)?;
+                if let Some(r) = &self.refusal {
+                    return Err(r.to_error());
+                }
+                self.install_snapshot(next_lsn, &snapshot)?;
+                Ok(Some(self.ack()))
+            }
+            ReplicaMsg::Promote { node, epoch } => {
+                if node == self.name {
+                    self.check_epoch(epoch)?;
+                }
+                Ok(None)
+            }
+            ReplicaMsg::Fence { epoch } => {
+                // Followers hold no write authority to fence; just
+                // learn the new epoch.
+                self.check_epoch(epoch)?;
+                Ok(None)
+            }
+            ReplicaMsg::Diverged {
+                lsn,
+                expected_crc,
+                got_crc,
+                ..
+            } => {
+                let r = Refusal::Diverged {
+                    lsn,
+                    expected_crc,
+                    got_crc,
+                };
+                let err = r.to_error();
+                self.refusal = Some(r);
+                Err(err)
+            }
+            other @ (ReplicaMsg::Hello { .. } | ReplicaMsg::Ack { .. }) => Err(
+                ReplicaError::Protocol(format!("follower received {}", other.kind())),
+            ),
+        }
+    }
+
+    /// Applies a contiguous batch. Duplicates (frames below our
+    /// position) are cross-checked by CRC and skipped; a gap is a
+    /// protocol violation; everything else journals through the
+    /// validated apply path.
+    fn apply_frames(&mut self, frames: &[TailFrame]) -> Result<(), ReplicaError> {
+        for f in frames {
+            let pos = self.next_lsn();
+            if f.lsn < pos {
+                self.check_duplicate(f)?;
+                continue;
+            }
+            if f.lsn > pos {
+                return Err(ReplicaError::Protocol(format!(
+                    "frame gap: at LSN {pos}, got frame {}",
+                    f.lsn
+                )));
+            }
+            if crc32(&f.payload) != f.crc {
+                return Err(ReplicaError::Protocol(format!(
+                    "frame {} checksum mismatch in transit",
+                    f.lsn
+                )));
+            }
+            let record = WalRecord::decode(&f.payload)?;
+            match record {
+                WalRecord::Bootstrap { ref snapshot } => {
+                    if self.store.is_some() || f.lsn != 1 {
+                        return Err(ReplicaError::Protocol(format!(
+                            "unexpected bootstrap frame at LSN {} (position {pos})",
+                            f.lsn
+                        )));
+                    }
+                    let tmd = mvolap_core::persist::read_tmd(&mut snapshot.as_slice())
+                        .map_err(DurableError::from)?;
+                    self.wipe()?;
+                    let io = self.take_io();
+                    let store = DurableTmd::create_with(&self.dir, tmd, self.opts.clone(), io)?;
+                    // The store re-encoded the bootstrap itself; the
+                    // canonical encoding must reproduce the primary's
+                    // frame exactly or the CRC chain is broken from
+                    // LSN 1.
+                    let own = store.tail(1)?;
+                    let own_crc = own.first().map_or(0, |fr| fr.crc);
+                    if own_crc != f.crc {
+                        return Err(ReplicaError::protocol(
+                            "bootstrap snapshot round-trip drift: local frame CRC \
+                             differs from primary's",
+                        ));
+                    }
+                    self.store = Some(store);
+                }
+                record => {
+                    let Some(store) = self.store.as_mut() else {
+                        return Err(ReplicaError::Protocol(format!(
+                            "frame {} ({}) before bootstrap",
+                            f.lsn,
+                            record.kind()
+                        )));
+                    };
+                    match store.apply(record) {
+                        Ok(lsn) => debug_assert_eq!(lsn, f.lsn),
+                        Err(e) if e.is_io_class() => return Err(e.into()),
+                        Err(e) => {
+                            let r = Refusal::Invalid {
+                                lsn: f.lsn,
+                                reason: e.to_string(),
+                            };
+                            let err = r.to_error();
+                            self.refusal = Some(r);
+                            return Err(err);
+                        }
+                    }
+                }
+            }
+            self.last_crc = f.crc;
+        }
+        Ok(())
+    }
+
+    /// A frame we already hold: its CRC must match ours, else the
+    /// histories forked behind our back.
+    fn check_duplicate(&mut self, f: &TailFrame) -> Result<(), ReplicaError> {
+        let store = self.store.as_ref().expect("position > 1 implies a store");
+        let ours = match store.tail(f.lsn) {
+            Ok(frames) => frames.first().filter(|o| o.lsn == f.lsn).map(|o| o.crc),
+            Err(DurableError::Pruned { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        match ours {
+            Some(crc) if crc != f.crc => {
+                let r = Refusal::Diverged {
+                    lsn: f.lsn,
+                    expected_crc: f.crc,
+                    got_crc: crc,
+                };
+                let err = r.to_error();
+                self.refusal = Some(r);
+                Err(err)
+            }
+            _ => Ok(()), // Matches, or pruned locally (unverifiable).
+        }
+    }
+
+    /// Wipes and re-creates the store from a checkpoint snapshot at
+    /// `next_lsn` — the pruned-log bootstrap path.
+    fn install_snapshot(&mut self, next_lsn: u64, snapshot: &[u8]) -> Result<(), ReplicaError> {
+        if self.next_lsn() >= next_lsn {
+            // Already at or past the snapshot; nothing to install.
+            return Ok(());
+        }
+        let tmd = mvolap_core::persist::read_tmd(&mut &snapshot[..]).map_err(DurableError::from)?;
+        let io = self.take_io();
+        self.store = None;
+        self.wipe()?;
+        let store =
+            DurableTmd::create_from_snapshot(&self.dir, tmd, next_lsn, self.opts.clone(), io)?;
+        self.store = Some(store);
+        self.last_crc = 0; // Our previous tail is gone; position is unverifiable.
+        Ok(())
+    }
+
+    fn wipe(&mut self) -> Result<(), ReplicaError> {
+        match std::fs::remove_dir_all(&self.dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(DurableError::from(e).into()),
+        }
+    }
+
+    /// The I/O layer for (re)creating the store: recovered from the
+    /// previous store if one existed, else the layer given at
+    /// construction.
+    fn take_io(&mut self) -> Io {
+        if let Some(store) = self.store.take() {
+            return store.into_io();
+        }
+        self.io.take().unwrap_or_default()
+    }
+
+    /// Consumes the follower for promotion, yielding its store.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Protocol`] when the follower never bootstrapped;
+    /// the sticky refusal when it is refusing replay (a diverged or
+    /// inconsistent follower must never take writes).
+    pub fn into_primary_store(self) -> Result<DurableTmd, ReplicaError> {
+        if let Some(r) = &self.refusal {
+            return Err(r.to_error());
+        }
+        self.store.ok_or_else(|| {
+            ReplicaError::protocol("follower holds no replicated state; cannot promote")
+        })
+    }
+
+    /// Direct store access (read-only), for assertions and queries.
+    pub fn store(&self) -> Option<&DurableTmd> {
+        self.store.as_ref()
+    }
+
+    /// Checkpoints the follower's store, if it has one.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<(), ReplicaError> {
+        if let Some(store) = self.store.as_mut() {
+            store.checkpoint()?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,56 @@
+//! `mvolap-replica` — WAL-shipping replication for the temporal
+//! warehouse: followers, divergence detection and fault-injected
+//! failover.
+//!
+//! The durability crate journals every evolution operator as a
+//! CRC-framed, LSN-addressed WAL record; this crate ships those frames
+//! to follower nodes and supervises the ensemble:
+//!
+//! * **Tailing** ([`WalTailer`]). The primary serves its log from any
+//!   LSN; positions already pruned by checkpointing are served as a
+//!   covering checkpoint *snapshot* instead, and the follower
+//!   re-bootstraps from it at the right LSN.
+//! * **Replay through the validated path** ([`Follower`]). A follower
+//!   journals the frames it receives into its own WAL + checkpoint
+//!   store via the same validated apply path the primary committed
+//!   them with. Record encoding is canonical, so the follower's log is
+//!   *byte-identical* to the primary's at every LSN — frame-CRC
+//!   comparison is therefore a sound divergence test in both
+//!   directions.
+//! * **Divergence refusal.** A follower whose log provably forks from
+//!   the serving primary's (CRC mismatch at a shared LSN, or frames
+//!   past the primary's head) is refused with a typed
+//!   [`ReplicaError::Diverged`] — never patched, never silently
+//!   rewound.
+//! * **Supervision** ([`ReplicaSet`]). Heartbeat-based liveness,
+//!   bounded retry with exponential backoff on transport errors, and
+//!   explicit promotion: the epoch is bumped and the deposed primary
+//!   is *fenced* — it refuses every further write with
+//!   [`ReplicaError::Fenced`].
+//! * **Fault-injected failover proof** ([`replica_sweep`]). The
+//!   durable crate's crash sweep, extended: the primary or follower is
+//!   killed at every I/O primitive (torn writes included) and the
+//!   transport faulted at every step; at each point the promoted
+//!   follower must answer queries byte-identically to the surviving
+//!   prefix.
+//!
+//! Everything is deterministic and single-threaded; time advances only
+//! through [`ReplicaSet::tick`].
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod follower;
+pub mod record;
+pub mod set;
+pub mod sweep;
+pub mod tailer;
+pub mod transport;
+
+pub use error::{ReplicaError, TransportError};
+pub use follower::Follower;
+pub use record::ReplicaMsg;
+pub use set::{LinkState, PrimaryNode, ReplicaConfig, ReplicaSet, SetStats, TickEvent};
+pub use sweep::{replica_sweep, ReplicaSweepOutcome};
+pub use tailer::{TailSource, WalTailer};
+pub use transport::{ChannelTransport, FaultyTransport, LossMode, ReplicaTransport};

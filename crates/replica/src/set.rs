@@ -1,0 +1,670 @@
+//! The replication supervisor: one primary, N followers, a transport
+//! between them, and the failure-handling policy — heartbeat-based
+//! liveness, bounded retry with exponential backoff, divergence
+//! refusal, and explicit promotion with fencing.
+//!
+//! Everything is deterministic and single-threaded: time advances only
+//! through [`ReplicaSet::tick`], which runs one replication round per
+//! healthy follower. Heartbeat misses, backoff waits and retry budgets
+//! are all counted in ticks, so fault-injection sweeps replay
+//! identically.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use mvolap_core::Tmd;
+use mvolap_durable::{DurableTmd, Io, Options, WalRecord};
+
+use crate::error::ReplicaError;
+use crate::follower::Follower;
+use crate::record::ReplicaMsg;
+use crate::tailer::{TailSource, WalTailer};
+use crate::transport::ReplicaTransport;
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Max frames shipped per round.
+    pub batch_frames: usize,
+    /// Rounds without an ack before a silent follower is declared down.
+    pub heartbeat_miss_limit: u64,
+    /// Transport-error retries before the link is declared down.
+    pub max_retries: u32,
+    /// Backoff after the first transport error, in ticks; doubles per
+    /// consecutive failure.
+    pub backoff_start: u64,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            batch_frames: 32,
+            heartbeat_miss_limit: 3,
+            max_retries: 4,
+            backoff_start: 1,
+        }
+    }
+}
+
+/// The write-accepting node. Wraps a [`DurableTmd`] with an epoch and
+/// a fencing flag: once fenced, every write is refused with
+/// [`ReplicaError::Fenced`].
+#[derive(Debug)]
+pub struct PrimaryNode {
+    name: String,
+    store: DurableTmd,
+    epoch: u64,
+    fenced: bool,
+}
+
+impl PrimaryNode {
+    /// Wraps an existing store as primary at `epoch`.
+    pub fn from_store(name: impl Into<String>, store: DurableTmd, epoch: u64) -> PrimaryNode {
+        PrimaryNode {
+            name: name.into(),
+            store,
+            epoch,
+            fenced: false,
+        }
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this node has been fenced.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// The underlying store (read-only).
+    pub fn store(&self) -> &DurableTmd {
+        &self.store
+    }
+
+    /// Current schema.
+    pub fn schema(&self) -> &Tmd {
+        self.store.schema()
+    }
+
+    /// Log head (next LSN).
+    pub fn wal_position(&self) -> u64 {
+        self.store.wal_position()
+    }
+
+    /// A tailer over this node's log.
+    pub fn tailer(&self) -> WalTailer {
+        WalTailer::new(self.store.dir())
+    }
+
+    /// Journals one record — refused once fenced.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Fenced`] after fencing; otherwise as
+    /// [`DurableTmd::apply`].
+    pub fn apply(&mut self, record: WalRecord) -> Result<u64, ReplicaError> {
+        if self.fenced {
+            return Err(ReplicaError::Fenced { epoch: self.epoch });
+        }
+        Ok(self.store.apply(record)?)
+    }
+
+    /// Checkpoints the store — refused once fenced.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Fenced`] after fencing; otherwise as
+    /// [`DurableTmd::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<(), ReplicaError> {
+        if self.fenced {
+            return Err(ReplicaError::Fenced { epoch: self.epoch });
+        }
+        self.store.checkpoint()?;
+        Ok(())
+    }
+
+    fn fence(&mut self, epoch: u64) {
+        self.fenced = true;
+        self.epoch = epoch;
+    }
+}
+
+/// Supervisor's view of one follower link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Replicating normally.
+    Healthy,
+    /// Waiting out a backoff window after transport errors.
+    Backoff,
+    /// Declared unreachable (retries exhausted or heartbeats missed).
+    Down,
+    /// The follower's store crashed; needs [`ReplicaSet::restart_follower`].
+    Crashed,
+    /// The follower refuses replay; needs [`ReplicaSet::rebuild_follower`].
+    Refusing,
+}
+
+#[derive(Debug)]
+struct Link {
+    state: LinkState,
+    acked_lsn: u64,
+    missed: u64,
+    retry_attempt: u32,
+    retry_wait: u64,
+}
+
+impl Link {
+    fn new() -> Link {
+        Link {
+            state: LinkState::Healthy,
+            acked_lsn: 0,
+            missed: 0,
+            retry_attempt: 0,
+            retry_wait: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = LinkState::Healthy;
+        self.missed = 0;
+        self.retry_attempt = 0;
+        self.retry_wait = 0;
+    }
+}
+
+/// Noteworthy state changes surfaced by one [`ReplicaSet::tick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickEvent {
+    /// The follower's store hit an I/O-class failure.
+    FollowerCrashed {
+        /// Node name.
+        node: String,
+    },
+    /// Retries exhausted or heartbeat misses over the limit.
+    LinkDown {
+        /// Node name.
+        node: String,
+    },
+    /// The follower refuses replay (divergence or invalid record).
+    FollowerRefused {
+        /// Node name.
+        node: String,
+        /// Human-readable refusal.
+        detail: String,
+    },
+}
+
+/// Cumulative supervisor counters.
+#[derive(Debug, Default, Clone)]
+pub struct SetStats {
+    /// WAL frames shipped to followers.
+    pub frames_shipped: u64,
+    /// Snapshot bootstraps served (pruned-log path).
+    pub snapshots_served: u64,
+    /// Acks processed.
+    pub acks: u64,
+    /// Transport errors that triggered a backoff retry.
+    pub retries: u64,
+    /// Promotions performed.
+    pub promotions: u64,
+    /// Fence messages delivered to deposed primaries.
+    pub fences: u64,
+}
+
+/// One primary + N followers over a transport.
+#[derive(Debug)]
+pub struct ReplicaSet<T: ReplicaTransport> {
+    base: PathBuf,
+    opts: Options,
+    cfg: ReplicaConfig,
+    transport: T,
+    epoch: u64,
+    primary: Option<PrimaryNode>,
+    /// The most recently deposed primary, kept for post-failover
+    /// assertions (it must refuse writes).
+    retired: Option<PrimaryNode>,
+    followers: BTreeMap<String, Follower>,
+    links: BTreeMap<String, Link>,
+    stats: SetStats,
+}
+
+impl<T: ReplicaTransport> ReplicaSet<T> {
+    /// Creates a set whose primary is a fresh store under
+    /// `base/primary` seeded with `seed`, using `io` for the primary's
+    /// I/O.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::create_with`].
+    pub fn bootstrap(
+        base: &Path,
+        seed: Tmd,
+        opts: Options,
+        cfg: ReplicaConfig,
+        transport: T,
+        io: Io,
+    ) -> Result<ReplicaSet<T>, ReplicaError> {
+        let dir = base.join("primary");
+        let store = DurableTmd::create_with(&dir, seed, opts.clone(), io)?;
+        Ok(ReplicaSet {
+            base: base.to_path_buf(),
+            opts,
+            cfg,
+            transport,
+            epoch: 0,
+            primary: Some(PrimaryNode::from_store("primary", store, 0)),
+            retired: None,
+            followers: BTreeMap::new(),
+            links: BTreeMap::new(),
+            stats: SetStats::default(),
+        })
+    }
+
+    /// Registers a fresh follower under `base/<name>`; it bootstraps
+    /// from the primary on subsequent ticks.
+    pub fn add_follower(&mut self, name: &str, io: Io) {
+        let dir = self.base.join(name);
+        self.followers.insert(
+            name.to_string(),
+            Follower::create(name, dir, self.opts.clone(), io),
+        );
+        self.links.insert(name.to_string(), Link::new());
+    }
+
+    /// Replaces a crashed follower with one recovered from its
+    /// directory and marks the link healthy again.
+    ///
+    /// # Errors
+    ///
+    /// As [`Follower::open`].
+    pub fn restart_follower(&mut self, name: &str) -> Result<(), ReplicaError> {
+        if !self.followers.contains_key(name) {
+            return Err(ReplicaError::UnknownNode(name.to_string()));
+        }
+        let dir = self.base.join(name);
+        let f = Follower::open(name, dir, self.opts.clone(), Io::plain())?;
+        self.followers.insert(name.to_string(), f);
+        self.links.get_mut(name).expect("link exists").reset();
+        Ok(())
+    }
+
+    /// Discards a refusing follower's state entirely; it re-bootstraps
+    /// from the current primary.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure wiping the directory.
+    pub fn rebuild_follower(&mut self, name: &str) -> Result<(), ReplicaError> {
+        if !self.followers.contains_key(name) {
+            return Err(ReplicaError::UnknownNode(name.to_string()));
+        }
+        let dir = self.base.join(name);
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(ReplicaError::Durable(e.into())),
+        }
+        self.followers.insert(
+            name.to_string(),
+            Follower::create(name, dir, self.opts.clone(), Io::plain()),
+        );
+        self.links.get_mut(name).expect("link exists").reset();
+        Ok(())
+    }
+
+    /// Journals one record on the primary.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotPrimary`] without a live primary; otherwise
+    /// as [`PrimaryNode::apply`].
+    pub fn apply(&mut self, record: WalRecord) -> Result<u64, ReplicaError> {
+        self.primary
+            .as_mut()
+            .ok_or(ReplicaError::NotPrimary)?
+            .apply(record)
+    }
+
+    /// Checkpoints the primary.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotPrimary`] without a live primary; otherwise
+    /// as [`PrimaryNode::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<(), ReplicaError> {
+        self.primary
+            .as_mut()
+            .ok_or(ReplicaError::NotPrimary)?
+            .checkpoint()
+    }
+
+    /// Removes the primary, simulating its crash or loss; returns the
+    /// node for inspection.
+    pub fn kill_primary(&mut self) -> Option<PrimaryNode> {
+        self.primary.take()
+    }
+
+    /// Promotes follower `name`: bumps the epoch, fences the deposed
+    /// primary (message best-effort, local flag unconditional — the
+    /// supervisor never routes writes to it again), and installs the
+    /// follower's store as the new primary.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::UnknownNode`]; [`Follower::into_primary_store`]
+    /// errors (never bootstrapped, or refusing replay).
+    pub fn promote(&mut self, name: &str) -> Result<u64, ReplicaError> {
+        let follower = self
+            .followers
+            .remove(name)
+            .ok_or_else(|| ReplicaError::UnknownNode(name.to_string()))?;
+        let store = match follower.into_primary_store() {
+            Ok(store) => store,
+            Err(e) => {
+                // Promotion refused; the follower's directory is
+                // intact — reopen so the set stays consistent.
+                let dir = self.base.join(name);
+                if let Ok(f) = Follower::open(name, dir, self.opts.clone(), Io::plain()) {
+                    self.followers.insert(name.to_string(), f);
+                }
+                return Err(e);
+            }
+        };
+        self.epoch += 1;
+        self.stats.promotions += 1;
+        if let Some(mut old) = self.primary.take() {
+            old.fence(self.epoch);
+            let fence = ReplicaMsg::Fence { epoch: self.epoch };
+            if self.transport.send(old.name(), &fence).is_ok() {
+                self.stats.fences += 1;
+            }
+            self.retired = Some(old);
+        }
+        self.links.remove(name);
+        for link in self.links.values_mut() {
+            // Links re-evaluate against the new primary; crashed or
+            // refusing followers still need explicit repair.
+            if matches!(
+                link.state,
+                LinkState::Healthy | LinkState::Backoff | LinkState::Down
+            ) {
+                link.reset();
+            }
+        }
+        self.primary = Some(PrimaryNode::from_store(name, store, self.epoch));
+        Ok(self.epoch)
+    }
+
+    /// One supervision round: for every healthy follower, exchange
+    /// hello → heartbeat + frames/snapshot → acks, then update
+    /// liveness and backoff state.
+    pub fn tick(&mut self) -> Vec<TickEvent> {
+        let mut events = Vec::new();
+        if self.primary.is_none() {
+            return events;
+        }
+        let names: Vec<String> = self.followers.keys().cloned().collect();
+        for name in names {
+            let link = self.links.get_mut(&name).expect("link exists");
+            match link.state {
+                LinkState::Crashed | LinkState::Refusing | LinkState::Down => continue,
+                LinkState::Backoff if link.retry_wait > 0 => {
+                    link.retry_wait -= 1;
+                    continue;
+                }
+                _ => {}
+            }
+            match self.round(&name) {
+                Ok(acked) => {
+                    let link = self.links.get_mut(&name).expect("link exists");
+                    if acked {
+                        link.reset();
+                    } else {
+                        link.missed += 1;
+                        if link.missed > self.cfg.heartbeat_miss_limit {
+                            link.state = LinkState::Down;
+                            events.push(TickEvent::LinkDown { node: name.clone() });
+                        }
+                    }
+                }
+                Err(RoundFail::Transport) => {
+                    self.stats.retries += 1;
+                    let link = self.links.get_mut(&name).expect("link exists");
+                    link.retry_attempt += 1;
+                    if link.retry_attempt > self.cfg.max_retries {
+                        link.state = LinkState::Down;
+                        events.push(TickEvent::LinkDown { node: name.clone() });
+                    } else {
+                        link.state = LinkState::Backoff;
+                        link.retry_wait = self.cfg.backoff_start << (link.retry_attempt - 1);
+                    }
+                }
+                Err(RoundFail::Crashed) => {
+                    self.links.get_mut(&name).expect("link exists").state = LinkState::Crashed;
+                    events.push(TickEvent::FollowerCrashed { node: name.clone() });
+                }
+                Err(RoundFail::Refused(detail)) => {
+                    self.links.get_mut(&name).expect("link exists").state = LinkState::Refusing;
+                    events.push(TickEvent::FollowerRefused {
+                        node: name.clone(),
+                        detail,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// One hello/replicate/ack exchange with follower `name`. `Ok`
+    /// carries whether an ack arrived.
+    fn round(&mut self, name: &str) -> Result<bool, RoundFail> {
+        let primary_name = self
+            .primary
+            .as_ref()
+            .expect("primary exists")
+            .name()
+            .to_string();
+        let hello = self.followers.get(name).expect("follower exists").hello();
+        self.transport
+            .send(&primary_name, &hello)
+            .map_err(|_| RoundFail::Transport)?;
+        let mut acked = self.pump_primary(&primary_name)?;
+        acked |= self.pump_follower(name, &primary_name)?;
+        acked |= self.pump_primary(&primary_name)?;
+        Ok(acked)
+    }
+
+    /// Drains the primary's inbox, answering hellos and recording
+    /// acks. Returns whether any ack was recorded.
+    fn pump_primary(&mut self, primary_name: &str) -> Result<bool, RoundFail> {
+        let mut acked = false;
+        loop {
+            let msg = self
+                .transport
+                .recv(primary_name)
+                .map_err(|_| RoundFail::Transport)?;
+            let Some(msg) = msg else { break };
+            match msg {
+                ReplicaMsg::Hello {
+                    node,
+                    next_lsn,
+                    last_crc,
+                    ..
+                } => self.answer_hello(&node, next_lsn, last_crc)?,
+                ReplicaMsg::Ack { node, next_lsn, .. } => {
+                    self.stats.acks += 1;
+                    acked = true;
+                    if let Some(link) = self.links.get_mut(&node) {
+                        link.acked_lsn = link.acked_lsn.max(next_lsn);
+                    }
+                }
+                // A deposed primary's stray traffic; ignore.
+                _ => {}
+            }
+        }
+        Ok(acked)
+    }
+
+    /// Answers one follower hello: divergence gate, then heartbeat plus
+    /// frames or a snapshot.
+    fn answer_hello(&mut self, node: &str, next_lsn: u64, last_crc: u32) -> Result<(), RoundFail> {
+        let primary = self.primary.as_ref().expect("primary exists");
+        let epoch = self.epoch;
+        let head = primary.wal_position();
+        let tailer = primary.tailer();
+        if let Err(ReplicaError::Diverged {
+            lsn,
+            expected_crc,
+            got_crc,
+        }) = tailer.verify_position(next_lsn, last_crc, head)
+        {
+            self.transport
+                .send(
+                    node,
+                    &ReplicaMsg::Diverged {
+                        epoch,
+                        lsn,
+                        expected_crc,
+                        got_crc,
+                    },
+                )
+                .map_err(|_| RoundFail::Transport)?;
+            return Ok(());
+        }
+        self.transport
+            .send(
+                node,
+                &ReplicaMsg::Heartbeat {
+                    epoch,
+                    next_lsn: head,
+                },
+            )
+            .map_err(|_| RoundFail::Transport)?;
+        if next_lsn >= head {
+            return Ok(());
+        }
+        let reply = match tailer.fetch(next_lsn, self.cfg.batch_frames) {
+            Ok(TailSource::Frames(frames)) => {
+                self.stats.frames_shipped += frames.len() as u64;
+                ReplicaMsg::Frames { epoch, frames }
+            }
+            Ok(TailSource::Snapshot { next_lsn, snapshot }) => {
+                self.stats.snapshots_served += 1;
+                ReplicaMsg::Snapshot {
+                    epoch,
+                    next_lsn,
+                    snapshot,
+                }
+            }
+            // Serving-side read problems surface as a skipped round;
+            // the follower retries next tick.
+            Err(_) => return Ok(()),
+        };
+        self.transport
+            .send(node, &reply)
+            .map_err(|_| RoundFail::Transport)?;
+        Ok(())
+    }
+
+    /// Drains follower `name`'s inbox through [`Follower::handle`],
+    /// forwarding replies to the primary.
+    fn pump_follower(&mut self, name: &str, primary_name: &str) -> Result<bool, RoundFail> {
+        loop {
+            let msg = self
+                .transport
+                .recv(name)
+                .map_err(|_| RoundFail::Transport)?;
+            let Some(msg) = msg else { break };
+            let follower = self.followers.get_mut(name).expect("follower exists");
+            match follower.handle(msg) {
+                Ok(Some(reply)) => {
+                    self.transport
+                        .send(primary_name, &reply)
+                        .map_err(|_| RoundFail::Transport)?;
+                }
+                Ok(None) => {}
+                Err(e) if e.is_crash() => return Err(RoundFail::Crashed),
+                Err(e) => return Err(RoundFail::Refused(e.to_string())),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The live primary.
+    pub fn primary(&self) -> Option<&PrimaryNode> {
+        self.primary.as_ref()
+    }
+
+    /// The live primary, mutable.
+    pub fn primary_mut(&mut self) -> Option<&mut PrimaryNode> {
+        self.primary.as_mut()
+    }
+
+    /// The most recently deposed primary.
+    pub fn retired(&self) -> Option<&PrimaryNode> {
+        self.retired.as_ref()
+    }
+
+    /// The most recently deposed primary, mutable (for refusal
+    /// assertions).
+    pub fn retired_mut(&mut self) -> Option<&mut PrimaryNode> {
+        self.retired.as_mut()
+    }
+
+    /// Follower by name.
+    pub fn follower(&self, name: &str) -> Option<&Follower> {
+        self.followers.get(name)
+    }
+
+    /// Follower by name, mutable (test harnesses drive
+    /// [`Follower::handle`] directly through this).
+    pub fn follower_mut(&mut self, name: &str) -> Option<&mut Follower> {
+        self.followers.get_mut(name)
+    }
+
+    /// Registered follower names.
+    pub fn follower_names(&self) -> Vec<String> {
+        self.followers.keys().cloned().collect()
+    }
+
+    /// Supervisor's view of a follower link.
+    pub fn link_state(&self, name: &str) -> Option<LinkState> {
+        self.links.get(name).map(|l| l.state)
+    }
+
+    /// Highest LSN follower `name` has acknowledged as durable.
+    pub fn acked_lsn(&self, name: &str) -> u64 {
+        self.links.get(name).map_or(0, |l| l.acked_lsn)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &SetStats {
+        &self.stats
+    }
+
+    /// Transport operations performed so far.
+    pub fn transport_steps(&self) -> u64 {
+        self.transport.steps()
+    }
+}
+
+enum RoundFail {
+    /// Transport error: retry with backoff.
+    Transport,
+    /// The follower's store crashed.
+    Crashed,
+    /// The follower refuses replay.
+    Refused(String),
+}

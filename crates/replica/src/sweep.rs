@@ -1,0 +1,713 @@
+//! Fault-injected failover sweep: the replication subsystem's
+//! correctness argument, executable.
+//!
+//! [`replica_sweep`] extends the durability crate's crash sweep to the
+//! replicated setting. It runs the same seeded workload
+//! ([`mvolap_durable::generate`]) on a primary with one attached
+//! follower, then re-runs it once per injection point across three
+//! fault classes:
+//!
+//! 1. **Primary crashes** — the primary's I/O layer crashes (torn
+//!    writes included) at every I/O primitive; the follower is
+//!    promoted and must answer queries **byte-identically** to the
+//!    prefix it replicated, and must itself be a fully functional
+//!    durable store (checkpoint + reopen).
+//! 2. **Follower crashes** — the follower's I/O layer crashes at every
+//!    primitive; the supervisor restarts it from its own directory and
+//!    it must reconverge to the primary's exact final state.
+//! 3. **Transport faults** — at every transport operation, either a
+//!    short loud outage (the link must heal through bounded backoff
+//!    and reconverge) or a permanent silent partition (the supervisor
+//!    declares the link down; failover promotes the follower, the
+//!    deposed primary must refuse writes with
+//!    [`ReplicaError::Fenced`], and the promoted state must be a
+//!    byte-identical prefix).
+//!
+//! A separate staged scenario forks two histories after a shared
+//! prefix and proves divergence is refused with a typed error on both
+//! sides of the protocol.
+
+use std::path::Path;
+
+use mvolap_core::persist::write_tmd;
+use mvolap_core::Tmd;
+use mvolap_durable::fault::{generate, Step, Workload};
+use mvolap_durable::{CheckpointPolicy, DurableTmd, FaultPlan, Io, Options, WalRecord};
+
+use crate::error::ReplicaError;
+use crate::follower::Follower;
+use crate::record::ReplicaMsg;
+use crate::set::{LinkState, ReplicaConfig, ReplicaSet, TickEvent};
+use crate::tailer::WalTailer;
+use crate::transport::{ChannelTransport, FaultyTransport, LossMode, ReplicaTransport};
+
+/// The reference query every surviving node must answer identically to
+/// the in-memory prefix replay.
+const QUERY: &str = "SELECT sum(Amount) BY year, Org.Division IN MODE tcm";
+
+/// Ticks the drain loop will spend waiting for a follower to converge
+/// before giving up (far above the worst backoff chain).
+const DRAIN_TICKS: usize = 64;
+
+/// What a [`replica_sweep`] established.
+#[derive(Debug, Default)]
+pub struct ReplicaSweepOutcome {
+    /// Total injection points exercised across all classes.
+    pub injection_points: u64,
+    /// Runs where the primary's I/O crashed.
+    pub primary_crashes: u64,
+    /// Runs where the follower's I/O crashed.
+    pub follower_crashes: u64,
+    /// Runs with an injected transport fault.
+    pub transport_faults: u64,
+    /// Successful promotions asserted prefix-consistent.
+    pub promotions: u64,
+    /// Deposed primaries observed refusing a write with `Fenced`.
+    pub fenced_refusals: u64,
+    /// Crashes so early no replica held any state to promote.
+    pub unpromotable: u64,
+    /// Snapshot bootstraps served over all runs (pruned-log path).
+    pub snapshots_served: u64,
+    /// Typed divergence refusals observed in the fork scenario.
+    pub divergence_refusals: u64,
+    /// Logical records in the workload.
+    pub records: usize,
+}
+
+/// Store options matching the durable sweep: tiny segments so rotation
+/// and pruning happen often, manual checkpoints only.
+fn sweep_options() -> Options {
+    Options {
+        segment_bytes: 2048,
+        policy: CheckpointPolicy::manual(),
+        prune_on_checkpoint: true,
+    }
+}
+
+fn sweep_config() -> ReplicaConfig {
+    ReplicaConfig {
+        batch_frames: 32,
+        heartbeat_miss_limit: 3,
+        max_retries: 4,
+        backoff_start: 1,
+    }
+}
+
+fn serialise(tmd: &Tmd) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_tmd(tmd, &mut buf).expect("in-memory serialisation cannot fail");
+    buf
+}
+
+/// Fingerprints the reference query's full answer through the query
+/// pipeline (`run_with_versions`), value bits and confidences included.
+fn fingerprint(tmd: &Tmd) -> Result<Vec<String>, String> {
+    let svs = tmd.structure_versions();
+    let rs = mvolap_query::run_with_versions(tmd, &svs, QUERY)
+        .map_err(|e| format!("query failed: {e}"))?;
+    Ok(rs
+        .rows
+        .iter()
+        .map(|r| {
+            let cells: Vec<String> = r
+                .cells
+                .iter()
+                .map(|c| format!("{}:{:?}", c.value.map_or(0, f64::to_bits), c.confidence))
+                .collect();
+            format!("{}|{}|{}", r.time, r.keys.join(","), cells.join(","))
+        })
+        .collect())
+}
+
+/// Result of one replicated workload run.
+struct RunResult<T: ReplicaTransport> {
+    /// The set, unless the primary crashed while bootstrapping.
+    set: Option<ReplicaSet<T>>,
+    committed: u64,
+    primary_crashed: bool,
+    follower_crashes: u64,
+}
+
+/// Runs `workload` on a fresh primary+follower set under `base`.
+/// Non-faulty failures are hard errors; injected crashes are recorded.
+/// With `restart_follower` set, a crashed follower is immediately
+/// reopened from its directory (with plain I/O) and replication
+/// continues.
+fn run_replicated<T: ReplicaTransport>(
+    base: &Path,
+    workload: &Workload,
+    primary_io: Io,
+    follower_io: Io,
+    transport: T,
+    restart_follower: bool,
+) -> Result<RunResult<T>, String> {
+    std::fs::remove_dir_all(base).ok();
+    let mut set = match ReplicaSet::bootstrap(
+        base,
+        workload.seed_schema.clone(),
+        sweep_options(),
+        sweep_config(),
+        transport,
+        primary_io,
+    ) {
+        Ok(set) => set,
+        Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+            return Ok(RunResult {
+                set: None,
+                committed: 0,
+                primary_crashed: true,
+                follower_crashes: 0,
+            })
+        }
+        Err(e) => return Err(format!("bootstrap failed non-faultily: {e}")),
+    };
+    set.add_follower("f1", follower_io);
+
+    let mut committed = 0u64;
+    let mut primary_crashed = false;
+    let mut follower_crashes = 0u64;
+    let handle_events = |set: &mut ReplicaSet<T>,
+                         events: Vec<TickEvent>,
+                         crashes: &mut u64|
+     -> Result<(), String> {
+        for ev in events {
+            if let TickEvent::FollowerCrashed { node } = ev {
+                *crashes += 1;
+                if restart_follower {
+                    set.restart_follower(&node)
+                        .map_err(|e| format!("follower restart failed: {e}"))?;
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for step in &workload.steps {
+        let res = match step {
+            Step::Op(record) => set.apply(record.clone()).map(|_| ()),
+            Step::Checkpoint => set.checkpoint(),
+        };
+        match res {
+            Ok(()) => {
+                if matches!(step, Step::Op(_)) {
+                    committed += 1;
+                }
+            }
+            Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+                primary_crashed = true;
+                break;
+            }
+            Err(e) => return Err(format!("workload step failed non-faultily: {e}")),
+        }
+        let events = set.tick();
+        handle_events(&mut set, events, &mut follower_crashes)?;
+    }
+
+    if !primary_crashed {
+        for _ in 0..DRAIN_TICKS {
+            let head = set.primary().map_or(1, |p| p.wal_position());
+            let done = set.follower("f1").is_none_or(|f| f.next_lsn() >= head);
+            if done {
+                break;
+            }
+            if matches!(
+                set.link_state("f1"),
+                Some(LinkState::Down | LinkState::Crashed | LinkState::Refusing)
+            ) {
+                break;
+            }
+            let events = set.tick();
+            handle_events(&mut set, events, &mut follower_crashes)?;
+        }
+    }
+
+    Ok(RunResult {
+        set: Some(set),
+        committed,
+        primary_crashed,
+        follower_crashes,
+    })
+}
+
+/// Asserts the current primary of `set` (a just-promoted follower)
+/// holds a byte-identical prefix of the workload history and answers
+/// the reference query exactly like the in-memory replay of that
+/// prefix. Returns the prefix length.
+fn assert_promoted<T: ReplicaTransport>(
+    set: &ReplicaSet<T>,
+    prefix_bytes: &[Vec<u8>],
+    prefix_tmds: &[Tmd],
+    max_q: usize,
+    what: &str,
+) -> Result<usize, String> {
+    let p = set.primary().expect("just promoted");
+    let q = (p.wal_position() - 2) as usize;
+    if q > max_q {
+        return Err(format!(
+            "{what}: promoted follower holds {q} records, more than the {max_q} attempted"
+        ));
+    }
+    if serialise(p.schema()) != prefix_bytes[q] {
+        return Err(format!(
+            "{what}: promoted follower state is not byte-identical to prefix {q}"
+        ));
+    }
+    if fingerprint(p.schema())? != fingerprint(&prefix_tmds[q])? {
+        return Err(format!(
+            "{what}: promoted follower answers the reference query differently at prefix {q}"
+        ));
+    }
+    Ok(q)
+}
+
+/// Forks two histories after a shared prefix and proves both sides of
+/// the protocol refuse the divergence with a typed error. Returns the
+/// number of distinct refusals observed (primary-side gate,
+/// follower-side duplicate check, promotion refusal).
+fn divergence_scenario(base: &Path, seed: u64) -> Result<u64, String> {
+    std::fs::remove_dir_all(base).ok();
+    let workload = generate(seed, 8);
+    let records: Vec<&WalRecord> = workload
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Op(r) => Some(r),
+            Step::Checkpoint => None,
+        })
+        .collect();
+
+    // History A: the full workload, replicated to follower f1.
+    let set_base = base.join("a");
+    let mut set = ReplicaSet::bootstrap(
+        &set_base,
+        workload.seed_schema.clone(),
+        sweep_options(),
+        sweep_config(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .map_err(|e| format!("fork scenario bootstrap: {e}"))?;
+    set.add_follower("f1", Io::plain());
+    for r in &records {
+        set.apply((*r).clone())
+            .map_err(|e| format!("fork scenario apply: {e}"))?;
+        set.tick();
+    }
+
+    // History B: same prefix, but the last record is replaced by a
+    // different (valid) evolution — the classic post-failover fork.
+    let b_dir = base.join("b");
+    let mut b = DurableTmd::create_with(
+        &b_dir,
+        workload.seed_schema.clone(),
+        sweep_options(),
+        Io::plain(),
+    )
+    .map_err(|e| format!("fork scenario history B create: {e}"))?;
+    for r in &records[..records.len() - 1] {
+        b.apply((*r).clone())
+            .map_err(|e| format!("fork scenario history B apply: {e}"))?;
+    }
+    let fork = WalRecord::Create {
+        dim: workload.org,
+        name: "Dept-fork".to_string(),
+        level: Some("Department".to_string()),
+        at: mvolap_temporal::Instant::ym(2030, 1),
+        parents: vec![mvolap_core::MemberVersionId(0)],
+    };
+    b.apply(fork)
+        .map_err(|e| format!("fork record apply: {e}"))?;
+
+    let mut refusals = 0u64;
+
+    // Primary-side gate: f1's position claim names a frame CRC history
+    // B never wrote — B must refuse to serve it.
+    let f1 = set.follower("f1").expect("follower registered");
+    let ReplicaMsg::Hello {
+        next_lsn, last_crc, ..
+    } = f1.hello()
+    else {
+        unreachable!("hello() builds a Hello")
+    };
+    let tailer = WalTailer::new(&b_dir);
+    match tailer.verify_position(next_lsn, last_crc, b.wal_position()) {
+        Err(ReplicaError::Diverged { lsn, .. }) => {
+            if lsn != next_lsn - 1 {
+                return Err(format!(
+                    "fork scenario: divergence reported at LSN {lsn}, expected {}",
+                    next_lsn - 1
+                ));
+            }
+            refusals += 1;
+        }
+        other => {
+            return Err(format!(
+                "fork scenario: primary-side gate did not refuse ({other:?})"
+            ))
+        }
+    }
+
+    // Follower-side duplicate check: replaying history B's forked frame
+    // over f1's log must be refused, and the refusal must be sticky.
+    let fork_lsn = b.wal_position() - 1;
+    let forked_frames = b
+        .tail(fork_lsn)
+        .map_err(|e| format!("fork scenario tail: {e}"))?;
+    let mut set = set; // follower handle needs &mut access
+    let f1 = set_follower_mut(&mut set, "f1");
+    match f1.handle(ReplicaMsg::Frames {
+        epoch: 0,
+        frames: forked_frames,
+    }) {
+        Err(ReplicaError::Diverged { lsn, .. }) if lsn == fork_lsn => refusals += 1,
+        other => {
+            return Err(format!(
+                "fork scenario: follower duplicate check did not refuse ({other:?})"
+            ))
+        }
+    }
+    if !f1.is_refusing() {
+        return Err("fork scenario: refusal is not sticky".to_string());
+    }
+
+    // A refusing follower must never be promoted.
+    match set.promote("f1") {
+        Err(ReplicaError::Diverged { .. }) => refusals += 1,
+        other => {
+            return Err(format!(
+                "fork scenario: diverged follower was promotable ({other:?})"
+            ))
+        }
+    }
+
+    std::fs::remove_dir_all(base).ok();
+    Ok(refusals)
+}
+
+/// `ReplicaSet` exposes followers immutably; the fork scenario needs to
+/// drive `handle` directly, so it rebuilds a standalone handle over the
+/// follower's directory.
+fn set_follower_mut<'a, T: ReplicaTransport>(
+    set: &'a mut ReplicaSet<T>,
+    name: &str,
+) -> &'a mut Follower {
+    set.follower_mut(name).expect("follower registered")
+}
+
+/// Sweeps every fault-injection point of the replicated workload and
+/// checks the failover invariants at each one.
+///
+/// # Errors
+///
+/// A description of the first violated invariant — any `Err` is a
+/// replication bug.
+pub fn replica_sweep(
+    base_dir: &Path,
+    seed: u64,
+    target_records: usize,
+) -> Result<ReplicaSweepOutcome, String> {
+    let workload = generate(seed, target_records);
+
+    // Prefix states, exactly as in the durable crash sweep.
+    let mut prefix_bytes = Vec::with_capacity(workload.records + 1);
+    let mut prefix_tmds = Vec::with_capacity(workload.records + 1);
+    let mut state = workload.seed_schema.clone();
+    prefix_bytes.push(serialise(&state));
+    prefix_tmds.push(state.clone());
+    for step in &workload.steps {
+        if let Step::Op(record) = step {
+            record
+                .apply(&mut state)
+                .map_err(|e| format!("prefix replay failed: {e}"))?;
+            prefix_bytes.push(serialise(&state));
+            prefix_tmds.push(state.clone());
+        }
+    }
+
+    let mut outcome = ReplicaSweepOutcome {
+        records: workload.records,
+        ..ReplicaSweepOutcome::default()
+    };
+
+    // ---- Stage 0: fault-free replicated run ------------------------
+    let free_dir = base_dir.join("free");
+    let free = run_replicated(
+        &free_dir,
+        &workload,
+        Io::plain(),
+        Io::plain(),
+        ChannelTransport::new(),
+        false,
+    )?;
+    let mut set = free.set.expect("fault-free run has a set");
+    if free.primary_crashed || free.committed != workload.records as u64 {
+        return Err(format!(
+            "fault-free run committed {}/{} records",
+            free.committed, workload.records
+        ));
+    }
+    let head = set.primary().expect("primary lives").wal_position();
+    {
+        let f1 = set.follower("f1").expect("follower registered");
+        if f1.next_lsn() != head {
+            return Err(format!(
+                "fault-free follower stopped at LSN {} of {head}",
+                f1.next_lsn()
+            ));
+        }
+        let schema = f1.schema().expect("follower bootstrapped");
+        if serialise(schema) != prefix_bytes[workload.records] {
+            return Err("fault-free follower diverged from the applied sequence".to_string());
+        }
+        if fingerprint(schema)? != fingerprint(&prefix_tmds[workload.records])? {
+            return Err("fault-free follower answers the reference query differently".to_string());
+        }
+    }
+    let primary_points = set.primary().expect("primary lives").store().io_ops();
+    let follower_points = set.follower("f1").expect("follower registered").io_ops();
+    let transport_points = set.transport_steps();
+
+    // Late joiner: checkpointing first prunes the log's head, so the
+    // new follower must be served the snapshot path.
+    set.checkpoint()
+        .map_err(|e| format!("post-workload checkpoint failed: {e}"))?;
+    let pruned = set
+        .primary()
+        .expect("primary lives")
+        .store()
+        .oldest_lsn()
+        .map_err(|e| format!("oldest_lsn failed: {e}"))?
+        > 1;
+    set.add_follower("f2", Io::plain());
+    for _ in 0..DRAIN_TICKS {
+        if set.follower("f2").is_some_and(|f| f.next_lsn() >= head) {
+            break;
+        }
+        set.tick();
+    }
+    {
+        let f2 = set.follower("f2").expect("late follower registered");
+        if f2.next_lsn() != head {
+            return Err(format!(
+                "late follower stopped at LSN {} of {head}",
+                f2.next_lsn()
+            ));
+        }
+        if serialise(f2.schema().expect("late follower bootstrapped"))
+            != prefix_bytes[workload.records]
+        {
+            return Err("late follower diverged from the applied sequence".to_string());
+        }
+        if pruned && set.stats().snapshots_served == 0 {
+            return Err(
+                "log head pruned but the late follower was never served a snapshot".to_string(),
+            );
+        }
+    }
+    outcome.snapshots_served += set.stats().snapshots_served;
+    drop(set);
+
+    // ---- Stage A: primary crashes at every I/O primitive -----------
+    let a_dir = base_dir.join("p-crash");
+    for k in 0..primary_points {
+        outcome.injection_points += 1;
+        outcome.primary_crashes += 1;
+        let io = Io::faulty(FaultPlan::crash_after(k, seed));
+        let run = run_replicated(
+            &a_dir,
+            &workload,
+            io,
+            Io::plain(),
+            ChannelTransport::new(),
+            false,
+        )?;
+        let Some(mut set) = run.set else {
+            outcome.unpromotable += 1; // Crashed creating the primary.
+            continue;
+        };
+        if !run.primary_crashed {
+            return Err(format!("primary crash point {k} never fired"));
+        }
+        outcome.snapshots_served += set.stats().snapshots_served;
+        let acked = set.acked_lsn("f1");
+        let old = set.kill_primary().expect("primary present before kill");
+        match set.promote("f1") {
+            Ok(_) => {
+                outcome.promotions += 1;
+                assert_promoted(
+                    &set,
+                    &prefix_bytes,
+                    &prefix_tmds,
+                    run.committed as usize + 1,
+                    &format!("primary crash {k}"),
+                )?;
+                // The promoted follower must be a fully functional
+                // durable store: checkpoint, then recover from disk to
+                // the same state.
+                let dir = set.primary().expect("promoted").store().dir().to_path_buf();
+                set.primary_mut()
+                    .expect("promoted")
+                    .checkpoint()
+                    .map_err(|e| format!("primary crash {k}: promoted checkpoint failed: {e}"))?;
+                let reopened = DurableTmd::open(&dir)
+                    .map_err(|e| format!("primary crash {k}: promoted reopen failed: {e}"))?;
+                if serialise(reopened.schema())
+                    != serialise(set.primary().expect("promoted").schema())
+                {
+                    return Err(format!(
+                        "primary crash {k}: promoted store does not survive reopen"
+                    ));
+                }
+            }
+            Err(_) if acked <= 1 => {
+                // Nothing was ever replicated before the crash; there
+                // is no replica to fail over to.
+                outcome.unpromotable += 1;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "primary crash {k}: promotion refused despite replicated state \
+                     (acked {acked}): {e}"
+                ))
+            }
+        }
+        drop(old);
+    }
+
+    // ---- Stage B: follower crashes at every I/O primitive ----------
+    let b_dir = base_dir.join("f-crash");
+    for k in 0..follower_points {
+        outcome.injection_points += 1;
+        let io = Io::faulty(FaultPlan::crash_after(k, seed ^ 0x5EED_F011));
+        let run = run_replicated(
+            &b_dir,
+            &workload,
+            Io::plain(),
+            io,
+            ChannelTransport::new(),
+            true,
+        )?;
+        if run.follower_crashes == 0 {
+            return Err(format!("follower crash point {k} never fired"));
+        }
+        outcome.follower_crashes += 1;
+        if run.primary_crashed || run.committed != workload.records as u64 {
+            return Err(format!(
+                "follower crash {k}: primary was disturbed ({} committed)",
+                run.committed
+            ));
+        }
+        let set = run.set.expect("set lives");
+        outcome.snapshots_served += set.stats().snapshots_served;
+        let head = set.primary().expect("primary lives").wal_position();
+        let f1 = set.follower("f1").expect("follower registered");
+        if f1.next_lsn() != head {
+            return Err(format!(
+                "follower crash {k}: restarted follower stopped at LSN {} of {head}",
+                f1.next_lsn()
+            ));
+        }
+        if serialise(f1.schema().expect("bootstrapped")) != prefix_bytes[workload.records] {
+            return Err(format!(
+                "follower crash {k}: restarted follower diverged from the applied sequence"
+            ));
+        }
+    }
+
+    // ---- Stage C: transport faults at every transport step ---------
+    let c_dir = base_dir.join("t-fault");
+    let mut healed_runs = 0u64;
+    for j in 0..transport_points {
+        outcome.injection_points += 1;
+        outcome.transport_faults += 1;
+        if j % 2 == 0 {
+            // Short loud outage: bounded backoff must heal the link and
+            // the follower must reconverge exactly.
+            let t = FaultyTransport::new(FaultPlan::crash_after(j, seed), 3, LossMode::Error);
+            let run = run_replicated(&c_dir, &workload, Io::plain(), Io::plain(), t, false)?;
+            if run.primary_crashed || run.committed != workload.records as u64 {
+                return Err(format!("transport fault {j}: primary was disturbed"));
+            }
+            let set = run.set.expect("set lives");
+            outcome.snapshots_served += set.stats().snapshots_served;
+            let head = set.primary().expect("primary lives").wal_position();
+            let f1 = set.follower("f1").expect("follower registered");
+            if f1.next_lsn() != head
+                || serialise(f1.schema().expect("bootstrapped")) != prefix_bytes[workload.records]
+            {
+                return Err(format!(
+                    "transport fault {j}: link did not heal to the exact final state \
+                     (follower at {}, head {head})",
+                    f1.next_lsn()
+                ));
+            }
+            if set.stats().retries > 0 {
+                healed_runs += 1;
+            }
+        } else {
+            // Permanent silent partition: failover. The follower keeps
+            // its surviving prefix, the deposed primary is fenced.
+            let t =
+                FaultyTransport::new(FaultPlan::crash_after(j, seed), u64::MAX, LossMode::Silent);
+            let run = run_replicated(&c_dir, &workload, Io::plain(), Io::plain(), t, false)?;
+            if run.primary_crashed || run.committed != workload.records as u64 {
+                return Err(format!("transport fault {j}: primary was disturbed"));
+            }
+            let mut set = run.set.expect("set lives");
+            outcome.snapshots_served += set.stats().snapshots_served;
+            let acked = set.acked_lsn("f1");
+            match set.promote("f1") {
+                Ok(_) => {
+                    outcome.promotions += 1;
+                    assert_promoted(
+                        &set,
+                        &prefix_bytes,
+                        &prefix_tmds,
+                        workload.records,
+                        &format!("transport fault {j}"),
+                    )?;
+                    let old = set.retired_mut().expect("deposed primary retained");
+                    if !old.is_fenced() {
+                        return Err(format!("transport fault {j}: deposed primary not fenced"));
+                    }
+                    let probe = workload
+                        .steps
+                        .iter()
+                        .find_map(|s| match s {
+                            Step::Op(r) => Some(r.clone()),
+                            Step::Checkpoint => None,
+                        })
+                        .expect("workload has records");
+                    match old.apply(probe) {
+                        Err(ReplicaError::Fenced { .. }) => outcome.fenced_refusals += 1,
+                        other => {
+                            return Err(format!(
+                                "transport fault {j}: deposed primary accepted a write \
+                                 ({other:?})"
+                            ))
+                        }
+                    }
+                }
+                Err(_) if acked <= 1 => outcome.unpromotable += 1,
+                Err(e) => {
+                    return Err(format!(
+                        "transport fault {j}: promotion refused despite replicated state \
+                         (acked {acked}): {e}"
+                    ))
+                }
+            }
+        }
+    }
+    if transport_points >= 8 && healed_runs == 0 {
+        return Err("no transport outage ever exercised the retry/backoff path".to_string());
+    }
+
+    // ---- Divergence: forked histories refuse with typed errors -----
+    outcome.divergence_refusals = divergence_scenario(&base_dir.join("fork"), seed)?;
+
+    std::fs::remove_dir_all(&free_dir).ok();
+    std::fs::remove_dir_all(&a_dir).ok();
+    std::fs::remove_dir_all(&b_dir).ok();
+    std::fs::remove_dir_all(&c_dir).ok();
+    Ok(outcome)
+}

@@ -1,0 +1,135 @@
+//! Primary-side log tap: serves WAL frames (or a covering checkpoint
+//! snapshot) to followers, and verifies follower positions against the
+//! local log — the divergence gate.
+
+use std::path::{Path, PathBuf};
+
+use mvolap_durable::{checkpoint, wal, DurableError, TailFrame};
+
+use crate::error::ReplicaError;
+
+/// What a fetch produced: either log frames from the requested LSN, or
+/// a full snapshot when that part of the log is already pruned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailSource {
+    /// Contiguous frames starting at the requested LSN.
+    Frames(Vec<TailFrame>),
+    /// The requested LSNs are pruned; bootstrap from this snapshot and
+    /// resume tailing at `next_lsn`.
+    Snapshot {
+        /// LSN to resume tailing from after installing the snapshot.
+        next_lsn: u64,
+        /// Serialised schema covering everything below `next_lsn`.
+        snapshot: Vec<u8>,
+    },
+}
+
+/// Reads a store's log directly from its directory. The store fsyncs
+/// every append before reporting a commit, so reading behind a live
+/// [`mvolap_durable::DurableTmd`] always observes committed frames.
+#[derive(Debug, Clone)]
+pub struct WalTailer {
+    dir: PathBuf,
+}
+
+impl WalTailer {
+    /// A tailer over the store directory `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> WalTailer {
+        WalTailer { dir: dir.into() }
+    }
+
+    /// The store directory this tailer reads.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Up to `max` frames starting at `from_lsn`; falls back to the
+    /// covering checkpoint snapshot when the log below `from_lsn` is
+    /// pruned.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Durable`] on log damage or I/O failure;
+    /// [`ReplicaError::Protocol`] when the log is pruned but no
+    /// covering checkpoint exists (a store invariant violation).
+    pub fn fetch(&self, from_lsn: u64, max: usize) -> Result<TailSource, ReplicaError> {
+        match wal::tail(&self.dir, from_lsn) {
+            Ok(mut frames) => {
+                frames.truncate(max);
+                Ok(TailSource::Frames(frames))
+            }
+            Err(DurableError::Pruned { .. }) => {
+                let Some((id, tmd)) = checkpoint::load_latest(&self.dir)? else {
+                    return Err(ReplicaError::protocol(format!(
+                        "log pruned below LSN {from_lsn} but no checkpoint covers it"
+                    )));
+                };
+                let mut snapshot = Vec::new();
+                mvolap_core::persist::write_tmd(&tmd, &mut snapshot).map_err(DurableError::from)?;
+                Ok(TailSource::Snapshot {
+                    next_lsn: id.next_lsn,
+                    snapshot,
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Frame CRC at `lsn`, or `None` when that LSN is pruned.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Durable`] on damage or a request past the head.
+    pub fn crc_at(&self, lsn: u64) -> Result<Option<u32>, ReplicaError> {
+        match wal::tail(&self.dir, lsn) {
+            Ok(frames) => Ok(frames.first().filter(|f| f.lsn == lsn).map(|f| f.crc)),
+            Err(DurableError::Pruned { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The divergence gate: checks a follower's claimed position
+    /// (`next_lsn`, CRC of its frame at `next_lsn - 1`) against this
+    /// log, given the primary's current head. `last_crc == 0` means
+    /// the follower cannot name its last frame (fresh store, or its own
+    /// tail is pruned) and the check is skipped; a position inside this
+    /// log's pruned range is likewise unverifiable and accepted —
+    /// subsequent frames still replay through full validation.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Diverged`] when the follower's history provably
+    /// forks from this log: its frame CRC differs, or it claims frames
+    /// past this head (`expected_crc` is 0 then — the primary has no
+    /// frame there at all).
+    pub fn verify_position(
+        &self,
+        next_lsn: u64,
+        last_crc: u32,
+        head: u64,
+    ) -> Result<(), ReplicaError> {
+        if next_lsn <= 1 {
+            return Ok(()); // Fresh follower; nothing to contradict.
+        }
+        let lsn = next_lsn - 1;
+        if next_lsn > head {
+            return Err(ReplicaError::Diverged {
+                lsn,
+                expected_crc: 0,
+                got_crc: last_crc,
+            });
+        }
+        if last_crc == 0 {
+            return Ok(());
+        }
+        match self.crc_at(lsn)? {
+            Some(crc) if crc == last_crc => Ok(()),
+            Some(crc) => Err(ReplicaError::Diverged {
+                lsn,
+                expected_crc: crc,
+                got_crc: last_crc,
+            }),
+            None => Ok(()), // Pruned here; unverifiable, accepted.
+        }
+    }
+}

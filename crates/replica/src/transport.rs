@@ -1,0 +1,213 @@
+//! Message transport between replication nodes.
+//!
+//! The supervisor is transport-agnostic: anything that can move encoded
+//! [`ReplicaMsg`] bytes between named nodes works. Two implementations
+//! ship: an in-process channel ([`ChannelTransport`]) and a
+//! fault-injecting wrapper ([`FaultyTransport`]) that drops or refuses
+//! messages on a deterministic schedule, reusing the durability
+//! crate's [`FaultPlan`] so replication sweeps and crash sweeps share
+//! one scheduling mechanism.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use mvolap_durable::FaultPlan;
+
+use crate::error::TransportError;
+use crate::record::ReplicaMsg;
+
+/// Moves messages between named nodes. Every message crosses the wire
+/// as its canonical encoding — even the in-process transport encodes
+/// and decodes, so the wire grammar is exercised on every hop.
+pub trait ReplicaTransport {
+    /// Queue `msg` for delivery to node `to`.
+    fn send(&mut self, to: &str, msg: &ReplicaMsg) -> Result<(), TransportError>;
+
+    /// Pop the next message addressed to `node`, if any.
+    fn recv(&mut self, node: &str) -> Result<Option<ReplicaMsg>, TransportError>;
+
+    /// Number of transport operations performed so far (sends plus
+    /// receive attempts). Fault-injection harnesses use this to
+    /// enumerate injection points.
+    fn steps(&self) -> u64;
+}
+
+/// In-process transport: one FIFO inbox per node.
+#[derive(Debug, Default)]
+pub struct ChannelTransport {
+    inboxes: BTreeMap<String, VecDeque<Vec<u8>>>,
+    steps: u64,
+}
+
+impl ChannelTransport {
+    /// An empty transport; inboxes materialise on first use.
+    pub fn new() -> ChannelTransport {
+        ChannelTransport::default()
+    }
+
+    /// Messages currently queued for `node`.
+    pub fn pending(&self, node: &str) -> usize {
+        self.inboxes.get(node).map_or(0, VecDeque::len)
+    }
+}
+
+impl ReplicaTransport for ChannelTransport {
+    fn send(&mut self, to: &str, msg: &ReplicaMsg) -> Result<(), TransportError> {
+        self.steps += 1;
+        self.inboxes
+            .entry(to.to_string())
+            .or_default()
+            .push_back(msg.encode());
+        Ok(())
+    }
+
+    fn recv(&mut self, node: &str) -> Result<Option<ReplicaMsg>, TransportError> {
+        self.steps += 1;
+        let Some(inbox) = self.inboxes.get_mut(node) else {
+            return Ok(None);
+        };
+        let Some(wire) = inbox.pop_front() else {
+            return Ok(None);
+        };
+        // A message that does not decode is treated as lost on the
+        // wire: the sender will retransmit on the next round.
+        match ReplicaMsg::decode(&wire) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(_) => Err(TransportError::Lost),
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// How a faulted transport operation presents to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossMode {
+    /// The operation returns an error — the caller knows the link
+    /// misbehaved and can retry with backoff.
+    Error,
+    /// Messages silently vanish: sends succeed but deliver nothing,
+    /// receives find nothing. Only missed heartbeats reveal the
+    /// outage.
+    Silent,
+}
+
+/// A transport whose operations fail on a deterministic schedule.
+///
+/// The wrapped [`FaultPlan`] counts every send and receive; when it
+/// fires, the link enters an outage for `outage_len` further
+/// operations (use `u64::MAX` for a permanent partition). During an
+/// outage, sends are dropped and receives deliver nothing — loudly or
+/// silently per [`LossMode`]. After the outage the link heals.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    inner: ChannelTransport,
+    plan: FaultPlan,
+    mode: LossMode,
+    outage_len: u64,
+    faulted_ops: u64,
+}
+
+impl FaultyTransport {
+    /// Wraps a fresh channel transport with the given fault schedule.
+    pub fn new(plan: FaultPlan, outage_len: u64, mode: LossMode) -> FaultyTransport {
+        FaultyTransport {
+            inner: ChannelTransport::new(),
+            plan,
+            mode,
+            outage_len,
+            faulted_ops: 0,
+        }
+    }
+
+    /// Number of operations the outage has swallowed so far.
+    pub fn faulted_ops(&self) -> u64 {
+        self.faulted_ops
+    }
+
+    /// Counts one operation; `true` when it should fail.
+    fn faulted(&mut self) -> bool {
+        if !self.plan.fires() {
+            return false;
+        }
+        if self.faulted_ops >= self.outage_len {
+            return false; // Outage over; the link healed.
+        }
+        self.faulted_ops += 1;
+        true
+    }
+}
+
+impl ReplicaTransport for FaultyTransport {
+    fn send(&mut self, to: &str, msg: &ReplicaMsg) -> Result<(), TransportError> {
+        if self.faulted() {
+            // The message is dropped either way; the mode only decides
+            // whether the sender finds out.
+            return match self.mode {
+                LossMode::Error => Err(TransportError::Lost),
+                LossMode::Silent => Ok(()),
+            };
+        }
+        self.inner.send(to, msg)
+    }
+
+    fn recv(&mut self, node: &str) -> Result<Option<ReplicaMsg>, TransportError> {
+        if self.faulted() {
+            return match self.mode {
+                LossMode::Error => Err(TransportError::Down),
+                LossMode::Silent => Ok(None),
+            };
+        }
+        self.inner.recv(node)
+    }
+
+    fn steps(&self) -> u64 {
+        self.inner.steps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(epoch: u64) -> ReplicaMsg {
+        ReplicaMsg::Heartbeat { epoch, next_lsn: 1 }
+    }
+
+    #[test]
+    fn channel_delivers_in_order_per_node() {
+        let mut t = ChannelTransport::new();
+        t.send("a", &hb(1)).unwrap();
+        t.send("b", &hb(2)).unwrap();
+        t.send("a", &hb(3)).unwrap();
+        assert_eq!(t.recv("a").unwrap(), Some(hb(1)));
+        assert_eq!(t.recv("a").unwrap(), Some(hb(3)));
+        assert_eq!(t.recv("a").unwrap(), None);
+        assert_eq!(t.recv("b").unwrap(), Some(hb(2)));
+        assert_eq!(t.steps(), 7);
+    }
+
+    #[test]
+    fn faulty_outage_heals_after_window() {
+        // Fault after 1 op, outage of 2 ops, loud mode.
+        let plan = FaultPlan::crash_after(1, 0xF00D);
+        let mut t = FaultyTransport::new(plan, 2, LossMode::Error);
+        t.send("a", &hb(1)).unwrap(); // op 0: fine
+        assert_eq!(t.send("a", &hb(2)), Err(TransportError::Lost)); // dropped
+        assert_eq!(t.recv("a"), Err(TransportError::Down)); // outage
+        t.send("a", &hb(3)).unwrap(); // healed
+        assert_eq!(t.recv("a").unwrap(), Some(hb(1)));
+        assert_eq!(t.recv("a").unwrap(), Some(hb(3)));
+        assert_eq!(t.faulted_ops(), 2);
+    }
+
+    #[test]
+    fn faulty_silent_mode_swallows_without_errors() {
+        let plan = FaultPlan::crash_after(0, 1);
+        let mut t = FaultyTransport::new(plan, u64::MAX, LossMode::Silent);
+        t.send("a", &hb(1)).unwrap(); // silently dropped
+        assert_eq!(t.recv("a").unwrap(), None);
+    }
+}

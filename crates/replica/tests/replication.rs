@@ -1,0 +1,404 @@
+//! End-to-end replication tests: catch-up, snapshot bootstrap,
+//! crash/restart, divergence refusal, fencing, awkward payloads on the
+//! wire, and the full fault-injection sweep.
+
+use std::path::PathBuf;
+
+use mvolap_core::case_study;
+use mvolap_core::persist::write_tmd;
+use mvolap_core::Tmd;
+use mvolap_durable::{CheckpointPolicy, FactRow, FaultPlan, Io, Options, TailFrame, WalRecord};
+use mvolap_replica::{
+    replica_sweep, ChannelTransport, LinkState, ReplicaConfig, ReplicaError, ReplicaMsg,
+    ReplicaSet, TickEvent,
+};
+use mvolap_temporal::Instant;
+
+const QUERY: &str = "SELECT sum(Amount) BY year, Org.Division IN MODE tcm";
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mvolap_replication_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> Options {
+    Options {
+        segment_bytes: 512,
+        policy: CheckpointPolicy::manual(),
+        prune_on_checkpoint: true,
+    }
+}
+
+fn serialise(tmd: &Tmd) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_tmd(tmd, &mut buf).unwrap();
+    buf
+}
+
+fn answer(tmd: &Tmd) -> String {
+    let versions = tmd.structure_versions();
+    format!(
+        "{:?}",
+        mvolap_query::run_with_versions(tmd, &versions, QUERY).unwrap()
+    )
+}
+
+/// Ticks the set until `name` has replayed up to the primary's head (or
+/// panics after a bounded number of rounds), returning all events seen.
+fn drain(set: &mut ReplicaSet<ChannelTransport>, name: &str) -> Vec<TickEvent> {
+    let mut events = Vec::new();
+    for _ in 0..64 {
+        events.extend(set.tick());
+        let head = set.primary().expect("primary alive").wal_position();
+        if set.follower(name).expect("follower exists").next_lsn() >= head {
+            return events;
+        }
+    }
+    panic!("follower {name} failed to catch up; events: {events:?}");
+}
+
+fn facts(coord: mvolap_core::MemberVersionId, month: u32, v: f64) -> WalRecord {
+    WalRecord::FactBatch {
+        rows: vec![FactRow {
+            coords: vec![coord],
+            at: Instant::ym(2003, month),
+            values: vec![v],
+        }],
+    }
+}
+
+/// A follower replays the primary's evolutions through the validated
+/// path and answers the reference query identically, from a
+/// byte-identical log.
+#[test]
+fn follower_catches_up_and_answers_queries() {
+    let base = tmp("catchup");
+    let cs = case_study::case_study();
+    let mut set = ReplicaSet::bootstrap(
+        &base,
+        cs.tmd.clone(),
+        opts(),
+        ReplicaConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .unwrap();
+    set.add_follower("f1", Io::plain());
+
+    set.apply(WalRecord::Create {
+        dim: cs.org,
+        name: "Dpt.New".into(),
+        level: Some("Department".into()),
+        at: Instant::ym(2003, 1),
+        parents: vec![cs.sales],
+    })
+    .unwrap();
+    for m in 1..=4 {
+        set.apply(facts(cs.brian, m, f64::from(m) * 10.0)).unwrap();
+    }
+    drain(&mut set, "f1");
+
+    let primary = set.primary().unwrap();
+    let follower = set.follower("f1").unwrap();
+    assert_eq!(follower.next_lsn(), primary.wal_position());
+    assert_eq!(set.acked_lsn("f1"), primary.wal_position());
+    assert_eq!(set.link_state("f1"), Some(LinkState::Healthy));
+    assert_eq!(
+        serialise(follower.schema().unwrap()),
+        serialise(primary.schema()),
+        "replayed schema must be byte-identical"
+    );
+    assert_eq!(answer(follower.schema().unwrap()), answer(primary.schema()));
+
+    // The logs themselves are byte-identical frame by frame.
+    let ours = primary.store().tail(1).unwrap();
+    let theirs = follower.store().unwrap().tail(1).unwrap();
+    assert_eq!(ours, theirs);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A follower joining after the primary pruned its log bootstraps from
+/// a checkpoint snapshot served at the right LSN.
+#[test]
+fn late_joiner_bootstraps_from_snapshot() {
+    let base = tmp("snapshot");
+    let cs = case_study::case_study();
+    let mut set = ReplicaSet::bootstrap(
+        &base,
+        cs.tmd.clone(),
+        opts(),
+        ReplicaConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .unwrap();
+    for m in 1..=10 {
+        set.apply(facts(cs.brian, m.min(12), 1.0)).unwrap();
+    }
+    set.checkpoint().unwrap();
+    let oldest = set.primary().unwrap().store().oldest_lsn().unwrap();
+    assert!(oldest > 1, "512-byte segments must have pruned");
+
+    set.add_follower("late", Io::plain());
+    drain(&mut set, "late");
+    assert!(set.stats().snapshots_served >= 1, "{:?}", set.stats());
+    let primary = set.primary().unwrap();
+    let follower = set.follower("late").unwrap();
+    assert_eq!(follower.next_lsn(), primary.wal_position());
+    assert_eq!(
+        serialise(follower.schema().unwrap()),
+        serialise(primary.schema())
+    );
+    assert_eq!(answer(follower.schema().unwrap()), answer(primary.schema()));
+
+    // And the snapshot-bootstrapped follower keeps up with later writes.
+    set.apply(facts(cs.bill, 11, 7.0)).unwrap();
+    drain(&mut set, "late");
+    assert_eq!(
+        serialise(set.follower("late").unwrap().schema().unwrap()),
+        serialise(set.primary().unwrap().schema())
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A follower that crashes mid-replication is detected, restarted from
+/// its own durable state and reconverges exactly.
+#[test]
+fn crashed_follower_restarts_and_reconverges() {
+    let base = tmp("fcrash");
+    let cs = case_study::case_study();
+    let mut set = ReplicaSet::bootstrap(
+        &base,
+        cs.tmd.clone(),
+        opts(),
+        ReplicaConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .unwrap();
+    set.add_follower("f1", Io::faulty(FaultPlan::crash_after(6, 0xC0FFEE)));
+    for m in 1..=6 {
+        set.apply(facts(cs.brian, m, 2.0)).unwrap();
+    }
+
+    let mut crashed = false;
+    for _ in 0..64 {
+        for ev in set.tick() {
+            if matches!(&ev, TickEvent::FollowerCrashed { node } if node == "f1") {
+                crashed = true;
+                set.restart_follower("f1").unwrap();
+            }
+        }
+        let head = set.primary().unwrap().wal_position();
+        if crashed && set.follower("f1").unwrap().next_lsn() >= head {
+            break;
+        }
+    }
+    assert!(crashed, "the injected fault must fire");
+    let primary = set.primary().unwrap();
+    let follower = set.follower("f1").unwrap();
+    assert_eq!(follower.next_lsn(), primary.wal_position());
+    assert_eq!(
+        serialise(follower.schema().unwrap()),
+        serialise(primary.schema())
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A frame whose CRC contradicts the follower's own log at the same LSN
+/// is a divergence: refused with the typed error, sticky, and fatal to
+/// promotion.
+#[test]
+fn divergent_frame_is_refused_and_blocks_promotion() {
+    let base = tmp("diverge");
+    let cs = case_study::case_study();
+    let mut set = ReplicaSet::bootstrap(
+        &base,
+        cs.tmd.clone(),
+        opts(),
+        ReplicaConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .unwrap();
+    set.add_follower("f1", Io::plain());
+    for m in 1..=3 {
+        set.apply(facts(cs.brian, m, 5.0)).unwrap();
+    }
+    drain(&mut set, "f1");
+
+    // Forge a duplicate of LSN 2 with a different checksum — the claim
+    // that some other history holds that position.
+    let genuine = set.primary().unwrap().store().tail(2).unwrap()[0].clone();
+    let forged = TailFrame {
+        lsn: 2,
+        crc: genuine.crc ^ 0xDEAD_BEEF,
+        payload: genuine.payload,
+    };
+    let f1 = set.follower_mut("f1").unwrap();
+    match f1.handle(ReplicaMsg::Frames {
+        epoch: 0,
+        frames: vec![forged],
+    }) {
+        Err(ReplicaError::Diverged { lsn, .. }) => assert_eq!(lsn, 2),
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+    assert!(f1.is_refusing());
+    // Sticky: even a clean heartbeat-driven frame stream is refused now.
+    let genuine_again = ReplicaMsg::Frames {
+        epoch: 0,
+        frames: set.primary().unwrap().store().tail(2).unwrap(),
+    };
+    assert!(matches!(
+        set.follower_mut("f1").unwrap().handle(genuine_again),
+        Err(ReplicaError::Diverged { .. })
+    ));
+    // A diverged follower can never be promoted.
+    assert!(matches!(
+        set.promote("f1"),
+        Err(ReplicaError::Diverged { .. })
+    ));
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Promotion bumps the epoch and fences the deposed primary; stale
+/// epochs are refused everywhere.
+#[test]
+fn promotion_fences_deposed_primary_and_stale_epochs() {
+    let base = tmp("fence");
+    let cs = case_study::case_study();
+    let mut set = ReplicaSet::bootstrap(
+        &base,
+        cs.tmd.clone(),
+        opts(),
+        ReplicaConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .unwrap();
+    set.add_follower("f1", Io::plain());
+    for m in 1..=4 {
+        set.apply(facts(cs.paul, m, 3.0)).unwrap();
+    }
+    drain(&mut set, "f1");
+    let expect = serialise(set.primary().unwrap().schema());
+    let expect_answer = answer(set.primary().unwrap().schema());
+
+    let expect_warehouse = mvolap_storage::persist::catalog_digest(
+        &mvolap_core::logical::build_multiversion_warehouse(set.primary().unwrap().schema())
+            .unwrap(),
+    );
+
+    let new_epoch = set.promote("f1").unwrap();
+    assert_eq!(new_epoch, 1);
+    assert_eq!(set.epoch(), 1);
+    let promoted = set.primary().unwrap();
+    assert_eq!(promoted.name(), "f1");
+    assert_eq!(serialise(promoted.schema()), expect);
+    assert_eq!(answer(promoted.schema()), expect_answer);
+    // Even the exported §5.1 warehouse tables are byte-identical.
+    assert_eq!(
+        mvolap_storage::persist::catalog_digest(
+            &mvolap_core::logical::build_multiversion_warehouse(promoted.schema()).unwrap()
+        ),
+        expect_warehouse
+    );
+
+    // The deposed primary refuses every further write.
+    let retired = set.retired_mut().unwrap();
+    assert!(retired.is_fenced());
+    match retired.apply(facts(cs.paul, 5, 9.9)) {
+        Err(ReplicaError::Fenced { .. }) => {}
+        other => panic!("expected Fenced, got {other:?}"),
+    }
+    assert!(matches!(
+        set.retired_mut().unwrap().checkpoint(),
+        Err(ReplicaError::Fenced { .. })
+    ));
+
+    // Stale-epoch traffic is refused by followers too.
+    set.add_follower("f2", Io::plain());
+    drain(&mut set, "f2");
+    assert_eq!(set.follower("f2").unwrap().epoch(), 1);
+    match set
+        .follower_mut("f2")
+        .unwrap()
+        .handle(ReplicaMsg::Heartbeat {
+            epoch: 0,
+            next_lsn: 99,
+        }) {
+        Err(ReplicaError::Fenced { epoch }) => assert_eq!(epoch, 1),
+        other => panic!("expected Fenced, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Member names full of wire metacharacters (spaces, backslashes, tabs,
+/// newlines, non-ASCII) survive the escaped token encoding end to end.
+#[test]
+fn awkward_member_names_survive_the_wire() {
+    let base = tmp("escape");
+    let cs = case_study::case_study();
+    let mut set = ReplicaSet::bootstrap(
+        &base,
+        cs.tmd.clone(),
+        opts(),
+        ReplicaConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .unwrap();
+    set.add_follower("f1", Io::plain());
+    for name in [
+        "Dept with spaces",
+        "back\\slash\\dept",
+        "tab\tand\nnewline",
+        "unicode—départ№7",
+        " leading and trailing ",
+    ] {
+        set.apply(WalRecord::Create {
+            dim: cs.org,
+            name: name.into(),
+            level: Some("Department".into()),
+            at: Instant::ym(2004, 1),
+            parents: vec![cs.sales],
+        })
+        .unwrap();
+    }
+    drain(&mut set, "f1");
+    let primary = set.primary().unwrap();
+    let follower = set.follower("f1").unwrap();
+    assert_eq!(
+        serialise(follower.schema().unwrap()),
+        serialise(primary.schema())
+    );
+    assert_eq!(
+        primary.store().tail(1).unwrap(),
+        follower.store().unwrap().tail(1).unwrap(),
+        "escaped frames must decode back to identical logs"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The full failover sweep: crash the primary or follower at every I/O
+/// primitive and fault the transport at every step; every injection
+/// point must leave a promotable, byte-identical ensemble.
+#[test]
+fn replica_sweep_holds_at_every_injection_point() {
+    let base = tmp("sweep");
+    let outcome = replica_sweep(&base, 0xFA11_0FE8, 12).expect("sweep invariants");
+    assert!(
+        outcome.injection_points >= 200,
+        "need a real sweep, got {outcome:?}"
+    );
+    assert!(outcome.primary_crashes > 0, "{outcome:?}");
+    assert!(outcome.follower_crashes > 0, "{outcome:?}");
+    assert!(outcome.transport_faults > 0, "{outcome:?}");
+    assert!(outcome.promotions > 0, "{outcome:?}");
+    assert!(outcome.fenced_refusals > 0, "{outcome:?}");
+    assert_eq!(outcome.divergence_refusals, 3, "{outcome:?}");
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -294,6 +294,42 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), PersistError> {
     Ok(())
 }
 
+/// Stable 64-bit FNV-1a digest of a table's canonical serialised form.
+/// Two tables digest equal exactly when [`write_table`] emits identical
+/// bytes — schema, row order and float bit patterns included — so the
+/// digest is a cheap byte-identity check for exported warehouses
+/// (e.g. comparing a replica's export against its primary's).
+pub fn table_digest(table: &Table) -> u64 {
+    let mut buf = Vec::new();
+    write_table(table, &mut buf).expect("serialising into memory cannot fail");
+    fnv1a(FNV_OFFSET, &buf)
+}
+
+/// Digest of a whole catalog: per-table digests folded in table-name
+/// order, so two catalogs compare equal independently of the order
+/// their tables were created in.
+pub fn catalog_digest(catalog: &Catalog) -> u64 {
+    let mut names = catalog.table_names();
+    names.sort_unstable();
+    let mut h = FNV_OFFSET;
+    for name in names {
+        let t = catalog.get(name).expect("name just listed");
+        h = fnv1a(h, &table_digest(t).to_le_bytes());
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Loads every `.tbl` file in `dir` into a catalog.
 pub fn load_catalog(dir: &Path) -> Result<Catalog, PersistError> {
     let mut catalog = Catalog::new();
@@ -364,6 +400,32 @@ mod tests {
         for (a, b) in t.rows().zip(back.rows()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn digests_are_byte_identity() {
+        let t = sample();
+        assert_eq!(table_digest(&t), table_digest(&sample()));
+        let mut changed = sample();
+        changed
+            .push_row(vec![4.into(), Value::Null, 0.0.into(), false.into()])
+            .unwrap();
+        assert_ne!(table_digest(&t), table_digest(&changed));
+
+        // Catalog digest is insertion-order independent.
+        let other = {
+            let schema = TableSchema::new(vec![ColumnDef::required("y", DataType::Int)]).unwrap();
+            let mut t = Table::new("other", schema);
+            t.push_row(vec![9.into()]).unwrap();
+            t
+        };
+        let mut ab = Catalog::new();
+        ab.create(sample()).unwrap();
+        ab.create(other.clone()).unwrap();
+        let mut ba = Catalog::new();
+        ba.create(other).unwrap();
+        ba.create(sample()).unwrap();
+        assert_eq!(catalog_digest(&ab), catalog_digest(&ba));
     }
 
     #[test]

@@ -5,29 +5,68 @@
 //! mvolap                        # REPL over the paper's case study
 //! mvolap --two-measures         # case study with Turnover + Profit
 //! mvolap --workload 42          # seeded synthetic evolving workload
-//! mvolap --load FILE            # a schema saved with \save
+//! mvolap --load FILE            # a schema saved with \save FILE
+//! mvolap --store DIR            # durable store: WAL + checkpoints in DIR
 //! mvolap -c "SELECT sum(Amount) BY year, Org.Division IN MODE tcm"
 //! ```
 //!
 //! Inside the REPL, lines are queries (see `mvolap-query` for the
-//! grammar) or backslash commands — `\h` lists them.
+//! grammar) or backslash commands — `\h` lists them. With `--store`,
+//! evolution commands (`\create`, `\rename`, `\delete`) are journaled
+//! through the write-ahead log and `\save` (no argument) takes a
+//! checkpoint; reopening the same directory recovers the schema.
 
 use std::io::{BufRead, Write as _};
 
 use mvolap::core::case_study::{case_study, case_study_two_measures};
-use mvolap::core::{ConfidenceWeights, Tmd};
+use mvolap::core::{ConfidenceWeights, DimensionId, MemberVersionId, Tmd};
 use mvolap::cube::mode_qualities;
+use mvolap::durable::{DurableError, DurableTmd, WalRecord};
 use mvolap::query::{parse, run_compare, run_with_versions, ModeSpec, QueryError};
+use mvolap::temporal::Instant;
 use mvolap::workload::{generate, WorkloadConfig};
 
+/// Where the schema lives: plain memory, or a durable WAL+checkpoint
+/// store whose every evolution is journaled.
+enum Backing {
+    Memory(Tmd),
+    Durable(Box<DurableTmd>),
+}
+
 struct Session {
-    tmd: Tmd,
+    backing: Backing,
+}
+
+impl Session {
+    fn tmd(&self) -> &Tmd {
+        match &self.backing {
+            Backing::Memory(tmd) => tmd,
+            Backing::Durable(store) => store.schema(),
+        }
+    }
+
+    /// Runs one evolution record through the backing: journaled
+    /// (validate → WAL append + fsync → apply) on a durable store,
+    /// applied directly in memory.
+    fn evolve(&mut self, record: WalRecord) -> Result<String, String> {
+        match &mut self.backing {
+            Backing::Memory(tmd) => record
+                .apply(tmd)
+                .map(|()| "applied (in-memory; use --store DIR to journal)".to_string())
+                .map_err(|e| e.to_string()),
+            Backing::Durable(store) => store
+                .apply(record)
+                .map(|lsn| format!("journaled at LSN {lsn}"))
+                .map_err(|e| e.to_string()),
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut schema: Option<Tmd> = None;
     let mut one_shot: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +90,14 @@ fn main() {
                     .unwrap_or_else(|e| die(&format!("load failed: {e}")));
                 schema = Some(tmd);
             }
+            "--store" => {
+                i += 1;
+                store_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--store requires a directory")),
+                );
+            }
             "-c" => {
                 i += 1;
                 one_shot = Some(
@@ -61,7 +108,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: mvolap [--two-measures | --workload SEED | --load FILE] [-c QUERY]"
+                    "usage: mvolap [--two-measures | --workload SEED | --load FILE] \
+                     [--store DIR] [-c QUERY]"
                 );
                 return;
             }
@@ -70,22 +118,47 @@ fn main() {
         i += 1;
     }
 
-    let session = Session {
-        tmd: schema.unwrap_or_else(|| case_study().tmd),
+    // An existing store wins over --load/--workload (those only seed a
+    // *new* store); the journal, not the flags, is the durable truth.
+    let backing = match store_dir {
+        Some(dir) => {
+            let path = std::path::PathBuf::from(&dir);
+            match DurableTmd::open(&path) {
+                Ok(store) => Backing::Durable(Box::new(store)),
+                Err(DurableError::NoStore) => {
+                    let seed = schema.unwrap_or_else(|| case_study().tmd);
+                    let store = DurableTmd::create(&path, seed)
+                        .unwrap_or_else(|e| die(&format!("cannot create store: {e}")));
+                    Backing::Durable(Box::new(store))
+                }
+                Err(e) => die(&format!("cannot open store at {dir}: {e}")),
+            }
+        }
+        None => Backing::Memory(schema.unwrap_or_else(|| case_study().tmd)),
     };
+    let mut session = Session { backing };
 
     if let Some(query) = one_shot {
         execute(&session, &query);
         return;
     }
 
-    println!(
-        "mvolap — multiversion OLAP shell over schema `{}` \
-         ({} dimensions, {} facts). \\h for help, \\q to quit.",
-        session.tmd.name(),
-        session.tmd.dimensions().len(),
-        session.tmd.facts().len()
-    );
+    match &session.backing {
+        Backing::Memory(_) => println!(
+            "mvolap — multiversion OLAP shell over schema `{}` \
+             ({} dimensions, {} facts). \\h for help, \\q to quit.",
+            session.tmd().name(),
+            session.tmd().dimensions().len(),
+            session.tmd().facts().len()
+        ),
+        Backing::Durable(store) => println!(
+            "mvolap — multiversion OLAP shell over durable store `{}` \
+             (schema `{}`, next LSN {}). \\h for help, \\q to quit.",
+            store.dir().display(),
+            store.schema().name(),
+            store.wal_position()
+        ),
+    }
     let stdin = std::io::stdin();
     loop {
         print!("mvolap> ");
@@ -101,7 +174,7 @@ fn main() {
             continue;
         }
         if let Some(cmd) = line.strip_prefix('\\') {
-            if !command(&session, cmd) {
+            if !command(&mut session, cmd) {
                 break;
             }
         } else {
@@ -116,7 +189,7 @@ fn die(msg: &str) -> ! {
 }
 
 /// Executes a backslash command; returns false to quit.
-fn command(session: &Session, cmd: &str) -> bool {
+fn command(session: &mut Session, cmd: &str) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next().unwrap_or("") {
         "q" | "quit" => return false,
@@ -129,7 +202,11 @@ fn command(session: &Session, cmd: &str) -> bool {
                  \\log            evolution log\n\
                  \\quality QUERY  quality factor of QUERY per mode\n\
                  \\grid QUERY     result as a pivot grid (time × members)\n\
-                 \\save FILE      persist the schema (reload with --load)\n\
+                 \\create DIM NAME LEVEL PARENT YYYY-MM   insert a member (journaled with --store)\n\
+                 \\rename DIM MEMBER NEW_NAME YYYY-MM     transform a member (journaled with --store)\n\
+                 \\delete DIM MEMBER YYYY-MM              exclude a member (journaled with --store)\n\
+                 \\save           checkpoint the durable store (--store only)\n\
+                 \\save FILE      persist the schema snapshot (reload with --load)\n\
                  \\export DIR     export the MultiVersion warehouse tables\n\
                  \\q              quit\n\
                  anything else executes as a query \
@@ -137,12 +214,12 @@ fn command(session: &Session, cmd: &str) -> bool {
             );
         }
         "svs" => {
-            for sv in session.tmd.structure_versions() {
+            for sv in session.tmd().structure_versions() {
                 println!("{}", sv.label());
             }
         }
         "dims" => {
-            for d in session.tmd.dimensions() {
+            for d in session.tmd().dimensions() {
                 let levels = mvolap::core::levels::all_level_names(d);
                 println!(
                     "{}: {} member versions, levels: {}",
@@ -153,22 +230,22 @@ fn command(session: &Session, cmd: &str) -> bool {
             }
         }
         "measures" => {
-            for m in session.tmd.measures() {
+            for m in session.tmd().measures() {
                 println!("{} ({})", m.name, m.aggregator.name());
             }
         }
         "dot" => match parts.next() {
-            Some(name) => match session.tmd.dimension_by_name(name) {
+            Some(name) => match session.tmd().dimension_by_name(name) {
                 Ok(dim) => {
-                    let d = session.tmd.dimension(dim).expect("id just resolved");
-                    println!("{}", d.to_dot(session.tmd.granularity()));
+                    let d = session.tmd().dimension(dim).expect("id just resolved");
+                    println!("{}", d.to_dot(session.tmd().granularity()));
                 }
                 Err(e) => println!("error: {e}"),
             },
             None => println!("usage: \\dot DIMENSION"),
         },
         "log" => {
-            let entries = session.tmd.evolution_log().entries();
+            let entries = session.tmd().evolution_log().entries();
             if entries.is_empty() {
                 println!("(no evolutions recorded)");
             }
@@ -182,24 +259,95 @@ fn command(session: &Session, cmd: &str) -> bool {
         }
         "grid" => {
             let rest: Vec<&str> = parts.collect();
-            let svs = session.tmd.structure_versions();
-            match run_with_versions(&session.tmd, &svs, &rest.join(" ")) {
+            let svs = session.tmd().structure_versions();
+            match run_with_versions(session.tmd(), &svs, &rest.join(" ")) {
                 Ok(rs) => print!("{}", rs.render_grid(0)),
                 Err(e) => report(e),
             }
         }
+        "create" => {
+            let args: Vec<&str> = parts.collect();
+            let [dim, name, level, parent, at] = args[..] else {
+                println!("usage: \\create DIM NAME LEVEL PARENT YYYY-MM");
+                return true;
+            };
+            let record = parse_ym(at).and_then(|at| {
+                let dim = resolve_dim(session.tmd(), dim)?;
+                let parent = resolve_member(session.tmd(), dim, parent, at)?;
+                Ok(WalRecord::Create {
+                    dim,
+                    name: name.to_string(),
+                    level: Some(level.to_string()),
+                    at,
+                    parents: vec![parent],
+                })
+            });
+            match record.and_then(|r| session.evolve(r)) {
+                Ok(msg) => println!("created `{name}`: {msg}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        "rename" => {
+            let args: Vec<&str> = parts.collect();
+            let [dim, member, new_name, at] = args[..] else {
+                println!("usage: \\rename DIM MEMBER NEW_NAME YYYY-MM");
+                return true;
+            };
+            let record = parse_ym(at).and_then(|at| {
+                let dim = resolve_dim(session.tmd(), dim)?;
+                let id = resolve_member(session.tmd(), dim, member, at)?;
+                Ok(WalRecord::Transform {
+                    dim,
+                    id,
+                    new_name: new_name.to_string(),
+                    new_attributes: std::collections::BTreeMap::new(),
+                    at,
+                })
+            });
+            match record.and_then(|r| session.evolve(r)) {
+                Ok(msg) => println!("renamed `{member}` to `{new_name}`: {msg}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        "delete" => {
+            let args: Vec<&str> = parts.collect();
+            let [dim, member, at] = args[..] else {
+                println!("usage: \\delete DIM MEMBER YYYY-MM");
+                return true;
+            };
+            let record = parse_ym(at).and_then(|at| {
+                let dim = resolve_dim(session.tmd(), dim)?;
+                let id = resolve_member(session.tmd(), dim, member, at)?;
+                Ok(WalRecord::Delete { dim, id, at })
+            });
+            match record.and_then(|r| session.evolve(r)) {
+                Ok(msg) => println!("deleted `{member}`: {msg}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
         "save" => match parts.next() {
             Some(path) => {
-                match mvolap::core::persist::save_tmd(&session.tmd, std::path::Path::new(path)) {
+                match mvolap::core::persist::save_tmd(session.tmd(), std::path::Path::new(path)) {
                     Ok(()) => println!("saved to {path}"),
                     Err(e) => println!("error: {e}"),
                 }
             }
-            None => println!("usage: \\save FILE"),
+            None => match &mut session.backing {
+                Backing::Durable(store) => match store.checkpoint() {
+                    Ok(id) => println!(
+                        "checkpoint at generation {}, next LSN {}",
+                        id.generation, id.next_lsn
+                    ),
+                    Err(e) => println!("error: {e}"),
+                },
+                Backing::Memory(_) => {
+                    println!("usage: \\save FILE (checkpointing needs --store DIR)")
+                }
+            },
         },
         "export" => match parts.next() {
             Some(dir) => {
-                let result = mvolap::core::logical::build_multiversion_warehouse(&session.tmd)
+                let result = mvolap::core::logical::build_multiversion_warehouse(session.tmd())
                     .map_err(|e| e.to_string())
                     .and_then(|wh| {
                         mvolap::storage::persist::save_catalog(&wh, std::path::Path::new(dir))
@@ -218,12 +366,44 @@ fn command(session: &Session, cmd: &str) -> bool {
     true
 }
 
+/// Parses a `YYYY-MM` instant literal.
+fn parse_ym(s: &str) -> Result<Instant, String> {
+    let (y, m) = s
+        .split_once('-')
+        .ok_or_else(|| format!("`{s}` is not a YYYY-MM instant"))?;
+    let year: i32 = y.parse().map_err(|_| format!("bad year in `{s}`"))?;
+    let month: u32 = m.parse().map_err(|_| format!("bad month in `{s}`"))?;
+    if !(1..=12).contains(&month) {
+        return Err(format!("month out of range in `{s}`"));
+    }
+    Ok(Instant::ym(year, month))
+}
+
+fn resolve_dim(tmd: &Tmd, name: &str) -> Result<DimensionId, String> {
+    tmd.dimension_by_name(name).map_err(|e| e.to_string())
+}
+
+/// Resolves a member alive at `at` (or just before it, so evolutions
+/// taking effect *at* the instant still find their target).
+fn resolve_member(
+    tmd: &Tmd,
+    dim: DimensionId,
+    name: &str,
+    at: Instant,
+) -> Result<MemberVersionId, String> {
+    let d = tmd.dimension(dim).map_err(|e| e.to_string())?;
+    d.version_named_at(name, at)
+        .or_else(|_| d.version_named_at(name, at.pred()))
+        .map(|v| v.id)
+        .map_err(|e| e.to_string())
+}
+
 /// Prints the per-mode quality factor of a query.
 fn quality(session: &Session, query: &str) {
-    let svs = session.tmd.structure_versions();
-    let planned = parse(query).and_then(|ast| mvolap::query::plan(&session.tmd, &svs, &ast));
+    let svs = session.tmd().structure_versions();
+    let planned = parse(query).and_then(|ast| mvolap::query::plan(session.tmd(), &svs, &ast));
     match planned {
-        Ok(q) => match mode_qualities(&session.tmd, &svs, &q, &ConfidenceWeights::DEFAULT) {
+        Ok(q) => match mode_qualities(session.tmd(), &svs, &q, &ConfidenceWeights::DEFAULT) {
             Ok(scores) => {
                 for s in scores {
                     println!(
@@ -249,7 +429,7 @@ fn execute(session: &Session, query: &str) {
         Ok(ast) if matches!(ast.mode, ModeSpec::AllModes { .. })
     );
     if is_all_modes {
-        match run_compare(&session.tmd, query) {
+        match run_compare(session.tmd(), query) {
             Ok(results) => {
                 for r in results {
                     println!(
@@ -268,8 +448,8 @@ fn execute(session: &Session, query: &str) {
         }
         return;
     }
-    let svs = session.tmd.structure_versions();
-    match run_with_versions(&session.tmd, &svs, query) {
+    let svs = session.tmd().structure_versions();
+    match run_with_versions(session.tmd(), &svs, query) {
         Ok(rs) => {
             if rs.unmapped_rows > 0 {
                 println!(

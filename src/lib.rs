@@ -19,6 +19,7 @@
 //! | [`core`] | The paper's model: Definitions 1–12 + evolution operators |
 //! | [`etl`] | Snapshot change detection, loaders, SCD Type 1/2/3 baselines |
 //! | [`durable`] | Write-ahead log, checkpointing and crash recovery |
+//! | [`replica`] | WAL-shipping replication, divergence detection, failover |
 //! | [`query`] | Textual query language with `IN MODE` temporal presentation |
 //! | [`cube`] | Aggregate lattice, navigation operators, quality factor |
 //! | [`workload`] | Seeded evolving-hierarchy and fact generators |
@@ -49,6 +50,7 @@ pub use mvolap_durable as durable;
 pub use mvolap_etl as etl;
 pub use mvolap_exec as exec;
 pub use mvolap_query as query;
+pub use mvolap_replica as replica;
 pub use mvolap_storage as storage;
 pub use mvolap_temporal as temporal;
 pub use mvolap_workload as workload;
