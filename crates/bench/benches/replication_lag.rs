@@ -1,0 +1,113 @@
+//! Replication shipping lag: frames/second moving WAL frame batches
+//! through the in-process channel transport versus real loopback TCP
+//! (`TcpTransport` against a `MsgRouter`).
+//!
+//! Both transports carry the identical `ReplicaMsg::Frames` message —
+//! canonical escaped-token text — so the delta is pure transport cost:
+//! the socket adds one CRC frame per request and reply, two syscalls,
+//! and the kernel loopback path. Expected shape: the channel moves
+//! frames at memory speed; TCP sits 1–2 orders of magnitude behind on
+//! round-trip latency but still far above any realistic WAL production
+//! rate. Emits `BENCH_replication.json` at the workspace root.
+
+use mvolap_bench::harness::{BenchmarkId, Criterion, Throughput};
+use mvolap_core::case_study;
+use mvolap_durable::{DurableTmd, FactRow, Io, Options, TailFrame, WalRecord};
+use mvolap_replica::{
+    ChannelTransport, MsgRouter, NetAddr, NetConfig, ReplicaMsg, ReplicaTransport, TcpTransport,
+};
+use mvolap_temporal::Instant;
+
+/// Frames per shipped `Frames` message — the server's default batch.
+const BATCH: usize = 64;
+
+/// Builds a real WAL tail: the case study plus enough fact batches to
+/// fill one shipping batch, read back as the frames a primary serves.
+fn wal_frames() -> Vec<TailFrame> {
+    let base = std::env::temp_dir().join(format!("mvolap_bench_repl_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let cs = case_study::case_study();
+    let mut store =
+        DurableTmd::create_with(&base, cs.tmd, Options::default(), Io::plain()).expect("store");
+    for i in 0..BATCH as u32 {
+        store
+            .apply(WalRecord::FactBatch {
+                rows: vec![FactRow {
+                    coords: vec![cs.bill],
+                    at: Instant::ym(2003, 1 + (i % 12)),
+                    values: vec![f64::from(i)],
+                }],
+            })
+            .expect("journal fact batch");
+    }
+    let frames = store.tail(1).expect("tail");
+    drop(store);
+    std::fs::remove_dir_all(&base).ok();
+    frames
+}
+
+/// One shipping round trip: the batch goes out, then is drained back —
+/// what a supervisor pump does per tick, minus the replay.
+fn ship<T: ReplicaTransport>(t: &mut T, msg: &ReplicaMsg) {
+    t.send("f1", msg).expect("send");
+    while t.recv("f1").expect("recv").is_some() {}
+}
+
+fn bench_shipping(c: &mut Criterion, msg: &ReplicaMsg, frames: u64) {
+    let mut group = c.benchmark_group("replication_lag/ship_frames");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(frames));
+
+    let mut chan = ChannelTransport::new();
+    group.bench_with_input(BenchmarkId::new("channel", frames), msg, |b, msg| {
+        b.iter(|| ship(&mut chan, msg))
+    });
+
+    let router = MsgRouter::spawn(&NetAddr::Tcp("127.0.0.1:0".into())).expect("router");
+    let mut tcp = TcpTransport::connect(router.addr().clone(), NetConfig::default());
+    group.bench_with_input(BenchmarkId::new("tcp_loopback", frames), msg, |b, msg| {
+        b.iter(|| ship(&mut tcp, msg))
+    });
+    group.finish();
+    drop(tcp);
+}
+
+fn main() {
+    let frames = wal_frames();
+    let wire_bytes: usize = frames.iter().map(|f| f.payload.len()).sum();
+    let n = frames.len() as u64;
+    let msg = ReplicaMsg::Frames { epoch: 0, frames };
+
+    let mut c = Criterion::from_env();
+    bench_shipping(&mut c, &msg, n);
+    c.final_summary();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let median = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name.contains(needle))
+            .map(|r| r.median_ns)
+    };
+    if let (Some(ch), Some(tcp)) = (median("ship_frames/channel"), median("ship_frames/tcp")) {
+        eprintln!(
+            "shipping {n} frames: channel {:.1}us, tcp loopback {:.1}us ({:.1}x slower)",
+            ch / 1_000.0,
+            tcp / 1_000.0,
+            tcp / ch
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"frames_per_batch\": {n},\n  \
+         \"payload_bytes\": {wire_bytes},\n  \"results\": {}\n}}\n",
+        c.to_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

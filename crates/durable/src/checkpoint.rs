@@ -66,7 +66,10 @@ pub fn write(
     io: &mut Io,
 ) -> Result<CheckpointId, DurableError> {
     let cdir = ckpt_dir(dir);
-    std::fs::create_dir_all(&cdir)?;
+    let created = !cdir.is_dir();
+    if created {
+        io.create_dir(&cdir)?;
+    }
     let id = CheckpointId {
         generation: tmd.generation(),
         next_lsn,
@@ -83,7 +86,18 @@ pub fn write(
             drop(f);
             io.rename(&tmp, &finals)
         })
-        .and_then(|()| io.sync_dir(&cdir));
+        .and_then(|()| io.sync_dir(&cdir))
+        .and_then(|()| {
+            // A first checkpoint also created `checkpoint/` itself; the
+            // entry must be durable in the store directory *before*
+            // pruning may remove WAL segments the snapshot covers, or a
+            // crash could lose the checkpoint while the prune survives.
+            if created {
+                io.sync_dir(dir)
+            } else {
+                Ok(())
+            }
+        });
     if let Err(e) = res {
         std::fs::remove_file(&tmp).ok();
         return Err(e);

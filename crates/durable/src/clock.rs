@@ -1,0 +1,72 @@
+//! Wall-clock abstraction for time-based policies.
+//!
+//! The store itself never calls `SystemTime` directly: everything that
+//! needs "now" reads a [`TimeSource`], which is either the real clock
+//! or a shared manual counter a test advances explicitly. That keeps
+//! the crash sweeps deterministic — a sweep run under a manual source
+//! observes exactly the instants the harness dictates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Where a store reads the current time from.
+#[derive(Debug, Clone, Default)]
+pub enum TimeSource {
+    /// The real wall clock (milliseconds since the UNIX epoch).
+    #[default]
+    System,
+    /// A shared counter advanced explicitly — tests and deterministic
+    /// harnesses. Cloning shares the counter.
+    Manual(Arc<AtomicU64>),
+}
+
+impl TimeSource {
+    /// A manual source starting at `start_ms`.
+    pub fn manual(start_ms: u64) -> TimeSource {
+        TimeSource::Manual(Arc::new(AtomicU64::new(start_ms)))
+    }
+
+    /// Current time in milliseconds. For `System` this is UNIX-epoch
+    /// milliseconds; for `Manual` it is whatever the counter holds.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            TimeSource::System => SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+            TimeSource::Manual(cell) => cell.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Advances a manual source by `ms` and returns the new now. A
+    /// no-op on `System` (the real clock advances itself).
+    pub fn advance(&self, ms: u64) -> u64 {
+        match self {
+            TimeSource::System => self.now_ms(),
+            TimeSource::Manual(cell) => cell.fetch_add(ms, Ordering::SeqCst) + ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_source_is_shared_and_advances() {
+        let a = TimeSource::manual(100);
+        let b = a.clone();
+        assert_eq!(a.now_ms(), 100);
+        assert_eq!(b.advance(50), 150);
+        assert_eq!(a.now_ms(), 150, "clones share the counter");
+    }
+
+    #[test]
+    fn system_source_moves_forward() {
+        let s = TimeSource::System;
+        let t0 = s.now_ms();
+        assert!(t0 > 0);
+        assert!(s.now_ms() >= t0);
+        assert!(s.advance(1_000_000) < t0 + 1_000_000, "advance is a no-op");
+    }
+}

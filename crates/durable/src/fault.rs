@@ -10,7 +10,7 @@
 //!    (`T` crash points) and caching the serialised schema after each
 //!    committed record (the *prefix states*);
 //! 2. re-runs the workload once per crash point `k < T` with an
-//!    [`Io`](crate::io::Io) that simulates a crash (torn write included)
+//!    [`Io`] that simulates a crash (torn write included)
 //!    on the `k`-th primitive;
 //! 3. recovers each crashed directory and asserts **prefix
 //!    consistency**: the recovered schema serialises identically to

@@ -126,6 +126,15 @@ impl Io {
         Ok(File::create(path)?)
     }
 
+    /// Creates a directory (and missing parents). The new entry is not
+    /// durable until the parent directory is fsynced — pair with
+    /// [`Io::sync_dir`] on the parent.
+    pub fn create_dir(&mut self, path: &Path) -> Result<(), DurableError> {
+        self.tick("mkdir")?;
+        std::fs::create_dir_all(path)?;
+        Ok(())
+    }
+
     /// Atomically renames `from` onto `to`.
     pub fn rename(&mut self, from: &Path, to: &Path) -> Result<(), DurableError> {
         self.tick("rename")?;

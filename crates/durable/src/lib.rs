@@ -30,6 +30,7 @@
 
 pub mod checkpoint;
 pub mod checksum;
+pub mod clock;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -39,6 +40,7 @@ pub mod store;
 pub mod wal;
 
 pub use checkpoint::CheckpointId;
+pub use clock::TimeSource;
 pub use error::DurableError;
 pub use fault::{crash_sweep, generate, Step, SweepOutcome, Workload};
 pub use io::{FaultPlan, Io};

@@ -31,6 +31,7 @@ use mvolap_core::{DimensionId, MeasureMapping, MemberVersionId, Tmd};
 use mvolap_temporal::Instant;
 
 use crate::checkpoint::{self, CheckpointId};
+use crate::clock::TimeSource;
 use crate::error::DurableError;
 use crate::io::{FaultPlan, Io};
 use crate::record::{FactRow, WalRecord};
@@ -57,6 +58,13 @@ pub struct CheckpointPolicy {
     /// store that recovers a long tail checkpoints promptly instead of
     /// re-replaying it on every future open.
     pub max_tail_ops: u64,
+    /// Checkpoint once the oldest uncheckpointed record has been
+    /// sitting in the tail for this many milliseconds (per the store's
+    /// [`TimeSource`]). Count/byte triggers only fire on commit; a
+    /// deployment that goes quiet after a burst needs this wall-clock
+    /// trigger, checked by [`DurableTmd::maybe_checkpoint`] from a
+    /// periodic driver.
+    pub max_tail_age_ms: u64,
 }
 
 impl Default for CheckpointPolicy {
@@ -65,6 +73,7 @@ impl Default for CheckpointPolicy {
             every_records: 1024,
             max_tail_bytes: 0,
             max_tail_ops: 0,
+            max_tail_age_ms: 0,
         }
     }
 }
@@ -74,8 +83,15 @@ impl CheckpointPolicy {
     pub fn every_records(n: u64) -> Self {
         CheckpointPolicy {
             every_records: n,
-            max_tail_bytes: 0,
-            max_tail_ops: 0,
+            ..CheckpointPolicy::manual()
+        }
+    }
+
+    /// Only the wall-clock tail-age trigger.
+    pub fn max_tail_age(ms: u64) -> Self {
+        CheckpointPolicy {
+            max_tail_age_ms: ms,
+            ..CheckpointPolicy::manual()
         }
     }
 
@@ -85,13 +101,15 @@ impl CheckpointPolicy {
             every_records: 0,
             max_tail_bytes: 0,
             max_tail_ops: 0,
+            max_tail_age_ms: 0,
         }
     }
 
-    fn due(&self, records_since: u64, tail_bytes: u64, tail_ops: u64) -> bool {
+    fn due(&self, records_since: u64, tail_bytes: u64, tail_ops: u64, tail_age_ms: u64) -> bool {
         (self.every_records > 0 && records_since >= self.every_records)
             || (self.max_tail_bytes > 0 && tail_bytes >= self.max_tail_bytes)
             || (self.max_tail_ops > 0 && tail_ops >= self.max_tail_ops)
+            || (self.max_tail_age_ms > 0 && tail_age_ms >= self.max_tail_age_ms)
     }
 }
 
@@ -133,6 +151,11 @@ pub struct DurableTmd {
     /// First LSN *not* covered by the last known checkpoint; the
     /// uncheckpointed tail is `next_lsn - covered_lsn` records.
     covered_lsn: u64,
+    /// Where this store reads "now" for the tail-age trigger.
+    time: TimeSource,
+    /// When the oldest uncheckpointed record entered the tail; `None`
+    /// while the tail is empty.
+    tail_since_ms: Option<u64>,
     poisoned: bool,
 }
 
@@ -172,6 +195,8 @@ impl DurableTmd {
         mvolap_core::persist::write_tmd(&tmd, &mut snapshot)?;
         let payload = WalRecord::Bootstrap { snapshot }.encode();
         wal.append(&payload, &mut io)?;
+        let time = TimeSource::default();
+        let tail_since_ms = Some(time.now_ms());
         Ok(DurableTmd {
             dir: dir.to_path_buf(),
             tmd,
@@ -181,6 +206,8 @@ impl DurableTmd {
             records_since_ckpt: 0,
             bytes_since_ckpt: (payload.len() + crate::frame::HEADER) as u64,
             covered_lsn: 1,
+            time,
+            tail_since_ms,
             poisoned: false,
         })
     }
@@ -222,6 +249,8 @@ impl DurableTmd {
             records_since_ckpt: 0,
             bytes_since_ckpt: 0,
             covered_lsn: next_lsn,
+            time: TimeSource::default(),
+            tail_since_ms: None,
             poisoned: false,
         })
     }
@@ -276,6 +305,11 @@ impl DurableTmd {
             // Neither a checkpoint nor a bootstrap record survived.
             return Err(DurableError::NoStore);
         }
+        let time = TimeSource::default();
+        // A recovered tail's true append times are unknown; age it from
+        // the moment of recovery, which still bounds how long it can
+        // linger uncheckpointed from here on.
+        let tail_since_ms = (replayed > 0).then(|| time.now_ms());
         Ok(DurableTmd {
             dir: dir.to_path_buf(),
             tmd,
@@ -285,6 +319,8 @@ impl DurableTmd {
             records_since_ckpt: replayed,
             bytes_since_ckpt: tail_bytes,
             covered_lsn: resume_lsn,
+            time,
+            tail_since_ms,
             poisoned: false,
         })
     }
@@ -359,6 +395,9 @@ impl DurableTmd {
         match self.wal.append(&payload, &mut self.io) {
             Ok(lsn) => {
                 self.bytes_since_ckpt += (payload.len() + crate::frame::HEADER) as u64;
+                if self.tail_since_ms.is_none() {
+                    self.tail_since_ms = Some(self.time.now_ms());
+                }
                 Ok(lsn)
             }
             Err(e) => {
@@ -370,15 +409,49 @@ impl DurableTmd {
 
     fn after_commit(&mut self) -> Result<(), DurableError> {
         self.records_since_ckpt += 1;
-        let tail_ops = self.wal.next_lsn().saturating_sub(self.covered_lsn);
-        if self
-            .opts
-            .policy
-            .due(self.records_since_ckpt, self.bytes_since_ckpt, tail_ops)
-        {
+        if self.policy_due() {
             self.checkpoint()?;
         }
         Ok(())
+    }
+
+    /// Whether the checkpoint policy is due against the current tail.
+    fn policy_due(&self) -> bool {
+        let tail_ops = self.wal.next_lsn().saturating_sub(self.covered_lsn);
+        let tail_age_ms = self
+            .tail_since_ms
+            .map_or(0, |t| self.time.now_ms().saturating_sub(t));
+        self.opts.policy.due(
+            self.records_since_ckpt,
+            self.bytes_since_ckpt,
+            tail_ops,
+            tail_age_ms,
+        )
+    }
+
+    /// Replaces the store's time source. The tail-age reference point
+    /// is restarted under the new source — instants from different
+    /// sources are not comparable.
+    pub fn set_time_source(&mut self, time: TimeSource) {
+        if self.tail_since_ms.is_some() {
+            self.tail_since_ms = Some(time.now_ms());
+        }
+        self.time = time;
+    }
+
+    /// Checkpoints now if any policy threshold (including wall-clock
+    /// tail age) is crossed; the periodic driver a deployment calls
+    /// between commits. Returns the checkpoint taken, if any.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::checkpoint`].
+    pub fn maybe_checkpoint(&mut self) -> Result<Option<CheckpointId>, DurableError> {
+        self.usable()?;
+        if self.tail_since_ms.is_some() && self.policy_due() {
+            return Ok(Some(self.checkpoint()?));
+        }
+        Ok(None)
     }
 
     /// Applies one logical record: validate, journal, commit.
@@ -446,6 +519,7 @@ impl DurableTmd {
                 self.records_since_ckpt = 0;
                 self.bytes_since_ckpt = 0;
                 self.covered_lsn = id.next_lsn;
+                self.tail_since_ms = None;
                 Ok(id)
             }
             Err(e) => {

@@ -133,11 +133,15 @@ impl Wal {
         io: &mut Io,
     ) -> Result<Wal, DurableError> {
         let wal_dir = dir.join("wal");
-        std::fs::create_dir_all(&wal_dir)?;
+        io.create_dir(&wal_dir)?;
         let mut active = io.create(&segment_path(&wal_dir, 1))?;
         io.write(&mut active, &encode_header(base_lsn))?;
         io.sync(&active)?;
         io.sync_dir(&wal_dir)?;
+        // The `wal/` entry itself must be durable in the store
+        // directory, or a crash could lose the whole log while later
+        // siblings (e.g. a checkpoint) survive.
+        io.sync_dir(dir)?;
         Ok(Wal {
             dir: wal_dir,
             active_seq: 1,

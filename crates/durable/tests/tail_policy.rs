@@ -166,9 +166,8 @@ fn policy_max_tail_bytes_checkpoints_on_size() {
     let dir = tmp("bytes");
     let cs = case_study::case_study();
     let policy = CheckpointPolicy {
-        every_records: 0,
         max_tail_bytes: 1,
-        max_tail_ops: 0,
+        ..CheckpointPolicy::manual()
     };
     let mut store =
         DurableTmd::create_with(&dir, cs.tmd.clone(), small_opts(policy), Io::plain()).unwrap();
@@ -199,9 +198,8 @@ fn policy_max_tail_ops_covers_recovered_tail() {
     assert_eq!(ckpt_count(&dir), 0);
 
     let policy = CheckpointPolicy {
-        every_records: 0,
-        max_tail_bytes: 0,
         max_tail_ops: 4,
+        ..CheckpointPolicy::manual()
     };
     let mut reopened = DurableTmd::open_with(&dir, small_opts(policy), Io::plain()).unwrap();
     load(&mut reopened, cs.brian, 6, 6.0);
@@ -225,6 +223,47 @@ fn policy_max_tail_ops_covers_recovered_tail() {
         buf
     };
     assert_eq!(before, after);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `max_tail_age_ms` checkpoints by wall clock: a tail that sits
+/// uncheckpointed past the age budget is compacted by the periodic
+/// `maybe_checkpoint` driver, not by further commits. Driven by a
+/// manual [`mvolap_durable::TimeSource`] so the test is deterministic.
+#[test]
+fn policy_max_tail_age_checkpoints_by_wall_clock() {
+    let dir = tmp("age");
+    let cs = case_study::case_study();
+    let mut store = DurableTmd::create_with(
+        &dir,
+        cs.tmd.clone(),
+        small_opts(CheckpointPolicy::max_tail_age(1_000)),
+        Io::plain(),
+    )
+    .unwrap();
+    let clock = mvolap_durable::TimeSource::manual(0);
+    store.set_time_source(clock.clone());
+
+    load(&mut store, cs.brian, 1, 1.0);
+    assert_eq!(ckpt_count(&dir), 0, "commit alone does not checkpoint");
+    clock.advance(999);
+    assert!(store.maybe_checkpoint().unwrap().is_none(), "under budget");
+    clock.advance(1);
+    let id = store
+        .maybe_checkpoint()
+        .unwrap()
+        .expect("age budget crossed");
+    assert_eq!(id.next_lsn, store.wal_position());
+    assert_eq!(ckpt_count(&dir), 1);
+
+    // The tail is empty again: no further time-based checkpoints until
+    // something new is journaled.
+    clock.advance(10_000);
+    assert!(store.maybe_checkpoint().unwrap().is_none(), "empty tail");
+    load(&mut store, cs.brian, 2, 2.0);
+    clock.advance(1_000);
+    assert!(store.maybe_checkpoint().unwrap().is_some(), "new tail aged");
+    assert_eq!(ckpt_count(&dir), 1, "older checkpoints pruned");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -33,24 +33,40 @@
 //!   transport faulted at every step; at each point the promoted
 //!   follower must answer queries byte-identically to the surviving
 //!   prefix.
+//! * **Networked transport** ([`net`]). The same protocol over real
+//!   TCP or unix sockets: every request and reply is one CRC frame of
+//!   canonical escaped-token text, with explicit connect/read/write
+//!   timeouts, bounded reconnect, and epoch fencing enforced at the
+//!   protocol layer by [`ReplicaServer`]. The failover sweep also runs
+//!   over loopback TCP ([`replica_sweep_net`]), with socket faults —
+//!   dropped and stalled connections — injected by a [`FaultProxy`].
 //!
-//! Everything is deterministic and single-threaded; time advances only
-//! through [`ReplicaSet::tick`].
+//! The supervision core is deterministic and single-threaded; time
+//! advances only through [`ReplicaSet::tick`], driven in deployments by
+//! a [`Clock`] ([`SystemClock`] for real time, [`ManualClock`] for
+//! tests).
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod error;
 pub mod follower;
+pub mod net;
 pub mod record;
 pub mod set;
 pub mod sweep;
 pub mod tailer;
 pub mod transport;
 
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{ReplicaError, TransportError};
 pub use follower::Follower;
+pub use net::{
+    sync_follower, FaultProxy, MsgRouter, NetAddr, NetClient, NetConfig, ProxyFault, ReplicaServer,
+    ServerConfig, SyncRound, TcpTransport,
+};
 pub use record::ReplicaMsg;
 pub use set::{LinkState, PrimaryNode, ReplicaConfig, ReplicaSet, SetStats, TickEvent};
-pub use sweep::{replica_sweep, ReplicaSweepOutcome};
+pub use sweep::{replica_sweep, replica_sweep_net, ReplicaSweepOutcome};
 pub use tailer::{TailSource, WalTailer};
 pub use transport::{ChannelTransport, FaultyTransport, LossMode, ReplicaTransport};

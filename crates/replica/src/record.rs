@@ -248,7 +248,7 @@ impl ReplicaMsg {
 }
 
 /// Escape arbitrary bytes into a single space-free ASCII token.
-fn esc_bytes(b: &[u8]) -> String {
+pub(crate) fn esc_bytes(b: &[u8]) -> String {
     if b.is_empty() {
         return "\\0".to_string();
     }
@@ -269,7 +269,7 @@ fn esc_bytes(b: &[u8]) -> String {
 }
 
 /// Inverse of [`esc_bytes`].
-fn unesc_bytes(tok: &str, what: &str) -> Result<Vec<u8>, ReplicaError> {
+pub(crate) fn unesc_bytes(tok: &str, what: &str) -> Result<Vec<u8>, ReplicaError> {
     if tok == "\\0" {
         return Ok(Vec::new());
     }

@@ -130,7 +130,27 @@ impl PrimaryNode {
         Ok(())
     }
 
-    fn fence(&mut self, epoch: u64) {
+    /// Runs the store's policy-gated checkpoint check — the periodic
+    /// driver behind `CheckpointPolicy::max_tail_age_ms`. A fenced
+    /// node's store is frozen, so the check is skipped (`Ok(None)`).
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::maybe_checkpoint`].
+    pub fn maybe_checkpoint(
+        &mut self,
+    ) -> Result<Option<mvolap_durable::CheckpointId>, ReplicaError> {
+        if self.fenced {
+            return Ok(None);
+        }
+        Ok(self.store.maybe_checkpoint()?)
+    }
+
+    /// Fences this node at `epoch`: every further write is refused with
+    /// [`ReplicaError::Fenced`]. The supervisor calls this on the
+    /// deposed primary at promotion; a [`crate::net::ReplicaServer`]
+    /// calls it when a request proves a newer primary exists.
+    pub fn fence(&mut self, epoch: u64) {
         self.fenced = true;
         self.epoch = epoch;
     }
@@ -595,6 +615,26 @@ impl<T: ReplicaTransport> ReplicaSet<T> {
             }
         }
         Ok(false)
+    }
+
+    /// Runs `rounds` supervision ticks spaced `interval_ms` apart on
+    /// `clock`, collecting every event. With a
+    /// [`crate::clock::SystemClock`] this is the deployment loop; with
+    /// a [`crate::clock::ManualClock`] it is instant and deterministic,
+    /// while store-side wall-clock policies sharing the clock still see
+    /// time pass between rounds.
+    pub fn run_ticks(
+        &mut self,
+        clock: &impl crate::clock::Clock,
+        interval_ms: u64,
+        rounds: u64,
+    ) -> Vec<TickEvent> {
+        let mut events = Vec::new();
+        for _ in 0..rounds {
+            events.extend(self.tick());
+            clock.sleep_ms(interval_ms);
+        }
+        events
     }
 
     /// Current epoch.

@@ -26,6 +26,14 @@
 //! A separate staged scenario forks two histories after a shared
 //! prefix and proves divergence is refused with a typed error on both
 //! sides of the protocol.
+//!
+//! The whole sweep is generic over how the transport is built
+//! (`TransportLab`): [`replica_sweep`] runs it over the in-process
+//! channel transport, [`replica_sweep_net`] over real TCP on loopback —
+//! a [`MsgRouter`] per run, with socket faults
+//! (dropped and stalled connections) injected by a
+//! [`FaultProxy`] sitting between the client
+//! and the router.
 
 use std::path::Path;
 
@@ -36,6 +44,7 @@ use mvolap_durable::{CheckpointPolicy, DurableTmd, FaultPlan, Io, Options, WalRe
 
 use crate::error::ReplicaError;
 use crate::follower::Follower;
+use crate::net::{FaultProxy, MsgRouter, NetAddr, NetConfig, ProxyFault, TcpTransport};
 use crate::record::ReplicaMsg;
 use crate::set::{LinkState, ReplicaConfig, ReplicaSet, TickEvent};
 use crate::tailer::WalTailer;
@@ -90,6 +99,149 @@ fn sweep_config() -> ReplicaConfig {
         heartbeat_miss_limit: 3,
         max_retries: 4,
         backoff_start: 1,
+    }
+}
+
+/// Builds the transports the sweep stages need. The sweep body is
+/// generic over this, so the identical invariants run over the
+/// in-process channel and over real sockets.
+trait TransportLab {
+    /// The transport this lab builds.
+    type T: ReplicaTransport;
+
+    /// A fault-free transport.
+    fn clean(&self) -> Result<Self::T, String>;
+
+    /// A transport suffering a short *loud* outage from step `j` that
+    /// then heals.
+    fn loud_outage(&self, j: u64, seed: u64) -> Result<Self::T, String>;
+
+    /// A transport permanently partitioned from step `j` on.
+    fn partition(&self, j: u64, seed: u64) -> Result<Self::T, String>;
+}
+
+/// The in-process lab: channel transports, faults injected by
+/// [`FaultyTransport`].
+struct ChannelLab;
+
+impl TransportLab for ChannelLab {
+    type T = FaultyTransport;
+
+    fn clean(&self) -> Result<FaultyTransport, String> {
+        // An outage of zero operations: the plan fires but nothing is
+        // ever faulted — behaviourally a plain channel transport.
+        Ok(FaultyTransport::new(
+            FaultPlan::crash_after(0, 0),
+            0,
+            LossMode::Error,
+        ))
+    }
+
+    fn loud_outage(&self, j: u64, seed: u64) -> Result<FaultyTransport, String> {
+        Ok(FaultyTransport::new(
+            FaultPlan::crash_after(j, seed),
+            3,
+            LossMode::Error,
+        ))
+    }
+
+    fn partition(&self, j: u64, seed: u64) -> Result<FaultyTransport, String> {
+        Ok(FaultyTransport::new(
+            FaultPlan::crash_after(j, seed),
+            u64::MAX,
+            LossMode::Silent,
+        ))
+    }
+}
+
+/// The loopback-TCP lab: every run gets its own [`MsgRouter`] on an
+/// ephemeral port, and faulted runs put a [`FaultProxy`] between the
+/// client and the router. A *loud* outage drops a few connections (the
+/// client sees resets and the supervisor retries through backoff); a
+/// partition stalls every connection past the client's read timeout,
+/// which is how a dead link actually presents over a socket.
+struct TcpLab {
+    read_timeout_ms: u64,
+    stall_ms: u64,
+}
+
+impl TcpLab {
+    fn cfg(&self) -> NetConfig {
+        NetConfig {
+            connect_timeout_ms: 2_000,
+            read_timeout_ms: self.read_timeout_ms,
+            write_timeout_ms: 2_000,
+            reconnect_attempts: 1,
+            backoff_start_ms: 1,
+        }
+    }
+
+    fn build(
+        &self,
+        fault: Option<(FaultPlan, u64, ProxyFault)>,
+    ) -> Result<NetSweepTransport, String> {
+        let router = MsgRouter::spawn(&NetAddr::Tcp("127.0.0.1:0".into()))
+            .map_err(|e| format!("sweep router spawn: {e}"))?;
+        let (proxy, addr) = match fault {
+            Some((plan, outage_len, kind)) => {
+                let p = FaultProxy::spawn(router.addr().clone(), plan, outage_len, kind)
+                    .map_err(|e| format!("sweep proxy spawn: {e}"))?;
+                let a = p.addr().clone();
+                (Some(p), a)
+            }
+            None => (None, router.addr().clone()),
+        };
+        Ok(NetSweepTransport {
+            inner: TcpTransport::connect(addr, self.cfg()),
+            _proxy: proxy,
+            _router: router,
+        })
+    }
+}
+
+impl TransportLab for TcpLab {
+    type T = NetSweepTransport;
+
+    fn clean(&self) -> Result<NetSweepTransport, String> {
+        self.build(None)
+    }
+
+    fn loud_outage(&self, j: u64, seed: u64) -> Result<NetSweepTransport, String> {
+        // Three dropped request frames: enough that the client's own
+        // bounded reconnect cannot absorb the outage alone, so the
+        // supervisor's retry/backoff path is exercised too.
+        self.build(Some((FaultPlan::crash_after(j, seed), 3, ProxyFault::Drop)))
+    }
+
+    fn partition(&self, j: u64, seed: u64) -> Result<NetSweepTransport, String> {
+        self.build(Some((
+            FaultPlan::crash_after(j, seed),
+            u64::MAX,
+            ProxyFault::Stall(self.stall_ms),
+        )))
+    }
+}
+
+/// A [`TcpTransport`] bundled with the loopback infrastructure that
+/// must outlive it; dropping it per run tears the sockets and threads
+/// down so a long sweep never accumulates them.
+struct NetSweepTransport {
+    inner: TcpTransport,
+    _proxy: Option<FaultProxy>,
+    _router: MsgRouter,
+}
+
+impl ReplicaTransport for NetSweepTransport {
+    fn send(&mut self, to: &str, msg: &ReplicaMsg) -> Result<(), crate::error::TransportError> {
+        self.inner.send(to, msg)
+    }
+
+    fn recv(&mut self, node: &str) -> Result<Option<ReplicaMsg>, crate::error::TransportError> {
+        self.inner.recv(node)
+    }
+
+    fn steps(&self) -> u64 {
+        self.inner.steps()
     }
 }
 
@@ -406,6 +558,41 @@ pub fn replica_sweep(
     seed: u64,
     target_records: usize,
 ) -> Result<ReplicaSweepOutcome, String> {
+    sweep_with(&ChannelLab, base_dir, seed, target_records)
+}
+
+/// [`replica_sweep`] over real TCP on loopback: every run ships its
+/// frames through a [`MsgRouter`] socket, and
+/// the transport-fault stage injects *socket* faults — dropped and
+/// stalled connections — through a
+/// [`FaultProxy`]. The invariants checked are
+/// identical to the in-process sweep's.
+///
+/// # Errors
+///
+/// A description of the first violated invariant — any `Err` is a
+/// replication (or socket-layer) bug.
+pub fn replica_sweep_net(
+    base_dir: &Path,
+    seed: u64,
+    target_records: usize,
+) -> Result<ReplicaSweepOutcome, String> {
+    let lab = TcpLab {
+        // Comfortably above a loopback round trip, comfortably below
+        // anyone's patience: a stalled connection must time out fast
+        // enough that exhausting the retry budget stays cheap.
+        read_timeout_ms: 50,
+        stall_ms: 150,
+    };
+    sweep_with(&lab, base_dir, seed, target_records)
+}
+
+fn sweep_with<L: TransportLab>(
+    lab: &L,
+    base_dir: &Path,
+    seed: u64,
+    target_records: usize,
+) -> Result<ReplicaSweepOutcome, String> {
     let workload = generate(seed, target_records);
 
     // Prefix states, exactly as in the durable crash sweep.
@@ -436,7 +623,7 @@ pub fn replica_sweep(
         &workload,
         Io::plain(),
         Io::plain(),
-        ChannelTransport::new(),
+        lab.clean()?,
         false,
     )?;
     let mut set = free.set.expect("fault-free run has a set");
@@ -513,14 +700,7 @@ pub fn replica_sweep(
         outcome.injection_points += 1;
         outcome.primary_crashes += 1;
         let io = Io::faulty(FaultPlan::crash_after(k, seed));
-        let run = run_replicated(
-            &a_dir,
-            &workload,
-            io,
-            Io::plain(),
-            ChannelTransport::new(),
-            false,
-        )?;
+        let run = run_replicated(&a_dir, &workload, io, Io::plain(), lab.clean()?, false)?;
         let Some(mut set) = run.set else {
             outcome.unpromotable += 1; // Crashed creating the primary.
             continue;
@@ -579,14 +759,7 @@ pub fn replica_sweep(
     for k in 0..follower_points {
         outcome.injection_points += 1;
         let io = Io::faulty(FaultPlan::crash_after(k, seed ^ 0x5EED_F011));
-        let run = run_replicated(
-            &b_dir,
-            &workload,
-            Io::plain(),
-            io,
-            ChannelTransport::new(),
-            true,
-        )?;
+        let run = run_replicated(&b_dir, &workload, Io::plain(), io, lab.clean()?, true)?;
         if run.follower_crashes == 0 {
             return Err(format!("follower crash point {k} never fired"));
         }
@@ -623,7 +796,7 @@ pub fn replica_sweep(
         if j % 2 == 0 {
             // Short loud outage: bounded backoff must heal the link and
             // the follower must reconverge exactly.
-            let t = FaultyTransport::new(FaultPlan::crash_after(j, seed), 3, LossMode::Error);
+            let t = lab.loud_outage(j, seed)?;
             let run = run_replicated(&c_dir, &workload, Io::plain(), Io::plain(), t, false)?;
             if run.primary_crashed || run.committed != workload.records as u64 {
                 return Err(format!("transport fault {j}: primary was disturbed"));
@@ -645,10 +818,9 @@ pub fn replica_sweep(
                 healed_runs += 1;
             }
         } else {
-            // Permanent silent partition: failover. The follower keeps
-            // its surviving prefix, the deposed primary is fenced.
-            let t =
-                FaultyTransport::new(FaultPlan::crash_after(j, seed), u64::MAX, LossMode::Silent);
+            // Permanent partition: failover. The follower keeps its
+            // surviving prefix, the deposed primary is fenced.
+            let t = lab.partition(j, seed)?;
             let run = run_replicated(&c_dir, &workload, Io::plain(), Io::plain(), t, false)?;
             if run.primary_crashed || run.committed != workload.records as u64 {
                 return Err(format!("transport fault {j}: primary was disturbed"));

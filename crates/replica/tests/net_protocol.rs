@@ -1,0 +1,224 @@
+//! Protocol fuzz table for the networked transport: every malformed or
+//! hostile exchange must surface as a *typed* [`ReplicaError`] — never
+//! a panic, never a hang (every socket carries a read timeout), never
+//! a silent success. One test per row:
+//!
+//! * truncated length prefix        → `Transport`
+//! * oversized length field         → `Protocol`
+//! * CRC-mismatched frame           → `Protocol`
+//! * mid-stream disconnect          → `Transport`
+//! * stale-epoch request            → fence reply / `Fenced`
+//! * undecodable message payload    → `Protocol` (server survives)
+//!
+//! Named `net_*` so CI's network job runs exactly this surface.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use mvolap_core::case_study;
+use mvolap_durable::checksum::crc32;
+use mvolap_durable::{frame, CheckpointPolicy, DurableTmd, Io, Options};
+use mvolap_replica::{
+    sync_follower, Follower, NetAddr, NetClient, NetConfig, PrimaryNode, ReplicaError, ReplicaMsg,
+    ReplicaServer, ServerConfig,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mvolap_netproto_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> Options {
+    Options {
+        segment_bytes: 2048,
+        policy: CheckpointPolicy::manual(),
+        prune_on_checkpoint: true,
+    }
+}
+
+/// Strict client config: tight read timeout, no reconnects — a
+/// misbehaving server must surface as an error on the first exchange.
+fn strict_cfg() -> NetConfig {
+    NetConfig {
+        connect_timeout_ms: 2_000,
+        read_timeout_ms: 500,
+        write_timeout_ms: 2_000,
+        reconnect_attempts: 0,
+        backoff_start_ms: 0,
+    }
+}
+
+fn hello() -> ReplicaMsg {
+    ReplicaMsg::Hello {
+        node: "probe".into(),
+        epoch: 0,
+        next_lsn: 1,
+        last_crc: 0,
+    }
+}
+
+/// A server that misbehaves on exactly one connection: accepts it,
+/// hands it to `abuse`, then exits.
+fn rogue_server(abuse: impl FnOnce(TcpStream) + Send + 'static) -> NetAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = NetAddr::Tcp(listener.local_addr().unwrap().to_string());
+    std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            abuse(stream);
+        }
+    });
+    addr
+}
+
+/// Reads and discards one whole frame so the client's request is fully
+/// consumed before the abuse starts.
+fn swallow_request(s: &mut TcpStream) {
+    let mut hdr = [0u8; frame::HEADER];
+    s.read_exact(&mut hdr).unwrap();
+    let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as usize;
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+}
+
+#[test]
+fn net_truncated_length_prefix_is_a_typed_transport_error() {
+    let addr = rogue_server(|mut s| {
+        swallow_request(&mut s);
+        // Half a header, then hang up.
+        s.write_all(&[0x2a, 0, 0, 0]).unwrap();
+    });
+    let mut client = NetClient::connect(addr, strict_cfg());
+    match client.request(&hello()) {
+        Err(ReplicaError::Transport(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+#[test]
+fn net_oversized_length_field_is_a_typed_protocol_error() {
+    let addr = rogue_server(|mut s| {
+        swallow_request(&mut s);
+        let huge = (frame::MAX_PAYLOAD as u32) + 1;
+        let mut hdr = huge.to_le_bytes().to_vec();
+        hdr.extend_from_slice(&0u32.to_le_bytes());
+        s.write_all(&hdr).unwrap();
+        // Keep the connection open: the client must refuse from the
+        // header alone, not wait for (or allocate) the claimed body.
+        std::thread::sleep(std::time::Duration::from_millis(1_500));
+    });
+    let mut client = NetClient::connect(addr, strict_cfg());
+    match client.request(&hello()) {
+        Err(ReplicaError::Protocol(m)) => assert!(m.contains("exceeds"), "{m}"),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn net_crc_mismatched_frame_is_a_typed_protocol_error() {
+    let addr = rogue_server(|mut s| {
+        swallow_request(&mut s);
+        let payload = b"batch 0";
+        let mut buf = (payload.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&(crc32(payload) ^ 0xDEAD_BEEF).to_le_bytes());
+        buf.extend_from_slice(payload);
+        s.write_all(&buf).unwrap();
+    });
+    let mut client = NetClient::connect(addr, strict_cfg());
+    match client.request(&hello()) {
+        Err(ReplicaError::Protocol(m)) => assert!(m.contains("checksum"), "{m}"),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn net_mid_stream_disconnect_is_a_typed_transport_error() {
+    let addr = rogue_server(|mut s| {
+        // Take the whole request, answer nothing, hang up.
+        swallow_request(&mut s);
+    });
+    let mut client = NetClient::connect(addr, strict_cfg());
+    match client.request(&hello()) {
+        Err(ReplicaError::Transport(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+/// A stale-epoch request against a real server is answered with
+/// nothing but `fence`, and a fenced server refuses everyone: the
+/// syncing client surfaces it as the typed [`ReplicaError::Fenced`].
+#[test]
+fn net_stale_epoch_request_is_fenced_at_the_protocol_layer() {
+    let base = tmp("stale");
+    let cs = case_study::case_study();
+    let store = DurableTmd::create_with(&base.join("p"), cs.tmd, opts(), Io::plain()).unwrap();
+    let primary = Arc::new(Mutex::new(PrimaryNode::from_store("primary", store, 3)));
+    let server = ReplicaServer::spawn(
+        &NetAddr::Tcp("127.0.0.1:0".into()),
+        primary,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.addr().clone(), strict_cfg());
+
+    // A stale ack (epoch 0 against a server at 3) plants nothing — the
+    // server answers only with its fence.
+    let reply = client
+        .request(&ReplicaMsg::Ack {
+            node: "old".into(),
+            epoch: 0,
+            next_lsn: 99,
+        })
+        .unwrap();
+    assert_eq!(reply, vec![ReplicaMsg::Fence { epoch: 3 }]);
+    assert_eq!(server.acked_lsn("old"), 0, "stale ack was not recorded");
+
+    // A newer-epoch fence deposes the server; syncing against it now
+    // surfaces the typed refusal.
+    client.request(&ReplicaMsg::Fence { epoch: 4 }).unwrap();
+    let mut f = Follower::create("f1", base.join("f"), opts(), Io::plain());
+    match sync_follower(&mut client, &mut f) {
+        Err(ReplicaError::Fenced { epoch }) => assert_eq!(epoch, 4),
+        other => panic!("expected Fenced, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A frame that passes the CRC but does not decode as a protocol
+/// message gets a typed `err` refusal — and the server survives to
+/// serve the next, well-formed client.
+#[test]
+fn net_undecodable_payload_is_refused_and_server_survives() {
+    let base = tmp("garbage");
+    let cs = case_study::case_study();
+    let store = DurableTmd::create_with(&base.join("p"), cs.tmd, opts(), Io::plain()).unwrap();
+    let primary = Arc::new(Mutex::new(PrimaryNode::from_store("primary", store, 0)));
+    let server = ReplicaServer::spawn(
+        &NetAddr::Tcp("127.0.0.1:0".into()),
+        primary,
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    let mut rogue = NetClient::connect(server.addr().clone(), strict_cfg());
+    let reply = rogue
+        .rpc(b"warp speed")
+        .expect("the refusal itself must be a clean frame");
+    let text = String::from_utf8(reply).unwrap();
+    assert!(text.starts_with("err "), "{text}");
+
+    // A fresh, well-formed client is served normally afterwards.
+    let mut client = NetClient::connect(server.addr().clone(), strict_cfg());
+    let replies = client.request(&hello()).unwrap();
+    assert!(
+        matches!(
+            replies.first(),
+            Some(ReplicaMsg::Heartbeat { epoch: 0, .. })
+        ),
+        "{replies:?}"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -7,8 +7,17 @@
 //! mvolap --workload 42          # seeded synthetic evolving workload
 //! mvolap --load FILE            # a schema saved with \save FILE
 //! mvolap --store DIR            # durable store: WAL + checkpoints in DIR
+//! mvolap --store DIR --serve ADDR    # serve the store to replicas
+//! mvolap --store DIR --follow ADDR   # tail a served store as a follower
 //! mvolap -c "SELECT sum(Amount) BY year, Org.Division IN MODE tcm"
 //! ```
+//!
+//! `ADDR` is `host:port` or `unix:/path/to.sock`. A serving primary
+//! answers hello/ack/fence requests over CRC-framed sockets and runs a
+//! real-clock loop that takes policy-gated checkpoints
+//! ([`CheckpointPolicy::max_tail_age`]); a follower syncs continuously
+//! and exits non-zero the moment it is fenced or diverged. Both stop
+//! cleanly on `quit` or EOF on stdin.
 //!
 //! Inside the REPL, lines are queries (see `mvolap-query` for the
 //! grammar) or backslash commands — `\h` lists them. With `--store`,
@@ -17,12 +26,18 @@
 //! checkpoint; reopening the same directory recovers the schema.
 
 use std::io::{BufRead, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mvolap::core::case_study::{case_study, case_study_two_measures};
 use mvolap::core::{ConfidenceWeights, DimensionId, MemberVersionId, Tmd};
 use mvolap::cube::mode_qualities;
-use mvolap::durable::{DurableError, DurableTmd, WalRecord};
+use mvolap::durable::{CheckpointPolicy, DurableError, DurableTmd, Io, Options, WalRecord};
 use mvolap::query::{parse, run_compare, run_with_versions, ModeSpec, QueryError};
+use mvolap::replica::{
+    sync_follower, Clock as _, Follower, NetAddr, NetClient, NetConfig, PrimaryNode, ReplicaError,
+    ReplicaServer, ServerConfig, SystemClock,
+};
 use mvolap::temporal::Instant;
 use mvolap::workload::{generate, WorkloadConfig};
 
@@ -67,6 +82,8 @@ fn main() {
     let mut schema: Option<Tmd> = None;
     let mut one_shot: Option<String> = None;
     let mut store_dir: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut follow_addr: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,16 +123,47 @@ fn main() {
                         .unwrap_or_else(|| die("-c requires a query string")),
                 );
             }
+            "--serve" => {
+                i += 1;
+                serve_addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--serve requires an address")),
+                );
+            }
+            "--follow" => {
+                i += 1;
+                follow_addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--follow requires an address")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mvolap [--two-measures | --workload SEED | --load FILE] \
-                     [--store DIR] [-c QUERY]"
+                     [--store DIR] [--serve ADDR | --follow ADDR] [-c QUERY]\n\
+                     ADDR is host:port or unix:/path/to.sock; both roles need --store DIR"
                 );
                 return;
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
         }
         i += 1;
+    }
+
+    if serve_addr.is_some() && follow_addr.is_some() {
+        die("--serve and --follow are mutually exclusive");
+    }
+    if let Some(addr) = serve_addr {
+        let dir = store_dir.unwrap_or_else(|| die("--serve requires --store DIR"));
+        let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
+        serve(&addr, &dir, schema);
+    }
+    if let Some(addr) = follow_addr {
+        let dir = store_dir.unwrap_or_else(|| die("--follow requires --store DIR"));
+        let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
+        follow(&addr, &dir);
     }
 
     // An existing store wins over --load/--workload (those only seed a
@@ -186,6 +234,131 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("mvolap: {msg}");
     std::process::exit(1)
+}
+
+/// How long the serving primary lets the WAL tail age before the
+/// real-clock loop takes a checkpoint.
+const SERVE_TAIL_AGE_MS: u64 = 30_000;
+
+/// Opens (or seeds) the store in `dir` under a time-based checkpoint
+/// policy, serves it on `addr`, and runs the real-clock checkpoint loop
+/// until `quit` or EOF arrives on stdin.
+fn serve(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
+    let path = std::path::PathBuf::from(dir);
+    let opts = Options {
+        policy: CheckpointPolicy::max_tail_age(SERVE_TAIL_AGE_MS),
+        ..Options::default()
+    };
+    let store = match DurableTmd::open_with(&path, opts.clone(), Io::plain()) {
+        Ok(store) => store,
+        Err(DurableError::NoStore) => {
+            let seed = schema.unwrap_or_else(|| case_study().tmd);
+            DurableTmd::create_with(&path, seed, opts, Io::plain())
+                .unwrap_or_else(|e| die(&format!("cannot create store: {e}")))
+        }
+        Err(e) => die(&format!("cannot open store at {dir}: {e}")),
+    };
+    let next_lsn = store.wal_position();
+    let primary = Arc::new(Mutex::new(PrimaryNode::from_store("primary", store, 0)));
+    let mut server = ReplicaServer::spawn(addr, Arc::clone(&primary), ServerConfig::default())
+        .unwrap_or_else(|e| die(&format!("cannot serve on {addr}: {e}")));
+    println!(
+        "mvolap — serving store `{dir}` on {} (epoch 0, next LSN {next_lsn}). \
+         `quit` or EOF stops.",
+        server.addr()
+    );
+    std::io::stdout().flush().ok();
+
+    // Real-clock loop: the policy decides, the clock only paces it. A
+    // fenced primary's store is frozen, so the check is a no-op then.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker = {
+        let stop = Arc::clone(&stop);
+        let primary = Arc::clone(&primary);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                SystemClock.sleep_ms(250);
+                let mut p = primary.lock().unwrap_or_else(|e| e.into_inner());
+                match p.maybe_checkpoint() {
+                    Ok(Some(id)) => println!(
+                        "checkpoint at generation {}, next LSN {}",
+                        id.generation, id.next_lsn
+                    ),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("checkpoint error: {e}"),
+                }
+            }
+        })
+    };
+
+    let stdin = std::io::stdin();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    ticker.join().ok();
+    server.stop();
+    println!("mvolap: server on {addr} stopped");
+    std::process::exit(0)
+}
+
+/// Tails a served store into the follower at `dir`, printing progress,
+/// until stdin closes (clean exit) or the server fences or refuses the
+/// follower as diverged (exit 1 — the operator must intervene).
+fn follow(addr: &NetAddr, dir: &str) -> ! {
+    let mut f = Follower::open("follower", dir, Options::default(), Io::plain())
+        .unwrap_or_else(|e| die(&format!("cannot open follower store at {dir}: {e}")));
+    let mut client = NetClient::connect(addr.clone(), NetConfig::default());
+    println!("mvolap — following {addr} into store `{dir}`. `quit` or EOF stops.");
+    std::io::stdout().flush().ok();
+
+    // Watch stdin off-thread so the sync loop keeps its own cadence.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            loop {
+                let mut line = String::new();
+                match stdin.lock().read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) if line.trim() == "quit" => break,
+                    Ok(_) => {}
+                }
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+    }
+
+    let mut announced = false;
+    while !stop.load(Ordering::SeqCst) {
+        match sync_follower(&mut client, &mut f) {
+            Ok(round) => {
+                if round.caught_up() && !announced {
+                    println!("caught up at LSN {}", f.next_lsn());
+                    std::io::stdout().flush().ok();
+                    announced = true;
+                } else if !round.caught_up() {
+                    announced = false;
+                }
+            }
+            Err(e @ (ReplicaError::Fenced { .. } | ReplicaError::Diverged { .. })) => {
+                die(&format!("follower refused: {e}"))
+            }
+            Err(e) => {
+                eprintln!("sync error (will retry): {e}");
+                announced = false;
+            }
+        }
+        SystemClock.sleep_ms(500);
+    }
+    println!("mvolap: follower of {addr} stopped at LSN {}", f.next_lsn());
+    std::process::exit(0)
 }
 
 /// Executes a backslash command; returns false to quit.
