@@ -1,0 +1,173 @@
+//! Session-server throughput: queries/second and commits/second at one
+//! versus N concurrent sessions against a live TCP loopback
+//! [`SessionServer`], plus the fsyncs-per-commit ratio that group
+//! commit buys.
+//!
+//! Each iteration spawns the session threads fresh (connect, run OPS
+//! requests, disconnect) so the measurement covers the full session
+//! lifecycle a real client pays. Expected shape: read throughput
+//! scales with sessions until the executor saturates; commit
+//! throughput scales *super*-linearly per-fsync because concurrent
+//! committers coalesce into shared batches — the N-session run should
+//! show strictly fewer fsyncs per commit than the single-session run.
+//! Emits `BENCH_server.json` at the workspace root.
+
+use mvolap_bench::harness::{BenchmarkId, Criterion, Throughput};
+use mvolap_core::case_study;
+use mvolap_durable::{DurableTmd, FactRow, GroupCommit, GroupConfig, Io, Options, WalRecord};
+use mvolap_replica::{NetAddr, NetConfig};
+use mvolap_server::{ServerOptions, SessionClient, SessionServer};
+use mvolap_temporal::Instant;
+
+/// Requests each session issues per iteration.
+const OPS: usize = 8;
+/// Session count for the concurrent variants.
+const SESSIONS: usize = 4;
+
+const QUERY: &str = "SELECT sum(Amount) BY year, Org.Division FOR 2001..2003 IN MODE tcm";
+
+/// One fact batch aimed at a case-study leaf — the smallest real
+/// journaled write.
+fn fact(leaf: mvolap_core::MemberVersionId, i: usize) -> WalRecord {
+    WalRecord::FactBatch {
+        rows: vec![FactRow {
+            coords: vec![leaf],
+            at: Instant::ym(2003, 1 + (i % 12) as u32),
+            values: vec![i as f64],
+        }],
+    }
+}
+
+/// Runs `sessions` client threads, each issuing `OPS` requests built
+/// by `op`, and joins them — one benchmark iteration.
+fn run_sessions(
+    addr: &NetAddr,
+    sessions: usize,
+    op: impl Fn(&mut SessionClient, usize) + Send + Copy + 'static,
+) {
+    let handles: Vec<_> = (0..sessions)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = SessionClient::connect(addr, NetConfig::default());
+                for i in 0..OPS {
+                    op(&mut client, i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+}
+
+fn bench_queries(c: &mut Criterion, addr: &NetAddr, sessions: usize) {
+    let mut group = c.benchmark_group("server/queries");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((sessions * OPS) as u64));
+    group.bench_with_input(BenchmarkId::new("sessions", sessions), addr, |b, addr| {
+        b.iter(|| {
+            run_sessions(addr, sessions, |client, _| {
+                client.query(QUERY).expect("query");
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_commits(
+    c: &mut Criterion,
+    addr: &NetAddr,
+    leaf: mvolap_core::MemberVersionId,
+    sessions: usize,
+) {
+    let mut group = c.benchmark_group("server/commits");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((sessions * OPS) as u64));
+    group.bench_with_input(BenchmarkId::new("sessions", sessions), addr, |b, addr| {
+        b.iter(|| {
+            run_sessions(addr, sessions, move |client, i| {
+                client.commit(&fact(leaf, i)).expect("commit");
+            });
+        })
+    });
+    group.finish();
+}
+
+/// Fsyncs-per-commit over a benchmark run, from the journal counters.
+fn fsync_ratio(group: &GroupCommit, before: (u64, u64)) -> f64 {
+    let commits = group.wal_position() - before.1;
+    if commits == 0 {
+        return 0.0;
+    }
+    (group.fsyncs() - before.0) as f64 / commits as f64
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("mvolap_bench_srv_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let cs = case_study::case_study();
+    let leaf = cs.bill;
+    let store =
+        DurableTmd::create_with(&base, cs.tmd, Options::default(), Io::plain()).expect("store");
+    let group = GroupCommit::new(store, GroupConfig::default());
+    let server = SessionServer::spawn(
+        &NetAddr::parse("127.0.0.1:0").expect("addr"),
+        group,
+        ServerOptions::default(),
+    )
+    .expect("server");
+    let group = server.group();
+    let addr = server.addr().clone();
+
+    let mut c = Criterion::from_env();
+    bench_queries(&mut c, &addr, 1);
+    bench_queries(&mut c, &addr, SESSIONS);
+
+    let mark = (group.fsyncs(), group.wal_position());
+    bench_commits(&mut c, &addr, leaf, 1);
+    let fsyncs_per_commit_1 = fsync_ratio(&group, mark);
+    let mark = (group.fsyncs(), group.wal_position());
+    bench_commits(&mut c, &addr, leaf, SESSIONS);
+    let fsyncs_per_commit_n = fsync_ratio(&group, mark);
+    c.final_summary();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Median ns per iteration -> requests per second for that variant.
+    let per_sec = |needle: &str, sessions: usize| {
+        c.results()
+            .iter()
+            .find(|r| r.name.contains(needle))
+            .map(|r| (sessions * OPS) as f64 * 1e9 / r.median_ns)
+            .unwrap_or(0.0)
+    };
+    let q1 = per_sec("queries/sessions/1", 1);
+    let qn = per_sec(&format!("queries/sessions/{SESSIONS}"), SESSIONS);
+    let c1 = per_sec("commits/sessions/1", 1);
+    let cn = per_sec(&format!("commits/sessions/{SESSIONS}"), SESSIONS);
+    eprintln!(
+        "queries/s: {q1:.0} (1 session) -> {qn:.0} ({SESSIONS} sessions); \
+         commits/s: {c1:.0} -> {cn:.0}; \
+         fsyncs/commit: {fsyncs_per_commit_1:.2} -> {fsyncs_per_commit_n:.2}"
+    );
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"sessions\": {SESSIONS},\n  \
+         \"ops_per_session\": {OPS},\n  \
+         \"queries_per_sec_1\": {q1:.1},\n  \"queries_per_sec_n\": {qn:.1},\n  \
+         \"commits_per_sec_1\": {c1:.1},\n  \"commits_per_sec_n\": {cn:.1},\n  \
+         \"fsyncs_per_commit_1\": {fsyncs_per_commit_1:.3},\n  \
+         \"fsyncs_per_commit_n\": {fsyncs_per_commit_n:.3},\n  \"results\": {}\n}}\n",
+        c.to_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    drop(server);
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -302,7 +302,7 @@ impl EvolutionOutcome {
 
 /// Specification of one part created by a [`split`]: its name and the
 /// per-measure mapping in each direction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitPart {
     /// Name of the new member.
     pub name: String,
@@ -325,7 +325,7 @@ impl SplitPart {
 }
 
 /// Specification of one source consumed by a [`merge`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MergeSource {
     /// The member version being merged away.
     pub id: MemberVersionId,

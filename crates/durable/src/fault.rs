@@ -410,6 +410,68 @@ fn serialise(tmd: &Tmd) -> Vec<u8> {
     buf
 }
 
+/// Runs `workload` with the group-commit building blocks: records are
+/// appended unsynced and a shared fsync lands after every `sync_every`
+/// records (checkpoints also make everything applied durable). Returns
+/// `(committed, attempted, ops)` — records durably acknowledged by a
+/// completed sync, records applied (possibly awaiting one), and the
+/// primitive count when the run finished fault-free.
+fn run_workload_batched(
+    dir: &Path,
+    workload: &Workload,
+    io: Io,
+    sync_every: u64,
+) -> Result<(u64, u64, Option<u64>), String> {
+    std::fs::remove_dir_all(dir).ok();
+    let mut store =
+        match DurableTmd::create_with(dir, workload.seed_schema.clone(), sweep_options(), io) {
+            Ok(s) => s,
+            Err(e) if e.is_io_class() => return Ok((0, 0, None)),
+            Err(e) => return Err(format!("create failed non-faultily: {e}")),
+        };
+    let mut committed = 0u64;
+    let mut attempted = 0u64;
+    let mut unsynced = 0u64;
+    for step in &workload.steps {
+        match step {
+            Step::Op(record) => match store.apply_unsynced(record.clone()) {
+                Ok(_) => {
+                    attempted += 1;
+                    unsynced += 1;
+                    if unsynced >= sync_every {
+                        match store.sync_wal() {
+                            Ok(_) => {
+                                committed = attempted;
+                                unsynced = 0;
+                            }
+                            Err(e) if e.is_io_class() => return Ok((committed, attempted, None)),
+                            Err(e) => return Err(format!("sync failed non-faultily: {e}")),
+                        }
+                    }
+                }
+                Err(e) if e.is_io_class() => return Ok((committed, attempted, None)),
+                Err(e) => return Err(format!("workload step failed non-faultily: {e}")),
+            },
+            Step::Checkpoint => match store.checkpoint() {
+                Ok(_) => {
+                    // The snapshot durably contains every applied
+                    // record, synced or not.
+                    committed = attempted;
+                    unsynced = 0;
+                }
+                Err(e) if e.is_io_class() => return Ok((committed, attempted, None)),
+                Err(e) => return Err(format!("checkpoint failed non-faultily: {e}")),
+            },
+        }
+    }
+    match store.sync_wal() {
+        Ok(_) => committed = attempted,
+        Err(e) if e.is_io_class() => return Ok((committed, attempted, None)),
+        Err(e) => return Err(format!("final sync failed non-faultily: {e}")),
+    }
+    Ok((committed, attempted, Some(store.io_ops())))
+}
+
 /// Fingerprints the answer a schema gives to the reference aggregate
 /// query (per-year, per-division totals in consistent-time mode).
 fn query_fingerprint(tmd: &Tmd, org: DimensionId) -> Result<Vec<String>, String> {
@@ -523,6 +585,124 @@ pub fn crash_sweep(
                 }
                 // The recovered store must answer queries exactly like
                 // the in-memory prefix replay.
+                let expect = query_fingerprint(&prefix_tmds[q], workload.org)?;
+                let actual = query_fingerprint(store.schema(), workload.org)?;
+                if expect != actual {
+                    return Err(format!(
+                        "crash {k}: recovered store answers differently at prefix {q}"
+                    ));
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&crash_dir).ok();
+    std::fs::remove_dir_all(&free_dir).ok();
+    Ok(outcome)
+}
+
+/// [`crash_sweep`] for the **group-commit path**: the workload runs
+/// through [`DurableTmd::apply_unsynced`] with a shared fsync every
+/// `sync_every` records, and recovery is checked against the wider
+/// acknowledgement window batching implies — the recovered schema must
+/// equal prefix state `q` for some `committed ≤ q ≤ attempted + 1`,
+/// where `committed` counts only records covered by a completed sync
+/// (or checkpoint) and `attempted` counts records applied. Unsynced
+/// records are unacknowledged, so recovery surfacing any prefix of
+/// them is legitimate; losing a synced record or inventing state that
+/// was never applied is not.
+///
+/// # Errors
+///
+/// A description of the first violated invariant — any `Err` is a
+/// durability bug (or genuine on-disk corruption).
+pub fn group_crash_sweep(
+    base_dir: &Path,
+    seed: u64,
+    target_records: usize,
+    sync_every: u64,
+) -> Result<SweepOutcome, String> {
+    let workload = generate(seed, target_records);
+
+    let mut prefix_bytes = Vec::with_capacity(workload.records + 1);
+    let mut prefix_tmds = Vec::with_capacity(workload.records + 1);
+    let mut state = workload.seed_schema.clone();
+    prefix_bytes.push(serialise(&state));
+    prefix_tmds.push(state.clone());
+    for step in &workload.steps {
+        if let Step::Op(record) = step {
+            record
+                .apply(&mut state)
+                .map_err(|e| format!("prefix replay failed: {e}"))?;
+            prefix_bytes.push(serialise(&state));
+            prefix_tmds.push(state.clone());
+        }
+    }
+
+    // Fault-free run: establishes the crash-point count and proves the
+    // batched path commits everything.
+    let free_dir = base_dir.join("fault-free");
+    let (committed, attempted, ops) =
+        run_workload_batched(&free_dir, &workload, Io::plain(), sync_every)?;
+    let total_ops = ops.ok_or_else(|| "fault-free run reported a fault".to_owned())?;
+    if committed != workload.records as u64 || attempted != committed {
+        return Err(format!(
+            "fault-free batched run committed {committed}/{} records",
+            workload.records
+        ));
+    }
+    let reopened = DurableTmd::open(&free_dir).map_err(|e| format!("clean reopen failed: {e}"))?;
+    if serialise(reopened.schema()) != prefix_bytes[workload.records] {
+        return Err("clean batched reopen diverged from the applied sequence".to_owned());
+    }
+
+    let mut outcome = SweepOutcome {
+        crash_points: total_ops,
+        records: workload.records,
+        ..SweepOutcome::default()
+    };
+
+    let crash_dir = base_dir.join("crash");
+    for k in 0..total_ops {
+        let io = Io::faulty(FaultPlan::crash_after(k, seed));
+        let (committed, attempted, finished) =
+            run_workload_batched(&crash_dir, &workload, io, sync_every)?;
+        if finished.is_some() {
+            return Err(format!("crash point {k} never fired (T={total_ops})"));
+        }
+        match DurableTmd::open(&crash_dir) {
+            Err(DurableError::NoStore) => {
+                if committed != 0 {
+                    return Err(format!(
+                        "crash {k}: {committed} committed records but recovery found no store"
+                    ));
+                }
+                outcome.recovered_empty += 1;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "crash {k}: recovery failed ({committed} committed): {e}"
+                ))
+            }
+            Ok(store) => {
+                let got = serialise(store.schema());
+                let committed = committed as usize;
+                // `attempted + 1` slack: the crash may have hit the
+                // write of the next record after a complete frame
+                // reached the disk, exactly as in the classic sweep.
+                let hi = (attempted as usize + 1).min(workload.records);
+                let q = (committed..=hi)
+                    .find(|&q| prefix_bytes.get(q) == Some(&got))
+                    .ok_or_else(|| {
+                        format!(
+                            "crash {k}: recovered state is not an applied prefix \
+                             ({committed} committed, {attempted} attempted)"
+                        )
+                    })?;
+                if q == committed {
+                    outcome.recovered_at_committed += 1;
+                } else {
+                    outcome.recovered_ahead += 1;
+                }
                 let expect = query_fingerprint(&prefix_tmds[q], workload.org)?;
                 let actual = query_fingerprint(store.schema(), workload.org)?;
                 if expect != actual {

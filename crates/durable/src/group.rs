@@ -1,0 +1,395 @@
+//! Group commit: concurrent committers share fsyncs.
+//!
+//! [`DurableTmd::apply`] fsyncs once per record — correct, but a server
+//! with many concurrent writers would pay one disk flush per commit.
+//! [`GroupCommit`] wraps a store behind a shareable handle and batches:
+//! each committer appends its record unsynced (under the store lock),
+//! then the first committer to reach the sync gate becomes the **sync
+//! leader**. The leader holds the batch open for at most `hold_ms`
+//! (measured against a [`TimeSource`], so tests drive it with a manual
+//! timeline), letting late arrivals append, then performs a **single**
+//! fsync covering every record appended so far and wakes all waiters.
+//!
+//! The durability contract is unchanged: [`GroupCommit::commit`] only
+//! returns `Ok` once the record's fsync completed, so an acknowledged
+//! commit survives a crash. Records appended but not yet synced sit in
+//! the same window as a classic WAL's unacknowledged tail — recovery
+//! may surface any prefix of them (see the batched crash sweep in
+//! [`crate::fault`]).
+//!
+//! A failed sync poisons the underlying store; the failure is sticky
+//! and reported to every committer waiting on that batch and to all
+//! later commits, exactly like [`DurableTmd`]'s own poisoning.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+use crate::clock::TimeSource;
+use crate::error::DurableError;
+use crate::record::WalRecord;
+use crate::store::DurableTmd;
+
+/// Tuning for [`GroupCommit`].
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// Maximum time the sync leader holds a batch open for joiners, in
+    /// milliseconds of `time`. `0` syncs immediately (batching then
+    /// only happens when commits pile up behind an in-flight sync).
+    pub hold_ms: u64,
+    /// Timeline the hold window is measured against. With a manual
+    /// source the window only closes when the harness advances the
+    /// counter past it — deterministic batching for tests.
+    pub time: TimeSource,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            hold_ms: 2,
+            time: TimeSource::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SyncState {
+    /// Every record with `lsn < synced_lsn` is durable on disk.
+    synced_lsn: u64,
+    /// Whether some committer currently owns the sync gate.
+    leader: bool,
+    /// Sticky failure: a sync failed and poisoned the store.
+    failed: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    store: RwLock<DurableTmd>,
+    sync: Mutex<SyncState>,
+    arrivals: Condvar,
+    cfg: GroupConfig,
+}
+
+/// A shareable group-commit handle over a [`DurableTmd`]. Clones share
+/// the store; every clone may commit, query and checkpoint
+/// concurrently.
+#[derive(Debug, Clone)]
+pub struct GroupCommit {
+    inner: Arc<Inner>,
+}
+
+/// Locks a mutex, ignoring std's panic-poisoning: the protected state
+/// is kept consistent by construction (the store has its own logical
+/// poisoning), and a server must keep serving after a worker panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl GroupCommit {
+    /// Wraps `store` for concurrent group-committed use.
+    pub fn new(store: DurableTmd, cfg: GroupConfig) -> GroupCommit {
+        let synced_lsn = store.wal_position();
+        GroupCommit {
+            inner: Arc::new(Inner {
+                store: RwLock::new(store),
+                sync: Mutex::new(SyncState {
+                    synced_lsn,
+                    leader: false,
+                    failed: false,
+                }),
+                arrivals: Condvar::new(),
+                cfg,
+            }),
+        }
+    }
+
+    /// Commits one record: validate + journal (unsynced) + apply under
+    /// the store lock, then wait until a shared fsync covers it. `Ok`
+    /// means the record is durable.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Core`] when the record is invalid (nothing
+    /// journaled); I/O-class errors when journaling or the covering
+    /// sync failed (the store is then poisoned).
+    pub fn commit(&self, record: WalRecord) -> Result<u64, DurableError> {
+        let lsn = write_lock(&self.inner.store).apply_unsynced(record)?;
+        self.await_sync(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Waits until `lsn` is covered by a durable sync, becoming the
+    /// sync leader if nobody else is.
+    fn await_sync(&self, lsn: u64) -> Result<(), DurableError> {
+        let mut st = lock(&self.inner.sync);
+        loop {
+            if st.synced_lsn > lsn {
+                return Ok(());
+            }
+            if st.failed {
+                return Err(DurableError::Poisoned);
+            }
+            if st.leader {
+                // Somebody else will sync past us (or fail); wait for
+                // the verdict. The timeout is a liveness backstop, not
+                // a correctness device — the loop re-checks state.
+                st = self
+                    .inner
+                    .arrivals
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+                continue;
+            }
+            st.leader = true;
+            st = self.hold_window(st);
+            drop(st);
+            // Single fsync for everything appended so far. Taking the
+            // store lock serialises against in-flight appends: anything
+            // appended before we acquire it rides this sync.
+            let synced = write_lock(&self.inner.store).sync_wal();
+            let mut st = lock(&self.inner.sync);
+            st.leader = false;
+            match synced {
+                Ok(pos) => {
+                    st.synced_lsn = st.synced_lsn.max(pos);
+                    self.inner.arrivals.notify_all();
+                    return Ok(());
+                }
+                Err(e) => {
+                    st.failed = true;
+                    self.inner.arrivals.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Leader-side hold: keep the batch open until `hold_ms` of the
+    /// configured timeline elapsed, releasing the sync lock while
+    /// waiting so joiners can enqueue.
+    fn hold_window<'a>(&'a self, mut st: MutexGuard<'a, SyncState>) -> MutexGuard<'a, SyncState> {
+        if self.inner.cfg.hold_ms == 0 {
+            return st;
+        }
+        let deadline = self.inner.cfg.time.now_ms() + self.inner.cfg.hold_ms;
+        while self.inner.cfg.time.now_ms() < deadline {
+            // Short real-time slices: under a System source this sums
+            // to ~hold_ms; under a Manual source it polls until the
+            // harness advances the counter past the deadline.
+            st = self
+                .inner
+                .arrivals
+                .wait_timeout(st, Duration::from_millis(1))
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        st
+    }
+
+    /// Forces a sync now (no hold window): everything appended so far
+    /// becomes durable. Shutdown calls this.
+    ///
+    /// # Errors
+    ///
+    /// I/O-class failures (the store poisons itself).
+    pub fn flush(&self) -> Result<u64, DurableError> {
+        let synced = write_lock(&self.inner.store).sync_wal();
+        let mut st = lock(&self.inner.sync);
+        match synced {
+            Ok(pos) => {
+                st.synced_lsn = st.synced_lsn.max(pos);
+                self.inner.arrivals.notify_all();
+                Ok(pos)
+            }
+            Err(e) => {
+                st.failed = true;
+                self.inner.arrivals.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs `f` with shared read access to the store (queries,
+    /// replication taps) — readers run concurrently with each other
+    /// and only block while a commit holds the write lock. Writes must
+    /// go through [`GroupCommit::commit`] or
+    /// [`GroupCommit::with_store_mut`].
+    pub fn with_store<R>(&self, f: impl FnOnce(&DurableTmd) -> R) -> R {
+        f(&read_lock(&self.inner.store))
+    }
+
+    /// Runs `f` with exclusive access to the store — checkpoint drivers
+    /// and other maintenance that needs `&mut DurableTmd`. Do not
+    /// append unsynced records here; their acknowledgement protocol
+    /// lives in [`GroupCommit::commit`].
+    pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut DurableTmd) -> R) -> R {
+        f(&mut write_lock(&self.inner.store))
+    }
+
+    /// The LSN the next committed record will receive.
+    pub fn wal_position(&self) -> u64 {
+        read_lock(&self.inner.store).wal_position()
+    }
+
+    /// First LSN **not** yet covered by a durable sync.
+    pub fn synced_lsn(&self) -> u64 {
+        lock(&self.inner.sync).synced_lsn
+    }
+
+    /// Number of file fsyncs the underlying store performed — the
+    /// batching assertion hook (see [`crate::io::Io::fsyncs`]).
+    pub fn fsyncs(&self) -> u64 {
+        read_lock(&self.inner.store).io_fsyncs()
+    }
+
+    /// Unwraps the handle back into the store when this is the last
+    /// clone; returns `Err(self)` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// The handle itself, when other clones are still alive.
+    pub fn try_into_store(self) -> Result<DurableTmd, GroupCommit> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner
+                .store
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)),
+            Err(inner) => Err(GroupCommit { inner }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FactRow;
+    use crate::store::Options;
+    use mvolap_core::{MeasureDef, MemberVersionSpec, TemporalDimension, Tmd};
+    use mvolap_temporal::{Granularity, Instant, Interval};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mvolap_group_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn seed() -> (Tmd, mvolap_core::MemberVersionId) {
+        let mut tmd = Tmd::new("group", Granularity::Month);
+        let mut d = TemporalDimension::new("Org");
+        let leaf = d.add_version(
+            MemberVersionSpec::named("Leaf").at_level("Department"),
+            Interval::since(Instant::ym(2001, 1)),
+        );
+        tmd.add_dimension(d).unwrap();
+        tmd.add_measure(MeasureDef::summed("Amount")).unwrap();
+        (tmd, leaf)
+    }
+
+    #[test]
+    fn concurrent_commits_share_fsyncs_and_survive_reopen() {
+        let dir = tmp("share");
+        let (tmd, leaf) = seed();
+        let store = DurableTmd::create_with(
+            &dir,
+            tmd,
+            Options {
+                policy: crate::store::CheckpointPolicy::manual(),
+                ..Options::default()
+            },
+            crate::io::Io::plain(),
+        )
+        .unwrap();
+        let time = TimeSource::manual(0);
+        let g = GroupCommit::new(
+            store,
+            GroupConfig {
+                hold_ms: 40,
+                time: time.clone(),
+            },
+        );
+        let before = g.fsyncs();
+        let base = g.wal_position();
+
+        let committers = 8;
+        let mut handles = Vec::new();
+        for i in 0..committers {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                g.commit(WalRecord::FactBatch {
+                    rows: vec![FactRow {
+                        coords: vec![leaf],
+                        at: Instant::ym(2001, 2),
+                        values: vec![i as f64],
+                    }],
+                })
+                .unwrap()
+            }));
+        }
+        // Wait until every committer appended, then close the hold
+        // window on the manual timeline: one fsync covers all eight.
+        while g.wal_position() < base + committers {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        time.advance(1_000);
+        let lsns: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut sorted = lsns.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (base..base + committers).collect::<Vec<_>>());
+
+        let spent = g.fsyncs() - before;
+        assert!(
+            spent < committers,
+            "8 commits should share fsyncs, spent {spent}"
+        );
+        assert!(g.synced_lsn() > sorted[sorted.len() - 1]);
+
+        drop(g);
+        let reopened = DurableTmd::open(&dir).unwrap();
+        assert_eq!(reopened.wal_position(), base + committers);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_sync_is_sticky_for_later_commits() {
+        let dir = tmp("sticky");
+        let (tmd, leaf) = seed();
+        let store =
+            DurableTmd::create_with(&dir, tmd, Options::default(), crate::io::Io::plain()).unwrap();
+        // Re-open with a plan that crashes on the fsync of the first
+        // group sync: the append (write) succeeds, the sync fails.
+        drop(store);
+        let store =
+            DurableTmd::open_with(&dir, Options::default(), crate::store::faulty_io(1, 7)).unwrap();
+        let g = GroupCommit::new(
+            store,
+            GroupConfig {
+                hold_ms: 0,
+                time: TimeSource::default(),
+            },
+        );
+        let rec = WalRecord::FactBatch {
+            rows: vec![FactRow {
+                coords: vec![leaf],
+                at: Instant::ym(2001, 2),
+                values: vec![1.0],
+            }],
+        };
+        let err = g.commit(rec.clone()).unwrap_err();
+        assert!(err.is_io_class(), "expected an I/O-class failure: {err}");
+        // Sticky: the next commit is refused as poisoned.
+        match g.commit(rec) {
+            Err(DurableError::Poisoned) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

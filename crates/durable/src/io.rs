@@ -64,6 +64,7 @@ impl FaultPlan {
 pub struct Io {
     fault: Option<FaultPlan>,
     ops: u64,
+    fsyncs: u64,
 }
 
 impl Io {
@@ -77,12 +78,21 @@ impl Io {
         Io {
             fault: Some(plan),
             ops: 0,
+            fsyncs: 0,
         }
     }
 
     /// Number of I/O primitives performed (or attempted) so far.
     pub fn ops(&self) -> u64 {
         self.ops
+    }
+
+    /// Number of file `fsync`s performed (or attempted) so far —
+    /// directory syncs are not counted. This is the group-commit
+    /// assertion hook: a batch of N commits sharing one sync moves this
+    /// counter by 1, not N.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Counts one primitive; `Err` means the crash point fired.
@@ -115,6 +125,7 @@ impl Io {
 
     /// `fsync` on a file.
     pub fn sync(&mut self, file: &File) -> Result<(), DurableError> {
+        self.fsyncs += 1;
         self.tick("fsync")?;
         file.sync_all()?;
         Ok(())

@@ -34,6 +34,7 @@ pub mod clock;
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod group;
 pub mod io;
 pub mod record;
 pub mod store;
@@ -42,7 +43,8 @@ pub mod wal;
 pub use checkpoint::CheckpointId;
 pub use clock::TimeSource;
 pub use error::DurableError;
-pub use fault::{crash_sweep, generate, Step, SweepOutcome, Workload};
+pub use fault::{crash_sweep, generate, group_crash_sweep, Step, SweepOutcome, Workload};
+pub use group::{GroupCommit, GroupConfig};
 pub use io::{FaultPlan, Io};
 pub use record::{FactRow, WalRecord};
 pub use store::{CheckpointPolicy, DurableTmd, Options};

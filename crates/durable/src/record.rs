@@ -39,7 +39,7 @@ pub struct FactRow {
 }
 
 /// A logical write-ahead-log record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// Store bootstrap: the seed schema, serialised with
     /// `core::persist::write_tmd`. Always the first record of a fresh

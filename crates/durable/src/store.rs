@@ -375,6 +375,12 @@ impl DurableTmd {
         self.io.ops()
     }
 
+    /// Number of file fsyncs performed so far — the assertion hook for
+    /// group-commit tests ("N concurrent commits, ≤ k fsyncs").
+    pub fn io_fsyncs(&self) -> u64 {
+        self.io.fsyncs()
+    }
+
     /// Whether an earlier fault poisoned this handle.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
@@ -390,9 +396,17 @@ impl DurableTmd {
 
     /// Journals `record`; poisons the store when the append fails after
     /// validation (the in-memory state may then diverge from disk).
-    fn journal(&mut self, record: &WalRecord) -> Result<u64, DurableError> {
+    /// With `sync` false the record is appended but not fsynced — the
+    /// group-commit path, which batches many appends under one later
+    /// [`DurableTmd::sync_wal`].
+    fn journal(&mut self, record: &WalRecord, sync: bool) -> Result<u64, DurableError> {
         let payload = record.encode();
-        match self.wal.append(&payload, &mut self.io) {
+        let appended = if sync {
+            self.wal.append(&payload, &mut self.io)
+        } else {
+            self.wal.append_unsynced(&payload, &mut self.io)
+        };
+        match appended {
             Ok(lsn) => {
                 self.bytes_since_ckpt += (payload.len() + crate::frame::HEADER) as u64;
                 if self.tail_since_ms.is_none() {
@@ -462,6 +476,45 @@ impl DurableTmd {
     /// current schema (nothing journaled, store stays usable); I/O-class
     /// errors when journaling fails (store poisons itself).
     pub fn apply(&mut self, record: WalRecord) -> Result<u64, DurableError> {
+        self.apply_inner(record, true)
+    }
+
+    /// [`DurableTmd::apply`] without the per-record fsync: the record is
+    /// validated, journaled (unsynced) and applied, but it is **not
+    /// durable** — and must not be acknowledged to a client — until a
+    /// later [`DurableTmd::sync_wal`] (or checkpoint) covers it. This is
+    /// the group-commit building block; see
+    /// [`GroupCommit`](crate::group::GroupCommit) for the concurrent
+    /// wrapper that batches the fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::apply`].
+    pub fn apply_unsynced(&mut self, record: WalRecord) -> Result<u64, DurableError> {
+        self.apply_inner(record, false)
+    }
+
+    /// Fsyncs the WAL's active segment, making every record appended by
+    /// [`DurableTmd::apply_unsynced`] durable. Returns the WAL position
+    /// (LSN of the next future record): everything below it is now on
+    /// disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O-class failures (the store poisons itself — unacknowledged
+    /// records may or may not have reached the platter).
+    pub fn sync_wal(&mut self) -> Result<u64, DurableError> {
+        self.usable()?;
+        match self.wal.sync(&mut self.io) {
+            Ok(()) => Ok(self.wal.next_lsn()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_inner(&mut self, record: WalRecord, sync: bool) -> Result<u64, DurableError> {
         self.usable()?;
         match record {
             WalRecord::Bootstrap { .. } => Err(DurableError::corrupt(
@@ -470,7 +523,7 @@ impl DurableTmd {
             WalRecord::FactBatch { ref rows } => {
                 // Hot path: read-only pre-validation instead of a clone.
                 WalRecord::validate_facts(&self.tmd, rows)?;
-                let lsn = self.journal(&record)?;
+                let lsn = self.journal(&record, sync)?;
                 let WalRecord::FactBatch { rows } = record else {
                     unreachable!()
                 };
@@ -487,7 +540,7 @@ impl DurableTmd {
                 // fail, so the WAL holds exactly the committed ops.
                 let mut next = self.tmd.clone();
                 record.apply(&mut next)?;
-                let lsn = self.journal(&record)?;
+                let lsn = self.journal(&record, sync)?;
                 self.tmd = next;
                 self.after_commit()?;
                 Ok(lsn)

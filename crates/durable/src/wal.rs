@@ -305,16 +305,40 @@ impl Wal {
     /// I/O (or injected-fault) failures; the record is only durable when
     /// `Ok` is returned.
     pub fn append(&mut self, payload: &[u8], io: &mut Io) -> Result<u64, DurableError> {
+        let lsn = self.append_unsynced(payload, io)?;
+        self.sync(io)?;
+        Ok(lsn)
+    }
+
+    /// Appends one record payload **without** fsyncing it, returning its
+    /// LSN. The record is not durable until a later [`Wal::sync`];
+    /// rotation still performs its own syncs, so records that land in a
+    /// completed segment become durable when the segment is sealed.
+    /// Group commit builds on this split: many appends, one sync.
+    ///
+    /// # Errors
+    ///
+    /// I/O (or injected-fault) failures.
+    pub fn append_unsynced(&mut self, payload: &[u8], io: &mut Io) -> Result<u64, DurableError> {
         if self.active_len >= self.segment_bytes {
             self.rotate(io)?;
         }
         let framed = frame::encode(payload);
         io.write(&mut self.active, &framed)?;
-        io.sync(&self.active)?;
         self.active_len += framed.len() as u64;
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         Ok(lsn)
+    }
+
+    /// Fsyncs the active segment, making every record appended so far
+    /// durable — the second half of [`Wal::append_unsynced`].
+    ///
+    /// # Errors
+    ///
+    /// I/O (or injected-fault) failures.
+    pub fn sync(&mut self, io: &mut Io) -> Result<(), DurableError> {
+        io.sync(&self.active)
     }
 
     fn rotate(&mut self, io: &mut Io) -> Result<(), DurableError> {

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 
 use mvolap_core::case_study;
 use mvolap_core::persist::write_tmd;
-use mvolap_durable::{crash_sweep, DurableError, DurableTmd, FactRow};
+use mvolap_durable::{crash_sweep, group_crash_sweep, DurableError, DurableTmd, FactRow};
 use mvolap_temporal::Instant;
 
 fn tmp(name: &str) -> PathBuf {
@@ -62,6 +62,31 @@ fn crash_sweep_holds_under_a_different_seed() {
     let dir = tmp("sweep2");
     let outcome = crash_sweep(&dir, 42, 60).expect("sweep invariant violated");
     assert!(outcome.crash_points >= 120);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The group-commit path (unsynced appends, one shared fsync per
+/// batch) recovers prefix-consistently at every crash point too: a
+/// crash may drop any suffix of the unacknowledged batch, never a
+/// synced record, never a half-applied one.
+#[test]
+fn group_commit_crash_sweep_recovers_a_prefix_at_every_point() {
+    let dir = tmp("group_sweep");
+    let outcome = group_crash_sweep(&dir, 0xBA7C_4ED0, 90, 4).expect("sweep invariant violated");
+    assert!(
+        outcome.crash_points >= 120,
+        "need >= 120 crash points, workload produced {}",
+        outcome.crash_points
+    );
+    assert_eq!(outcome.records, 90);
+    assert!(
+        outcome.recovered_at_committed > 0 && outcome.recovered_ahead > 0,
+        "degenerate sweep: {outcome:?}"
+    );
+    assert_eq!(
+        outcome.recovered_empty + outcome.recovered_at_committed + outcome.recovered_ahead,
+        outcome.crash_points
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -207,6 +207,15 @@ pub struct ModeResult {
     pub quality: f64,
 }
 
+/// True when `input` parses as an `IN ALL MODES` query, i.e. the
+/// comparison path ([`run_compare`] / [`run_compare_par`]) applies
+/// rather than the single-mode runners. Unparseable input is `false` —
+/// the single-mode runner will surface the parse error.
+#[must_use]
+pub fn is_all_modes(input: &str) -> bool {
+    matches!(parse(input), Ok(ast) if matches!(ast.mode, ModeSpec::AllModes { .. }))
+}
+
 /// Executes an `IN ALL MODES` query: the body is evaluated once per
 /// temporal mode (tcm first, then each structure version), each scored
 /// with the quality factor so the user "can choose his best version

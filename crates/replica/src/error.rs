@@ -99,6 +99,20 @@ impl From<TransportError> for ReplicaError {
 }
 
 impl ReplicaError {
+    /// Classifies an OS-level socket error as a transport failure:
+    /// timeouts and would-blocks mean the link is down (retry may
+    /// succeed), anything else means the message was lost.
+    #[must_use]
+    pub fn from_io(e: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                ReplicaError::Transport(TransportError::Down)
+            }
+            _ => ReplicaError::Transport(TransportError::Lost),
+        }
+    }
+
     pub(crate) fn protocol(m: impl Into<String>) -> Self {
         ReplicaError::Protocol(m.into())
     }

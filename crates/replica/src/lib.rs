@@ -62,10 +62,11 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{ReplicaError, TransportError};
 pub use follower::Follower;
 pub use net::{
-    sync_follower, FaultProxy, MsgRouter, NetAddr, NetClient, NetConfig, ProxyFault, ReplicaServer,
-    ServerConfig, SyncRound, TcpTransport,
+    accept_loop, read_frame, stop_listener, sync_follower, write_frame, FaultProxy, MsgRouter,
+    NetAddr, NetClient, NetConfig, NetListener, NetStream, ProxyFault, ReplicaServer, ServerConfig,
+    SyncRound, TcpTransport,
 };
-pub use record::ReplicaMsg;
+pub use record::{esc_bytes, unesc_bytes, ReplicaMsg};
 pub use set::{LinkState, PrimaryNode, ReplicaConfig, ReplicaSet, SetStats, TickEvent};
 pub use sweep::{replica_sweep, replica_sweep_net, ReplicaSweepOutcome};
 pub use tailer::{TailSource, WalTailer};

@@ -127,10 +127,14 @@ impl Default for NetConfig {
 
 // -------------------------------------------------------------- stream
 
-/// One connected socket, TCP or unix, with uniform Read/Write.
+/// One connected socket, TCP or unix, with uniform Read/Write. Public
+/// so higher-level servers (the session front-end in `mvolap-server`)
+/// can reuse [`accept_loop`] and the framing helpers.
 #[derive(Debug)]
-enum NetStream {
+pub enum NetStream {
+    /// A TCP connection.
     Tcp(TcpStream),
+    /// A unix-domain connection.
     #[cfg(unix)]
     Unix(UnixStream),
 }
@@ -216,7 +220,7 @@ impl std::io::Write for NetStream {
 
 /// A bound listener over either socket family.
 #[derive(Debug)]
-struct NetListener {
+pub struct NetListener {
     addr: NetAddr,
     inner: ListenerInner,
 }
@@ -233,7 +237,7 @@ impl NetListener {
     /// shutdown request is honoured within one poll interval even when
     /// the listener can no longer be reached (e.g. a unix socket file
     /// already unlinked).
-    fn bind(addr: &NetAddr) -> std::io::Result<NetListener> {
+    pub fn bind(addr: &NetAddr) -> std::io::Result<NetListener> {
         match addr {
             NetAddr::Tcp(a) => {
                 let l = TcpListener::bind(a)?;
@@ -258,9 +262,15 @@ impl NetListener {
         }
     }
 
+    /// The address actually bound — for TCP with port 0 this carries
+    /// the kernel-assigned port.
+    pub fn local_addr(&self) -> &NetAddr {
+        &self.addr
+    }
+
     /// One non-blocking accept attempt; the accepted stream is switched
     /// back to blocking (its timeouts govern it from here).
-    fn try_accept(&self) -> std::io::Result<Option<NetStream>> {
+    pub fn try_accept(&self) -> std::io::Result<Option<NetStream>> {
         let res = match &self.inner {
             ListenerInner::Tcp(l) => l.accept().map(|(s, _)| NetStream::Tcp(s)),
             #[cfg(unix)]
@@ -283,17 +293,16 @@ impl NetListener {
 /// retries on: a timeout is `Down` (the peer may be alive but slow), a
 /// reset or EOF is `Lost`.
 fn io_err(e: &std::io::Error) -> ReplicaError {
-    use std::io::ErrorKind;
-    match e.kind() {
-        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
-            ReplicaError::Transport(TransportError::Down)
-        }
-        _ => ReplicaError::Transport(TransportError::Lost),
-    }
+    ReplicaError::from_io(e)
 }
 
 /// Writes one CRC frame.
-fn write_frame(s: &mut NetStream, payload: &[u8]) -> Result<(), ReplicaError> {
+///
+/// # Errors
+///
+/// [`ReplicaError::Protocol`] on an oversized payload,
+/// [`ReplicaError::Transport`] on socket failure.
+pub fn write_frame(s: &mut NetStream, payload: &[u8]) -> Result<(), ReplicaError> {
     if payload.len() > frame::MAX_PAYLOAD {
         return Err(ReplicaError::Protocol(format!(
             "frame payload of {} bytes exceeds the {} cap",
@@ -311,7 +320,11 @@ fn write_frame(s: &mut NetStream, payload: &[u8]) -> Result<(), ReplicaError> {
 /// oversized length field or checksum mismatch is
 /// [`ReplicaError::Protocol`] — never a panic, never an unbounded
 /// allocation, never an indefinite hang (given a read timeout).
-fn read_frame(s: &mut NetStream) -> Result<Vec<u8>, ReplicaError> {
+///
+/// # Errors
+///
+/// As described above.
+pub fn read_frame(s: &mut NetStream) -> Result<Vec<u8>, ReplicaError> {
     let mut hdr = [0u8; frame::HEADER];
     s.read_exact(&mut hdr).map_err(|e| io_err(&e))?;
     let len = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes")) as usize;
@@ -400,7 +413,7 @@ fn parse_reply(payload: &[u8]) -> Result<Vec<ReplicaMsg>, ReplicaError> {
 /// connection (timeouts applied) to `serve` on its own thread. Polling
 /// — not blocking — accept keeps shutdown bounded even when the
 /// listener can no longer be woken by a connection.
-fn accept_loop<F>(
+pub fn accept_loop<F>(
     listener: &NetListener,
     flag: &AtomicBool,
     read_timeout_ms: u64,
@@ -552,7 +565,7 @@ impl Drop for MsgRouter {
 
 /// Sets the shutdown flag and joins the (polling) accept loop, which
 /// notices the flag within one poll interval.
-fn stop_listener(shutdown: &AtomicBool, accept: &mut Option<std::thread::JoinHandle<()>>) {
+pub fn stop_listener(shutdown: &AtomicBool, accept: &mut Option<std::thread::JoinHandle<()>>) {
     if shutdown.swap(true, Ordering::SeqCst) {
         return;
     }

@@ -247,8 +247,10 @@ impl ReplicaMsg {
     }
 }
 
-/// Escape arbitrary bytes into a single space-free ASCII token.
-pub(crate) fn esc_bytes(b: &[u8]) -> String {
+/// Escape arbitrary bytes into a single space-free ASCII token — the
+/// wire grammar's token encoding, shared by the replication protocol
+/// and the session server's request grammar.
+pub fn esc_bytes(b: &[u8]) -> String {
     if b.is_empty() {
         return "\\0".to_string();
     }
@@ -268,8 +270,12 @@ pub(crate) fn esc_bytes(b: &[u8]) -> String {
     out
 }
 
-/// Inverse of [`esc_bytes`].
-pub(crate) fn unesc_bytes(tok: &str, what: &str) -> Result<Vec<u8>, ReplicaError> {
+/// Inverse of [`esc_bytes`]; `what` names the token in error messages.
+///
+/// # Errors
+///
+/// [`ReplicaError::Protocol`] on a malformed escape sequence.
+pub fn unesc_bytes(tok: &str, what: &str) -> Result<Vec<u8>, ReplicaError> {
     if tok == "\\0" {
         return Ok(Vec::new());
     }

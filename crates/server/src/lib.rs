@@ -1,0 +1,59 @@
+//! # mvolap-server — concurrent session server
+//!
+//! Serves the temporal multidimensional warehouse to many clients at
+//! once over the replication stack's transport (TCP or unix sockets,
+//! CRC-framed messages):
+//!
+//! - **Sessions.** One worker thread per connection, speaking the
+//!   typed request/reply grammar in [`proto`]: `query`, `read`,
+//!   `commit`, `ping`.
+//! - **Admission control.** At most `max_sessions` sessions run
+//!   concurrently and at most `max_queued` wait; the next client gets
+//!   a typed [`ServerError::Busy`] refusal instead of an unbounded
+//!   queue.
+//! - **Group commit.** Writes go through
+//!   [`mvolap_durable::GroupCommit`]: concurrent committers append
+//!   unsynced and share a single fsync per batch, so N sessions
+//!   committing together cost ~1 flush, not N — without weakening the
+//!   durability contract (a reply arrives only after the covering
+//!   sync).
+//! - **Read routing.** `read` requests carry an explicit staleness
+//!   bound (`min_lsn`); a server with an attached
+//!   [`mvolap_replica::Follower`] serves them from the replica when it
+//!   is fresh enough and refuses with a typed
+//!   [`ServerError::TooStale`] when it is behind — the client chooses
+//!   between retrying on the primary or relaxing its bound.
+//!
+//! ```no_run
+//! use mvolap_durable::{DurableTmd, GroupCommit, GroupConfig};
+//! use mvolap_replica::{NetAddr, NetConfig};
+//! use mvolap_server::{ServerOptions, SessionClient, SessionServer};
+//!
+//! let cs = mvolap_core::case_study::case_study();
+//! let store = DurableTmd::create(std::path::Path::new("warehouse"), cs.tmd).unwrap();
+//! let group = GroupCommit::new(store, GroupConfig::default());
+//! let server = SessionServer::spawn(
+//!     &NetAddr::parse("127.0.0.1:0").unwrap(),
+//!     group,
+//!     ServerOptions::default(),
+//! )
+//! .unwrap();
+//!
+//! let mut client = SessionClient::connect(server.addr().clone(), NetConfig::default());
+//! let table = client
+//!     .query("SELECT sum(Amount) BY year, Org.Division FOR 2001..2002 IN MODE tcm")
+//!     .unwrap();
+//! println!("{table}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::SessionClient;
+pub use proto::{
+    decode_reply, decode_request, encode_reply, encode_request, Reply, Request, ServerError,
+};
+pub use server::{ServerOptions, SessionServer};

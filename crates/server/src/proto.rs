@@ -1,0 +1,349 @@
+//! Session wire protocol: requests and replies, one CRC frame each.
+//!
+//! The grammar reuses the replication transport's building blocks — a
+//! length-prefixed CRC-32 frame per message ([`mvolap_replica::read_frame`]
+//! / [`mvolap_replica::write_frame`]) whose payload is a line of
+//! space-separated tokens, every variable-length field escaped with
+//! [`mvolap_replica::esc_bytes`] so tokens never contain separators.
+//!
+//! Requests:
+//!
+//! ```text
+//! query  <esc(text)>              run a query on the primary
+//! read   <min_lsn> <esc(text)>    run a read-only query, follower-ok,
+//!                                 requiring LSNs 1..=min_lsn applied
+//! commit <esc(walrecord-bytes)>   group-commit one journal record
+//! ping                            liveness probe
+//! ```
+//!
+//! Replies:
+//!
+//! ```text
+//! ok <esc(payload)>               rendered query result / "pong"
+//! lsn <u64>                       commit durable at this LSN
+//! err busy <active> <queued>      admission refused (typed Busy)
+//! err stale <required> <applied>  follower behind the staleness bound
+//! err query <esc(msg)>            query failed (parse/plan/exec)
+//! err commit <esc(msg)>           commit rejected or store poisoned
+//! err proto <esc(msg)>            malformed request
+//! err shutdown                    server is stopping
+//! ```
+
+use std::fmt;
+
+use mvolap_durable::WalRecord;
+use mvolap_replica::{esc_bytes, unesc_bytes, ReplicaError};
+
+/// One client request, a single frame on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run `text` against the primary's current schema.
+    Query(String),
+    /// Run `text` read-only; a follower may serve it **iff** it has
+    /// applied every LSN up to and including `min_lsn` (`0` accepts
+    /// any staleness). A server without a follower serves it from the
+    /// primary, which is never stale.
+    Read {
+        /// Highest LSN the reader requires to be applied.
+        min_lsn: u64,
+        /// The query text.
+        text: String,
+    },
+    /// Journal one record through the group-commit path.
+    Commit(WalRecord),
+    /// Liveness probe; the server answers `ok pong`.
+    Ping,
+}
+
+/// One server reply, a single frame on the wire.
+#[derive(Debug, PartialEq)]
+pub enum Reply {
+    /// Rendered query result (or `pong`).
+    Result(String),
+    /// The commit is durable at this LSN.
+    Lsn(u64),
+    /// A typed refusal or failure.
+    Err(ServerError),
+}
+
+/// Everything that can go wrong between a session client and server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Admission control refused the session: `active` sessions are
+    /// being served and `queued` more already wait.
+    Busy {
+        /// Sessions currently being served.
+        active: usize,
+        /// Sessions waiting for a slot.
+        queued: usize,
+    },
+    /// A follower read was refused: the reader required LSNs through
+    /// `required` applied, but the follower has only applied through
+    /// `applied`.
+    TooStale {
+        /// The reader's staleness bound (highest LSN required).
+        required: u64,
+        /// Highest LSN the follower has applied.
+        applied: u64,
+    },
+    /// The query failed to parse, plan or execute.
+    Query(String),
+    /// The commit was rejected (validation) or failed (I/O; the store
+    /// is then poisoned and later commits fail too).
+    Commit(String),
+    /// The peer violated the wire grammar.
+    Protocol(String),
+    /// Client-local transport failure (connect/read/write); never
+    /// travels on the wire.
+    Transport(ReplicaError),
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl PartialEq for ServerError {
+    fn eq(&self, other: &ServerError) -> bool {
+        use ServerError::*;
+        match (self, other) {
+            (
+                Busy {
+                    active: a,
+                    queued: q,
+                },
+                Busy {
+                    active: a2,
+                    queued: q2,
+                },
+            ) => a == a2 && q == q2,
+            (
+                TooStale {
+                    required: r,
+                    applied: a,
+                },
+                TooStale {
+                    required: r2,
+                    applied: a2,
+                },
+            ) => r == r2 && a == a2,
+            (Query(m), Query(m2)) | (Commit(m), Commit(m2)) | (Protocol(m), Protocol(m2)) => {
+                m == m2
+            }
+            // Transport wraps a non-comparable error chain; fall back
+            // to the rendered message.
+            (Transport(e), Transport(e2)) => e.to_string() == e2.to_string(),
+            (Shutdown, Shutdown) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Busy { active, queued } => {
+                write!(f, "server busy: {active} active sessions, {queued} queued")
+            }
+            ServerError::TooStale { required, applied } => write!(
+                f,
+                "follower too stale: reader requires LSN {required} applied, follower is at {applied}"
+            ),
+            ServerError::Query(m) => write!(f, "query failed: {m}"),
+            ServerError::Commit(m) => write!(f, "commit failed: {m}"),
+            ServerError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServerError::Transport(e) => write!(f, "transport: {e}"),
+            ServerError::Shutdown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ReplicaError> for ServerError {
+    fn from(e: ReplicaError) -> Self {
+        ServerError::Transport(e)
+    }
+}
+
+fn proto_err(msg: impl Into<String>) -> ServerError {
+    ServerError::Protocol(msg.into())
+}
+
+fn text_token(tok: &str, what: &str) -> Result<String, ServerError> {
+    let bytes = unesc_bytes(tok, what).map_err(|e| proto_err(e.to_string()))?;
+    String::from_utf8(bytes).map_err(|_| proto_err(format!("{what}: not UTF-8")))
+}
+
+fn u64_token(tok: &str, what: &str) -> Result<u64, ServerError> {
+    tok.parse()
+        .map_err(|_| proto_err(format!("{what}: bad integer {tok:?}")))
+}
+
+fn usize_token(tok: &str, what: &str) -> Result<usize, ServerError> {
+    tok.parse()
+        .map_err(|_| proto_err(format!("{what}: bad integer {tok:?}")))
+}
+
+/// Serialises a request into a frame payload.
+#[must_use]
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Query(text) => format!("query {}", esc_bytes(text.as_bytes())),
+        Request::Read { min_lsn, text } => {
+            format!("read {min_lsn} {}", esc_bytes(text.as_bytes()))
+        }
+        Request::Commit(record) => format!("commit {}", esc_bytes(&record.encode())),
+        Request::Ping => "ping".to_string(),
+    }
+    .into_bytes()
+}
+
+/// Parses a frame payload into a request.
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] on any grammar violation — unknown verb,
+/// wrong token count, bad escape, non-UTF-8 query text or an
+/// undecodable journal record.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ServerError> {
+    let line = std::str::from_utf8(payload).map_err(|_| proto_err("request: not UTF-8"))?;
+    let toks: Vec<&str> = line.split(' ').collect();
+    match toks.as_slice() {
+        ["query", text] => Ok(Request::Query(text_token(text, "query text")?)),
+        ["read", min_lsn, text] => Ok(Request::Read {
+            min_lsn: u64_token(min_lsn, "read min_lsn")?,
+            text: text_token(text, "read text")?,
+        }),
+        ["commit", rec] => {
+            let bytes = unesc_bytes(rec, "commit record").map_err(|e| proto_err(e.to_string()))?;
+            let record =
+                WalRecord::decode(&bytes).map_err(|e| proto_err(format!("commit record: {e}")))?;
+            Ok(Request::Commit(record))
+        }
+        ["ping"] => Ok(Request::Ping),
+        _ => Err(proto_err(format!("unknown request {line:?}"))),
+    }
+}
+
+/// Serialises a reply into a frame payload. [`ServerError::Transport`]
+/// is client-local; encoding it degrades to `err proto`.
+#[must_use]
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    match reply {
+        Reply::Result(text) => format!("ok {}", esc_bytes(text.as_bytes())),
+        Reply::Lsn(lsn) => format!("lsn {lsn}"),
+        Reply::Err(e) => match e {
+            ServerError::Busy { active, queued } => format!("err busy {active} {queued}"),
+            ServerError::TooStale { required, applied } => {
+                format!("err stale {required} {applied}")
+            }
+            ServerError::Query(m) => format!("err query {}", esc_bytes(m.as_bytes())),
+            ServerError::Commit(m) => format!("err commit {}", esc_bytes(m.as_bytes())),
+            ServerError::Protocol(m) => format!("err proto {}", esc_bytes(m.as_bytes())),
+            ServerError::Transport(e) => {
+                format!("err proto {}", esc_bytes(e.to_string().as_bytes()))
+            }
+            ServerError::Shutdown => "err shutdown".to_string(),
+        },
+    }
+    .into_bytes()
+}
+
+/// Parses a frame payload into a reply.
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] when the payload violates the grammar.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, ServerError> {
+    let line = std::str::from_utf8(payload).map_err(|_| proto_err("reply: not UTF-8"))?;
+    let toks: Vec<&str> = line.split(' ').collect();
+    match toks.as_slice() {
+        ["ok", text] => Ok(Reply::Result(text_token(text, "ok payload")?)),
+        ["lsn", lsn] => Ok(Reply::Lsn(u64_token(lsn, "lsn")?)),
+        ["err", "busy", active, queued] => Ok(Reply::Err(ServerError::Busy {
+            active: usize_token(active, "busy active")?,
+            queued: usize_token(queued, "busy queued")?,
+        })),
+        ["err", "stale", required, applied] => Ok(Reply::Err(ServerError::TooStale {
+            required: u64_token(required, "stale required")?,
+            applied: u64_token(applied, "stale applied")?,
+        })),
+        ["err", "query", m] => Ok(Reply::Err(ServerError::Query(text_token(m, "query msg")?))),
+        ["err", "commit", m] => Ok(Reply::Err(ServerError::Commit(text_token(
+            m,
+            "commit msg",
+        )?))),
+        ["err", "proto", m] => Ok(Reply::Err(ServerError::Protocol(text_token(
+            m,
+            "proto msg",
+        )?))),
+        ["err", "shutdown"] => Ok(Reply::Err(ServerError::Shutdown)),
+        _ => Err(proto_err(format!("unknown reply {line:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvolap_durable::FactRow;
+    use mvolap_temporal::Instant;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Query("SELECT sum(Amount) BY year IN MODE tcm".to_string()),
+            Request::Read {
+                min_lsn: 42,
+                text: "SELECT sum(Amount) BY year IN ALL MODES".to_string(),
+            },
+            Request::Commit(WalRecord::FactBatch {
+                rows: vec![FactRow {
+                    coords: vec![mvolap_core::MemberVersionId(3)],
+                    at: Instant::ym(2003, 7),
+                    values: vec![12.5],
+                }],
+            }),
+            Request::Ping,
+        ];
+        for req in reqs {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            Reply::Result("a table\nwith lines\t& bytes".to_string()),
+            Reply::Result(String::new()),
+            Reply::Lsn(7),
+            Reply::Err(ServerError::Busy {
+                active: 4,
+                queued: 2,
+            }),
+            Reply::Err(ServerError::TooStale {
+                required: 9,
+                applied: 3,
+            }),
+            Reply::Err(ServerError::Query("no such level".to_string())),
+            Reply::Err(ServerError::Commit("store poisoned".to_string())),
+            Reply::Err(ServerError::Protocol("bad frame".to_string())),
+            Reply::Err(ServerError::Shutdown),
+        ];
+        for reply in replies {
+            let bytes = encode_reply(&reply);
+            assert_eq!(decode_reply(&bytes).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_typed_protocol_error() {
+        assert!(matches!(
+            decode_request(b"drop tables"),
+            Err(ServerError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_request(&[0xFF, 0xFE]),
+            Err(ServerError::Protocol(_))
+        ));
+        assert!(matches!(decode_reply(b"ok"), Err(ServerError::Protocol(_))));
+    }
+}

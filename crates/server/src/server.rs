@@ -1,0 +1,417 @@
+//! The session server: admission gate, per-connection workers, request
+//! dispatch through the group-committed store and an optional read
+//! follower.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mvolap_core::{ExecContext, QueryMemo, Tmd};
+use mvolap_durable::{DurableError, GroupCommit};
+use mvolap_query::{run_compare_par, run_with_versions_par};
+use mvolap_replica::{
+    accept_loop, read_frame, stop_listener, write_frame, Follower, NetAddr, NetListener, NetStream,
+    ReplicaMsg,
+};
+
+use crate::proto::{self, Reply, Request, ServerError};
+
+/// Tuning for [`SessionServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Sessions served concurrently; the `max_sessions + 1`st waits.
+    pub max_sessions: usize,
+    /// Sessions allowed to wait for a slot; one more is refused with a
+    /// typed [`ServerError::Busy`].
+    pub max_queued: usize,
+    /// Per-connection socket read timeout (an idle session is dropped
+    /// after this long without a request).
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout.
+    pub write_timeout_ms: u64,
+    /// Worker threads per query execution (morsel parallelism).
+    pub exec_threads: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_sessions: 8,
+            max_queued: 8,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            exec_threads: 2,
+        }
+    }
+}
+
+/// Locks a mutex, ignoring std's panic-poisoning: a server must keep
+/// serving other sessions after one worker panics.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+struct GateState {
+    active: usize,
+    queued: usize,
+}
+
+/// Bounded admission: at most `max_sessions` served at once, at most
+/// `max_queued` waiting; everyone else is refused immediately.
+#[derive(Debug)]
+struct Gate {
+    state: Mutex<GateState>,
+    changed: Condvar,
+    max_sessions: usize,
+    max_queued: usize,
+}
+
+impl Gate {
+    fn new(max_sessions: usize, max_queued: usize) -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                active: 0,
+                queued: 0,
+            }),
+            changed: Condvar::new(),
+            max_sessions: max_sessions.max(1),
+            max_queued,
+        }
+    }
+
+    /// Waits for a session slot, or refuses with `Busy` when the queue
+    /// is full (or `Shutdown` when the server stops while waiting).
+    fn admit(self: &Arc<Gate>, shutdown: &AtomicBool) -> Result<GatePermit, ServerError> {
+        let mut st = lock(&self.state);
+        if st.active >= self.max_sessions && st.queued >= self.max_queued {
+            return Err(ServerError::Busy {
+                active: st.active,
+                queued: st.queued,
+            });
+        }
+        st.queued += 1;
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                st.queued -= 1;
+                return Err(ServerError::Shutdown);
+            }
+            if st.active < self.max_sessions {
+                st.queued -= 1;
+                st.active += 1;
+                return Ok(GatePermit {
+                    gate: Arc::clone(self),
+                });
+            }
+            // Timeout slices keep the wait responsive to shutdown even
+            // if a notification is missed.
+            st = self
+                .changed
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// RAII session slot: dropping it (normal end, disconnect, panic
+/// unwind) frees the slot and wakes a queued session.
+struct GatePermit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        let mut st = lock(&self.gate.state);
+        st.active = st.active.saturating_sub(1);
+        self.gate.changed.notify_all();
+    }
+}
+
+/// Everything a connection worker needs, shared across sessions.
+struct SessionCtx {
+    commit: GroupCommit,
+    follower: Option<Arc<Mutex<Follower>>>,
+    gate: Arc<Gate>,
+    shutdown: Arc<AtomicBool>,
+    exec: ExecContext,
+    memo: Arc<QueryMemo>,
+}
+
+/// A concurrent session server over a group-committed store.
+///
+/// Mirrors the replication server's lifecycle: `spawn` binds a
+/// [`NetAddr`] and starts a nonblocking accept loop (one worker thread
+/// per connection), [`SessionServer::stop`] (also run on drop) stops
+/// accepting, joins the loop and flushes the group-commit batch so
+/// everything acknowledged — and everything applied — is on disk.
+pub struct SessionServer {
+    addr: NetAddr,
+    commit: GroupCommit,
+    follower: Option<Arc<Mutex<Follower>>>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl SessionServer {
+    /// Binds `bind` and serves sessions against `commit`'s store.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Transport`] when the address cannot be bound.
+    pub fn spawn(
+        bind: &NetAddr,
+        commit: GroupCommit,
+        opts: ServerOptions,
+    ) -> Result<SessionServer, ServerError> {
+        SessionServer::start(bind, commit, None, opts)
+    }
+
+    /// Like [`SessionServer::spawn`], with a local read follower:
+    /// `read` requests are routed to it when it satisfies the staleness
+    /// bound. The follower only advances when [`SessionServer::pump_follower`]
+    /// is called — tests and the example drive replication explicitly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Transport`] when the address cannot be bound.
+    pub fn spawn_with_follower(
+        bind: &NetAddr,
+        commit: GroupCommit,
+        follower: Follower,
+        opts: ServerOptions,
+    ) -> Result<SessionServer, ServerError> {
+        SessionServer::start(bind, commit, Some(Arc::new(Mutex::new(follower))), opts)
+    }
+
+    fn start(
+        bind: &NetAddr,
+        commit: GroupCommit,
+        follower: Option<Arc<Mutex<Follower>>>,
+        opts: ServerOptions,
+    ) -> Result<SessionServer, ServerError> {
+        let listener = NetListener::bind(bind)
+            .map_err(|e| ServerError::Transport(mvolap_replica::ReplicaError::from_io(&e)))?;
+        let addr = listener.local_addr().clone();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(SessionCtx {
+            commit: commit.clone(),
+            follower: follower.clone(),
+            gate: Arc::new(Gate::new(opts.max_sessions, opts.max_queued)),
+            shutdown: Arc::clone(&shutdown),
+            exec: ExecContext::new(opts.exec_threads.max(1)),
+            memo: QueryMemo::shared(),
+        });
+        let serve = Arc::new(move |stream: NetStream| serve_conn(&ctx, stream));
+        let flag = Arc::clone(&shutdown);
+        let (read_ms, write_ms) = (opts.read_timeout_ms, opts.write_timeout_ms);
+        let accept = std::thread::spawn(move || {
+            accept_loop(&listener, &flag, read_ms, write_ms, &serve);
+        });
+        Ok(SessionServer {
+            addr,
+            commit,
+            follower,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the OS-chosen port for `addr:0` binds).
+    pub fn addr(&self) -> &NetAddr {
+        &self.addr
+    }
+
+    /// A clone of the group-commit handle — for assertions (fsync
+    /// counts, WAL position, digests) and out-of-band writes.
+    pub fn group(&self) -> GroupCommit {
+        self.commit.clone()
+    }
+
+    /// Ships the primary's WAL tail (or a checkpoint snapshot when the
+    /// tail is pruned) to the attached follower and returns the highest
+    /// LSN the follower has applied.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Protocol`] when no follower is attached;
+    /// [`ServerError::Commit`] when the primary log cannot be read;
+    /// [`ServerError::Transport`] when the follower refuses the batch.
+    pub fn pump_follower(&self) -> Result<u64, ServerError> {
+        let Some(follower) = &self.follower else {
+            return Err(ServerError::Protocol("no follower attached".to_string()));
+        };
+        let mut f = lock(follower);
+        let epoch = f.epoch();
+        let from = f.next_lsn();
+        let msg = self.commit.with_store(|s| match s.tail(from) {
+            Ok(frames) => Ok(ReplicaMsg::Frames { epoch, frames }),
+            Err(DurableError::Pruned { .. }) => {
+                let mut snapshot = Vec::new();
+                mvolap_core::persist::write_tmd(s.schema(), &mut snapshot)
+                    .map_err(|e| ServerError::Commit(e.to_string()))?;
+                Ok(ReplicaMsg::Snapshot {
+                    epoch,
+                    next_lsn: s.wal_position(),
+                    snapshot,
+                })
+            }
+            Err(e) => Err(ServerError::Commit(e.to_string())),
+        })?;
+        f.handle(msg).map_err(ServerError::Transport)?;
+        Ok(f.next_lsn().saturating_sub(1))
+    }
+
+    /// Highest LSN the attached follower has applied (0 when none is
+    /// attached or the follower is empty).
+    pub fn follower_applied(&self) -> u64 {
+        self.follower
+            .as_ref()
+            .map(|f| lock(f).next_lsn().saturating_sub(1))
+            .unwrap_or(0)
+    }
+
+    /// Stops accepting, joins the accept loop (live sessions finish
+    /// their current exchange and then see the shutdown flag) and
+    /// flushes the group-commit batch. Idempotent.
+    pub fn stop(&mut self) {
+        if self.accept.is_some() {
+            stop_listener(&self.shutdown, &mut self.accept);
+            self.commit.flush().ok();
+        }
+    }
+}
+
+impl Drop for SessionServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One connection worker: admission, then a request/reply loop until
+/// the peer disconnects, times out or the server stops. A mid-query
+/// disconnect ends only this worker — the permit drop frees the slot
+/// and no shared lock is left poisoned.
+fn serve_conn(ctx: &Arc<SessionCtx>, mut stream: NetStream) {
+    let _permit = match ctx.gate.admit(&ctx.shutdown) {
+        Ok(p) => p,
+        Err(refusal) => {
+            write_frame(&mut stream, &proto::encode_reply(&Reply::Err(refusal))).ok();
+            return;
+        }
+    };
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            write_frame(
+                &mut stream,
+                &proto::encode_reply(&Reply::Err(ServerError::Shutdown)),
+            )
+            .ok();
+            return;
+        }
+        let Ok(payload) = read_frame(&mut stream) else {
+            return; // disconnect, timeout or a corrupt frame
+        };
+        let reply = handle_request(ctx, &payload);
+        if write_frame(&mut stream, &proto::encode_reply(&reply)).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(ctx: &SessionCtx, payload: &[u8]) -> Reply {
+    let req = match proto::decode_request(payload) {
+        Ok(req) => req,
+        Err(e) => return Reply::Err(e),
+    };
+    match req {
+        Request::Ping => Reply::Result("pong".to_string()),
+        Request::Query(text) => primary_query(ctx, &text),
+        Request::Read { min_lsn, text } => follower_read(ctx, min_lsn, &text),
+        Request::Commit(record) => match ctx.commit.commit(record) {
+            Ok(lsn) => Reply::Lsn(lsn),
+            Err(e) => Reply::Err(ServerError::Commit(e.to_string())),
+        },
+    }
+}
+
+/// Runs a query on the primary under the store's shared read lock, so
+/// concurrent sessions execute in parallel and only commits serialise.
+fn primary_query(ctx: &SessionCtx, text: &str) -> Reply {
+    let rendered = ctx
+        .commit
+        .with_store(|s| render_query(s.schema(), text, &ctx.exec, &ctx.memo));
+    match rendered {
+        Ok(out) => Reply::Result(out),
+        Err(e) => Reply::Err(e),
+    }
+}
+
+/// Routes a `read` to the follower when it satisfies the staleness
+/// bound; refuses with a typed `TooStale` when it is behind. Without a
+/// follower the primary serves it (a primary is never stale).
+fn follower_read(ctx: &SessionCtx, min_lsn: u64, text: &str) -> Reply {
+    let Some(follower) = &ctx.follower else {
+        return primary_query(ctx, text);
+    };
+    let f = lock(follower);
+    let applied = f.next_lsn().saturating_sub(1);
+    if applied < min_lsn {
+        return Reply::Err(ServerError::TooStale {
+            required: min_lsn,
+            applied,
+        });
+    }
+    let Some(tmd) = f.schema() else {
+        // Empty follower and min_lsn == 0: nothing applied yet.
+        return Reply::Err(ServerError::TooStale {
+            required: min_lsn,
+            applied,
+        });
+    };
+    match render_query(tmd, text, &ctx.exec, &ctx.memo) {
+        Ok(out) => Reply::Result(out),
+        Err(e) => Reply::Err(e),
+    }
+}
+
+/// Executes `text` against `tmd` and renders exactly what the
+/// interactive shell prints, so a served query is byte-identical to a
+/// local one.
+fn render_query(
+    tmd: &Tmd,
+    text: &str,
+    exec: &ExecContext,
+    memo: &QueryMemo,
+) -> Result<String, ServerError> {
+    use std::fmt::Write as _;
+    fn qerr(e: impl std::fmt::Display) -> ServerError {
+        ServerError::Query(e.to_string())
+    }
+    let mut out = String::new();
+    if mvolap_query::is_all_modes(text) {
+        for r in run_compare_par(tmd, text, exec, memo).map_err(qerr)? {
+            let _ = writeln!(
+                out,
+                "== mode {} (Q = {:.3}, {} unmapped) ==",
+                r.result.mode.label(),
+                r.quality,
+                r.result.unmapped_rows
+            );
+            let _ = writeln!(out, "{}", r.result.render("result").map_err(qerr)?);
+        }
+    } else {
+        let svs = tmd.structure_versions();
+        let rs = run_with_versions_par(tmd, &svs, text, exec, memo).map_err(qerr)?;
+        if rs.unmapped_rows > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} source facts have no representation in this mode",
+                rs.unmapped_rows
+            );
+        }
+        out.push_str(&rs.render("result").map_err(qerr)?);
+    }
+    Ok(out)
+}

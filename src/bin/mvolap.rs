@@ -9,6 +9,9 @@
 //! mvolap --store DIR            # durable store: WAL + checkpoints in DIR
 //! mvolap --store DIR --serve ADDR    # serve the store to replicas
 //! mvolap --store DIR --follow ADDR   # tail a served store as a follower
+//! mvolap --store DIR --listen ADDR   # session server: queries + commits
+//! mvolap --connect ADDR              # client REPL against --listen
+//! mvolap --connect ADDR -c QUERY     # one-shot remote query
 //! mvolap -c "SELECT sum(Amount) BY year, Org.Division IN MODE tcm"
 //! ```
 //!
@@ -18,6 +21,11 @@
 //! ([`CheckpointPolicy::max_tail_age`]); a follower syncs continuously
 //! and exits non-zero the moment it is fenced or diverged. Both stop
 //! cleanly on `quit` or EOF on stdin.
+//!
+//! `--listen` runs the *session* server (`mvolap-server`): many
+//! concurrent clients, group-committed writes, bounded admission.
+//! `--connect` is its line-oriented client — every line is a query,
+//! answered with the same rendering the local REPL prints.
 //!
 //! Inside the REPL, lines are queries (see `mvolap-query` for the
 //! grammar) or backslash commands — `\h` lists them. With `--store`,
@@ -32,12 +40,15 @@ use std::sync::{Arc, Mutex};
 use mvolap::core::case_study::{case_study, case_study_two_measures};
 use mvolap::core::{ConfidenceWeights, DimensionId, MemberVersionId, Tmd};
 use mvolap::cube::mode_qualities;
-use mvolap::durable::{CheckpointPolicy, DurableError, DurableTmd, Io, Options, WalRecord};
-use mvolap::query::{parse, run_compare, run_with_versions, ModeSpec, QueryError};
+use mvolap::durable::{
+    CheckpointPolicy, DurableError, DurableTmd, GroupCommit, GroupConfig, Io, Options, WalRecord,
+};
+use mvolap::query::{is_all_modes, parse, run_compare, run_with_versions, QueryError};
 use mvolap::replica::{
     sync_follower, Clock as _, Follower, NetAddr, NetClient, NetConfig, PrimaryNode, ReplicaError,
     ReplicaServer, ServerConfig, SystemClock,
 };
+use mvolap::server::{ServerOptions, SessionClient, SessionServer};
 use mvolap::temporal::Instant;
 use mvolap::workload::{generate, WorkloadConfig};
 
@@ -84,6 +95,8 @@ fn main() {
     let mut store_dir: Option<String> = None;
     let mut serve_addr: Option<String> = None;
     let mut follow_addr: Option<String> = None;
+    let mut listen_addr: Option<String> = None;
+    let mut connect_addr: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -139,11 +152,29 @@ fn main() {
                         .unwrap_or_else(|| die("--follow requires an address")),
                 );
             }
+            "--listen" => {
+                i += 1;
+                listen_addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--listen requires an address")),
+                );
+            }
+            "--connect" => {
+                i += 1;
+                connect_addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--connect requires an address")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mvolap [--two-measures | --workload SEED | --load FILE] \
-                     [--store DIR] [--serve ADDR | --follow ADDR] [-c QUERY]\n\
-                     ADDR is host:port or unix:/path/to.sock; both roles need --store DIR"
+                     [--store DIR] [--serve ADDR | --follow ADDR | --listen ADDR] \
+                     [--connect ADDR] [-c QUERY]\n\
+                     ADDR is host:port or unix:/path/to.sock; serve/follow/listen need \
+                     --store DIR; --connect talks to a --listen server"
                 );
                 return;
             }
@@ -152,8 +183,13 @@ fn main() {
         i += 1;
     }
 
-    if serve_addr.is_some() && follow_addr.is_some() {
-        die("--serve and --follow are mutually exclusive");
+    if [&serve_addr, &follow_addr, &listen_addr, &connect_addr]
+        .iter()
+        .filter(|a| a.is_some())
+        .count()
+        > 1
+    {
+        die("--serve, --follow, --listen and --connect are mutually exclusive");
     }
     if let Some(addr) = serve_addr {
         let dir = store_dir.unwrap_or_else(|| die("--serve requires --store DIR"));
@@ -164,6 +200,15 @@ fn main() {
         let dir = store_dir.unwrap_or_else(|| die("--follow requires --store DIR"));
         let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
         follow(&addr, &dir);
+    }
+    if let Some(addr) = listen_addr {
+        let dir = store_dir.unwrap_or_else(|| die("--listen requires --store DIR"));
+        let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
+        listen(&addr, &dir, schema);
+    }
+    if let Some(addr) = connect_addr {
+        let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
+        connect(&addr, one_shot);
     }
 
     // An existing store wins over --load/--workload (those only seed a
@@ -358,6 +403,86 @@ fn follow(addr: &NetAddr, dir: &str) -> ! {
         SystemClock.sleep_ms(500);
     }
     println!("mvolap: follower of {addr} stopped at LSN {}", f.next_lsn());
+    std::process::exit(0)
+}
+
+/// `--listen`: the concurrent session server. Writes group-commit
+/// (one shared fsync per batch); queries run under a shared read lock.
+fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
+    let path = std::path::PathBuf::from(dir);
+    let store = match DurableTmd::open(&path) {
+        Ok(store) => store,
+        Err(DurableError::NoStore) => {
+            let seed = schema.unwrap_or_else(|| case_study().tmd);
+            DurableTmd::create(&path, seed)
+                .unwrap_or_else(|e| die(&format!("cannot create store: {e}")))
+        }
+        Err(e) => die(&format!("cannot open store at {dir}: {e}")),
+    };
+    let next_lsn = store.wal_position();
+    let group = GroupCommit::new(store, GroupConfig::default());
+    let mut server = SessionServer::spawn(addr, group, ServerOptions::default())
+        .unwrap_or_else(|e| die(&format!("cannot listen on {addr}: {e}")));
+    println!(
+        "mvolap — session server for store `{dir}` on {} (next LSN {next_lsn}). \
+         `quit` or EOF stops.",
+        server.addr()
+    );
+    std::io::stdout().flush().ok();
+
+    let stdin = std::io::stdin();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+        }
+    }
+    server.stop();
+    println!("mvolap: session server on {addr} stopped");
+    std::process::exit(0)
+}
+
+/// `--connect`: line-oriented client for a `--listen` server. Every
+/// line is a query; the reply is rendered exactly as the local REPL
+/// would print it.
+fn connect(addr: &NetAddr, one_shot: Option<String>) -> ! {
+    let mut client = SessionClient::connect(addr.clone(), NetConfig::default());
+    if let Some(query) = one_shot {
+        match client.query(&query) {
+            Ok(out) => print!("{out}"),
+            Err(e) => die(&format!("remote query failed: {e}")),
+        }
+        std::process::exit(0)
+    }
+    if let Err(e) = client.ping() {
+        die(&format!("cannot reach {addr}: {e}"));
+    }
+    println!("mvolap — connected to session server on {addr}. \\q quits.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("mvolap> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" || line == "quit" {
+            break;
+        }
+        match client.query(line) {
+            Ok(out) => print!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+        std::io::stdout().flush().ok();
+    }
+    println!("mvolap: disconnected from {addr}");
     std::process::exit(0)
 }
 
@@ -597,11 +722,7 @@ fn quality(session: &Session, query: &str) {
 /// Executes one query line.
 fn execute(session: &Session, query: &str) {
     // ALL MODES queries go through the comparison path.
-    let is_all_modes = matches!(
-        parse(query),
-        Ok(ast) if matches!(ast.mode, ModeSpec::AllModes { .. })
-    );
-    if is_all_modes {
+    if is_all_modes(query) {
         match run_compare(session.tmd(), query) {
             Ok(results) => {
                 for r in results {

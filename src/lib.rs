@@ -20,6 +20,7 @@
 //! | [`etl`] | Snapshot change detection, loaders, SCD Type 1/2/3 baselines |
 //! | [`durable`] | Write-ahead log, checkpointing and crash recovery |
 //! | [`replica`] | WAL-shipping replication, divergence detection, failover |
+//! | [`server`] | Concurrent session server: group commit, replica read routing |
 //! | [`query`] | Textual query language with `IN MODE` temporal presentation |
 //! | [`cube`] | Aggregate lattice, navigation operators, quality factor |
 //! | [`workload`] | Seeded evolving-hierarchy and fact generators |
@@ -51,6 +52,7 @@ pub use mvolap_etl as etl;
 pub use mvolap_exec as exec;
 pub use mvolap_query as query;
 pub use mvolap_replica as replica;
+pub use mvolap_server as server;
 pub use mvolap_storage as storage;
 pub use mvolap_temporal as temporal;
 pub use mvolap_workload as workload;
