@@ -1,0 +1,143 @@
+//! Quorum-commit cost: what majority acknowledgement adds on top of
+//! local durability. The same fact batch is committed through a
+//! single-node group (quorum 1/1 — local fsync only) and through a
+//! three-node [`ClusterSet`] (quorum 2/3 — fsync plus supervision
+//! rounds until a member confirms), over the in-memory channel
+//! transport so the delta measures protocol work, not network jitter.
+//!
+//! Expected shape: the three-node commit pays a small constant factor
+//! (frame shipping + member fsync + ack) per record; transport steps
+//! per commit stay bounded by the batch configuration rather than
+//! growing with history. Emits `BENCH_quorum.json` at the workspace
+//! root.
+
+use mvolap_bench::harness::{BenchmarkId, Criterion, Throughput};
+use mvolap_cluster::{ClusterConfig, ClusterSet};
+use mvolap_core::case_study;
+use mvolap_durable::{FactRow, GroupConfig, Io, Options, TimeSource, WalRecord};
+use mvolap_replica::ChannelTransport;
+use mvolap_temporal::Instant;
+
+/// Records committed per benchmark iteration.
+const OPS: usize = 8;
+
+/// One fact batch aimed at a case-study leaf — the smallest real
+/// journaled write.
+fn fact(leaf: mvolap_core::MemberVersionId, i: usize) -> WalRecord {
+    WalRecord::FactBatch {
+        rows: vec![FactRow {
+            coords: vec![leaf],
+            at: Instant::ym(2003, 1 + (i % 12) as u32),
+            values: vec![i as f64],
+        }],
+    }
+}
+
+/// A group with `members` member replicas next to the primary.
+fn build_set(base: &std::path::Path, members: usize) -> ClusterSet<ChannelTransport> {
+    let cs = case_study::case_study();
+    let mut set = ClusterSet::bootstrap(
+        base,
+        cs.tmd,
+        Options::default(),
+        GroupConfig {
+            hold_ms: 0,
+            time: TimeSource::default(),
+        },
+        ClusterConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .expect("bootstrap");
+    for m in 0..members {
+        set.add_member(&format!("m{}", m + 1), Io::plain());
+    }
+    set
+}
+
+fn bench_commits(
+    c: &mut Criterion,
+    set: &mut ClusterSet<ChannelTransport>,
+    leaf: mvolap_core::MemberVersionId,
+    nodes: usize,
+) {
+    let mut group = c.benchmark_group("quorum/commits");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+        b.iter(|| {
+            for i in 0..OPS {
+                set.commit_quorum(fact(leaf, i)).expect("quorum commit");
+            }
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("mvolap_bench_quorum_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let leaf = case_study::case_study().bill;
+
+    let mut c = Criterion::from_env();
+
+    // Quorum 1/1: commit_quorum is satisfied by the local fsync alone.
+    let mut single = build_set(&base.join("n1"), 0);
+    bench_commits(&mut c, &mut single, leaf, 1);
+    let single_commits = single.primary().expect("primary").wal_position() - 1;
+    let single_steps = single.transport_steps();
+    drop(single);
+
+    // Quorum 2/3: the same path must also ship the tail and collect a
+    // member ack before the watermark passes the record.
+    let mut triple = build_set(&base.join("n3"), 2);
+    let mark_steps = triple.transport_steps();
+    bench_commits(&mut c, &mut triple, leaf, 3);
+    let triple_commits = triple.primary().expect("primary").wal_position() - 1;
+    let triple_steps = triple.transport_steps() - mark_steps;
+    let quorum_required = triple.quorum_required();
+    drop(triple);
+
+    c.final_summary();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Median ns per iteration -> per-commit latency and commits/sec.
+    let stats = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name.contains(needle))
+            .map(|r| {
+                let per_commit_ns = r.median_ns / OPS as f64;
+                (per_commit_ns / 1e3, 1e9 / per_commit_ns)
+            })
+            .unwrap_or((0.0, 0.0))
+    };
+    let (lat1, tput1) = stats("commits/nodes/1");
+    let (lat3, tput3) = stats("commits/nodes/3");
+    let steps_per_commit_1 = single_steps as f64 / single_commits.max(1) as f64;
+    let steps_per_commit_3 = triple_steps as f64 / triple_commits.max(1) as f64;
+    eprintln!(
+        "commit latency: {lat1:.1}us (1 node) -> {lat3:.1}us (3 nodes); \
+         commits/s: {tput1:.0} -> {tput3:.0}; \
+         transport steps/commit: {steps_per_commit_1:.2} -> {steps_per_commit_3:.2}"
+    );
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"ops_per_iter\": {OPS},\n  \
+         \"quorum_required_3\": {quorum_required},\n  \
+         \"commit_latency_us_1\": {lat1:.2},\n  \"commit_latency_us_3\": {lat3:.2},\n  \
+         \"commits_per_sec_1\": {tput1:.1},\n  \"commits_per_sec_3\": {tput3:.1},\n  \
+         \"transport_steps_per_commit_1\": {steps_per_commit_1:.3},\n  \
+         \"transport_steps_per_commit_3\": {steps_per_commit_3:.3},\n  \"results\": {}\n}}\n",
+        c.to_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quorum.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,40 @@
+//! # mvolap-cluster — quorum-replicated commit and leader election
+//!
+//! Supervises a primary plus N members as one replication group with
+//! majority-ack semantics on top of [`mvolap_replica`]:
+//!
+//! - **Quorum commit** ([`ClusterSet::commit_quorum`]): a commit is
+//!   acknowledged only once it is fsynced locally *and* acked by a
+//!   majority of the group (⌈(N+1)/2⌉ members, primary included). The
+//!   `quorum_lsn` watermark is maintained by the group-commit layer
+//!   ([`mvolap_durable::GroupCommit`]) and threaded up to sessions.
+//! - **Deterministic election** ([`ClusterSet::elect`]): members vote
+//!   for the candidate with the highest `(synced_lsn, member_id)`
+//!   credential; the winner fences the deposed primary by bumping the
+//!   epoch. Because a majority acked every quorum commit and the
+//!   winner outranks a majority, the winner's log contains every
+//!   acknowledged record — the winner never truncates.
+//! - **Truncation on rejoin** ([`ClusterSet::rejoin_member`]): a
+//!   deposed primary walks its log backwards against the new
+//!   primary's, cuts everything past the last CRC match (its
+//!   un-quorum'd suffix), and only then re-enters the group.
+//! - **Fault sweep** ([`cluster_sweep`]): kills the primary at every
+//!   I/O primitive and partitions a member at every transport step,
+//!   asserting that no quorum-acknowledged commit is ever lost and no
+//!   two primaries accept writes in the same epoch.
+//!
+//! The supervisor is deterministic: no wall-clock, no threads — every
+//! protocol step happens inside [`ClusterSet::tick`], which is what
+//! makes the exhaustive sweep possible.
+
+#![warn(missing_docs)]
+
+pub mod serve;
+pub mod set;
+pub mod sweep;
+
+pub use serve::LocalCluster;
+pub use set::{
+    ClusterConfig, ClusterEvent, ClusterSet, ClusterStats, QuorumPrimary, RejoinOutcome,
+};
+pub use sweep::{cluster_sweep, ClusterSweepOutcome};

@@ -1,0 +1,147 @@
+//! Loopback serving assembly: one primary session server with fleet
+//! read routing plus one read server per member, all on local
+//! addresses — the three-node quick-start from the README, packaged.
+//!
+//! The assembly is deliberately explicit about replication: nothing
+//! moves until [`LocalCluster::pump`] ships the primary's tail to every
+//! member and reports their acked positions into the quorum tracker.
+//! Tests, the example and the shell drive it one pump at a time, so
+//! every staleness bound and quorum refusal is reproducible.
+
+use std::path::Path;
+
+use mvolap_core::Tmd;
+use mvolap_durable::{DurableTmd, GroupCommit, GroupConfig, Io, Options};
+use mvolap_replica::{Follower, NetAddr, NetConfig};
+use mvolap_server::{FleetMember, ServerOptions, SessionServer};
+use mvolap_server::{ServerError, SessionClient};
+
+/// A quorum-replicated serving group on loopback: the primary's
+/// session server (writes, primary reads, fleet-routed bounded reads)
+/// and one read server per member, each fronting that member's
+/// replica.
+pub struct LocalCluster {
+    primary: SessionServer,
+    readers: Vec<(String, SessionServer)>,
+    commit: GroupCommit,
+}
+
+impl LocalCluster {
+    /// Creates a fresh primary store seeded with `schema` under
+    /// `dir/primary` and one replica per `(name, bind)` in `members`
+    /// under `dir/<name>`, then spawns every server. The quorum is
+    /// sized to the whole group (primary plus members).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Commit`] when a store cannot be created,
+    /// [`ServerError::Transport`] when an address cannot be bound.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        dir: &Path,
+        schema: Tmd,
+        primary_bind: &NetAddr,
+        members: &[(String, NetAddr)],
+        store_opts: Options,
+        group_cfg: GroupConfig,
+        opts: ServerOptions,
+        net: NetConfig,
+    ) -> Result<LocalCluster, ServerError> {
+        let store = DurableTmd::create_with(
+            &dir.join("primary"),
+            schema,
+            store_opts.clone(),
+            Io::plain(),
+        )
+        .map_err(|e| ServerError::Commit(e.to_string()))?;
+        let commit = GroupCommit::new(store, group_cfg);
+        commit.configure_quorum(members.len() + 1);
+
+        let mut readers = Vec::with_capacity(members.len());
+        let mut fleet = Vec::with_capacity(members.len());
+        for (name, bind) in members {
+            let follower = Follower::create(name, dir.join(name), store_opts.clone(), Io::plain());
+            let server =
+                SessionServer::spawn_with_follower(bind, commit.clone(), follower, opts.clone())?;
+            fleet.push(FleetMember {
+                name: name.clone(),
+                addr: server.addr().clone(),
+            });
+            readers.push((name.clone(), server));
+        }
+        let primary =
+            SessionServer::spawn_with_fleet(primary_bind, commit.clone(), fleet, net, opts)?;
+        Ok(LocalCluster {
+            primary,
+            readers,
+            commit,
+        })
+    }
+
+    /// The primary session server's address — where clients `commit`,
+    /// `query` and send bounded `read`s for fleet routing.
+    #[must_use]
+    pub fn primary_addr(&self) -> &NetAddr {
+        self.primary.addr()
+    }
+
+    /// The read servers' addresses, in member order.
+    #[must_use]
+    pub fn member_addrs(&self) -> Vec<(String, NetAddr)> {
+        self.readers
+            .iter()
+            .map(|(n, s)| (n.clone(), s.addr().clone()))
+            .collect()
+    }
+
+    /// A clone of the primary's group-commit handle (quorum watermark,
+    /// WAL position, out-of-band writes).
+    #[must_use]
+    pub fn group(&self) -> GroupCommit {
+        self.commit.clone()
+    }
+
+    /// One replication round: ships the primary's tail to every member
+    /// and reports each member's applied position into the quorum
+    /// tracker, releasing any commit waiting for majority ack. Returns
+    /// `(name, applied_lsn)` per member.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`SessionServer::pump_follower`] raises for the first
+    /// failing member.
+    pub fn pump(&self) -> Result<Vec<(String, u64)>, ServerError> {
+        let mut positions = Vec::with_capacity(self.readers.len());
+        for (name, server) in &self.readers {
+            let applied = server.pump_follower()?;
+            // A member that applied LSN n has journaled and fsynced
+            // through n in its own store — that is the quorum ack.
+            // The tracker speaks next-LSN ("synced everything below"),
+            // hence the +1.
+            self.commit.member_synced(name, applied + 1);
+            positions.push((name.clone(), applied));
+        }
+        Ok(positions)
+    }
+
+    /// A session client for the primary server.
+    #[must_use]
+    pub fn client(&self, net: NetConfig) -> SessionClient {
+        SessionClient::connect(self.primary.addr().clone(), net)
+    }
+
+    /// Stops every server (primary first, so no new commits race the
+    /// readers' shutdown). Idempotent; also run on drop.
+    pub fn stop(&mut self) {
+        self.primary.stop();
+        for (_, server) in &mut self.readers {
+            server.stop();
+        }
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,1049 @@
+//! The quorum supervisor: one primary plus N members form a
+//! replication *group* whose commits are acknowledged only at
+//! majority, whose leader is chosen by a deterministic election, and
+//! whose deposed primaries rejoin by truncating their un-quorum'd
+//! suffix.
+//!
+//! [`ClusterSet`] mirrors the shape of
+//! [`mvolap_replica::ReplicaSet`] — single-threaded, transport-driven,
+//! time counted in ticks — but replaces the plain acknowledgement flow
+//! with the quorum envelope: members answer replication with
+//! [`ReplicaMsg::QuorumAck`], the primary feeds each member's
+//! durably-synced position into its [`GroupCommit`] watermark, and a
+//! commit is *cluster-acknowledged* only once
+//! [`GroupCommit::quorum_lsn`] passes it.
+//!
+//! # Election
+//!
+//! When the primary is lost, members vote for the candidate with the
+//! highest `(synced_lsn, member_id)` credential — every voter ranks
+//! candidates identically, so the election is deterministic. The
+//! winner **never truncates**: a majority acknowledged every
+//! quorum-committed record, and any two majorities intersect, so the
+//! top-ranked member's log contains every acknowledged record. The
+//! *loser's* obligation is the inverse: a deposed primary may hold a
+//! locally-durable suffix that never reached quorum, and it must
+//! truncate that suffix (back to the CRC match point against the new
+//! primary's log) before it serves, votes or stands again — that is
+//! [`ClusterSet::rejoin_member`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use mvolap_core::Tmd;
+use mvolap_durable::{DurableError, DurableTmd, GroupCommit, GroupConfig, Io, Options, WalRecord};
+use mvolap_replica::{Follower, ReplicaError, ReplicaMsg, ReplicaTransport, TailSource, WalTailer};
+
+/// Inbox name the supervisor collects election replies on; never a
+/// member name.
+const SUPERVISOR: &str = "supervisor";
+
+/// Supervision policy knobs for a quorum group.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Max frames shipped per round.
+    pub batch_frames: usize,
+    /// Leaderless supervision rounds before [`ClusterSet::tick`] calls
+    /// an election on its own.
+    pub heartbeat_miss_limit: u64,
+    /// Supervision rounds [`ClusterSet::commit_quorum`] pumps while
+    /// waiting for the watermark before declaring the commit
+    /// unreplicated.
+    pub commit_ticks: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            batch_frames: 32,
+            heartbeat_miss_limit: 3,
+            commit_ticks: 64,
+        }
+    }
+}
+
+/// The write-accepting node of a quorum group: a [`GroupCommit`] (so
+/// server sessions can share it) plus the epoch/fencing discipline of
+/// [`mvolap_replica::PrimaryNode`].
+#[derive(Debug)]
+pub struct QuorumPrimary {
+    name: String,
+    group: GroupCommit,
+    epoch: u64,
+    fenced: bool,
+}
+
+impl QuorumPrimary {
+    /// Wraps a group-commit handle as primary at `epoch`.
+    pub fn new(name: impl Into<String>, group: GroupCommit, epoch: u64) -> QuorumPrimary {
+        QuorumPrimary {
+            name: name.into(),
+            group,
+            epoch,
+            fenced: false,
+        }
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this node has been fenced.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// The shared group-commit handle (clone it into server sessions).
+    pub fn group(&self) -> &GroupCommit {
+        &self.group
+    }
+
+    /// Store directory (the log the group tails).
+    pub fn dir(&self) -> PathBuf {
+        self.group.with_store(|s| s.dir().to_path_buf())
+    }
+
+    /// A tailer over this node's log.
+    pub fn tailer(&self) -> WalTailer {
+        WalTailer::new(self.dir())
+    }
+
+    /// Log head (next LSN).
+    pub fn wal_position(&self) -> u64 {
+        self.group.wal_position()
+    }
+
+    /// Highest LSN below which every record is majority-durable.
+    pub fn quorum_lsn(&self) -> u64 {
+        self.group.quorum_lsn()
+    }
+
+    /// Current schema, cloned out of the shared store.
+    pub fn schema(&self) -> Tmd {
+        self.group.with_store(|s| s.schema().clone())
+    }
+
+    /// Journals and locally fsyncs one record — refused once fenced.
+    /// Quorum acknowledgement is the *supervisor's* business
+    /// ([`ClusterSet::commit_quorum`]); this only establishes local
+    /// durability.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Fenced`] after fencing; otherwise as
+    /// [`GroupCommit::commit`].
+    pub fn commit(&mut self, record: WalRecord) -> Result<u64, ReplicaError> {
+        if self.fenced {
+            return Err(ReplicaError::Fenced { epoch: self.epoch });
+        }
+        Ok(self.group.commit(record)?)
+    }
+
+    /// Checkpoints the store — refused once fenced.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Fenced`] after fencing; otherwise as
+    /// [`DurableTmd::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<(), ReplicaError> {
+        if self.fenced {
+            return Err(ReplicaError::Fenced { epoch: self.epoch });
+        }
+        self.group.with_store_mut(|s| s.checkpoint())?;
+        Ok(())
+    }
+
+    /// Fences this node at `epoch`: every further write is refused.
+    pub fn fence(&mut self, epoch: u64) {
+        self.fenced = true;
+        self.epoch = epoch;
+    }
+
+    /// Adopts a newer epoch without fencing — the supervisor re-asserts
+    /// a standing primary after an aborted election, so members that
+    /// granted a vote (and adopted the new epoch) accept its
+    /// heartbeats again.
+    pub fn adopt_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+}
+
+/// Supervisor's view of one member.
+#[derive(Debug)]
+struct MemberLink {
+    follower: Follower,
+    /// Highest applied LSN the member has quorum-acked.
+    applied_lsn: u64,
+    /// Highest durably-synced LSN the member has quorum-acked.
+    synced_lsn: u64,
+    /// The member's store crashed; needs [`ClusterSet::restart_member`].
+    crashed: bool,
+    /// The member refuses replay; needs [`ClusterSet::rebuild_member`].
+    refusing: bool,
+}
+
+impl MemberLink {
+    fn new(follower: Follower) -> MemberLink {
+        MemberLink {
+            follower,
+            applied_lsn: 0,
+            synced_lsn: 0,
+            crashed: false,
+            refusing: false,
+        }
+    }
+
+    fn votable(&self) -> bool {
+        !self.crashed && !self.refusing
+    }
+}
+
+/// Noteworthy state changes surfaced by one [`ClusterSet::tick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// The member's store hit an I/O-class failure.
+    MemberCrashed {
+        /// Node name.
+        node: String,
+    },
+    /// The member refuses replay (divergence or invalid record).
+    MemberRefused {
+        /// Node name.
+        node: String,
+        /// Human-readable refusal.
+        detail: String,
+    },
+    /// A leaderless group elected `node` primary at `epoch`.
+    Elected {
+        /// The winner.
+        node: String,
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// An election closed without a majority.
+    ElectionFailed {
+        /// The epoch the failed election consumed.
+        epoch: u64,
+        /// Votes collected.
+        votes: usize,
+        /// Votes a majority requires.
+        required: usize,
+    },
+}
+
+/// How a deposed (or lagging) node re-entered the group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejoinOutcome {
+    /// Its log was a clean prefix of the primary's; kept as-is.
+    Clean,
+    /// An un-quorum'd suffix from `cut` on was truncated.
+    Truncated {
+        /// First LSN removed.
+        cut: u64,
+    },
+    /// A checkpoint already covered past the cut (or nothing was
+    /// recoverable); the directory was wiped and the member
+    /// re-bootstraps from the primary.
+    Rebuilt,
+}
+
+/// Cumulative supervisor counters.
+#[derive(Debug, Default, Clone)]
+pub struct ClusterStats {
+    /// WAL frames shipped to members.
+    pub frames_shipped: u64,
+    /// Snapshot bootstraps served (pruned-log path).
+    pub snapshots_served: u64,
+    /// Quorum acks processed.
+    pub acks: u64,
+    /// Transport errors absorbed (the round retries next tick).
+    pub retries: u64,
+    /// Commits confirmed majority-durable.
+    pub quorum_commits: u64,
+    /// Elections won.
+    pub elections: u64,
+    /// Elections that closed without a majority.
+    pub failed_elections: u64,
+    /// Fence messages delivered to deposed primaries.
+    pub fences: u64,
+    /// Rejoins that truncated an un-quorum'd suffix.
+    pub truncated_rejoins: u64,
+    /// Rejoins that wiped and re-bootstrapped.
+    pub rebuilt_rejoins: u64,
+}
+
+/// One primary + N members over a transport, with majority-ack
+/// commit semantics.
+#[derive(Debug)]
+pub struct ClusterSet<T: ReplicaTransport> {
+    base: PathBuf,
+    opts: Options,
+    group_cfg: GroupConfig,
+    cfg: ClusterConfig,
+    transport: T,
+    epoch: u64,
+    /// Voting nodes: members + the primary. Fixed once the group is
+    /// assembled; elections and rejoins do not change it.
+    group_size: usize,
+    primary: Option<QuorumPrimary>,
+    retired: Option<QuorumPrimary>,
+    members: BTreeMap<String, MemberLink>,
+    leaderless_rounds: u64,
+    stats: ClusterStats,
+}
+
+impl<T: ReplicaTransport> ClusterSet<T> {
+    /// Creates a group whose primary is a fresh store under
+    /// `base/primary` seeded with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableTmd::create_with`].
+    pub fn bootstrap(
+        base: &Path,
+        seed: Tmd,
+        opts: Options,
+        group_cfg: GroupConfig,
+        cfg: ClusterConfig,
+        transport: T,
+        io: Io,
+    ) -> Result<ClusterSet<T>, ReplicaError> {
+        let dir = base.join("primary");
+        let store = DurableTmd::create_with(&dir, seed, opts.clone(), io)?;
+        let group = GroupCommit::new(store, group_cfg.clone());
+        group.configure_quorum(1);
+        Ok(ClusterSet {
+            base: base.to_path_buf(),
+            opts,
+            group_cfg,
+            cfg,
+            transport,
+            epoch: 0,
+            group_size: 1,
+            primary: Some(QuorumPrimary::new("primary", group, 0)),
+            retired: None,
+            members: BTreeMap::new(),
+            leaderless_rounds: 0,
+            stats: ClusterStats::default(),
+        })
+    }
+
+    /// Registers a fresh member under `base/<name>` and grows the
+    /// voting group by one; it bootstraps from the primary on
+    /// subsequent ticks.
+    pub fn add_member(&mut self, name: &str, io: Io) {
+        let dir = self.base.join(name);
+        self.members.insert(
+            name.to_string(),
+            MemberLink::new(Follower::create(name, dir, self.opts.clone(), io)),
+        );
+        self.group_size += 1;
+        if let Some(p) = &self.primary {
+            p.group.configure_quorum(self.group_size);
+        }
+    }
+
+    /// Votes a majority requires: `⌈(group_size + 1) / 2⌉`.
+    pub fn quorum_required(&self) -> usize {
+        self.group_size / 2 + 1
+    }
+
+    /// Voting nodes in the group (members + primary).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Journals one record on the primary (local durability only).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotPrimary`] without a live primary; otherwise
+    /// as [`QuorumPrimary::commit`].
+    pub fn commit_local(&mut self, record: WalRecord) -> Result<u64, ReplicaError> {
+        self.primary
+            .as_mut()
+            .ok_or(ReplicaError::NotPrimary)?
+            .commit(record)
+    }
+
+    /// Journals one record and pumps supervision rounds until it is
+    /// majority-durable.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Unreplicated`] (wrapped in
+    /// [`ReplicaError::Durable`]) when the watermark does not pass the
+    /// record within [`ClusterConfig::commit_ticks`] rounds — the
+    /// record *is* locally durable, but a majority never confirmed it;
+    /// otherwise as [`ClusterSet::commit_local`].
+    pub fn commit_quorum(&mut self, record: WalRecord) -> Result<u64, ReplicaError> {
+        let lsn = self.commit_local(record)?;
+        for _ in 0..self.cfg.commit_ticks {
+            if self.quorum_covers(lsn) {
+                self.stats.quorum_commits += 1;
+                return Ok(lsn);
+            }
+            self.tick();
+        }
+        if self.quorum_covers(lsn) {
+            self.stats.quorum_commits += 1;
+            return Ok(lsn);
+        }
+        let acked = 1 + self.members.values().filter(|m| m.synced_lsn > lsn).count();
+        Err(ReplicaError::Durable(DurableError::Unreplicated {
+            lsn,
+            acked,
+        }))
+    }
+
+    fn quorum_covers(&self, lsn: u64) -> bool {
+        self.primary.as_ref().is_some_and(|p| p.quorum_lsn() > lsn)
+    }
+
+    /// Checkpoints the primary.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotPrimary`] without a live primary; otherwise
+    /// as [`QuorumPrimary::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<(), ReplicaError> {
+        self.primary
+            .as_mut()
+            .ok_or(ReplicaError::NotPrimary)?
+            .checkpoint()
+    }
+
+    /// Removes the primary, simulating its crash or loss; returns the
+    /// node for inspection. Drop it before
+    /// [`ClusterSet::rejoin_member`] reopens its directory.
+    pub fn kill_primary(&mut self) -> Option<QuorumPrimary> {
+        self.leaderless_rounds = 0;
+        self.primary.take()
+    }
+
+    /// One supervision round. With a primary: each member's
+    /// hello/replicate/quorum-ack exchange. Without one: counts
+    /// leaderless rounds and, past
+    /// [`ClusterConfig::heartbeat_miss_limit`], runs an election.
+    pub fn tick(&mut self) -> Vec<ClusterEvent> {
+        let mut events = Vec::new();
+        if self.primary.is_none() {
+            self.leaderless_rounds += 1;
+            if self.leaderless_rounds >= self.cfg.heartbeat_miss_limit {
+                match self.elect() {
+                    Ok((node, epoch)) => events.push(ClusterEvent::Elected { node, epoch }),
+                    Err(ReplicaError::NoQuorum {
+                        epoch,
+                        votes,
+                        required,
+                    }) => events.push(ClusterEvent::ElectionFailed {
+                        epoch,
+                        votes,
+                        required,
+                    }),
+                    Err(_) => {}
+                }
+            }
+            return events;
+        }
+        self.leaderless_rounds = 0;
+        let names: Vec<String> = self.members.keys().cloned().collect();
+        for name in names {
+            let link = self.members.get(&name).expect("member exists");
+            if link.crashed || link.refusing {
+                continue;
+            }
+            if let Err(ev) = self.round(&name, &mut events) {
+                if ev {
+                    self.stats.retries += 1;
+                }
+            }
+        }
+        events
+    }
+
+    /// One exchange with member `name`. `Err(true)` is a transport
+    /// fault (retry next tick); member-side failures are reported via
+    /// `events` and the link flags.
+    fn round(&mut self, name: &str, events: &mut Vec<ClusterEvent>) -> Result<(), bool> {
+        let primary_name = self
+            .primary
+            .as_ref()
+            .expect("primary exists")
+            .name()
+            .to_string();
+        let hello = self
+            .members
+            .get(name)
+            .expect("member exists")
+            .follower
+            .hello();
+        self.transport
+            .send(&primary_name, &hello)
+            .map_err(|_| true)?;
+        self.pump_primary(&primary_name)?;
+        self.pump_member(name, Some(&primary_name), events)?;
+        self.pump_primary(&primary_name)?;
+        Ok(())
+    }
+
+    /// Drains the primary's inbox: hellos are answered with heartbeat
+    /// plus frames or a snapshot; quorum acks feed the watermark.
+    fn pump_primary(&mut self, primary_name: &str) -> Result<(), bool> {
+        loop {
+            let msg = self.transport.recv(primary_name).map_err(|_| true)?;
+            let Some(msg) = msg else { break };
+            match msg {
+                ReplicaMsg::Hello {
+                    node,
+                    next_lsn,
+                    last_crc,
+                    ..
+                } => self.answer_hello(&node, next_lsn, last_crc)?,
+                ReplicaMsg::QuorumAck {
+                    node,
+                    epoch,
+                    applied_lsn,
+                    synced_lsn,
+                } => {
+                    if epoch > self.epoch {
+                        // An ack from the future is a protocol bug or a
+                        // stray from a parallel history; never let it
+                        // advance the watermark.
+                        continue;
+                    }
+                    self.stats.acks += 1;
+                    // A member can never have synced past the
+                    // primary's own head: cap the claim so a corrupt
+                    // or lying ack cannot advance the quorum watermark
+                    // (or the routing positions) beyond records that
+                    // exist.
+                    let head = self.primary.as_ref().map(QuorumPrimary::wal_position);
+                    if let Some(p) = &self.primary {
+                        p.group
+                            .member_synced(&node, synced_lsn.min(p.wal_position()));
+                    }
+                    if let Some(link) = self.members.get_mut(&node) {
+                        let cap = head.unwrap_or(u64::MAX);
+                        link.applied_lsn = link.applied_lsn.max(applied_lsn.min(cap));
+                        link.synced_lsn = link.synced_lsn.max(synced_lsn.min(cap));
+                    }
+                }
+                // Plain acks (from a ReplicaSet-era peer) still update
+                // read routing, but never the quorum watermark.
+                ReplicaMsg::Ack { node, next_lsn, .. } => {
+                    if let Some(link) = self.members.get_mut(&node) {
+                        link.applied_lsn = link.applied_lsn.max(next_lsn);
+                    }
+                }
+                // Stray traffic (old votes, fences echoing); ignore.
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers one member hello: divergence gate, then heartbeat plus
+    /// frames or a snapshot.
+    fn answer_hello(&mut self, node: &str, next_lsn: u64, last_crc: u32) -> Result<(), bool> {
+        let primary = self.primary.as_ref().expect("primary exists");
+        let epoch = self.epoch;
+        let head = primary.wal_position();
+        let tailer = primary.tailer();
+        if let Err(ReplicaError::Diverged {
+            lsn,
+            expected_crc,
+            got_crc,
+        }) = tailer.verify_position(next_lsn, last_crc, head)
+        {
+            self.transport
+                .send(
+                    node,
+                    &ReplicaMsg::Diverged {
+                        epoch,
+                        lsn,
+                        expected_crc,
+                        got_crc,
+                    },
+                )
+                .map_err(|_| true)?;
+            return Ok(());
+        }
+        self.transport
+            .send(
+                node,
+                &ReplicaMsg::Heartbeat {
+                    epoch,
+                    next_lsn: head,
+                },
+            )
+            .map_err(|_| true)?;
+        if next_lsn >= head {
+            return Ok(());
+        }
+        let reply = match tailer.fetch(next_lsn, self.cfg.batch_frames) {
+            Ok(TailSource::Frames(frames)) => {
+                self.stats.frames_shipped += frames.len() as u64;
+                ReplicaMsg::Frames { epoch, frames }
+            }
+            Ok(TailSource::Snapshot { next_lsn, snapshot }) => {
+                self.stats.snapshots_served += 1;
+                ReplicaMsg::Snapshot {
+                    epoch,
+                    next_lsn,
+                    snapshot,
+                }
+            }
+            // Serving-side read problems surface as a skipped round.
+            Err(_) => return Ok(()),
+        };
+        self.transport.send(node, &reply).map_err(|_| true)?;
+        Ok(())
+    }
+
+    /// Drains member `name`'s inbox through [`Follower::handle`]. Plain
+    /// acks are upgraded to quorum acks before forwarding — the member
+    /// fsyncs every applied record, so its synced position is its
+    /// applied position. Vote grants go to the supervisor's inbox.
+    fn pump_member(
+        &mut self,
+        name: &str,
+        forward_to: Option<&str>,
+        events: &mut Vec<ClusterEvent>,
+    ) -> Result<(), bool> {
+        loop {
+            let msg = self.transport.recv(name).map_err(|_| true)?;
+            let Some(msg) = msg else { break };
+            let link = self.members.get_mut(name).expect("member exists");
+            match link.follower.handle(msg) {
+                Ok(Some(ReplicaMsg::Ack { .. })) => {
+                    if let Some(to) = forward_to {
+                        let ack = link.follower.quorum_ack();
+                        self.transport.send(to, &ack).map_err(|_| true)?;
+                    }
+                }
+                Ok(Some(grant @ ReplicaMsg::VoteGrant { .. })) => {
+                    self.transport.send(SUPERVISOR, &grant).map_err(|_| true)?;
+                }
+                Ok(Some(reply)) => {
+                    if let Some(to) = forward_to {
+                        self.transport.send(to, &reply).map_err(|_| true)?;
+                    }
+                }
+                Ok(None) => {}
+                Err(e) if e.is_crash() => {
+                    link.crashed = true;
+                    events.push(ClusterEvent::MemberCrashed {
+                        node: name.to_string(),
+                    });
+                    return Ok(());
+                }
+                Err(e) => {
+                    // Vote refusals are per-message verdicts, not link
+                    // failures; everything else is a sticky refusal.
+                    if link.follower.is_refusing() {
+                        link.refusing = true;
+                        events.push(ClusterEvent::MemberRefused {
+                            node: name.to_string(),
+                            detail: e.to_string(),
+                        });
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one deterministic election.
+    ///
+    /// The candidate is the member with the highest
+    /// `(synced_lsn, member_id)` among those that hold replicated state
+    /// and are not crashed or refusing. Every other member is asked for
+    /// its vote over the transport (so partitions suppress votes); the
+    /// candidate's own vote is implicit. At majority the candidate's
+    /// store becomes the new primary — *without truncation*: quorum
+    /// intersection guarantees its log contains every
+    /// quorum-acknowledged record. The deposed primary (if any) is
+    /// fenced at the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NoQuorum`] when fewer than
+    /// [`ClusterSet::quorum_required`] votes arrive — the epoch is
+    /// consumed, nothing else changes (a standing primary re-asserts
+    /// itself at the failed epoch and keeps serving).
+    pub fn elect(&mut self) -> Result<(String, u64), ReplicaError> {
+        // Settle in-flight replication first so rankings are current:
+        // queued frames from the old primary still apply.
+        let names: Vec<String> = self.members.keys().cloned().collect();
+        let mut events = Vec::new();
+        for name in &names {
+            let _ = self.pump_member(name, None, &mut events);
+        }
+        let new_epoch = self.epoch + 1;
+        self.epoch = new_epoch;
+        let required = self.quorum_required();
+        let candidate = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.votable() && m.follower.store().is_some())
+            .max_by_key(|(n, m)| (m.follower.next_lsn(), n.as_str()))
+            .map(|(n, m)| (n.clone(), m.follower.next_lsn()));
+        let Some((cand_name, cand_lsn)) = candidate else {
+            self.stats.failed_elections += 1;
+            self.reassert_primary(new_epoch);
+            return Err(ReplicaError::NoQuorum {
+                epoch: new_epoch,
+                votes: 0,
+                required,
+            });
+        };
+        let mut votes = 1usize; // The candidate stands for itself.
+                                // Voluntary yield: a *standing* primary being deposed
+                                // (operator-initiated failover) contributes its vote — but only
+                                // when the candidate's log covers the primary's quorum
+                                // watermark, so no quorum-acknowledged record can be lost by
+                                // the handover. An unsafe candidate simply does not get the
+                                // yield, and the election falls short.
+        if let Some(p) = &self.primary {
+            if cand_lsn >= p.quorum_lsn() {
+                votes += 1;
+            }
+        }
+        let request = ReplicaMsg::VoteRequest {
+            candidate: cand_name.clone(),
+            epoch: new_epoch,
+            synced_lsn: cand_lsn,
+        };
+        for name in &names {
+            if *name == cand_name {
+                continue;
+            }
+            if self.transport.send(name, &request).is_err() {
+                continue; // Partitioned; no vote.
+            }
+            let _ = self.pump_member(name, None, &mut events);
+        }
+        while let Ok(Some(msg)) = self.transport.recv(SUPERVISOR) {
+            if let ReplicaMsg::VoteGrant {
+                epoch, candidate, ..
+            } = msg
+            {
+                if epoch == new_epoch && candidate == cand_name {
+                    votes += 1;
+                }
+            }
+        }
+        if votes < required {
+            self.stats.failed_elections += 1;
+            self.reassert_primary(new_epoch);
+            return Err(ReplicaError::NoQuorum {
+                epoch: new_epoch,
+                votes,
+                required,
+            });
+        }
+        let link = self.members.remove(&cand_name).expect("candidate exists");
+        let store = match link.follower.into_primary_store() {
+            Ok(store) => store,
+            Err(e) => {
+                // Cannot happen for a votable, bootstrapped member;
+                // restore the map if it somehow does.
+                let dir = self.base.join(&cand_name);
+                if let Ok(f) = Follower::open(&cand_name, dir, self.opts.clone(), Io::plain()) {
+                    self.members.insert(cand_name.clone(), MemberLink::new(f));
+                }
+                return Err(e);
+            }
+        };
+        let group = GroupCommit::new(store, self.group_cfg.clone());
+        group.configure_quorum(self.group_size);
+        for (n, m) in &self.members {
+            if m.synced_lsn > 0 {
+                group.member_synced(n, m.synced_lsn);
+            }
+        }
+        if let Some(mut old) = self.primary.take() {
+            old.fence(new_epoch);
+            if self
+                .transport
+                .send(old.name(), &ReplicaMsg::Fence { epoch: new_epoch })
+                .is_ok()
+            {
+                self.stats.fences += 1;
+            }
+            self.retired = Some(old);
+        }
+        self.primary = Some(QuorumPrimary::new(cand_name.clone(), group, new_epoch));
+        self.leaderless_rounds = 0;
+        self.stats.elections += 1;
+        Ok((cand_name, new_epoch))
+    }
+
+    /// After a failed election, a standing primary adopts the consumed
+    /// epoch so members that granted a vote (and moved their epoch
+    /// forward) accept its heartbeats again. There is still exactly one
+    /// writer, so raising its fencing token is safe.
+    fn reassert_primary(&mut self, epoch: u64) {
+        if let Some(p) = self.primary.as_mut() {
+            p.adopt_epoch(epoch);
+        }
+    }
+
+    /// Re-admits node `name` (typically a deposed or restarted primary)
+    /// as a member, realising the truncation-on-promotion invariant at
+    /// the only safe place: the *rejoiner* cuts its un-quorum'd suffix
+    /// back to the CRC match point against the current primary's log
+    /// before it may replicate, vote or stand again. The voting group
+    /// size does not change.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotPrimary`] without a live primary;
+    /// [`ReplicaError::Protocol`] when `name` is already a member or is
+    /// the primary; [`ReplicaError::Durable`] when the directory's
+    /// recovery or truncation fails non-faultily.
+    pub fn rejoin_member(&mut self, name: &str) -> Result<RejoinOutcome, ReplicaError> {
+        let primary = self.primary.as_ref().ok_or(ReplicaError::NotPrimary)?;
+        if self.members.contains_key(name) {
+            return Err(ReplicaError::Protocol(format!(
+                "`{name}` is already a member"
+            )));
+        }
+        if primary.name() == name {
+            return Err(ReplicaError::Protocol(format!(
+                "`{name}` is the serving primary"
+            )));
+        }
+        let p_tailer = primary.tailer();
+        let p_head = primary.wal_position();
+        let dir = self.base.join(name);
+        let store = match DurableTmd::open_with(&dir, self.opts.clone(), Io::plain()) {
+            Ok(s) => s,
+            Err(DurableError::NoStore) => {
+                // Nothing recoverable; enter as a fresh member.
+                self.insert_member(
+                    name,
+                    Follower::create(name, dir, self.opts.clone(), Io::plain()),
+                );
+                self.stats.rebuilt_rejoins += 1;
+                return Ok(RejoinOutcome::Rebuilt);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let local_head = store.wal_position();
+        let l_tailer = WalTailer::new(&dir);
+        // Walk down from the shared range's top to the last LSN where
+        // both logs hold the same frame (or where either side is
+        // pruned — unverifiable positions are accepted; replay
+        // re-validates everything above them).
+        let mut match_end = 0u64;
+        let mut lsn = local_head.min(p_head).saturating_sub(1);
+        while lsn >= 1 {
+            let ours = l_tailer.crc_at(lsn)?;
+            let theirs = p_tailer.crc_at(lsn)?;
+            match (ours, theirs) {
+                (Some(a), Some(b)) if a == b => {
+                    match_end = lsn;
+                    break;
+                }
+                (None, _) | (_, None) => {
+                    match_end = lsn;
+                    break;
+                }
+                _ => lsn -= 1,
+            }
+        }
+        let cut = match_end + 1;
+        let outcome = if cut >= local_head {
+            drop(store);
+            RejoinOutcome::Clean
+        } else {
+            match store.truncate_suffix(cut) {
+                Ok(truncated) => {
+                    drop(truncated);
+                    self.stats.truncated_rejoins += 1;
+                    RejoinOutcome::Truncated { cut }
+                }
+                Err(DurableError::Corrupt { .. }) => {
+                    // A checkpoint covers past the cut: the suffix is
+                    // baked into a snapshot and cannot be unwound.
+                    // Wipe; the member re-bootstraps from the primary.
+                    match std::fs::remove_dir_all(&dir) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(ReplicaError::Durable(e.into())),
+                    }
+                    self.stats.rebuilt_rejoins += 1;
+                    RejoinOutcome::Rebuilt
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let follower = Follower::open(name, &dir, self.opts.clone(), Io::plain())?;
+        self.insert_member(name, follower);
+        Ok(outcome)
+    }
+
+    fn insert_member(&mut self, name: &str, follower: Follower) {
+        self.members
+            .insert(name.to_string(), MemberLink::new(follower));
+    }
+
+    /// Replaces a crashed member with one recovered from its directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::UnknownNode`]; otherwise as [`Follower::open`].
+    pub fn restart_member(&mut self, name: &str) -> Result<(), ReplicaError> {
+        if !self.members.contains_key(name) {
+            return Err(ReplicaError::UnknownNode(name.to_string()));
+        }
+        let dir = self.base.join(name);
+        let f = Follower::open(name, dir, self.opts.clone(), Io::plain())?;
+        let link = self.members.get_mut(name).expect("member exists");
+        let synced = link.synced_lsn;
+        let applied = link.applied_lsn;
+        *link = MemberLink::new(f);
+        link.synced_lsn = synced;
+        link.applied_lsn = applied;
+        Ok(())
+    }
+
+    /// Discards a refusing member's state entirely; it re-bootstraps
+    /// from the current primary. Its previously acked positions are
+    /// forgotten (the watermark never moves backwards, so this cannot
+    /// un-acknowledge anything).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::UnknownNode`]; I/O failure wiping the directory.
+    pub fn rebuild_member(&mut self, name: &str) -> Result<(), ReplicaError> {
+        if !self.members.contains_key(name) {
+            return Err(ReplicaError::UnknownNode(name.to_string()));
+        }
+        let dir = self.base.join(name);
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(ReplicaError::Durable(e.into())),
+        }
+        self.insert_member(
+            name,
+            Follower::create(name, dir, self.opts.clone(), Io::plain()),
+        );
+        if let Some(p) = &self.primary {
+            p.group.forget_member(name);
+        }
+        Ok(())
+    }
+
+    /// The member (never the primary) best placed to serve a read that
+    /// requires every LSN up to `min_lsn` applied: the freshest member
+    /// whose acked applied position covers the bound.
+    pub fn route_read(&self, min_lsn: u64) -> Option<&str> {
+        self.members
+            .iter()
+            .filter(|(_, m)| !m.crashed && !m.refusing && m.applied_lsn > min_lsn)
+            .max_by_key(|(n, m)| (m.applied_lsn, n.as_str()))
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// The freshest member and its acked applied position — what a
+    /// `TooStale` reply names when no member covers the bound.
+    pub fn freshest_member(&self) -> Option<(&str, u64)> {
+        self.members
+            .iter()
+            .filter(|(_, m)| !m.crashed && !m.refusing)
+            .max_by_key(|(n, m)| (m.applied_lsn, n.as_str()))
+            .map(|(n, m)| (n.as_str(), m.applied_lsn))
+    }
+
+    /// Runs `rounds` supervision ticks, collecting every event.
+    pub fn run_ticks(&mut self, rounds: u64) -> Vec<ClusterEvent> {
+        let mut events = Vec::new();
+        for _ in 0..rounds {
+            events.extend(self.tick());
+        }
+        events
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The live primary.
+    pub fn primary(&self) -> Option<&QuorumPrimary> {
+        self.primary.as_ref()
+    }
+
+    /// The live primary, mutable.
+    pub fn primary_mut(&mut self) -> Option<&mut QuorumPrimary> {
+        self.primary.as_mut()
+    }
+
+    /// The most recently deposed primary.
+    pub fn retired(&self) -> Option<&QuorumPrimary> {
+        self.retired.as_ref()
+    }
+
+    /// The most recently deposed primary, mutable (for fencing
+    /// probes).
+    pub fn retired_mut(&mut self) -> Option<&mut QuorumPrimary> {
+        self.retired.as_mut()
+    }
+
+    /// Member by name.
+    pub fn member(&self, name: &str) -> Option<&Follower> {
+        self.members.get(name).map(|m| &m.follower)
+    }
+
+    /// Registered member names.
+    pub fn member_names(&self) -> Vec<String> {
+        self.members.keys().cloned().collect()
+    }
+
+    /// Highest applied LSN member `name` has acked.
+    pub fn member_applied(&self, name: &str) -> u64 {
+        self.members.get(name).map_or(0, |m| m.applied_lsn)
+    }
+
+    /// Highest durably-synced LSN member `name` has acked.
+    pub fn member_synced(&self, name: &str) -> u64 {
+        self.members.get(name).map_or(0, |m| m.synced_lsn)
+    }
+
+    /// Whether member `name` crashed (needs a restart).
+    pub fn member_crashed(&self, name: &str) -> bool {
+        self.members.get(name).is_some_and(|m| m.crashed)
+    }
+
+    /// Whether member `name` is refusing replay (needs a rebuild).
+    pub fn member_refusing(&self, name: &str) -> bool {
+        self.members.get(name).is_some_and(|m| m.refusing)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Transport operations performed so far.
+    pub fn transport_steps(&self) -> u64 {
+        self.transport.steps()
+    }
+
+    /// Direct access to the transport — fault harnesses inject forged
+    /// or hostile protocol messages through this.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+}

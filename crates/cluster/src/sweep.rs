@@ -1,0 +1,739 @@
+//! Fault-injected quorum sweep: the cluster subsystem's correctness
+//! argument, executable.
+//!
+//! [`cluster_sweep`] extends the replication sweep to the quorum
+//! setting. It runs the seeded workload
+//! ([`mvolap_durable::generate`]) on a primary with two members under
+//! majority-ack commit, then re-runs it once per injection point
+//! across two fault classes:
+//!
+//! 1. **Primary crashes** — the primary's I/O layer crashes at every
+//!    I/O primitive. The survivors must elect a new primary
+//!    deterministically, every *quorum-acknowledged* commit must be
+//!    present (same LSN, same frame CRC) on the winner, and the
+//!    crashed primary must rejoin by truncating any un-quorum'd
+//!    suffix before replicating again.
+//! 2. **Partitions** — member `m1` is cut off at every transport
+//!    step. A healing outage must reconverge byte-identically; a
+//!    permanent partition must still quorum through the surviving
+//!    member, and an operator failover must fence the deposed primary
+//!    so it refuses writes in the new epoch — the dual-primary probe.
+//!
+//! A staged quorum-loss scenario additionally proves a leaderless,
+//! partitioned group refuses to elect ([`ReplicaError::NoQuorum`])
+//! rather than risk two histories, then elects automatically once the
+//! partition heals.
+
+use std::path::Path;
+
+use mvolap_core::persist::write_tmd;
+use mvolap_core::Tmd;
+use mvolap_durable::fault::{generate, Step, Workload};
+use mvolap_durable::{
+    CheckpointPolicy, DurableError, FaultPlan, GroupConfig, Io, Options, TimeSource, WalRecord,
+};
+use mvolap_replica::{ReplicaError, ReplicaMsg, ReplicaTransport, TransportError};
+
+use crate::set::{ClusterConfig, ClusterEvent, ClusterSet, RejoinOutcome};
+
+/// The reference query every surviving node must answer identically to
+/// the in-memory prefix replay.
+const QUERY: &str = "SELECT sum(Amount) BY year, Org.Division IN MODE tcm";
+
+/// Ticks the drain loop will spend waiting for convergence. Generous:
+/// a cut member burns only a couple of transport operations per tick,
+/// so healing an outage takes many rounds.
+const DRAIN_TICKS: usize = 128;
+
+/// Cut transport operations before a healing outage repairs itself.
+/// Must be comfortably below `DRAIN_TICKS` × ops-per-tick (~2 for a
+/// silent member) so convergence is reachable within the drain budget.
+const OUTAGE_OPS: u64 = 32;
+
+/// What a [`cluster_sweep`] established.
+#[derive(Debug, Default)]
+pub struct ClusterSweepOutcome {
+    /// Total injection points exercised across all classes.
+    pub injection_points: u64,
+    /// Runs where the primary's I/O crashed.
+    pub primary_crashes: u64,
+    /// Runs with an injected partition (healing or permanent).
+    pub partitions: u64,
+    /// Healing outages that reconverged exactly.
+    pub healed_outages: u64,
+    /// Elections won (crash failovers and operator failovers).
+    pub elections: u64,
+    /// Elections that closed without a majority.
+    pub failed_elections: u64,
+    /// Deposed primaries observed refusing a write with `Fenced` —
+    /// the dual-primary probe.
+    pub fenced_refusals: u64,
+    /// Rejoins that truncated an un-quorum'd suffix.
+    pub truncated_rejoins: u64,
+    /// Rejoins that wiped and re-bootstrapped.
+    pub rebuilt_rejoins: u64,
+    /// Rejoins whose log was already a clean prefix.
+    pub clean_rejoins: u64,
+    /// Crashes so early no member held state to elect.
+    pub unpromotable: u64,
+    /// Commits that timed out waiting for quorum (locally durable,
+    /// never cluster-acknowledged).
+    pub unreplicated_commits: u64,
+    /// Logical records in the workload.
+    pub records: usize,
+}
+
+/// Store options matching the durable and replica sweeps: tiny
+/// segments so rotation and pruning happen often, manual checkpoints.
+fn sweep_options() -> Options {
+    Options {
+        segment_bytes: 2048,
+        policy: CheckpointPolicy::manual(),
+        prune_on_checkpoint: true,
+    }
+}
+
+fn sweep_cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        batch_frames: 32,
+        heartbeat_miss_limit: 3,
+        commit_ticks: 16,
+    }
+}
+
+/// Deterministic group commit: no hold window, manual clock — the
+/// watermark moves only through supervision rounds.
+fn sweep_group_config() -> GroupConfig {
+    GroupConfig {
+        hold_ms: 0,
+        time: TimeSource::manual(0),
+    }
+}
+
+fn serialise(tmd: &Tmd) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_tmd(tmd, &mut buf).expect("in-memory serialisation cannot fail");
+    buf
+}
+
+/// Fingerprints the reference query's full answer through the query
+/// pipeline, value bits and confidences included.
+fn fingerprint(tmd: &Tmd) -> Result<Vec<String>, String> {
+    let svs = tmd.structure_versions();
+    let rs = mvolap_query::run_with_versions(tmd, &svs, QUERY)
+        .map_err(|e| format!("query failed: {e}"))?;
+    Ok(rs
+        .rows
+        .iter()
+        .map(|r| {
+            let cells: Vec<String> = r
+                .cells
+                .iter()
+                .map(|c| format!("{}:{:?}", c.value.map_or(0, f64::to_bits), c.confidence))
+                .collect();
+            format!("{}|{}|{}", r.time, r.keys.join(","), cells.join(","))
+        })
+        .collect())
+}
+
+/// A channel transport that silently cuts traffic to and from a set of
+/// nodes once a global operation counter passes `from_step`, for
+/// `outage_len` cut operations (`u64::MAX` = permanent partition).
+/// Unlike [`mvolap_replica::FaultyTransport`] the cut is *per node*:
+/// the rest of the group keeps replicating, which is what makes the
+/// quorum path observable.
+#[derive(Debug)]
+struct MemberPartition {
+    inner: mvolap_replica::ChannelTransport,
+    cut: Vec<String>,
+    from_step: u64,
+    outage_len: u64,
+    ops: u64,
+    faulted_ops: u64,
+}
+
+impl MemberPartition {
+    fn new(cut: &[&str], from_step: u64, outage_len: u64) -> MemberPartition {
+        MemberPartition {
+            inner: mvolap_replica::ChannelTransport::new(),
+            cut: cut.iter().map(|s| (*s).to_string()).collect(),
+            from_step,
+            outage_len,
+            ops: 0,
+            faulted_ops: 0,
+        }
+    }
+
+    /// A partition that never fires.
+    fn clean() -> MemberPartition {
+        MemberPartition::new(&[], u64::MAX, 0)
+    }
+
+    fn faulted(&mut self, node: &str) -> bool {
+        self.ops += 1;
+        if self.ops <= self.from_step || !self.cut.iter().any(|c| c == node) {
+            return false;
+        }
+        if self.faulted_ops >= self.outage_len {
+            return false; // Outage over; the link healed.
+        }
+        self.faulted_ops += 1;
+        true
+    }
+}
+
+impl ReplicaTransport for MemberPartition {
+    fn send(&mut self, to: &str, msg: &ReplicaMsg) -> Result<(), TransportError> {
+        // A partitioned member can neither be reached nor speak: its
+        // own outbound traffic (hellos the supervisor sends on its
+        // behalf carry its name as sender via the message itself) is
+        // modelled by cutting everything addressed to or naming it.
+        let from = match msg {
+            ReplicaMsg::Hello { node, .. }
+            | ReplicaMsg::Ack { node, .. }
+            | ReplicaMsg::QuorumAck { node, .. }
+            | ReplicaMsg::VoteGrant { node, .. } => node.as_str(),
+            _ => "",
+        };
+        if self.faulted(to) || (!from.is_empty() && self.faulted(from)) {
+            return Ok(()); // Silently dropped.
+        }
+        self.inner.send(to, msg)
+    }
+
+    fn recv(&mut self, node: &str) -> Result<Option<ReplicaMsg>, TransportError> {
+        if self.faulted(node) {
+            return Ok(None);
+        }
+        self.inner.recv(node)
+    }
+
+    fn steps(&self) -> u64 {
+        self.ops
+    }
+}
+
+/// Result of one clustered workload run.
+struct ClusterRun {
+    /// The set, unless the primary crashed while bootstrapping.
+    set: Option<ClusterSet<MemberPartition>>,
+    /// Every commit the cluster *acknowledged* at quorum: `(lsn, frame
+    /// crc)` — the records no failure is allowed to lose.
+    acked: Vec<(u64, u32)>,
+    committed: u64,
+    unreplicated: u64,
+    primary_crashed: bool,
+}
+
+/// Runs `workload` on a fresh primary + m1 + m2 group under `base`
+/// with majority-ack commits. Injected crashes are recorded;
+/// non-faulty failures are hard errors.
+fn run_cluster(
+    base: &Path,
+    workload: &Workload,
+    primary_io: Io,
+    transport: MemberPartition,
+) -> Result<ClusterRun, String> {
+    std::fs::remove_dir_all(base).ok();
+    let mut set = match ClusterSet::bootstrap(
+        base,
+        workload.seed_schema.clone(),
+        sweep_options(),
+        sweep_group_config(),
+        sweep_cluster_config(),
+        transport,
+        primary_io,
+    ) {
+        Ok(set) => set,
+        Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+            return Ok(ClusterRun {
+                set: None,
+                acked: Vec::new(),
+                committed: 0,
+                unreplicated: 0,
+                primary_crashed: true,
+            })
+        }
+        Err(e) => return Err(format!("cluster bootstrap failed non-faultily: {e}")),
+    };
+    set.add_member("m1", Io::plain());
+    set.add_member("m2", Io::plain());
+
+    let mut run = ClusterRun {
+        set: None,
+        acked: Vec::new(),
+        committed: 0,
+        unreplicated: 0,
+        primary_crashed: false,
+    };
+    for step in &workload.steps {
+        let res = match step {
+            Step::Op(record) => set.commit_quorum(record.clone()).map(Some),
+            Step::Checkpoint => set.checkpoint().map(|()| None),
+        };
+        match res {
+            Ok(Some(lsn)) => {
+                run.committed += 1;
+                let crc = set
+                    .primary()
+                    .expect("primary lives")
+                    .tailer()
+                    .crc_at(lsn)
+                    .map_err(|e| format!("crc_at({lsn}) failed: {e}"))?;
+                if let Some(crc) = crc {
+                    run.acked.push((lsn, crc));
+                }
+            }
+            Ok(None) => {}
+            Err(ReplicaError::Durable(DurableError::Unreplicated { .. })) => {
+                // Locally durable, never cluster-acknowledged: the
+                // session would see a typed `unreplicated` error. The
+                // workload presses on.
+                run.unreplicated += 1;
+            }
+            Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+                run.primary_crashed = true;
+                break;
+            }
+            Err(e) => return Err(format!("workload step failed non-faultily: {e}")),
+        }
+    }
+    run.set = Some(set);
+    Ok(run)
+}
+
+/// Asserts every quorum-acknowledged `(lsn, crc)` pair is present in
+/// the current primary's log (or pruned into a covering checkpoint —
+/// never *different*).
+fn assert_acked_present(
+    set: &ClusterSet<MemberPartition>,
+    acked: &[(u64, u32)],
+    what: &str,
+) -> Result<(), String> {
+    let tailer = set.primary().expect("primary lives").tailer();
+    for (lsn, crc) in acked {
+        match tailer.crc_at(*lsn) {
+            Ok(Some(c)) if c == *crc => {}
+            Ok(Some(c)) => {
+                return Err(format!(
+                    "{what}: acked LSN {lsn} rewritten (crc {crc:#010x} -> {c:#010x})"
+                ))
+            }
+            Ok(None) => {} // Pruned into a checkpoint; still durable.
+            Err(e) => return Err(format!("{what}: acked LSN {lsn} unreadable: {e}")),
+        }
+    }
+    Ok(())
+}
+
+/// Asserts the primary's state equals the in-memory replay of its own
+/// log length, and answers the reference query identically.
+fn assert_prefix_consistent(
+    set: &ClusterSet<MemberPartition>,
+    prefix_bytes: &[Vec<u8>],
+    prefix_tmds: &[Tmd],
+    what: &str,
+) -> Result<usize, String> {
+    let p = set.primary().expect("primary lives");
+    let q = (p.wal_position() - 2) as usize;
+    if q >= prefix_bytes.len() {
+        return Err(format!("{what}: primary holds {q} records, out of range"));
+    }
+    let schema = p.schema();
+    if serialise(&schema) != prefix_bytes[q] {
+        return Err(format!(
+            "{what}: primary state is not byte-identical to prefix {q}"
+        ));
+    }
+    if fingerprint(&schema)? != fingerprint(&prefix_tmds[q])? {
+        return Err(format!(
+            "{what}: primary answers the reference query differently at prefix {q}"
+        ));
+    }
+    Ok(q)
+}
+
+/// Pumps ticks until member `name` catches the primary's head (or the
+/// tick budget runs out); asserts byte-identity once caught.
+fn converge_member(
+    set: &mut ClusterSet<MemberPartition>,
+    name: &str,
+    prefix_bytes: &[Vec<u8>],
+    what: &str,
+) -> Result<(), String> {
+    let head = set.primary().expect("primary lives").wal_position();
+    for _ in 0..DRAIN_TICKS {
+        if set.member(name).is_some_and(|f| f.next_lsn() >= head) {
+            break;
+        }
+        set.tick();
+    }
+    let f = set
+        .member(name)
+        .ok_or_else(|| format!("{what}: member {name} missing"))?;
+    if f.next_lsn() < head {
+        return Err(format!(
+            "{what}: member {name} stopped at LSN {} of {head}",
+            f.next_lsn()
+        ));
+    }
+    let q = (head - 2) as usize;
+    let schema = f
+        .schema()
+        .ok_or_else(|| format!("{what}: member {name} never bootstrapped"))?;
+    if serialise(schema) != prefix_bytes[q] {
+        return Err(format!(
+            "{what}: member {name} diverged from the applied sequence"
+        ));
+    }
+    Ok(())
+}
+
+/// A probe record for fencing checks.
+fn probe_record(workload: &Workload) -> WalRecord {
+    workload
+        .steps
+        .iter()
+        .find_map(|s| match s {
+            Step::Op(r) => Some(r.clone()),
+            Step::Checkpoint => None,
+        })
+        .expect("workload has records")
+}
+
+/// Staged quorum-loss scenario: the primary dies while `m1` is
+/// partitioned, so the group cannot reach a majority — the election
+/// must fail with a typed [`ReplicaError::NoQuorum`] and the group
+/// must stay primary-less. Once the partition heals, the supervisor's
+/// own heartbeat-miss counter must elect without being asked.
+fn quorum_loss_scenario(
+    base: &Path,
+    workload: &Workload,
+    outcome: &mut ClusterSweepOutcome,
+) -> Result<(), String> {
+    // Partition m1 after the workload replicates (large from_step
+    // would be fragile; instead cut from step 0 of the *post-workload*
+    // phase by running the workload on a clean transport first is not
+    // possible with one transport — so cut m1 late, after more steps
+    // than the clean run ever used).
+    let transport = MemberPartition::new(&["m1"], u64::MAX / 2, u64::MAX);
+    let run = run_cluster(base, workload, Io::plain(), transport)?;
+    if run.primary_crashed {
+        return Err("quorum-loss scenario: primary crashed faultlessly".to_string());
+    }
+    if run.committed != workload.records as u64 {
+        return Err(format!(
+            "quorum-loss scenario committed {}/{}",
+            run.committed, workload.records
+        ));
+    }
+    // Now cut m1 for a bounded outage and kill the primary: only m2
+    // answers, and 1 vote of 2 required must be refused.
+    // Reach into the transport via a fresh partition window: rebuild
+    // the set is unnecessary — m1 is still healthy here, so emulate
+    // the outage by crashing m1's link instead: partition semantics
+    // need the transport, so this scenario uses its own transport cut
+    // from the start of the leaderless phase.
+    drop(run);
+
+    // Rebuild with a partition that starts early enough to suppress
+    // m1's vote but heals: measure the clean run's steps first.
+    let clean = run_cluster(base, workload, Io::plain(), MemberPartition::clean())?;
+    let steps_after_workload = clean.set.as_ref().map_or(0, ClusterSet::transport_steps);
+    drop(clean);
+    let transport = MemberPartition::new(&["m1"], steps_after_workload, OUTAGE_OPS);
+    let mut run = run_cluster(base, workload, Io::plain(), transport)?;
+    let set = run.set.as_mut().expect("set lives");
+    let acked = run.acked.clone();
+    let old = set.kill_primary().expect("primary present");
+    drop(old);
+    // Direct election while m1 is cut: m2 stands, m1 cannot vote.
+    match set.elect() {
+        Err(ReplicaError::NoQuorum {
+            votes, required, ..
+        }) => {
+            if votes >= required {
+                return Err("quorum-loss scenario: NoQuorum with enough votes".to_string());
+            }
+            outcome.failed_elections += 1;
+        }
+        other => {
+            return Err(format!(
+                "quorum-loss scenario: election without a majority did not refuse ({other:?})"
+            ))
+        }
+    }
+    if set.primary().is_some() {
+        return Err("quorum-loss scenario: a primary appeared without quorum".to_string());
+    }
+    // Heartbeat-miss driven: once the outage window is consumed, the
+    // supervisor's own tick must elect.
+    let mut elected = false;
+    for _ in 0..DRAIN_TICKS {
+        let events = set.tick();
+        if events
+            .iter()
+            .any(|e| matches!(e, ClusterEvent::Elected { .. }))
+        {
+            elected = true;
+            break;
+        }
+    }
+    if !elected {
+        return Err("quorum-loss scenario: healed partition never elected".to_string());
+    }
+    outcome.elections += 1;
+    assert_acked_present(set, &acked, "quorum-loss scenario")?;
+    std::fs::remove_dir_all(base).ok();
+    Ok(())
+}
+
+/// Sweeps every fault-injection point of the quorum-replicated
+/// workload and checks the cluster invariants at each one: **no
+/// quorum-acknowledged commit is ever lost** across a single-node
+/// crash or partition, and **no two primaries accept writes in the
+/// same epoch** (the deposed one is probed at every failover).
+///
+/// # Errors
+///
+/// A description of the first violated invariant — any `Err` is a
+/// cluster bug.
+pub fn cluster_sweep(
+    base_dir: &Path,
+    seed: u64,
+    target_records: usize,
+) -> Result<ClusterSweepOutcome, String> {
+    let workload = generate(seed, target_records);
+
+    // Prefix states, exactly as in the durable crash sweep.
+    let mut prefix_bytes = Vec::with_capacity(workload.records + 1);
+    let mut prefix_tmds = Vec::with_capacity(workload.records + 1);
+    let mut state = workload.seed_schema.clone();
+    prefix_bytes.push(serialise(&state));
+    prefix_tmds.push(state.clone());
+    for step in &workload.steps {
+        if let Step::Op(record) = step {
+            record
+                .apply(&mut state)
+                .map_err(|e| format!("prefix replay failed: {e}"))?;
+            prefix_bytes.push(serialise(&state));
+            prefix_tmds.push(state.clone());
+        }
+    }
+
+    let mut outcome = ClusterSweepOutcome {
+        records: workload.records,
+        ..ClusterSweepOutcome::default()
+    };
+
+    // ---- Stage 0: fault-free quorum run ----------------------------
+    let free_dir = base_dir.join("free");
+    let free = run_cluster(&free_dir, &workload, Io::plain(), MemberPartition::clean())?;
+    let mut set = free.set.expect("fault-free run has a set");
+    if free.primary_crashed || free.unreplicated != 0 || free.committed != workload.records as u64 {
+        return Err(format!(
+            "fault-free run committed {}/{} ({} unreplicated)",
+            free.committed, workload.records, free.unreplicated
+        ));
+    }
+    if free.acked.len() != workload.records {
+        return Err(format!(
+            "fault-free run acked {} of {} commits",
+            free.acked.len(),
+            workload.records
+        ));
+    }
+    let head = set.primary().expect("primary lives").wal_position();
+    if set.primary().expect("primary lives").quorum_lsn() < head {
+        return Err("fault-free watermark never caught the head".to_string());
+    }
+    converge_member(&mut set, "m1", &prefix_bytes, "fault-free")?;
+    converge_member(&mut set, "m2", &prefix_bytes, "fault-free")?;
+    let primary_points = set
+        .primary()
+        .expect("primary lives")
+        .group()
+        .with_store(mvolap_durable::DurableTmd::io_ops);
+    let transport_points = set.transport_steps();
+    drop(set);
+
+    // ---- Stage A: primary crashes at every I/O primitive -----------
+    let a_dir = base_dir.join("p-crash");
+    for k in 0..primary_points {
+        outcome.injection_points += 1;
+        let io = Io::faulty(FaultPlan::crash_after(k, seed));
+        let transport = MemberPartition::clean();
+        let run = run_cluster(&a_dir, &workload, io, transport)?;
+        let Some(mut set) = run.set else {
+            outcome.primary_crashes += 1;
+            outcome.unpromotable += 1; // Crashed creating the primary.
+            continue;
+        };
+        if !run.primary_crashed {
+            // The fault fired inside a read path or not at all on this
+            // run's shorter op sequence; the workload completed — treat
+            // as a clean point.
+            assert_acked_present(&set, &run.acked, &format!("primary crash {k} (no-fire)"))?;
+            continue;
+        }
+        outcome.primary_crashes += 1;
+        outcome.unreplicated_commits += run.unreplicated;
+        let old = set.kill_primary().expect("primary present before kill");
+        drop(old); // Release the store handle; rejoin reopens the dir.
+        match set.elect() {
+            Ok((_winner, _epoch)) => {
+                outcome.elections += 1;
+                assert_acked_present(&set, &run.acked, &format!("primary crash {k}"))?;
+                assert_prefix_consistent(
+                    &set,
+                    &prefix_bytes,
+                    &prefix_tmds,
+                    &format!("primary crash {k}"),
+                )?;
+                // The crashed primary rejoins: recovery, then the
+                // truncation-on-rejoin invariant — any suffix beyond
+                // the CRC match point with the new primary is cut.
+                match set.rejoin_member("primary") {
+                    Ok(RejoinOutcome::Truncated { .. }) => outcome.truncated_rejoins += 1,
+                    Ok(RejoinOutcome::Rebuilt) => outcome.rebuilt_rejoins += 1,
+                    Ok(RejoinOutcome::Clean) => outcome.clean_rejoins += 1,
+                    Err(e) => return Err(format!("primary crash {k}: rejoin failed: {e}")),
+                }
+                converge_member(
+                    &mut set,
+                    "primary",
+                    &prefix_bytes,
+                    &format!("primary crash {k}"),
+                )?;
+                assert_acked_present(&set, &run.acked, &format!("primary crash {k} post-rejoin"))?;
+            }
+            Err(ReplicaError::NoQuorum { .. }) if run.acked.is_empty() => {
+                // Crashed before anything replicated; no member holds
+                // state worth electing.
+                outcome.unpromotable += 1;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "primary crash {k}: election failed despite {} acked commits: {e}",
+                    run.acked.len()
+                ))
+            }
+        }
+    }
+
+    // ---- Stage B: partition member m1 at every transport step ------
+    let b_dir = base_dir.join("partition");
+    for j in (0..transport_points).step_by(1) {
+        outcome.injection_points += 1;
+        outcome.partitions += 1;
+        if j % 2 == 0 {
+            // Healing outage: the group must reconverge exactly, and
+            // no commit may be lost or rewritten.
+            let transport = MemberPartition::new(&["m1"], j, OUTAGE_OPS);
+            let run = run_cluster(&b_dir, &workload, Io::plain(), transport)?;
+            if run.primary_crashed {
+                return Err(format!("partition {j}: primary was disturbed"));
+            }
+            let mut set = run.set.expect("set lives");
+            outcome.unreplicated_commits += run.unreplicated;
+            assert_acked_present(&set, &run.acked, &format!("partition {j}"))?;
+            converge_member(&mut set, "m1", &prefix_bytes, &format!("partition {j}"))?;
+            converge_member(&mut set, "m2", &prefix_bytes, &format!("partition {j}"))?;
+            outcome.healed_outages += 1;
+        } else {
+            // Permanent partition of m1, then an operator failover:
+            // the quorum must have stayed reachable through m2, the
+            // deposed primary must be fenced, and it must refuse a
+            // write in the new epoch — no two primaries ever accept
+            // writes in the same epoch.
+            let transport = MemberPartition::new(&["m1"], j, u64::MAX);
+            let run = run_cluster(&b_dir, &workload, Io::plain(), transport)?;
+            if run.primary_crashed {
+                return Err(format!("partition {j}: primary was disturbed"));
+            }
+            let mut set = run.set.expect("set lives");
+            outcome.unreplicated_commits += run.unreplicated;
+            if run.unreplicated > 0 {
+                return Err(format!(
+                    "partition {j}: quorum unreachable with a single member cut \
+                     ({} unreplicated)",
+                    run.unreplicated
+                ));
+            }
+            assert_acked_present(&set, &run.acked, &format!("partition {j}"))?;
+            match set.elect() {
+                Ok((_winner, epoch)) => {
+                    outcome.elections += 1;
+                    assert_acked_present(&set, &run.acked, &format!("partition {j} failover"))?;
+                    assert_prefix_consistent(
+                        &set,
+                        &prefix_bytes,
+                        &prefix_tmds,
+                        &format!("partition {j} failover"),
+                    )?;
+                    let old = set.retired_mut().expect("deposed primary retained");
+                    if !old.is_fenced() {
+                        return Err(format!("partition {j}: deposed primary not fenced"));
+                    }
+                    match old.commit(probe_record(&workload)) {
+                        Err(ReplicaError::Fenced { epoch: at }) => {
+                            if at != epoch {
+                                return Err(format!(
+                                    "partition {j}: fenced at epoch {at}, expected {epoch}"
+                                ));
+                            }
+                            outcome.fenced_refusals += 1;
+                        }
+                        other => {
+                            return Err(format!(
+                                "partition {j}: deposed primary accepted a write ({other:?})"
+                            ))
+                        }
+                    }
+                    // The deposed primary rejoins the group it lost.
+                    match set.rejoin_member("primary") {
+                        Ok(RejoinOutcome::Truncated { .. }) => outcome.truncated_rejoins += 1,
+                        Ok(RejoinOutcome::Rebuilt) => outcome.rebuilt_rejoins += 1,
+                        Ok(RejoinOutcome::Clean) => outcome.clean_rejoins += 1,
+                        Err(e) => return Err(format!("partition {j}: rejoin failed: {e}")),
+                    }
+                    converge_member(
+                        &mut set,
+                        "primary",
+                        &prefix_bytes,
+                        &format!("partition {j} rejoin"),
+                    )?;
+                }
+                Err(ReplicaError::NoQuorum { .. }) => {
+                    // The partition fired before m2 replicated enough
+                    // to stand safely; the standing primary must keep
+                    // serving.
+                    outcome.failed_elections += 1;
+                    let lsn = set
+                        .commit_local(probe_record(&workload))
+                        .map_err(|e| format!("partition {j}: standing primary refused: {e}"))?;
+                    if lsn == 0 {
+                        return Err(format!("partition {j}: probe commit returned LSN 0"));
+                    }
+                    assert_acked_present(&set, &run.acked, &format!("partition {j} no-quorum"))?;
+                }
+                Err(e) => return Err(format!("partition {j}: election failed oddly: {e}")),
+            }
+        }
+    }
+
+    // ---- Staged scenario: quorum loss refuses election -------------
+    quorum_loss_scenario(&base_dir.join("q-loss"), &workload, &mut outcome)?;
+
+    if outcome.fenced_refusals == 0 {
+        return Err("no failover ever probed the dual-primary invariant".to_string());
+    }
+    if outcome.elections == 0 {
+        return Err("no election ever ran".to_string());
+    }
+
+    std::fs::remove_dir_all(&free_dir).ok();
+    std::fs::remove_dir_all(&a_dir).ok();
+    std::fs::remove_dir_all(&b_dir).ok();
+    Ok(outcome)
+}

@@ -1,0 +1,403 @@
+//! Cluster integration tests: quorum commit, deterministic election,
+//! fencing, truncation-on-rejoin, read routing, and the full
+//! fault-injection sweep.
+
+use std::path::{Path, PathBuf};
+
+use mvolap_cluster::{cluster_sweep, ClusterConfig, ClusterSet, LocalCluster, RejoinOutcome};
+use mvolap_durable::fault::{generate, Step};
+use mvolap_durable::{
+    CheckpointPolicy, DurableError, GroupConfig, Io, Options, TimeSource, WalRecord,
+};
+use mvolap_replica::{ChannelTransport, NetAddr, NetConfig, ReplicaError};
+use mvolap_server::{ServerError, ServerOptions};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mvolap_cluster_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> Options {
+    Options {
+        segment_bytes: 2048,
+        policy: CheckpointPolicy::manual(),
+        prune_on_checkpoint: true,
+    }
+}
+
+fn group_cfg() -> GroupConfig {
+    GroupConfig {
+        hold_ms: 0,
+        time: TimeSource::manual(0),
+    }
+}
+
+/// A three-node group (primary + m1 + m2) with `n` quorum-committed
+/// records from the seeded workload, plus the remaining records of the
+/// workload for later use.
+fn three_nodes(dir: &Path, n: usize) -> (ClusterSet<ChannelTransport>, Vec<WalRecord>) {
+    let workload = generate(7, n + 4);
+    let mut records: Vec<WalRecord> = workload
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Op(r) => Some(r.clone()),
+            Step::Checkpoint => None,
+        })
+        .collect();
+    let rest = records.split_off(n);
+    let mut set = ClusterSet::bootstrap(
+        dir,
+        workload.seed_schema.clone(),
+        opts(),
+        group_cfg(),
+        ClusterConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .expect("bootstrap");
+    set.add_member("m1", Io::plain());
+    set.add_member("m2", Io::plain());
+    for r in records {
+        set.commit_quorum(r).expect("quorum commit");
+    }
+    (set, rest)
+}
+
+#[test]
+fn quorum_commit_advances_watermark_and_members() {
+    let dir = tmp("watermark");
+    let (set, _) = three_nodes(&dir, 5);
+    let p = set.primary().expect("primary alive");
+    let head = p.wal_position();
+    assert!(
+        p.quorum_lsn() >= head - 1,
+        "watermark {} never caught head {head}",
+        p.quorum_lsn()
+    );
+    // A majority acked every commit; with a fully-connected channel
+    // transport *both* members end up at the head.
+    for m in ["m1", "m2"] {
+        assert!(
+            set.member_synced(m) >= head - 1,
+            "{m} synced only to {}",
+            set.member_synced(m)
+        );
+    }
+    assert_eq!(set.quorum_required(), 2);
+    assert_eq!(set.group_size(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn commit_without_reachable_members_is_unreplicated() {
+    let dir = tmp("unreplicated");
+    let workload = generate(3, 2);
+    let record = workload
+        .steps
+        .iter()
+        .find_map(|s| match s {
+            Step::Op(r) => Some(r.clone()),
+            Step::Checkpoint => None,
+        })
+        .unwrap();
+    // Both members crash on their very first I/O primitive: they exist
+    // but can never fsync, so no ack ever arrives and the commit must
+    // surface the typed unreplicated error while staying locally
+    // durable.
+    let mut set = ClusterSet::bootstrap(
+        &dir,
+        workload.seed_schema,
+        opts(),
+        group_cfg(),
+        ClusterConfig {
+            commit_ticks: 4,
+            ..ClusterConfig::default()
+        },
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .expect("bootstrap");
+    set.add_member(
+        "m1",
+        Io::faulty(mvolap_durable::FaultPlan::crash_after(0, 1)),
+    );
+    set.add_member(
+        "m2",
+        Io::faulty(mvolap_durable::FaultPlan::crash_after(0, 1)),
+    );
+    match set.commit_quorum(record) {
+        Err(ReplicaError::Durable(DurableError::Unreplicated { lsn, acked })) => {
+            assert_eq!(acked, 1, "only the primary's own fsync counts");
+            assert!(lsn >= 2);
+        }
+        other => panic!("expected Unreplicated, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn election_is_deterministic_and_fences_the_deposed_primary() {
+    let dir = tmp("election");
+    let (mut set, rest) = three_nodes(&dir, 5);
+    let epoch_before = set.epoch();
+    let old = set.kill_primary().expect("primary present");
+    drop(old);
+    let (winner, epoch) = set.elect().expect("two live members elect");
+    // Both members are at the same LSN, so the tie breaks on the
+    // member id — deterministically the lexically greatest.
+    assert_eq!(winner, "m2");
+    assert!(epoch > epoch_before);
+    assert_eq!(set.primary().expect("new primary").name(), "m2");
+    assert_eq!(set.primary().expect("new primary").epoch(), epoch);
+    // m2 left the member set; m1 remains.
+    assert_eq!(set.member_names(), vec!["m1".to_string()]);
+    // The group keeps committing at quorum (primary + m1 = 2 of 3).
+    let mut rest = rest;
+    let r = rest.remove(0);
+    set.commit_quorum(r).expect("post-failover quorum commit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn operator_failover_fences_live_primary() {
+    let dir = tmp("failover");
+    let (mut set, mut rest) = three_nodes(&dir, 5);
+    // Planned handover: the primary is alive and yields.
+    let (winner, epoch) = set.elect().expect("operator failover");
+    assert_eq!(winner, "m2");
+    let retired = set.retired_mut().expect("deposed primary retained");
+    assert!(retired.is_fenced());
+    match retired.commit(rest.remove(0)) {
+        Err(ReplicaError::Fenced { epoch: at }) => assert_eq!(at, epoch),
+        other => panic!("deposed primary accepted a write: {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejoin_truncates_unquorumed_suffix() {
+    let dir = tmp("rejoin");
+    let (mut set, mut rest) = three_nodes(&dir, 5);
+    // Two more commits that never replicate: locally durable only.
+    let first_lost = set.commit_local(rest.remove(0)).expect("local commit");
+    set.commit_local(rest.remove(0)).expect("local commit");
+    let old = set.kill_primary().expect("primary present");
+    drop(old);
+    let (winner, _) = set.elect().expect("election");
+    assert_eq!(winner, "m2");
+    // The deposed primary's log runs past the group's history; rejoin
+    // must cut the un-quorum'd suffix at the divergence point.
+    match set.rejoin_member("primary").expect("rejoin") {
+        RejoinOutcome::Truncated { cut } => assert_eq!(cut, first_lost),
+        other => panic!("expected truncation, got {other:?}"),
+    }
+    // And it now follows the new primary faithfully.
+    let head = set.primary().expect("primary").wal_position();
+    set.run_ticks(32);
+    assert!(set.member("primary").expect("rejoined").next_lsn() >= head);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn election_without_any_member_state_is_refused() {
+    let dir = tmp("noquorum");
+    let workload = generate(11, 2);
+    let mut set = ClusterSet::bootstrap(
+        &dir,
+        workload.seed_schema,
+        opts(),
+        group_cfg(),
+        ClusterConfig::default(),
+        ChannelTransport::new(),
+        Io::plain(),
+    )
+    .expect("bootstrap");
+    let old = set.kill_primary().expect("primary present");
+    drop(old);
+    match set.elect() {
+        Err(ReplicaError::NoQuorum {
+            votes, required, ..
+        }) => {
+            assert!(votes < required);
+        }
+        other => panic!("expected NoQuorum, got {other:?}"),
+    }
+    assert!(set.primary().is_none(), "no primary may appear sans quorum");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn read_routing_picks_the_freshest_member() {
+    let dir = tmp("routing");
+    let (set, _) = three_nodes(&dir, 5);
+    let head = set.primary().expect("primary").wal_position();
+    // Both members are at the head; the router must satisfy a bound
+    // just under it and break the tie deterministically.
+    let chosen = set.route_read(head - 1).expect("a member qualifies");
+    assert_eq!(chosen, "m2");
+    // A bound beyond every member is unsatisfiable.
+    assert!(set.route_read(head + 10).is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The quorum-envelope row the wire fuzz table cannot cover: a forged
+/// ack claiming a *future* LSN decodes fine, so the refusal is
+/// semantic — the supervisor must cap the claim at the primary's head
+/// so neither the quorum watermark nor read routing ever points past
+/// records that exist.
+#[test]
+fn forged_future_lsn_ack_never_advances_the_watermark() {
+    let dir = tmp("forged_ack");
+    let (mut set, _) = three_nodes(&dir, 4);
+    let head = set.primary().expect("primary").wal_position();
+    let epoch = set.epoch();
+    use mvolap_replica::{ReplicaMsg, ReplicaTransport};
+    set.transport_mut()
+        .send(
+            "primary",
+            &ReplicaMsg::QuorumAck {
+                node: "m1".to_string(),
+                epoch,
+                applied_lsn: head + 500,
+                synced_lsn: head + 500,
+            },
+        )
+        .unwrap();
+    set.run_ticks(4);
+    let p = set.primary().expect("primary");
+    assert!(
+        p.quorum_lsn() <= p.wal_position(),
+        "forged ack pushed the watermark past the head"
+    );
+    assert!(
+        set.member_synced("m1") <= head,
+        "forged ack inflated m1's position to {}",
+        set.member_synced("m1")
+    );
+    assert!(
+        set.route_read(head + 100).is_none(),
+        "read routed to a position nobody holds"
+    );
+    // An ack from a *future epoch* is ignored outright.
+    set.transport_mut()
+        .send(
+            "primary",
+            &ReplicaMsg::QuorumAck {
+                node: "m1".to_string(),
+                epoch: epoch + 10,
+                applied_lsn: head + 500,
+                synced_lsn: head + 500,
+            },
+        )
+        .unwrap();
+    set.run_ticks(4);
+    assert!(set.member_synced("m1") <= head);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The served three-node loopback group: quorum-gated commits over the
+/// wire, fleet read routing with the member named in refusals.
+#[test]
+fn served_cluster_quorums_commits_and_routes_reads() {
+    let dir = tmp("served");
+    let workload = generate(5, 3);
+    let records: Vec<WalRecord> = workload
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Op(r) => Some(r.clone()),
+            Step::Checkpoint => None,
+        })
+        .collect();
+    let loopback = NetAddr::parse("127.0.0.1:0").unwrap();
+    let cluster = LocalCluster::start(
+        &dir,
+        workload.seed_schema.clone(),
+        &loopback,
+        &[
+            ("m1".to_string(), loopback.clone()),
+            ("m2".to_string(), loopback.clone()),
+        ],
+        opts(),
+        GroupConfig::default(),
+        ServerOptions {
+            quorum_timeout_ms: 300,
+            ..ServerOptions::default()
+        },
+        NetConfig::default(),
+    )
+    .expect("cluster starts");
+
+    // 1. With nobody pumping replication, a commit is locally durable
+    //    but the quorum never forms: typed unreplicated refusal.
+    let mut client = cluster.client(NetConfig::default());
+    match client.commit(&records[0]) {
+        Err(ServerError::Unreplicated { acked, .. }) => {
+            assert_eq!(acked, 1, "only the primary acked");
+        }
+        other => panic!("expected Unreplicated, got {other:?}"),
+    }
+
+    // 2. With a pumper shipping the tail, the same commit path clears
+    //    the quorum and acks.
+    let group = cluster.group();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                cluster.pump().expect("pump");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        let lsn = client.commit(&records[1]).expect("quorum commit over wire");
+        assert!(group.quorum_lsn() > lsn);
+
+        // 3. Fleet read routing: a bound at the committed LSN is
+        //    served by a member; an unsatisfiable bound is refused
+        //    naming the freshest member consulted.
+        let out = client.read_at(lsn, "SELECT sum(Amount) BY year IN MODE tcm");
+        let table = out.expect("fleet read served");
+        assert!(!table.is_empty());
+        match client.read_at(lsn + 100, "SELECT sum(Amount) BY year IN MODE tcm") {
+            Err(ServerError::TooStale {
+                required, member, ..
+            }) => {
+                assert_eq!(required, lsn + 100);
+                let who = member.expect("fleet refusal names the member");
+                assert!(who == "m1" || who == "m2", "unexpected member {who}");
+            }
+            other => panic!("expected TooStale with member, got {other:?}"),
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    drop(cluster);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tentpole guarantee: the full fault sweep. Debug builds run a
+/// smaller workload (the release CI job runs the big one).
+#[test]
+fn cluster_sweep_holds_every_invariant() {
+    let records = if cfg!(debug_assertions) { 6 } else { 12 };
+    let dir = tmp("sweep");
+    let outcome = cluster_sweep(&dir, 0xC1u64, records).expect("sweep invariants hold");
+    let floor = if cfg!(debug_assertions) { 60 } else { 200 };
+    assert!(
+        outcome.injection_points >= floor,
+        "sweep too small: {} points (floor {floor})",
+        outcome.injection_points
+    );
+    assert!(outcome.primary_crashes > 0, "no primary crash exercised");
+    assert!(outcome.partitions > 0, "no partition exercised");
+    assert!(outcome.healed_outages > 0, "no outage healed");
+    assert!(outcome.elections > 0, "no election ran");
+    assert!(outcome.fenced_refusals > 0, "dual-primary probe never ran");
+    assert!(
+        outcome.truncated_rejoins + outcome.rebuilt_rejoins + outcome.clean_rejoins > 0,
+        "no rejoin exercised"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,6 +32,16 @@ pub enum DurableError {
         /// Base LSN of the oldest segment still on disk.
         oldest_available: u64,
     },
+    /// A commit was journaled and fsynced locally but did not reach a
+    /// replication quorum within its deadline. The record is durable on
+    /// this node and may still replicate later; the caller must not
+    /// treat it as majority-committed.
+    Unreplicated {
+        /// LSN of the locally durable record.
+        lsn: u64,
+        /// Nodes (including this one) known to have synced it.
+        acked: usize,
+    },
     /// Checkpoint (de)serialisation failure.
     Persist(PersistError),
     /// Replaying a record violated the model — validated replay refused
@@ -53,6 +63,11 @@ impl std::fmt::Display for DurableError {
                 f,
                 "requested LSN precedes the log (oldest available: {oldest_available}); \
                  re-bootstrap from a checkpoint"
+            ),
+            DurableError::Unreplicated { lsn, acked } => write!(
+                f,
+                "commit {lsn} is locally durable but unreplicated: \
+                 {acked} node(s) synced it, no quorum before the deadline"
             ),
             DurableError::Persist(e) => write!(f, "checkpoint error: {e}"),
             DurableError::Core(e) => write!(f, "replay error: {e}"),

@@ -20,7 +20,25 @@
 //! A failed sync poisons the underlying store; the failure is sticky
 //! and reported to every committer waiting on that batch and to all
 //! later commits, exactly like [`DurableTmd`]'s own poisoning.
+//!
+//! # Quorum watermark
+//!
+//! When the store is the primary of a replication group, local
+//! durability is not the whole contract: a majority of the group must
+//! hold the record before a crash of any single node can no longer
+//! lose it. [`GroupCommit`] therefore tracks a second watermark,
+//! [`GroupCommit::quorum_lsn`]: the highest position synced by at
+//! least ⌈group/2⌉+1 of the group's nodes, counting the primary's own
+//! [`GroupCommit::synced_lsn`] as one vote and one durably-synced
+//! position per member, reported via [`GroupCommit::member_synced`]
+//! (the replication supervisor calls it as acks arrive).
+//! [`GroupCommit::commit_replicated`] waits for this second watermark
+//! and fails with the typed [`DurableError::Unreplicated`] when the
+//! quorum does not form within its deadline — the record is then still
+//! locally durable, just not majority-committed. With a group of one
+//! (no quorum configured) the two watermarks coincide.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
@@ -55,10 +73,39 @@ impl Default for GroupConfig {
 struct SyncState {
     /// Every record with `lsn < synced_lsn` is durable on disk.
     synced_lsn: u64,
+    /// Every record with `lsn < quorum_lsn` is durable on a majority
+    /// of the replication group. Tracks `synced_lsn` when the group
+    /// has a single node.
+    quorum_lsn: u64,
+    /// Highest durably-synced position reported by each remote member.
+    members: BTreeMap<String, u64>,
+    /// Voting nodes in the replication group, this primary included.
+    /// `<= 1` disables quorum tracking.
+    group_size: usize,
     /// Whether some committer currently owns the sync gate.
     leader: bool,
     /// Sticky failure: a sync failed and poisoned the store.
     failed: bool,
+}
+
+impl SyncState {
+    /// Recomputes the quorum watermark from the primary's own synced
+    /// position plus every member's reported position: the `required`-th
+    /// largest position is held by a majority.
+    fn recompute_quorum(&mut self) {
+        if self.group_size <= 1 {
+            self.quorum_lsn = self.quorum_lsn.max(self.synced_lsn);
+            return;
+        }
+        let required = self.group_size / 2 + 1;
+        let mut positions: Vec<u64> = Vec::with_capacity(self.members.len() + 1);
+        positions.push(self.synced_lsn);
+        positions.extend(self.members.values().copied());
+        positions.sort_unstable_by(|a, b| b.cmp(a));
+        if positions.len() >= required {
+            self.quorum_lsn = self.quorum_lsn.max(positions[required - 1]);
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -101,6 +148,9 @@ impl GroupCommit {
                 store: RwLock::new(store),
                 sync: Mutex::new(SyncState {
                     synced_lsn,
+                    quorum_lsn: synced_lsn,
+                    members: BTreeMap::new(),
+                    group_size: 1,
                     leader: false,
                     failed: false,
                 }),
@@ -123,6 +173,112 @@ impl GroupCommit {
         let lsn = write_lock(&self.inner.store).apply_unsynced(record)?;
         self.await_sync(lsn)?;
         Ok(lsn)
+    }
+
+    /// Commits one record like [`GroupCommit::commit`], then waits
+    /// until the record is additionally covered by the quorum
+    /// watermark — durable on a majority of the replication group, the
+    /// primary included. A replication supervisor must be feeding
+    /// member positions in via [`GroupCommit::member_synced`]
+    /// concurrently, or the wait can only end in a timeout.
+    ///
+    /// With no quorum configured ([`GroupCommit::quorum_size`] `<= 1`)
+    /// this is exactly [`GroupCommit::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`GroupCommit::commit`] raises, plus the typed
+    /// [`DurableError::Unreplicated`] when the quorum does not form
+    /// within `timeout_ms` of the configured timeline — the record is
+    /// then locally durable but not majority-committed.
+    pub fn commit_replicated(
+        &self,
+        record: WalRecord,
+        timeout_ms: u64,
+    ) -> Result<u64, DurableError> {
+        let lsn = self.commit(record)?;
+        self.await_quorum(lsn, timeout_ms)?;
+        Ok(lsn)
+    }
+
+    /// Waits until the quorum watermark passes `lsn`, with a deadline
+    /// on the configured timeline.
+    fn await_quorum(&self, lsn: u64, timeout_ms: u64) -> Result<(), DurableError> {
+        let deadline = self.inner.cfg.time.now_ms() + timeout_ms;
+        let mut st = lock(&self.inner.sync);
+        loop {
+            if st.quorum_lsn > lsn {
+                return Ok(());
+            }
+            if st.failed {
+                return Err(DurableError::Poisoned);
+            }
+            if self.inner.cfg.time.now_ms() >= deadline {
+                // The local sync already covers `lsn` (commit returned),
+                // so this node counts as one ack.
+                let acked = 1 + st.members.values().filter(|&&p| p > lsn).count();
+                return Err(DurableError::Unreplicated { lsn, acked });
+            }
+            // Short slices keep the wait responsive to member acks and
+            // to manual-timeline advances.
+            st = self
+                .inner
+                .arrivals
+                .wait_timeout(st, Duration::from_millis(5))
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Declares the replication group's size (voting nodes, this
+    /// primary included) and resets which members are known. `<= 1`
+    /// disables quorum tracking and snaps the quorum watermark back to
+    /// the local one.
+    pub fn configure_quorum(&self, group_size: usize) {
+        let mut st = lock(&self.inner.sync);
+        st.group_size = group_size;
+        st.recompute_quorum();
+        self.inner.arrivals.notify_all();
+    }
+
+    /// Records that member `member` has durably synced every record
+    /// below `synced_lsn` (monotonic — stale reports are ignored) and
+    /// advances the quorum watermark if a majority now covers more.
+    pub fn member_synced(&self, member: &str, synced_lsn: u64) {
+        let mut st = lock(&self.inner.sync);
+        let slot = st.members.entry(member.to_string()).or_insert(0);
+        if synced_lsn <= *slot {
+            return;
+        }
+        *slot = synced_lsn;
+        st.recompute_quorum();
+        self.inner.arrivals.notify_all();
+    }
+
+    /// Drops a member's reported position (it left the group or is
+    /// being rebuilt); the watermark itself never moves backwards.
+    pub fn forget_member(&self, member: &str) {
+        lock(&self.inner.sync).members.remove(member);
+    }
+
+    /// First LSN **not** yet durable on a majority of the group.
+    /// Equals [`GroupCommit::synced_lsn`] when no quorum is configured.
+    pub fn quorum_lsn(&self) -> u64 {
+        lock(&self.inner.sync).quorum_lsn
+    }
+
+    /// Voting nodes in the replication group (1 = quorum off).
+    pub fn quorum_size(&self) -> usize {
+        lock(&self.inner.sync).group_size
+    }
+
+    /// Every member's last reported durably-synced position.
+    pub fn member_positions(&self) -> Vec<(String, u64)> {
+        lock(&self.inner.sync)
+            .members
+            .iter()
+            .map(|(n, &p)| (n.clone(), p))
+            .collect()
     }
 
     /// Waits until `lsn` is covered by a durable sync, becoming the
@@ -160,6 +316,7 @@ impl GroupCommit {
             match synced {
                 Ok(pos) => {
                     st.synced_lsn = st.synced_lsn.max(pos);
+                    st.recompute_quorum();
                     self.inner.arrivals.notify_all();
                     return Ok(());
                 }
@@ -206,6 +363,7 @@ impl GroupCommit {
         match synced {
             Ok(pos) => {
                 st.synced_lsn = st.synced_lsn.max(pos);
+                st.recompute_quorum();
                 self.inner.arrivals.notify_all();
                 Ok(pos)
             }
@@ -390,6 +548,67 @@ mod tests {
             Err(DurableError::Poisoned) => {}
             other => panic!("expected Poisoned, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quorum_watermark_requires_majority_acks() {
+        let dir = tmp("quorum");
+        let (tmd, leaf) = seed();
+        let store =
+            DurableTmd::create_with(&dir, tmd, Options::default(), crate::io::Io::plain()).unwrap();
+        let g = GroupCommit::new(
+            store,
+            GroupConfig {
+                hold_ms: 0,
+                time: TimeSource::manual(0),
+            },
+        );
+        let rec = |v: f64| WalRecord::FactBatch {
+            rows: vec![FactRow {
+                coords: vec![leaf],
+                at: Instant::ym(2001, 2),
+                values: vec![v],
+            }],
+        };
+
+        // Group of one: the two watermarks coincide.
+        let lsn = g.commit_replicated(rec(0.0), 0).unwrap();
+        assert_eq!(g.quorum_lsn(), g.synced_lsn());
+
+        // Group of three: local sync alone is one vote of the two
+        // required, so the watermark stalls and the deadline (already
+        // expired on the manual timeline) reports Unreplicated.
+        g.configure_quorum(3);
+        let stalled = g.quorum_lsn();
+        match g.commit_replicated(rec(1.0), 0) {
+            Err(DurableError::Unreplicated { lsn, acked }) => {
+                assert_eq!(acked, 1, "only the local sync covers {lsn}");
+            }
+            other => panic!("expected Unreplicated, got {other:?}"),
+        }
+        assert_eq!(g.quorum_lsn(), stalled);
+
+        // One member ack forms the 2-of-3 majority up to its position;
+        // stale re-reports are ignored, a second member changes nothing
+        // the majority doesn't already cover.
+        let head = g.synced_lsn();
+        g.member_synced("a", head);
+        assert_eq!(g.quorum_lsn(), head);
+        g.member_synced("a", lsn);
+        assert_eq!(g.quorum_lsn(), head, "stale ack must not regress");
+        g.member_synced("b", head);
+        assert_eq!(g.quorum_lsn(), head);
+        assert_eq!(
+            g.member_positions(),
+            vec![("a".to_string(), head), ("b".to_string(), head)]
+        );
+
+        // With a member already past the head, commit_replicated
+        // succeeds as soon as the local sync lands (2 of 3).
+        g.member_synced("a", u64::MAX);
+        g.commit_replicated(rec(2.0), 0).unwrap();
+        assert!(g.quorum_lsn() > lsn);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

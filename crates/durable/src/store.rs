@@ -370,6 +370,45 @@ impl DurableTmd {
         self.io
     }
 
+    /// Truncates the journaled suffix: every record with
+    /// `lsn >= from_lsn` is removed from the log and the store is
+    /// re-recovered from the shortened tail. Consumes the handle — the
+    /// in-memory schema already reflects the removed records and cannot
+    /// be rolled back in place. A no-op (returning `self`) when
+    /// `from_lsn` is at or past the WAL position.
+    ///
+    /// This is the quorum-replication **rejoin** step: a deposed
+    /// primary discards the un-quorum'd records only it holds before
+    /// following the new primary. Works on a poisoned handle too —
+    /// truncation *is* the reopen that recovers from poisoning.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Corrupt`] when a checkpoint already covers
+    /// `from_lsn` (the records are folded into a snapshot and can no
+    /// longer be cut — rebuild from the peer's snapshot instead);
+    /// [`DurableError::Pruned`] when the cut predates the log; I/O
+    /// failures while truncating or re-opening.
+    pub fn truncate_suffix(self, from_lsn: u64) -> Result<DurableTmd, DurableError> {
+        if from_lsn >= self.wal.next_lsn() {
+            return Ok(self);
+        }
+        if from_lsn < self.covered_lsn {
+            return Err(DurableError::corrupt(format!(
+                "cannot truncate at LSN {from_lsn}: a checkpoint already covers up to {}",
+                self.covered_lsn
+            )));
+        }
+        let dir = self.dir.clone();
+        let opts = self.opts.clone();
+        let time = self.time.clone();
+        let mut io = self.into_io();
+        crate::wal::truncate_from(&dir, from_lsn, &mut io)?;
+        let mut store = DurableTmd::open_with(&dir, opts, io)?;
+        store.set_time_source(time);
+        Ok(store)
+    }
+
     /// Number of I/O primitives performed so far (crash-point counting).
     pub fn io_ops(&self) -> u64 {
         self.io.ops()

@@ -430,6 +430,85 @@ pub fn tail(dir: &Path, from_lsn: u64) -> Result<Vec<TailFrame>, DurableError> {
     read_frames(&dir.join("wal"), from_lsn)
 }
 
+/// Truncates the log of the store at `dir` (the directory holding the
+/// `wal/` subdirectory) so that every record with `lsn >= from_lsn` is
+/// gone: whole segments above the cut are unlinked, the segment
+/// containing the cut is shortened to the last whole frame below it,
+/// and the result is fsynced. Returns the number of records removed.
+///
+/// This is the **rejoin** primitive of quorum replication: a deposed
+/// primary discards its un-quorum'd suffix back to the point where its
+/// log agrees with the new primary's before it may serve again. The
+/// store must be closed (no open [`Wal`] handle on the directory).
+///
+/// # Errors
+///
+/// [`DurableError::Pruned`] when `from_lsn` predates the oldest record
+/// still on disk (the cut cannot be represented — the caller must
+/// rebuild from a snapshot instead); [`DurableError::NoStore`] /
+/// [`DurableError::Corrupt`] for a missing or damaged segment chain;
+/// I/O (or injected-fault) failures.
+pub fn truncate_from(dir: &Path, from_lsn: u64, io: &mut Io) -> Result<u64, DurableError> {
+    let wal_dir = dir.join("wal");
+    let seqs = sorted_segments(&wal_dir)?;
+    let first_seq = seqs[0];
+    // The cut must be representable: at or above the oldest record
+    // still on disk. Checked before anything is unlinked.
+    let oldest = oldest_base(&wal_dir)?;
+    if from_lsn < oldest {
+        return Err(DurableError::Pruned {
+            oldest_available: oldest,
+        });
+    }
+    let mut removed = 0u64;
+    let mut touched = false;
+    for &seq in seqs.iter().rev() {
+        let path = segment_path(&wal_dir, seq);
+        let bytes = std::fs::read(&path)?;
+        let Some(base) = decode_header(&bytes) else {
+            if seq == first_seq {
+                return Err(DurableError::corrupt(format!(
+                    "bad header in segment {seq:08}.wal"
+                )));
+            }
+            // A torn header is crashed-rotation residue on the final
+            // segment: nothing durable inside, drop the file.
+            io.remove_file(&path)?;
+            touched = true;
+            continue;
+        };
+        let scan = frame::scan(&bytes[SEGMENT_HEADER..]);
+        let n = scan.payloads.len() as u64;
+        if base > from_lsn || (base == from_lsn && seq != first_seq) {
+            // The whole segment sits at or above the cut.
+            removed += n;
+            io.remove_file(&path)?;
+            touched = true;
+            continue;
+        }
+        if base + n <= from_lsn {
+            break; // Everything durable here is below the cut.
+        }
+        // The cut lands inside this segment: shorten it to the frames
+        // below `from_lsn` (possibly none, leaving a bare header).
+        let keep = (from_lsn - base) as usize;
+        let mut offset = SEGMENT_HEADER;
+        for payload in scan.payloads.iter().take(keep) {
+            offset += frame::HEADER + payload.len();
+        }
+        removed += n - keep as u64;
+        let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+        io.set_len(&f, offset as u64)?;
+        io.sync(&f)?;
+        touched = true;
+        break;
+    }
+    if touched {
+        io.sync_dir(&wal_dir)?;
+    }
+    Ok(removed)
+}
+
 fn sorted_segments(wal_dir: &Path) -> Result<Vec<u64>, DurableError> {
     if !wal_dir.is_dir() {
         return Err(DurableError::NoStore);
@@ -655,6 +734,66 @@ mod tests {
         match Wal::open(&dir, 64, &mut io) {
             Err(DurableError::Corrupt { .. }) => {}
             other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_from_cuts_the_suffix_across_segments() {
+        let dir = tmp("truncate");
+        let mut io = Io::plain();
+        // Tiny threshold: records spread over several segments.
+        let mut wal = Wal::create(&dir, 64, &mut io).unwrap();
+        for i in 0..9u64 {
+            wal.append(format!("record-{i}").as_bytes(), &mut io)
+                .unwrap();
+        }
+        drop(wal);
+
+        // Cut at 4: records 4..=9 go, later segments are unlinked and
+        // the one holding the cut is shortened in place.
+        assert_eq!(truncate_from(&dir, 4, &mut io).unwrap(), 6);
+        let opened = Wal::open(&dir, 64, &mut io).unwrap();
+        assert!(!opened.repaired);
+        assert_eq!(opened.wal.next_lsn(), 4);
+        let got: Vec<_> = opened.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+
+        // Appends continue from the cut.
+        let mut wal = opened.wal;
+        assert_eq!(wal.append(b"regrown", &mut io).unwrap(), 4);
+        drop(wal);
+
+        // A cut at or past the head removes nothing.
+        assert_eq!(truncate_from(&dir, 5, &mut io).unwrap(), 0);
+        assert_eq!(truncate_from(&dir, 99, &mut io).unwrap(), 0);
+
+        // Cutting everything back to LSN 1 leaves a bare first segment.
+        assert_eq!(truncate_from(&dir, 1, &mut io).unwrap(), 4);
+        let opened = Wal::open(&dir, 64, &mut io).unwrap();
+        assert_eq!(opened.wal.next_lsn(), 1);
+        assert!(opened.records.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_from_refuses_cuts_below_the_oldest_record() {
+        let dir = tmp("truncate_pruned");
+        let mut io = Io::plain();
+        let mut wal = Wal::create(&dir, 64, &mut io).unwrap();
+        for i in 0..9u64 {
+            wal.append(format!("record-{i}").as_bytes(), &mut io)
+                .unwrap();
+        }
+        wal.prune(wal.next_lsn(), &mut io).unwrap();
+        let oldest = wal.oldest_lsn().unwrap();
+        assert!(oldest > 1);
+        drop(wal);
+        match truncate_from(&dir, 1, &mut io) {
+            Err(DurableError::Pruned { oldest_available }) => {
+                assert_eq!(oldest_available, oldest)
+            }
+            other => panic!("expected Pruned, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -53,6 +53,25 @@ pub enum ReplicaError {
     },
     /// The operation needs a live primary and there is none.
     NotPrimary,
+    /// Promotion (or a vote) named a member whose sticky refusal is
+    /// set — a diverged or invalid replica must never become primary.
+    RefusedMember {
+        /// The refusing member's name.
+        node: String,
+        /// The member's refusal, rendered.
+        reason: String,
+    },
+    /// An election closed without a majority of the group granting the
+    /// candidate their vote; the group stays primary-less rather than
+    /// risk two histories.
+    NoQuorum {
+        /// The epoch the failed election proposed.
+        epoch: u64,
+        /// Votes collected, the candidate's own included.
+        votes: usize,
+        /// Votes a majority requires.
+        required: usize,
+    },
     /// No node of that name is registered.
     UnknownNode(String),
     /// The replication protocol was violated (malformed message, LSN
@@ -78,6 +97,17 @@ impl std::fmt::Display for ReplicaError {
                 write!(f, "fenced at epoch {epoch}: a newer primary exists")
             }
             ReplicaError::NotPrimary => write!(f, "no live primary"),
+            ReplicaError::RefusedMember { node, reason } => {
+                write!(f, "member `{node}` is refusing replication: {reason}")
+            }
+            ReplicaError::NoQuorum {
+                epoch,
+                votes,
+                required,
+            } => write!(
+                f,
+                "election for epoch {epoch} failed: {votes} vote(s) of {required} required"
+            ),
             ReplicaError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
             ReplicaError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }

@@ -67,6 +67,9 @@ pub struct Follower {
     last_crc: u32,
     epoch: u64,
     refusal: Option<Refusal>,
+    /// The vote this member has cast: `(epoch, candidate)`. At most
+    /// one candidate per epoch — the guarantee elections build on.
+    voted: Option<(u64, String)>,
 }
 
 impl Follower {
@@ -88,6 +91,7 @@ impl Follower {
             last_crc: 0,
             epoch: 0,
             refusal: None,
+            voted: None,
         }
     }
 
@@ -124,6 +128,7 @@ impl Follower {
                     last_crc,
                     epoch: 0,
                     refusal: None,
+                    voted: None,
                 })
             }
             Err(DurableError::NoStore) => Ok(Follower::create(name, dir, opts, Io::plain())),
@@ -186,6 +191,20 @@ impl Follower {
             node: self.name.clone(),
             epoch: self.epoch,
             next_lsn: self.next_lsn(),
+        }
+    }
+
+    /// The quorum-flavoured ack: both replication positions in one
+    /// envelope. A follower fsyncs every record it applies, so its
+    /// synced and applied positions coincide; the grammar still
+    /// carries both because the primary consumes them differently
+    /// (read routing vs. the quorum watermark).
+    pub fn quorum_ack(&self) -> ReplicaMsg {
+        ReplicaMsg::QuorumAck {
+            node: self.name.clone(),
+            epoch: self.epoch,
+            applied_lsn: self.next_lsn(),
+            synced_lsn: self.next_lsn(),
         }
     }
 
@@ -261,10 +280,76 @@ impl Follower {
                 self.refusal = Some(r);
                 Err(err)
             }
-            other @ (ReplicaMsg::Hello { .. } | ReplicaMsg::Ack { .. }) => Err(
-                ReplicaError::Protocol(format!("follower received {}", other.kind())),
-            ),
+            ReplicaMsg::VoteRequest {
+                candidate,
+                epoch,
+                synced_lsn,
+            } => {
+                let grant = self.consider_vote(&candidate, epoch, synced_lsn)?;
+                Ok(Some(grant))
+            }
+            other @ (ReplicaMsg::Hello { .. }
+            | ReplicaMsg::Ack { .. }
+            | ReplicaMsg::QuorumAck { .. }
+            | ReplicaMsg::VoteGrant { .. }) => Err(ReplicaError::Protocol(format!(
+                "follower received {}",
+                other.kind()
+            ))),
         }
+    }
+
+    /// Election rules, from the voter's side: a refusing member never
+    /// votes, a vote request must open a *new* epoch, each epoch gets
+    /// at most one candidate (re-granting the same one is idempotent,
+    /// a second candidate is a typed violation), and the candidate's
+    /// durably-synced position must rank at least as high as the
+    /// voter's own, ties broken by node name — so every voter ranks
+    /// candidates identically and the election is deterministic.
+    /// Granting adopts the new epoch, fencing the old primary from
+    /// this member's point of view.
+    fn consider_vote(
+        &mut self,
+        candidate: &str,
+        epoch: u64,
+        synced_lsn: u64,
+    ) -> Result<ReplicaMsg, ReplicaError> {
+        if let Some(r) = &self.refusal {
+            return Err(r.to_error());
+        }
+        // The split-vote guard outranks the epoch fence: a second
+        // candidate in an epoch already voted must surface as the
+        // explicit conflict, not a generic stale-epoch refusal.
+        if let Some((e, prior)) = &self.voted {
+            if *e >= epoch && prior != candidate {
+                return Err(ReplicaError::Protocol(format!(
+                    "already voted for `{prior}` in epoch {e}; \
+                     refusing `{candidate}` in epoch {epoch}"
+                )));
+            }
+        }
+        let repeat = self
+            .voted
+            .as_ref()
+            .is_some_and(|(e, c)| *e == epoch && c == candidate);
+        if !repeat && epoch <= self.epoch {
+            return Err(ReplicaError::Fenced { epoch: self.epoch });
+        }
+        let mine = self.next_lsn();
+        if (synced_lsn, candidate) < (mine, self.name.as_str()) {
+            return Err(ReplicaError::Protocol(format!(
+                "vote refused: candidate `{candidate}` at LSN {synced_lsn} ranks \
+                 below `{}` at {mine}",
+                self.name
+            )));
+        }
+        self.voted = Some((epoch, candidate.to_string()));
+        self.epoch = epoch;
+        Ok(ReplicaMsg::VoteGrant {
+            node: self.name.clone(),
+            epoch,
+            candidate: candidate.to_string(),
+            synced_lsn: mine,
+        })
     }
 
     /// Applies a contiguous batch. Duplicates (frames below our

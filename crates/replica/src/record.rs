@@ -91,6 +91,45 @@ pub enum ReplicaMsg {
         /// Frame CRC the follower reported at `lsn`.
         got_crc: u32,
     },
+    /// Member → primary: quorum ack carrying both replication
+    /// positions. `applied_lsn` feeds fleet read routing (how fresh
+    /// the member's schema is); `synced_lsn` is the member's quorum
+    /// credential (everything below it is fsynced on the member) and
+    /// advances the primary's quorum watermark.
+    QuorumAck {
+        /// Member node name.
+        node: String,
+        /// Epoch the member is at.
+        epoch: u64,
+        /// First LSN not yet applied to the member's schema.
+        applied_lsn: u64,
+        /// First LSN not yet durably synced on the member.
+        synced_lsn: u64,
+    },
+    /// Candidate (via the supervisor) → member: request a vote for
+    /// `candidate` in the new `epoch`. `synced_lsn` is the candidate's
+    /// durably-synced position — its election credential.
+    VoteRequest {
+        /// Node standing for election.
+        candidate: String,
+        /// The proposed new epoch, strictly above the voter's.
+        epoch: u64,
+        /// The candidate's durably-synced position.
+        synced_lsn: u64,
+    },
+    /// Member → candidate: one vote for `candidate` in `epoch`,
+    /// carrying the voter's own synced position so the winner can
+    /// report the electorate's commit floor.
+    VoteGrant {
+        /// The voting member's name.
+        node: String,
+        /// Epoch the vote is valid for.
+        epoch: u64,
+        /// Candidate the vote is for.
+        candidate: String,
+        /// The voter's durably-synced position.
+        synced_lsn: u64,
+    },
 }
 
 impl ReplicaMsg {
@@ -105,6 +144,9 @@ impl ReplicaMsg {
             ReplicaMsg::Promote { .. } => "promote",
             ReplicaMsg::Fence { .. } => "fence",
             ReplicaMsg::Diverged { .. } => "diverged",
+            ReplicaMsg::QuorumAck { .. } => "qack",
+            ReplicaMsg::VoteRequest { .. } => "votereq",
+            ReplicaMsg::VoteGrant { .. } => "vote",
         }
     }
 
@@ -180,6 +222,40 @@ impl ReplicaMsg {
                 e.u64(u64::from(*expected_crc));
                 e.u64(u64::from(*got_crc));
             }
+            ReplicaMsg::QuorumAck {
+                node,
+                epoch,
+                applied_lsn,
+                synced_lsn,
+            } => {
+                e.tok("qack");
+                e.bytes(node.as_bytes());
+                e.u64(*epoch);
+                e.u64(*applied_lsn);
+                e.u64(*synced_lsn);
+            }
+            ReplicaMsg::VoteRequest {
+                candidate,
+                epoch,
+                synced_lsn,
+            } => {
+                e.tok("votereq");
+                e.bytes(candidate.as_bytes());
+                e.u64(*epoch);
+                e.u64(*synced_lsn);
+            }
+            ReplicaMsg::VoteGrant {
+                node,
+                epoch,
+                candidate,
+                synced_lsn,
+            } => {
+                e.tok("vote");
+                e.bytes(node.as_bytes());
+                e.u64(*epoch);
+                e.bytes(candidate.as_bytes());
+                e.u64(*synced_lsn);
+            }
         }
         e.out.into_bytes()
     }
@@ -235,6 +311,23 @@ impl ReplicaMsg {
                 lsn: d.u64("diverged lsn")?,
                 expected_crc: d.u32("diverged expected_crc")?,
                 got_crc: d.u32("diverged got_crc")?,
+            },
+            "qack" => ReplicaMsg::QuorumAck {
+                node: d.name("qack node")?,
+                epoch: d.u64("qack epoch")?,
+                applied_lsn: d.u64("qack applied_lsn")?,
+                synced_lsn: d.u64("qack synced_lsn")?,
+            },
+            "votereq" => ReplicaMsg::VoteRequest {
+                candidate: d.name("votereq candidate")?,
+                epoch: d.u64("votereq epoch")?,
+                synced_lsn: d.u64("votereq synced_lsn")?,
+            },
+            "vote" => ReplicaMsg::VoteGrant {
+                node: d.name("vote node")?,
+                epoch: d.u64("vote epoch")?,
+                candidate: d.name("vote candidate")?,
+                synced_lsn: d.u64("vote synced_lsn")?,
             },
             other => {
                 return Err(ReplicaError::Protocol(format!(
@@ -454,6 +547,23 @@ mod tests {
             expected_crc: 1,
             got_crc: u32::MAX,
         });
+        roundtrip(&ReplicaMsg::QuorumAck {
+            node: "member-a".into(),
+            epoch: 5,
+            applied_lsn: 40,
+            synced_lsn: 42,
+        });
+        roundtrip(&ReplicaMsg::VoteRequest {
+            candidate: "member-b".into(),
+            epoch: 6,
+            synced_lsn: u64::MAX,
+        });
+        roundtrip(&ReplicaMsg::VoteGrant {
+            node: "member-a".into(),
+            epoch: 6,
+            candidate: "member-b".into(),
+            synced_lsn: 41,
+        });
     }
 
     #[test]
@@ -507,5 +617,12 @@ mod tests {
         assert!(ReplicaMsg::decode(b"snapshot 1 2 \\xzz").is_err());
         // Non-UTF-8 node name.
         assert!(ReplicaMsg::decode(b"ack \\xff 1 2").is_err());
+        // Quorum envelope: truncated, overlong and malformed forms.
+        assert!(ReplicaMsg::decode(b"qack m 1 2").is_err());
+        assert!(ReplicaMsg::decode(b"qack m 1 2 3 4").is_err());
+        assert!(ReplicaMsg::decode(b"votereq m 1").is_err());
+        assert!(ReplicaMsg::decode(b"votereq m notanint 3").is_err());
+        assert!(ReplicaMsg::decode(b"vote m 1 c").is_err());
+        assert!(ReplicaMsg::decode(b"vote \\xff 1 c 3").is_err());
     }
 }

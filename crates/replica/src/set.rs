@@ -378,9 +378,25 @@ impl<T: ReplicaTransport> ReplicaSet<T> {
     ///
     /// # Errors
     ///
-    /// [`ReplicaError::UnknownNode`]; [`Follower::into_primary_store`]
-    /// errors (never bootstrapped, or refusing replay).
+    /// [`ReplicaError::UnknownNode`]; the typed
+    /// [`ReplicaError::RefusedMember`] when the follower's sticky
+    /// `Diverged`/`Invalid` refusal is set (a refusing replica must
+    /// never take writes — the operator names it, the supervisor says
+    /// no); [`Follower::into_primary_store`] errors otherwise (never
+    /// bootstrapped).
     pub fn promote(&mut self, name: &str) -> Result<u64, ReplicaError> {
+        let candidate = self
+            .followers
+            .get(name)
+            .ok_or_else(|| ReplicaError::UnknownNode(name.to_string()))?;
+        if let Some(reason) = candidate.refusal_error() {
+            // Refuse *before* dismantling anything: the set keeps
+            // supervising the refusing follower as-is.
+            return Err(ReplicaError::RefusedMember {
+                node: name.to_string(),
+                reason: reason.to_string(),
+            });
+        }
         let follower = self
             .followers
             .remove(name)

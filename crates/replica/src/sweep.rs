@@ -524,7 +524,7 @@ fn divergence_scenario(base: &Path, seed: u64) -> Result<u64, String> {
 
     // A refusing follower must never be promoted.
     match set.promote("f1") {
-        Err(ReplicaError::Diverged { .. }) => refusals += 1,
+        Err(ReplicaError::RefusedMember { node, .. }) if node == "f1" => refusals += 1,
         other => {
             return Err(format!(
                 "fork scenario: diverged follower was promotable ({other:?})"

@@ -10,6 +10,14 @@
 //! * stale-epoch request            → fence reply / `Fenced`
 //! * undecodable message payload    → `Protocol` (server survives)
 //!
+//! and for the quorum envelope (`qack` / `votereq` / `vote`):
+//!
+//! * truncated quorum ack           → `Protocol` (server survives)
+//! * stale-epoch vote request       → `Fenced`
+//! * duplicate vote                 → idempotent re-grant; a second
+//!   candidate in the same epoch is a typed `Protocol` violation
+//! * vote for an under-ranked candidate → `Protocol`
+//!
 //! Named `net_*` so CI's network job runs exactly this surface.
 
 use std::io::{Read, Write};
@@ -183,6 +191,165 @@ fn net_stale_epoch_request_is_fenced_at_the_protocol_layer() {
     match sync_follower(&mut client, &mut f) {
         Err(ReplicaError::Fenced { epoch }) => assert_eq!(epoch, 4),
         other => panic!("expected Fenced, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Truncated or garbled quorum-envelope messages must die in the
+/// decoder as typed `Protocol` errors — and when one arrives over the
+/// wire, the server refuses it cleanly and keeps serving.
+#[test]
+fn net_truncated_quorum_ack_is_refused_and_server_survives() {
+    // The decoder first: every truncation of a valid qack (and a vote
+    // with a non-numeric LSN) is a typed refusal, never a panic.
+    let full = ReplicaMsg::QuorumAck {
+        node: "m1".into(),
+        epoch: 3,
+        applied_lsn: 9,
+        synced_lsn: 9,
+    }
+    .encode();
+    let text = String::from_utf8(full.clone()).unwrap();
+    for cut in ["qack", "qack m1", "qack m1 3", "qack m1 3 9"] {
+        assert!(
+            matches!(
+                ReplicaMsg::decode(cut.as_bytes()),
+                Err(ReplicaError::Protocol(_))
+            ),
+            "truncation {cut:?} was not a typed protocol error"
+        );
+    }
+    assert!(
+        matches!(
+            ReplicaMsg::decode(format!("{text} trailing").as_bytes()),
+            Err(ReplicaError::Protocol(_))
+        ),
+        "trailing garbage accepted"
+    );
+    assert!(matches!(
+        ReplicaMsg::decode(b"vote m1 3 cand notanumber"),
+        Err(ReplicaError::Protocol(_))
+    ));
+
+    // Then the wire: a real replica server answers the truncated ack
+    // with a typed `err` frame and survives for the next client.
+    let base = tmp("qack");
+    let cs = case_study::case_study();
+    let store = DurableTmd::create_with(&base.join("p"), cs.tmd, opts(), Io::plain()).unwrap();
+    let primary = Arc::new(Mutex::new(PrimaryNode::from_store("primary", store, 0)));
+    let server = ReplicaServer::spawn(
+        &NetAddr::Tcp("127.0.0.1:0".into()),
+        primary,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut rogue = NetClient::connect(server.addr().clone(), strict_cfg());
+    let reply = rogue
+        .rpc(b"qack m1 3 9")
+        .expect("the refusal must be a clean frame");
+    let reply_text = String::from_utf8(reply).unwrap();
+    assert!(reply_text.starts_with("err "), "{reply_text}");
+    assert_eq!(server.acked_lsn("m1"), 0, "truncated ack was recorded");
+
+    let mut client = NetClient::connect(server.addr().clone(), strict_cfg());
+    let replies = client.request(&hello()).unwrap();
+    assert!(
+        matches!(replies.first(), Some(ReplicaMsg::Heartbeat { .. })),
+        "{replies:?}"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A vote request that does not open a new epoch is refused with the
+/// typed `Fenced` error carrying the voter's current epoch.
+#[test]
+fn net_stale_epoch_vote_request_is_fenced() {
+    let base = tmp("stalevote");
+    let mut f = Follower::create("f1", base.join("f"), opts(), Io::plain());
+    // The member is at epoch 5 (learnt from its primary's heartbeat).
+    f.handle(ReplicaMsg::Heartbeat {
+        epoch: 5,
+        next_lsn: 1,
+    })
+    .unwrap();
+    // A vote request from epoch 3 — decoded off the wire, as the
+    // supervisor would deliver it — must be fenced, not granted.
+    let stale = ReplicaMsg::decode(
+        &ReplicaMsg::VoteRequest {
+            candidate: "cand".into(),
+            epoch: 3,
+            synced_lsn: 99,
+        }
+        .encode(),
+    )
+    .unwrap();
+    match f.handle(stale) {
+        Err(ReplicaError::Fenced { epoch }) => assert_eq!(epoch, 5),
+        other => panic!("expected Fenced, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// One candidate per epoch: re-granting the same candidate is
+/// idempotent (lost grants can be re-requested), while a *different*
+/// candidate in the same epoch is a typed protocol violation — the
+/// split-vote guard.
+#[test]
+fn net_duplicate_vote_is_idempotent_and_second_candidate_refused() {
+    let base = tmp("dupvote");
+    let mut f = Follower::create("f1", base.join("f"), opts(), Io::plain());
+    let req = |candidate: &str| {
+        ReplicaMsg::decode(
+            &ReplicaMsg::VoteRequest {
+                candidate: candidate.into(),
+                epoch: 7,
+                synced_lsn: 42,
+            }
+            .encode(),
+        )
+        .unwrap()
+    };
+    let first = f.handle(req("cand-a")).expect("first vote granted");
+    let again = f.handle(req("cand-a")).expect("re-grant is idempotent");
+    assert_eq!(first, again, "duplicate grant differs from the original");
+    assert!(
+        matches!(
+            first,
+            Some(ReplicaMsg::VoteGrant { ref candidate, epoch: 7, .. }) if candidate == "cand-a"
+        ),
+        "{first:?}"
+    );
+    match f.handle(req("cand-b")) {
+        Err(ReplicaError::Protocol(m)) => assert!(m.contains("already voted"), "{m}"),
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A vote request whose credential ranks below the voter's own is
+/// refused: electing it could lose quorum-acknowledged records.
+#[test]
+fn net_under_ranked_candidate_is_refused() {
+    let base = tmp("rankvote");
+    let cs = case_study::case_study();
+    // Give the voter real state so its own position outranks a
+    // candidate claiming less.
+    let store = DurableTmd::create_with(&base.join("p"), cs.tmd, opts(), Io::plain()).unwrap();
+    let position = store.wal_position();
+    drop(store);
+    let mut f = Follower::open("f1", base.join("p"), opts(), Io::plain()).unwrap();
+    let lowball = ReplicaMsg::decode(
+        &ReplicaMsg::VoteRequest {
+            candidate: "cand".into(),
+            epoch: 2,
+            synced_lsn: position - 1,
+        }
+        .encode(),
+    )
+    .unwrap();
+    match f.handle(lowball) {
+        Err(ReplicaError::Protocol(m)) => assert!(m.contains("ranks below"), "{m}"),
+        other => panic!("expected a typed refusal, got {other:?}"),
     }
     std::fs::remove_dir_all(&base).ok();
 }

@@ -256,10 +256,12 @@ fn divergent_frame_is_refused_and_blocks_promotion() {
         set.follower_mut("f1").unwrap().handle(genuine_again),
         Err(ReplicaError::Diverged { .. })
     ));
-    // A diverged follower can never be promoted.
+    // A diverged follower can never be promoted: the refusal is
+    // surfaced as a typed error naming the member, before the set
+    // dismantles anything.
     assert!(matches!(
         set.promote("f1"),
-        Err(ReplicaError::Diverged { .. })
+        Err(ReplicaError::RefusedMember { ref node, .. }) if node == "f1"
     ));
     std::fs::remove_dir_all(&base).ok();
 }

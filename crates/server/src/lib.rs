@@ -22,7 +22,17 @@
 //!   [`mvolap_replica::Follower`] serves them from the replica when it
 //!   is fresh enough and refuses with a typed
 //!   [`ServerError::TooStale`] when it is behind — the client chooses
-//!   between retrying on the primary or relaxing its bound.
+//!   between retrying on the primary or relaxing its bound. A server
+//!   fronting a replication group routes across the remote fleet
+//!   instead ([`SessionServer::spawn_with_fleet`]): the bound is
+//!   checked against each member's quorum-acked position and the read
+//!   is forwarded to the freshest member that satisfies it; the
+//!   refusal then names the member consulted.
+//! - **Quorum commit.** When the group-commit layer has a replication
+//!   quorum configured, a `commit` is acknowledged only after a
+//!   majority of members acked it; on timeout the session gets a typed
+//!   [`ServerError::Unreplicated`] (the record is locally durable but
+//!   not majority-committed).
 //!
 //! ```no_run
 //! use mvolap_durable::{DurableTmd, GroupCommit, GroupConfig};
@@ -56,4 +66,4 @@ pub use client::SessionClient;
 pub use proto::{
     decode_reply, decode_request, encode_reply, encode_request, Reply, Request, ServerError,
 };
-pub use server::{ServerOptions, SessionServer};
+pub use server::{FleetMember, ServerOptions, SessionServer};

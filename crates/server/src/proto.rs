@@ -22,7 +22,13 @@
 //! ok <esc(payload)>               rendered query result / "pong"
 //! lsn <u64>                       commit durable at this LSN
 //! err busy <active> <queued>      admission refused (typed Busy)
-//! err stale <required> <applied>  follower behind the staleness bound
+//! err stale <required> <applied> [<esc(member)>]
+//!                                 replica behind the staleness bound;
+//!                                 the optional trailing token names
+//!                                 the member consulted (omitted when
+//!                                 unknown, e.g. a local follower)
+//! err unreplicated <lsn> <acked>  commit fsynced locally but the
+//!                                 quorum never acknowledged it
 //! err query <esc(msg)>            query failed (parse/plan/exec)
 //! err commit <esc(msg)>           commit rejected or store poisoned
 //! err proto <esc(msg)>            malformed request
@@ -77,14 +83,28 @@ pub enum ServerError {
         /// Sessions waiting for a slot.
         queued: usize,
     },
-    /// A follower read was refused: the reader required LSNs through
-    /// `required` applied, but the follower has only applied through
-    /// `applied`.
+    /// A replica read was refused: the reader required LSNs through
+    /// `required` applied, but the freshest replica consulted has only
+    /// applied through `applied`.
     TooStale {
         /// The reader's staleness bound (highest LSN required).
         required: u64,
-        /// Highest LSN the follower has applied.
+        /// Highest LSN the replica has applied.
         applied: u64,
+        /// Name of the member consulted, when the server routed across
+        /// a fleet (`None` for a local anonymous follower — and for
+        /// replies from servers speaking the older three-token
+        /// grammar).
+        member: Option<String>,
+    },
+    /// The commit is fsynced on the primary but the replication quorum
+    /// never acknowledged it within the commit timeout. The record may
+    /// yet replicate — or be truncated away if the primary is deposed.
+    Unreplicated {
+        /// LSN the record occupies in the primary's journal.
+        lsn: u64,
+        /// Members (primary included) known to have synced it.
+        acked: usize,
     },
     /// The query failed to parse, plan or execute.
     Query(String),
@@ -118,12 +138,17 @@ impl PartialEq for ServerError {
                 TooStale {
                     required: r,
                     applied: a,
+                    member: m,
                 },
                 TooStale {
                     required: r2,
                     applied: a2,
+                    member: m2,
                 },
-            ) => r == r2 && a == a2,
+            ) => r == r2 && a == a2 && m == m2,
+            (Unreplicated { lsn: l, acked: k }, Unreplicated { lsn: l2, acked: k2 }) => {
+                l == l2 && k == k2
+            }
             (Query(m), Query(m2)) | (Commit(m), Commit(m2)) | (Protocol(m), Protocol(m2)) => {
                 m == m2
             }
@@ -142,9 +167,20 @@ impl fmt::Display for ServerError {
             ServerError::Busy { active, queued } => {
                 write!(f, "server busy: {active} active sessions, {queued} queued")
             }
-            ServerError::TooStale { required, applied } => write!(
+            ServerError::TooStale {
+                required,
+                applied,
+                member,
+            } => {
+                let who = member.as_deref().unwrap_or("follower");
+                write!(
+                    f,
+                    "replica too stale: reader requires LSN {required} applied, {who} is at {applied}"
+                )
+            }
+            ServerError::Unreplicated { lsn, acked } => write!(
                 f,
-                "follower too stale: reader requires LSN {required} applied, follower is at {applied}"
+                "commit unreplicated: LSN {lsn} fsynced locally but only {acked} member(s) acked before the timeout"
             ),
             ServerError::Query(m) => write!(f, "query failed: {m}"),
             ServerError::Commit(m) => write!(f, "commit failed: {m}"),
@@ -232,8 +268,18 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
         Reply::Lsn(lsn) => format!("lsn {lsn}"),
         Reply::Err(e) => match e {
             ServerError::Busy { active, queued } => format!("err busy {active} {queued}"),
-            ServerError::TooStale { required, applied } => {
-                format!("err stale {required} {applied}")
+            ServerError::TooStale {
+                required,
+                applied,
+                member,
+            } => match member {
+                // The member token is optional for wire compatibility
+                // with pre-fleet servers: omitted when unknown.
+                Some(m) => format!("err stale {required} {applied} {}", esc_bytes(m.as_bytes())),
+                None => format!("err stale {required} {applied}"),
+            },
+            ServerError::Unreplicated { lsn, acked } => {
+                format!("err unreplicated {lsn} {acked}")
             }
             ServerError::Query(m) => format!("err query {}", esc_bytes(m.as_bytes())),
             ServerError::Commit(m) => format!("err commit {}", esc_bytes(m.as_bytes())),
@@ -265,6 +311,16 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ServerError> {
         ["err", "stale", required, applied] => Ok(Reply::Err(ServerError::TooStale {
             required: u64_token(required, "stale required")?,
             applied: u64_token(applied, "stale applied")?,
+            member: None,
+        })),
+        ["err", "stale", required, applied, member] => Ok(Reply::Err(ServerError::TooStale {
+            required: u64_token(required, "stale required")?,
+            applied: u64_token(applied, "stale applied")?,
+            member: Some(text_token(member, "stale member")?),
+        })),
+        ["err", "unreplicated", lsn, acked] => Ok(Reply::Err(ServerError::Unreplicated {
+            lsn: u64_token(lsn, "unreplicated lsn")?,
+            acked: usize_token(acked, "unreplicated acked")?,
         })),
         ["err", "query", m] => Ok(Reply::Err(ServerError::Query(text_token(m, "query msg")?))),
         ["err", "commit", m] => Ok(Reply::Err(ServerError::Commit(text_token(
@@ -322,7 +378,14 @@ mod tests {
             Reply::Err(ServerError::TooStale {
                 required: 9,
                 applied: 3,
+                member: None,
             }),
+            Reply::Err(ServerError::TooStale {
+                required: 9,
+                applied: 3,
+                member: Some("m2".to_string()),
+            }),
+            Reply::Err(ServerError::Unreplicated { lsn: 14, acked: 1 }),
             Reply::Err(ServerError::Query("no such level".to_string())),
             Reply::Err(ServerError::Commit("store poisoned".to_string())),
             Reply::Err(ServerError::Protocol("bad frame".to_string())),
@@ -332,6 +395,20 @@ mod tests {
             let bytes = encode_reply(&reply);
             assert_eq!(decode_reply(&bytes).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn stale_member_token_is_backward_compatible() {
+        // The three-token form emitted by pre-fleet servers decodes
+        // with the member unknown.
+        assert_eq!(
+            decode_reply(b"err stale 9 3").unwrap(),
+            Reply::Err(ServerError::TooStale {
+                required: 9,
+                applied: 3,
+                member: None,
+            })
+        );
     }
 
     #[test]

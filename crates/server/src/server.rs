@@ -1,6 +1,6 @@
 //! The session server: admission gate, per-connection workers, request
-//! dispatch through the group-committed store and an optional read
-//! follower.
+//! dispatch through the group-committed store, and read routing — to an
+//! optional local follower or across a remote fleet of members.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -11,10 +11,11 @@ use mvolap_core::{ExecContext, QueryMemo, Tmd};
 use mvolap_durable::{DurableError, GroupCommit};
 use mvolap_query::{run_compare_par, run_with_versions_par};
 use mvolap_replica::{
-    accept_loop, read_frame, stop_listener, write_frame, Follower, NetAddr, NetListener, NetStream,
-    ReplicaMsg,
+    accept_loop, read_frame, stop_listener, write_frame, Follower, NetAddr, NetConfig, NetListener,
+    NetStream, ReplicaMsg,
 };
 
+use crate::client::SessionClient;
 use crate::proto::{self, Reply, Request, ServerError};
 
 /// Tuning for [`SessionServer`].
@@ -32,6 +33,11 @@ pub struct ServerOptions {
     pub write_timeout_ms: u64,
     /// Worker threads per query execution (morsel parallelism).
     pub exec_threads: usize,
+    /// How long a `commit` waits for the replication quorum before the
+    /// session gets a typed [`ServerError::Unreplicated`]. Only
+    /// consulted when the group has a quorum configured
+    /// ([`GroupCommit::quorum_size`] `> 1`).
+    pub quorum_timeout_ms: u64,
 }
 
 impl Default for ServerOptions {
@@ -42,8 +48,27 @@ impl Default for ServerOptions {
             read_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
             exec_threads: 2,
+            quorum_timeout_ms: 2_000,
         }
     }
+}
+
+/// One remote member a fleet-routing server can forward reads to: the
+/// session address of the server fronting that member's replica.
+#[derive(Debug, Clone)]
+pub struct FleetMember {
+    /// The member's name as known to the group-commit quorum tracker
+    /// (its acked positions are looked up under this name).
+    pub name: String,
+    /// Session-server address serving reads from the member's replica.
+    pub addr: NetAddr,
+}
+
+/// Read routing across a remote fleet: per-member staleness bounds
+/// derived from the quorum acks the primary already collects.
+struct FleetRouting {
+    members: Vec<FleetMember>,
+    net: NetConfig,
 }
 
 /// Locks a mutex, ignoring std's panic-poisoning: a server must keep
@@ -133,10 +158,12 @@ impl Drop for GatePermit {
 struct SessionCtx {
     commit: GroupCommit,
     follower: Option<Arc<Mutex<Follower>>>,
+    fleet: Option<FleetRouting>,
     gate: Arc<Gate>,
     shutdown: Arc<AtomicBool>,
     exec: ExecContext,
     memo: Arc<QueryMemo>,
+    quorum_timeout_ms: u64,
 }
 
 /// A concurrent session server over a group-committed store.
@@ -165,7 +192,7 @@ impl SessionServer {
         commit: GroupCommit,
         opts: ServerOptions,
     ) -> Result<SessionServer, ServerError> {
-        SessionServer::start(bind, commit, None, opts)
+        SessionServer::start(bind, commit, None, None, opts)
     }
 
     /// Like [`SessionServer::spawn`], with a local read follower:
@@ -182,13 +209,50 @@ impl SessionServer {
         follower: Follower,
         opts: ServerOptions,
     ) -> Result<SessionServer, ServerError> {
-        SessionServer::start(bind, commit, Some(Arc::new(Mutex::new(follower))), opts)
+        SessionServer::start(
+            bind,
+            commit,
+            Some(Arc::new(Mutex::new(follower))),
+            None,
+            opts,
+        )
+    }
+
+    /// Like [`SessionServer::spawn`], with fleet read routing: `read`
+    /// requests are forwarded to the freshest remote member whose
+    /// quorum-acked position satisfies the staleness bound (positions
+    /// come from the acks the group-commit layer already collects, so
+    /// routing costs no extra round-trips). When no member qualifies
+    /// the session gets a typed [`ServerError::TooStale`] naming the
+    /// freshest member consulted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Transport`] when the address cannot be bound.
+    pub fn spawn_with_fleet(
+        bind: &NetAddr,
+        commit: GroupCommit,
+        fleet: Vec<FleetMember>,
+        net: NetConfig,
+        opts: ServerOptions,
+    ) -> Result<SessionServer, ServerError> {
+        SessionServer::start(
+            bind,
+            commit,
+            None,
+            Some(FleetRouting {
+                members: fleet,
+                net,
+            }),
+            opts,
+        )
     }
 
     fn start(
         bind: &NetAddr,
         commit: GroupCommit,
         follower: Option<Arc<Mutex<Follower>>>,
+        fleet: Option<FleetRouting>,
         opts: ServerOptions,
     ) -> Result<SessionServer, ServerError> {
         let listener = NetListener::bind(bind)
@@ -198,10 +262,12 @@ impl SessionServer {
         let ctx = Arc::new(SessionCtx {
             commit: commit.clone(),
             follower: follower.clone(),
+            fleet,
             gate: Arc::new(Gate::new(opts.max_sessions, opts.max_queued)),
             shutdown: Arc::clone(&shutdown),
             exec: ExecContext::new(opts.exec_threads.max(1)),
             memo: QueryMemo::shared(),
+            quorum_timeout_ms: opts.quorum_timeout_ms,
         });
         let serve = Arc::new(move |stream: NetStream| serve_conn(&ctx, stream));
         let flag = Arc::clone(&shutdown);
@@ -329,10 +395,23 @@ fn handle_request(ctx: &SessionCtx, payload: &[u8]) -> Reply {
         Request::Ping => Reply::Result("pong".to_string()),
         Request::Query(text) => primary_query(ctx, &text),
         Request::Read { min_lsn, text } => follower_read(ctx, min_lsn, &text),
-        Request::Commit(record) => match ctx.commit.commit(record) {
-            Ok(lsn) => Reply::Lsn(lsn),
-            Err(e) => Reply::Err(ServerError::Commit(e.to_string())),
-        },
+        Request::Commit(record) => {
+            // With a replication quorum configured the session is only
+            // acknowledged once a majority acked; without one this is
+            // plain local group commit.
+            let res = if ctx.commit.quorum_size() > 1 {
+                ctx.commit.commit_replicated(record, ctx.quorum_timeout_ms)
+            } else {
+                ctx.commit.commit(record)
+            };
+            match res {
+                Ok(lsn) => Reply::Lsn(lsn),
+                Err(DurableError::Unreplicated { lsn, acked }) => {
+                    Reply::Err(ServerError::Unreplicated { lsn, acked })
+                }
+                Err(e) => Reply::Err(ServerError::Commit(e.to_string())),
+            }
+        }
     }
 }
 
@@ -348,10 +427,14 @@ fn primary_query(ctx: &SessionCtx, text: &str) -> Reply {
     }
 }
 
-/// Routes a `read` to the follower when it satisfies the staleness
-/// bound; refuses with a typed `TooStale` when it is behind. Without a
-/// follower the primary serves it (a primary is never stale).
+/// Routes a `read`: across the fleet when one is configured, to the
+/// attached local follower otherwise; refuses with a typed `TooStale`
+/// when nothing satisfies the staleness bound. Without either, the
+/// primary serves it (a primary is never stale).
 fn follower_read(ctx: &SessionCtx, min_lsn: u64, text: &str) -> Reply {
+    if let Some(fleet) = &ctx.fleet {
+        return fleet_read(ctx, fleet, min_lsn, text);
+    }
     let Some(follower) = &ctx.follower else {
         return primary_query(ctx, text);
     };
@@ -361,6 +444,7 @@ fn follower_read(ctx: &SessionCtx, min_lsn: u64, text: &str) -> Reply {
         return Reply::Err(ServerError::TooStale {
             required: min_lsn,
             applied,
+            member: None,
         });
     }
     let Some(tmd) = f.schema() else {
@@ -368,9 +452,50 @@ fn follower_read(ctx: &SessionCtx, min_lsn: u64, text: &str) -> Reply {
         return Reply::Err(ServerError::TooStale {
             required: min_lsn,
             applied,
+            member: None,
         });
     };
     match render_query(tmd, text, &ctx.exec, &ctx.memo) {
+        Ok(out) => Reply::Result(out),
+        Err(e) => Reply::Err(e),
+    }
+}
+
+/// Forwards a `read` to the freshest fleet member whose quorum-acked
+/// position covers `min_lsn`. The bound is derived from the acks the
+/// group-commit layer collects — a member that acked LSN `n` has
+/// fsynced and applied through `n`, so no extra probe is needed. Ties
+/// break on the member name, making routing deterministic.
+fn fleet_read(ctx: &SessionCtx, fleet: &FleetRouting, min_lsn: u64, text: &str) -> Reply {
+    let positions = ctx.commit.member_positions();
+    // The tracker speaks next-LSN ("synced everything below");
+    // subtract one to get the highest LSN the member has applied.
+    let acked_of = |name: &str| {
+        positions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, p)| p.saturating_sub(1))
+    };
+    let mut best: Option<(&FleetMember, u64)> = None;
+    for m in &fleet.members {
+        let acked = acked_of(&m.name);
+        if best.is_none_or(|(b, p)| (acked, m.name.as_str()) > (p, b.name.as_str())) {
+            best = Some((m, acked));
+        }
+    }
+    let Some((freshest, applied)) = best else {
+        // An empty fleet: the primary serves, as without a follower.
+        return primary_query(ctx, text);
+    };
+    if applied < min_lsn {
+        return Reply::Err(ServerError::TooStale {
+            required: min_lsn,
+            applied,
+            member: Some(freshest.name.clone()),
+        });
+    }
+    let mut client = SessionClient::connect(freshest.addr.clone(), fleet.net.clone());
+    match client.read_at(min_lsn, text) {
         Ok(out) => Reply::Result(out),
         Err(e) => Reply::Err(e),
     }

@@ -334,7 +334,9 @@ fn stale_follower_reads_are_refused_then_served_after_catch_up() {
     // The follower has applied nothing yet: refused, with the bound
     // and its actual position in the typed error.
     match client.read_at(lsn, QUERY) {
-        Err(ServerError::TooStale { required, applied }) => {
+        Err(ServerError::TooStale {
+            required, applied, ..
+        }) => {
             assert_eq!(required, lsn);
             assert_eq!(applied, 0);
         }

@@ -123,7 +123,9 @@ fn main() {
     let mut client = SessionClient::connect(addr.clone(), NetConfig::default());
     let latest = group.wal_position() - 1;
     match client.read_at(latest, Q1) {
-        Err(ServerError::TooStale { required, applied }) => {
+        Err(ServerError::TooStale {
+            required, applied, ..
+        }) => {
             println!("\nfollower read refused: requires LSN {required}, applied {applied}")
         }
         other => panic!("expected TooStale, got {other:?}"),

@@ -10,6 +10,8 @@
 //! mvolap --store DIR --serve ADDR    # serve the store to replicas
 //! mvolap --store DIR --follow ADDR   # tail a served store as a follower
 //! mvolap --store DIR --listen ADDR   # session server: queries + commits
+//! mvolap --store DIR --listen ADDR --cluster SPEC
+//!                                    # quorum group: primary + members
 //! mvolap --connect ADDR              # client REPL against --listen
 //! mvolap --connect ADDR -c QUERY     # one-shot remote query
 //! mvolap -c "SELECT sum(Amount) BY year, Org.Division IN MODE tcm"
@@ -27,6 +29,14 @@
 //! `--connect` is its line-oriented client — every line is a query,
 //! answered with the same rendering the local REPL prints.
 //!
+//! `--cluster SPEC` (with `--listen` and a fresh `--store`) starts a
+//! quorum-replicated group instead: `SPEC` is a comma-separated list of
+//! `name=ADDR` members (e.g. `m1=127.0.0.1:0,m2=127.0.0.1:0`), each
+//! getting its own replica store under `DIR/<name>` and its own read
+//! server. Commits through the primary are acknowledged only once a
+//! majority of the group synced them, and bounded `read`s are routed to
+//! the freshest member that satisfies the staleness bound.
+//!
 //! Inside the REPL, lines are queries (see `mvolap-query` for the
 //! grammar) or backslash commands — `\h` lists them. With `--store`,
 //! evolution commands (`\create`, `\rename`, `\delete`) are journaled
@@ -37,6 +47,7 @@ use std::io::{BufRead, Write as _};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use mvolap::cluster::LocalCluster;
 use mvolap::core::case_study::{case_study, case_study_two_measures};
 use mvolap::core::{ConfidenceWeights, DimensionId, MemberVersionId, Tmd};
 use mvolap::cube::mode_qualities;
@@ -97,6 +108,7 @@ fn main() {
     let mut follow_addr: Option<String> = None;
     let mut listen_addr: Option<String> = None;
     let mut connect_addr: Option<String> = None;
+    let mut cluster_spec: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -168,13 +180,22 @@ fn main() {
                         .unwrap_or_else(|| die("--connect requires an address")),
                 );
             }
+            "--cluster" => {
+                i += 1;
+                cluster_spec = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--cluster requires name=ADDR[,name=ADDR...]")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mvolap [--two-measures | --workload SEED | --load FILE] \
                      [--store DIR] [--serve ADDR | --follow ADDR | --listen ADDR] \
-                     [--connect ADDR] [-c QUERY]\n\
+                     [--cluster SPEC] [--connect ADDR] [-c QUERY]\n\
                      ADDR is host:port or unix:/path/to.sock; serve/follow/listen need \
-                     --store DIR; --connect talks to a --listen server"
+                     --store DIR; --connect talks to a --listen server; --cluster \
+                     name=ADDR,... with --listen starts a quorum group"
                 );
                 return;
             }
@@ -200,6 +221,12 @@ fn main() {
         let dir = store_dir.unwrap_or_else(|| die("--follow requires --store DIR"));
         let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
         follow(&addr, &dir);
+    }
+    if let Some(spec) = cluster_spec {
+        let dir = store_dir.unwrap_or_else(|| die("--cluster requires --store DIR"));
+        let addr = listen_addr.unwrap_or_else(|| die("--cluster requires --listen ADDR"));
+        let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
+        cluster(&addr, &dir, &spec, schema);
     }
     if let Some(addr) = listen_addr {
         let dir = store_dir.unwrap_or_else(|| die("--listen requires --store DIR"));
@@ -441,6 +468,76 @@ fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
     }
     server.stop();
     println!("mvolap: session server on {addr} stopped");
+    std::process::exit(0)
+}
+
+/// `--cluster`: a quorum-replicated serving group on one machine. The
+/// primary session server listens on `addr`; every `name=ADDR` in
+/// `spec` gets a replica store under `DIR/<name>` and a read server on
+/// its own address. A background pump ships the WAL tail continuously,
+/// so commits clear the majority quorum and bounded reads route to the
+/// freshest member.
+fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
+    let mut members = Vec::new();
+    for part in spec.split(',') {
+        let Some((name, maddr)) = part.split_once('=') else {
+            die(&format!("bad --cluster entry `{part}` (want name=ADDR)"));
+        };
+        let maddr =
+            NetAddr::parse(maddr).unwrap_or_else(|e| die(&format!("bad address `{maddr}`: {e}")));
+        members.push((name.to_string(), maddr));
+    }
+    if members.is_empty() {
+        die("--cluster needs at least one name=ADDR member");
+    }
+    let seed = schema.unwrap_or_else(|| case_study().tmd);
+    let group = LocalCluster::start(
+        std::path::Path::new(dir),
+        seed,
+        addr,
+        &members,
+        Options::default(),
+        GroupConfig::default(),
+        ServerOptions::default(),
+        NetConfig::default(),
+    )
+    .unwrap_or_else(|e| die(&format!("cannot start cluster under {dir}: {e}")));
+    println!(
+        "mvolap — quorum group under `{dir}`: primary on {} ({} members, quorum {}/{}). \
+         `quit` or EOF stops.",
+        group.primary_addr(),
+        members.len(),
+        members.len() / 2 + 1,
+        members.len() + 1,
+    );
+    for (name, maddr) in group.member_addrs() {
+        println!("  member {name} reads on {maddr}");
+    }
+    std::io::stdout().flush().ok();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(Ordering::SeqCst) {
+                if let Err(e) = group.pump() {
+                    eprintln!("mvolap: replication pump failed: {e}");
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        });
+        let stdin = std::io::stdin();
+        loop {
+            let mut line = String::new();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => {}
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+    println!("mvolap: cluster on {addr} stopped");
     std::process::exit(0)
 }
 

@@ -21,6 +21,7 @@
 //! | [`durable`] | Write-ahead log, checkpointing and crash recovery |
 //! | [`replica`] | WAL-shipping replication, divergence detection, failover |
 //! | [`server`] | Concurrent session server: group commit, replica read routing |
+//! | [`cluster`] | Quorum-replicated commit, leader election, fleet read bounds |
 //! | [`query`] | Textual query language with `IN MODE` temporal presentation |
 //! | [`cube`] | Aggregate lattice, navigation operators, quality factor |
 //! | [`workload`] | Seeded evolving-hierarchy and fact generators |
@@ -45,6 +46,7 @@
 //! }
 //! ```
 
+pub use mvolap_cluster as cluster;
 pub use mvolap_core as core;
 pub use mvolap_cube as cube;
 pub use mvolap_durable as durable;
