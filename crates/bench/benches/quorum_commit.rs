@@ -10,12 +10,24 @@
 //! per commit stay bounded by the batch configuration rather than
 //! growing with history. Emits `BENCH_quorum.json` at the workspace
 //! root.
+//!
+//! A third leg measures the same three-node quorum through the
+//! **async pump**: one [`MemberPump`] shipping thread per member
+//! tails the primary's WAL and ships batched frame envelopes while
+//! `commit_replicated` parks on the quorum condvar. Expected shape:
+//! both per-commit latency and transport steps per commit drop well
+//! below the synchronous supervision loop, because acks arrive
+//! continuously and many frames share one envelope round-trip.
+
+use std::sync::{Arc, Mutex};
 
 use mvolap_bench::harness::{BenchmarkId, Criterion, Throughput};
-use mvolap_cluster::{ClusterConfig, ClusterSet};
+use mvolap_cluster::{ClusterConfig, ClusterSet, MemberPump, PumpConfig, PumpShared, PumpTracker};
 use mvolap_core::case_study;
-use mvolap_durable::{FactRow, GroupConfig, Io, Options, TimeSource, WalRecord};
-use mvolap_replica::ChannelTransport;
+use mvolap_durable::{
+    DurableTmd, FactRow, GroupCommit, GroupConfig, Io, Options, TimeSource, WalRecord,
+};
+use mvolap_replica::{ChannelTransport, Follower};
 use mvolap_temporal::Instant;
 
 /// Records committed per benchmark iteration.
@@ -74,6 +86,97 @@ fn bench_commits(
     group.finish();
 }
 
+/// The async leg: a primary group-commit handle plus two member
+/// followers served by dedicated [`MemberPump`] shipping threads.
+/// Commits go through `commit_replicated`, which parks on the quorum
+/// condvar until a pump's continuous acks pass the watermark.
+fn bench_async_commits(
+    c: &mut Criterion,
+    base: &std::path::Path,
+    leaf: mvolap_core::MemberVersionId,
+) -> (f64, f64, f64) {
+    let cs = case_study::case_study();
+    let primary_dir = base.join("primary");
+    let store = DurableTmd::create_with(&primary_dir, cs.tmd, Options::default(), Io::plain())
+        .expect("primary store");
+    let commit = GroupCommit::new(
+        store,
+        GroupConfig {
+            hold_ms: 0,
+            time: TimeSource::default(),
+        },
+    );
+    // Same quorum as the sync three-node leg: 2 of {primary, m1, m2}.
+    commit.configure_quorum(2);
+
+    let tracker = PumpTracker::new();
+    let shared = PumpShared::new(commit.clone(), 0);
+    let mut pumps = Vec::new();
+    for name in ["m1", "m2"] {
+        let follower = Arc::new(Mutex::new(Follower::create(
+            name,
+            base.join(name),
+            Options::default(),
+            Io::plain(),
+        )));
+        pumps.push(
+            MemberPump::new(
+                shared.clone(),
+                name,
+                follower,
+                &primary_dir,
+                PumpConfig::default(),
+                tracker.clone(),
+            )
+            .spawn(),
+        );
+    }
+
+    let mut group = c.benchmark_group("quorum/commits");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_with_input(BenchmarkId::new("async", 3), &3, |b, _| {
+        b.iter(|| {
+            for i in 0..OPS {
+                commit
+                    .commit_replicated(fact(leaf, i), 5_000)
+                    .expect("async quorum commit");
+            }
+        })
+    });
+    group.finish();
+
+    // Let the slower member drain its tail so the step count covers
+    // every commit's shipping, then stop the threads.
+    let head = commit.wal_position();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while std::time::Instant::now() < deadline {
+        let drained = tracker
+            .all()
+            .iter()
+            .filter(|(_, s)| s.acked_lsn >= head)
+            .count();
+        if drained == 2 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    shared.request_stop();
+    for pump in &mut pumps {
+        pump.join();
+    }
+
+    let commits = commit.wal_position() - 1;
+    let steps = tracker.transport_steps();
+    let steps_per_commit = steps as f64 / commits.max(1) as f64;
+    let shipped: u64 = tracker.all().iter().map(|(_, s)| s.shipped_frames).sum();
+    eprintln!(
+        "async pump: {commits} commits, {shipped} frames in {steps} transport steps \
+         ({steps_per_commit:.2} steps/commit)"
+    );
+    (commits as f64, steps as f64, steps_per_commit)
+}
+
 fn main() {
     let base = std::env::temp_dir().join(format!("mvolap_bench_quorum_{}", std::process::id()));
     std::fs::remove_dir_all(&base).ok();
@@ -98,6 +201,11 @@ fn main() {
     let quorum_required = triple.quorum_required();
     drop(triple);
 
+    // Quorum 2/3 again, but replication rides the async pump threads:
+    // commit_replicated parks on the condvar while shipping happens
+    // off-thread in batched envelopes.
+    let (_, _, steps_per_commit_3_async) = bench_async_commits(&mut c, &base.join("n3a"), leaf);
+
     c.final_summary();
 
     let host_cpus = std::thread::available_parallelism()
@@ -116,21 +224,28 @@ fn main() {
     };
     let (lat1, tput1) = stats("commits/nodes/1");
     let (lat3, tput3) = stats("commits/nodes/3");
+    let (lat3a, tput3a) = stats("commits/async/3");
     let steps_per_commit_1 = single_steps as f64 / single_commits.max(1) as f64;
     let steps_per_commit_3 = triple_steps as f64 / triple_commits.max(1) as f64;
     eprintln!(
-        "commit latency: {lat1:.1}us (1 node) -> {lat3:.1}us (3 nodes); \
-         commits/s: {tput1:.0} -> {tput3:.0}; \
-         transport steps/commit: {steps_per_commit_1:.2} -> {steps_per_commit_3:.2}"
+        "commit latency: {lat1:.1}us (1 node) -> {lat3:.1}us (3 nodes sync) \
+         -> {lat3a:.1}us (3 nodes async); \
+         commits/s: {tput1:.0} -> {tput3:.0} -> {tput3a:.0}; \
+         transport steps/commit: {steps_per_commit_1:.2} -> {steps_per_commit_3:.2} \
+         -> {steps_per_commit_3_async:.2}"
     );
 
     let json = format!(
         "{{\n  \"host_cpus\": {host_cpus},\n  \"ops_per_iter\": {OPS},\n  \
          \"quorum_required_3\": {quorum_required},\n  \
          \"commit_latency_us_1\": {lat1:.2},\n  \"commit_latency_us_3\": {lat3:.2},\n  \
+         \"commit_latency_us_3_async\": {lat3a:.2},\n  \
          \"commits_per_sec_1\": {tput1:.1},\n  \"commits_per_sec_3\": {tput3:.1},\n  \
+         \"commits_per_sec_3_async\": {tput3a:.1},\n  \
          \"transport_steps_per_commit_1\": {steps_per_commit_1:.3},\n  \
-         \"transport_steps_per_commit_3\": {steps_per_commit_3:.3},\n  \"results\": {}\n}}\n",
+         \"transport_steps_per_commit_3\": {steps_per_commit_3:.3},\n  \
+         \"transport_steps_per_commit_3_async\": {steps_per_commit_3_async:.3},\n  \
+         \"results\": {}\n}}\n",
         c.to_json()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quorum.json");

@@ -22,17 +22,29 @@
 //!   I/O primitive and partitions a member at every transport step,
 //!   asserting that no quorum-acknowledged commit is ever lost and no
 //!   two primaries accept writes in the same epoch.
+//! - **Async pump** ([`MemberPump`]): per-member shipping engines
+//!   that tail the primary's WAL and ship batched frame envelopes
+//!   with a bounded in-flight window; [`MemberPump::spawn`] runs one
+//!   on a dedicated thread so commits stop paying a caller's pump
+//!   interval, while [`MemberPump::step`] stays a synchronous hook
+//!   deterministic tests drive directly.
 //!
 //! The supervisor is deterministic: no wall-clock, no threads — every
 //! protocol step happens inside [`ClusterSet::tick`], which is what
-//! makes the exhaustive sweep possible.
+//! makes the exhaustive sweep possible; threaded shipping lives only
+//! in the pump/serving layer above it.
 
 #![warn(missing_docs)]
 
+pub mod pump;
 pub mod serve;
 pub mod set;
 pub mod sweep;
 
+pub use pump::{
+    MemberPump, MemberPumpStatus, PumpConfig, PumpShared, PumpState, PumpStep, PumpThread,
+    PumpTracker,
+};
 pub use serve::LocalCluster;
 pub use set::{
     ClusterConfig, ClusterEvent, ClusterSet, ClusterStats, QuorumPrimary, RejoinOutcome,

@@ -1,0 +1,714 @@
+//! Asynchronous replication pump: per-member shipping engines that
+//! tail the primary's WAL, ship **batched** frame envelopes, collect
+//! quorum acks and feed [`GroupCommit::member_synced`] continuously —
+//! so `commit_replicated` waiters wake on the condvar the moment a
+//! majority covers their LSN, instead of paying a caller's pump
+//! interval.
+//!
+//! # Shape
+//!
+//! One [`MemberPump`] per member. Its engine is the synchronous
+//! [`MemberPump::step`] — the injectable hook: deterministic tests
+//! (and the fault sweeps' single-stepped world) call it directly
+//! under a [`TimeSource::Manual`] timeline, while
+//! [`MemberPump::spawn`] wraps the same engine in a dedicated thread
+//! that parks on [`GroupCommit::wait_synced_past`] between commits.
+//! Each step:
+//!
+//! 1. **Delivers** any in-flight envelopes whose member is free
+//!    (`try_lock` — a busy member never blocks the pump), decoding
+//!    the wire envelope, applying frames, and reporting the member's
+//!    quorum ack into the tracker.
+//! 2. **Ships** new work: fetches fsynced frames from the primary's
+//!    log ([`WalTailer::fetch_budget`] — never past the durable
+//!    watermark, so a member cannot ack a record the primary could
+//!    still lose), packs them as multiple `frames` messages inside
+//!    one `batch` wire envelope ([`encode_batch`] — many WAL frames
+//!    per request/reply round-trip), and queues the envelope in the
+//!    in-flight window.
+//!
+//! # Backpressure
+//!
+//! The in-flight window is bounded in frames **and** payload bytes
+//! ([`PumpConfig::max_inflight_frames`] /
+//! [`PumpConfig::max_inflight_bytes`]). A member that stops acking
+//! caps the window: the pump reports [`PumpState::Blocked`] via its
+//! [`PumpTracker`] and fetches nothing more — a slow member costs
+//! bounded memory, never an unbounded queue. When the member heals,
+//! delivery drains the window and shipping resumes.
+//!
+//! # Fencing
+//!
+//! Pumps serve exactly one primary epoch. [`PumpShared::fence`] (the
+//! election path deposing this primary) flips a flag every step
+//! checks first: a fenced pump drops its in-flight window and ships
+//! nothing further. The member side is independently safe — a stale
+//! epoch in a delivered envelope is refused by the member's own epoch
+//! check — but the pump stops at the source. A pump can also *learn*
+//! it is deposed from the member: an ack or refusal carrying a higher
+//! epoch parks it in [`PumpState::Fenced`] the same way. The new
+//! primary's pumps, built at the higher epoch, take over shipping.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, TryLockError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mvolap_durable::{GroupCommit, TimeSource};
+use mvolap_replica::{
+    decode_batch, encode_batch, Follower, ReplicaError, ReplicaMsg, TailSource, WalTailer,
+};
+
+/// Tuning for one member's shipping engine.
+#[derive(Debug, Clone)]
+pub struct PumpConfig {
+    /// Frames per `frames` message inside a shipped envelope. One
+    /// envelope may carry several such messages, up to the window.
+    pub max_batch_frames: usize,
+    /// In-flight window cap in frames: shipped-but-unacked frames
+    /// never exceed this.
+    pub max_inflight_frames: usize,
+    /// In-flight window cap in cumulative payload bytes. A single
+    /// frame larger than the cap still ships alone (progress
+    /// guarantee).
+    pub max_inflight_bytes: usize,
+    /// How long the pump thread parks waiting for new commits before
+    /// re-checking its stop flag, in wall-clock milliseconds.
+    pub idle_wait_ms: u64,
+    /// Backoff after a stalled round (member store error), measured
+    /// on `time`.
+    pub retry_wait_ms: u64,
+    /// Timeline for stall backoff. Manual makes every retry decision
+    /// harness-driven — the deterministic-test hook.
+    pub time: TimeSource,
+}
+
+impl Default for PumpConfig {
+    fn default() -> PumpConfig {
+        PumpConfig {
+            max_batch_frames: 64,
+            max_inflight_frames: 256,
+            max_inflight_bytes: 1 << 20,
+            idle_wait_ms: 25,
+            retry_wait_ms: 50,
+            time: TimeSource::System,
+        }
+    }
+}
+
+/// Where one member's pump is in its lifecycle — the typed state the
+/// tracker exposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PumpState {
+    /// Caught up; nothing in flight, nothing to ship.
+    Idle,
+    /// Actively shipping or delivering.
+    Shipping,
+    /// The in-flight window is full (or the member is busy) — the
+    /// backpressure state. Nothing more is fetched until acks drain.
+    Blocked,
+    /// The member errored; the pump dropped its window and retries
+    /// after the configured backoff.
+    Stalled {
+        /// The member's error, verbatim.
+        reason: String,
+    },
+    /// This pump's primary was deposed; the pump ships nothing and
+    /// stays parked until stopped.
+    Fenced {
+        /// The epoch that fenced it.
+        epoch: u64,
+    },
+    /// Shutdown observed.
+    Stopped,
+}
+
+/// One member's counters and gauges, published through the tracker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberPumpStatus {
+    /// Lifecycle state after the last step.
+    pub state: PumpState,
+    /// The member's last reported durably-synced position (next-LSN
+    /// convention), as fed to [`GroupCommit::member_synced`].
+    pub acked_lsn: u64,
+    /// WAL frames shipped (queued onto the wire) so far.
+    pub shipped_frames: u64,
+    /// Wire envelopes shipped — each is one request.
+    pub requests: u64,
+    /// Ack envelopes received — each is one reply.
+    pub replies: u64,
+    /// Snapshot bootstraps shipped.
+    pub snapshots: u64,
+    /// Stalled rounds observed.
+    pub stalls: u64,
+    /// Frames currently in flight (shipped, unacked).
+    pub inflight_frames: usize,
+    /// Payload bytes currently in flight.
+    pub inflight_bytes: usize,
+}
+
+impl Default for MemberPumpStatus {
+    fn default() -> MemberPumpStatus {
+        MemberPumpStatus {
+            state: PumpState::Idle,
+            acked_lsn: 0,
+            shipped_frames: 0,
+            requests: 0,
+            replies: 0,
+            snapshots: 0,
+            stalls: 0,
+            inflight_frames: 0,
+            inflight_bytes: 0,
+        }
+    }
+}
+
+/// Shared, cloneable view of every member pump's state and counters.
+#[derive(Debug, Clone, Default)]
+pub struct PumpTracker {
+    members: Arc<Mutex<BTreeMap<String, MemberPumpStatus>>>,
+}
+
+impl PumpTracker {
+    /// A fresh tracker with no members.
+    #[must_use]
+    pub fn new() -> PumpTracker {
+        PumpTracker::default()
+    }
+
+    /// One member's status, or `None` before its pump's first step.
+    #[must_use]
+    pub fn status(&self, member: &str) -> Option<MemberPumpStatus> {
+        plock(&self.members).get(member).cloned()
+    }
+
+    /// Every member's status, in member order.
+    #[must_use]
+    pub fn all(&self) -> Vec<(String, MemberPumpStatus)> {
+        plock(&self.members)
+            .iter()
+            .map(|(n, s)| (n.clone(), s.clone()))
+            .collect()
+    }
+
+    /// Total wire steps across all members: one per shipped envelope
+    /// (request) plus one per ack (reply) — the batching yardstick
+    /// the quorum bench reports as transport steps per commit.
+    #[must_use]
+    pub fn transport_steps(&self) -> u64 {
+        plock(&self.members)
+            .values()
+            .map(|s| s.requests + s.replies)
+            .sum()
+    }
+
+    fn update(&self, member: &str, f: impl FnOnce(&mut MemberPumpStatus)) {
+        f(plock(&self.members).entry(member.to_string()).or_default());
+    }
+}
+
+/// State shared by every pump serving one primary at one epoch: the
+/// group-commit handle, the epoch envelopes are stamped with, and the
+/// fence/stop flags the steps check first.
+#[derive(Debug)]
+pub struct PumpShared {
+    commit: GroupCommit,
+    epoch: AtomicU64,
+    fenced: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl PumpShared {
+    /// Shared state for pumps of `commit`'s primary at `epoch`.
+    #[must_use]
+    pub fn new(commit: GroupCommit, epoch: u64) -> Arc<PumpShared> {
+        Arc::new(PumpShared {
+            commit,
+            epoch: AtomicU64::new(epoch),
+            fenced: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The primary's group-commit handle.
+    #[must_use]
+    pub fn commit(&self) -> &GroupCommit {
+        &self.commit
+    }
+
+    /// The epoch envelopes are currently stamped with.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Fences every pump sharing this state: the primary was deposed
+    /// by `epoch`. Steps in flight finish their current envelope at
+    /// most; nothing further ships, and parked threads are woken so
+    /// they observe the fence immediately.
+    pub fn fence(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::SeqCst);
+        self.fenced.store(true, Ordering::SeqCst);
+        self.commit.notify_waiters();
+    }
+
+    /// Whether [`PumpShared::fence`] was called.
+    #[must_use]
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Asks every pump sharing this state to stop, waking parked
+    /// threads. The threads exit on their next step; join them via
+    /// [`PumpThread::join`].
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.commit.notify_waiters();
+    }
+
+    /// Whether [`PumpShared::request_stop`] was called.
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// What one [`MemberPump::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PumpStep {
+    /// Shutdown observed; a pump thread exits on this.
+    Stopped,
+    /// The primary is deposed (locally fenced, or the member reported
+    /// a higher epoch); the in-flight window was dropped.
+    Fenced {
+        /// The fencing epoch.
+        epoch: u64,
+    },
+    /// Frames moved: shipped onto the window and/or acked by the
+    /// member.
+    Progress {
+        /// Frames newly shipped this step.
+        shipped: usize,
+        /// Frames newly acknowledged this step.
+        acked: usize,
+    },
+    /// The window is at its cap (or the member is busy) and nothing
+    /// could be delivered — the backpressure signal.
+    Blocked {
+        /// Frames currently in flight.
+        inflight: usize,
+    },
+    /// The member errored; window dropped, retry after backoff.
+    Stalled {
+        /// The member's error, verbatim.
+        reason: String,
+    },
+    /// A stalled pump still inside its backoff window.
+    Backoff,
+    /// Caught up: nothing in flight, nothing new to ship.
+    Idle,
+}
+
+/// A shipped-but-unacked wire envelope in the in-flight window.
+#[derive(Debug)]
+struct Envelope {
+    wire: Vec<u8>,
+    frames: usize,
+    bytes: usize,
+}
+
+/// One member's shipping engine. [`MemberPump::step`] is synchronous
+/// and deterministic given the [`TimeSource`]; [`MemberPump::spawn`]
+/// runs it on a dedicated thread.
+pub struct MemberPump {
+    shared: Arc<PumpShared>,
+    name: String,
+    follower: Arc<Mutex<Follower>>,
+    tailer: WalTailer,
+    cfg: PumpConfig,
+    tracker: PumpTracker,
+    inflight: VecDeque<Envelope>,
+    inflight_frames: usize,
+    inflight_bytes: usize,
+    /// Next LSN to fetch for shipping; `None` means re-derive from
+    /// the member (first step, or recovery after a stall dropped the
+    /// window).
+    cursor: Option<u64>,
+    /// Timeline instant before which a stalled pump must not retry.
+    retry_at: Option<u64>,
+}
+
+impl MemberPump {
+    /// A pump shipping `primary_dir`'s log to `follower` on behalf of
+    /// member `name`, publishing into `tracker`.
+    #[must_use]
+    pub fn new(
+        shared: Arc<PumpShared>,
+        name: impl Into<String>,
+        follower: Arc<Mutex<Follower>>,
+        primary_dir: &Path,
+        cfg: PumpConfig,
+        tracker: PumpTracker,
+    ) -> MemberPump {
+        MemberPump {
+            shared,
+            name: name.into(),
+            follower,
+            tailer: WalTailer::new(primary_dir),
+            cfg,
+            tracker,
+            inflight: VecDeque::new(),
+            inflight_frames: 0,
+            inflight_bytes: 0,
+            cursor: None,
+            retry_at: None,
+        }
+    }
+
+    /// The member this pump serves.
+    #[must_use]
+    pub fn member(&self) -> &str {
+        &self.name
+    }
+
+    /// The tracker this pump publishes into.
+    #[must_use]
+    pub fn tracker(&self) -> &PumpTracker {
+        &self.tracker
+    }
+
+    /// One engine turn: deliver what the member will take, then ship
+    /// what the window allows. This is the injectable step hook —
+    /// deterministic harnesses call it directly; [`MemberPump::spawn`]
+    /// loops it on a thread.
+    pub fn step(&mut self) -> PumpStep {
+        if self.shared.stop_requested() {
+            self.set_state(PumpState::Stopped);
+            return PumpStep::Stopped;
+        }
+        if self.shared.is_fenced() {
+            return self.fenced(self.shared.epoch());
+        }
+        if let Some(at) = self.retry_at {
+            if self.cfg.time.now_ms() < at {
+                return PumpStep::Backoff;
+            }
+            self.retry_at = None;
+        }
+
+        // Phase 1 — deliver: drain in-flight envelopes while the
+        // member is free. try_lock: a member busy serving a long read
+        // (or deliberately wedged in a test) never blocks this
+        // thread; its envelopes simply stay queued, which is what
+        // caps the window below.
+        let follower = Arc::clone(&self.follower);
+        let mut acked = 0usize;
+        let mut busy = false;
+        while let Some(env) = self.inflight.pop_front() {
+            match follower.try_lock() {
+                Err(TryLockError::WouldBlock) => {
+                    self.inflight.push_front(env);
+                    busy = true;
+                    break;
+                }
+                Err(TryLockError::Poisoned(_)) => {
+                    self.inflight.push_front(env);
+                    return self.stalled("member mutex poisoned".to_string());
+                }
+                Ok(mut f) => match deliver(&mut f, &env.wire) {
+                    Ok(ack) => {
+                        drop(f);
+                        self.inflight_frames -= env.frames;
+                        self.inflight_bytes -= env.bytes;
+                        acked += env.frames;
+                        self.acked(&ack);
+                        if ack.epoch > self.shared.epoch() {
+                            return self.fenced(ack.epoch);
+                        }
+                    }
+                    Err(ReplicaError::Fenced { epoch }) => {
+                        drop(f);
+                        return self.fenced(epoch);
+                    }
+                    Err(e) => {
+                        drop(f);
+                        return self.stalled(e.to_string());
+                    }
+                },
+            }
+        }
+
+        // Phase 2 — ship: pack every fsynced frame the window still
+        // has room for into ONE wire envelope (`batch` of `frames`
+        // messages), so a whole window moves per request/reply
+        // round-trip. Shipping is bounded by the primary's durable
+        // watermark — frames are eligible only once their fsync
+        // completed, which both makes the concurrent file read safe
+        // and keeps members from acking records the primary could
+        // still lose.
+        let head = self.shared.commit.synced_lsn();
+        let cursor = match self.cursor {
+            Some(c) => Some(c),
+            None => match follower.try_lock() {
+                Ok(f) => {
+                    let c = f.next_lsn();
+                    self.cursor = Some(c);
+                    Some(c)
+                }
+                Err(TryLockError::WouldBlock) => {
+                    busy = true;
+                    None
+                }
+                Err(TryLockError::Poisoned(_)) => {
+                    return self.stalled("member mutex poisoned".to_string())
+                }
+            },
+        };
+        let mut shipped = 0usize;
+        let mut snapshot = false;
+        if let Some(mut cur) = cursor {
+            let mut msgs: Vec<ReplicaMsg> = Vec::new();
+            let mut env_frames = 0usize;
+            let mut env_bytes = 0usize;
+            while cur < head && !snapshot {
+                let queued_frames = self.inflight_frames + env_frames;
+                let queued_bytes = self.inflight_bytes + env_bytes;
+                let frame_room = self
+                    .cfg
+                    .max_batch_frames
+                    .min(self.cfg.max_inflight_frames.saturating_sub(queued_frames));
+                let byte_room = self.cfg.max_inflight_bytes.saturating_sub(queued_bytes);
+                if frame_room == 0 || (byte_room == 0 && queued_frames > 0) {
+                    break; // Window full — backpressure.
+                }
+                match self
+                    .tailer
+                    .fetch_budget(cur, head, frame_room, byte_room.max(1))
+                {
+                    Ok(TailSource::Frames(frames)) if frames.is_empty() => break,
+                    Ok(TailSource::Frames(frames)) => {
+                        env_frames += frames.len();
+                        env_bytes += frames.iter().map(|f| f.payload.len()).sum::<usize>();
+                        cur = frames.last().expect("non-empty").lsn + 1;
+                        msgs.push(ReplicaMsg::Frames {
+                            epoch: self.shared.epoch(),
+                            frames,
+                        });
+                    }
+                    Ok(TailSource::Snapshot {
+                        next_lsn,
+                        snapshot: image,
+                    }) => {
+                        // The member's cursor is below the pruned
+                        // log: a snapshot bootstrap replaces any
+                        // frame messages packed so far.
+                        msgs.clear();
+                        env_bytes = image.len();
+                        env_frames = 0;
+                        cur = next_lsn;
+                        msgs.push(ReplicaMsg::Snapshot {
+                            epoch: self.shared.epoch(),
+                            next_lsn,
+                            snapshot: image,
+                        });
+                        snapshot = true;
+                    }
+                    Err(e) => return self.stalled(e.to_string()),
+                }
+            }
+            if !msgs.is_empty() {
+                self.inflight.push_back(Envelope {
+                    wire: encode_batch(&msgs),
+                    frames: env_frames,
+                    bytes: env_bytes,
+                });
+                self.inflight_frames += env_frames;
+                self.inflight_bytes += env_bytes;
+                self.cursor = Some(cur);
+                shipped = env_frames;
+                self.tracker.update(&self.name, |s| {
+                    s.requests += 1;
+                    s.shipped_frames += env_frames as u64;
+                    if snapshot {
+                        s.snapshots += 1;
+                    }
+                });
+            }
+        }
+
+        self.publish_gauges();
+        if shipped > 0 || acked > 0 || snapshot {
+            self.set_state(PumpState::Shipping);
+            PumpStep::Progress { shipped, acked }
+        } else if !self.inflight.is_empty() || (busy && cursor.is_none()) {
+            // Undelivered envelopes (member busy or window at cap):
+            // the typed backpressure state.
+            self.set_state(PumpState::Blocked);
+            PumpStep::Blocked {
+                inflight: self.inflight_frames,
+            }
+        } else {
+            self.set_state(PumpState::Idle);
+            PumpStep::Idle
+        }
+    }
+
+    /// The LSN the pump would fetch next — the wait cursor for the
+    /// thread loop's park.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.cursor.unwrap_or(0)
+    }
+
+    /// Wraps the engine in a dedicated shipping thread: step, then
+    /// park on [`GroupCommit::wait_synced_past`] when idle (woken by
+    /// the next commit's fsync or by stop/fence), short real-time
+    /// sleeps when blocked or stalled.
+    #[must_use]
+    pub fn spawn(mut self) -> PumpThread {
+        let member = self.name.clone();
+        let shared = self.shared.clone();
+        let idle = Duration::from_millis(self.cfg.idle_wait_ms.max(1));
+        let retry = Duration::from_millis(self.cfg.retry_wait_ms.clamp(1, 25));
+        let handle = std::thread::Builder::new()
+            .name(format!("pump-{member}"))
+            .spawn(move || loop {
+                match self.step() {
+                    PumpStep::Stopped => break,
+                    PumpStep::Progress { .. } => {}
+                    PumpStep::Idle => {
+                        // Park until the next commit's fsync pushes the
+                        // durable watermark past our cursor (or stop /
+                        // fence notifies).
+                        let cur = self.cursor();
+                        shared.commit().wait_synced_past(cur, idle);
+                    }
+                    PumpStep::Blocked { .. } => std::thread::sleep(Duration::from_millis(1)),
+                    PumpStep::Stalled { .. } | PumpStep::Backoff => std::thread::sleep(retry),
+                    PumpStep::Fenced { .. } => {
+                        // Fencing is permanent for this pump; stay
+                        // parked until stopped.
+                        std::thread::sleep(idle);
+                    }
+                }
+            })
+            .expect("spawn pump thread");
+        PumpThread {
+            member,
+            handle: Some(handle),
+        }
+    }
+
+    fn acked(&mut self, ack: &PumpAck) {
+        // Clamp at the primary's own head: a member cannot vouch for
+        // records the primary never wrote (forged-ack defense, same
+        // clamp the deterministic supervisor applies).
+        let head = self.shared.commit.wal_position();
+        let synced = ack.synced_lsn.min(head);
+        self.shared.commit.member_synced(&self.name, synced);
+        self.tracker.update(&self.name, |s| {
+            s.replies += 1;
+            s.acked_lsn = s.acked_lsn.max(synced);
+        });
+    }
+
+    fn fenced(&mut self, epoch: u64) -> PumpStep {
+        self.drop_window();
+        self.set_state(PumpState::Fenced { epoch });
+        self.publish_gauges();
+        PumpStep::Fenced { epoch }
+    }
+
+    fn stalled(&mut self, reason: String) -> PumpStep {
+        self.drop_window();
+        // The member's position is unknown after an error; re-derive
+        // the cursor from its own store on recovery.
+        self.cursor = None;
+        self.retry_at = Some(self.cfg.time.now_ms() + self.cfg.retry_wait_ms);
+        self.tracker.update(&self.name, |s| s.stalls += 1);
+        self.set_state(PumpState::Stalled {
+            reason: reason.clone(),
+        });
+        self.publish_gauges();
+        PumpStep::Stalled { reason }
+    }
+
+    fn drop_window(&mut self) {
+        self.inflight.clear();
+        self.inflight_frames = 0;
+        self.inflight_bytes = 0;
+    }
+
+    fn set_state(&self, state: PumpState) {
+        self.tracker.update(&self.name, |s| s.state = state);
+    }
+
+    fn publish_gauges(&self) {
+        let (frames, bytes) = (self.inflight_frames, self.inflight_bytes);
+        self.tracker.update(&self.name, |s| {
+            s.inflight_frames = frames;
+            s.inflight_bytes = bytes;
+        });
+    }
+}
+
+/// The member's decoded quorum ack.
+struct PumpAck {
+    epoch: u64,
+    synced_lsn: u64,
+}
+
+/// Delivers one wire envelope to the member and collects its quorum
+/// ack — both directions through the real wire grammar, so every
+/// batched envelope a pump ships is exactly what a remote member
+/// would parse.
+fn deliver(f: &mut Follower, wire: &[u8]) -> Result<PumpAck, ReplicaError> {
+    for msg in decode_batch(wire)? {
+        f.handle(msg)?;
+    }
+    let ack_wire = encode_batch(&[f.quorum_ack()]);
+    match decode_batch(&ack_wire)?.pop() {
+        Some(ReplicaMsg::QuorumAck {
+            epoch, synced_lsn, ..
+        }) => Ok(PumpAck { epoch, synced_lsn }),
+        other => Err(ReplicaError::Protocol(format!(
+            "expected a quorum ack, got {other:?}"
+        ))),
+    }
+}
+
+/// Join handle for a spawned pump thread. Ask the shared state to
+/// stop ([`PumpShared::request_stop`]) before joining.
+pub struct PumpThread {
+    member: String,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PumpThread {
+    /// The member this thread ships to.
+    #[must_use]
+    pub fn member(&self) -> &str {
+        &self.member
+    }
+
+    /// Joins the thread (idempotent). Blocks until the engine
+    /// observes the stop flag — call [`PumpShared::request_stop`]
+    /// first.
+    pub fn join(&mut self) {
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for PumpThread {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn plock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

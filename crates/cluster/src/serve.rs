@@ -2,19 +2,26 @@
 //! read routing plus one read server per member, all on local
 //! addresses — the three-node quick-start from the README, packaged.
 //!
-//! The assembly is deliberately explicit about replication: nothing
-//! moves until [`LocalCluster::pump`] ships the primary's tail to every
-//! member and reports their acked positions into the quorum tracker.
-//! Tests, the example and the shell drive it one pump at a time, so
-//! every staleness bound and quorum refusal is reproducible.
+//! Replication runs in two gears. The explicit gear is
+//! [`LocalCluster::pump`]: one shipping round per call, driven by the
+//! caller, so tests can reproduce every staleness bound and quorum
+//! refusal. The serving gear is [`LocalCluster::spawn_pumps`]: one
+//! dedicated shipping thread per member ([`MemberPump`]) that tails
+//! the primary's WAL, ships batched frame envelopes with a bounded
+//! in-flight window, and feeds acks into the quorum tracker
+//! continuously — commits then clear the quorum in one shipping
+//! round-trip with nobody driving a loop.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use mvolap_core::Tmd;
 use mvolap_durable::{DurableTmd, GroupCommit, GroupConfig, Io, Options};
 use mvolap_replica::{Follower, NetAddr, NetConfig};
 use mvolap_server::{FleetMember, ServerOptions, SessionServer};
 use mvolap_server::{ServerError, SessionClient};
+
+use crate::pump::{MemberPump, MemberPumpStatus, PumpConfig, PumpShared, PumpThread, PumpTracker};
 
 /// A quorum-replicated serving group on loopback: the primary's
 /// session server (writes, primary reads, fleet-routed bounded reads)
@@ -24,13 +31,20 @@ pub struct LocalCluster {
     primary: SessionServer,
     readers: Vec<(String, SessionServer)>,
     commit: GroupCommit,
+    primary_dir: PathBuf,
+    pump_shared: Option<Arc<PumpShared>>,
+    pump_tracker: PumpTracker,
+    pumps: Vec<PumpThread>,
 }
 
 impl LocalCluster {
     /// Creates a fresh primary store seeded with `schema` under
     /// `dir/primary` and one replica per `(name, bind)` in `members`
     /// under `dir/<name>`, then spawns every server. The quorum is
-    /// sized to the whole group (primary plus members).
+    /// sized to the whole group (primary plus members). Replication
+    /// starts stalled: drive it per round with [`LocalCluster::pump`]
+    /// or hand it to shipping threads with
+    /// [`LocalCluster::spawn_pumps`].
     ///
     /// # Errors
     ///
@@ -47,13 +61,9 @@ impl LocalCluster {
         opts: ServerOptions,
         net: NetConfig,
     ) -> Result<LocalCluster, ServerError> {
-        let store = DurableTmd::create_with(
-            &dir.join("primary"),
-            schema,
-            store_opts.clone(),
-            Io::plain(),
-        )
-        .map_err(|e| ServerError::Commit(e.to_string()))?;
+        let primary_dir = dir.join("primary");
+        let store = DurableTmd::create_with(&primary_dir, schema, store_opts.clone(), Io::plain())
+            .map_err(|e| ServerError::Commit(e.to_string()))?;
         let commit = GroupCommit::new(store, group_cfg);
         commit.configure_quorum(members.len() + 1);
 
@@ -75,6 +85,10 @@ impl LocalCluster {
             primary,
             readers,
             commit,
+            primary_dir,
+            pump_shared: None,
+            pump_tracker: PumpTracker::new(),
+            pumps: Vec::new(),
         })
     }
 
@@ -101,27 +115,61 @@ impl LocalCluster {
         self.commit.clone()
     }
 
-    /// One replication round: ships the primary's tail to every member
-    /// and reports each member's applied position into the quorum
-    /// tracker, releasing any commit waiting for majority ack. Returns
-    /// `(name, applied_lsn)` per member.
-    ///
-    /// # Errors
-    ///
-    /// Whatever [`SessionServer::pump_follower`] raises for the first
-    /// failing member.
-    pub fn pump(&self) -> Result<Vec<(String, u64)>, ServerError> {
-        let mut positions = Vec::with_capacity(self.readers.len());
-        for (name, server) in &self.readers {
-            let applied = server.pump_follower()?;
-            // A member that applied LSN n has journaled and fsynced
-            // through n in its own store — that is the quorum ack.
-            // The tracker speaks next-LSN ("synced everything below"),
-            // hence the +1.
-            self.commit.member_synced(name, applied + 1);
-            positions.push((name.clone(), applied));
+    /// Hands replication to dedicated shipping threads: one
+    /// [`MemberPump`] per member, each tailing the primary's WAL and
+    /// shipping batched envelopes under `cfg`'s in-flight window.
+    /// From here commits clear the quorum without anybody calling
+    /// [`LocalCluster::pump`], and fleet read freshness advances on
+    /// its own. Idempotent — later calls are no-ops while pumps run.
+    pub fn spawn_pumps(&mut self, cfg: PumpConfig) {
+        if self.pump_shared.is_some() {
+            return;
         }
-        Ok(positions)
+        let shared = PumpShared::new(self.commit.clone(), self.current_epoch());
+        for (name, server) in &self.readers {
+            let Some(follower) = server.follower_handle() else {
+                continue;
+            };
+            let pump = MemberPump::new(
+                shared.clone(),
+                name.clone(),
+                follower,
+                &self.primary_dir,
+                cfg.clone(),
+                self.pump_tracker.clone(),
+            );
+            self.pumps.push(pump.spawn());
+        }
+        self.pump_shared = Some(shared);
+    }
+
+    /// Every member pump's typed state and counters (empty until
+    /// [`LocalCluster::spawn_pumps`] starts the shipping threads).
+    #[must_use]
+    pub fn pump_status(&self) -> Vec<(String, MemberPumpStatus)> {
+        self.pump_tracker.all()
+    }
+
+    /// One replication round, caller-driven: ships the primary's tail
+    /// to **every** member and reports each healthy member's applied
+    /// position into the quorum tracker, releasing any commit waiting
+    /// for majority ack. One failing member no longer aborts the
+    /// round — the others still ship and ack, so a majority can
+    /// advance past a partitioned straggler; its error is returned in
+    /// that member's slot instead.
+    pub fn pump(&self) -> Vec<(String, Result<u64, ServerError>)> {
+        let mut rounds = Vec::with_capacity(self.readers.len());
+        for (name, server) in &self.readers {
+            let round = server.pump_follower().inspect(|&applied| {
+                // A member that applied LSN n has journaled and
+                // fsynced through n in its own store — that is the
+                // quorum ack. The tracker speaks next-LSN ("synced
+                // everything below"), hence the +1.
+                self.commit.member_synced(name, applied + 1);
+            });
+            rounds.push((name.clone(), round));
+        }
+        rounds
     }
 
     /// A session client for the primary server.
@@ -130,13 +178,35 @@ impl LocalCluster {
         SessionClient::connect(self.primary.addr().clone(), net)
     }
 
-    /// Stops every server (primary first, so no new commits race the
-    /// readers' shutdown). Idempotent; also run on drop.
+    /// Stops everything: the primary first (no new commits race the
+    /// shutdown), then the shipping threads, then the read servers.
+    /// Idempotent; also run on drop.
     pub fn stop(&mut self) {
         self.primary.stop();
+        if let Some(shared) = &self.pump_shared {
+            shared.request_stop();
+        }
+        for pump in &mut self.pumps {
+            pump.join();
+        }
+        self.pumps.clear();
         for (_, server) in &mut self.readers {
             server.stop();
         }
+    }
+
+    /// The epoch pumps stamp on shipped envelopes: the members'
+    /// current epoch (they all start aligned in this assembly).
+    fn current_epoch(&self) -> u64 {
+        self.readers
+            .first()
+            .and_then(|(_, s)| s.follower_handle())
+            .map(|f| {
+                f.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .epoch()
+            })
+            .unwrap_or(0)
     }
 }
 

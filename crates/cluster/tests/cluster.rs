@@ -3,13 +3,20 @@
 //! fault-injection sweep.
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
-use mvolap_cluster::{cluster_sweep, ClusterConfig, ClusterSet, LocalCluster, RejoinOutcome};
+use mvolap_cluster::{
+    cluster_sweep, ClusterConfig, ClusterSet, LocalCluster, MemberPump, PumpConfig, PumpShared,
+    PumpState, PumpStep, PumpTracker, RejoinOutcome,
+};
 use mvolap_durable::fault::{generate, Step};
 use mvolap_durable::{
-    CheckpointPolicy, DurableError, GroupConfig, Io, Options, TimeSource, WalRecord,
+    CheckpointPolicy, DurableError, DurableTmd, FaultPlan, GroupCommit, GroupConfig, Io, Options,
+    TimeSource, WalRecord,
 };
-use mvolap_replica::{ChannelTransport, NetAddr, NetConfig, ReplicaError};
+use mvolap_replica::{
+    ChannelTransport, Follower, NetAddr, NetConfig, ReplicaError, ReplicaMsg, TailSource, WalTailer,
+};
 use mvolap_server::{ServerError, ServerOptions};
 
 fn tmp(name: &str) -> PathBuf {
@@ -313,7 +320,7 @@ fn served_cluster_quorums_commits_and_routes_reads() {
         })
         .collect();
     let loopback = NetAddr::parse("127.0.0.1:0").unwrap();
-    let cluster = LocalCluster::start(
+    let mut cluster = LocalCluster::start(
         &dir,
         workload.seed_schema.clone(),
         &loopback,
@@ -341,39 +348,372 @@ fn served_cluster_quorums_commits_and_routes_reads() {
         other => panic!("expected Unreplicated, got {other:?}"),
     }
 
-    // 2. With a pumper shipping the tail, the same commit path clears
-    //    the quorum and acks.
-    let group = cluster.group();
-    let stop = std::sync::atomic::AtomicBool::new(false);
-    std::thread::scope(|s| {
-        s.spawn(|| {
-            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
-                cluster.pump().expect("pump");
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-        });
-        let lsn = client.commit(&records[1]).expect("quorum commit over wire");
-        assert!(group.quorum_lsn() > lsn);
+    // 2. One caller-driven round reports per-member results — every
+    //    member ships, nobody aborts the round.
+    let round = cluster.pump();
+    assert_eq!(round.len(), 2, "one result slot per member");
+    for (name, res) in &round {
+        let applied = res
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert!(*applied > 0, "{name} applied nothing");
+    }
 
-        // 3. Fleet read routing: a bound at the committed LSN is
-        //    served by a member; an unsatisfiable bound is refused
-        //    naming the freshest member consulted.
-        let out = client.read_at(lsn, "SELECT sum(Amount) BY year IN MODE tcm");
-        let table = out.expect("fleet read served");
-        assert!(!table.is_empty());
-        match client.read_at(lsn + 100, "SELECT sum(Amount) BY year IN MODE tcm") {
-            Err(ServerError::TooStale {
-                required, member, ..
-            }) => {
-                assert_eq!(required, lsn + 100);
-                let who = member.expect("fleet refusal names the member");
-                assert!(who == "m1" || who == "m2", "unexpected member {who}");
-            }
-            other => panic!("expected TooStale with member, got {other:?}"),
+    // 3. Hand replication to the async pump threads: the same commit
+    //    path clears the quorum with nobody driving a loop.
+    cluster.spawn_pumps(PumpConfig::default());
+    let group = cluster.group();
+    let lsn = client.commit(&records[1]).expect("quorum commit over wire");
+    assert!(group.quorum_lsn() > lsn);
+    for (name, status) in cluster.pump_status() {
+        assert!(
+            !matches!(
+                status.state,
+                PumpState::Stalled { .. } | PumpState::Fenced { .. }
+            ),
+            "pump for {name} unhealthy: {:?}",
+            status.state
+        );
+    }
+
+    // 4. Fleet read routing: a bound at the committed LSN is served
+    //    by a member (freshness advanced by the pump threads alone);
+    //    an unsatisfiable bound is refused naming the freshest member
+    //    consulted.
+    let out = client.read_at(lsn, "SELECT sum(Amount) BY year IN MODE tcm");
+    let table = out.expect("fleet read served");
+    assert!(!table.is_empty());
+    match client.read_at(lsn + 100, "SELECT sum(Amount) BY year IN MODE tcm") {
+        Err(ServerError::TooStale {
+            required, member, ..
+        }) => {
+            assert_eq!(required, lsn + 100);
+            let who = member.expect("fleet refusal names the member");
+            assert!(who == "m1" || who == "m2", "unexpected member {who}");
         }
-        stop.store(true, std::sync::atomic::Ordering::SeqCst);
-    });
+        other => panic!("expected TooStale with member, got {other:?}"),
+    }
     drop(cluster);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Extracts the plain ops of a generated workload.
+fn ops(workload: &mvolap_durable::fault::Workload) -> Vec<WalRecord> {
+    workload
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Op(r) => Some(r.clone()),
+            Step::Checkpoint => None,
+        })
+        .collect()
+}
+
+/// Drives a pump until it reports Idle, panicking on anything other
+/// than progress/blocked along the way.
+fn drive_to_idle(pump: &mut MemberPump) {
+    for _ in 0..200 {
+        match pump.step() {
+            PumpStep::Idle => return,
+            PumpStep::Progress { .. } | PumpStep::Blocked { .. } => {}
+            other => panic!("pump for {} derailed: {other:?}", pump.member()),
+        }
+    }
+    panic!("pump for {} never converged", pump.member());
+}
+
+/// Backpressure: a member that stops acking caps the primary's
+/// in-flight window — bounded queue, typed `Blocked` state in the
+/// tracker, no further fetches — and the pump recovers cleanly when
+/// the member heals. A member whose store crashes is typed `Stalled`
+/// with every retry gated by the manual clock. Fully deterministic:
+/// the engine is stepped directly, no threads.
+#[test]
+fn pump_backpressure_caps_window_and_recovers_on_heal() {
+    let dir = tmp("backpressure");
+    let workload = generate(9, 16);
+    let records = ops(&workload);
+    assert!(records.len() >= 12);
+    let primary_dir = dir.join("primary");
+    let store = DurableTmd::create_with(
+        &primary_dir,
+        workload.seed_schema.clone(),
+        opts(),
+        Io::plain(),
+    )
+    .unwrap();
+    let commit = GroupCommit::new(store, group_cfg());
+    commit.configure_quorum(2);
+    let follower = Arc::new(Mutex::new(Follower::create(
+        "m1",
+        dir.join("m1"),
+        opts(),
+        Io::plain(),
+    )));
+    let time = TimeSource::manual(0);
+    let cfg = PumpConfig {
+        max_batch_frames: 2,
+        max_inflight_frames: 4,
+        max_inflight_bytes: 1 << 16,
+        idle_wait_ms: 1,
+        retry_wait_ms: 30,
+        time: time.clone(),
+    };
+    let shared = PumpShared::new(commit.clone(), 0);
+    let tracker = PumpTracker::new();
+    let mut pump = MemberPump::new(
+        shared.clone(),
+        "m1",
+        follower.clone(),
+        &primary_dir,
+        cfg.clone(),
+        tracker.clone(),
+    );
+
+    for r in records.iter().take(12) {
+        commit.commit(r.clone()).unwrap();
+    }
+    let head = commit.synced_lsn();
+
+    // The first step fills the whole window into one envelope: 4
+    // frames (2 per inner message) of the 12+ available.
+    match pump.step() {
+        PumpStep::Progress { shipped, acked } => {
+            assert_eq!(shipped, 4, "window cap bounds the first ship");
+            assert_eq!(acked, 0);
+        }
+        other => panic!("expected Progress, got {other:?}"),
+    }
+
+    // Wedge the member — a long-running read holds its lock, so it
+    // stops acking. The window must not grow past its cap no matter
+    // how often the pump steps.
+    {
+        let _wedge = follower.lock().unwrap();
+        for _ in 0..5 {
+            match pump.step() {
+                PumpStep::Blocked { inflight } => assert_eq!(inflight, 4),
+                other => panic!("expected Blocked, got {other:?}"),
+            }
+        }
+        let st = tracker.status("m1").unwrap();
+        assert_eq!(st.state, PumpState::Blocked);
+        assert_eq!(st.inflight_frames, 4, "bounded in-flight queue");
+        assert_eq!(st.requests, 1, "nothing further fetched while blocked");
+        assert_eq!(st.replies, 0, "wedged member never acked");
+    }
+
+    // Healed: delivery drains the window, acks flow, the 2-of-2
+    // quorum watermark passes the head.
+    drive_to_idle(&mut pump);
+    assert_eq!(commit.quorum_lsn(), head, "member acks formed the quorum");
+    let st = tracker.status("m1").unwrap();
+    assert_eq!(st.state, PumpState::Idle);
+    assert_eq!(st.acked_lsn, head);
+    assert_eq!(st.inflight_frames, 0);
+    assert_eq!(st.shipped_frames, head - 1, "whole log shipped");
+    assert!(
+        st.requests < st.shipped_frames,
+        "batching: fewer envelopes than frames"
+    );
+
+    // A member whose store crashes on its first I/O primitive is
+    // typed Stalled; the manual clock gates every retry.
+    let sick = Arc::new(Mutex::new(Follower::create(
+        "m2",
+        dir.join("m2"),
+        opts(),
+        Io::faulty(FaultPlan::crash_after(0, 1)),
+    )));
+    let mut sick_pump = MemberPump::new(
+        shared.clone(),
+        "m2",
+        sick,
+        &primary_dir,
+        cfg,
+        tracker.clone(),
+    );
+    assert!(matches!(sick_pump.step(), PumpStep::Progress { .. }));
+    match sick_pump.step() {
+        PumpStep::Stalled { reason } => assert!(!reason.is_empty()),
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    let st = tracker.status("m2").unwrap();
+    assert!(matches!(st.state, PumpState::Stalled { .. }));
+    assert_eq!(st.stalls, 1);
+    assert_eq!(st.inflight_frames, 0, "stall drops the window");
+    // Inside the backoff window nothing moves — the manual clock
+    // gates the retry. Past it the pump re-derives the member's
+    // position and ships again; the crash plan was consumed by the
+    // failed bootstrap, so the healed member now catches all the way
+    // up.
+    assert_eq!(sick_pump.step(), PumpStep::Backoff);
+    time.advance(30);
+    assert!(matches!(sick_pump.step(), PumpStep::Progress { .. }));
+    drive_to_idle(&mut sick_pump);
+    let st = tracker.status("m2").unwrap();
+    assert_eq!(st.state, PumpState::Idle);
+    assert_eq!(st.acked_lsn, head, "healed member caught up");
+    assert_eq!(st.stalls, 1);
+    assert_eq!(commit.quorum_lsn(), head);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Election interaction: a pump with an envelope mid-flight when its
+/// primary is fenced stops shipping and drops the window; a member
+/// that learned the new epoch refuses stale-epoch frames; and the new
+/// primary's pumps (stamped with the higher epoch) take over shipping
+/// to the surviving members.
+#[test]
+fn fenced_pump_stops_shipping_and_new_primary_pumps_take_over() {
+    let dir = tmp("pumpfence");
+    let workload = generate(11, 10);
+    let records = ops(&workload);
+    assert!(records.len() >= 7);
+    let primary_dir = dir.join("primary");
+    let store = DurableTmd::create_with(
+        &primary_dir,
+        workload.seed_schema.clone(),
+        opts(),
+        Io::plain(),
+    )
+    .unwrap();
+    let commit = GroupCommit::new(store, group_cfg());
+    commit.configure_quorum(3);
+    let m1 = Arc::new(Mutex::new(Follower::create(
+        "m1",
+        dir.join("m1"),
+        opts(),
+        Io::plain(),
+    )));
+    let m2 = Arc::new(Mutex::new(Follower::create(
+        "m2",
+        dir.join("m2"),
+        opts(),
+        Io::plain(),
+    )));
+    let cfg = PumpConfig {
+        max_batch_frames: 4,
+        idle_wait_ms: 1,
+        retry_wait_ms: 10,
+        time: TimeSource::manual(0),
+        ..PumpConfig::default()
+    };
+    let shared = PumpShared::new(commit.clone(), 1);
+    let tracker = PumpTracker::new();
+    let mut p1 = MemberPump::new(
+        shared.clone(),
+        "m1",
+        m1.clone(),
+        &primary_dir,
+        cfg.clone(),
+        tracker.clone(),
+    );
+    let mut p2 = MemberPump::new(
+        shared.clone(),
+        "m2",
+        m2.clone(),
+        &primary_dir,
+        cfg.clone(),
+        tracker.clone(),
+    );
+
+    // Steady state: 4 quorum-covered records on both members.
+    for r in records.iter().take(4) {
+        commit.commit(r.clone()).unwrap();
+    }
+    drive_to_idle(&mut p1);
+    drive_to_idle(&mut p2);
+    let h = commit.synced_lsn();
+    assert_eq!(commit.quorum_lsn(), h);
+
+    // Two more records land; m1 wedges with the envelope mid-flight
+    // (shipped, not yet delivered).
+    for r in records.iter().skip(4).take(2) {
+        commit.commit(r.clone()).unwrap();
+    }
+    let wedge = m1.lock().unwrap();
+    match p1.step() {
+        PumpStep::Progress { shipped, acked } => {
+            assert_eq!(shipped, 2);
+            assert_eq!(acked, 0, "wedged member took nothing yet");
+        }
+        other => panic!("expected Progress, got {other:?}"),
+    }
+
+    // An election deposes this primary. Both pumps observe the fence
+    // on their next step, drop their windows, and ship nothing more —
+    // ever.
+    shared.fence(2);
+    assert_eq!(p1.step(), PumpStep::Fenced { epoch: 2 });
+    assert_eq!(p2.step(), PumpStep::Fenced { epoch: 2 });
+    let requests_at_fence = tracker.status("m1").unwrap().requests;
+    assert_eq!(tracker.status("m1").unwrap().inflight_frames, 0);
+    drop(wedge);
+    assert_eq!(p1.step(), PumpStep::Fenced { epoch: 2 });
+    assert_eq!(
+        tracker.status("m1").unwrap().requests,
+        requests_at_fence,
+        "a fenced pump ships nothing, even after the member heals"
+    );
+
+    // The member side is independently safe: once m1 learns the new
+    // epoch, stale-epoch frames are refused outright — applied LSN
+    // unmoved.
+    {
+        let mut f = m1.lock().unwrap();
+        f.handle(ReplicaMsg::Fence { epoch: 2 }).unwrap();
+        let before = f.next_lsn();
+        let stale = match WalTailer::new(&primary_dir).fetch(before, 8).unwrap() {
+            TailSource::Frames(frames) => frames,
+            other => panic!("expected frames, got {other:?}"),
+        };
+        assert!(!stale.is_empty(), "the deposed primary has a suffix");
+        match f.handle(ReplicaMsg::Frames {
+            epoch: 1,
+            frames: stale,
+        }) {
+            Err(ReplicaError::Fenced { epoch }) => assert_eq!(epoch, 2),
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+        assert_eq!(f.next_lsn(), before, "no stale-epoch frame applied");
+    }
+
+    // m2 — at the full quorum-acked history — is promoted. Its pumps,
+    // stamped with epoch 2, take over shipping to m1.
+    drop(p2);
+    let promoted = Arc::try_unwrap(m2)
+        .expect("sole handle")
+        .into_inner()
+        .unwrap();
+    let new_store = promoted.into_primary_store().expect("promotable");
+    let new_commit = GroupCommit::new(new_store, group_cfg());
+    new_commit.configure_quorum(3);
+    let new_shared = PumpShared::new(new_commit.clone(), 2);
+    let takeover = PumpTracker::new();
+    let mut np1 = MemberPump::new(
+        new_shared,
+        "m1",
+        m1.clone(),
+        &dir.join("m2"),
+        cfg,
+        takeover.clone(),
+    );
+    let r = records[6].clone();
+    new_commit.commit(r).unwrap();
+    drive_to_idle(&mut np1);
+    let new_head = new_commit.synced_lsn();
+    assert_eq!(
+        m1.lock().unwrap().next_lsn(),
+        new_head,
+        "the new primary's pump caught m1 up"
+    );
+    assert_eq!(
+        new_commit.quorum_lsn(),
+        new_head,
+        "primary + m1 = 2 of 3: quorum commits resumed at epoch 2"
+    );
+    assert_eq!(takeover.status("m1").unwrap().acked_lsn, new_head);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -213,18 +213,26 @@ impl GroupCommit {
             if st.failed {
                 return Err(DurableError::Poisoned);
             }
-            if self.inner.cfg.time.now_ms() >= deadline {
+            let now = self.inner.cfg.time.now_ms();
+            if now >= deadline {
                 // The local sync already covers `lsn` (commit returned),
                 // so this node counts as one ack.
                 let acked = 1 + st.members.values().filter(|&&p| p > lsn).count();
                 return Err(DurableError::Unreplicated { lsn, acked });
             }
-            // Short slices keep the wait responsive to member acks and
-            // to manual-timeline advances.
+            // Park until an ack arrives ([`GroupCommit::member_synced`]
+            // notifies) or the deadline nears. A manual timeline only
+            // advances when the harness does, so its waits stay short
+            // slices; on the system clock the wait can cover the whole
+            // remaining window — the pump's notify ends it early.
+            let slice = match self.inner.cfg.time {
+                TimeSource::System => Duration::from_millis((deadline - now).min(50)),
+                TimeSource::Manual(_) => Duration::from_millis(5),
+            };
             st = self
                 .inner
                 .arrivals
-                .wait_timeout(st, Duration::from_millis(5))
+                .wait_timeout(st, slice)
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .0;
         }
@@ -259,6 +267,49 @@ impl GroupCommit {
     /// being rebuilt); the watermark itself never moves backwards.
     pub fn forget_member(&self, member: &str) {
         lock(&self.inner.sync).members.remove(member);
+    }
+
+    /// The pump-facing tail cursor: parks until the **local** durable
+    /// watermark passes `lsn` (`synced_lsn() > lsn` — there is at
+    /// least one newly fsynced frame to ship), the store is poisoned,
+    /// or `timeout` of wall-clock time elapses. Returns the current
+    /// `synced_lsn` either way; the caller distinguishes progress from
+    /// a timeout by comparing against its own cursor.
+    ///
+    /// Every completed sync notifies the same condvar the quorum
+    /// waiters park on, so a shipping thread sleeping here wakes the
+    /// moment a commit's fsync lands instead of polling on an
+    /// interval. The timeout is real time (not the configured
+    /// [`TimeSource`]) because the waiter is a live thread that must
+    /// stay responsive to shutdown — see
+    /// [`GroupCommit::notify_waiters`].
+    pub fn wait_synced_past(&self, lsn: u64, timeout: Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = lock(&self.inner.sync);
+        loop {
+            if st.synced_lsn > lsn || st.failed {
+                return st.synced_lsn;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return st.synced_lsn;
+            }
+            st = self
+                .inner
+                .arrivals
+                .wait_timeout(st, (deadline - now).min(Duration::from_millis(50)))
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Wakes every thread parked on this group's condvar — quorum
+    /// waiters in [`GroupCommit::commit_replicated`] and shipping
+    /// threads in [`GroupCommit::wait_synced_past`] — without changing
+    /// any state. Shutdown and fencing call this so parked threads
+    /// re-check their stop flags immediately.
+    pub fn notify_waiters(&self) {
+        self.inner.arrivals.notify_all();
     }
 
     /// First LSN **not** yet durable on a majority of the group.
@@ -609,6 +660,56 @@ mod tests {
         g.member_synced("a", u64::MAX);
         g.commit_replicated(rec(2.0), 0).unwrap();
         assert!(g.quorum_lsn() > lsn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wait_synced_past_wakes_on_sync_and_times_out_idle() {
+        let dir = tmp("waitpast");
+        let (tmd, leaf) = seed();
+        let store =
+            DurableTmd::create_with(&dir, tmd, Options::default(), crate::io::Io::plain()).unwrap();
+        let g = GroupCommit::new(
+            store,
+            GroupConfig {
+                hold_ms: 0,
+                time: TimeSource::System,
+            },
+        );
+        let rec = |v: f64| WalRecord::FactBatch {
+            rows: vec![FactRow {
+                coords: vec![leaf],
+                at: Instant::ym(2001, 2),
+                values: vec![v],
+            }],
+        };
+
+        // Already past: returns immediately with the watermark.
+        let lsn = g.commit(rec(0.0)).unwrap();
+        assert_eq!(g.wait_synced_past(lsn, Duration::from_secs(5)), lsn + 1);
+
+        // Nothing new: the timeout expires and the cursor is unmoved.
+        let head = g.synced_lsn();
+        assert_eq!(g.wait_synced_past(head, Duration::from_millis(10)), head);
+
+        // Parked waiter wakes when a concurrent commit's fsync lands —
+        // the pump's no-polling path.
+        let waiter = g.clone();
+        let t = std::thread::spawn(move || waiter.wait_synced_past(head, Duration::from_secs(30)));
+        g.commit(rec(1.0)).unwrap();
+        let seen = t.join().unwrap();
+        assert!(
+            seen > head,
+            "waiter saw watermark {seen}, expected > {head}"
+        );
+
+        // notify_waiters wakes a parked waiter without state change; it
+        // re-checks and keeps waiting until its real deadline.
+        let waiter = g.clone();
+        let cur = g.synced_lsn();
+        let t = std::thread::spawn(move || waiter.wait_synced_past(cur, Duration::from_millis(50)));
+        g.notify_waiters();
+        assert_eq!(t.join().unwrap(), cur);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -347,6 +347,28 @@ pub fn read_frame(s: &mut NetStream) -> Result<Vec<u8>, ReplicaError> {
 
 // ----------------------------------------------------------- envelopes
 
+/// Encodes messages into the `batch <n> <msg-token>*` wire envelope —
+/// the server-reply grammar, shared with the async replication pump,
+/// which packs many `frames` messages into one envelope so a single
+/// request/reply round-trip ships a whole in-flight window of WAL
+/// frames.
+pub fn encode_batch(msgs: &[ReplicaMsg]) -> Vec<u8> {
+    reply_batch(msgs)
+}
+
+/// Decodes a `batch`/`err` envelope back into its messages — the
+/// inverse of [`encode_batch`]; an `err` envelope becomes a typed
+/// [`ReplicaError::Protocol`].
+///
+/// # Errors
+///
+/// [`ReplicaError::Protocol`] on a malformed envelope: a count over
+/// the cap, a truncated message list, trailing tokens, or any inner
+/// message that fails its own decode.
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<ReplicaMsg>, ReplicaError> {
+    parse_reply(payload)
+}
+
 /// `batch <n> <msg-token>*` — a server reply carrying n messages.
 fn reply_batch(msgs: &[ReplicaMsg]) -> Vec<u8> {
     let mut out = format!("batch {}", msgs.len());

@@ -75,6 +75,46 @@ impl WalTailer {
         }
     }
 
+    /// Like [`WalTailer::fetch`], but bounded three ways — the batch
+    /// shape the async pump ships: at most `max_frames` frames, at
+    /// most `max_bytes` of cumulative payload (always at least one
+    /// frame, so a single oversized record still moves), and nothing
+    /// at or above `below`. The `below` bound is the primary's durable
+    /// watermark: the log file is append-only and may be growing under
+    /// a concurrent committer, so only frames already covered by an
+    /// fsync are eligible to ship — a torn in-flight tail is never
+    /// observed, and no member can ack a record the primary could
+    /// still lose.
+    ///
+    /// # Errors
+    ///
+    /// As [`WalTailer::fetch`].
+    pub fn fetch_budget(
+        &self,
+        from_lsn: u64,
+        below: u64,
+        max_frames: usize,
+        max_bytes: usize,
+    ) -> Result<TailSource, ReplicaError> {
+        match self.fetch(from_lsn, max_frames)? {
+            TailSource::Frames(mut frames) => {
+                frames.retain(|f| f.lsn < below);
+                let mut bytes = 0usize;
+                let mut keep = 0usize;
+                for f in &frames {
+                    if keep > 0 && bytes + f.payload.len() > max_bytes {
+                        break;
+                    }
+                    bytes += f.payload.len();
+                    keep += 1;
+                }
+                frames.truncate(keep);
+                Ok(TailSource::Frames(frames))
+            }
+            snap @ TailSource::Snapshot { .. } => Ok(snap),
+        }
+    }
+
     /// Frame CRC at `lsn`, or `None` when that LSN is pruned.
     ///
     /// # Errors

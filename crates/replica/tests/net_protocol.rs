@@ -18,6 +18,13 @@
 //!   candidate in the same epoch is a typed `Protocol` violation
 //! * vote for an under-ranked candidate → `Protocol`
 //!
+//! and for the batched frame envelope the async pump ships
+//! (`batch <n> <frames …>*`):
+//!
+//! * truncated inner `frames` message → `Protocol`
+//! * oversized inner frame count      → `Protocol`
+//! * lying outer batch count          → `Protocol`
+//!
 //! Named `net_*` so CI's network job runs exactly this surface.
 
 use std::io::{Read, Write};
@@ -29,8 +36,8 @@ use mvolap_core::case_study;
 use mvolap_durable::checksum::crc32;
 use mvolap_durable::{frame, CheckpointPolicy, DurableTmd, Io, Options};
 use mvolap_replica::{
-    sync_follower, Follower, NetAddr, NetClient, NetConfig, PrimaryNode, ReplicaError, ReplicaMsg,
-    ReplicaServer, ServerConfig,
+    decode_batch, encode_batch, esc_bytes, sync_follower, Follower, NetAddr, NetClient, NetConfig,
+    PrimaryNode, ReplicaError, ReplicaMsg, ReplicaServer, ServerConfig,
 };
 
 fn tmp(name: &str) -> PathBuf {
@@ -388,4 +395,95 @@ fn net_undecodable_payload_is_refused_and_server_survives() {
         "{replies:?}"
     );
     std::fs::remove_dir_all(&base).ok();
+}
+
+/// Fuzz rows for the **batched frame envelope** — the async pump's
+/// wire shape: one `batch` envelope carrying several `frames`
+/// messages (many WAL frames per request/reply round-trip). A valid
+/// envelope round-trips exactly; truncated or oversized inner frames
+/// die in the decoder as typed `Protocol` errors, never a panic.
+#[test]
+fn net_batched_frame_envelope_rejects_truncated_and_oversized_inners() {
+    use mvolap_durable::TailFrame;
+    let frame = |lsn: u64, payload: &[u8]| TailFrame {
+        lsn,
+        crc: crc32(payload),
+        payload: payload.to_vec(),
+    };
+
+    // The happy row first: heartbeat + two frames messages in one
+    // envelope — exactly what a pump ships — survives the round-trip.
+    let msgs = vec![
+        ReplicaMsg::Heartbeat {
+            epoch: 3,
+            next_lsn: 7,
+        },
+        ReplicaMsg::Frames {
+            epoch: 3,
+            frames: vec![frame(4, b"alpha"), frame(5, b"beta gamma")],
+        },
+        ReplicaMsg::Frames {
+            epoch: 3,
+            frames: vec![frame(6, &[0, 1, 2, 255])],
+        },
+    ];
+    assert_eq!(decode_batch(&encode_batch(&msgs)).unwrap(), msgs);
+
+    // An envelope whose inner frames message is cut anywhere — or
+    // lies about its counts — is a typed protocol refusal.
+    let wrap = |inner: &str| format!("batch 1 {}", esc_bytes(inner.as_bytes())).into_bytes();
+    let truncated_or_oversized = [
+        // Truncations of `frames <epoch> <n> (<lsn> <crc> <payload>)*`.
+        "frames",
+        "frames 3",
+        "frames 3 2",
+        "frames 3 2 4",
+        "frames 3 2 4 12345",
+        "frames 3 2 4 12345 alpha",
+        "frames 3 2 4 12345 alpha 5 678",
+        // Inner count larger than the frames actually present.
+        "frames 3 9 4 12345 alpha",
+        // Inner count past the decoder's hard cap (1 << 20).
+        "frames 3 99999999",
+        "frames 3 18446744073709551615",
+        // Non-numeric and overflowing frame fields.
+        "frames 3 1 notanlsn 12345 alpha",
+        "frames 3 1 4 99999999999 alpha",
+    ];
+    for inner in truncated_or_oversized {
+        assert!(
+            matches!(decode_batch(&wrap(inner)), Err(ReplicaError::Protocol(_))),
+            "inner {inner:?} was not a typed protocol error"
+        );
+    }
+
+    // Trailing garbage after a complete inner message is refused too.
+    let mut good = String::from_utf8(
+        ReplicaMsg::Frames {
+            epoch: 3,
+            frames: vec![frame(4, b"alpha")],
+        }
+        .encode(),
+    )
+    .unwrap();
+    good.push_str(" trailing");
+    assert!(matches!(
+        decode_batch(&wrap(&good)),
+        Err(ReplicaError::Protocol(_))
+    ));
+
+    // And the envelope itself: a batch count exceeding its own cap or
+    // claiming more messages than present is refused before any inner
+    // decode runs.
+    for envelope in [
+        b"batch 2".as_slice(),
+        b"batch 99999999999999999999".as_slice(),
+        b"batch 1048577".as_slice(),
+    ] {
+        assert!(
+            matches!(decode_batch(envelope), Err(ReplicaError::Protocol(_))),
+            "envelope {:?} was not a typed protocol error",
+            String::from_utf8_lossy(envelope)
+        );
+    }
 }

@@ -305,28 +305,48 @@ impl SessionServer {
     /// [`ServerError::Commit`] when the primary log cannot be read;
     /// [`ServerError::Transport`] when the follower refuses the batch.
     pub fn pump_follower(&self) -> Result<u64, ServerError> {
+        /// Frames per `Frames` message: the tail is delivered in
+        /// bounded envelopes — the same batch shape the async pump
+        /// ships over the wire — instead of one unbounded message.
+        const PUMP_BATCH: usize = 64;
         let Some(follower) = &self.follower else {
             return Err(ServerError::Protocol("no follower attached".to_string()));
         };
         let mut f = lock(follower);
         let epoch = f.epoch();
         let from = f.next_lsn();
-        let msg = self.commit.with_store(|s| match s.tail(from) {
-            Ok(frames) => Ok(ReplicaMsg::Frames { epoch, frames }),
+        let msgs = self.commit.with_store(|s| match s.tail(from) {
+            Ok(frames) => Ok(frames
+                .chunks(PUMP_BATCH)
+                .map(|chunk| ReplicaMsg::Frames {
+                    epoch,
+                    frames: chunk.to_vec(),
+                })
+                .collect::<Vec<_>>()),
             Err(DurableError::Pruned { .. }) => {
                 let mut snapshot = Vec::new();
                 mvolap_core::persist::write_tmd(s.schema(), &mut snapshot)
                     .map_err(|e| ServerError::Commit(e.to_string()))?;
-                Ok(ReplicaMsg::Snapshot {
+                Ok(vec![ReplicaMsg::Snapshot {
                     epoch,
                     next_lsn: s.wal_position(),
                     snapshot,
-                })
+                }])
             }
             Err(e) => Err(ServerError::Commit(e.to_string())),
         })?;
-        f.handle(msg).map_err(ServerError::Transport)?;
+        for msg in msgs {
+            f.handle(msg).map_err(ServerError::Transport)?;
+        }
         Ok(f.next_lsn().saturating_sub(1))
+    }
+
+    /// The attached read follower, shared for out-of-band shipping —
+    /// this is the handle an async pump engine delivers envelopes to.
+    /// `None` on servers spawned without a follower.
+    #[must_use]
+    pub fn follower_handle(&self) -> Option<Arc<Mutex<Follower>>> {
+        self.follower.clone()
     }
 
     /// Highest LSN the attached follower has applied (0 when none is

@@ -9,8 +9,9 @@
 //!    own store and read server. Quorum is 2 of 3.
 //! 2. **Quorum commit.** With replication stalled, a commit is fsynced
 //!    locally but refused with the typed `Unreplicated` error — the
-//!    session knows the record is *not* majority-committed. With the
-//!    pump running, the same commit path clears the quorum and acks.
+//!    session knows the record is *not* majority-committed. Then the
+//!    async pump threads take over (one per member, batched shipping,
+//!    no manual loop) and the same commit path clears the quorum.
 //! 3. **Fleet reads.** A `read` bounded at the committed LSN is routed
 //!    to the freshest member and answers byte-identically to the
 //!    primary; an unsatisfiable bound is refused with `TooStale`
@@ -25,9 +26,7 @@
 //! watermark passes the commit, and the fleet-served read matches the
 //! primary byte-for-byte.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
-use mvolap::cluster::LocalCluster;
+use mvolap::cluster::{LocalCluster, PumpConfig, PumpState};
 use mvolap::core::case_study;
 use mvolap::durable::{FactRow, GroupConfig, Options, WalRecord};
 use mvolap::prelude::*;
@@ -44,7 +43,7 @@ fn main() {
     // 1. Assemble the group: primary + m1 + m2, quorum 2 of 3.
     let cs = case_study::case_study();
     let loopback = NetAddr::parse("127.0.0.1:0").expect("addr");
-    let cluster = LocalCluster::start(
+    let mut cluster = LocalCluster::start(
         &base,
         cs.tmd,
         &loopback,
@@ -86,55 +85,62 @@ fn main() {
         other => panic!("expected Unreplicated, got {other:?}"),
     }
 
-    // 2b. With the pump shipping the WAL tail, the same path clears the
-    //     quorum.
+    // 2b. Hand replication to the async pump: one shipping thread per
+    //     member tails the WAL and ships batched frame envelopes. The
+    //     same commit path now clears the quorum in one shipping
+    //     round-trip — nobody drives a pump loop.
+    cluster.spawn_pumps(PumpConfig::default());
     let group = cluster.group();
-    let stop = AtomicBool::new(false);
-    std::thread::scope(|s| {
-        s.spawn(|| {
-            while !stop.load(Ordering::SeqCst) {
-                cluster.pump().expect("pump");
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-        });
-
-        let lsn = client.commit(&record(2, 250.0)).expect("quorum commit");
+    let lsn = client.commit(&record(2, 250.0)).expect("quorum commit");
+    assert!(
+        group.quorum_lsn() > lsn,
+        "watermark {} never passed the acked commit {lsn}",
+        group.quorum_lsn()
+    );
+    println!(
+        "async-pumped group: commit acked at LSN {lsn} (quorum watermark {})",
+        group.quorum_lsn()
+    );
+    for (name, status) in cluster.pump_status() {
         assert!(
-            group.quorum_lsn() > lsn,
-            "watermark {} never passed the acked commit {lsn}",
-            group.quorum_lsn()
+            !matches!(
+                status.state,
+                PumpState::Stalled { .. } | PumpState::Fenced { .. }
+            ),
+            "pump for {name} unhealthy: {:?}",
+            status.state
         );
         println!(
-            "pumped group: commit acked at LSN {lsn} (quorum watermark {})",
-            group.quorum_lsn()
+            "  pump {name}: acked LSN {}, {} frames in {} envelopes",
+            status.acked_lsn, status.shipped_frames, status.requests
         );
+    }
 
-        // 3. Fleet reads: bounded at the acked LSN, served by a member,
-        //    byte-identical to the primary's own answer.
-        let from_fleet = client.read_at(lsn, Q1).expect("fleet read");
-        let from_primary = client.query(Q1).expect("primary read");
-        assert_eq!(
-            from_fleet, from_primary,
-            "fleet-served read differs from the primary"
-        );
-        println!("\nfleet read at LSN bound {lsn} matches the primary:\n{from_fleet}");
+    // 3. Fleet reads: bounded at the acked LSN, served by a member,
+    //    byte-identical to the primary's own answer. Member freshness
+    //    advances via the pump threads' continuous acks.
+    let from_fleet = client.read_at(lsn, Q1).expect("fleet read");
+    let from_primary = client.query(Q1).expect("primary read");
+    assert_eq!(
+        from_fleet, from_primary,
+        "fleet-served read differs from the primary"
+    );
+    println!("\nfleet read at LSN bound {lsn} matches the primary:\n{from_fleet}");
 
-        match client.read_at(lsn + 1_000, Q1) {
-            Err(ServerError::TooStale {
-                required,
-                applied,
-                member,
-            }) => {
-                let who = member.expect("fleet refusal names the member");
-                println!(
-                    "unsatisfiable bound refused: requires LSN {required}, \
-                     freshest member `{who}` is at {applied}"
-                );
-            }
-            other => panic!("expected TooStale with a member name, got {other:?}"),
+    match client.read_at(lsn + 1_000, Q1) {
+        Err(ServerError::TooStale {
+            required,
+            applied,
+            member,
+        }) => {
+            let who = member.expect("fleet refusal names the member");
+            println!(
+                "unsatisfiable bound refused: requires LSN {required}, \
+                 freshest member `{who}` is at {applied}"
+            );
         }
-        stop.store(true, Ordering::SeqCst);
-    });
+        other => panic!("expected TooStale with a member name, got {other:?}"),
+    }
 
     drop(cluster);
     std::fs::remove_dir_all(&base).ok();

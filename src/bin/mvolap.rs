@@ -47,7 +47,7 @@ use std::io::{BufRead, Write as _};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use mvolap::cluster::LocalCluster;
+use mvolap::cluster::{LocalCluster, PumpConfig};
 use mvolap::core::case_study::{case_study, case_study_two_measures};
 use mvolap::core::{ConfidenceWeights, DimensionId, MemberVersionId, Tmd};
 use mvolap::cube::mode_qualities;
@@ -474,9 +474,10 @@ fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
 /// `--cluster`: a quorum-replicated serving group on one machine. The
 /// primary session server listens on `addr`; every `name=ADDR` in
 /// `spec` gets a replica store under `DIR/<name>` and a read server on
-/// its own address. A background pump ships the WAL tail continuously,
-/// so commits clear the majority quorum and bounded reads route to the
-/// freshest member.
+/// its own address. Per-member shipping threads tail the WAL and ship
+/// batched frame envelopes continuously — no manual pump loop — so
+/// commits clear the majority quorum in one shipping round-trip and
+/// bounded reads route to the freshest member.
 fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
     let mut members = Vec::new();
     for part in spec.split(',') {
@@ -491,7 +492,7 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
         die("--cluster needs at least one name=ADDR member");
     }
     let seed = schema.unwrap_or_else(|| case_study().tmd);
-    let group = LocalCluster::start(
+    let mut group = LocalCluster::start(
         std::path::Path::new(dir),
         seed,
         addr,
@@ -502,9 +503,10 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
         NetConfig::default(),
     )
     .unwrap_or_else(|e| die(&format!("cannot start cluster under {dir}: {e}")));
+    group.spawn_pumps(PumpConfig::default());
     println!(
-        "mvolap — quorum group under `{dir}`: primary on {} ({} members, quorum {}/{}). \
-         `quit` or EOF stops.",
+        "mvolap — quorum group under `{dir}`: primary on {} ({} members, quorum {}/{}, \
+         async replication). `quit` or EOF stops.",
         group.primary_addr(),
         members.len(),
         members.len() / 2 + 1,
@@ -515,28 +517,16 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
     }
     std::io::stdout().flush().ok();
 
-    let stop = AtomicBool::new(false);
-    std::thread::scope(|s| {
-        s.spawn(|| {
-            while !stop.load(Ordering::SeqCst) {
-                if let Err(e) = group.pump() {
-                    eprintln!("mvolap: replication pump failed: {e}");
-                    break;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-        });
-        let stdin = std::io::stdin();
-        loop {
-            let mut line = String::new();
-            match stdin.lock().read_line(&mut line) {
-                Ok(0) | Err(_) => break,
-                Ok(_) if line.trim() == "quit" => break,
-                Ok(_) => {}
-            }
+    let stdin = std::io::stdin();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
         }
-        stop.store(true, Ordering::SeqCst);
-    });
+    }
+    group.stop();
     println!("mvolap: cluster on {addr} stopped");
     std::process::exit(0)
 }
