@@ -22,12 +22,16 @@
 use std::sync::{Arc, Mutex};
 
 use mvolap_bench::harness::{BenchmarkId, Criterion, Throughput};
-use mvolap_cluster::{ClusterConfig, ClusterSet, MemberPump, PumpConfig, PumpShared, PumpTracker};
+use mvolap_cluster::{
+    ClusterConfig, ClusterSet, LocalCluster, MemberPump, PumpConfig, PumpShared, PumpTracker,
+};
 use mvolap_core::case_study;
 use mvolap_durable::{
-    DurableTmd, FactRow, GroupCommit, GroupConfig, Io, Options, TimeSource, WalRecord,
+    CheckpointPolicy, DurableTmd, FactRow, GroupCommit, GroupConfig, Io, Options, TimeSource,
+    WalRecord,
 };
-use mvolap_replica::{ChannelTransport, Follower};
+use mvolap_replica::{ChannelTransport, Follower, NetAddr, NetConfig};
+use mvolap_server::ServerOptions;
 use mvolap_temporal::Instant;
 
 /// Records committed per benchmark iteration.
@@ -177,6 +181,93 @@ fn bench_async_commits(
     (commits as f64, steps as f64, steps_per_commit)
 }
 
+/// The membership leg: a served [`LocalCluster`] (primary + m1 + m2,
+/// pumps running) takes a live `join` whose learner bootstraps from a
+/// pruned tail via the pump-shipped chunked snapshot. Measures the
+/// catch-up window (join journaled -> promotion at the watermark) and
+/// the per-commit latency of commits issued *during* that window
+/// against the steady-state latency of the same group beforehand.
+fn bench_membership(base: &std::path::Path, leaf: mvolap_core::MemberVersionId) -> (f64, f64, f64) {
+    const WARM: usize = 64;
+    const K: usize = 16;
+    let cs = case_study::case_study();
+    let loopback = NetAddr::parse("127.0.0.1:0").expect("addr");
+    let mut cluster = LocalCluster::start(
+        base,
+        cs.tmd,
+        &loopback,
+        &[
+            ("m1".to_string(), loopback.clone()),
+            ("m2".to_string(), loopback.clone()),
+        ],
+        // Small segments so the pre-join checkpoint prunes the tail
+        // and the joiner pays the real snapshot bootstrap.
+        Options {
+            segment_bytes: 1024,
+            policy: CheckpointPolicy::manual(),
+            prune_on_checkpoint: true,
+        },
+        GroupConfig {
+            hold_ms: 0,
+            time: TimeSource::default(),
+        },
+        ServerOptions {
+            quorum_timeout_ms: 10_000,
+            ..ServerOptions::default()
+        },
+        NetConfig::default(),
+    )
+    .expect("membership cluster");
+    cluster.spawn_pumps(PumpConfig::default());
+    let mut client = cluster.client(NetConfig::default());
+
+    // History for the snapshot image, then prune below it.
+    for i in 0..WARM {
+        client.commit(&fact(leaf, i)).expect("warm commit");
+    }
+    cluster
+        .group()
+        .with_store_mut(|s| s.checkpoint())
+        .expect("checkpoint");
+
+    // Steady-state: per-commit latency with the settled 3-node group.
+    let t = std::time::Instant::now();
+    for i in 0..K {
+        client.commit(&fact(leaf, i)).expect("steady commit");
+    }
+    let steady_us = t.elapsed().as_secs_f64() * 1e6 / K as f64;
+
+    // Join m3 and keep committing while its learner catches up: the
+    // reconfiguration must not stall the commit path.
+    let joined_at = std::time::Instant::now();
+    cluster.join("m3", &loopback).expect("join journaled");
+    let t = std::time::Instant::now();
+    for i in 0..K {
+        client
+            .commit(&fact(leaf, i))
+            .expect("commit during reconfig");
+    }
+    let reconfig_us = t.elapsed().as_secs_f64() * 1e6 / K as f64;
+    let promoted = cluster
+        .await_membership(std::time::Duration::from_secs(30))
+        .expect("joiner promoted");
+    assert_eq!(promoted, "m3");
+    let catchup_ms = joined_at.elapsed().as_secs_f64() * 1e3;
+
+    let snap_bootstraps = cluster
+        .pump_status()
+        .iter()
+        .find(|(n, _)| n == "m3")
+        .map_or(0, |(_, st)| st.snapshots);
+    eprintln!(
+        "membership: join catch-up {catchup_ms:.1}ms ({snap_bootstraps} snapshot \
+         bootstraps), commit latency {reconfig_us:.1}us during reconfig \
+         vs {steady_us:.1}us steady-state"
+    );
+    cluster.stop();
+    (catchup_ms, reconfig_us, steady_us)
+}
+
 fn main() {
     let base = std::env::temp_dir().join(format!("mvolap_bench_quorum_{}", std::process::id()));
     std::fs::remove_dir_all(&base).ok();
@@ -205,6 +296,10 @@ fn main() {
     // commit_replicated parks on the condvar while shipping happens
     // off-thread in batched envelopes.
     let (_, _, steps_per_commit_3_async) = bench_async_commits(&mut c, &base.join("n3a"), leaf);
+
+    // Live membership: join catch-up time and the commit-latency cost
+    // of an in-flight reconfiguration.
+    let (join_catchup_ms, lat_reconfig, lat_steady) = bench_membership(&base.join("mem"), leaf);
 
     c.final_summary();
 
@@ -245,6 +340,9 @@ fn main() {
          \"transport_steps_per_commit_1\": {steps_per_commit_1:.3},\n  \
          \"transport_steps_per_commit_3\": {steps_per_commit_3:.3},\n  \
          \"transport_steps_per_commit_3_async\": {steps_per_commit_3_async:.3},\n  \
+         \"join_catchup_ms\": {join_catchup_ms:.2},\n  \
+         \"commit_latency_us_during_reconfig\": {lat_reconfig:.2},\n  \
+         \"commit_latency_us_steady_state\": {lat_steady:.2},\n  \
          \"results\": {}\n}}\n",
         c.to_json()
     );

@@ -47,6 +47,7 @@ pub use pump::{
 };
 pub use serve::LocalCluster;
 pub use set::{
-    ClusterConfig, ClusterEvent, ClusterSet, ClusterStats, QuorumPrimary, RejoinOutcome,
+    ClusterConfig, ClusterEvent, ClusterSet, ClusterStats, PendingReconfig, QuorumPrimary,
+    RejoinOutcome,
 };
-pub use sweep::{cluster_sweep, ClusterSweepOutcome};
+pub use sweep::{cluster_sweep, membership_sweep, ClusterSweepOutcome, MembershipSweepOutcome};

@@ -74,6 +74,11 @@ pub struct PumpConfig {
     /// frame larger than the cap still ships alone (progress
     /// guarantee).
     pub max_inflight_bytes: usize,
+    /// Chunk size for pump-shipped snapshots: a pruned-tail bootstrap
+    /// ships the covering checkpoint as `snap` chunks of at most this
+    /// many bytes, windowed like frames and resumable after a
+    /// disconnect from the member's last durable chunk.
+    pub snap_chunk_bytes: usize,
     /// How long the pump thread parks waiting for new commits before
     /// re-checking its stop flag, in wall-clock milliseconds.
     pub idle_wait_ms: u64,
@@ -91,6 +96,7 @@ impl Default for PumpConfig {
             max_batch_frames: 64,
             max_inflight_frames: 256,
             max_inflight_bytes: 1 << 20,
+            snap_chunk_bytes: 64 << 10,
             idle_wait_ms: 25,
             retry_wait_ms: 50,
             time: TimeSource::System,
@@ -319,6 +325,16 @@ struct Envelope {
     bytes: usize,
 }
 
+/// Progress through a chunked snapshot transfer: the image identity
+/// and the next chunk to ship. Dropped on stall or fence — resumption
+/// re-derives the position from the member's own durable chunk count.
+#[derive(Debug)]
+struct SnapCursor {
+    next_lsn: u64,
+    total_bytes: u64,
+    next_seq: u64,
+}
+
 /// One member's shipping engine. [`MemberPump::step`] is synchronous
 /// and deterministic given the [`TimeSource`]; [`MemberPump::spawn`]
 /// runs it on a dedicated thread.
@@ -336,8 +352,14 @@ pub struct MemberPump {
     /// the member (first step, or recovery after a stall dropped the
     /// window).
     cursor: Option<u64>,
+    /// Chunked snapshot transfer in progress, if any.
+    snap_cursor: Option<SnapCursor>,
     /// Timeline instant before which a stalled pump must not retry.
     retry_at: Option<u64>,
+    /// Per-pump stop flag, in addition to the shared one — lets a
+    /// single member's pump be halted (removal) without stopping the
+    /// rest of the fleet.
+    halt: Arc<AtomicBool>,
 }
 
 impl MemberPump {
@@ -363,7 +385,9 @@ impl MemberPump {
             inflight_frames: 0,
             inflight_bytes: 0,
             cursor: None,
+            snap_cursor: None,
             retry_at: None,
+            halt: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -384,7 +408,7 @@ impl MemberPump {
     /// deterministic harnesses call it directly; [`MemberPump::spawn`]
     /// loops it on a thread.
     pub fn step(&mut self) -> PumpStep {
-        if self.shared.stop_requested() {
+        if self.shared.stop_requested() || self.halt.load(Ordering::SeqCst) {
             self.set_state(PumpState::Stopped);
             return PumpStep::Stopped;
         }
@@ -468,6 +492,7 @@ impl MemberPump {
         };
         let mut shipped = 0usize;
         let mut snapshot = false;
+        let mut snap_done = false;
         if let Some(mut cur) = cursor {
             let mut msgs: Vec<ReplicaMsg> = Vec::new();
             let mut env_frames = 0usize;
@@ -501,18 +526,75 @@ impl MemberPump {
                         next_lsn,
                         snapshot: image,
                     }) => {
-                        // The member's cursor is below the pruned
-                        // log: a snapshot bootstrap replaces any
-                        // frame messages packed so far.
+                        // The member's cursor is below the pruned log:
+                        // the covering checkpoint ships through the
+                        // pump itself as resumable `snap` chunks,
+                        // replacing any frame messages packed so far.
+                        // The window caps how much of the image one
+                        // envelope carries; an unfinished image keeps
+                        // the cursor below the prune point so the next
+                        // step picks up exactly where this one left
+                        // off (or, after a disconnect, where the
+                        // member's durable chunk count says to).
                         msgs.clear();
-                        env_bytes = image.len();
                         env_frames = 0;
-                        cur = next_lsn;
-                        msgs.push(ReplicaMsg::Snapshot {
-                            epoch: self.shared.epoch(),
-                            next_lsn,
-                            snapshot: image,
-                        });
+                        env_bytes = 0;
+                        let chunk_bytes = self.cfg.snap_chunk_bytes.max(1);
+                        let total = (image.len().div_ceil(chunk_bytes) as u64).max(1);
+                        let total_bytes = image.len() as u64;
+                        let resume_from = match &self.snap_cursor {
+                            Some(sc)
+                                if (sc.next_lsn, sc.total_bytes) == (next_lsn, total_bytes) =>
+                            {
+                                sc.next_seq
+                            }
+                            _ => match follower.try_lock() {
+                                Ok(f) => f.snap_resume(next_lsn, total, total_bytes),
+                                Err(TryLockError::WouldBlock) => {
+                                    busy = true;
+                                    break;
+                                }
+                                Err(TryLockError::Poisoned(_)) => {
+                                    return self.stalled("member mutex poisoned".to_string())
+                                }
+                            },
+                        };
+                        let byte_room = self
+                            .cfg
+                            .max_inflight_bytes
+                            .saturating_sub(self.inflight_bytes)
+                            .max(chunk_bytes);
+                        let mut seq = resume_from;
+                        while seq < total && env_bytes < byte_room {
+                            let start = usize::try_from(seq)
+                                .unwrap_or(usize::MAX)
+                                .saturating_mul(chunk_bytes);
+                            let end = image.len().min(start.saturating_add(chunk_bytes));
+                            let chunk = image[start.min(image.len())..end].to_vec();
+                            env_bytes += chunk.len();
+                            msgs.push(ReplicaMsg::SnapChunk {
+                                epoch: self.shared.epoch(),
+                                next_lsn,
+                                seq,
+                                total,
+                                total_bytes,
+                                chunk,
+                            });
+                            seq += 1;
+                        }
+                        if seq >= total {
+                            // Final chunk shipped: the member installs
+                            // and tails from `next_lsn`.
+                            cur = next_lsn;
+                            self.snap_cursor = None;
+                            snap_done = true;
+                        } else {
+                            self.snap_cursor = Some(SnapCursor {
+                                next_lsn,
+                                total_bytes,
+                                next_seq: seq,
+                            });
+                        }
                         snapshot = true;
                     }
                     Err(e) => return self.stalled(e.to_string()),
@@ -531,7 +613,7 @@ impl MemberPump {
                 self.tracker.update(&self.name, |s| {
                     s.requests += 1;
                     s.shipped_frames += env_frames as u64;
-                    if snapshot {
+                    if snap_done {
                         s.snapshots += 1;
                     }
                 });
@@ -542,7 +624,7 @@ impl MemberPump {
         if shipped > 0 || acked > 0 || snapshot {
             self.set_state(PumpState::Shipping);
             PumpStep::Progress { shipped, acked }
-        } else if !self.inflight.is_empty() || (busy && cursor.is_none()) {
+        } else if !self.inflight.is_empty() || busy {
             // Undelivered envelopes (member busy or window at cap):
             // the typed backpressure state.
             self.set_state(PumpState::Blocked);
@@ -570,8 +652,17 @@ impl MemberPump {
     pub fn spawn(mut self) -> PumpThread {
         let member = self.name.clone();
         let shared = self.shared.clone();
+        let thread_shared = Arc::clone(&shared);
+        let halt = Arc::clone(&self.halt);
         let idle = Duration::from_millis(self.cfg.idle_wait_ms.max(1));
         let retry = Duration::from_millis(self.cfg.retry_wait_ms.clamp(1, 25));
+        // The idle park is bounded by the retry deadline as well as
+        // the idle wait: a stop (shared or per-pump) that races past
+        // the parked thread's flag check — e.g. the member vanished
+        // during shutdown, so no further ack will ever notify — still
+        // gets re-checked within one retry window, never an unbounded
+        // park.
+        let park = idle.min(retry);
         let handle = std::thread::Builder::new()
             .name(format!("pump-{member}"))
             .spawn(move || loop {
@@ -583,20 +674,22 @@ impl MemberPump {
                         // durable watermark past our cursor (or stop /
                         // fence notifies).
                         let cur = self.cursor();
-                        shared.commit().wait_synced_past(cur, idle);
+                        thread_shared.commit().wait_synced_past(cur, park);
                     }
                     PumpStep::Blocked { .. } => std::thread::sleep(Duration::from_millis(1)),
                     PumpStep::Stalled { .. } | PumpStep::Backoff => std::thread::sleep(retry),
                     PumpStep::Fenced { .. } => {
                         // Fencing is permanent for this pump; stay
                         // parked until stopped.
-                        std::thread::sleep(idle);
+                        std::thread::sleep(park);
                     }
                 }
             })
             .expect("spawn pump thread");
         PumpThread {
             member,
+            shared,
+            halt,
             handle: Some(handle),
         }
     }
@@ -616,6 +709,7 @@ impl MemberPump {
 
     fn fenced(&mut self, epoch: u64) -> PumpStep {
         self.drop_window();
+        self.snap_cursor = None;
         self.set_state(PumpState::Fenced { epoch });
         self.publish_gauges();
         PumpStep::Fenced { epoch }
@@ -624,8 +718,11 @@ impl MemberPump {
     fn stalled(&mut self, reason: String) -> PumpStep {
         self.drop_window();
         // The member's position is unknown after an error; re-derive
-        // the cursor from its own store on recovery.
+        // the cursor (and any snapshot transfer position — the member
+        // keeps its received chunks durably) from its store on
+        // recovery.
         self.cursor = None;
+        self.snap_cursor = None;
         self.retry_at = Some(self.cfg.time.now_ms() + self.cfg.retry_wait_ms);
         self.tracker.update(&self.name, |s| s.stalls += 1);
         self.set_state(PumpState::Stalled {
@@ -679,10 +776,13 @@ fn deliver(f: &mut Follower, wire: &[u8]) -> Result<PumpAck, ReplicaError> {
     }
 }
 
-/// Join handle for a spawned pump thread. Ask the shared state to
-/// stop ([`PumpShared::request_stop`]) before joining.
+/// Join handle for a spawned pump thread. Stop it individually via
+/// [`PumpThread::stop`] (membership removal) or fleet-wide via
+/// [`PumpShared::request_stop`], then join.
 pub struct PumpThread {
     member: String,
+    shared: Arc<PumpShared>,
+    halt: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -693,9 +793,17 @@ impl PumpThread {
         &self.member
     }
 
+    /// Halts this pump alone — the rest of the fleet keeps shipping.
+    /// Wakes the thread if it is parked; the engine observes the flag
+    /// on its next step. Join via [`PumpThread::join`].
+    pub fn stop(&self) {
+        self.halt.store(true, Ordering::SeqCst);
+        self.shared.commit().notify_waiters();
+    }
+
     /// Joins the thread (idempotent). Blocks until the engine
-    /// observes the stop flag — call [`PumpShared::request_stop`]
-    /// first.
+    /// observes a stop flag — call [`PumpThread::stop`] or
+    /// [`PumpShared::request_stop`] first.
     pub fn join(&mut self) {
         if let Some(h) = self.handle.take() {
             h.join().ok();

@@ -14,14 +14,16 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mvolap_core::Tmd;
-use mvolap_durable::{DurableTmd, GroupCommit, GroupConfig, Io, Options};
+use mvolap_durable::{DurableTmd, GroupCommit, GroupConfig, Io, Options, WalRecord};
 use mvolap_replica::{Follower, NetAddr, NetConfig};
 use mvolap_server::{FleetMember, ServerOptions, SessionServer};
 use mvolap_server::{ServerError, SessionClient};
 
 use crate::pump::{MemberPump, MemberPumpStatus, PumpConfig, PumpShared, PumpThread, PumpTracker};
+use crate::set::PendingReconfig;
 
 /// A quorum-replicated serving group on loopback: the primary's
 /// session server (writes, primary reads, fleet-routed bounded reads)
@@ -31,7 +33,13 @@ pub struct LocalCluster {
     primary: SessionServer,
     readers: Vec<(String, SessionServer)>,
     commit: GroupCommit,
+    base: PathBuf,
     primary_dir: PathBuf,
+    store_opts: Options,
+    server_opts: ServerOptions,
+    voters: usize,
+    pending: Option<PendingReconfig>,
+    pump_cfg: Option<PumpConfig>,
     pump_shared: Option<Arc<PumpShared>>,
     pump_tracker: PumpTracker,
     pumps: Vec<PumpThread>,
@@ -79,13 +87,24 @@ impl LocalCluster {
             });
             readers.push((name.clone(), server));
         }
-        let primary =
-            SessionServer::spawn_with_fleet(primary_bind, commit.clone(), fleet, net, opts)?;
+        let primary = SessionServer::spawn_with_fleet(
+            primary_bind,
+            commit.clone(),
+            fleet,
+            net,
+            opts.clone(),
+        )?;
         Ok(LocalCluster {
             primary,
             readers,
             commit,
+            base: dir.to_path_buf(),
             primary_dir,
+            store_opts,
+            server_opts: opts,
+            voters: members.len() + 1,
+            pending: None,
+            pump_cfg: None,
             pump_shared: None,
             pump_tracker: PumpTracker::new(),
             pumps: Vec::new(),
@@ -140,7 +159,228 @@ impl LocalCluster {
             );
             self.pumps.push(pump.spawn());
         }
+        self.pump_cfg = Some(cfg);
         self.pump_shared = Some(shared);
+    }
+
+    /// Journals a single-member **add** through the WAL and quorum
+    /// machinery: a `Reconfig` record is appended and fsynced like any
+    /// commit, the majority threshold grows by one effective exactly
+    /// at that record's LSN, and `name` enters as a **non-voting
+    /// learner** — its pump (spawned here when shipping threads are
+    /// running) ships the covering checkpoint snapshot in resumable
+    /// chunks and then tails frames. The joiner is promoted to voter,
+    /// added to fleet read routing, and allowed to stand in elections
+    /// only once [`LocalCluster::settle_membership`] (or
+    /// [`LocalCluster::await_membership`]) observes its synced
+    /// position at the quorum watermark. Returns the reconfig record's
+    /// LSN.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Commit`] when a prior reconfiguration is still
+    /// in flight ([`mvolap_durable::DurableError::ReconfigInFlight`]),
+    /// when `name` is already in the group, or when the record cannot
+    /// be journaled; [`ServerError::Transport`] when `bind` cannot be
+    /// bound.
+    pub fn join(&mut self, name: &str, bind: &NetAddr) -> Result<u64, ServerError> {
+        if let Some(p) = &self.pending {
+            return Err(ServerError::Commit(
+                mvolap_durable::DurableError::ReconfigInFlight {
+                    lsn: p.lsn,
+                    member: p.member.clone(),
+                }
+                .to_string(),
+            ));
+        }
+        if self.readers.iter().any(|(n, _)| n == name) || name == "primary" {
+            return Err(ServerError::Commit(format!(
+                "`{name}` is already a member of the group"
+            )));
+        }
+        let lsn = self
+            .commit
+            .commit(WalRecord::Reconfig {
+                epoch: self.current_epoch(),
+                add: true,
+                member: name.to_string(),
+                addr: bind.to_string(),
+            })
+            .map_err(|e| ServerError::Commit(e.to_string()))?;
+        self.commit.configure_quorum_at(lsn, self.voters + 1);
+        self.commit.add_learner(name);
+        let follower = Follower::create(
+            name,
+            self.base.join(name),
+            self.store_opts.clone(),
+            Io::plain(),
+        );
+        let server = SessionServer::spawn_with_follower(
+            bind,
+            self.commit.clone(),
+            follower,
+            self.server_opts.clone(),
+        )?;
+        if let (Some(shared), Some(cfg)) = (&self.pump_shared, &self.pump_cfg) {
+            if let Some(handle) = server.follower_handle() {
+                let pump = MemberPump::new(
+                    shared.clone(),
+                    name.to_string(),
+                    handle,
+                    &self.primary_dir,
+                    cfg.clone(),
+                    self.pump_tracker.clone(),
+                );
+                self.pumps.push(pump.spawn());
+            }
+        }
+        self.readers.push((name.to_string(), server));
+        self.pending = Some(PendingReconfig {
+            lsn,
+            add: true,
+            member: name.to_string(),
+            addr: bind.to_string(),
+        });
+        Ok(lsn)
+    }
+
+    /// Journals a single-member **remove**: the `Reconfig` record is
+    /// appended and fsynced, the majority threshold shrinks by one
+    /// effective at its LSN, the member's pump is halted and drained,
+    /// its id is fenced against late acks, its read server stops, and
+    /// fleet reads re-route to the next-freshest member immediately.
+    /// Returns the reconfig record's LSN; the change completes once
+    /// the record is quorum-committed under the shrunk group
+    /// ([`LocalCluster::settle_membership`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Commit`] when a prior reconfiguration is still
+    /// in flight, when `name` is not a member, or when the record
+    /// cannot be journaled.
+    pub fn leave(&mut self, name: &str) -> Result<u64, ServerError> {
+        if let Some(p) = &self.pending {
+            return Err(ServerError::Commit(
+                mvolap_durable::DurableError::ReconfigInFlight {
+                    lsn: p.lsn,
+                    member: p.member.clone(),
+                }
+                .to_string(),
+            ));
+        }
+        let Some(idx) = self.readers.iter().position(|(n, _)| n == name) else {
+            return Err(ServerError::Commit(format!(
+                "`{name}` is not a member of the group"
+            )));
+        };
+        let lsn = self
+            .commit
+            .commit(WalRecord::Reconfig {
+                epoch: self.current_epoch(),
+                add: false,
+                member: name.to_string(),
+                addr: String::new(),
+            })
+            .map_err(|e| ServerError::Commit(e.to_string()))?;
+        self.voters -= 1;
+        self.commit.configure_quorum_at(lsn, self.voters);
+        self.commit.ban_member(name);
+        self.primary.remove_fleet_member(name);
+        if let Some(i) = self.pumps.iter().position(|p| p.member() == name) {
+            let mut pump = self.pumps.remove(i);
+            pump.stop();
+            pump.join();
+        }
+        let (_, mut server) = self.readers.remove(idx);
+        server.stop();
+        self.pending = Some(PendingReconfig {
+            lsn,
+            add: false,
+            member: name.to_string(),
+            addr: String::new(),
+        });
+        Ok(lsn)
+    }
+
+    /// Completes the in-flight membership change when its condition
+    /// holds — an add once the joiner's synced position covers both
+    /// the reconfig record and the quorum watermark
+    /// (catch-up-before-vote), a remove once its record is
+    /// quorum-committed under the shrunk group. Returns the settled
+    /// member's name, or `None` while the change is still in flight
+    /// (or none is).
+    pub fn settle_membership(&mut self) -> Option<String> {
+        let pending = self.pending.clone()?;
+        if pending.add {
+            let synced = self
+                .commit
+                .member_positions()
+                .into_iter()
+                .find(|(n, _)| *n == pending.member)
+                .map_or(0, |(_, p)| p);
+            if synced > pending.lsn && synced >= self.commit.quorum_lsn() {
+                self.commit.promote_voter(&pending.member);
+                self.voters += 1;
+                if let Some((_, server)) = self.readers.iter().find(|(n, _)| *n == pending.member) {
+                    self.primary.add_fleet_member(FleetMember {
+                        name: pending.member.clone(),
+                        addr: server.addr().clone(),
+                    });
+                }
+                self.pending = None;
+                return Some(pending.member);
+            }
+        } else if self.commit.quorum_lsn() > pending.lsn {
+            self.pending = None;
+            return Some(pending.member);
+        }
+        None
+    }
+
+    /// Blocks until the in-flight membership change settles (shipping
+    /// threads must be running, or nothing can catch the joiner up).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Commit`] naming the stuck member when `timeout`
+    /// elapses first.
+    pub fn await_membership(&mut self, timeout: Duration) -> Result<String, ServerError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(name) = self.settle_membership() {
+                return Ok(name);
+            }
+            let Some(p) = &self.pending else {
+                return Err(ServerError::Commit(
+                    "no membership change in flight".to_string(),
+                ));
+            };
+            if Instant::now() >= deadline {
+                return Err(ServerError::Commit(format!(
+                    "membership change for `{}` did not settle within {timeout:?}",
+                    p.member
+                )));
+            }
+            // Park until replication makes progress (acks notify), in
+            // bounded slices so the deadline always fires.
+            self.commit
+                .wait_synced_past(p.lsn, Duration::from_millis(25));
+        }
+    }
+
+    /// The membership change in flight, if any.
+    #[must_use]
+    pub fn reconfig_pending(&self) -> Option<&PendingReconfig> {
+        self.pending.as_ref()
+    }
+
+    /// Every member and whether it is still an unpromoted learner.
+    #[must_use]
+    pub fn membership(&self) -> Vec<(String, bool)> {
+        self.readers
+            .iter()
+            .map(|(n, _)| (n.clone(), self.commit.is_learner(n)))
+            .collect()
     }
 
     /// Every member pump's typed state and counters (empty until

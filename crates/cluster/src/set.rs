@@ -186,6 +186,10 @@ struct MemberLink {
     crashed: bool,
     /// The member refuses replay; needs [`ClusterSet::rebuild_member`].
     refusing: bool,
+    /// A joining member catching up: replicated to, but not counted
+    /// for quorum and barred from elections until its synced position
+    /// reaches the quorum watermark (catch-up-before-vote).
+    learner: bool,
 }
 
 impl MemberLink {
@@ -196,12 +200,29 @@ impl MemberLink {
             synced_lsn: 0,
             crashed: false,
             refusing: false,
+            learner: false,
         }
     }
 
     fn votable(&self) -> bool {
-        !self.crashed && !self.refusing
+        !self.crashed && !self.refusing && !self.learner
     }
+}
+
+/// The single in-flight membership change — one add *or* one remove
+/// at a time. An add completes when the learner is promoted to voter;
+/// a remove completes when its journaled record is quorum-committed
+/// under the shrunk group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingReconfig {
+    /// LSN of the journaled `Reconfig` record.
+    pub lsn: u64,
+    /// `true` = add, `false` = remove.
+    pub add: bool,
+    /// The member joining or leaving.
+    pub member: String,
+    /// The joiner's address (empty for a remove).
+    pub addr: String,
 }
 
 /// Noteworthy state changes surfaced by one [`ClusterSet::tick`].
@@ -234,6 +255,12 @@ pub enum ClusterEvent {
         votes: usize,
         /// Votes a majority requires.
         required: usize,
+    },
+    /// A learner's synced position reached the quorum watermark; it is
+    /// now a voter and the pending add is complete.
+    MemberPromoted {
+        /// The promoted member.
+        node: String,
     },
 }
 
@@ -276,6 +303,10 @@ pub struct ClusterStats {
     pub truncated_rejoins: u64,
     /// Rejoins that wiped and re-bootstrapped.
     pub rebuilt_rejoins: u64,
+    /// Journaled membership changes issued.
+    pub reconfigs: u64,
+    /// Learners promoted to voter after catching up.
+    pub promotions: u64,
 }
 
 /// One primary + N members over a transport, with majority-ack
@@ -288,12 +319,17 @@ pub struct ClusterSet<T: ReplicaTransport> {
     cfg: ClusterConfig,
     transport: T,
     epoch: u64,
-    /// Voting nodes: members + the primary. Fixed once the group is
-    /// assembled; elections and rejoins do not change it.
+    /// Voting nodes: voters + the primary. Changed at assembly
+    /// ([`ClusterSet::add_member`]) and by journaled reconfiguration —
+    /// an add counts here only once its learner is promoted, a remove
+    /// counts immediately. Elections and rejoins do not change it.
     group_size: usize,
     primary: Option<QuorumPrimary>,
     retired: Option<QuorumPrimary>,
     members: BTreeMap<String, MemberLink>,
+    /// The one membership change in flight, if any; a second is
+    /// refused with [`DurableError::ReconfigInFlight`].
+    pending_reconfig: Option<PendingReconfig>,
     leaderless_rounds: u64,
     stats: ClusterStats,
 }
@@ -329,6 +365,7 @@ impl<T: ReplicaTransport> ClusterSet<T> {
             primary: Some(QuorumPrimary::new("primary", group, 0)),
             retired: None,
             members: BTreeMap::new(),
+            pending_reconfig: None,
             leaderless_rounds: 0,
             stats: ClusterStats::default(),
         })
@@ -354,9 +391,156 @@ impl<T: ReplicaTransport> ClusterSet<T> {
         self.group_size / 2 + 1
     }
 
-    /// Voting nodes in the group (members + primary).
+    /// Voting nodes in the group (members + primary). Unpromoted
+    /// learners are not counted.
     pub fn group_size(&self) -> usize {
         self.group_size
+    }
+
+    /// Journals a single-member **add** through the WAL and quorum
+    /// machinery: a `Reconfig` record is appended and fsynced like any
+    /// commit, the quorum tracker's majority threshold grows by one
+    /// effective exactly at that record's LSN, and `name` enters as a
+    /// **non-voting learner** — replicated to, but not counted for
+    /// quorum and barred from elections until its synced position
+    /// reaches the quorum watermark, at which point the next tick
+    /// promotes it ([`ClusterEvent::MemberPromoted`]) and the
+    /// reconfiguration completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotPrimary`] without a live primary;
+    /// [`DurableError::ReconfigInFlight`] (wrapped) while a prior
+    /// change is incomplete; [`ReplicaError::Protocol`] when `name` is
+    /// already in the group; otherwise as [`ClusterSet::commit_local`].
+    pub fn reconfig_add(&mut self, name: &str, addr: &str, io: Io) -> Result<u64, ReplicaError> {
+        let primary_name = self
+            .primary
+            .as_ref()
+            .ok_or(ReplicaError::NotPrimary)?
+            .name()
+            .to_string();
+        if let Some(p) = &self.pending_reconfig {
+            return Err(ReplicaError::Durable(DurableError::ReconfigInFlight {
+                lsn: p.lsn,
+                member: p.member.clone(),
+            }));
+        }
+        if self.members.contains_key(name) || primary_name == name {
+            return Err(ReplicaError::Protocol(format!(
+                "`{name}` is already a member of the group"
+            )));
+        }
+        let lsn = self.commit_local(WalRecord::Reconfig {
+            epoch: self.epoch,
+            add: true,
+            member: name.to_string(),
+            addr: addr.to_string(),
+        })?;
+        let p = self.primary.as_ref().expect("primary exists");
+        p.group.configure_quorum_at(lsn, self.group_size + 1);
+        p.group.add_learner(name);
+        let dir = self.base.join(name);
+        let mut link = MemberLink::new(Follower::create(name, dir, self.opts.clone(), io));
+        link.learner = true;
+        self.members.insert(name.to_string(), link);
+        self.pending_reconfig = Some(PendingReconfig {
+            lsn,
+            add: true,
+            member: name.to_string(),
+            addr: addr.to_string(),
+        });
+        self.stats.reconfigs += 1;
+        Ok(lsn)
+    }
+
+    /// Journals a single-member **remove**: the `Reconfig` record is
+    /// appended and fsynced, the majority threshold shrinks by one
+    /// effective at its LSN, the member is dropped from the quorum
+    /// tracker (so the watermark recomputes immediately) with its id
+    /// fenced against late acks, and read routing stops considering
+    /// it. The reconfiguration completes once the record itself is
+    /// quorum-committed under the shrunk group.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NotPrimary`] without a live primary;
+    /// [`DurableError::ReconfigInFlight`] (wrapped) while a prior
+    /// change is incomplete; [`ReplicaError::UnknownNode`] for a
+    /// non-member; otherwise as [`ClusterSet::commit_local`].
+    pub fn reconfig_remove(&mut self, name: &str) -> Result<u64, ReplicaError> {
+        self.primary.as_ref().ok_or(ReplicaError::NotPrimary)?;
+        if let Some(p) = &self.pending_reconfig {
+            return Err(ReplicaError::Durable(DurableError::ReconfigInFlight {
+                lsn: p.lsn,
+                member: p.member.clone(),
+            }));
+        }
+        if !self.members.contains_key(name) {
+            return Err(ReplicaError::UnknownNode(name.to_string()));
+        }
+        let lsn = self.commit_local(WalRecord::Reconfig {
+            epoch: self.epoch,
+            add: false,
+            member: name.to_string(),
+            addr: String::new(),
+        })?;
+        self.group_size -= 1;
+        let p = self.primary.as_ref().expect("primary exists");
+        p.group.configure_quorum_at(lsn, self.group_size);
+        p.group.ban_member(name);
+        self.members.remove(name);
+        self.pending_reconfig = Some(PendingReconfig {
+            lsn,
+            add: false,
+            member: name.to_string(),
+            addr: String::new(),
+        });
+        self.stats.reconfigs += 1;
+        Ok(lsn)
+    }
+
+    /// The membership change in flight, if any.
+    pub fn pending_reconfig(&self) -> Option<&PendingReconfig> {
+        self.pending_reconfig.as_ref()
+    }
+
+    /// Whether member `name` is an unpromoted learner.
+    pub fn is_learner(&self, name: &str) -> bool {
+        self.members.get(name).is_some_and(|m| m.learner)
+    }
+
+    /// Completes the in-flight reconfiguration when its condition is
+    /// met: an add promotes the learner once its synced position
+    /// covers both the reconfig record and the quorum watermark; a
+    /// remove completes once its record is quorum-committed.
+    fn settle_reconfig(&mut self, events: &mut Vec<ClusterEvent>) {
+        let Some(pending) = self.pending_reconfig.clone() else {
+            return;
+        };
+        let Some(watermark) = self.primary.as_ref().map(QuorumPrimary::quorum_lsn) else {
+            return;
+        };
+        if pending.add {
+            let ready = self.members.get(&pending.member).is_some_and(|link| {
+                link.learner && link.synced_lsn > pending.lsn && link.synced_lsn >= watermark
+            });
+            if ready {
+                let link = self.members.get_mut(&pending.member).expect("checked");
+                link.learner = false;
+                if let Some(p) = &self.primary {
+                    p.group.promote_voter(&pending.member);
+                }
+                self.group_size += 1;
+                self.pending_reconfig = None;
+                self.stats.promotions += 1;
+                events.push(ClusterEvent::MemberPromoted {
+                    node: pending.member,
+                });
+            }
+        } else if watermark > pending.lsn {
+            self.pending_reconfig = None;
+        }
     }
 
     /// Journals one record on the primary (local durability only).
@@ -465,6 +649,7 @@ impl<T: ReplicaTransport> ClusterSet<T> {
                 }
             }
         }
+        self.settle_reconfig(&mut events);
         events
     }
 
@@ -519,6 +704,13 @@ impl<T: ReplicaTransport> ClusterSet<T> {
                         continue;
                     }
                     self.stats.acks += 1;
+                    // Only current members may move the watermark: an
+                    // ack from a removed (or never-admitted) id would
+                    // count quorum against a stale group. The group's
+                    // own ban list fences removed ids a second time.
+                    if !self.members.contains_key(&node) {
+                        continue;
+                    }
                     // A member can never have synced past the
                     // primary's own head: cap the claim so a corrupt
                     // or lying ack cannot advance the quorum watermark
@@ -690,6 +882,8 @@ impl<T: ReplicaTransport> ClusterSet<T> {
         let new_epoch = self.epoch + 1;
         self.epoch = new_epoch;
         let required = self.quorum_required();
+        // Learners are filtered by `votable`: a joiner stands in
+        // elections only after catch-up promoted it.
         let candidate = self
             .members
             .iter()
@@ -726,6 +920,9 @@ impl<T: ReplicaTransport> ClusterSet<T> {
             if *name == cand_name {
                 continue;
             }
+            if self.members.get(name).is_some_and(|m| m.learner) {
+                continue; // Learners hold no vote to request.
+            }
             if self.transport.send(name, &request).is_err() {
                 continue; // Partitioned; no vote.
             }
@@ -733,10 +930,18 @@ impl<T: ReplicaTransport> ClusterSet<T> {
         }
         while let Ok(Some(msg)) = self.transport.recv(SUPERVISOR) {
             if let ReplicaMsg::VoteGrant {
-                epoch, candidate, ..
+                node,
+                epoch,
+                candidate,
+                ..
             } = msg
             {
-                if epoch == new_epoch && candidate == cand_name {
+                // Count only voters: a grant from a learner (or a
+                // stray id) never contributes to the majority.
+                if epoch == new_epoch
+                    && candidate == cand_name
+                    && self.members.get(&node).is_some_and(|m| !m.learner)
+                {
                     votes += 1;
                 }
             }
@@ -764,7 +969,24 @@ impl<T: ReplicaTransport> ClusterSet<T> {
             }
         };
         let group = GroupCommit::new(store, self.group_cfg.clone());
-        group.configure_quorum(self.group_size);
+        // Rebuild the quorum tracker's view of the group, including an
+        // in-flight reconfiguration: the resize still takes effect at
+        // the journaled record's LSN, the learner stays uncounted, and
+        // a removed id stays fenced — before any seeded ack can move
+        // the watermark.
+        match &self.pending_reconfig {
+            Some(pd) if pd.add => {
+                group.configure_quorum(self.group_size);
+                group.configure_quorum_at(pd.lsn, self.group_size + 1);
+                group.add_learner(&pd.member);
+            }
+            Some(pd) => {
+                group.configure_quorum(self.group_size + 1);
+                group.configure_quorum_at(pd.lsn, self.group_size);
+                group.ban_member(&pd.member);
+            }
+            None => group.configure_quorum(self.group_size),
+        }
         for (n, m) in &self.members {
             if m.synced_lsn > 0 {
                 group.member_synced(n, m.synced_lsn);
@@ -784,6 +1006,33 @@ impl<T: ReplicaTransport> ClusterSet<T> {
         self.primary = Some(QuorumPrimary::new(cand_name.clone(), group, new_epoch));
         self.leaderless_rounds = 0;
         self.stats.elections += 1;
+        // An in-flight reconfiguration whose journaled record did not
+        // survive into the winner's log (it was durable only on the
+        // crashed primary — never quorum-committed, so losing it is
+        // safe) is re-journaled here: the change is already reflected
+        // in the supervisor's state and the quorum tracker, but its
+        // threshold switch must anchor to a record that exists. The
+        // fresh record lands at or before the stale LSN, so scheduling
+        // the resize there also drops the stale schedule.
+        if let Some(pd) = self.pending_reconfig.as_mut() {
+            let p = self.primary.as_mut().expect("just installed");
+            if p.wal_position() <= pd.lsn {
+                let lsn = p.commit(WalRecord::Reconfig {
+                    epoch: new_epoch,
+                    add: pd.add,
+                    member: pd.member.clone(),
+                    addr: pd.addr.clone(),
+                })?;
+                let size = if pd.add {
+                    self.group_size + 1
+                } else {
+                    self.group_size
+                };
+                p.group().configure_quorum_at(lsn, size);
+                pd.lsn = lsn;
+                self.stats.reconfigs += 1;
+            }
+        }
         Ok((cand_name, new_epoch))
     }
 

@@ -737,3 +737,622 @@ pub fn cluster_sweep(
     std::fs::remove_dir_all(&b_dir).ok();
     Ok(outcome)
 }
+
+// ---------------------------------------------------- membership sweep
+
+/// What a [`membership_sweep`] established.
+#[derive(Debug, Default)]
+pub struct MembershipSweepOutcome {
+    /// Total injection points exercised across all classes.
+    pub injection_points: u64,
+    /// Runs where the primary's I/O crashed mid-reconfiguration.
+    pub primary_crashes: u64,
+    /// Runs with an injected partition of the joiner or the removed
+    /// member.
+    pub partitions: u64,
+    /// Learner promotions observed (catch-up-before-vote completing).
+    pub promotions: u64,
+    /// Journaled removals that completed.
+    pub removals: u64,
+    /// Elections won during or after a reconfiguration.
+    pub elections: u64,
+    /// Deposed primaries probed refusing a write — the dual-primary
+    /// invariant under reconfiguration.
+    pub fenced_refusals: u64,
+    /// Forged acks from a removed id that the watermark ignored.
+    pub stale_acks_fenced: u64,
+    /// Reconfigurations that completed *after* a failover — the
+    /// in-flight change survives the primary's crash.
+    pub resumed_reconfigs: u64,
+    /// Crashes so early no member held state to elect.
+    pub unpromotable: u64,
+    /// Commits that timed out waiting for quorum.
+    pub unreplicated_commits: u64,
+    /// Logical records in the workload.
+    pub records: usize,
+}
+
+/// Result of one scripted membership-change run.
+struct MembershipRun {
+    set: Option<ClusterSet<MemberPartition>>,
+    /// Every quorum-acknowledged `(lsn, crc)` pair.
+    acked: Vec<(u64, u32)>,
+    /// LSN of the journaled add, once issued.
+    add_lsn: Option<u64>,
+    /// The learner was promoted to voter.
+    promoted: bool,
+    /// The journaled remove completed.
+    remove_done: bool,
+    unreplicated: u64,
+    primary_crashed: bool,
+}
+
+/// Commits one record under quorum inside the scripted run; returns
+/// `false` when the primary crashed (script must stop).
+fn script_commit(
+    set: &mut ClusterSet<MemberPartition>,
+    record: WalRecord,
+    run: &mut MembershipRun,
+) -> Result<bool, String> {
+    match set.commit_quorum(record) {
+        Ok(lsn) => {
+            let crc = set
+                .primary()
+                .expect("primary lives")
+                .tailer()
+                .crc_at(lsn)
+                .map_err(|e| format!("crc_at({lsn}) failed: {e}"))?;
+            if let Some(crc) = crc {
+                run.acked.push((lsn, crc));
+            }
+            Ok(true)
+        }
+        Err(ReplicaError::Durable(DurableError::Unreplicated { .. })) => {
+            run.unreplicated += 1;
+            Ok(true)
+        }
+        Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+            run.primary_crashed = true;
+            Ok(false)
+        }
+        Err(e) => Err(format!("scripted commit failed non-faultily: {e}")),
+    }
+}
+
+/// Drives one scripted membership-change workload: base traffic on
+/// primary + m1 + m2, a checkpoint (pruning the tail the joiner will
+/// need, forcing the snapshot path), a journaled **add** of `m3`
+/// (learner until caught up), traffic during catch-up, a journaled
+/// **remove** of `m1`, and tail traffic under the shrunk group. Ends
+/// with the forged-ack probe: a stale ack from the removed id must
+/// never move the watermark.
+fn run_membership(
+    base: &Path,
+    workload: &Workload,
+    primary_io: Io,
+    transport: MemberPartition,
+) -> Result<MembershipRun, String> {
+    std::fs::remove_dir_all(base).ok();
+    let mut run = MembershipRun {
+        set: None,
+        acked: Vec::new(),
+        add_lsn: None,
+        promoted: false,
+        remove_done: false,
+        unreplicated: 0,
+        primary_crashed: false,
+    };
+    let mut set = match ClusterSet::bootstrap(
+        base,
+        workload.seed_schema.clone(),
+        sweep_options(),
+        sweep_group_config(),
+        sweep_cluster_config(),
+        transport,
+        primary_io,
+    ) {
+        Ok(set) => set,
+        Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+            run.primary_crashed = true;
+            return Ok(run);
+        }
+        Err(e) => return Err(format!("membership bootstrap failed non-faultily: {e}")),
+    };
+    set.add_member("m1", Io::plain());
+    set.add_member("m2", Io::plain());
+
+    // Split the workload: the last six ops are reserved as the
+    // traffic that rides *through* the reconfiguration phases.
+    let op_positions: Vec<usize> = workload
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Step::Op(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let reserve = 6.min(op_positions.len().saturating_sub(1));
+    let phase_cut = op_positions[op_positions.len() - reserve];
+    let tail_ops: Vec<WalRecord> = workload.steps[phase_cut..]
+        .iter()
+        .filter_map(|s| match s {
+            Step::Op(r) => Some(r.clone()),
+            Step::Checkpoint => None,
+        })
+        .collect();
+
+    // Phase 1 — base traffic.
+    for step in &workload.steps[..phase_cut] {
+        let ok = match step {
+            Step::Op(record) => script_commit(&mut set, record.clone(), &mut run)?,
+            Step::Checkpoint => match set.checkpoint() {
+                Ok(()) => true,
+                Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+                    run.primary_crashed = true;
+                    false
+                }
+                Err(e) => return Err(format!("scripted checkpoint failed: {e}")),
+            },
+        };
+        if !ok {
+            run.set = Some(set);
+            return Ok(run);
+        }
+    }
+    // Checkpoint so the joiner's tail is pruned: its bootstrap must go
+    // through the snapshot path, not a frame replay from LSN 1.
+    if let Err(e) = set.checkpoint() {
+        match e {
+            ReplicaError::Durable(e) if e.is_io_class() => {
+                run.primary_crashed = true;
+                run.set = Some(set);
+                return Ok(run);
+            }
+            e => return Err(format!("pre-join checkpoint failed: {e}")),
+        }
+    }
+
+    // Phase 2 — journaled add of m3; it enters as a learner.
+    match set.reconfig_add("m3", "local://m3", Io::plain()) {
+        Ok(lsn) => run.add_lsn = Some(lsn),
+        Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+            run.primary_crashed = true;
+            run.set = Some(set);
+            return Ok(run);
+        }
+        Err(e) => return Err(format!("reconfig_add failed non-faultily: {e}")),
+    }
+    if !set.is_learner("m3") {
+        return Err("joiner did not enter as a learner".to_string());
+    }
+    let mut tail = tail_ops.into_iter();
+    for record in tail.by_ref().take(2) {
+        if !script_commit(&mut set, record, &mut run)? {
+            run.set = Some(set);
+            return Ok(run);
+        }
+    }
+    // Catch-up: ticks until the learner's synced position reaches the
+    // watermark and the supervisor promotes it. Promotion may already
+    // have happened inside a commit's own supervision rounds, so the
+    // *state* — not the event stream — is the authority.
+    for _ in 0..DRAIN_TICKS {
+        if set.pending_reconfig().is_none() && !set.is_learner("m3") {
+            run.promoted = true;
+            break;
+        }
+        set.tick();
+    }
+
+    // Phase 3 — journaled remove of m1 (even while it is partitioned:
+    // removal must never need the removed member's cooperation).
+    if run.promoted {
+        match set.reconfig_remove("m1") {
+            Ok(_) => {}
+            Err(ReplicaError::Durable(e)) if e.is_io_class() => {
+                run.primary_crashed = true;
+                run.set = Some(set);
+                return Ok(run);
+            }
+            Err(e) => return Err(format!("reconfig_remove failed non-faultily: {e}")),
+        }
+        for record in tail.by_ref().take(2) {
+            if !script_commit(&mut set, record, &mut run)? {
+                run.set = Some(set);
+                return Ok(run);
+            }
+        }
+        for _ in 0..DRAIN_TICKS {
+            if set.pending_reconfig().is_none() {
+                run.remove_done = true;
+                break;
+            }
+            set.tick();
+        }
+        // Tail traffic under the shrunk group.
+        for record in tail {
+            if !script_commit(&mut set, record, &mut run)? {
+                run.set = Some(set);
+                return Ok(run);
+            }
+        }
+    }
+    run.set = Some(set);
+    Ok(run)
+}
+
+/// Probes that a forged ack from the removed member id cannot move
+/// the quorum watermark — "no quorum counted against a stale group".
+fn probe_stale_ack(
+    set: &ClusterSet<MemberPartition>,
+    outcome: &mut MembershipSweepOutcome,
+    what: &str,
+) -> Result<(), String> {
+    let Some(p) = set.primary() else {
+        return Ok(());
+    };
+    let before = p.quorum_lsn();
+    p.group().member_synced("m1", u64::MAX);
+    if p.quorum_lsn() != before {
+        return Err(format!(
+            "{what}: a forged ack from removed `m1` moved the watermark \
+             ({before} -> {})",
+            p.quorum_lsn()
+        ));
+    }
+    outcome.stale_acks_fenced += 1;
+    Ok(())
+}
+
+/// Ticks until member `name` reaches the primary's head, then asserts
+/// its replicated schema is byte-identical to the primary's.
+fn converge_membership(
+    set: &mut ClusterSet<MemberPartition>,
+    name: &str,
+    what: &str,
+) -> Result<(), String> {
+    let head = set.primary().expect("primary lives").wal_position();
+    for _ in 0..DRAIN_TICKS {
+        if set.member(name).is_some_and(|f| f.next_lsn() >= head) {
+            break;
+        }
+        set.tick();
+    }
+    let primary_bytes = serialise(&set.primary().expect("primary lives").schema());
+    let f = set
+        .member(name)
+        .ok_or_else(|| format!("{what}: member {name} missing"))?;
+    if f.next_lsn() < head {
+        return Err(format!(
+            "{what}: member {name} stopped at LSN {} of {head}",
+            f.next_lsn()
+        ));
+    }
+    let schema = f
+        .schema()
+        .ok_or_else(|| format!("{what}: member {name} never bootstrapped"))?;
+    if serialise(schema) != primary_bytes {
+        return Err(format!("{what}: member {name} diverged from the primary"));
+    }
+    Ok(())
+}
+
+/// After a crash-driven failover, completes whatever reconfiguration
+/// was still in flight: a pending add must still promote the learner
+/// under the new primary; a pending remove must still commit under
+/// the shrunk group (probe commits push the watermark past it).
+fn resume_reconfig(
+    set: &mut ClusterSet<MemberPartition>,
+    workload: &Workload,
+    run: &mut MembershipRun,
+    outcome: &mut MembershipSweepOutcome,
+    what: &str,
+) -> Result<(), String> {
+    let Some(pending) = set.pending_reconfig().cloned() else {
+        return Ok(());
+    };
+    if pending.add {
+        if set.member(&pending.member).is_none() {
+            return Err(format!("{what}: pending joiner vanished across failover"));
+        }
+        for _ in 0..DRAIN_TICKS {
+            if set.pending_reconfig().is_none() {
+                break;
+            }
+            set.tick();
+        }
+        if set.pending_reconfig().is_some() {
+            return Err(format!(
+                "{what}: in-flight add never completed after the failover"
+            ));
+        }
+        run.promoted = true;
+    } else {
+        for _ in 0..8 {
+            if set.pending_reconfig().is_none() {
+                break;
+            }
+            let _ = script_commit(set, probe_record(workload), run)?;
+        }
+        if set.pending_reconfig().is_some() {
+            return Err(format!(
+                "{what}: in-flight remove never committed after the failover"
+            ));
+        }
+        run.remove_done = true;
+    }
+    outcome.resumed_reconfigs += 1;
+    Ok(())
+}
+
+/// Staged dual-primary scenario: an operator failover *while the add
+/// is in flight* (learner unpromoted). The deposed primary must be
+/// fenced and refuse a write; the winner must not be the learner; the
+/// add must complete under the new primary.
+fn reconfig_failover_scenario(
+    base: &Path,
+    workload: &Workload,
+    outcome: &mut MembershipSweepOutcome,
+) -> Result<(), String> {
+    let mut run = run_membership(base, workload, Io::plain(), MemberPartition::clean())?;
+    let mut set = run.set.take().expect("clean run has a set");
+    // Re-issue a fresh add so a reconfiguration is in flight now: the
+    // clean run completed both changes, so add a fourth member.
+    let lsn = set
+        .reconfig_add("m4", "local://m4", Io::plain())
+        .map_err(|e| format!("failover scenario: add refused: {e}"))?;
+    // A second change while this one is in flight must be refused with
+    // the typed error.
+    match set.reconfig_remove("m2") {
+        Err(ReplicaError::Durable(DurableError::ReconfigInFlight { lsn: at, member })) => {
+            if at != lsn || member != "m4" {
+                return Err(format!(
+                    "failover scenario: ReconfigInFlight names ({member}, {at}), \
+                     expected (m4, {lsn})"
+                ));
+            }
+        }
+        other => {
+            return Err(format!(
+                "failover scenario: overlapping reconfig not refused ({other:?})"
+            ))
+        }
+    }
+    let old = set.kill_primary().expect("primary present");
+    drop(old);
+    let (winner, epoch) = set
+        .elect()
+        .map_err(|e| format!("failover scenario: election failed: {e}"))?;
+    outcome.elections += 1;
+    if winner == "m4" {
+        return Err("failover scenario: unpromoted learner won the election".to_string());
+    }
+    assert_acked_present(&set, &run.acked, "failover scenario")?;
+    // Rejoin the deposed primary, then probe the dual-primary
+    // invariant through a retired handle: a second operator failover
+    // fences the *standing* primary.
+    match set.rejoin_member("primary") {
+        Ok(_) => {}
+        Err(e) => return Err(format!("failover scenario: rejoin failed: {e}")),
+    }
+    resume_reconfig(&mut set, workload, &mut run, outcome, "failover scenario")?;
+    let _ = set.run_ticks(8);
+    match set.elect() {
+        Ok((_, epoch2)) => {
+            outcome.elections += 1;
+            if epoch2 <= epoch {
+                return Err("failover scenario: epoch did not advance".to_string());
+            }
+            let old = set.retired_mut().expect("deposed primary retained");
+            if !old.is_fenced() {
+                return Err("failover scenario: deposed primary not fenced".to_string());
+            }
+            match old.commit(probe_record(workload)) {
+                Err(ReplicaError::Fenced { epoch: at }) if at == epoch2 => {
+                    outcome.fenced_refusals += 1;
+                }
+                other => {
+                    return Err(format!(
+                        "failover scenario: deposed primary accepted a write ({other:?})"
+                    ))
+                }
+            }
+        }
+        Err(e) => return Err(format!("failover scenario: second election failed: {e}")),
+    }
+    std::fs::remove_dir_all(base).ok();
+    Ok(())
+}
+
+/// Sweeps every fault-injection point of a scripted **membership
+/// change** (journaled add with learner catch-up, then a journaled
+/// remove) and checks, at each point: **no quorum-acknowledged commit
+/// is ever lost**, **no two primaries accept writes in the same
+/// epoch**, **an unpromoted learner never wins an election**, and **no
+/// quorum is ever counted against a stale group** (forged acks from
+/// the removed id are fenced; an in-flight change survives failover
+/// and completes under the new primary).
+///
+/// # Errors
+///
+/// A description of the first violated invariant — any `Err` is a
+/// cluster bug.
+pub fn membership_sweep(
+    base_dir: &Path,
+    seed: u64,
+    target_records: usize,
+) -> Result<MembershipSweepOutcome, String> {
+    let workload = generate(seed, target_records);
+    let mut outcome = MembershipSweepOutcome {
+        records: workload.records,
+        ..MembershipSweepOutcome::default()
+    };
+
+    // ---- Stage 0: fault-free membership run ------------------------
+    let free_dir = base_dir.join("m-free");
+    let free = run_membership(&free_dir, &workload, Io::plain(), MemberPartition::clean())?;
+    if free.primary_crashed {
+        return Err("fault-free membership run crashed".to_string());
+    }
+    if !free.promoted || !free.remove_done {
+        return Err(format!(
+            "fault-free membership run: promoted={}, remove_done={}",
+            free.promoted, free.remove_done
+        ));
+    }
+    let mut set = free.set.expect("fault-free run has a set");
+    if set.group_size() != 3 {
+        return Err(format!(
+            "fault-free membership run: group size {} after add+remove, expected 3",
+            set.group_size()
+        ));
+    }
+    probe_stale_ack(&set, &mut outcome, "fault-free")?;
+    assert_acked_present(&set, &free.acked, "fault-free membership")?;
+    converge_membership(&mut set, "m2", "fault-free membership")?;
+    converge_membership(&mut set, "m3", "fault-free membership")?;
+    outcome.promotions += 1;
+    outcome.removals += 1;
+    let primary_points = set
+        .primary()
+        .expect("primary lives")
+        .group()
+        .with_store(mvolap_durable::DurableTmd::io_ops);
+    let transport_points = set.transport_steps();
+    drop(set);
+
+    // ---- Stage A: crash the primary at every I/O primitive ---------
+    let a_dir = base_dir.join("m-crash");
+    for k in 0..primary_points {
+        outcome.injection_points += 1;
+        let io = Io::faulty(FaultPlan::crash_after(k, seed));
+        let mut run = run_membership(&a_dir, &workload, io, MemberPartition::clean())?;
+        let Some(mut set) = run.set.take() else {
+            outcome.primary_crashes += 1;
+            outcome.unpromotable += 1;
+            continue;
+        };
+        if !run.primary_crashed {
+            assert_acked_present(&set, &run.acked, &format!("member crash {k} (no-fire)"))?;
+            continue;
+        }
+        outcome.primary_crashes += 1;
+        outcome.unreplicated_commits += run.unreplicated;
+        let learner_standing = set.is_learner("m3");
+        let old = set.kill_primary().expect("primary present before kill");
+        drop(old);
+        match set.elect() {
+            Ok((winner, _epoch)) => {
+                outcome.elections += 1;
+                if learner_standing && winner == "m3" {
+                    return Err(format!(
+                        "member crash {k}: unpromoted learner won the election"
+                    ));
+                }
+                assert_acked_present(&set, &run.acked, &format!("member crash {k}"))?;
+                match set.rejoin_member("primary") {
+                    Ok(_) => {}
+                    Err(e) => return Err(format!("member crash {k}: rejoin failed: {e}")),
+                }
+                resume_reconfig(
+                    &mut set,
+                    &workload,
+                    &mut run,
+                    &mut outcome,
+                    &format!("member crash {k}"),
+                )?;
+                assert_acked_present(&set, &run.acked, &format!("member crash {k} post-resume"))?;
+            }
+            Err(ReplicaError::NoQuorum { .. }) if run.acked.is_empty() => {
+                outcome.unpromotable += 1;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "member crash {k}: election failed despite {} acked commits: {e}",
+                    run.acked.len()
+                ))
+            }
+        }
+    }
+
+    // ---- Stage B: partition the joiner / the removed member --------
+    let b_dir = base_dir.join("m-partition");
+    // Every protocol step, bounded to keep the sweep tractable: the
+    // stride still lands points in every phase of the script.
+    let stride = (transport_points / 128).max(1) as usize;
+    for j in (0..transport_points).step_by(stride) {
+        outcome.injection_points += 1;
+        outcome.partitions += 1;
+        if (j / stride as u64).is_multiple_of(2) {
+            // The *joiner* suffers a healing outage mid-catch-up: the
+            // snapshot transfer and promotion must still complete.
+            let transport = MemberPartition::new(&["m3"], j, OUTAGE_OPS);
+            let run = run_membership(&b_dir, &workload, Io::plain(), transport)?;
+            if run.primary_crashed {
+                return Err(format!("member partition {j}: primary was disturbed"));
+            }
+            let mut set = run.set.expect("set lives");
+            outcome.unreplicated_commits += run.unreplicated;
+            if !run.promoted {
+                return Err(format!(
+                    "member partition {j}: joiner never promoted after the outage healed"
+                ));
+            }
+            if !run.remove_done {
+                return Err(format!("member partition {j}: removal never completed"));
+            }
+            assert_acked_present(&set, &run.acked, &format!("member partition {j}"))?;
+            probe_stale_ack(&set, &mut outcome, &format!("member partition {j}"))?;
+            converge_membership(&mut set, "m3", &format!("member partition {j}"))?;
+            outcome.promotions += 1;
+            outcome.removals += 1;
+        } else {
+            // The member being *removed* is cut permanently: removal
+            // must never need its cooperation, and the group must
+            // re-route quorum through the surviving voters.
+            let transport = MemberPartition::new(&["m1"], j, u64::MAX);
+            let run = run_membership(&b_dir, &workload, Io::plain(), transport)?;
+            if run.primary_crashed {
+                return Err(format!("member partition {j}: primary was disturbed"));
+            }
+            let mut set = run.set.expect("set lives");
+            outcome.unreplicated_commits += run.unreplicated;
+            if !run.promoted {
+                return Err(format!(
+                    "member partition {j}: joiner never promoted with m1 cut"
+                ));
+            }
+            if !run.remove_done {
+                return Err(format!(
+                    "member partition {j}: removing a partitioned member never completed"
+                ));
+            }
+            if set.member("m1").is_some() {
+                return Err(format!("member partition {j}: removed member still routed"));
+            }
+            assert_acked_present(&set, &run.acked, &format!("member partition {j}"))?;
+            probe_stale_ack(&set, &mut outcome, &format!("member partition {j}"))?;
+            converge_membership(&mut set, "m3", &format!("member partition {j}"))?;
+            outcome.promotions += 1;
+            outcome.removals += 1;
+        }
+    }
+
+    // ---- Staged scenario: failover mid-reconfiguration -------------
+    reconfig_failover_scenario(&base_dir.join("m-failover"), &workload, &mut outcome)?;
+    outcome.injection_points += 1;
+
+    if outcome.fenced_refusals == 0 {
+        return Err("no failover ever probed the dual-primary invariant".to_string());
+    }
+    if outcome.stale_acks_fenced == 0 {
+        return Err("no run ever probed the stale-group fence".to_string());
+    }
+    if outcome.promotions == 0 || outcome.removals == 0 {
+        return Err("the sweep never completed a reconfiguration".to_string());
+    }
+
+    std::fs::remove_dir_all(&free_dir).ok();
+    std::fs::remove_dir_all(&a_dir).ok();
+    std::fs::remove_dir_all(&b_dir).ok();
+    Ok(outcome)
+}

@@ -455,6 +455,7 @@ fn pump_backpressure_caps_window_and_recovers_on_heal() {
         max_batch_frames: 2,
         max_inflight_frames: 4,
         max_inflight_bytes: 1 << 16,
+        snap_chunk_bytes: 64 << 10,
         idle_wait_ms: 1,
         retry_wait_ms: 30,
         time: time.clone(),
@@ -738,6 +739,350 @@ fn cluster_sweep_holds_every_invariant() {
     assert!(
         outcome.truncated_rejoins + outcome.rebuilt_rejoins + outcome.clean_rejoins > 0,
         "no rejoin exercised"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The membership sweep: crash the primary at every I/O primitive and
+/// partition the joiner / the removed member during a journaled
+/// reconfiguration. Debug builds run a smaller workload (the release
+/// CI job runs the big one and asserts the ≥200-point floor).
+#[test]
+fn membership_sweep_holds_every_invariant() {
+    let records = if cfg!(debug_assertions) { 6 } else { 18 };
+    let dir = tmp("membership-sweep");
+    let outcome =
+        mvolap_cluster::membership_sweep(&dir, 0xA11u64, records).expect("membership invariants");
+    let floor = if cfg!(debug_assertions) { 60 } else { 200 };
+    assert!(
+        outcome.injection_points >= floor,
+        "membership sweep too small: {} points (floor {floor})",
+        outcome.injection_points
+    );
+    assert!(outcome.primary_crashes > 0, "no mid-reconfig crash");
+    assert!(outcome.partitions > 0, "no joiner/removed partition");
+    assert!(outcome.promotions > 0, "no learner promotion observed");
+    assert!(outcome.removals > 0, "no journaled removal completed");
+    assert!(outcome.elections > 0, "no election during reconfiguration");
+    assert!(outcome.fenced_refusals > 0, "dual-primary probe never ran");
+    assert!(outcome.stale_acks_fenced > 0, "stale-group probe never ran");
+    assert!(
+        outcome.resumed_reconfigs > 0,
+        "no in-flight reconfiguration survived a failover"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A joiner that crashes mid-snapshot resumes from its last fsynced
+/// chunk, not from zero: the spill file survives the crash, the
+/// reopened follower reports how many chunks of the same image it
+/// already holds, and a fresh pump ships only the remainder.
+#[test]
+fn joiner_crash_mid_snapshot_resumes_from_last_chunk() {
+    let dir = tmp("snapresume");
+    let workload = generate(17, 10);
+    let records = ops(&workload);
+    let primary_dir = dir.join("primary");
+    // Tiny segments: the workload seals several, so the checkpoint
+    // prunes the WAL below LSN 1 and the joiner can only bootstrap
+    // via the snapshot path.
+    let small_segments = Options {
+        segment_bytes: 256,
+        policy: CheckpointPolicy::manual(),
+        prune_on_checkpoint: true,
+    };
+    let store = DurableTmd::create_with(
+        &primary_dir,
+        workload.seed_schema.clone(),
+        small_segments,
+        Io::plain(),
+    )
+    .unwrap();
+    let commit = GroupCommit::new(store, group_cfg());
+    commit.configure_quorum(2);
+    for r in &records {
+        commit.commit(r.clone()).unwrap();
+    }
+    commit
+        .with_store_mut(|s| s.checkpoint())
+        .expect("checkpoint");
+    let oldest = commit.with_store(|s| s.oldest_lsn()).expect("oldest");
+    assert!(
+        oldest > 1,
+        "sealed segments must have pruned, oldest={oldest}"
+    );
+    let head = commit.wal_position();
+    let mut image = Vec::new();
+    mvolap_core::persist::write_tmd(&commit.with_store(|s| s.schema().clone()), &mut image)
+        .unwrap();
+    let total = (image.len() as u64).div_ceil(64);
+    assert!(total >= 3, "image too small to interrupt ({total} chunks)");
+
+    // Tiny chunks and a tight in-flight window: one packing round
+    // ships only a prefix of the image.
+    let cfg = PumpConfig {
+        max_batch_frames: 2,
+        max_inflight_frames: 4,
+        max_inflight_bytes: 128,
+        snap_chunk_bytes: 64,
+        idle_wait_ms: 1,
+        retry_wait_ms: 30,
+        time: TimeSource::manual(0),
+    };
+    let shared = PumpShared::new(commit.clone(), 0);
+    let tracker = PumpTracker::new();
+    let joiner_dir = dir.join("joiner");
+    let follower = Arc::new(Mutex::new(Follower::create(
+        "joiner",
+        joiner_dir.clone(),
+        opts(),
+        Io::plain(),
+    )));
+    let mut pump = MemberPump::new(
+        shared.clone(),
+        "joiner",
+        follower.clone(),
+        &primary_dir,
+        cfg.clone(),
+        tracker.clone(),
+    );
+    assert!(
+        matches!(pump.step(), PumpStep::Progress { .. }),
+        "first round ships the image prefix"
+    );
+    // The envelope packed above delivers on the NEXT step — the
+    // window is request/reply pipelined — so take one more turn to
+    // land a chunk prefix in the joiner's durable spill.
+    assert!(
+        matches!(pump.step(), PumpStep::Progress { .. }),
+        "second round delivers the prefix to the member"
+    );
+
+    // Crash: the pump dies with its member; only the disk survives.
+    drop(pump);
+    drop(follower);
+
+    let reopened = Follower::open("joiner", joiner_dir, opts(), Io::plain()).expect("reopen");
+    let received = reopened.snap_resume(head, total, image.len() as u64);
+    assert!(
+        received > 0 && received < total,
+        "expected a partial assembly to survive the crash, got {received}/{total}"
+    );
+
+    // A fresh pump resumes the transfer mid-image and finishes it.
+    let follower = Arc::new(Mutex::new(reopened));
+    let mut pump = MemberPump::new(
+        shared,
+        "joiner",
+        follower.clone(),
+        &primary_dir,
+        cfg,
+        tracker.clone(),
+    );
+    drive_to_idle(&mut pump);
+    let f = follower.lock().unwrap();
+    assert_eq!(f.next_lsn(), head, "joiner caught up to the head");
+    let st = tracker.status("joiner").unwrap();
+    assert_eq!(st.snapshots, 1, "exactly one completed snapshot bootstrap");
+    assert_eq!(
+        commit.quorum_lsn(),
+        head,
+        "the caught-up joiner's acks formed the quorum"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Live membership on the served group: a join bootstraps the learner
+/// through the pump's chunked snapshot and promotes it only at the
+/// quorum watermark; overlapping and duplicate changes are typed
+/// refusals; and removing the *freshest* member immediately re-routes
+/// bounded reads to the next-freshest — no spurious `stale` refusal.
+#[test]
+fn live_join_and_leave_reconfigure_the_served_group() {
+    let dir = tmp("livejoin");
+    let workload = generate(13, 8);
+    let records = ops(&workload);
+    assert!(records.len() >= 5);
+    let loopback = NetAddr::parse("127.0.0.1:0").unwrap();
+    let mut cluster = LocalCluster::start(
+        &dir,
+        workload.seed_schema.clone(),
+        &loopback,
+        &[
+            ("m1".to_string(), loopback.clone()),
+            ("m2".to_string(), loopback.clone()),
+        ],
+        // Tiny segments so the pre-join checkpoint genuinely prunes
+        // the tail — the joiner must take the snapshot path.
+        Options {
+            segment_bytes: 128,
+            policy: CheckpointPolicy::manual(),
+            prune_on_checkpoint: true,
+        },
+        GroupConfig::default(),
+        ServerOptions {
+            quorum_timeout_ms: 2_000,
+            ..ServerOptions::default()
+        },
+        NetConfig::default(),
+    )
+    .expect("cluster starts");
+    cluster.spawn_pumps(PumpConfig {
+        snap_chunk_bytes: 64,
+        ..PumpConfig::default()
+    });
+    let mut client = cluster.client(NetConfig::default());
+    for r in records.iter().take(3) {
+        client.commit(r).expect("quorum commit");
+    }
+    // Prune the tail so the joiner must bootstrap via the pump's
+    // chunked snapshot, not a frame replay from LSN 1.
+    cluster
+        .group()
+        .with_store_mut(|s| s.checkpoint())
+        .expect("checkpoint");
+    let oldest = cluster
+        .group()
+        .with_store(|s| s.oldest_lsn())
+        .expect("oldest");
+    assert!(
+        oldest > 1,
+        "sealed segments must have pruned, oldest={oldest}"
+    );
+
+    // A duplicate add for an existing member id is a typed refusal.
+    match cluster.join("m1", &loopback) {
+        Err(ServerError::Commit(m)) => assert!(m.contains("already a member"), "{m}"),
+        other => panic!("duplicate join accepted: {other:?}"),
+    }
+
+    let join_lsn = cluster.join("m3", &loopback).expect("join journaled");
+    // A second change while this one is in flight is refused with the
+    // typed in-flight error.
+    match cluster.join("m4", &loopback) {
+        Err(ServerError::Commit(m)) => {
+            assert!(m.contains("reconfiguration is already in flight"), "{m}")
+        }
+        other => panic!("overlapping join accepted: {other:?}"),
+    }
+    let promoted = cluster
+        .await_membership(std::time::Duration::from_secs(20))
+        .expect("joiner catches up and is promoted");
+    assert_eq!(promoted, "m3");
+    assert!(
+        cluster.membership().iter().any(|(n, l)| n == "m3" && !l),
+        "m3 is a voter after catch-up"
+    );
+    let snap_bootstraps = cluster
+        .pump_status()
+        .iter()
+        .find(|(n, _)| n == "m3")
+        .map_or(0, |(_, st)| st.snapshots);
+    assert!(
+        snap_bootstraps >= 1,
+        "the joiner bootstrapped via the pump-shipped snapshot"
+    );
+    assert!(
+        cluster.group().quorum_lsn() > join_lsn,
+        "the reconfig record itself is quorum-committed"
+    );
+
+    // Commit with the grown group, then drop the freshest member —
+    // the read must re-route to the next-freshest immediately.
+    let lsn = client
+        .commit(&records[3])
+        .expect("commit under 4-node group");
+    let query = "SELECT sum(Amount) BY year IN MODE tcm";
+    client.read_at(lsn, query).expect("bounded read pre-remove");
+    cluster.leave("m3").expect("leave journaled");
+    cluster
+        .await_membership(std::time::Duration::from_secs(20))
+        .expect("remove quorum-commits under the shrunk group");
+    client
+        .read_at(lsn, query)
+        .expect("read re-routed to the next-freshest member, not refused");
+    // The shrunk group still quorums: primary + m1 + m2, majority 2.
+    client
+        .commit(&records[4])
+        .expect("commit under shrunk group");
+
+    // Removing a non-member is a typed refusal.
+    match cluster.leave("m3") {
+        Err(ServerError::Commit(m)) => assert!(m.contains("not a member"), "{m}"),
+        other => panic!("double leave accepted: {other:?}"),
+    }
+    cluster.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression (bounded parking): a pump thread parked on
+/// `wait_synced_past` under a `ManualClock` — its member effectively
+/// vanished, nothing will ever advance the commit — must still
+/// observe `PumpThread::stop` promptly, because every park is bounded
+/// by the retry deadline rather than the idle interval.
+#[test]
+fn pump_thread_stop_interrupts_parked_wait() {
+    let dir = tmp("parkstop");
+    let workload = generate(19, 4);
+    let primary_dir = dir.join("primary");
+    let store = DurableTmd::create_with(
+        &primary_dir,
+        workload.seed_schema.clone(),
+        opts(),
+        Io::plain(),
+    )
+    .unwrap();
+    let commit = GroupCommit::new(store, group_cfg());
+    for r in ops(&workload).into_iter().take(2) {
+        commit.commit(r).unwrap();
+    }
+    let follower = Arc::new(Mutex::new(Follower::create(
+        "ghost",
+        dir.join("ghost"),
+        opts(),
+        Io::plain(),
+    )));
+    // A pathological idle interval: without the retry-deadline bound
+    // the park would sleep this long and shutdown would hang with it.
+    let cfg = PumpConfig {
+        idle_wait_ms: 600_000,
+        retry_wait_ms: 10,
+        ..PumpConfig::default()
+    };
+    let shared = PumpShared::new(commit.clone(), 0);
+    let tracker = PumpTracker::new();
+    let pump = MemberPump::new(
+        shared,
+        "ghost",
+        follower,
+        &primary_dir,
+        cfg,
+        tracker.clone(),
+    );
+    let mut thread = pump.spawn();
+    // Let the engine catch the member up and park idle.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if tracker
+            .status("ghost")
+            .is_some_and(|st| st.state == PumpState::Idle)
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pump never went idle: {:?}",
+            tracker.status("ghost")
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let t0 = std::time::Instant::now();
+    thread.stop();
+    thread.join();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "stop() took {:?} — the park is not bounded",
+        t0.elapsed()
     );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -42,6 +42,16 @@ pub enum DurableError {
         /// Nodes (including this one) known to have synced it.
         acked: usize,
     },
+    /// A membership reconfiguration was requested while a previous one
+    /// is still in flight (journaled but not yet completed). Membership
+    /// changes are single-change: the pending add must promote (or the
+    /// pending remove drain) before the next one is accepted.
+    ReconfigInFlight {
+        /// LSN of the pending reconfiguration record.
+        lsn: u64,
+        /// The member the pending reconfiguration concerns.
+        member: String,
+    },
     /// Checkpoint (de)serialisation failure.
     Persist(PersistError),
     /// Replaying a record violated the model — validated replay refused
@@ -68,6 +78,11 @@ impl std::fmt::Display for DurableError {
                 f,
                 "commit {lsn} is locally durable but unreplicated: \
                  {acked} node(s) synced it, no quorum before the deadline"
+            ),
+            DurableError::ReconfigInFlight { lsn, member } => write!(
+                f,
+                "a reconfiguration is already in flight (member `{member}` \
+                 since LSN {lsn}); one membership change at a time"
             ),
             DurableError::Persist(e) => write!(f, "checkpoint error: {e}"),
             DurableError::Core(e) => write!(f, "replay error: {e}"),

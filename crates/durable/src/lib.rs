@@ -47,5 +47,5 @@ pub use fault::{crash_sweep, generate, group_crash_sweep, Step, SweepOutcome, Wo
 pub use group::{GroupCommit, GroupConfig};
 pub use io::{FaultPlan, Io};
 pub use record::{FactRow, WalRecord};
-pub use store::{CheckpointPolicy, DurableTmd, Options};
+pub use store::{CheckpointPolicy, DurableTmd, Options, ReconfigEntry};
 pub use wal::{truncate_from, LoggedRecord, TailFrame, Wal};

@@ -179,13 +179,30 @@ pub enum WalRecord {
         /// The rows, in append order.
         rows: Vec<FactRow>,
     },
+    /// A cluster membership change, journaled and quorum-committed
+    /// like any commit. Single-change: one add *or* one remove. The
+    /// new voting-group size takes effect exactly at this record's
+    /// LSN. The record is a no-op for the schema — it evolves the
+    /// *replication group*, not the multidimensional structure — but
+    /// riding the WAL gives it the same durability, ordering and
+    /// recovery guarantees as every evolution operator.
+    Reconfig {
+        /// Epoch the reconfiguration was issued under.
+        epoch: u64,
+        /// `true` = add `member`, `false` = remove it.
+        add: bool,
+        /// The member id joining or leaving.
+        member: String,
+        /// The member's read-server address (empty for removals).
+        addr: String,
+    },
 }
 
 // ---------------------------------------------------------------------
 // Token encoding
 // ---------------------------------------------------------------------
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     if s.is_empty() {
         return "\\0".to_owned();
     }
@@ -202,7 +219,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn unesc(s: &str) -> Result<String, DurableError> {
+pub(crate) fn unesc(s: &str) -> Result<String, DurableError> {
     if s == "\\0" {
         return Ok(String::new());
     }
@@ -342,6 +359,11 @@ impl<'a> Dec<'a> {
         t.parse().map_err(|_| self.bad("integer", t))
     }
 
+    fn u64(&mut self) -> Result<u64, DurableError> {
+        let t = self.next()?;
+        t.parse().map_err(|_| self.bad("integer", t))
+    }
+
     fn usize(&mut self) -> Result<usize, DurableError> {
         let t = self.next()?;
         let n: usize = t.parse().map_err(|_| self.bad("count", t))?;
@@ -463,6 +485,7 @@ impl WalRecord {
             WalRecord::Increase { .. } => "increase",
             WalRecord::Decrease { .. } => "decrease",
             WalRecord::FactBatch { .. } => "facts",
+            WalRecord::Reconfig { .. } => "reconfig",
         }
     }
 
@@ -591,6 +614,17 @@ impl WalRecord {
                         e.raw(enc_f64(*v));
                     }
                 }
+            }
+            WalRecord::Reconfig {
+                epoch,
+                add,
+                member,
+                addr,
+            } => {
+                e.raw("reconfig")
+                    .raw(epoch)
+                    .raw(if *add { "add" } else { "remove" });
+                e.text(member).text(addr);
             }
         }
         e.out.into_bytes()
@@ -742,6 +776,20 @@ impl WalRecord {
                 }
                 WalRecord::FactBatch { rows }
             }
+            "reconfig" => {
+                let epoch = d.u64()?;
+                let add = match d.next()? {
+                    "add" => true,
+                    "remove" => false,
+                    t => return Err(d.bad("reconfig direction", t)),
+                };
+                WalRecord::Reconfig {
+                    epoch,
+                    add,
+                    member: d.text()?,
+                    addr: d.text()?,
+                }
+            }
             other => return Err(DurableError::corrupt(format!("unknown record `{other}`"))),
         };
         d.done()?;
@@ -871,6 +919,10 @@ impl WalRecord {
                 }
                 Ok(())
             }
+            // Membership changes do not touch the schema; the group
+            // layer reads them back out of the log (and the membership
+            // sidecar) instead.
+            WalRecord::Reconfig { .. } => Ok(()),
         }
     }
 
@@ -1047,6 +1099,18 @@ mod tests {
             WalRecord::Bootstrap {
                 snapshot: b"mvolap-tmd v1\nschema t month\n".to_vec(),
             },
+            WalRecord::Reconfig {
+                epoch: 7,
+                add: true,
+                member: "m3 with space".into(),
+                addr: "127.0.0.1:9001".into(),
+            },
+            WalRecord::Reconfig {
+                epoch: u64::MAX,
+                add: false,
+                member: "m1".into(),
+                addr: String::new(),
+            },
         ];
         for r in &records {
             roundtrip(r);
@@ -1086,5 +1150,25 @@ mod tests {
         assert!(WalRecord::decode(&[0xFF, 0xFE, b' ']).is_err()); // not UTF-8
                                                                   // A count field claiming 2^30 parents must not allocate.
         assert!(WalRecord::decode(b"create 0 x 0 5 1073741824").is_err());
+        // Reconfig: bad direction, truncation, trailing garbage.
+        assert!(WalRecord::decode(b"reconfig 3 sideways m1 \\0").is_err());
+        assert!(WalRecord::decode(b"reconfig 3 add m1").is_err());
+        assert!(WalRecord::decode(b"reconfig 3 add m1 \\0 extra").is_err());
+        assert!(WalRecord::decode(b"reconfig -1 add m1 \\0").is_err());
+    }
+
+    #[test]
+    fn reconfig_applies_as_a_schema_noop() {
+        let mut tmd = Tmd::new("empty", Default::default());
+        let before = format!("{tmd:?}");
+        WalRecord::Reconfig {
+            epoch: 1,
+            add: true,
+            member: "m3".into(),
+            addr: "127.0.0.1:0".into(),
+        }
+        .apply(&mut tmd)
+        .expect("reconfig is a schema no-op");
+        assert_eq!(format!("{tmd:?}"), before);
     }
 }

@@ -135,6 +135,113 @@ impl Default for Options {
     }
 }
 
+/// One journaled membership change, as recovered from the WAL or the
+/// membership sidecar. The group layer replays these to rebuild the
+/// voting-group history: each entry's new group size takes effect
+/// exactly at `lsn`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigEntry {
+    /// LSN of the [`WalRecord::Reconfig`] record.
+    pub lsn: u64,
+    /// Epoch the reconfiguration was issued under.
+    pub epoch: u64,
+    /// `true` = `member` was added, `false` = removed.
+    pub add: bool,
+    /// The member id that joined or left.
+    pub member: String,
+    /// The member's read-server address (empty for removals).
+    pub addr: String,
+}
+
+const MEMBERSHIP_MAGIC: &str = "mvolap-membership v1";
+
+fn membership_path(dir: &Path) -> PathBuf {
+    dir.join("membership")
+}
+
+/// Persists the membership log crash-atomically (tmp + fsync + rename +
+/// dir fsync), so checkpoint pruning can never orphan a reconfiguration
+/// whose WAL frame it removes.
+fn write_membership(
+    entries: &[ReconfigEntry],
+    dir: &Path,
+    io: &mut Io,
+) -> Result<(), DurableError> {
+    use crate::record::esc;
+    let mut buf = String::from(MEMBERSHIP_MAGIC);
+    buf.push('\n');
+    for e in entries {
+        buf.push_str(&format!(
+            "{} {} {} {} {}\n",
+            e.lsn,
+            e.epoch,
+            if e.add { "add" } else { "remove" },
+            esc(&e.member),
+            esc(&e.addr)
+        ));
+    }
+    let finals = membership_path(dir);
+    let tmp = dir.join("membership.tmp");
+    let mut f = io.create(&tmp)?;
+    let res = io
+        .write(&mut f, buf.as_bytes())
+        .and_then(|()| io.sync(&f))
+        .and_then(|()| {
+            drop(f);
+            io.rename(&tmp, &finals)
+        })
+        .and_then(|()| io.sync_dir(dir));
+    if let Err(e) = res {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Loads the membership sidecar; a missing file is an empty log and a
+/// malformed line ends the parse (never fatal — the WAL scan re-adds
+/// anything it still holds).
+fn load_membership(dir: &Path) -> Vec<ReconfigEntry> {
+    use crate::record::unesc;
+    let Ok(text) = std::fs::read_to_string(membership_path(dir)) else {
+        return Vec::new();
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MEMBERSHIP_MAGIC) {
+        return Vec::new();
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let mut toks = line.split(' ');
+        let parsed = (|| {
+            let lsn = toks.next()?.parse().ok()?;
+            let epoch = toks.next()?.parse().ok()?;
+            let add = match toks.next()? {
+                "add" => true,
+                "remove" => false,
+                _ => return None,
+            };
+            let member = unesc(toks.next()?).ok()?;
+            let addr = unesc(toks.next()?).ok()?;
+            if toks.next().is_some() {
+                return None;
+            }
+            Some(ReconfigEntry {
+                lsn,
+                epoch,
+                add,
+                member,
+                addr,
+            })
+        })();
+        match parsed {
+            Some(e) => entries.push(e),
+            None => break,
+        }
+    }
+    entries
+}
+
 /// A durable temporal multidimensional schema: [`Tmd`] + WAL +
 /// checkpoints under one directory.
 #[derive(Debug)]
@@ -156,6 +263,10 @@ pub struct DurableTmd {
     /// When the oldest uncheckpointed record entered the tail; `None`
     /// while the tail is empty.
     tail_since_ms: Option<u64>,
+    /// Every journaled membership change, in LSN order. Rebuilt on open
+    /// from the membership sidecar plus a WAL scan, so the log survives
+    /// checkpoint pruning of the frames it came from.
+    reconfigs: Vec<ReconfigEntry>,
     poisoned: bool,
 }
 
@@ -208,6 +319,7 @@ impl DurableTmd {
             covered_lsn: 1,
             time,
             tail_since_ms,
+            reconfigs: Vec::new(),
             poisoned: false,
         })
     }
@@ -251,6 +363,7 @@ impl DurableTmd {
             covered_lsn: next_lsn,
             time: TimeSource::default(),
             tail_since_ms: None,
+            reconfigs: Vec::new(),
             poisoned: false,
         })
     }
@@ -286,7 +399,30 @@ impl DurableTmd {
         };
         let mut replayed = 0u64;
         let mut tail_bytes = 0u64;
+        // The membership log recovers from two sources: the sidecar
+        // (covers reconfigurations whose frames checkpointing pruned)
+        // and a scan of every surviving frame (covers reconfigurations
+        // journaled after the last sidecar write). Deduped by LSN.
+        let mut reconfigs = load_membership(dir);
         for rec in &opened.records {
+            if rec.payload.starts_with(b"reconfig ") {
+                if let Ok(WalRecord::Reconfig {
+                    epoch,
+                    add,
+                    member,
+                    addr,
+                }) = WalRecord::decode(&rec.payload)
+                {
+                    reconfigs.retain(|e| e.lsn != rec.lsn);
+                    reconfigs.push(ReconfigEntry {
+                        lsn: rec.lsn,
+                        epoch,
+                        add,
+                        member,
+                        addr,
+                    });
+                }
+            }
             if rec.lsn < resume_lsn {
                 continue;
             }
@@ -310,6 +446,8 @@ impl DurableTmd {
         // the moment of recovery, which still bounds how long it can
         // linger uncheckpointed from here on.
         let tail_since_ms = (replayed > 0).then(|| time.now_ms());
+        reconfigs.retain(|e| e.lsn < opened.wal.next_lsn());
+        reconfigs.sort_by_key(|e| e.lsn);
         Ok(DurableTmd {
             dir: dir.to_path_buf(),
             tmd,
@@ -321,6 +459,7 @@ impl DurableTmd {
             covered_lsn: resume_lsn,
             time,
             tail_since_ms,
+            reconfigs,
             poisoned: false,
         })
     }
@@ -580,6 +719,21 @@ impl DurableTmd {
                 let mut next = self.tmd.clone();
                 record.apply(&mut next)?;
                 let lsn = self.journal(&record, sync)?;
+                if let WalRecord::Reconfig {
+                    epoch,
+                    add,
+                    ref member,
+                    ref addr,
+                } = record
+                {
+                    self.reconfigs.push(ReconfigEntry {
+                        lsn,
+                        epoch,
+                        add,
+                        member: member.clone(),
+                        addr: addr.clone(),
+                    });
+                }
                 self.tmd = next;
                 self.after_commit()?;
                 Ok(lsn)
@@ -600,6 +754,13 @@ impl DurableTmd {
         let next_lsn = self.wal.next_lsn();
         let result =
             checkpoint::write(&self.tmd, &self.dir, next_lsn, &mut self.io).and_then(|id| {
+                // The membership sidecar must be durable *before* the
+                // prune may remove the WAL frames its entries came
+                // from; a crash in between leaves both sources intact
+                // and recovery dedupes them.
+                if !self.reconfigs.is_empty() {
+                    write_membership(&self.reconfigs, &self.dir, &mut self.io)?;
+                }
                 if self.opts.prune_on_checkpoint {
                     self.wal.prune(id.next_lsn, &mut self.io)?;
                     checkpoint::prune(&self.dir, id, &mut self.io)?;
@@ -780,6 +941,14 @@ impl DurableTmd {
     /// As [`DurableTmd::apply`].
     pub fn append_facts(&mut self, rows: Vec<FactRow>) -> Result<u64, DurableError> {
         self.apply(WalRecord::FactBatch { rows })
+    }
+
+    /// Every journaled membership change this store knows of, in LSN
+    /// order — survives checkpoint pruning (via the membership sidecar)
+    /// and reopen. The group layer replays this to reconstruct the
+    /// voting-group size history.
+    pub fn membership_log(&self) -> &[ReconfigEntry] {
+        &self.reconfigs
     }
 }
 

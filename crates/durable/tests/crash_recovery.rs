@@ -243,3 +243,86 @@ fn create_refuses_to_clobber() {
     assert!(DurableTmd::create(&dir, cs.tmd).is_err());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The membership log (journaled `Reconfig` records) survives both
+/// checkpoint pruning — via the membership sidecar written before the
+/// prune — and plain reopen via the WAL scan, deduped by LSN.
+#[test]
+fn membership_log_survives_checkpoint_pruning_and_reopen() {
+    use mvolap_durable::WalRecord;
+
+    let dir = tmp("membership");
+    let cs = case_study::case_study();
+    let opts = mvolap_durable::Options {
+        // Tiny segments so the checkpoint's prune actually drops the
+        // segment holding the reconfig frame.
+        segment_bytes: 128,
+        policy: mvolap_durable::CheckpointPolicy::manual(),
+        prune_on_checkpoint: true,
+    };
+    let mut store = DurableTmd::create_with(
+        &dir,
+        cs.tmd.clone(),
+        opts.clone(),
+        mvolap_durable::Io::plain(),
+    )
+    .unwrap();
+    store
+        .append_facts(vec![FactRow {
+            coords: vec![cs.brian],
+            at: Instant::ym(2003, 7),
+            values: vec![10.0],
+        }])
+        .unwrap();
+    let l_add = store
+        .apply(WalRecord::Reconfig {
+            epoch: 1,
+            add: true,
+            member: "m3".into(),
+            addr: "127.0.0.1:9001".into(),
+        })
+        .unwrap();
+    // Enough appends to rotate the segment holding the add out of the
+    // active position, so the checkpoint's prune can drop it.
+    for month in 1..=10 {
+        store
+            .append_facts(vec![FactRow {
+                coords: vec![cs.paul],
+                at: Instant::ym(2004, month),
+                values: vec![20.0],
+            }])
+            .unwrap();
+    }
+    // The checkpoint prunes the WAL frames holding the add; only the
+    // sidecar remembers it now.
+    store.checkpoint().unwrap();
+    assert!(
+        store.oldest_lsn().unwrap() > l_add,
+        "checkpoint should have pruned the reconfig frame"
+    );
+    let l_remove = store
+        .apply(WalRecord::Reconfig {
+            epoch: 2,
+            add: false,
+            member: "m1".into(),
+            addr: String::new(),
+        })
+        .unwrap();
+    let in_memory = store.membership_log().to_vec();
+    drop(store);
+
+    let reopened = DurableTmd::open_with(&dir, opts, mvolap_durable::Io::plain()).unwrap();
+    let log = reopened.membership_log();
+    assert_eq!(log, &in_memory[..], "reopen must rebuild the same log");
+    assert_eq!(log.len(), 2);
+    assert_eq!(
+        (log[0].lsn, log[0].add, log[0].member.as_str()),
+        (l_add, true, "m3")
+    );
+    assert_eq!(log[0].addr, "127.0.0.1:9001");
+    assert_eq!(
+        (log[1].lsn, log[1].add, log[1].member.as_str()),
+        (l_remove, false, "m1")
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -51,6 +51,25 @@ impl Refusal {
     }
 }
 
+/// An in-progress chunked snapshot transfer: the image identity
+/// (`next_lsn`, `total`, `total_bytes`) plus the contiguous prefix of
+/// chunks received so far. Mirrored to a spill file in the follower's
+/// directory so a crashed joiner resumes from its last durable chunk
+/// instead of restarting the transfer.
+#[derive(Debug)]
+struct SnapAssembly {
+    next_lsn: u64,
+    total: u64,
+    total_bytes: u64,
+    received: u64,
+    bytes: Vec<u8>,
+}
+
+/// Spill file name (inside the follower directory) for a partial
+/// chunked snapshot.
+const SNAP_SPILL: &str = "snap-partial";
+const SNAP_MAGIC: &str = "mvolap-snap v1";
+
 /// A follower node. Owns (or will own, once bootstrapped) a
 /// [`DurableTmd`] under its own directory; applies [`ReplicaMsg`]s and
 /// produces the replies the protocol calls for.
@@ -70,6 +89,8 @@ pub struct Follower {
     /// The vote this member has cast: `(epoch, candidate)`. At most
     /// one candidate per epoch — the guarantee elections build on.
     voted: Option<(u64, String)>,
+    /// Chunked snapshot transfer in progress, if any.
+    snap: Option<SnapAssembly>,
 }
 
 impl Follower {
@@ -92,6 +113,7 @@ impl Follower {
             epoch: 0,
             refusal: None,
             voted: None,
+            snap: None,
         }
     }
 
@@ -115,11 +137,11 @@ impl Follower {
     ) -> Result<Follower, ReplicaError> {
         let name = name.into();
         let dir = dir.into();
-        match DurableTmd::open_with(&dir, opts.clone(), io) {
+        let mut follower = match DurableTmd::open_with(&dir, opts.clone(), io) {
             Ok(store) => {
                 let oldest = store.oldest_lsn()?;
                 let last_crc = store.tail(oldest)?.last().map_or(0, |f| f.crc);
-                Ok(Follower {
+                Follower {
                     name,
                     dir,
                     opts,
@@ -129,11 +151,17 @@ impl Follower {
                     epoch: 0,
                     refusal: None,
                     voted: None,
-                })
+                    snap: None,
+                }
             }
-            Err(DurableError::NoStore) => Ok(Follower::create(name, dir, opts, Io::plain())),
-            Err(e) => Err(e.into()),
-        }
+            Err(DurableError::NoStore) => Follower::create(name, dir, opts, Io::plain()),
+            Err(e) => return Err(e.into()),
+        };
+        // A crashed joiner resumes its chunked snapshot from the spill
+        // file — unless the store already covers the image.
+        follower.snap =
+            Self::spill_load(&follower.dir).filter(|a| a.next_lsn > follower.next_lsn());
+        Ok(follower)
     }
 
     /// Node name.
@@ -251,6 +279,29 @@ impl Follower {
                     return Err(r.to_error());
                 }
                 self.install_snapshot(next_lsn, &snapshot)?;
+                Ok(Some(self.ack()))
+            }
+            ReplicaMsg::SnapChunk {
+                epoch,
+                next_lsn,
+                seq,
+                total,
+                total_bytes,
+                chunk,
+            } => {
+                self.check_epoch(epoch)?;
+                if let Some(r) = &self.refusal {
+                    return Err(r.to_error());
+                }
+                self.apply_snap_chunk(next_lsn, seq, total, total_bytes, &chunk)?;
+                Ok(Some(self.ack()))
+            }
+            ReplicaMsg::Reconfig { epoch, .. } => {
+                // Membership changes are decided by the quorum layer;
+                // a member just learns the epoch and acknowledges. A
+                // stale-epoch reconfiguration is fenced like any other
+                // stale write.
+                self.check_epoch(epoch)?;
                 Ok(Some(self.ack()))
             }
             ReplicaMsg::Promote { node, epoch } => {
@@ -452,6 +503,198 @@ impl Follower {
                 Err(err)
             }
             _ => Ok(()), // Matches, or pruned locally (unverifiable).
+        }
+    }
+
+    /// One chunk of a chunked snapshot transfer. Chunks must arrive in
+    /// sequence; duplicates below the received count are idempotent, a
+    /// gap or a chunk from a different image mid-assembly is a typed
+    /// protocol violation, and a byte count that disagrees with the
+    /// declared total (a lying chunk count) refuses and drops the
+    /// assembly. The final chunk installs the image.
+    fn apply_snap_chunk(
+        &mut self,
+        next_lsn: u64,
+        seq: u64,
+        total: u64,
+        total_bytes: u64,
+        chunk: &[u8],
+    ) -> Result<(), ReplicaError> {
+        if self.next_lsn() >= next_lsn {
+            // Already at or past the image; nothing to assemble.
+            self.drop_assembly()?;
+            return Ok(());
+        }
+        let mismatched = self.snap.as_ref().is_some_and(|a| {
+            (a.next_lsn, a.total, a.total_bytes) != (next_lsn, total, total_bytes)
+        });
+        if mismatched {
+            if seq == 0 {
+                // A fresh image supersedes the stale partial transfer.
+                self.drop_assembly()?;
+            } else {
+                return Err(ReplicaError::Protocol(format!(
+                    "snap chunk {seq} belongs to a different image than the assembly \
+                     in progress"
+                )));
+            }
+        }
+        if self.snap.is_none() {
+            if seq != 0 {
+                return Err(ReplicaError::Protocol(format!(
+                    "snap chunk {seq} without an assembly in progress; a resuming \
+                     sender must start from the acknowledged chunk count"
+                )));
+            }
+            let assembly = SnapAssembly {
+                next_lsn,
+                total,
+                total_bytes,
+                received: 0,
+                bytes: Vec::new(),
+            };
+            self.spill_start(&assembly)?;
+            self.snap = Some(assembly);
+        }
+        let a = self.snap.as_mut().expect("assembly exists past the guards");
+        if seq < a.received {
+            return Ok(()); // Duplicate of a chunk we hold: idempotent.
+        }
+        if seq > a.received {
+            return Err(ReplicaError::Protocol(format!(
+                "snap chunk gap: hold {} chunks, got chunk {seq}",
+                a.received
+            )));
+        }
+        if a.bytes.len() as u64 + chunk.len() as u64 > a.total_bytes {
+            let declared = a.total_bytes;
+            self.drop_assembly()?;
+            return Err(ReplicaError::Protocol(format!(
+                "snap chunks overflow the declared image of {declared} bytes"
+            )));
+        }
+        Self::spill_append(&self.dir, chunk)?;
+        a.bytes.extend_from_slice(chunk);
+        a.received += 1;
+        if a.received == a.total {
+            if a.bytes.len() as u64 != a.total_bytes {
+                let (got, declared) = (a.bytes.len(), a.total_bytes);
+                self.drop_assembly()?;
+                return Err(ReplicaError::Protocol(format!(
+                    "snapshot assembly complete at {got} bytes but the sender \
+                     declared {declared}: lying chunk count"
+                )));
+            }
+            let a = self.snap.take().expect("assembly present");
+            self.install_snapshot(a.next_lsn, &a.bytes)?;
+            // `install_snapshot` wiped the directory (spill included);
+            // make the no-op path equally clean.
+            self.drop_assembly()?;
+        }
+        Ok(())
+    }
+
+    /// How many chunks of the image identified by (`next_lsn`,
+    /// `total`, `total_bytes`) this follower already holds durably —
+    /// the index a resuming sender should ship next. 0 when no
+    /// matching assembly is in progress.
+    pub fn snap_resume(&self, next_lsn: u64, total: u64, total_bytes: u64) -> u64 {
+        self.snap
+            .as_ref()
+            .filter(|a| (a.next_lsn, a.total, a.total_bytes) == (next_lsn, total, total_bytes))
+            .map_or(0, |a| a.received)
+    }
+
+    fn spill_path(&self) -> PathBuf {
+        self.dir.join(SNAP_SPILL)
+    }
+
+    /// Starts (or restarts) the spill file for a new assembly: magic +
+    /// image identity header, chunks appended after it.
+    fn spill_start(&self, a: &SnapAssembly) -> Result<(), ReplicaError> {
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            std::fs::write(
+                self.spill_path(),
+                format!(
+                    "{SNAP_MAGIC} {} {} {}\n",
+                    a.next_lsn, a.total, a.total_bytes
+                ),
+            )
+        };
+        write().map_err(|e| DurableError::from(e).into())
+    }
+
+    /// Appends one length-prefixed chunk to the spill file.
+    fn spill_append(dir: &Path, chunk: &[u8]) -> Result<(), ReplicaError> {
+        let write = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join(SNAP_SPILL))?;
+            f.write_all(&(chunk.len() as u64).to_le_bytes())?;
+            f.write_all(chunk)?;
+            f.sync_data()
+        };
+        write().map_err(|e| DurableError::from(e).into())
+    }
+
+    /// Loads a partial assembly from the spill file. Tolerant: a
+    /// missing file, foreign magic or inconsistent header yields
+    /// `None`; a torn trailing chunk is truncated away so resumption
+    /// appends cleanly after the last complete chunk.
+    fn spill_load(dir: &Path) -> Option<SnapAssembly> {
+        let path = dir.join(SNAP_SPILL);
+        let data = std::fs::read(&path).ok()?;
+        let nl = data.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&data[..nl]).ok()?;
+        let mut toks = header.split(' ');
+        if (toks.next()?, toks.next()?) != ("mvolap-snap", "v1") {
+            return None;
+        }
+        let next_lsn: u64 = toks.next()?.parse().ok()?;
+        let total: u64 = toks.next()?.parse().ok()?;
+        let total_bytes: u64 = toks.next()?.parse().ok()?;
+        if toks.next().is_some() || total == 0 {
+            return None;
+        }
+        let mut bytes = Vec::new();
+        let mut received = 0u64;
+        let mut consumed = nl + 1;
+        while data.len() - consumed >= 8 {
+            let len = u64::from_le_bytes(data[consumed..consumed + 8].try_into().unwrap()) as usize;
+            if data.len() - consumed - 8 < len {
+                break; // Torn tail chunk: discard.
+            }
+            bytes.extend_from_slice(&data[consumed + 8..consumed + 8 + len]);
+            consumed += 8 + len;
+            received += 1;
+        }
+        if received == 0 || received > total || bytes.len() as u64 > total_bytes {
+            return None;
+        }
+        if consumed < data.len() {
+            // Cut the torn tail so the next append lands after the
+            // last complete chunk.
+            let f = std::fs::OpenOptions::new().write(true).open(&path).ok()?;
+            f.set_len(consumed as u64).ok()?;
+        }
+        Some(SnapAssembly {
+            next_lsn,
+            total,
+            total_bytes,
+            received,
+            bytes,
+        })
+    }
+
+    /// Abandons any in-progress assembly and removes its spill file.
+    fn drop_assembly(&mut self) -> Result<(), ReplicaError> {
+        self.snap = None;
+        match std::fs::remove_file(self.spill_path()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(DurableError::from(e).into()),
         }
     }
 

@@ -58,6 +58,40 @@ pub enum ReplicaMsg {
         /// Serialised schema snapshot.
         snapshot: Vec<u8>,
     },
+    /// Primary → follower: one chunk of a checkpoint snapshot, shipped
+    /// through the pump's batch envelope so a large image never
+    /// monopolises the in-flight window. Chunks are sequential
+    /// (`seq` in `0..total`); the follower reassembles, verifies the
+    /// byte count and installs once all `total` chunks arrived.
+    /// Resumable: a reconnecting pump asks the follower which chunk it
+    /// got up to and resumes there.
+    SnapChunk {
+        /// Current primary epoch.
+        epoch: u64,
+        /// LSN the follower resumes tailing from once installed.
+        next_lsn: u64,
+        /// This chunk's index, `0..total`.
+        seq: u64,
+        /// Total number of chunks in the image.
+        total: u64,
+        /// Total byte length of the reassembled image.
+        total_bytes: u64,
+        /// The chunk's bytes.
+        chunk: Vec<u8>,
+    },
+    /// Primary → member: a quorum-committed membership change notice.
+    /// Carries the same fields as the journaled `Reconfig` WAL record;
+    /// members learn group changes from it without replaying the log.
+    Reconfig {
+        /// Epoch the reconfiguration was issued under.
+        epoch: u64,
+        /// `true` = `member` joins, `false` = it leaves.
+        add: bool,
+        /// The member id joining or leaving.
+        member: String,
+        /// The member's read-server address (empty for removals).
+        addr: String,
+    },
     /// Follower → primary: durable up to (excluding) `next_lsn`.
     Ack {
         /// Follower node name.
@@ -140,6 +174,8 @@ impl ReplicaMsg {
             ReplicaMsg::Heartbeat { .. } => "heartbeat",
             ReplicaMsg::Frames { .. } => "frames",
             ReplicaMsg::Snapshot { .. } => "snapshot",
+            ReplicaMsg::SnapChunk { .. } => "snap",
+            ReplicaMsg::Reconfig { .. } => "reconfig",
             ReplicaMsg::Ack { .. } => "ack",
             ReplicaMsg::Promote { .. } => "promote",
             ReplicaMsg::Fence { .. } => "fence",
@@ -190,6 +226,34 @@ impl ReplicaMsg {
                 e.u64(*epoch);
                 e.u64(*next_lsn);
                 e.bytes(snapshot);
+            }
+            ReplicaMsg::SnapChunk {
+                epoch,
+                next_lsn,
+                seq,
+                total,
+                total_bytes,
+                chunk,
+            } => {
+                e.tok("snap");
+                e.u64(*epoch);
+                e.u64(*next_lsn);
+                e.u64(*seq);
+                e.u64(*total);
+                e.u64(*total_bytes);
+                e.bytes(chunk);
+            }
+            ReplicaMsg::Reconfig {
+                epoch,
+                add,
+                member,
+                addr,
+            } => {
+                e.tok("reconfig");
+                e.u64(*epoch);
+                e.tok(if *add { "add" } else { "remove" });
+                e.bytes(member.as_bytes());
+                e.bytes(addr.as_bytes());
             }
             ReplicaMsg::Ack {
                 node,
@@ -294,6 +358,53 @@ impl ReplicaMsg {
                 next_lsn: d.u64("snapshot next_lsn")?,
                 snapshot: d.bytes("snapshot body")?,
             },
+            "snap" => {
+                let epoch = d.u64("snap epoch")?;
+                let next_lsn = d.u64("snap next_lsn")?;
+                let seq = d.u64("snap seq")?;
+                let total = d.u64("snap total")?;
+                let total_bytes = d.u64("snap total_bytes")?;
+                let chunk = d.bytes("snap chunk")?;
+                // Structural sanity only; the follower enforces the
+                // assembly rules (ordering, byte-count honesty).
+                if total == 0 || seq >= total {
+                    return Err(ReplicaError::Protocol(format!(
+                        "snap chunk {seq} outside total {total}"
+                    )));
+                }
+                if chunk.len() as u64 > total_bytes {
+                    return Err(ReplicaError::Protocol(format!(
+                        "snap chunk of {} bytes exceeds declared image of {total_bytes}",
+                        chunk.len()
+                    )));
+                }
+                ReplicaMsg::SnapChunk {
+                    epoch,
+                    next_lsn,
+                    seq,
+                    total,
+                    total_bytes,
+                    chunk,
+                }
+            }
+            "reconfig" => {
+                let epoch = d.u64("reconfig epoch")?;
+                let add = match d.tok("reconfig direction")? {
+                    "add" => true,
+                    "remove" => false,
+                    t => {
+                        return Err(ReplicaError::Protocol(format!(
+                            "reconfig direction: expected add|remove, got `{t}`"
+                        )))
+                    }
+                };
+                ReplicaMsg::Reconfig {
+                    epoch,
+                    add,
+                    member: d.name("reconfig member")?,
+                    addr: d.name("reconfig addr")?,
+                }
+            }
             "ack" => ReplicaMsg::Ack {
                 node: d.name("ack node")?,
                 epoch: d.u64("ack epoch")?,
@@ -564,6 +675,40 @@ mod tests {
             candidate: "member-b".into(),
             synced_lsn: 41,
         });
+        roundtrip(&ReplicaMsg::Reconfig {
+            epoch: 8,
+            add: true,
+            member: "m3".into(),
+            addr: "127.0.0.1:9001".into(),
+        });
+        roundtrip(&ReplicaMsg::Reconfig {
+            epoch: u64::MAX,
+            add: false,
+            member: "member with space".into(),
+            addr: String::new(),
+        });
+    }
+
+    #[test]
+    fn snap_chunks_roundtrip_binary_body() {
+        let body: Vec<u8> = (0..=255u8).collect();
+        roundtrip(&ReplicaMsg::SnapChunk {
+            epoch: 4,
+            next_lsn: 99,
+            seq: 2,
+            total: 7,
+            total_bytes: 1 << 20,
+            chunk: body,
+        });
+        // Empty chunk (a zero-byte image ships as one empty chunk).
+        roundtrip(&ReplicaMsg::SnapChunk {
+            epoch: 1,
+            next_lsn: 5,
+            seq: 0,
+            total: 1,
+            total_bytes: 0,
+            chunk: vec![],
+        });
     }
 
     #[test]
@@ -624,5 +769,17 @@ mod tests {
         assert!(ReplicaMsg::decode(b"votereq m notanint 3").is_err());
         assert!(ReplicaMsg::decode(b"vote m 1 c").is_err());
         assert!(ReplicaMsg::decode(b"vote \\xff 1 c 3").is_err());
+        // Snap chunks: truncated, seq outside total, zero total, chunk
+        // longer than the declared image, trailing garbage.
+        assert!(ReplicaMsg::decode(b"snap 1 2 0 1").is_err());
+        assert!(ReplicaMsg::decode(b"snap 1 2 3 3 10 \\0").is_err());
+        assert!(ReplicaMsg::decode(b"snap 1 2 0 0 10 \\0").is_err());
+        assert!(ReplicaMsg::decode(b"snap 1 2 0 1 2 abc").is_err());
+        assert!(ReplicaMsg::decode(b"snap 1 2 0 1 3 abc extra").is_err());
+        // Reconfig: bad direction, truncation, trailing garbage.
+        assert!(ReplicaMsg::decode(b"reconfig 1 sideways m \\0").is_err());
+        assert!(ReplicaMsg::decode(b"reconfig 1 add m").is_err());
+        assert!(ReplicaMsg::decode(b"reconfig 1 add m \\0 extra").is_err());
+        assert!(ReplicaMsg::decode(b"reconfig notanint add m \\0").is_err());
     }
 }

@@ -25,6 +25,13 @@
 //! * oversized inner frame count      → `Protocol`
 //! * lying outer batch count          → `Protocol`
 //!
+//! and for the membership wire records (`snap` / `reconfig`):
+//!
+//! * truncated `snap` chunk           → `Protocol`
+//! * lying chunk count                → `Protocol` (assembly dropped)
+//! * stale-epoch reconfig             → `Fenced`
+//! * unexpected chunk at a server     → typed `err` (server survives)
+//!
 //! Named `net_*` so CI's network job runs exactly this surface.
 
 use std::io::{Read, Write};
@@ -486,4 +493,110 @@ fn net_batched_frame_envelope_rejects_truncated_and_oversized_inners() {
             String::from_utf8_lossy(envelope)
         );
     }
+}
+
+/// The membership wire records: truncated `snap` chunks and malformed
+/// `reconfig` records die in the decoder as typed `Protocol` errors; a
+/// reassembly whose bytes do not add up to the declared image size (a
+/// lying chunk count) is refused and the assembly dropped; a
+/// stale-epoch reconfig is fenced; and a server that receives a chunk
+/// it never asked for answers with a typed `err` frame and survives.
+#[test]
+fn net_snap_chunk_and_reconfig_rows_are_typed_refusals() {
+    // Decoder rows: truncations and structural lies, also wrapped in
+    // the pump's batch envelope (the only way these ship for real).
+    let rows = [
+        "snap",                      // bare tag
+        "snap 1",                    // epoch only
+        "snap 1 2 0 1",              // no byte count, no chunk
+        "snap 1 2 0 1 3",            // no chunk payload
+        "snap 1 2 3 3 10 abc",       // seq outside total
+        "snap 1 2 0 0 10 abc",       // zero total
+        "snap 1 2 0 1 2 abc",        // chunk larger than declared image
+        "snap 1 2 0 1 3 abc extra",  // trailing garbage
+        "reconfig",                  // bare tag
+        "reconfig 1 add m3",         // no address
+        "reconfig 1 sideways m3 a",  // unknown direction
+        "reconfig notanint add m a", // non-numeric epoch
+    ];
+    for row in rows {
+        assert!(
+            matches!(
+                ReplicaMsg::decode(row.as_bytes()),
+                Err(ReplicaError::Protocol(_))
+            ),
+            "row {row:?} was not a typed protocol error"
+        );
+        let enveloped = format!("batch 1 {}", esc_bytes(row.as_bytes())).into_bytes();
+        assert!(
+            matches!(decode_batch(&enveloped), Err(ReplicaError::Protocol(_))),
+            "enveloped row {row:?} was not a typed protocol error"
+        );
+    }
+
+    // Lying chunk count: both chunks arrive and the sequence is
+    // complete, but the bytes do not add up to the declared image
+    // size. The follower refuses with a typed `Protocol` error, drops
+    // the assembly, and accepts a fresh (honest) restart at seq 0.
+    let base = tmp("snapfuzz");
+    let mut f = Follower::create("f1", base.join("f"), opts(), Io::plain());
+    let chunk = |seq: u64, total_bytes: u64, body: &[u8]| ReplicaMsg::SnapChunk {
+        epoch: 0,
+        next_lsn: 9,
+        seq,
+        total: 2,
+        total_bytes,
+        chunk: body.to_vec(),
+    };
+    f.handle(chunk(0, 10, b"abc"))
+        .expect("first chunk accepted");
+    match f.handle(chunk(1, 10, b"def")) {
+        Err(ReplicaError::Protocol(m)) => assert!(m.contains("lying"), "{m}"),
+        other => panic!("lying chunk count accepted: {other:?}"),
+    }
+    // The poisoned assembly is gone: a continuation is refused as an
+    // out-of-order start, not resumed.
+    match f.handle(chunk(1, 6, b"def")) {
+        Err(ReplicaError::Protocol(_)) => {}
+        other => panic!("continuation after drop accepted: {other:?}"),
+    }
+
+    // Stale-epoch reconfig: a follower fenced at epoch 3 refuses an
+    // epoch-1 reconfig with the typed `Fenced`, like any stale write.
+    f.handle(ReplicaMsg::Fence { epoch: 3 }).unwrap();
+    match f.handle(ReplicaMsg::Reconfig {
+        epoch: 1,
+        add: true,
+        member: "m9".into(),
+        addr: "tcp:127.0.0.1:0".into(),
+    }) {
+        Err(ReplicaError::Fenced { epoch }) => assert_eq!(epoch, 3),
+        other => panic!("stale-epoch reconfig accepted: {other:?}"),
+    }
+
+    // A chunk the server never asked for: answered with a typed `err`
+    // frame — no hang, and the next client is served normally.
+    let cs = case_study::case_study();
+    let store = DurableTmd::create_with(&base.join("p"), cs.tmd, opts(), Io::plain()).unwrap();
+    let primary = Arc::new(Mutex::new(PrimaryNode::from_store("primary", store, 0)));
+    let server = ReplicaServer::spawn(
+        &NetAddr::Tcp("127.0.0.1:0".into()),
+        primary,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut rogue = NetClient::connect(server.addr().clone(), strict_cfg());
+    let reply = rogue
+        .rpc(&chunk(0, 3, b"abc").encode())
+        .expect("the refusal must be a clean frame");
+    let reply_text = String::from_utf8(reply).unwrap();
+    assert!(reply_text.starts_with("err "), "{reply_text}");
+
+    let mut client = NetClient::connect(server.addr().clone(), strict_cfg());
+    let replies = client.request(&hello()).unwrap();
+    assert!(
+        matches!(replies.first(), Some(ReplicaMsg::Heartbeat { .. })),
+        "{replies:?}"
+    );
+    std::fs::remove_dir_all(&base).ok();
 }

@@ -65,9 +65,12 @@ pub struct FleetMember {
 }
 
 /// Read routing across a remote fleet: per-member staleness bounds
-/// derived from the quorum acks the primary already collects.
+/// derived from the quorum acks the primary already collects. The
+/// member list is shared and mutable so a live membership change
+/// re-routes reads immediately — a removed member stops being
+/// consulted the moment it leaves, a promoted joiner starts serving.
 struct FleetRouting {
-    members: Vec<FleetMember>,
+    members: Arc<Mutex<Vec<FleetMember>>>,
     net: NetConfig,
 }
 
@@ -177,6 +180,7 @@ pub struct SessionServer {
     addr: NetAddr,
     commit: GroupCommit,
     follower: Option<Arc<Mutex<Follower>>>,
+    fleet: Option<Arc<Mutex<Vec<FleetMember>>>>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
 }
@@ -241,7 +245,7 @@ impl SessionServer {
             commit,
             None,
             Some(FleetRouting {
-                members: fleet,
+                members: Arc::new(Mutex::new(fleet)),
                 net,
             }),
             opts,
@@ -259,6 +263,7 @@ impl SessionServer {
             .map_err(|e| ServerError::Transport(mvolap_replica::ReplicaError::from_io(&e)))?;
         let addr = listener.local_addr().clone();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let fleet_handle = fleet.as_ref().map(|f| Arc::clone(&f.members));
         let ctx = Arc::new(SessionCtx {
             commit: commit.clone(),
             follower: follower.clone(),
@@ -279,9 +284,39 @@ impl SessionServer {
             addr,
             commit,
             follower,
+            fleet: fleet_handle,
             shutdown,
             accept: Some(accept),
         })
+    }
+
+    /// Adds (or re-addresses) a fleet member on a live fleet-routing
+    /// server: `read` requests start considering it immediately.
+    /// Returns `false` on a server spawned without a fleet.
+    pub fn add_fleet_member(&self, member: FleetMember) -> bool {
+        let Some(fleet) = &self.fleet else {
+            return false;
+        };
+        let mut members = lock(fleet);
+        if let Some(m) = members.iter_mut().find(|m| m.name == member.name) {
+            m.addr = member.addr;
+        } else {
+            members.push(member);
+        }
+        true
+    }
+
+    /// Drops a fleet member from read routing: the next `read` no
+    /// longer consults it, even when it was the freshest. Returns
+    /// whether the member was present.
+    pub fn remove_fleet_member(&self, name: &str) -> bool {
+        let Some(fleet) = &self.fleet else {
+            return false;
+        };
+        let mut members = lock(fleet);
+        let before = members.len();
+        members.retain(|m| m.name != name);
+        members.len() != before
     }
 
     /// The bound address (with the OS-chosen port for `addr:0` binds).
@@ -496,8 +531,12 @@ fn fleet_read(ctx: &SessionCtx, fleet: &FleetRouting, min_lsn: u64, text: &str) 
             .find(|(n, _)| n == name)
             .map_or(0, |(_, p)| p.saturating_sub(1))
     };
+    // Snapshot the member list: membership can change under a live
+    // server, and the forwarding round-trip below must not hold the
+    // list lock.
+    let members: Vec<FleetMember> = lock(&fleet.members).clone();
     let mut best: Option<(&FleetMember, u64)> = None;
-    for m in &fleet.members {
+    for m in &members {
         let acked = acked_of(&m.name);
         if best.is_none_or(|(b, p)| (acked, m.name.as_str()) > (p, b.name.as_str())) {
             best = Some((m, acked));

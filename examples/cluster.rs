@@ -16,6 +16,12 @@
 //!    to the freshest member and answers byte-identically to the
 //!    primary; an unsatisfiable bound is refused with `TooStale`
 //!    naming the member consulted.
+//! 4. **Live membership.** A fourth member joins as a non-voting
+//!    learner, catches up through its pump, and is promoted to voter
+//!    exactly when its synced LSN reaches the quorum watermark; an
+//!    overlapping change is refused with the typed in-flight error;
+//!    removal shrinks the voting group immediately and commits keep
+//!    flowing under the new majority.
 //!
 //! ```text
 //! cargo run --example cluster
@@ -141,6 +147,38 @@ fn main() {
         }
         other => panic!("expected TooStale with a member name, got {other:?}"),
     }
+
+    // 4. Live membership: journal an add, watch the learner catch up
+    //    through its own pump, and see it promoted at the watermark.
+    let join_lsn = cluster.join("m3", &loopback).expect("join journaled");
+    println!("\njoin m3 journaled at LSN {join_lsn}; m3 is a learner");
+    match cluster.join("m4", &loopback) {
+        Err(ServerError::Commit(msg)) => {
+            println!("overlapping change refused: {msg}");
+        }
+        other => panic!("expected the in-flight refusal, got {other:?}"),
+    }
+    let promoted = cluster
+        .await_membership(std::time::Duration::from_secs(10))
+        .expect("learner catches up");
+    assert_eq!(promoted, "m3", "the joined member is the one promoted");
+    for (name, learner) in cluster.membership() {
+        println!(
+            "  member {name}: {}",
+            if learner { "learner" } else { "voter" }
+        );
+    }
+    let lsn4 = client.commit(&record(3, 75.0)).expect("commit, 4 voters");
+    println!("commit under the grown group acked at LSN {lsn4}");
+
+    // Remove it again: the voting group shrinks at the record's LSN
+    // and the next commit quorums under the smaller majority.
+    cluster.leave("m3").expect("leave journaled");
+    cluster
+        .await_membership(std::time::Duration::from_secs(10))
+        .expect("removal quorum-commits");
+    let lsn3 = client.commit(&record(4, 33.0)).expect("commit, 3 voters");
+    println!("m3 removed; commit under the shrunk group acked at LSN {lsn3}");
 
     drop(cluster);
     std::fs::remove_dir_all(&base).ok();

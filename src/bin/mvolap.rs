@@ -506,7 +506,8 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
     group.spawn_pumps(PumpConfig::default());
     println!(
         "mvolap — quorum group under `{dir}`: primary on {} ({} members, quorum {}/{}, \
-         async replication). `quit` or EOF stops.",
+         async replication). \\join NAME=ADDR, \\leave NAME, \\status, \\pump; `quit` or \
+         EOF stops.",
         group.primary_addr(),
         members.len(),
         members.len() / 2 + 1,
@@ -525,6 +526,66 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
             Ok(_) if line.trim() == "quit" => break,
             Ok(_) => {}
         }
+        let line = line.trim().to_string();
+        if let Some(rest) = line.strip_prefix("\\join ") {
+            let Some((name, maddr)) = rest.trim().split_once('=') else {
+                println!("usage: \\join NAME=ADDR");
+                continue;
+            };
+            let maddr = match NetAddr::parse(maddr) {
+                Ok(a) => a,
+                Err(e) => {
+                    println!("bad address `{maddr}`: {e}");
+                    continue;
+                }
+            };
+            match group.join(name, &maddr) {
+                Ok(lsn) => {
+                    println!("joining `{name}` (reconfig journaled at LSN {lsn}); catching up…");
+                    match group.await_membership(std::time::Duration::from_secs(30)) {
+                        Ok(n) => println!("member `{n}` caught up and was promoted to voter"),
+                        Err(e) => println!("join stalled: {e}"),
+                    }
+                }
+                Err(e) => println!("join refused: {e}"),
+            }
+        } else if let Some(rest) = line.strip_prefix("\\leave ") {
+            let name = rest.trim();
+            match group.leave(name) {
+                Ok(lsn) => {
+                    println!("removing `{name}` (reconfig journaled at LSN {lsn})…");
+                    match group.await_membership(std::time::Duration::from_secs(30)) {
+                        Ok(n) => println!("member `{n}` removed; reads re-routed"),
+                        Err(e) => println!("remove stalled: {e}"),
+                    }
+                }
+                Err(e) => println!("leave refused: {e}"),
+            }
+        } else if line == "\\status" {
+            for (name, learner) in group.membership() {
+                let role = if learner { "learner" } else { "voter" };
+                println!("  {name}: {role}");
+            }
+            for (name, st) in group.pump_status() {
+                println!(
+                    "  pump {name}: {:?} acked={} requests={} snapshots={} stalls={}",
+                    st.state, st.acked_lsn, st.requests, st.snapshots, st.stalls
+                );
+            }
+        } else if line == "\\pump" {
+            // One explicit shipping round: each member's slot reports
+            // success (its applied LSN) or exactly why it stalled or
+            // was fenced — the threads keep running regardless.
+            for (name, round) in group.pump() {
+                match round {
+                    Ok(applied) => println!("  {name}: ok, applied through LSN {applied}"),
+                    Err(e) => println!("  {name}: stalled — {e}"),
+                }
+            }
+        } else if !line.is_empty() {
+            println!("commands: \\join NAME=ADDR, \\leave NAME, \\status, \\pump, quit");
+        }
+        std::io::stdout().flush().ok();
     }
     group.stop();
     println!("mvolap: cluster on {addr} stopped");
