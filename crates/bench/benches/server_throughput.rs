@@ -10,6 +10,14 @@
 //! throughput scales *super*-linearly per-fsync because concurrent
 //! committers coalesce into shared batches — the N-session run should
 //! show strictly fewer fsyncs per commit than the single-session run.
+//!
+//! A second sweep pits the pooled poll-loop server against the legacy
+//! thread-per-session baseline (`workers: 0`) under the same
+//! concurrent query load, with [`IDLE_SESSIONS`] extra connections
+//! held open but idle throughout — the scenario the pool exists for.
+//! CI gates on the resulting keys: `queries_per_sec_pool_4` must not
+//! fall below the baseline recorded in the same run.
+//!
 //! Emits `BENCH_server.json` at the workspace root.
 
 use mvolap_bench::harness::{BenchmarkId, Criterion, Throughput};
@@ -23,6 +31,8 @@ use mvolap_temporal::Instant;
 const OPS: usize = 8;
 /// Session count for the concurrent variants.
 const SESSIONS: usize = 4;
+/// Idle connections held open during the pool-versus-baseline sweep.
+const IDLE_SESSIONS: usize = 64;
 
 const QUERY: &str = "SELECT sum(Amount) BY year, Org.Division FOR 2001..2003 IN MODE tcm";
 
@@ -94,6 +104,59 @@ fn bench_commits(
     group.finish();
 }
 
+/// The pool-versus-baseline sweep leg: a fresh server over its own
+/// store with the given worker count (`0` = legacy thread per
+/// session), [`IDLE_SESSIONS`] idle clients parked on it for the whole
+/// measurement, and [`SESSIONS`] concurrent query sessions timed.
+fn bench_pool(c: &mut Criterion, workers: usize) {
+    let dir = std::env::temp_dir().join(format!(
+        "mvolap_bench_srv_{}_w{workers}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let cs = case_study::case_study();
+    let store =
+        DurableTmd::create_with(&dir, cs.tmd, Options::default(), Io::plain()).expect("store");
+    let commit = GroupCommit::new(store, GroupConfig::default());
+    let mut server = SessionServer::spawn(
+        &NetAddr::parse("127.0.0.1:0").expect("addr"),
+        commit,
+        ServerOptions {
+            workers,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server");
+    let addr = server.addr().clone();
+
+    // Park the idle fleet: connect, prove liveness with one ping, then
+    // hold the socket open across the whole measurement. Under the
+    // baseline each of these costs a server thread; under the pool
+    // they are polled file descriptors.
+    let mut idle: Vec<SessionClient> = (0..IDLE_SESSIONS)
+        .map(|_| SessionClient::connect(addr.clone(), NetConfig::default()))
+        .collect();
+    for client in &mut idle {
+        client.ping().expect("idle ping");
+    }
+
+    let mut group = c.benchmark_group("server/pool_queries");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((SESSIONS * OPS) as u64));
+    group.bench_with_input(BenchmarkId::new("workers", workers), &addr, |b, addr| {
+        b.iter(|| {
+            run_sessions(addr, SESSIONS, |client, _| {
+                client.query(QUERY).expect("query");
+            });
+        })
+    });
+    group.finish();
+
+    drop(idle);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Fsyncs-per-commit over a benchmark run, from the journal counters.
 fn fsync_ratio(group: &GroupCommit, before: (u64, u64)) -> f64 {
     let commits = group.wal_position() - before.1;
@@ -130,6 +193,10 @@ fn main() {
     let mark = (group.fsyncs(), group.wal_position());
     bench_commits(&mut c, &addr, leaf, SESSIONS);
     let fsyncs_per_commit_n = fsync_ratio(&group, mark);
+
+    for workers in [0, 1, 4] {
+        bench_pool(&mut c, workers);
+    }
     c.final_summary();
 
     let host_cpus = std::thread::available_parallelism()
@@ -147,10 +214,18 @@ fn main() {
     let qn = per_sec(&format!("queries/sessions/{SESSIONS}"), SESSIONS);
     let c1 = per_sec("commits/sessions/1", 1);
     let cn = per_sec(&format!("commits/sessions/{SESSIONS}"), SESSIONS);
+    let pool = |workers: usize| per_sec(&format!("pool_queries/workers/{workers}"), SESSIONS);
+    let baseline = pool(0);
+    let pool_1 = pool(1);
+    let pool_4 = pool(4);
     eprintln!(
         "queries/s: {q1:.0} (1 session) -> {qn:.0} ({SESSIONS} sessions); \
          commits/s: {c1:.0} -> {cn:.0}; \
          fsyncs/commit: {fsyncs_per_commit_1:.2} -> {fsyncs_per_commit_n:.2}"
+    );
+    eprintln!(
+        "pool sweep ({IDLE_SESSIONS} idle sessions held): \
+         baseline {baseline:.0} q/s, pool(1) {pool_1:.0} q/s, pool(4) {pool_4:.0} q/s"
     );
 
     let json = format!(
@@ -158,6 +233,10 @@ fn main() {
          \"ops_per_session\": {OPS},\n  \
          \"queries_per_sec_1\": {q1:.1},\n  \"queries_per_sec_n\": {qn:.1},\n  \
          \"commits_per_sec_1\": {c1:.1},\n  \"commits_per_sec_n\": {cn:.1},\n  \
+         \"queries_per_sec_baseline\": {baseline:.1},\n  \
+         \"queries_per_sec_pool_1\": {pool_1:.1},\n  \
+         \"queries_per_sec_pool_4\": {pool_4:.1},\n  \
+         \"sessions_held_idle\": {IDLE_SESSIONS},\n  \
          \"fsyncs_per_commit_1\": {fsyncs_per_commit_1:.3},\n  \
          \"fsyncs_per_commit_n\": {fsyncs_per_commit_n:.3},\n  \"results\": {}\n}}\n",
         c.to_json()

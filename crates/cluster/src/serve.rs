@@ -390,6 +390,16 @@ impl LocalCluster {
         self.pump_tracker.all()
     }
 
+    /// A snapshot of the primary session server's pool counters —
+    /// occupancy (active / queued / parked sessions), lifetime served /
+    /// refused / forwarded totals and per-shard memo hits. This is the
+    /// fleet's front door: `forwarded` counts the queries the primary
+    /// spread onto member read servers.
+    #[must_use]
+    pub fn primary_stats(&self) -> mvolap_server::PoolStats {
+        self.primary.pool_stats()
+    }
+
     /// One replication round, caller-driven: ships the primary's tail
     /// to **every** member and reports each healthy member's applied
     /// position into the quorum tracker, releasing any commit waiting

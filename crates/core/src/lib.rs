@@ -79,7 +79,7 @@ pub use mapping::{
     MappingFunction, MappingGraph, MappingRelationship, MeasureMapping, RouteDirection,
 };
 pub use member::{MemberVersion, MemberVersionSpec};
-pub use memo::{MemoStats, QueryMemo};
+pub use memo::{MemoStats, QueryMemo, ShardedMemo};
 pub use multiversion::{
     present, present_par, DeltaMvft, MultiVersionFactTable, MvCell, MvRow, PresentedFacts,
 };

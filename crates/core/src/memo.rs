@@ -136,6 +136,60 @@ impl QueryMemo {
     }
 }
 
+/// Session-affine sharding over [`QueryMemo`]: a hash of the session
+/// id picks the shard, so workers serving different sessions stop
+/// contending on one memo's locks while one session's repeated lookups
+/// keep landing on the same warm shard. Each shard invalidates
+/// independently on the schema generation, exactly like a lone
+/// [`QueryMemo`] — sharding changes contention, never answers.
+#[derive(Debug)]
+pub struct ShardedMemo {
+    shards: Vec<Arc<QueryMemo>>,
+}
+
+impl ShardedMemo {
+    /// `shards` independent memos (clamped to at least one).
+    #[must_use]
+    pub fn new(shards: usize) -> ShardedMemo {
+        ShardedMemo {
+            shards: (0..shards.max(1)).map(|_| QueryMemo::shared()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `session` — stable for the session's lifetime.
+    /// Fibonacci hashing spreads consecutive session ids across shards
+    /// instead of clustering them on `id % n`.
+    #[must_use]
+    pub fn for_session(&self, session: u64) -> &Arc<QueryMemo> {
+        let spread = session.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(spread % self.shards.len() as u64) as usize]
+    }
+
+    /// Per-shard lifetime hit/miss counters, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<MemoStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Counters summed across every shard.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        self.shards
+            .iter()
+            .map(|s| s.stats())
+            .fold(MemoStats::default(), |acc, s| MemoStats {
+                routes: acc.routes + s.routes,
+                ancestors: acc.ancestors + s.ancestors,
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +249,49 @@ mod tests {
             Vec::new()
         });
         assert!(recomputed.get());
+    }
+
+    #[test]
+    fn sharded_memo_is_session_stable_and_aggregates_stats() {
+        let cs = case_study();
+        let memo = ShardedMemo::new(4);
+        assert_eq!(memo.shard_count(), 4);
+        // Same session → same shard, every time.
+        for session in 0..64u64 {
+            assert!(Arc::ptr_eq(
+                memo.for_session(session),
+                memo.for_session(session)
+            ));
+        }
+        // Consecutive session ids land on more than one shard.
+        let distinct = (0..64u64)
+            .map(|s| memo.for_session(s).as_ref() as *const QueryMemo as usize)
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "sessions must spread across shards");
+
+        // Stats aggregate across shards: one miss + one hit on a
+        // single session's shard is visible in the fleet-wide sum.
+        let key = (DimensionId(0), MemberVersionId(0), StructureVersionId(0));
+        memo.for_session(7).routes(&cs.tmd, key, Vec::new);
+        memo.for_session(7)
+            .routes(&cs.tmd, key, || panic!("cached"));
+        let total = memo.stats();
+        assert_eq!(total.routes, CacheStats { hits: 1, misses: 1 });
+        let per_shard = memo.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(
+            per_shard
+                .iter()
+                .map(|s| s.routes.hits + s.routes.misses)
+                .sum::<u64>(),
+            2
+        );
+    }
+
+    #[test]
+    fn sharded_memo_clamps_to_one_shard() {
+        let memo = ShardedMemo::new(0);
+        assert_eq!(memo.shard_count(), 1);
+        assert!(Arc::ptr_eq(memo.for_session(1), memo.for_session(99)));
     }
 }

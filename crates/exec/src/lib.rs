@@ -217,6 +217,25 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    /// Counter-wise sum — aggregating the shards of a sharded cache
+    /// into one fleet-wide view.
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
 struct GenCacheInner<K, V> {
     generation: u64,
     map: HashMap<K, Arc<V>>,

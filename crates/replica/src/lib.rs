@@ -63,8 +63,8 @@ pub use error::{ReplicaError, TransportError};
 pub use follower::Follower;
 pub use net::{
     accept_loop, decode_batch, encode_batch, read_frame, stop_listener, sync_follower, write_frame,
-    FaultProxy, MsgRouter, NetAddr, NetClient, NetConfig, NetListener, NetStream, ProxyFault,
-    ReplicaServer, ServerConfig, SyncRound, TcpTransport,
+    FaultProxy, FrameReader, MsgRouter, NetAddr, NetClient, NetConfig, NetListener, NetStream,
+    ProxyFault, ReplicaServer, ServerConfig, SyncRound, TcpTransport,
 };
 pub use record::{esc_bytes, unesc_bytes, ReplicaMsg};
 pub use set::{LinkState, PrimaryNode, ReplicaConfig, ReplicaSet, SetStats, TickEvent};

@@ -167,7 +167,15 @@ impl NetStream {
         Ok(s)
     }
 
-    fn set_timeouts(&self, read_ms: u64, write_ms: u64) -> std::io::Result<()> {
+    /// Applies socket read/write timeouts (`0` disables one). They
+    /// only govern *blocking* I/O — a connection parked non-blocking in
+    /// a poll loop keeps them as latent socket options until a worker
+    /// checks it back out with [`NetStream::set_nonblocking`]`(false)`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `setsockopt` failure.
+    pub fn set_timeouts(&self, read_ms: u64, write_ms: u64) -> std::io::Result<()> {
         match self {
             NetStream::Tcp(t) => {
                 t.set_read_timeout(opt_ms(read_ms))?;
@@ -181,7 +189,15 @@ impl NetStream {
         }
     }
 
-    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+    /// Switches the socket between blocking and non-blocking mode.
+    /// Public so a session poll loop can park accepted connections
+    /// non-blocking (reads via [`FrameReader`]) and hand them back to
+    /// blocking workers for the reply write.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `fcntl`/`ioctl` failure.
+    pub fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
         match self {
             NetStream::Tcp(t) => t.set_nonblocking(nb),
             #[cfg(unix)]
@@ -343,6 +359,84 @@ pub fn read_frame(s: &mut NetStream) -> Result<Vec<u8>, ReplicaError> {
         ));
     }
     Ok(payload)
+}
+
+/// Incremental CRC-frame reader for a connection parked in
+/// *non-blocking* mode: bytes accumulate across [`FrameReader::poll`]
+/// calls until one full `[len][crc][payload]` frame is buffered, so a
+/// poll loop can multiplex thousands of mostly-idle connections without
+/// dedicating a blocked thread (or a blocked `read_frame`) to each.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader (no partial frame buffered).
+    #[must_use]
+    pub fn new() -> FrameReader {
+        FrameReader { buf: Vec::new() }
+    }
+
+    /// Bytes of the partial frame currently buffered — diagnostics.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// One poll: drains whatever the non-blocking socket has and
+    /// returns the next complete frame payload, or `Ok(None)` when no
+    /// full frame has arrived yet (the connection stays parked).
+    /// Pipelined frames are returned one per call, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Transport`] when the peer closed or the socket
+    /// failed mid-read, [`ReplicaError::Protocol`] on an oversized
+    /// length field or a checksum mismatch. Either way the connection
+    /// is unusable and should be dropped.
+    pub fn poll(&mut self, s: &mut NetStream) -> Result<Option<Vec<u8>>, ReplicaError> {
+        loop {
+            if let Some(payload) = self.take_frame()? {
+                return Ok(Some(payload));
+            }
+            let mut chunk = [0u8; 4096];
+            match s.read(&mut chunk) {
+                Ok(0) => return Err(ReplicaError::Transport(TransportError::Lost)),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err(&e)),
+            }
+        }
+    }
+
+    /// Splits one complete frame off the front of the buffer, if the
+    /// header and payload have both fully arrived.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>, ReplicaError> {
+        if self.buf.len() < frame::HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        let sum = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
+        if len > frame::MAX_PAYLOAD {
+            return Err(ReplicaError::Protocol(format!(
+                "frame length {len} exceeds the {} cap",
+                frame::MAX_PAYLOAD
+            )));
+        }
+        if self.buf.len() < frame::HEADER + len {
+            return Ok(None);
+        }
+        let payload = self.buf[frame::HEADER..frame::HEADER + len].to_vec();
+        self.buf.drain(..frame::HEADER + len);
+        if crc32(&payload) != sum {
+            return Err(ReplicaError::protocol(
+                "frame checksum mismatch on the wire",
+            ));
+        }
+        Ok(Some(payload))
+    }
 }
 
 // ----------------------------------------------------------- envelopes

@@ -4,13 +4,23 @@
 //! once over the replication stack's transport (TCP or unix sockets,
 //! CRC-framed messages):
 //!
-//! - **Sessions.** One worker thread per connection, speaking the
-//!   typed request/reply grammar in [`proto`]: `query`, `read`,
-//!   `commit`, `ping`.
-//! - **Admission control.** At most `max_sessions` sessions run
-//!   concurrently and at most `max_queued` wait; the next client gets
-//!   a typed [`ServerError::Busy`] refusal instead of an unbounded
-//!   queue.
+//! - **Pooled sessions.** A fixed pool of `workers` threads
+//!   multiplexes every connection ([`pool`]): one poll loop parks idle
+//!   sessions nonblocking and hands ready, fully-framed requests —
+//!   speaking the typed request/reply grammar in [`proto`]: `query`,
+//!   `read`, `commit`, `ping` — to the workers over a bounded queue.
+//!   An idle session costs a file descriptor, not a thread, so
+//!   hundreds of mostly-idle clients are held by a handful of threads.
+//!   `workers: 0` keeps the legacy one-thread-per-session loop as the
+//!   measured baseline. The query memo is sharded by session affinity
+//!   ([`mvolap_core::ShardedMemo`]) so workers serving different
+//!   sessions stop contending on one cache's locks.
+//! - **Admission control.** At most `max_sessions` sessions hold a
+//!   slot and at most `max_queued` requests wait for a worker; the
+//!   next client gets a typed [`ServerError::Busy`] refusal instead of
+//!   an unbounded queue. [`SessionServer::pool_stats`] snapshots the
+//!   occupancy (active / queued / parked, served / refused /
+//!   forwarded, per-shard memo hits).
 //! - **Group commit.** Writes go through
 //!   [`mvolap_durable::GroupCommit`]: concurrent committers append
 //!   unsynced and share a single fsync per batch, so N sessions
@@ -27,7 +37,12 @@
 //!   instead ([`SessionServer::spawn_with_fleet`]): the bound is
 //!   checked against each member's quorum-acked position and the read
 //!   is forwarded to the freshest member that satisfies it; the
-//!   refusal then names the member consulted.
+//!   refusal then names the member consulted. Plain `query` sessions
+//!   are spread too: each session is pinned to a member (hash of the
+//!   session id) and its queries forwarded there — or to the freshest
+//!   qualifying member — whenever the member has acked the quorum
+//!   watermark, falling back to the primary otherwise. Commits always
+//!   stay on the primary.
 //! - **Quorum commit.** When the group-commit layer has a replication
 //!   quorum configured, a `commit` is acknowledged only after a
 //!   majority of members acked it; on timeout the session gets a typed
@@ -59,10 +74,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use client::SessionClient;
+pub use pool::PoolStats;
 pub use proto::{
     decode_reply, decode_request, encode_reply, encode_request, Reply, Request, ServerError,
 };

@@ -1,13 +1,15 @@
-//! The session server: admission gate, per-connection workers, request
-//! dispatch through the group-committed store, and read routing — to an
-//! optional local follower or across a remote fleet of members.
+//! The session server: admission gate, a fixed worker pool
+//! multiplexing nonblocking sessions (or the legacy thread-per-session
+//! baseline), request dispatch through the group-committed store, and
+//! read routing — to an optional local follower or across a remote
+//! fleet of members.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use mvolap_core::{ExecContext, QueryMemo, Tmd};
+use mvolap_core::{ExecContext, QueryMemo, ShardedMemo, Tmd};
 use mvolap_durable::{DurableError, GroupCommit};
 use mvolap_query::{run_compare_par, run_with_versions_par};
 use mvolap_replica::{
@@ -16,18 +18,26 @@ use mvolap_replica::{
 };
 
 use crate::client::SessionClient;
+use crate::pool::{self, JobQueue, PoolCounters, PoolStats};
 use crate::proto::{self, Reply, Request, ServerError};
 
 /// Tuning for [`SessionServer`].
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
-    /// Sessions served concurrently; the `max_sessions + 1`st waits.
+    /// Pool worker threads multiplexing the connected sessions. `0`
+    /// selects the legacy one-thread-per-session loop — kept as the
+    /// measured baseline the pooled path is benchmarked against.
+    pub workers: usize,
+    /// Sessions held concurrently (each parked session costs a file
+    /// descriptor, not a thread); the `max_sessions + 1`st is refused.
     pub max_sessions: usize,
-    /// Sessions allowed to wait for a slot; one more is refused with a
-    /// typed [`ServerError::Busy`].
+    /// Requests allowed to wait for a free worker beyond one in flight
+    /// per worker; one more is refused with a typed
+    /// [`ServerError::Busy`]. (Under `workers: 0` this bounds sessions
+    /// waiting for a thread slot instead.)
     pub max_queued: usize,
-    /// Per-connection socket read timeout (an idle session is dropped
-    /// after this long without a request).
+    /// Per-connection socket read timeout for blocking reads (legacy
+    /// mode; pooled sessions park without a deadline).
     pub read_timeout_ms: u64,
     /// Per-connection socket write timeout.
     pub write_timeout_ms: u64,
@@ -43,8 +53,9 @@ pub struct ServerOptions {
 impl Default for ServerOptions {
     fn default() -> Self {
         ServerOptions {
-            max_sessions: 8,
-            max_queued: 8,
+            workers: 4,
+            max_sessions: 256,
+            max_queued: 64,
             read_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
             exec_threads: 2,
@@ -69,14 +80,14 @@ pub struct FleetMember {
 /// member list is shared and mutable so a live membership change
 /// re-routes reads immediately — a removed member stops being
 /// consulted the moment it leaves, a promoted joiner starts serving.
-struct FleetRouting {
+pub(crate) struct FleetRouting {
     members: Arc<Mutex<Vec<FleetMember>>>,
     net: NetConfig,
 }
 
 /// Locks a mutex, ignoring std's panic-poisoning: a server must keep
 /// serving other sessions after one worker panics.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -89,7 +100,7 @@ struct GateState {
 /// Bounded admission: at most `max_sessions` served at once, at most
 /// `max_queued` waiting; everyone else is refused immediately.
 #[derive(Debug)]
-struct Gate {
+pub(crate) struct Gate {
     state: Mutex<GateState>,
     changed: Condvar,
     max_sessions: usize,
@@ -141,11 +152,37 @@ impl Gate {
                 .0;
         }
     }
+
+    /// Nonblocking admission for the poll loop: a free slot or an
+    /// immediate typed `Busy` carrying the pool's occupancy (`queued`
+    /// reports requests waiting for a worker, passed in by the caller —
+    /// a pooled server has no sessions waiting on admission).
+    pub(crate) fn try_admit(
+        self: &Arc<Gate>,
+        queued_now: usize,
+    ) -> Result<GatePermit, ServerError> {
+        let mut st = lock(&self.state);
+        if st.active >= self.max_sessions {
+            return Err(ServerError::Busy {
+                active: st.active,
+                queued: queued_now,
+            });
+        }
+        st.active += 1;
+        Ok(GatePermit {
+            gate: Arc::clone(self),
+        })
+    }
+
+    /// Sessions currently holding a slot.
+    pub(crate) fn active(&self) -> usize {
+        lock(&self.state).active
+    }
 }
 
 /// RAII session slot: dropping it (normal end, disconnect, panic
 /// unwind) frees the slot and wakes a queued session.
-struct GatePermit {
+pub(crate) struct GatePermit {
     gate: Arc<Gate>,
 }
 
@@ -157,23 +194,28 @@ impl Drop for GatePermit {
     }
 }
 
-/// Everything a connection worker needs, shared across sessions.
-struct SessionCtx {
-    commit: GroupCommit,
-    follower: Option<Arc<Mutex<Follower>>>,
-    fleet: Option<FleetRouting>,
-    gate: Arc<Gate>,
-    shutdown: Arc<AtomicBool>,
-    exec: ExecContext,
-    memo: Arc<QueryMemo>,
-    quorum_timeout_ms: u64,
+/// Everything a request handler needs, shared across sessions and
+/// workers.
+pub(crate) struct SessionCtx {
+    pub(crate) commit: GroupCommit,
+    pub(crate) follower: Option<Arc<Mutex<Follower>>>,
+    pub(crate) fleet: Option<FleetRouting>,
+    pub(crate) gate: Arc<Gate>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) exec: ExecContext,
+    pub(crate) memo: ShardedMemo,
+    pub(crate) counters: PoolCounters,
+    pub(crate) quorum_timeout_ms: u64,
 }
 
 /// A concurrent session server over a group-committed store.
 ///
-/// Mirrors the replication server's lifecycle: `spawn` binds a
-/// [`NetAddr`] and starts a nonblocking accept loop (one worker thread
-/// per connection), [`SessionServer::stop`] (also run on drop) stops
+/// With `workers > 0` (the default) a single poll loop owns every
+/// connection: idle sessions are parked nonblocking and a fixed pool of
+/// `workers` threads serves ready, fully-framed requests from a bounded
+/// queue — see [`crate::pool`]. With `workers: 0` the server runs the
+/// legacy one-thread-per-session loop. Either way `spawn` binds a
+/// [`NetAddr`], and [`SessionServer::stop`] (also run on drop) stops
 /// accepting, joins the loop and flushes the group-commit batch so
 /// everything acknowledged — and everything applied — is on disk.
 pub struct SessionServer {
@@ -181,6 +223,10 @@ pub struct SessionServer {
     commit: GroupCommit,
     follower: Option<Arc<Mutex<Follower>>>,
     fleet: Option<Arc<Mutex<Vec<FleetMember>>>>,
+    ctx: Arc<SessionCtx>,
+    workers: usize,
+    queue: Option<Arc<JobQueue>>,
+    pool: Vec<JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
 }
@@ -222,13 +268,18 @@ impl SessionServer {
         )
     }
 
-    /// Like [`SessionServer::spawn`], with fleet read routing: `read`
-    /// requests are forwarded to the freshest remote member whose
-    /// quorum-acked position satisfies the staleness bound (positions
-    /// come from the acks the group-commit layer already collects, so
-    /// routing costs no extra round-trips). When no member qualifies
-    /// the session gets a typed [`ServerError::TooStale`] naming the
-    /// freshest member consulted.
+    /// Like [`SessionServer::spawn`], with fleet routing. Sessions —
+    /// not just explicit `read min_lsn` requests — are spread across
+    /// the replica fleet: a `query` is forwarded to the session's
+    /// pinned member when that member's quorum-acked position reaches
+    /// the quorum watermark (the freshest qualifying member otherwise),
+    /// and falls back to the primary when nobody qualifies or the
+    /// forward fails. Commits always stay on the primary. Explicit
+    /// `read` requests keep their caller-chosen staleness bound and are
+    /// forwarded to the freshest member satisfying it, refusing with a
+    /// typed [`ServerError::TooStale`] that names the freshest member
+    /// consulted. Member positions come from the acks the group-commit
+    /// layer already collects, so routing costs no extra round-trips.
     ///
     /// # Errors
     ///
@@ -271,20 +322,59 @@ impl SessionServer {
             gate: Arc::new(Gate::new(opts.max_sessions, opts.max_queued)),
             shutdown: Arc::clone(&shutdown),
             exec: ExecContext::new(opts.exec_threads.max(1)),
-            memo: QueryMemo::shared(),
+            memo: ShardedMemo::new(opts.workers.max(1)),
+            counters: PoolCounters::default(),
             quorum_timeout_ms: opts.quorum_timeout_ms,
         });
-        let serve = Arc::new(move |stream: NetStream| serve_conn(&ctx, stream));
-        let flag = Arc::clone(&shutdown);
         let (read_ms, write_ms) = (opts.read_timeout_ms, opts.write_timeout_ms);
-        let accept = std::thread::spawn(move || {
-            accept_loop(&listener, &flag, read_ms, write_ms, &serve);
-        });
+        let (queue, pool, accept) = if opts.workers == 0 {
+            // Legacy baseline: one thread per connection, blocking
+            // request/reply loop behind the admission gate.
+            let served_ctx = Arc::clone(&ctx);
+            let sessions = AtomicU64::new(0);
+            let serve = Arc::new(move |stream: NetStream| {
+                let session = sessions.fetch_add(1, Ordering::Relaxed) + 1;
+                serve_conn(&served_ctx, session, stream);
+            });
+            let flag = Arc::clone(&shutdown);
+            let accept = std::thread::spawn(move || {
+                accept_loop(&listener, &flag, read_ms, write_ms, &serve);
+            });
+            (None, Vec::new(), accept)
+        } else {
+            let queue = Arc::new(JobQueue::new(opts.workers, opts.max_queued));
+            let (back, returned) = mpsc::channel();
+            let pool = (0..opts.workers)
+                .map(|_| {
+                    let ctx = Arc::clone(&ctx);
+                    let queue = Arc::clone(&queue);
+                    let back = back.clone();
+                    std::thread::spawn(move || pool::worker_loop(&ctx, &queue, &back))
+                })
+                .collect();
+            let poll_ctx = Arc::clone(&ctx);
+            let poll_queue = Arc::clone(&queue);
+            let accept = std::thread::spawn(move || {
+                pool::poll_loop(
+                    &listener,
+                    &poll_ctx,
+                    &poll_queue,
+                    &returned,
+                    read_ms,
+                    write_ms,
+                );
+            });
+            (Some(queue), pool, accept)
+        };
         Ok(SessionServer {
             addr,
             commit,
             follower,
             fleet: fleet_handle,
+            ctx,
+            workers: opts.workers,
+            queue,
+            pool,
             shutdown,
             accept: Some(accept),
         })
@@ -328,6 +418,26 @@ impl SessionServer {
     /// counts, WAL position, digests) and out-of-band writes.
     pub fn group(&self) -> GroupCommit {
         self.commit.clone()
+    }
+
+    /// A point-in-time snapshot of the pool counters: occupancy
+    /// (active / queued / parked), lifetime served / refused /
+    /// forwarded totals and per-shard memo hit/miss counters. On a
+    /// `workers: 0` server `workers`, `queued` and `parked` read 0 and
+    /// the served counter stays at whatever the legacy loop pushed
+    /// through it.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            active: self.ctx.gate.active(),
+            queued: self.queue.as_ref().map_or(0, |q| q.waiting()),
+            parked: self.ctx.counters.parked.load(Ordering::Relaxed),
+            served: self.ctx.counters.served.load(Ordering::Relaxed),
+            refused: self.ctx.counters.refused.load(Ordering::Relaxed),
+            forwarded: self.ctx.counters.forwarded.load(Ordering::Relaxed),
+            memo: self.ctx.memo.shard_stats(),
+        }
     }
 
     /// Ships the primary's WAL tail (or a checkpoint snapshot when the
@@ -393,12 +503,19 @@ impl SessionServer {
             .unwrap_or(0)
     }
 
-    /// Stops accepting, joins the accept loop (live sessions finish
-    /// their current exchange and then see the shutdown flag) and
-    /// flushes the group-commit batch. Idempotent.
+    /// Stops accepting, joins the poll loop and the worker pool
+    /// (requests already queued still get their reply; parked sessions
+    /// are told `err shutdown`) and flushes the group-commit batch.
+    /// Idempotent.
     pub fn stop(&mut self) {
         if self.accept.is_some() {
             stop_listener(&self.shutdown, &mut self.accept);
+            if let Some(queue) = &self.queue {
+                queue.wake_all();
+            }
+            for worker in self.pool.drain(..) {
+                worker.join().ok();
+            }
             self.commit.flush().ok();
         }
     }
@@ -410,14 +527,15 @@ impl Drop for SessionServer {
     }
 }
 
-/// One connection worker: admission, then a request/reply loop until
-/// the peer disconnects, times out or the server stops. A mid-query
-/// disconnect ends only this worker — the permit drop frees the slot
-/// and no shared lock is left poisoned.
-fn serve_conn(ctx: &Arc<SessionCtx>, mut stream: NetStream) {
+/// One legacy connection worker: admission, then a blocking
+/// request/reply loop until the peer disconnects, times out or the
+/// server stops. A mid-query disconnect ends only this worker — the
+/// permit drop frees the slot and no shared lock is left poisoned.
+fn serve_conn(ctx: &Arc<SessionCtx>, session: u64, mut stream: NetStream) {
     let _permit = match ctx.gate.admit(&ctx.shutdown) {
         Ok(p) => p,
         Err(refusal) => {
+            ctx.counters.refused.fetch_add(1, Ordering::Relaxed);
             write_frame(&mut stream, &proto::encode_reply(&Reply::Err(refusal))).ok();
             return;
         }
@@ -434,26 +552,35 @@ fn serve_conn(ctx: &Arc<SessionCtx>, mut stream: NetStream) {
         let Ok(payload) = read_frame(&mut stream) else {
             return; // disconnect, timeout or a corrupt frame
         };
-        let reply = handle_request(ctx, &payload);
-        if write_frame(&mut stream, &proto::encode_reply(&reply)).is_err() {
+        let reply = handle_request(ctx, session, &payload);
+        let sent = write_frame(&mut stream, &proto::encode_reply(&reply)).is_ok();
+        ctx.counters.served.fetch_add(1, Ordering::Relaxed);
+        if !sent {
             return;
         }
     }
 }
 
-fn handle_request(ctx: &SessionCtx, payload: &[u8]) -> Reply {
+/// Decodes and executes one request for `session` (the id picks the
+/// memo shard and the fleet pin; it is server-assigned and stable for
+/// the connection's lifetime).
+pub(crate) fn handle_request(ctx: &SessionCtx, session: u64, payload: &[u8]) -> Reply {
     let req = match proto::decode_request(payload) {
         Ok(req) => req,
         Err(e) => return Reply::Err(e),
     };
     match req {
         Request::Ping => Reply::Result("pong".to_string()),
-        Request::Query(text) => primary_query(ctx, &text),
-        Request::Read { min_lsn, text } => follower_read(ctx, min_lsn, &text),
+        Request::Query(text) => match &ctx.fleet {
+            Some(fleet) => fleet_query(ctx, fleet, session, &text),
+            None => primary_query(ctx, session, &text),
+        },
+        Request::Read { min_lsn, text } => follower_read(ctx, session, min_lsn, &text),
         Request::Commit(record) => {
             // With a replication quorum configured the session is only
             // acknowledged once a majority acked; without one this is
-            // plain local group commit.
+            // plain local group commit. Commits never leave the
+            // primary, whatever the fleet routing does with reads.
             let res = if ctx.commit.quorum_size() > 1 {
                 ctx.commit.commit_replicated(record, ctx.quorum_timeout_ms)
             } else {
@@ -472,13 +599,63 @@ fn handle_request(ctx: &SessionCtx, payload: &[u8]) -> Reply {
 
 /// Runs a query on the primary under the store's shared read lock, so
 /// concurrent sessions execute in parallel and only commits serialise.
-fn primary_query(ctx: &SessionCtx, text: &str) -> Reply {
+fn primary_query(ctx: &SessionCtx, session: u64, text: &str) -> Reply {
+    let memo = ctx.memo.for_session(session);
     let rendered = ctx
         .commit
-        .with_store(|s| render_query(s.schema(), text, &ctx.exec, &ctx.memo));
+        .with_store(|s| render_query(s.schema(), text, &ctx.exec, memo));
     match rendered {
         Ok(out) => Reply::Result(out),
         Err(e) => Reply::Err(e),
+    }
+}
+
+/// Spreads a session's `query` across the fleet: the bound is the
+/// quorum watermark (everything a quorum-acked commit was acknowledged
+/// for — so a session that just committed reads its own write from any
+/// qualifying member), the session's pinned member serves when it
+/// qualifies, the freshest qualifying member otherwise, and the
+/// primary when nobody qualifies or the forward fails. A member that
+/// acked LSN `n` has fsynced **and applied** through `n`, so the
+/// forwarded `read` renders the same bytes the primary would at that
+/// watermark.
+fn fleet_query(ctx: &SessionCtx, fleet: &FleetRouting, session: u64, text: &str) -> Reply {
+    let bound = ctx.commit.quorum_lsn().saturating_sub(1);
+    let positions = ctx.commit.member_positions();
+    // The tracker speaks next-LSN ("synced everything below");
+    // subtract one to get the highest LSN the member has applied.
+    let acked_of = |name: &str| {
+        positions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, p)| p.saturating_sub(1))
+    };
+    let members: Vec<FleetMember> = lock(&fleet.members).clone();
+    if members.is_empty() {
+        return primary_query(ctx, session, text);
+    }
+    let pinned = &members[(session % members.len() as u64) as usize];
+    let target = if acked_of(&pinned.name) >= bound {
+        Some(pinned)
+    } else {
+        members
+            .iter()
+            .filter(|m| acked_of(&m.name) >= bound)
+            .max_by_key(|m| (acked_of(&m.name), std::cmp::Reverse(m.name.clone())))
+    };
+    let Some(target) = target else {
+        return primary_query(ctx, session, text);
+    };
+    let mut client = SessionClient::connect(target.addr.clone(), fleet.net.clone());
+    match client.read_at(bound, text) {
+        Ok(out) => {
+            ctx.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            Reply::Result(out)
+        }
+        // Any forward failure — the member restarted, refused as stale
+        // after a membership race, or timed out — degrades to the
+        // primary instead of surfacing a routing artefact.
+        Err(_) => primary_query(ctx, session, text),
     }
 }
 
@@ -486,12 +663,12 @@ fn primary_query(ctx: &SessionCtx, text: &str) -> Reply {
 /// attached local follower otherwise; refuses with a typed `TooStale`
 /// when nothing satisfies the staleness bound. Without either, the
 /// primary serves it (a primary is never stale).
-fn follower_read(ctx: &SessionCtx, min_lsn: u64, text: &str) -> Reply {
+fn follower_read(ctx: &SessionCtx, session: u64, min_lsn: u64, text: &str) -> Reply {
     if let Some(fleet) = &ctx.fleet {
-        return fleet_read(ctx, fleet, min_lsn, text);
+        return fleet_read(ctx, fleet, session, min_lsn, text);
     }
     let Some(follower) = &ctx.follower else {
-        return primary_query(ctx, text);
+        return primary_query(ctx, session, text);
     };
     let f = lock(follower);
     let applied = f.next_lsn().saturating_sub(1);
@@ -510,7 +687,7 @@ fn follower_read(ctx: &SessionCtx, min_lsn: u64, text: &str) -> Reply {
             member: None,
         });
     };
-    match render_query(tmd, text, &ctx.exec, &ctx.memo) {
+    match render_query(tmd, text, &ctx.exec, ctx.memo.for_session(session)) {
         Ok(out) => Reply::Result(out),
         Err(e) => Reply::Err(e),
     }
@@ -521,7 +698,13 @@ fn follower_read(ctx: &SessionCtx, min_lsn: u64, text: &str) -> Reply {
 /// group-commit layer collects — a member that acked LSN `n` has
 /// fsynced and applied through `n`, so no extra probe is needed. Ties
 /// break on the member name, making routing deterministic.
-fn fleet_read(ctx: &SessionCtx, fleet: &FleetRouting, min_lsn: u64, text: &str) -> Reply {
+fn fleet_read(
+    ctx: &SessionCtx,
+    fleet: &FleetRouting,
+    session: u64,
+    min_lsn: u64,
+    text: &str,
+) -> Reply {
     let positions = ctx.commit.member_positions();
     // The tracker speaks next-LSN ("synced everything below");
     // subtract one to get the highest LSN the member has applied.
@@ -544,7 +727,7 @@ fn fleet_read(ctx: &SessionCtx, fleet: &FleetRouting, min_lsn: u64, text: &str) 
     }
     let Some((freshest, applied)) = best else {
         // An empty fleet: the primary serves, as without a follower.
-        return primary_query(ctx, text);
+        return primary_query(ctx, session, text);
     };
     if applied < min_lsn {
         return Reply::Err(ServerError::TooStale {
@@ -555,7 +738,10 @@ fn fleet_read(ctx: &SessionCtx, fleet: &FleetRouting, min_lsn: u64, text: &str) 
     }
     let mut client = SessionClient::connect(freshest.addr.clone(), fleet.net.clone());
     match client.read_at(min_lsn, text) {
-        Ok(out) => Reply::Result(out),
+        Ok(out) => {
+            ctx.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            Reply::Result(out)
+        }
         Err(e) => Reply::Err(e),
     }
 }

@@ -4,7 +4,12 @@
 //! - **Serializability / bit-identity.** M concurrent clients
 //!   interleaving commits and queries leave the store in a state
 //!   bit-identical to replaying the same records sequentially in LSN
-//!   order (snapshot bytes + result-table digests).
+//!   order (snapshot bytes + result-table digests) — swept across pool
+//!   sizes 1, 2 and the host's CPU count, plus the `workers: 0`
+//!   thread-per-session baseline.
+//! - **Pool admission.** Queue overflow under a busy pool refuses with
+//!   a typed `Busy` from the poll loop without blocking the worker;
+//!   a parked session dropping releases its slot (RAII permit).
 //! - **Group commit over the wire.** 8 concurrent committers share a
 //!   single fsync under a manual timeline — strictly fewer fsyncs than
 //!   commits.
@@ -50,13 +55,30 @@ const QUERY: &str = "SELECT sum(Amount) BY year, Org.Division FOR 2001..2003 IN 
 /// M clients interleaving commits and queries are serializable: the
 /// final state equals a sequential replay of the journaled records in
 /// LSN order, and every rendered query matches the replayed store.
+/// Swept across pool sizes — multiplexing sessions over 1, 2 or
+/// `host_cpus` workers must not change a single byte — and the
+/// `workers: 0` thread-per-session baseline.
 #[test]
 fn concurrent_sessions_are_bit_identical_to_a_sequential_replay() {
-    let dir = tmp("bitident");
+    let host_cpus = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let mut sweep = vec![0, 1, 2, host_cpus];
+    sweep.sort_unstable();
+    sweep.dedup();
+    for workers in sweep {
+        bit_identity_at(workers);
+    }
+}
+
+fn bit_identity_at(workers: usize) {
+    let dir = tmp(&format!("bitident_w{workers}"));
     let cs = case_study();
     let store = DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
     let group = GroupCommit::new(store, GroupConfig::default());
-    let server = SessionServer::spawn(&local_addr(), group, ServerOptions::default()).unwrap();
+    let opts = ServerOptions {
+        workers,
+        ..ServerOptions::default()
+    };
+    let server = SessionServer::spawn(&local_addr(), group, opts).unwrap();
 
     // Each client writes to its own leaf member (disjoint group-by
     // cells) and runs the shared query between commits.
@@ -87,7 +109,7 @@ fn concurrent_sessions_are_bit_identical_to_a_sequential_replay() {
     }
 
     // Sequential replay of the journal into a fresh store.
-    let replay_dir = tmp("bitident_replay");
+    let replay_dir = tmp(&format!("bitident_replay_w{workers}"));
     let mut replayed = DurableTmd::create(&replay_dir, cs.tmd.clone()).unwrap();
     let frames = server.group().with_store(|s| s.tail(1).unwrap());
     assert_eq!(
@@ -124,6 +146,21 @@ fn concurrent_sessions_are_bit_identical_to_a_sequential_replay() {
         table_digest(&local.to_storage_table("result").unwrap())
     );
 
+    // The pool actually carried the load: every request went through
+    // the workers, and the sharded memo absorbed the repeated lookups.
+    let stats = server.pool_stats();
+    assert_eq!(stats.workers, workers);
+    assert!(
+        stats.served >= 4 * 5 * 2,
+        "20 commits + 20 queries must be counted, got {}",
+        stats.served
+    );
+    assert_eq!(stats.memo.len(), workers.max(1));
+    let memo_total = stats.memo.iter().fold(0u64, |acc, m| {
+        acc + m.routes.hits + m.routes.misses + m.ancestors.hits + m.ancestors.misses
+    });
+    assert!(memo_total > 0, "queries must exercise the sharded memo");
+
     drop(server);
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&replay_dir).ok();
@@ -147,8 +184,14 @@ fn concurrent_commits_share_a_sync_over_the_wire() {
     );
     let base_lsn = group.wal_position();
     let fsyncs_before = group.fsyncs();
-    let server =
-        SessionServer::spawn(&local_addr(), group.clone(), ServerOptions::default()).unwrap();
+    // Every committer parks inside the manual-clock hold window at
+    // once, each occupying a worker — the pool must be at least as
+    // wide as the committers or the window could never fill.
+    let opts = ServerOptions {
+        workers: 8,
+        ..ServerOptions::default()
+    };
+    let server = SessionServer::spawn(&local_addr(), group.clone(), opts).unwrap();
 
     const COMMITTERS: u64 = 8;
     let handles: Vec<_> = (0..COMMITTERS)
@@ -231,6 +274,138 @@ fn admission_overflow_is_a_typed_busy_refusal() {
             Err(e) => panic!("slot never freed: {e}"),
         }
     }
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Queue overflow under the pooled loop: with the only worker parked
+/// inside a commit's hold window, a second session's request finds
+/// every queue slot taken and is refused with a typed `Busy` straight
+/// from the poll loop — the refused session stays connected (it is
+/// parked again, not dropped) and is served normally once the worker
+/// frees up. No worker ever blocks on the overflow.
+#[test]
+fn queue_overflow_is_refused_typed_without_blocking_a_worker() {
+    let dir = tmp("overflow");
+    let cs = case_study();
+    let store = DurableTmd::create(&dir, cs.tmd.clone()).unwrap();
+    let time = TimeSource::manual(0);
+    let group = GroupCommit::new(
+        store,
+        GroupConfig {
+            hold_ms: 60,
+            time: time.clone(),
+        },
+    );
+    let base_lsn = group.wal_position();
+    let opts = ServerOptions {
+        workers: 1,
+        max_queued: 0,
+        ..ServerOptions::default()
+    };
+    let server = SessionServer::spawn(&local_addr(), group.clone(), opts).unwrap();
+
+    // Session A: a commit that parks in the hold window, pinning the
+    // only worker until the manual clock advances.
+    let committer = {
+        let addr = server.addr().clone();
+        let leaf = cs.brian;
+        std::thread::spawn(move || {
+            let mut client = SessionClient::connect(addr, NetConfig::default());
+            client
+                .commit(&WalRecord::FactBatch {
+                    rows: vec![FactRow {
+                        coords: vec![leaf],
+                        at: Instant::ym(2003, 3),
+                        values: vec![7.0],
+                    }],
+                })
+                .unwrap()
+        })
+    };
+    while group.wal_position() < base_lsn + 1 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Session B: admitted (session slots are plentiful), but its
+    // request overflows the zero-length worker queue.
+    let mut second = SessionClient::connect(server.addr().clone(), NetConfig::default());
+    match second.ping() {
+        Err(ServerError::Busy { active, queued }) => {
+            assert_eq!(queued, 0, "nothing can wait behind max_queued: 0");
+            assert!(active >= 2, "both sessions hold slots, got {active}");
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert!(
+        server.pool_stats().refused >= 1,
+        "the refusal must be counted"
+    );
+
+    // Free the worker; the refused session keeps its connection and is
+    // served on retry.
+    time.advance(10_000);
+    committer.join().unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match second.ping() {
+            Ok(()) => break,
+            Err(ServerError::Busy { .. }) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => panic!("refused session must recover: {e}"),
+        }
+    }
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A parked session dropping its connection releases its admission
+/// slot (the RAII permit travels with the parked connection), and the
+/// pool gauges see the park and the release.
+#[test]
+fn parked_session_drop_releases_its_slot() {
+    let dir = tmp("parked_drop");
+    let cs = case_study();
+    let store = DurableTmd::create(&dir, cs.tmd).unwrap();
+    let group = GroupCommit::new(store, GroupConfig::default());
+    let opts = ServerOptions {
+        workers: 2,
+        max_sessions: 1,
+        max_queued: 0,
+        ..ServerOptions::default()
+    };
+    let server = SessionServer::spawn(&local_addr(), group, opts).unwrap();
+
+    let mut first = SessionClient::connect(server.addr().clone(), NetConfig::default());
+    first.ping().unwrap(); // round-trip: admitted and parked again
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = server.pool_stats();
+        if stats.active == 1 && stats.parked == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session never parked: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // The parked session vanishes; its permit must free the only slot.
+    drop(first);
+    let mut second = SessionClient::connect(server.addr().clone(), NetConfig::default());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match second.ping() {
+            Ok(()) => break,
+            Err(ServerError::Busy { .. }) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => panic!("slot never released by the dropped park: {e}"),
+        }
+    }
+    assert_eq!(server.pool_stats().active, 1, "only the new session");
     drop(server);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -6,11 +6,16 @@
 //!
 //! 1. **Serve.** A [`SessionServer`] binds a loopback port over the
 //!    paper's case study, with a local [`Follower`] attached for read
-//!    routing.
+//!    routing. The server runs its default worker pool: a poll loop
+//!    parks the eight sessions nonblocking and four workers serve
+//!    their ready requests — idle sessions cost a file descriptor,
+//!    not a thread.
 //! 2. **Concurrent clients.** Eight sessions commit fact batches and
 //!    run the paper's Q1 at the same time; the group-commit journal
 //!    counters show the batch sharing — strictly at most one fsync per
-//!    commit, usually far fewer.
+//!    commit, usually far fewer — and the pool counters show every
+//!    request flowing through the fixed worker set with the sharded
+//!    query memo absorbing the repeated lookups.
 //! 3. **Follower reads.** A `read` request carries an explicit
 //!    staleness bound: while the follower is behind it is refused with
 //!    the typed `TooStale` error, and after one replication pump the
@@ -116,6 +121,29 @@ fn main() {
         fsyncs <= commits,
         "group commit must never spend more fsyncs than commits"
     );
+
+    // The pool carried all of it: 8 sessions multiplexed over 4 worker
+    // threads, every request counted, the sharded memo warm.
+    let expected = (SESSIONS * COMMITS_PER_SESSION * 2) as u64;
+    let stats = server.pool_stats();
+    println!(
+        "pool: {} workers served {} requests ({} refused), memo shards: {}",
+        stats.workers,
+        stats.served,
+        stats.refused,
+        stats.memo.len()
+    );
+    assert!(
+        stats.served >= expected,
+        "every commit and query goes through the pool: {} < {expected}",
+        stats.served
+    );
+    let memo_hits: u64 = stats
+        .memo
+        .iter()
+        .map(|m| m.routes.hits + m.ancestors.hits)
+        .sum();
+    assert!(memo_hits > 0, "repeated Q1 must hit the sharded memo");
 
     // 3. Read routing with an explicit staleness bound. The follower
     //    has applied nothing yet, so a read demanding the latest commit

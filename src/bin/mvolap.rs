@@ -109,6 +109,7 @@ fn main() {
     let mut listen_addr: Option<String> = None;
     let mut connect_addr: Option<String> = None;
     let mut cluster_spec: Option<String> = None;
+    let mut workers: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -188,14 +189,21 @@ fn main() {
                         .unwrap_or_else(|| die("--cluster requires name=ADDR[,name=ADDR...]")),
                 );
             }
+            "--workers" => {
+                i += 1;
+                workers = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    die("--workers requires a number (0 = thread per session)")
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mvolap [--two-measures | --workload SEED | --load FILE] \
                      [--store DIR] [--serve ADDR | --follow ADDR | --listen ADDR] \
-                     [--cluster SPEC] [--connect ADDR] [-c QUERY]\n\
+                     [--cluster SPEC] [--workers N] [--connect ADDR] [-c QUERY]\n\
                      ADDR is host:port or unix:/path/to.sock; serve/follow/listen need \
                      --store DIR; --connect talks to a --listen server; --cluster \
-                     name=ADDR,... with --listen starts a quorum group"
+                     name=ADDR,... with --listen starts a quorum group; --workers N \
+                     sizes the session pool (0 = one thread per session)"
                 );
                 return;
             }
@@ -226,12 +234,12 @@ fn main() {
         let dir = store_dir.unwrap_or_else(|| die("--cluster requires --store DIR"));
         let addr = listen_addr.unwrap_or_else(|| die("--cluster requires --listen ADDR"));
         let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
-        cluster(&addr, &dir, &spec, schema);
+        cluster(&addr, &dir, &spec, schema, workers);
     }
     if let Some(addr) = listen_addr {
         let dir = store_dir.unwrap_or_else(|| die("--listen requires --store DIR"));
         let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
-        listen(&addr, &dir, schema);
+        listen(&addr, &dir, schema, workers);
     }
     if let Some(addr) = connect_addr {
         let addr = NetAddr::parse(&addr).unwrap_or_else(|e| die(&format!("bad address: {e}")));
@@ -433,9 +441,41 @@ fn follow(addr: &NetAddr, dir: &str) -> ! {
     std::process::exit(0)
 }
 
-/// `--listen`: the concurrent session server. Writes group-commit
-/// (one shared fsync per batch); queries run under a shared read lock.
-fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
+/// Renders a pool-stats snapshot the way both serving REPLs print it
+/// under `\status`: one occupancy line, then one line per memo shard.
+fn print_pool(stats: &mvolap::server::PoolStats) {
+    println!(
+        "  pool: workers={} active={} queued={} parked={} served={} refused={} forwarded={}",
+        stats.workers,
+        stats.active,
+        stats.queued,
+        stats.parked,
+        stats.served,
+        stats.refused,
+        stats.forwarded
+    );
+    for (i, m) in stats.memo.iter().enumerate() {
+        println!(
+            "  memo shard {i}: routes {}/{} hits/misses, ancestors {}/{}",
+            m.routes.hits, m.routes.misses, m.ancestors.hits, m.ancestors.misses
+        );
+    }
+}
+
+/// Session-server options with the shell's `--workers N` applied.
+fn server_opts(workers: Option<usize>) -> ServerOptions {
+    let mut opts = ServerOptions::default();
+    if let Some(w) = workers {
+        opts.workers = w;
+    }
+    opts
+}
+
+/// `--listen`: the concurrent session server — a fixed worker pool
+/// multiplexing nonblocking sessions (`--workers N`; 0 = the legacy
+/// thread-per-session loop). Writes group-commit (one shared fsync per
+/// batch); queries run under a shared read lock.
+fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>, workers: Option<usize>) -> ! {
     let path = std::path::PathBuf::from(dir);
     let store = match DurableTmd::open(&path) {
         Ok(store) => store,
@@ -448,11 +488,11 @@ fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
     };
     let next_lsn = store.wal_position();
     let group = GroupCommit::new(store, GroupConfig::default());
-    let mut server = SessionServer::spawn(addr, group, ServerOptions::default())
+    let mut server = SessionServer::spawn(addr, group, server_opts(workers))
         .unwrap_or_else(|e| die(&format!("cannot listen on {addr}: {e}")));
     println!(
         "mvolap — session server for store `{dir}` on {} (next LSN {next_lsn}). \
-         `quit` or EOF stops.",
+         \\status shows the pool; `\\q`, `quit` or EOF stops.",
         server.addr()
     );
     std::io::stdout().flush().ok();
@@ -462,8 +502,18 @@ fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) | Err(_) => break,
-            Ok(_) if line.trim() == "quit" => break,
             Ok(_) => {}
+        }
+        let line = line.trim();
+        if line == "quit" || line == "\\q" {
+            break;
+        }
+        if line == "\\status" {
+            print_pool(&server.pool_stats());
+            std::io::stdout().flush().ok();
+        } else if !line.is_empty() {
+            println!("commands: \\status, \\q (or `quit`)");
+            std::io::stdout().flush().ok();
         }
     }
     server.stop();
@@ -478,7 +528,13 @@ fn listen(addr: &NetAddr, dir: &str, schema: Option<Tmd>) -> ! {
 /// batched frame envelopes continuously — no manual pump loop — so
 /// commits clear the majority quorum in one shipping round-trip and
 /// bounded reads route to the freshest member.
-fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
+fn cluster(
+    addr: &NetAddr,
+    dir: &str,
+    spec: &str,
+    schema: Option<Tmd>,
+    workers: Option<usize>,
+) -> ! {
     let mut members = Vec::new();
     for part in spec.split(',') {
         let Some((name, maddr)) = part.split_once('=') else {
@@ -499,15 +555,15 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
         &members,
         Options::default(),
         GroupConfig::default(),
-        ServerOptions::default(),
+        server_opts(workers),
         NetConfig::default(),
     )
     .unwrap_or_else(|e| die(&format!("cannot start cluster under {dir}: {e}")));
     group.spawn_pumps(PumpConfig::default());
     println!(
         "mvolap — quorum group under `{dir}`: primary on {} ({} members, quorum {}/{}, \
-         async replication). \\join NAME=ADDR, \\leave NAME, \\status, \\pump; `quit` or \
-         EOF stops.",
+         async replication). \\join NAME=ADDR, \\leave NAME, \\status, \\pump; `\\q`, \
+         `quit` or EOF stops.",
         group.primary_addr(),
         members.len(),
         members.len() / 2 + 1,
@@ -523,7 +579,7 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) | Err(_) => break,
-            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) if matches!(line.trim(), "quit" | "\\q") => break,
             Ok(_) => {}
         }
         let line = line.trim().to_string();
@@ -572,18 +628,38 @@ fn cluster(addr: &NetAddr, dir: &str, spec: &str, schema: Option<Tmd>) -> ! {
                     st.state, st.acked_lsn, st.requests, st.snapshots, st.stalls
                 );
             }
+            print_pool(&group.primary_stats());
         } else if line == "\\pump" {
-            // One explicit shipping round: each member's slot reports
-            // success (its applied LSN) or exactly why it stalled or
-            // was fenced — the threads keep running regardless.
+            // One explicit shipping round over *every* member — an
+            // unpromoted learner still catching up included, labelled
+            // with its role: each slot reports success (its applied
+            // LSN) or exactly why it stalled or was fenced — the
+            // threads keep running regardless.
+            let membership = group.membership();
             for (name, round) in group.pump() {
+                let role =
+                    membership
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map_or(
+                            "voter",
+                            |&(_, learner)| {
+                                if learner {
+                                    "learner"
+                                } else {
+                                    "voter"
+                                }
+                            },
+                        );
                 match round {
-                    Ok(applied) => println!("  {name}: ok, applied through LSN {applied}"),
-                    Err(e) => println!("  {name}: stalled — {e}"),
+                    Ok(applied) => {
+                        println!("  {name} ({role}): ok, applied through LSN {applied}");
+                    }
+                    Err(e) => println!("  {name} ({role}): stalled — {e}"),
                 }
             }
         } else if !line.is_empty() {
-            println!("commands: \\join NAME=ADDR, \\leave NAME, \\status, \\pump, quit");
+            println!("commands: \\join NAME=ADDR, \\leave NAME, \\status, \\pump, \\q (or `quit`)");
         }
         std::io::stdout().flush().ok();
     }
